@@ -1,0 +1,137 @@
+//! Mini-batching helpers for language-model-style next-item training.
+
+use irs_data::split::{pad_to, PaddingScheme, SubSeq};
+use irs_data::ItemId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// One causal-LM training batch: `inputs[b][t]` predicts `targets[b*T + t]`.
+///
+/// Inputs are pre-padded to a fixed length; targets use the PAD id as the
+/// ignore marker.
+#[derive(Debug, Clone)]
+pub struct LmBatch {
+    /// `[B][T]` input token matrix (contains PAD tokens).
+    pub inputs: Vec<Vec<ItemId>>,
+    /// Flattened `[B*T]` next-token targets (PAD = ignore).
+    pub targets: Vec<ItemId>,
+    /// Number of leading PAD tokens per sequence (for key-padding masks).
+    pub pad_lens: Vec<usize>,
+}
+
+impl LmBatch {
+    /// Batch size.
+    pub fn batch_size(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Sequence length.
+    pub fn seq_len(&self) -> usize {
+        self.inputs.first().map_or(0, Vec::len)
+    }
+}
+
+/// Build shuffled causal-LM batches from training subsequences.
+///
+/// Each subsequence `i₁..i_k` is pre-padded to `max_len + 1`; inputs are
+/// positions `0..max_len` and the target at position `t` is the token at
+/// `t + 1` (teacher forcing).  Targets at padded positions equal `pad` and
+/// are ignored by the loss.
+pub fn make_lm_batches<R: Rng + ?Sized>(
+    seqs: &[SubSeq],
+    max_len: usize,
+    pad: ItemId,
+    batch_size: usize,
+    rng: &mut R,
+) -> Vec<LmBatch> {
+    assert!(max_len >= 2, "max_len must be at least 2");
+    assert!(batch_size >= 1, "batch_size must be positive");
+    let mut order: Vec<usize> = (0..seqs.len()).collect();
+    order.shuffle(rng);
+
+    let mut batches = Vec::with_capacity(seqs.len().div_ceil(batch_size));
+    for chunk in order.chunks(batch_size) {
+        let mut inputs = Vec::with_capacity(chunk.len());
+        let mut targets = Vec::with_capacity(chunk.len() * max_len);
+        let mut pad_lens = Vec::with_capacity(chunk.len());
+        for &si in chunk {
+            let padded = pad_to(&seqs[si].items, max_len + 1, pad, PaddingScheme::Pre);
+            let input: Vec<ItemId> = padded[..max_len].to_vec();
+            pad_lens.push(input.iter().take_while(|&&t| t == pad).count());
+            targets.extend_from_slice(&padded[1..]);
+            inputs.push(input);
+        }
+        batches.push(LmBatch { inputs, targets, pad_lens });
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn seqs() -> Vec<SubSeq> {
+        vec![
+            SubSeq { user: 0, items: vec![1, 2, 3] },
+            SubSeq { user: 1, items: vec![4, 5, 6, 7, 8] },
+            SubSeq { user: 2, items: vec![9, 1] },
+        ]
+    }
+
+    #[test]
+    fn batches_have_fixed_shape_and_shifted_targets() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let pad = 99;
+        let batches = make_lm_batches(&seqs(), 4, pad, 2, &mut rng);
+        assert_eq!(batches.len(), 2);
+        for b in &batches {
+            assert_eq!(b.seq_len(), 4);
+            assert_eq!(b.targets.len(), b.batch_size() * 4);
+            for (bi, input) in b.inputs.iter().enumerate() {
+                // Every non-pad transition (input[t] -> target[t]) must be a
+                // consecutive pair of the original sequence.
+                for t in 0..4 {
+                    let x = input[t];
+                    let y = b.targets[bi * 4 + t];
+                    if x != pad && y != pad {
+                        // consecutive in some original sequence
+                        let ok = seqs().iter().any(|s| {
+                            s.items.windows(2).any(|w| w[0] == x && w[1] == y)
+                        });
+                        assert!(ok, "({x} -> {y}) is not a real transition");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn long_sequences_keep_most_recent_items() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let s = vec![SubSeq { user: 0, items: (0..10).collect() }];
+        let batches = make_lm_batches(&s, 4, 99, 1, &mut rng);
+        // padded to len 5 from the tail: [5,6,7,8,9] -> inputs [5,6,7,8]
+        assert_eq!(batches[0].inputs[0], vec![5, 6, 7, 8]);
+        assert_eq!(batches[0].targets, vec![6, 7, 8, 9]);
+        assert_eq!(batches[0].pad_lens[0], 0);
+    }
+
+    #[test]
+    fn pad_lens_count_leading_pads() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let s = vec![SubSeq { user: 0, items: vec![5, 6] }];
+        let batches = make_lm_batches(&s, 4, 99, 1, &mut rng);
+        assert_eq!(batches[0].inputs[0], vec![99, 99, 99, 5]);
+        assert_eq!(batches[0].targets, vec![99, 99, 5, 6]);
+        assert_eq!(batches[0].pad_lens[0], 3);
+    }
+
+    #[test]
+    fn all_sequences_appear_exactly_once() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let batches = make_lm_batches(&seqs(), 4, 99, 2, &mut rng);
+        let total: usize = batches.iter().map(LmBatch::batch_size).sum();
+        assert_eq!(total, 3);
+    }
+}

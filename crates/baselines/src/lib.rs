@@ -1,0 +1,133 @@
+//! # irs-baselines — baseline sequential recommenders
+//!
+//! Rust re-implementations (on the shared [`irs_nn`] substrate) of every
+//! baseline the paper evaluates (§IV-C) and every evaluator candidate
+//! (§IV-B3):
+//!
+//! | Model      | Family                       | Paper role                          |
+//! |------------|------------------------------|-------------------------------------|
+//! | [`Pop`]    | popularity                   | Vanilla / Rec2Inf baseline          |
+//! | [`BprMf`]  | matrix factorisation         | Vanilla / Rec2Inf baseline          |
+//! | [`TransRec`]| translation embeddings      | Vanilla / Rec2Inf baseline          |
+//! | [`Gru4Rec`]| RNN                          | baseline + evaluator candidate      |
+//! | [`Caser`]  | CNN                          | baseline + evaluator candidate      |
+//! | [`SasRec`] | causal self-attention        | baseline + evaluator candidate      |
+//! | [`Bert4Rec`]| bidirectional self-attention| evaluator (best HR@20/MRR in paper) |
+//!
+//! Every model implements [`SequentialScorer`]: *given a user and an item
+//! history, produce a score for every item as the next interaction*.  The
+//! IRS frameworks in `irs-core` and the offline evaluator in `irs-eval`
+//! are all generic over this trait.
+
+mod batch;
+mod bert4rec;
+mod bpr;
+mod caser;
+mod gru4rec;
+mod pop;
+mod sasrec;
+mod transrec;
+
+pub use batch::{make_lm_batches, LmBatch};
+pub use bert4rec::{Bert4Rec, Bert4RecConfig};
+pub use bpr::{BprConfig, BprMf};
+pub use caser::{Caser, CaserConfig};
+pub use gru4rec::{Gru4Rec, Gru4RecConfig};
+pub use pop::Pop;
+pub use sasrec::{SasRec, SasRecConfig};
+pub use transrec::{TransRec, TransRecConfig};
+
+use irs_data::{ItemId, UserId};
+
+/// A model that scores every item as the candidate next interaction.
+///
+/// Scores are unnormalised (higher = more likely); callers softmax them
+/// when probabilities are needed.  `history` contains real item ids only
+/// (no padding); implementations truncate long histories themselves.
+pub trait SequentialScorer {
+    /// Number of scoreable items (the real catalogue, excluding PAD/MASK).
+    fn num_items(&self) -> usize;
+
+    /// Score every item given `user`'s `history`; returns `num_items()`
+    /// scores.
+    fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32>;
+
+    /// Display name used in experiment tables.
+    fn name(&self) -> &'static str;
+}
+
+impl<S: SequentialScorer + ?Sized> SequentialScorer for &S {
+    fn num_items(&self) -> usize {
+        (**self).num_items()
+    }
+    fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
+        (**self).score(user, history)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<S: SequentialScorer + ?Sized> SequentialScorer for Box<S> {
+    fn num_items(&self) -> usize {
+        (**self).num_items()
+    }
+    fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
+        (**self).score(user, history)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Shared training hyperparameters for the neural baselines.
+#[derive(Debug, Clone)]
+pub struct NeuralTrainConfig {
+    /// Passes over the training subsequences.
+    pub epochs: usize,
+    /// Sequences per minibatch.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Gradient-clipping threshold (global L2 norm).
+    pub clip: f32,
+    /// RNG seed (batch shuffling, dropout, masking).
+    pub seed: u64,
+    /// Print a progress line per epoch when true.
+    pub verbose: bool,
+}
+
+impl Default for NeuralTrainConfig {
+    fn default() -> Self {
+        NeuralTrainConfig {
+            epochs: 3,
+            batch_size: 16,
+            lr: 1e-3,
+            clip: 5.0,
+            seed: 0xbead,
+            verbose: false,
+        }
+    }
+}
+
+/// Rank (1-based) of `item` under the given scores: `1 + |{j : s_j > s_item}|`.
+///
+/// Shared by evaluation metrics (IoR, HR@K, MRR).
+pub fn rank_of(scores: &[f32], item: ItemId) -> usize {
+    let s = scores[item];
+    1 + scores.iter().filter(|&&x| x > s).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_of_is_one_based_and_handles_ties() {
+        let scores = vec![0.1, 0.9, 0.5, 0.9];
+        assert_eq!(rank_of(&scores, 1), 1); // tie broken optimistically
+        assert_eq!(rank_of(&scores, 3), 1);
+        assert_eq!(rank_of(&scores, 2), 3);
+        assert_eq!(rank_of(&scores, 0), 4);
+    }
+}

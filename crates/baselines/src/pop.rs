@@ -1,0 +1,57 @@
+//! POP — recommend by global popularity.
+
+use irs_data::{Dataset, ItemId, UserId};
+
+use crate::SequentialScorer;
+
+/// Popularity baseline: scores are `ln(1 + count)` of training
+/// interactions, independent of the user and history.
+#[derive(Debug, Clone)]
+pub struct Pop {
+    scores: Vec<f32>,
+}
+
+impl Pop {
+    /// Fit from raw per-item counts.
+    pub fn from_counts(counts: &[usize]) -> Self {
+        Pop { scores: counts.iter().map(|&c| (1.0 + c as f32).ln()).collect() }
+    }
+
+    /// Fit from a dataset's training sequences.
+    pub fn fit(dataset: &Dataset) -> Self {
+        Self::from_counts(&dataset.item_counts())
+    }
+}
+
+impl SequentialScorer for Pop {
+    fn num_items(&self) -> usize {
+        self.scores.len()
+    }
+
+    fn score(&self, _user: UserId, _history: &[ItemId]) -> Vec<f32> {
+        self.scores.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "POP"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_popular_item_scores_highest() {
+        let pop = Pop::from_counts(&[3, 10, 1]);
+        let s = pop.score(0, &[2]);
+        assert!(s[1] > s[0] && s[0] > s[2]);
+        assert_eq!(crate::rank_of(&s, 1), 1);
+    }
+
+    #[test]
+    fn history_is_ignored() {
+        let pop = Pop::from_counts(&[1, 2, 3]);
+        assert_eq!(pop.score(0, &[]), pop.score(5, &[0, 1, 2]));
+    }
+}

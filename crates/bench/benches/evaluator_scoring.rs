@@ -1,0 +1,28 @@
+//! Benchmark evaluator probability queries `P(i | s)` — the inner loop of
+//! every IRS metric (IoI, IoR, log-PPL, Fig. 9 curves).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+use irs_eval::Evaluator;
+use std::hint::black_box;
+
+fn bench_evaluator(c: &mut Criterion) {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    let (test, objectives) = h.test_slice();
+    let tc = &test[0];
+    let obj = objectives[0];
+    let evaluator = Evaluator::new(h.train_bert4rec());
+
+    let mut group = c.benchmark_group("evaluator");
+    group.sample_size(30);
+    group.bench_function("log_prob", |b| {
+        b.iter(|| black_box(evaluator.log_prob(tc.user, &tc.history, obj)))
+    });
+    group.bench_function("rank", |b| {
+        b.iter(|| black_box(evaluator.rank(tc.user, &tc.history, obj)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_evaluator);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Benchmark the Pf2Inf substrate: item-graph construction, Dijkstra and
+//! MST path extraction at realistic catalogue sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_data::synth::{generate, SynthConfig};
+use irs_graph::{dijkstra_path, ItemGraph, MstPaths};
+use std::hint::black_box;
+
+fn bench_graph(c: &mut Criterion) {
+    let out = generate(&SynthConfig::lastfm_like(0.2));
+    let d = &out.dataset;
+
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(20);
+    group.bench_function("build_item_graph", |b| {
+        b.iter(|| black_box(ItemGraph::from_sequences(d.num_items, &d.sequences)))
+    });
+
+    let graph = ItemGraph::from_sequences(d.num_items, &d.sequences);
+    let target = d.num_items - 1;
+    group.bench_function("dijkstra", |b| {
+        b.iter(|| black_box(dijkstra_path(&graph, 0, target)))
+    });
+    group.bench_function("mst_build", |b| b.iter(|| black_box(MstPaths::build(&graph))));
+
+    let mst = MstPaths::build(&graph);
+    group.bench_function("mst_tree_path", |b| {
+        b.iter(|| black_box(mst.tree_path(0, target)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmark the full IRS metric pipeline (Eq. 11–14) on a batch of paths
+//! — this is what each Table III row costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+use irs_core::Vanilla;
+use irs_eval::{evaluate_paths, next_item_metrics, stepwise_evolution, Evaluator};
+use std::hint::black_box;
+
+fn bench_metrics(c: &mut Criterion) {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    let (test, _) = h.test_slice();
+    let pop = h.train_pop();
+    let evaluator = Evaluator::new(h.train_bert4rec());
+    let paths = h.generate_paths(&Vanilla::new(&pop), h.config.m);
+
+    let mut group = c.benchmark_group("metrics");
+    group.sample_size(10);
+    group.bench_function("evaluate_paths", |b| {
+        b.iter(|| black_box(evaluate_paths(&evaluator, &paths)))
+    });
+    group.bench_function("stepwise_evolution", |b| {
+        b.iter(|| black_box(stepwise_evolution(&evaluator, &paths, 5, true)))
+    });
+    group.bench_function("next_item_metrics_pop", |b| {
+        b.iter(|| black_box(next_item_metrics(&pop, &test, 20)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_metrics);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Benchmark influence-path generation (Algorithm 1) for each framework —
+//! the serving-time cost of the system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+use irs_core::{generate_influence_path, Pf2Inf, PathAlgorithm, Rec2Inf, Vanilla};
+use std::hint::black_box;
+
+fn bench_path_generation(c: &mut Criterion) {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    let (test, objectives) = h.test_slice();
+    let tc = &test[0];
+    let obj = objectives[0];
+    let m = h.config.m;
+
+    let pop = h.train_pop();
+    let dist = h.distance();
+    let irn = h.train_irn();
+    let sasrec = h.train_sasrec();
+    let graph = h.item_graph();
+
+    let mut group = c.benchmark_group("path_generation");
+    group.sample_size(20);
+    let dij = Pf2Inf::new(graph, PathAlgorithm::Dijkstra);
+    group.bench_function("pf2inf_dijkstra", |b| {
+        b.iter(|| black_box(generate_influence_path(&dij, tc.user, &tc.history, obj, m)))
+    });
+    let vanilla = Vanilla::new(&pop);
+    group.bench_function("vanilla_pop", |b| {
+        b.iter(|| black_box(generate_influence_path(&vanilla, tc.user, &tc.history, obj, m)))
+    });
+    let rec2inf = Rec2Inf::new(&pop, &dist, 10);
+    group.bench_function("rec2inf_pop", |b| {
+        b.iter(|| black_box(generate_influence_path(&rec2inf, tc.user, &tc.history, obj, m)))
+    });
+    let rec2inf_neural = Rec2Inf::new(&sasrec, &dist, 10);
+    group.bench_function("rec2inf_sasrec", |b| {
+        b.iter(|| black_box(generate_influence_path(&rec2inf_neural, tc.user, &tc.history, obj, m)))
+    });
+    group.bench_function("irn", |b| {
+        b.iter(|| black_box(generate_influence_path(&irn, tc.user, &tc.history, obj, m)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_path_generation);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Micro-benchmarks for the tensor substrate: the kernels that dominate
+//! IRN training time (matmul, batched matmul, softmax, full attention
+//! forward/backward).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use irs_nn::{causal_mask, AttnBias, FwdCtx, MultiHeadAttention, ParamStore};
+use irs_tensor::{Graph, Tensor};
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
+            bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_bmm(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let a = Tensor::randn(&[16, 24, 32], 1.0, &mut rng);
+    let b = Tensor::randn(&[16, 32, 24], 1.0, &mut rng);
+    c.bench_function("bmm_16x24x32", |bch| bch.iter(|| black_box(a.bmm(&b))));
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let x = Tensor::randn(&[64, 512], 1.0, &mut rng);
+    c.bench_function("softmax_64x512", |bch| bch.iter(|| black_box(x.softmax_last())));
+}
+
+fn bench_attention_fwd_bwd(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let mut store = ParamStore::new();
+    let mha = MultiHeadAttention::new(&mut store, "a", 32, 2, 0.0, &mut rng);
+    let input = Tensor::randn(&[8, 20, 32], 1.0, &mut rng);
+    let mask = causal_mask(20);
+    c.bench_function("attention_fwd_bwd_8x20x32", |bch| {
+        bch.iter(|| {
+            let g = Graph::new();
+            let ctx = FwdCtx::new(&g, &store, true, 0);
+            let x = g.constant(input.clone());
+            let y = mha.forward(&ctx, x, &AttnBias::Base(mask.clone()));
+            let loss = y.mul(y).mean_all();
+            store.zero_grad();
+            ctx.backprop(loss);
+            black_box(loss.item())
+        });
+    });
+}
+
+criterion_group!(benches, bench_matmul, bench_bmm, bench_softmax, bench_attention_fwd_bwd);
+criterion_main!(benches);

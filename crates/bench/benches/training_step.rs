@@ -1,0 +1,22 @@
+//! Benchmark full quick-scale training for each neural model — the cost
+//! driver behind every table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+use std::hint::black_box;
+
+fn bench_model_training(c: &mut Criterion) {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    let mut group = c.benchmark_group("train_quick");
+    group.sample_size(10);
+    group.bench_function("irn", |b| b.iter(|| black_box(h.train_irn())));
+    group.bench_function("sasrec", |b| b.iter(|| black_box(h.train_sasrec())));
+    group.bench_function("gru4rec", |b| b.iter(|| black_box(h.train_gru4rec())));
+    group.bench_function("caser", |b| b.iter(|| black_box(h.train_caser())));
+    group.bench_function("bert4rec", |b| b.iter(|| black_box(h.train_bert4rec())));
+    group.bench_function("bpr", |b| b.iter(|| black_box(h.train_bpr())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_training);
+criterion_main!(benches);

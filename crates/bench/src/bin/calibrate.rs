@@ -1,0 +1,33 @@
+//! Calibration probe: verify IRN's objective conditioning is learned at
+//! the standard preset before committing a full report run.  Trains IRN at
+//! two aggressiveness extremes per dataset and prints SR / log(PPL), plus
+//! the objective-blind Type-1 control.
+
+use irs_core::{IrnConfig, MaskType};
+use irs_eval::{evaluate_paths, Evaluator};
+
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+
+fn main() {
+    for kind in [DatasetKind::LastfmLike, DatasetKind::MovielensLike] {
+        let h = Harness::build(HarnessConfig::standard(kind));
+        println!(
+            "== {} ({} users, {} items, {} train subseqs)",
+            h.config.kind.label(),
+            h.dataset.num_users,
+            h.dataset.num_items,
+            h.split.train.len()
+        );
+        let evaluator = Evaluator::new(h.train_bert4rec());
+        for (label, cfg) in [
+            ("Type1 wt=0", IrnConfig { mask_type: MaskType::Causal, ..h.irn_config() }),
+            ("PIM wt=0.5", IrnConfig { wt: 0.5, ..h.irn_config() }),
+            ("PIM wt=1.0", h.irn_config()),
+        ] {
+            let irn = h.train_irn_with(&cfg);
+            let paths = h.generate_paths(&irn, h.config.m);
+            let met = evaluate_paths(&evaluator, &paths);
+            println!("  {label:<12} {met}");
+        }
+    }
+}

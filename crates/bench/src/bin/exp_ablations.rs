@@ -1,0 +1,7 @@
+//! Regenerate the ablation suite (padding, embedding init, decoding,
+//! graph weighting).  Pass `--quick` for the seconds-scale preset.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", irs_bench::experiments::ablations::run(!quick));
+}

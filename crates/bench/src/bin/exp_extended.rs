@@ -1,0 +1,7 @@
+//! Regenerate the extended analyses (path quality, KG-enhanced Pf2Inf).
+//! Pass `--quick` for the seconds-scale preset.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", irs_bench::experiments::extended::run(!quick));
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's fig7 on the synthetic stand-in datasets.
+//! Pass `--quick` for the seconds-scale preset.
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    println!("{}", irs_bench::experiments::fig7::run(!quick));
+}

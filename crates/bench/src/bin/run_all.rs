@@ -1,0 +1,64 @@
+//! Regenerate every table and figure of the paper in one run.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p irs-bench --bin run_all [--quick] [--out FILE]
+//! ```
+//!
+//! `--quick` uses the seconds-scale preset; by default the standard preset
+//! is used (scale with the `IRS_SCALE` environment variable).  With
+//! `--out FILE` the report is also written to a file (used to refresh
+//! `EXPERIMENTS.md`).
+
+use std::io::Write;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let standard = !quick;
+    let out_file = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let experiments: Vec<(&str, fn(bool) -> String)> = vec![
+        ("Table I", irs_bench::experiments::table1::run),
+        ("Table II", irs_bench::experiments::table2::run),
+        ("Table III", irs_bench::experiments::table3::run),
+        ("Table IV", irs_bench::experiments::table4::run),
+        ("Table V", irs_bench::experiments::table5::run),
+        ("Table VI", irs_bench::experiments::table6::run),
+        ("Table VII", irs_bench::experiments::table7::run),
+        ("Figure 6", irs_bench::experiments::fig6::run),
+        ("Figure 7", irs_bench::experiments::fig7::run),
+        ("Figure 8", irs_bench::experiments::fig8::run),
+        ("Figure 9", irs_bench::experiments::fig9::run),
+        ("Ablations", irs_bench::experiments::ablations::run),
+        ("Extended", irs_bench::experiments::extended::run),
+    ];
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "# IRS reproduction report ({} preset)\n\n",
+        if quick { "quick" } else { "standard" }
+    ));
+    let total = Instant::now();
+    for (name, f) in experiments {
+        eprintln!("running {name} ...");
+        let t = Instant::now();
+        let section = f(standard);
+        report.push_str(&section);
+        report.push_str(&format!("\n_{name} regenerated in {:.1?}_\n\n", t.elapsed()));
+        eprintln!("  done in {:.1?}", t.elapsed());
+    }
+    report.push_str(&format!("\nTotal wall-clock: {:.1?}\n", total.elapsed()));
+
+    println!("{report}");
+    if let Some(path) = out_file {
+        let mut f = std::fs::File::create(&path).expect("create output file");
+        f.write_all(report.as_bytes()).expect("write report");
+        eprintln!("report written to {path}");
+    }
+}

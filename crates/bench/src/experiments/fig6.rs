@@ -1,0 +1,86 @@
+//! Figure 6 — success rate `SR_M` as a function of the maximum path
+//! length `M`, for IRN and the strong Rec2Inf baselines.
+//!
+//! Paths are generated once with the largest budget; `SR_M` for smaller
+//! `M` is the fraction of paths that reached the objective within the
+//! first `M` steps (generation stops at the objective, so prefixes are
+//! exactly what a smaller budget would have produced).
+
+use irs_core::{InfluenceRecommender, Rec2Inf};
+use irs_eval::PathRecord;
+
+use crate::render_table;
+
+/// `SR_M` from paths generated with budget `max_m ≥ m`.
+pub fn sr_at(paths: &[PathRecord], m: usize) -> f64 {
+    let hits = paths
+        .iter()
+        .filter(|p| p.success() && p.path.len() <= m)
+        .count();
+    hits as f64 / paths.len().max(1) as f64
+}
+
+/// Regenerate Figure 6.
+pub fn run(standard: bool) -> String {
+    let harnesses = super::both_harnesses(standard);
+    let mut out = String::from("## Figure 6 — SR vs maximum path length M\n\n");
+    for h in &harnesses {
+        let max_m = if standard { 40 } else { h.config.m };
+        let ms: Vec<usize> = [1, 2, 5, 10, 15, 20, 30, 40]
+            .into_iter()
+            .filter(|&m| m <= max_m)
+            .collect();
+        let k = super::default_k(h.dataset.num_items);
+        let dist = h.distance();
+
+        let gru = h.train_gru4rec();
+        let caser = h.train_caser();
+        let sasrec = h.train_sasrec();
+        let irn = h.train_irn();
+
+        let mut rows = Vec::new();
+        let mut add = |name: &str, rec: &(dyn InfluenceRecommender + Sync)| {
+            let paths = h.generate_paths(rec, max_m);
+            let mut row = vec![name.to_string()];
+            row.extend(ms.iter().map(|&m| format!("{:.3}", sr_at(&paths, m))));
+            rows.push(row);
+        };
+        add("Rec2Inf(GRU4Rec)", &Rec2Inf::new(&gru, &dist, k));
+        add("Rec2Inf(Caser)", &Rec2Inf::new(&caser, &dist, k));
+        add("Rec2Inf(SASRec)", &Rec2Inf::new(&sasrec, &dist, k));
+        add("IRN", &irn);
+
+        let mut headers: Vec<String> = vec!["Method".into()];
+        headers.extend(ms.iter().map(|m| format!("M={m}")));
+        let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+        out.push_str(&format!(
+            "### {}\n\n{}\n",
+            h.config.kind.label(),
+            render_table(&header_refs, &rows)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_eval::PathRecord;
+
+    fn rec(objective: usize, path: Vec<usize>) -> PathRecord {
+        PathRecord { user: 0, history: vec![99], objective, path }
+    }
+
+    #[test]
+    fn sr_at_is_monotone_in_m() {
+        let paths = vec![
+            rec(5, vec![1, 5]),          // success at 2
+            rec(6, vec![1, 2, 3, 6]),    // success at 4
+            rec(7, vec![1, 2, 3]),       // failure
+        ];
+        assert_eq!(sr_at(&paths, 1), 0.0);
+        assert!((sr_at(&paths, 2) - 1.0 / 3.0).abs() < 1e-9);
+        assert!((sr_at(&paths, 4) - 2.0 / 3.0).abs() < 1e-9);
+        assert!(sr_at(&paths, 2) <= sr_at(&paths, 4));
+    }
+}

@@ -1,0 +1,44 @@
+//! Figure 8 — distribution of the learned Personalized Impressionability
+//! Factor `r_u` across users.
+
+use irs_eval::histogram;
+
+use crate::render_bars;
+
+/// Regenerate Figure 8.
+pub fn run(standard: bool) -> String {
+    let harnesses = super::both_harnesses(standard);
+    let mut out = String::from("## Figure 8 — distribution of r_u\n\n");
+    for h in &harnesses {
+        let irn = h.train_irn();
+        let rus = irn.all_ru();
+        let bins = if standard { 15 } else { 8 };
+        let hist = histogram(&rus, bins);
+        let points: Vec<(String, f64)> = hist
+            .iter()
+            .map(|&(center, count)| (format!("{center:+.3}"), count as f64))
+            .collect();
+        let mean = rus.iter().sum::<f32>() / rus.len().max(1) as f32;
+        let var = rus.iter().map(|r| (r - mean) * (r - mean)).sum::<f32>()
+            / rus.len().max(1) as f32;
+        out.push_str(&format!(
+            "### {} — {} users, mean {:.4}, std {:.4}\n\n{}\n",
+            h.config.kind.label(),
+            rus.len(),
+            mean,
+            var.sqrt(),
+            render_bars("r_u histogram", &points, 40)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_prints_histograms() {
+        let out = super::run(false);
+        assert!(out.contains("r_u histogram"));
+        assert!(out.contains("mean"));
+    }
+}

@@ -1,0 +1,53 @@
+//! One module per paper table/figure.  Every experiment exposes
+//! `run(standard: bool) -> String`; `standard = false` selects the
+//! seconds-scale quick preset used by integration tests.
+
+pub mod ablations;
+pub mod extended;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+use crate::harness::{DatasetKind, Harness, HarnessConfig};
+use irs_eval::IrsMetrics;
+
+/// Build the two dataset harnesses at the requested fidelity.
+pub(crate) fn both_harnesses(standard: bool) -> Vec<Harness> {
+    [DatasetKind::LastfmLike, DatasetKind::MovielensLike]
+        .into_iter()
+        .map(|kind| {
+            let cfg = if standard {
+                HarnessConfig::standard(kind)
+            } else {
+                HarnessConfig::quick(kind)
+            };
+            Harness::build(cfg)
+        })
+        .collect()
+}
+
+/// Format an [`IrsMetrics`] into the Table III column layout.
+pub(crate) fn metric_cells(m: &IrsMetrics) -> Vec<String> {
+    vec![
+        format!("{:.3}", m.sr),
+        format!("{:+.3}", m.ioi),
+        format!("{:+.1}", m.ior),
+        if m.log_ppl.is_nan() { "n/a".into() } else { format!("{:.2}", m.log_ppl) },
+    ]
+}
+
+/// Candidate-set size for Rec2Inf, scaled to the catalogue.  The paper
+/// uses `k = 50` on catalogues of ~3 000 items (≈2%); keeping the ratio
+/// rather than the absolute value preserves the aggressiveness semantics
+/// at reduced scale.
+pub(crate) fn default_k(num_items: usize) -> usize {
+    (num_items / 50).clamp(3, 50)
+}

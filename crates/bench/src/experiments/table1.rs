@@ -1,0 +1,41 @@
+//! Table I — dataset statistics after preprocessing.
+
+use irs_data::stats::dataset_stats;
+
+use crate::render_table;
+
+/// Regenerate Table I.
+pub fn run(standard: bool) -> String {
+    let harnesses = super::both_harnesses(standard);
+    let rows: Vec<Vec<String>> = harnesses
+        .iter()
+        .map(|h| {
+            let s = dataset_stats(&h.dataset);
+            vec![
+                s.name.clone(),
+                s.users.to_string(),
+                s.items.to_string(),
+                s.interactions.to_string(),
+                format!("{:.2}%", s.density_pct),
+                format!("{:.0}", s.avg_items_per_user),
+            ]
+        })
+        .collect();
+    format!(
+        "## Table I — dataset statistics after preprocessing\n\n{}",
+        render_table(
+            &["Dataset", "Users", "Items", "Interactions", "Density", "Avg items/user"],
+            &rows
+        )
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_produces_two_rows() {
+        let out = super::run(false);
+        assert!(out.contains("lastfm-like"));
+        assert!(out.contains("movielens-like"));
+    }
+}

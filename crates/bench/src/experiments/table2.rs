@@ -1,0 +1,64 @@
+//! Table II — performance of the IRS evaluator candidates (HR@20, MRR).
+//!
+//! Trains GRU4Rec, Caser, SASRec and Bert4Rec on each dataset and ranks
+//! them on the held-out next-item task; the best model (Bert4Rec in the
+//! paper) becomes the evaluator used by every other experiment.
+
+use irs_baselines::SequentialScorer;
+use irs_eval::next_item_metrics;
+
+use crate::render_table;
+
+/// Regenerate Table II.  Returns the report; the winner per dataset is
+/// stated below the table.
+pub fn run(standard: bool) -> String {
+    let harnesses = super::both_harnesses(standard);
+    let mut headers: Vec<String> = vec!["Method".into()];
+    for h in &harnesses {
+        headers.push(format!("{} HR@20", h.config.kind.label()));
+        headers.push("MRR".into());
+    }
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+
+    // rows[model][dataset] = (hr, mrr)
+    let model_names = ["GRU4Rec", "Caser", "SASRec", "Bert4Rec"];
+    let mut cells: Vec<Vec<String>> =
+        model_names.iter().map(|n| vec![n.to_string()]).collect();
+    let mut winners = Vec::new();
+
+    for h in &harnesses {
+        let (test, _) = h.test_slice();
+        let gru = h.train_gru4rec();
+        let caser = h.train_caser();
+        let sasrec = h.train_sasrec();
+        let bert = h.train_bert4rec();
+        let scorers: Vec<&dyn SequentialScorer> = vec![&gru, &caser, &sasrec, &bert];
+        let mut best = (f64::MIN, "");
+        for (row, scorer) in cells.iter_mut().zip(&scorers) {
+            let m = next_item_metrics(scorer, &test, 20);
+            row.push(format!("{:.4}", m.hr));
+            row.push(format!("{:.4}", m.mrr));
+            if m.hr > best.0 {
+                best = (m.hr, scorer.name());
+            }
+        }
+        winners.push(format!("{}: {}", h.config.kind.label(), best.1));
+    }
+
+    format!(
+        "## Table II — IRS evaluator candidates (HR@20 / MRR)\n\n{}\nSelected evaluator — {}\n",
+        render_table(&header_refs, &cells),
+        winners.join("; ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn quick_run_reports_all_candidates() {
+        let out = super::run(false);
+        for name in ["GRU4Rec", "Caser", "SASRec", "Bert4Rec", "Selected evaluator"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+}

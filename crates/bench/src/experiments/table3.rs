@@ -1,0 +1,93 @@
+//! Table III — overall comparison of all IRS approaches at `M = 20`:
+//! Pf2Inf (Dijkstra, MST), the six Vanilla baselines, the six Rec2Inf
+//! adaptations and IRN, scored with SR / IoI / IoR / log(PPL).
+
+use irs_core::{InfluenceRecommender, Pf2Inf, PathAlgorithm, Rec2Inf, Vanilla};
+use irs_eval::{evaluate_paths, Evaluator};
+
+use crate::harness::Harness;
+use crate::render_table;
+
+/// Regenerate Table III for one harness.
+pub fn run_one(h: &Harness) -> String {
+    let m = h.config.m;
+    let evaluator = Evaluator::new(h.train_bert4rec());
+    let dist = h.distance();
+    let k = super::default_k(h.dataset.num_items);
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut add = |group: &str, name: String, rec: &(dyn InfluenceRecommender + Sync)| {
+        let paths = h.generate_paths(rec, m);
+        let met = evaluate_paths(&evaluator, &paths);
+        let mut row = vec![group.to_string(), name];
+        row.extend(super::metric_cells(&met));
+        rows.push(row);
+    };
+
+    // Pf2Inf.
+    let graph = h.item_graph();
+    let dij = Pf2Inf::new(graph.clone(), PathAlgorithm::Dijkstra);
+    add("Pf2Inf", "Dijkstra".into(), &dij);
+    let mst = Pf2Inf::new(graph, PathAlgorithm::Mst);
+    add("Pf2Inf", "MST".into(), &mst);
+
+    // Backbones (trained once, shared by Vanilla and Rec2Inf).
+    let pop = h.train_pop();
+    let bpr = h.train_bpr();
+    let transrec = h.train_transrec();
+    let gru = h.train_gru4rec();
+    let caser = h.train_caser();
+    let sasrec = h.train_sasrec();
+
+    add("Vanilla", "POP".into(), &Vanilla::new(&pop));
+    add("Vanilla", "BPR".into(), &Vanilla::new(&bpr));
+    add("Vanilla", "TransRec".into(), &Vanilla::new(&transrec));
+    add("Vanilla", "GRU4Rec".into(), &Vanilla::new(&gru));
+    add("Vanilla", "Caser".into(), &Vanilla::new(&caser));
+    add("Vanilla", "SASRec".into(), &Vanilla::new(&sasrec));
+
+    add("Rec2Inf", "POP".into(), &Rec2Inf::new(&pop, &dist, k));
+    add("Rec2Inf", "BPR".into(), &Rec2Inf::new(&bpr, &dist, k));
+    add("Rec2Inf", "TransRec".into(), &Rec2Inf::new(&transrec, &dist, k));
+    add("Rec2Inf", "GRU4Rec".into(), &Rec2Inf::new(&gru, &dist, k));
+    add("Rec2Inf", "Caser".into(), &Rec2Inf::new(&caser, &dist, k));
+    add("Rec2Inf", "SASRec".into(), &Rec2Inf::new(&sasrec, &dist, k));
+
+    // IRN.
+    let irn = h.train_irn();
+    add("IRN", "IRN".into(), &irn);
+
+    format!(
+        "### {} (M = {m}, k = {k})\n\n{}",
+        h.config.kind.label(),
+        render_table(
+            &["Framework", "Method", &format!("SR{m}"), &format!("IoI{m}"), &format!("IoR{m}"), "log(PPL)"],
+            &rows
+        )
+    )
+}
+
+/// Regenerate Table III for both datasets.
+pub fn run(standard: bool) -> String {
+    let harnesses = super::both_harnesses(standard);
+    let mut out = String::from("## Table III — overall comparison of IRS approaches\n\n");
+    for h in &harnesses {
+        out.push_str(&run_one(h));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::harness::{DatasetKind, Harness, HarnessConfig};
+
+    #[test]
+    fn quick_table3_contains_all_frameworks() {
+        let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+        let out = super::run_one(&h);
+        for name in ["Dijkstra", "MST", "Vanilla", "Rec2Inf", "IRN"] {
+            assert!(out.contains(name), "missing {name} in:\n{out}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Stepwise user dynamics — the paper's future-work direction §V-(4).
+//!
+//! The offline protocol assumes the user passively accepts every
+//! recommendation.  This module drops that assumption: a [`UserModel`]
+//! accepts or rejects each recommended item, and
+//! [`run_interactive_session`] lets the recommender *re-plan* after a
+//! rejection ("the IRS needs to alter its strategy by recommending another
+//! item to persuade the user towards the objective").
+//!
+//! Rejected items are excluded from subsequent proposals via the
+//! [`InfluenceRecommender`] path argument trick: the driver keeps a
+//! blocklist and asks for alternatives until the user accepts, the
+//! per-step patience runs out, or the path budget is exhausted.
+
+use irs_data::{ItemId, UserId};
+
+use crate::InfluenceRecommender;
+
+/// A simulated user deciding whether to accept a recommended item.
+pub trait UserModel {
+    /// Decide on `item` given the accepted context so far (history ⊕
+    /// accepted path items).  Implementations may be stochastic but should
+    /// be deterministic for a fixed internal seed to keep experiments
+    /// reproducible.
+    fn accepts(&mut self, user: UserId, context: &[ItemId], item: ItemId) -> bool;
+}
+
+/// Accepts an item iff its probability under a scoring function exceeds a
+/// threshold percentile of the score distribution.
+///
+/// `quantile = 0.0` accepts everything (the paper's passive assumption);
+/// higher quantiles simulate pickier users.
+pub struct ThresholdUser<F> {
+    score_fn: F,
+    quantile: f32,
+}
+
+impl<F> ThresholdUser<F>
+where
+    F: FnMut(UserId, &[ItemId]) -> Vec<f32>,
+{
+    /// Create a user that accepts items scoring above the given quantile
+    /// of the candidate distribution.
+    pub fn new(score_fn: F, quantile: f32) -> Self {
+        assert!((0.0..1.0).contains(&quantile), "quantile must be in [0,1)");
+        ThresholdUser { score_fn, quantile }
+    }
+}
+
+impl<F> UserModel for ThresholdUser<F>
+where
+    F: FnMut(UserId, &[ItemId]) -> Vec<f32>,
+{
+    fn accepts(&mut self, user: UserId, context: &[ItemId], item: ItemId) -> bool {
+        let scores = (self.score_fn)(user, context);
+        if item >= scores.len() {
+            return false;
+        }
+        let mut sorted = scores.clone();
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let idx = ((sorted.len() as f32 - 1.0) * self.quantile) as usize;
+        scores[item] >= sorted[idx]
+    }
+}
+
+/// Outcome of one interactive persuasion session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionOutcome {
+    /// Items the user accepted, in order (the realised influence path).
+    pub accepted: Vec<ItemId>,
+    /// Items the user rejected, in order of proposal.
+    pub rejected: Vec<ItemId>,
+    /// Whether the objective was accepted.
+    pub reached_objective: bool,
+    /// Total number of proposals made (accepted + rejected).
+    pub proposals: usize,
+}
+
+impl SessionOutcome {
+    /// Rejection rate over all proposals.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.proposals == 0 {
+            0.0
+        } else {
+            self.rejected.len() as f64 / self.proposals as f64
+        }
+    }
+}
+
+/// Run an interactive persuasion session.
+///
+/// At each step the recommender proposes the next path item for the
+/// *accepted* context; if the user rejects it, the item joins a blocklist
+/// and the recommender is asked again (up to `patience` rejections per
+/// step).  The session ends when the objective is accepted, the budget of
+/// `max_len` accepted items is reached, per-step patience is exhausted, or
+/// the recommender gives up.
+pub fn run_interactive_session<R, U>(
+    rec: &R,
+    user_model: &mut U,
+    user: UserId,
+    history: &[ItemId],
+    objective: ItemId,
+    max_len: usize,
+    patience: usize,
+) -> SessionOutcome
+where
+    R: InfluenceRecommender + ?Sized,
+    U: UserModel + ?Sized,
+{
+    let mut accepted: Vec<ItemId> = Vec::new();
+    let mut rejected: Vec<ItemId> = Vec::new();
+    let mut proposals = 0usize;
+
+    'outer: while accepted.len() < max_len {
+        // The "virtual path" shown to the recommender contains accepted
+        // items plus this step's rejected proposals, so it never proposes
+        // a rejected item again.
+        let mut step_rejections = 0usize;
+        loop {
+            let mut virtual_path = accepted.clone();
+            virtual_path.extend_from_slice(&rejected);
+            let Some(item) = rec.next_item(user, history, objective, &virtual_path) else {
+                break 'outer;
+            };
+            proposals += 1;
+            let mut context = history.to_vec();
+            context.extend_from_slice(&accepted);
+            if user_model.accepts(user, &context, item) {
+                accepted.push(item);
+                if item == objective {
+                    return SessionOutcome {
+                        accepted,
+                        rejected,
+                        reached_objective: true,
+                        proposals,
+                    };
+                }
+                break;
+            }
+            rejected.push(item);
+            step_rejections += 1;
+            if step_rejections > patience {
+                break 'outer;
+            }
+        }
+    }
+    SessionOutcome { accepted, rejected, reached_objective: false, proposals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Recommender that proposes items 10, 11, 12, … skipping anything in
+    /// the path, and finally the objective.
+    struct Counting {
+        objective_after: usize,
+    }
+
+    impl InfluenceRecommender for Counting {
+        fn name(&self) -> String {
+            "counting".into()
+        }
+        fn next_item(
+            &self,
+            _user: UserId,
+            _history: &[ItemId],
+            objective: ItemId,
+            path: &[ItemId],
+        ) -> Option<ItemId> {
+            if path.len() >= self.objective_after {
+                return Some(objective);
+            }
+            let mut candidate = 10;
+            while path.contains(&candidate) {
+                candidate += 1;
+            }
+            Some(candidate)
+        }
+    }
+
+    /// Accepts everything.
+    struct Agreeable;
+
+    impl UserModel for Agreeable {
+        fn accepts(&mut self, _u: UserId, _c: &[ItemId], _i: ItemId) -> bool {
+            true
+        }
+    }
+
+    /// Rejects a fixed set of items.
+    struct Picky(Vec<ItemId>);
+
+    impl UserModel for Picky {
+        fn accepts(&mut self, _u: UserId, _c: &[ItemId], i: ItemId) -> bool {
+            !self.0.contains(&i)
+        }
+    }
+
+    #[test]
+    fn passive_user_reproduces_offline_protocol() {
+        let rec = Counting { objective_after: 3 };
+        let mut user = Agreeable;
+        let out = run_interactive_session(&rec, &mut user, 0, &[1], 99, 10, 3);
+        assert!(out.reached_objective);
+        assert_eq!(out.accepted.len(), 4); // 3 fillers + objective
+        assert!(out.rejected.is_empty());
+        assert_eq!(out.rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn rejected_items_are_replaced_not_repeated() {
+        let rec = Counting { objective_after: 2 };
+        let mut user = Picky(vec![10]); // rejects the first proposal
+        let out = run_interactive_session(&rec, &mut user, 0, &[1], 99, 10, 3);
+        assert!(out.reached_objective);
+        assert_eq!(out.rejected, vec![10]);
+        assert!(!out.accepted.contains(&10));
+        // The replacement proposal (11) was accepted instead.
+        assert!(out.accepted.contains(&11));
+    }
+
+    #[test]
+    fn patience_bounds_per_step_rejections() {
+        let rec = Counting { objective_after: 100 };
+        // Rejects everything the recommender can propose.
+        struct Never;
+        impl UserModel for Never {
+            fn accepts(&mut self, _u: UserId, _c: &[ItemId], _i: ItemId) -> bool {
+                false
+            }
+        }
+        let out = run_interactive_session(&rec, &mut Never, 0, &[1], 99, 10, 2);
+        assert!(!out.reached_objective);
+        assert!(out.accepted.is_empty());
+        assert_eq!(out.rejected.len(), 3); // patience 2 => 3 proposals then stop
+    }
+
+    #[test]
+    fn budget_caps_accepted_items() {
+        let rec = Counting { objective_after: 100 };
+        let out = run_interactive_session(&rec, &mut Agreeable, 0, &[1], 99, 4, 3);
+        assert_eq!(out.accepted.len(), 4);
+        assert!(!out.reached_objective);
+    }
+
+    #[test]
+    fn threshold_user_accepts_top_items_only() {
+        // Scores favour small item ids; a 0.5-quantile user accepts the
+        // upper half.
+        let mut user = ThresholdUser::new(
+            |_u, _c: &[ItemId]| vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.0],
+            0.5,
+        );
+        assert!(user.accepts(0, &[], 0));
+        assert!(user.accepts(0, &[], 2));
+        assert!(!user.accepts(0, &[], 5));
+    }
+}

@@ -1,0 +1,570 @@
+//! The Influential Recommender Network (IRN), §III-D.
+//!
+//! Architecture (Fig. 4): item embedding (optionally initialised from
+//! item2vec) + learned positional encoding → a stack of `L` decoder layers
+//! whose self-attention uses the **Personalized Impressionability Mask**
+//! (PIM) → linear projection to item logits.
+//!
+//! ## PIM (Fig. 5)
+//!
+//! Input sequences are pre-padded so the objective item occupies the fixed
+//! final position `T−1`.  On top of the causal (lower-triangular) mask:
+//!
+//! * **Type 1** (`MaskType::Causal`): nothing — the objective column is
+//!   invisible like any other future position (`w_h = w_t = 0`).
+//! * **Type 2** (`MaskType::ObjectiveUniform`): column `T−1` is revealed to
+//!   every query with a uniform additive weight `w_t`.
+//! * **Type 3** (`MaskType::ObjectivePersonalized`): the additive weight is
+//!   `w_t · r_u` with `r_u = W_U · e(u)` learned per user — gradients flow
+//!   into the user embedding through the attention mask.
+//!
+//! ## Training objective (Eq. 8–9)
+//!
+//! Minimise the conditional perplexity of real subsequences whose last item
+//! is the objective: standard shifted cross-entropy over the pre-padded
+//! sequence, ignoring PAD targets.
+
+use irs_data::split::{pad_to, PaddingScheme, SubSeq};
+use irs_data::{pad_token, ItemId, UserId};
+use irs_embed::ItemEmbeddings;
+use irs_nn::{
+    broadcast_then_add, causal_mask, causal_mask_with_objective, clip_grad_norm, key_padding_mask,
+    Adam, AttnBias, Embedding, FwdCtx, Linear, Optimizer, ParamStore, PositionalEncoding,
+    ReduceLrOnPlateau, TransformerBlock,
+};
+use irs_tensor::{Graph, Tensor, Var};
+use rand::SeedableRng;
+
+use crate::InfluenceRecommender;
+use irs_baselines::NeuralTrainConfig;
+
+/// PIM variants (Table V ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaskType {
+    /// Type 1: plain causal mask; the objective is invisible.
+    Causal,
+    /// Type 2: objective column with uniform weight `w_t`.
+    ObjectiveUniform,
+    /// Type 3: objective column with personalized weight `w_t · r_u`.
+    ObjectivePersonalized,
+}
+
+/// IRN hyperparameters (paper Table VI).
+#[derive(Debug, Clone)]
+pub struct IrnConfig {
+    /// Item-embedding / model width `d`.
+    pub dim: usize,
+    /// User-embedding width `d'`.
+    pub user_dim: usize,
+    /// Decoder layers `L`.
+    pub layers: usize,
+    /// Attention heads `h`.
+    pub heads: usize,
+    /// Total input length `T = l_max + 1` (subsequence + objective slot is
+    /// already part of the subsequence; `max_len` is the padded length).
+    pub max_len: usize,
+    /// Dropout probability.
+    pub dropout: f32,
+    /// Objective mask weight `w_t`.
+    pub wt: f32,
+    /// Mask variant.
+    pub mask_type: MaskType,
+    /// Padding scheme (§III-D5 argues for pre-padding; post-padding is the
+    /// ablation).
+    pub padding: PaddingScheme,
+    /// Shared training options.
+    pub train: NeuralTrainConfig,
+}
+
+impl Default for IrnConfig {
+    fn default() -> Self {
+        IrnConfig {
+            dim: 32,
+            user_dim: 8,
+            layers: 2,
+            heads: 2,
+            max_len: 24,
+            dropout: 0.1,
+            wt: 1.0,
+            mask_type: MaskType::ObjectivePersonalized,
+            padding: PaddingScheme::Pre,
+            train: NeuralTrainConfig::default(),
+        }
+    }
+}
+
+/// A trained IRN.
+pub struct Irn {
+    store: ParamStore,
+    emb: Embedding,
+    pos: PositionalEncoding,
+    blocks: Vec<TransformerBlock>,
+    user_emb: Embedding,
+    wu: Linear,
+    out: Linear,
+    config: IrnConfig,
+    num_items: usize,
+    num_users: usize,
+}
+
+impl Irn {
+    /// Train IRN on subsequences (each subsequence's last item is its
+    /// objective).  `pretrained` seeds the item-embedding table from
+    /// item2vec vectors when the dimensions match (§III-D1); `val` drives
+    /// the reduce-on-plateau scheduler when non-empty.
+    pub fn fit(
+        train: &[SubSeq],
+        val: &[SubSeq],
+        num_items: usize,
+        num_users: usize,
+        config: &IrnConfig,
+        pretrained: Option<&ItemEmbeddings>,
+    ) -> Self {
+        assert!(config.max_len >= 3, "max_len must allow context + objective");
+        let vocab = num_items + 1;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.train.seed);
+        let mut store = ParamStore::new();
+
+        let emb = match pretrained {
+            Some(p) if p.dim() == config.dim && p.num_items() == num_items => {
+                // item2vec rows for real items; small random row for PAD.
+                let mut table = Tensor::randn(&[vocab, config.dim], 0.01, &mut rng);
+                let d = config.dim;
+                table.data_mut()[..num_items * d].copy_from_slice(p.as_flat());
+                Embedding::from_pretrained(&mut store, "irn.emb", table)
+            }
+            _ => Embedding::new(&mut store, "irn.emb", vocab, config.dim, &mut rng),
+        };
+        let pos = PositionalEncoding::new(&mut store, "irn", config.max_len, config.dim, &mut rng);
+        let blocks: Vec<TransformerBlock> = (0..config.layers)
+            .map(|l| {
+                TransformerBlock::new(
+                    &mut store,
+                    &format!("irn.block{l}"),
+                    config.dim,
+                    config.heads,
+                    config.dropout,
+                    &mut rng,
+                )
+            })
+            .collect();
+        let user_emb =
+            Embedding::new(&mut store, "irn.user", num_users.max(1), config.user_dim, &mut rng);
+        let wu = Linear::new(&mut store, "irn.wu", config.user_dim, 1, true, &mut rng);
+        let out = Linear::new(&mut store, "irn.out", config.dim, vocab, true, &mut rng);
+
+        let mut model = Irn {
+            store,
+            emb,
+            pos,
+            blocks,
+            user_emb,
+            wu,
+            out,
+            config: config.clone(),
+            num_items,
+            num_users: num_users.max(1),
+        };
+
+        let mut opt = Adam::new(config.train.lr);
+        let mut sched = ReduceLrOnPlateau::new(1);
+        let mut step = 0u64;
+        for epoch in 0..config.train.epochs {
+            use rand::seq::SliceRandom;
+            let mut order: Vec<usize> = (0..train.len()).collect();
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut n = 0usize;
+            for chunk in order.chunks(config.train.batch_size) {
+                let batch: Vec<&SubSeq> = chunk.iter().map(|&i| &train[i]).collect();
+                let loss = model.train_step(&batch, step, &mut opt);
+                step += 1;
+                epoch_loss += loss;
+                n += 1;
+            }
+            let train_loss = epoch_loss / n.max(1) as f32;
+            let monitored = if val.is_empty() {
+                train_loss
+            } else {
+                model.dataset_loss(val)
+            };
+            sched.observe(monitored, &mut opt);
+            if config.train.verbose {
+                println!(
+                    "IRN epoch {epoch}: train {train_loss:.4}, monitored {monitored:.4}, lr {:.2e}",
+                    opt.lr()
+                );
+            }
+        }
+        model
+    }
+
+    /// Inference-time objective weight (the aggressiveness knob of Fig. 7
+    /// can be swept without retraining, though the experiments retrain).
+    pub fn set_wt(&mut self, wt: f32) {
+        self.config.wt = wt;
+    }
+
+    /// Current objective mask weight.
+    pub fn wt(&self) -> f32 {
+        self.config.wt
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &IrnConfig {
+        &self.config
+    }
+
+    /// Number of real items.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Serialise the trained parameters (IRSP format, see
+    /// `irs_nn::ParamStore::save_parameters`).
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        self.store.save_parameters(writer)
+    }
+
+    /// Reconstruct a model of the given architecture and load trained
+    /// parameters into it.  The config, item count and user count must
+    /// match the saved model exactly (checked by name/shape).
+    pub fn load<R: std::io::Read>(
+        reader: R,
+        num_items: usize,
+        num_users: usize,
+        config: &IrnConfig,
+    ) -> std::io::Result<Self> {
+        let mut arch_cfg = config.clone();
+        arch_cfg.train.epochs = 0; // build architecture only
+        let mut model = Irn::fit(&[], &[], num_items, num_users, &arch_cfg, None);
+        model.config = config.clone();
+        model.store.load_parameters(reader)?;
+        Ok(model)
+    }
+
+    /// The learned personalized impressionability factor `r_u` (Fig. 8).
+    pub fn ru(&self, user: UserId) -> f32 {
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &self.store, false, 0);
+        let e = self.user_emb.lookup(&ctx, &[user % self.num_users]);
+        self.wu.forward2d(&ctx, e).item()
+    }
+
+    /// `r_u` for every user.
+    pub fn all_ru(&self) -> Vec<f32> {
+        (0..self.num_users).map(|u| self.ru(u)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Forward passes
+    // ------------------------------------------------------------------
+
+    /// Assemble the PIM attention bias for a batch.
+    fn build_bias<'g>(
+        &self,
+        ctx: &FwdCtx<'g, '_>,
+        users: &[UserId],
+        pad_lens: &[usize],
+    ) -> AttnBias<'g> {
+        let t = self.config.max_len;
+        let keypad = key_padding_mask(t, pad_lens);
+        match self.config.mask_type {
+            MaskType::Causal => AttnBias::Base(broadcast_then_add(&causal_mask(t), &keypad)),
+            MaskType::ObjectiveUniform => AttnBias::Base(broadcast_then_add(
+                &causal_mask_with_objective(t, t - 1, self.config.wt),
+                &keypad,
+            )),
+            MaskType::ObjectivePersonalized => {
+                // Objective column visible (weight 0 in the base); the
+                // learned part w_t·r_u is added differentiably.
+                let base =
+                    broadcast_then_add(&causal_mask_with_objective(t, t - 1, 0.0), &keypad);
+                let idx: Vec<UserId> = users.iter().map(|&u| u % self.num_users).collect();
+                let e = self.user_emb.lookup(ctx, &idx);
+                let ru = self.wu.forward2d(ctx, e).reshape(&[users.len()]);
+                AttnBias::BaseWithScaledColumn {
+                    base,
+                    col: t - 1,
+                    scale: ru,
+                    weight: self.config.wt,
+                }
+            }
+        }
+    }
+
+    /// Decoder forward: `[B][T]` tokens -> logits `[B, T, vocab]`.
+    fn decode<'g>(
+        &self,
+        ctx: &FwdCtx<'g, '_>,
+        users: &[UserId],
+        inputs: &[Vec<ItemId>],
+        pad_lens: &[usize],
+    ) -> Var<'g> {
+        let bias = self.build_bias(ctx, users, pad_lens);
+        let mut h = self.pos.add_to(ctx, self.emb.lookup_seq(ctx, inputs));
+        for block in &self.blocks {
+            h = block.forward(ctx, h, &bias);
+        }
+        self.out.forward3d(ctx, h)
+    }
+
+    /// Pre-padded batch tensors for a set of subsequences.
+    #[allow(clippy::type_complexity)]
+    fn prepare_batch(
+        &self,
+        batch: &[&SubSeq],
+    ) -> (Vec<UserId>, Vec<Vec<ItemId>>, Vec<ItemId>, Vec<usize>) {
+        let pad = pad_token(self.num_items);
+        let t = self.config.max_len;
+        let mut users = Vec::with_capacity(batch.len());
+        let mut inputs = Vec::with_capacity(batch.len());
+        let mut targets = Vec::with_capacity(batch.len() * t);
+        let mut pad_lens = Vec::with_capacity(batch.len());
+        for s in batch {
+            users.push(s.user);
+            let padded = pad_to(&s.items, t, pad, self.config.padding);
+            // Shifted targets: position p predicts token p+1; the final
+            // position (the objective itself) has no successor.
+            for p in 0..t {
+                targets.push(if p + 1 < t { padded[p + 1] } else { pad });
+            }
+            pad_lens.push(padded.iter().take_while(|&&x| x == pad).count());
+            inputs.push(padded);
+        }
+        (users, inputs, targets, pad_lens)
+    }
+
+    fn train_step(&mut self, batch: &[&SubSeq], step: u64, opt: &mut Adam) -> f32 {
+        let pad = pad_token(self.num_items);
+        let t = self.config.max_len;
+        let (users, inputs, targets, pad_lens) = self.prepare_batch(batch);
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &self.store, true, step);
+        let logits = self
+            .decode(&ctx, &users, &inputs, &pad_lens)
+            .reshape(&[batch.len() * t, self.num_items + 1]);
+        let loss = logits.cross_entropy(&targets, pad);
+        let loss_val = loss.item();
+        self.store.zero_grad();
+        ctx.backprop(loss);
+        drop(ctx);
+        clip_grad_norm(&self.store, self.config.train.clip);
+        opt.step(&mut self.store);
+        loss_val
+    }
+
+    /// Mean shifted cross-entropy over a dataset (validation loss; also the
+    /// model perplexity of Eq. 8 in log form).
+    pub fn dataset_loss(&self, seqs: &[SubSeq]) -> f32 {
+        if seqs.is_empty() {
+            return f32::NAN;
+        }
+        let pad = pad_token(self.num_items);
+        let t = self.config.max_len;
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for chunk in seqs.chunks(16) {
+            let batch: Vec<&SubSeq> = chunk.iter().collect();
+            let (users, inputs, targets, pad_lens) = self.prepare_batch(&batch);
+            let g = Graph::new();
+            let ctx = FwdCtx::new(&g, &self.store, false, 0);
+            let logits = self
+                .decode(&ctx, &users, &inputs, &pad_lens)
+                .reshape(&[batch.len() * t, self.num_items + 1]);
+            total += logits.cross_entropy(&targets, pad).item();
+            n += 1;
+        }
+        total / n as f32
+    }
+
+    /// Next-item logits given a context and the objective: the context is
+    /// pre-padded to end at position `T−2` with the objective pinned at
+    /// `T−1`; the returned scores are the logits at the last context
+    /// position (PAD logit removed).
+    pub fn score_next(&self, user: UserId, context: &[ItemId], objective: ItemId) -> Vec<f32> {
+        let pad = pad_token(self.num_items);
+        let t = self.config.max_len;
+        // Keep the most recent T−1 tokens of context ⊕ objective.
+        let mut seq: Vec<ItemId> = context.to_vec();
+        seq.push(objective);
+        let padded = pad_to(&seq, t, pad, self.config.padding);
+        let pad_len = padded.iter().take_while(|&&x| x == pad).count();
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &self.store, false, 0);
+        let logits = self
+            .decode(&ctx, &[user], &[padded], &[pad_len])
+            .select_step(t - 2)
+            .value();
+        logits.data()[..self.num_items].to_vec()
+    }
+}
+
+impl InfluenceRecommender for Irn {
+    fn name(&self) -> String {
+        "IRN".into()
+    }
+
+    fn next_item(
+        &self,
+        user: UserId,
+        history: &[ItemId],
+        objective: ItemId,
+        path: &[ItemId],
+    ) -> Option<ItemId> {
+        let mut context = history.to_vec();
+        context.extend_from_slice(path);
+        let scores = self.score_next(user, &context, objective);
+        crate::masked_argmax(
+            &scores,
+            history.iter().chain(path.iter()).copied().filter(|&i| i != objective),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Genre-block world: items 0..4 are genre A, 5..9 genre B, with
+    /// bridge transitions 4↔5.  Objectives pull sessions toward their
+    /// genre.
+    fn block_seqs(n: usize) -> Vec<SubSeq> {
+        let mut seqs = Vec::new();
+        for s in 0..n {
+            let (base, off) = if s % 2 == 0 { (0, s) } else { (5, s) };
+            let items: Vec<ItemId> = (0..8).map(|k| base + (off + k) % 5).collect();
+            seqs.push(SubSeq { user: s % 6, items });
+        }
+        // A few cross-genre bridge sequences ending in genre B.
+        for s in 0..n / 2 {
+            let items: Vec<ItemId> = vec![s % 5, (s + 1) % 5, 4, 5, 5 + (s + 1) % 5, 5 + (s + 2) % 5];
+            seqs.push(SubSeq { user: s % 6, items });
+        }
+        seqs
+    }
+
+    fn quick_config() -> IrnConfig {
+        IrnConfig {
+            dim: 16,
+            user_dim: 4,
+            layers: 1,
+            heads: 2,
+            max_len: 10,
+            dropout: 0.0,
+            wt: 1.0,
+            mask_type: MaskType::ObjectivePersonalized,
+            padding: PaddingScheme::Pre,
+            train: NeuralTrainConfig { epochs: 6, lr: 3e-3, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn trains_and_loss_decreases() {
+        let seqs = block_seqs(24);
+        let cfg = quick_config();
+        // Loss of an untrained (0-epoch) model vs trained model.
+        let untrained = Irn::fit(&seqs, &[], 10, 6, &IrnConfig { train: NeuralTrainConfig { epochs: 0, ..cfg.train.clone() }, ..cfg.clone() }, None);
+        let trained = Irn::fit(&seqs, &[], 10, 6, &cfg, None);
+        let lu = untrained.dataset_loss(&seqs);
+        let lt = trained.dataset_loss(&seqs);
+        assert!(lt < lu * 0.8, "training must reduce loss: {lu} -> {lt}");
+    }
+
+    #[test]
+    fn score_next_has_item_length_and_is_finite() {
+        let seqs = block_seqs(12);
+        let model = Irn::fit(&seqs, &[], 10, 6, &quick_config(), None);
+        let s = model.score_next(0, &[0, 1, 2], 7);
+        assert_eq!(s.len(), 10);
+        assert!(s.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn next_item_never_repeats_context() {
+        let seqs = block_seqs(12);
+        let model = Irn::fit(&seqs, &[], 10, 6, &quick_config(), None);
+        let path = crate::generate_influence_path(&model, 0, &[0, 1], 9, 6);
+        let mut seen = vec![0, 1];
+        for &i in &path {
+            assert!(!seen.contains(&i) || i == 9, "item {i} repeated");
+            seen.push(i);
+        }
+    }
+
+    #[test]
+    fn ru_is_finite_and_user_specific() {
+        let seqs = block_seqs(24);
+        let model = Irn::fit(&seqs, &[], 10, 6, &quick_config(), None);
+        let rus = model.all_ru();
+        assert_eq!(rus.len(), 6);
+        assert!(rus.iter().all(|r| r.is_finite()));
+    }
+
+    #[test]
+    fn objective_changes_the_recommendation_distribution() {
+        // With the PIM, swapping the objective must change the scores
+        // (Type 1 causal masking would not see it at all).
+        let seqs = block_seqs(24);
+        let model = Irn::fit(&seqs, &[], 10, 6, &quick_config(), None);
+        let s_a = model.score_next(0, &[0, 1, 2], 8);
+        let s_b = model.score_next(0, &[0, 1, 2], 3);
+        let diff: f32 = s_a.iter().zip(&s_b).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3, "objective must influence the distribution (diff {diff})");
+    }
+
+    #[test]
+    fn causal_mask_type_ignores_objective_content() {
+        // Type 1: objective token is masked everywhere except its own
+        // query row, and predictions are read at T−2, so two different
+        // objectives must give identical scores.
+        let seqs = block_seqs(12);
+        let cfg = IrnConfig { mask_type: MaskType::Causal, ..quick_config() };
+        let model = Irn::fit(&seqs, &[], 10, 6, &cfg, None);
+        let s_a = model.score_next(0, &[0, 1, 2], 8);
+        let s_b = model.score_next(0, &[0, 1, 2], 3);
+        for (a, b) in s_a.iter().zip(&s_b) {
+            assert!((a - b).abs() < 1e-5, "causal IRN must not see the objective");
+        }
+    }
+
+    #[test]
+    fn save_load_round_trips_scores() {
+        let seqs = block_seqs(12);
+        let cfg = quick_config();
+        let model = Irn::fit(&seqs, &[], 10, 6, &cfg, None);
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap();
+        let restored = Irn::load(&bytes[..], 10, 6, &cfg).unwrap();
+        assert_eq!(
+            model.score_next(2, &[0, 1, 2], 7),
+            restored.score_next(2, &[0, 1, 2], 7),
+            "restored model must score identically"
+        );
+        assert_eq!(model.ru(3), restored.ru(3));
+    }
+
+    #[test]
+    fn load_rejects_wrong_architecture() {
+        let seqs = block_seqs(12);
+        let cfg = quick_config();
+        let model = Irn::fit(&seqs, &[], 10, 6, &cfg, None);
+        let mut bytes = Vec::new();
+        model.save(&mut bytes).unwrap();
+        let wrong = IrnConfig { dim: 8, ..cfg };
+        assert!(Irn::load(&bytes[..], 10, 6, &wrong).is_err());
+    }
+
+    #[test]
+    fn pretrained_embeddings_are_loaded() {
+        use irs_embed::{train_item2vec, Item2VecConfig};
+        let seqs = block_seqs(12);
+        let raw: Vec<Vec<ItemId>> = seqs.iter().map(|s| s.items.clone()).collect();
+        let emb = train_item2vec(&raw, 10, &Item2VecConfig { dim: 16, epochs: 1, ..Default::default() });
+        let cfg = IrnConfig { train: NeuralTrainConfig { epochs: 0, ..Default::default() }, ..quick_config() };
+        let model = Irn::fit(&seqs, &[], 10, 6, &cfg, Some(&emb));
+        // With 0 training epochs the embedding table must equal item2vec.
+        let s = model.store.value(model.emb.table_id());
+        assert_eq!(&s.data()[..10 * 16], emb.as_flat());
+    }
+}

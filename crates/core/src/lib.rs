@@ -1,0 +1,218 @@
+//! # irs-core — the Influential Recommender System
+//!
+//! This crate implements the paper's primary contribution:
+//!
+//! * [`Irn`] — the **Influential Recommender Network** (§III-D): a
+//!   Transformer decoder whose attention carries the **Personalized
+//!   Impressionability Mask** (PIM).  Input sequences are pre-padded so the
+//!   objective item sits at a fixed final position; every query position
+//!   may additionally attend to that objective column with weight
+//!   `w_t · r_u`, where `r_u = W_U · e(u)` is a learned per-user
+//!   impressionability factor.
+//! * The two adapted frameworks used as baselines: [`Pf2Inf`] (§III-B,
+//!   path-finding over the item co-occurrence graph — Dijkstra or MST) and
+//!   [`Rec2Inf`] (§III-C, greedy re-sort of any sequential recommender's
+//!   top-k by distance to the objective), plus [`Vanilla`] (the unadapted
+//!   recommender).
+//! * [`generate_influence_path`] — Algorithm 1: recursively ask the
+//!   recommender for the next path item until the objective is reached or
+//!   the budget `M` is exhausted.
+//!
+//! ## The influence-path contract
+//!
+//! All frameworks implement [`InfluenceRecommender`].  Implementations
+//! never recommend an item already present in `history ⊕ path` (a
+//! recommender that repeats itself would loop; the paper's Algorithm 1
+//! implicitly assumes fresh recommendations).
+//!
+//! ```
+//! use irs_core::{generate_influence_path, InfluenceRecommender};
+//!
+//! /// A toy recommender that walks the item line toward the objective.
+//! struct Walker;
+//! impl InfluenceRecommender for Walker {
+//!     fn name(&self) -> String { "walker".into() }
+//!     fn next_item(&self, _u: usize, history: &[usize], objective: usize,
+//!                  path: &[usize]) -> Option<usize> {
+//!         let cur = path.last().or_else(|| history.last()).copied()?;
+//!         Some(if cur < objective { cur + 1 } else { cur.saturating_sub(1) })
+//!     }
+//! }
+//!
+//! let path = generate_influence_path(&Walker, 0, &[2], 5, 10);
+//! assert_eq!(path, vec![3, 4, 5]); // stops at the objective
+//! ```
+
+pub mod beam;
+pub mod interactive;
+mod irn;
+pub mod kg;
+pub mod objective;
+mod pf2inf;
+mod rec2inf;
+mod vanilla;
+
+pub(crate) mod rec_utils {
+    use irs_data::ItemId;
+
+    /// Top-`k` scoring items that appear in neither `history` nor `path`.
+    /// Returned in descending score order.
+    pub fn top_k_unseen(
+        scores: &[f32],
+        k: usize,
+        history: &[ItemId],
+        path: &[ItemId],
+    ) -> Vec<ItemId> {
+        let mut idx: Vec<ItemId> = (0..scores.len())
+            .filter(|i| !history.contains(i) && !path.contains(i))
+            .collect();
+        idx.sort_unstable_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn filters_and_orders() {
+            let scores = vec![0.1, 0.9, 0.5, 0.7];
+            let top = top_k_unseen(&scores, 2, &[1], &[]);
+            assert_eq!(top, vec![3, 2]);
+        }
+
+        #[test]
+        fn k_larger_than_catalogue_is_fine() {
+            let scores = vec![0.1, 0.2];
+            let top = top_k_unseen(&scores, 10, &[], &[0]);
+            assert_eq!(top, vec![1]);
+        }
+    }
+}
+
+pub use beam::{beam_search_path, BeamConfig};
+pub use interactive::{run_interactive_session, SessionOutcome, ThresholdUser, UserModel};
+pub use irn::{Irn, IrnConfig, MaskType};
+pub use kg::KgPf2Inf;
+pub use objective::{ObjectiveSet, SetObjectiveRecommender};
+pub use pf2inf::{Pf2Inf, PathAlgorithm};
+pub use rec2inf::Rec2Inf;
+pub use vanilla::Vanilla;
+
+use irs_data::{ItemId, UserId};
+
+/// A recommender that can extend an influence path toward an objective.
+pub trait InfluenceRecommender {
+    /// Display name for experiment tables (e.g. `"Rec2Inf(Caser)"`).
+    fn name(&self) -> String;
+
+    /// Choose the next path item for `user`, given the original `history`,
+    /// the `objective`, and the `path` generated so far.  `None` means the
+    /// recommender cannot extend the path (e.g. disconnected graph).
+    fn next_item(
+        &self,
+        user: UserId,
+        history: &[ItemId],
+        objective: ItemId,
+        path: &[ItemId],
+    ) -> Option<ItemId>;
+}
+
+/// Algorithm 1: generate an influence path of at most `max_len` items,
+/// stopping early when the objective is recommended.
+pub fn generate_influence_path<R: InfluenceRecommender + ?Sized>(
+    rec: &R,
+    user: UserId,
+    history: &[ItemId],
+    objective: ItemId,
+    max_len: usize,
+) -> Vec<ItemId> {
+    let mut path = Vec::new();
+    while path.len() < max_len {
+        match rec.next_item(user, history, objective, &path) {
+            Some(item) => {
+                path.push(item);
+                if item == objective {
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    path
+}
+
+/// Argmax over `scores` with the ids yielded by `exclude` removed.
+/// Returns `None` when everything is excluded.
+pub(crate) fn masked_argmax(
+    scores: &[f32],
+    exclude: impl Iterator<Item = ItemId>,
+) -> Option<ItemId> {
+    let mut masked = scores.to_vec();
+    for i in exclude {
+        if i < masked.len() {
+            masked[i] = f32::NEG_INFINITY;
+        }
+    }
+    let (best, &val) = masked
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))?;
+    val.is_finite().then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A scripted recommender that returns a fixed path.
+    struct Scripted(Vec<ItemId>);
+
+    impl InfluenceRecommender for Scripted {
+        fn name(&self) -> String {
+            "scripted".into()
+        }
+
+        fn next_item(
+            &self,
+            _user: UserId,
+            _history: &[ItemId],
+            _objective: ItemId,
+            path: &[ItemId],
+        ) -> Option<ItemId> {
+            self.0.get(path.len()).copied()
+        }
+    }
+
+    #[test]
+    fn path_stops_at_objective() {
+        let rec = Scripted(vec![5, 6, 7, 8]);
+        let p = generate_influence_path(&rec, 0, &[1], 7, 10);
+        assert_eq!(p, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn path_respects_budget() {
+        let rec = Scripted(vec![5, 6, 7, 8]);
+        let p = generate_influence_path(&rec, 0, &[1], 99, 2);
+        assert_eq!(p, vec![5, 6]);
+    }
+
+    #[test]
+    fn path_stops_when_recommender_gives_up() {
+        let rec = Scripted(vec![5]);
+        let p = generate_influence_path(&rec, 0, &[1], 99, 10);
+        assert_eq!(p, vec![5]);
+    }
+
+    #[test]
+    fn masked_argmax_skips_excluded() {
+        let scores = vec![0.5, 0.9, 0.7];
+        assert_eq!(masked_argmax(&scores, [1].into_iter()), Some(2));
+        assert_eq!(masked_argmax(&scores, [0, 1, 2].into_iter()), None);
+        assert_eq!(masked_argmax(&scores, std::iter::empty()), Some(1));
+    }
+}

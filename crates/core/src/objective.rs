@@ -1,0 +1,203 @@
+//! Collection objectives — the paper's future-work direction §V-(3):
+//! "the objective can be a collection of items, a category, a topic, etc."
+//!
+//! [`ObjectiveSet`] describes a set target (explicit items or a whole
+//! genre); [`SetObjectiveRecommender`] adapts any single-objective
+//! [`InfluenceRecommender`] by steering toward the *currently most
+//! reachable* member of the set and declaring success when any member is
+//! recommended.
+
+use irs_data::{Dataset, GenreId, ItemId, UserId};
+use irs_embed::ItemDistance;
+
+use crate::{generate_influence_path, InfluenceRecommender};
+
+/// A set-valued objective.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectiveSet {
+    items: Vec<ItemId>,
+}
+
+impl ObjectiveSet {
+    /// Explicit item set (deduplicated; must be non-empty).
+    pub fn from_items(mut items: Vec<ItemId>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        assert!(!items.is_empty(), "objective set must be non-empty");
+        ObjectiveSet { items }
+    }
+
+    /// All items carrying `genre` in the dataset.
+    pub fn from_genre(dataset: &Dataset, genre: GenreId) -> Self {
+        let items: Vec<ItemId> = (0..dataset.num_items)
+            .filter(|&i| dataset.genres[i].contains(&genre))
+            .collect();
+        Self::from_items(items)
+    }
+
+    /// Member items.
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Whether `item` satisfies the objective.
+    pub fn contains(&self, item: ItemId) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// The member closest (by `dist`) to any item of `context` — the
+    /// "entry point" of the objective set from the user's current
+    /// position.  Falls back to the first member for empty contexts.
+    pub fn nearest_member<D: ItemDistance>(&self, context: &[ItemId], dist: &D) -> ItemId {
+        let Some(&anchor) = context.last() else {
+            return self.items[0];
+        };
+        self.items
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                dist.distance(anchor, a)
+                    .partial_cmp(&dist.distance(anchor, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("non-empty objective set")
+    }
+}
+
+/// Adapts a single-objective recommender to a set objective: each step
+/// re-targets the member nearest to the evolving context.
+pub struct SetObjectiveRecommender<'a, R: ?Sized, D> {
+    inner: &'a R,
+    objective: ObjectiveSet,
+    distance: D,
+}
+
+impl<'a, R: InfluenceRecommender + ?Sized, D: ItemDistance> SetObjectiveRecommender<'a, R, D> {
+    /// Wrap `inner` with a set objective and a distance for re-targeting.
+    pub fn new(inner: &'a R, objective: ObjectiveSet, distance: D) -> Self {
+        SetObjectiveRecommender { inner, objective, distance }
+    }
+
+    /// Generate a path that ends when any member of the set is reached.
+    pub fn generate(
+        &self,
+        user: UserId,
+        history: &[ItemId],
+        max_len: usize,
+    ) -> (Vec<ItemId>, bool) {
+        let mut path: Vec<ItemId> = Vec::new();
+        while path.len() < max_len {
+            let mut context = history.to_vec();
+            context.extend_from_slice(&path);
+            let target = self.objective.nearest_member(&context, &self.distance);
+            let Some(item) = self.inner.next_item(user, history, target, &path) else {
+                break;
+            };
+            path.push(item);
+            if self.objective.contains(item) {
+                return (path, true);
+            }
+        }
+        (path, false)
+    }
+
+    /// Single-member convenience: degrade to the plain Algorithm 1.
+    pub fn generate_single(
+        &self,
+        user: UserId,
+        history: &[ItemId],
+        target: ItemId,
+        max_len: usize,
+    ) -> Vec<ItemId> {
+        generate_influence_path(self.inner, user, history, target, max_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct LineDist;
+    impl ItemDistance for LineDist {
+        fn distance(&self, a: ItemId, b: ItemId) -> f32 {
+            (a as f32 - b as f32).abs()
+        }
+    }
+
+    /// Walks one step toward the objective on the number line.
+    struct Walker;
+    impl InfluenceRecommender for Walker {
+        fn name(&self) -> String {
+            "walker".into()
+        }
+        fn next_item(
+            &self,
+            _user: UserId,
+            history: &[ItemId],
+            objective: ItemId,
+            path: &[ItemId],
+        ) -> Option<ItemId> {
+            let cur = path.last().or_else(|| history.last()).copied()?;
+            if cur < objective {
+                Some(cur + 1)
+            } else if cur > objective {
+                Some(cur - 1)
+            } else {
+                Some(objective)
+            }
+        }
+    }
+
+    #[test]
+    fn set_objective_reaches_nearest_member() {
+        let set = ObjectiveSet::from_items(vec![3, 20]);
+        let rec = SetObjectiveRecommender::new(&Walker, set, LineDist);
+        // From 6, member 3 is nearer than 20.
+        let (path, reached) = rec.generate(0, &[6], 10);
+        assert!(reached);
+        assert_eq!(path, vec![5, 4, 3]);
+    }
+
+    #[test]
+    fn retargeting_follows_context_drift() {
+        // Start at 18: member 20 is nearest; the path must go up, not down
+        // to 3.
+        let set = ObjectiveSet::from_items(vec![3, 20]);
+        let rec = SetObjectiveRecommender::new(&Walker, set, LineDist);
+        let (path, reached) = rec.generate(0, &[18], 10);
+        assert!(reached);
+        assert_eq!(*path.last().unwrap(), 20);
+    }
+
+    #[test]
+    fn budget_limits_set_paths() {
+        let set = ObjectiveSet::from_items(vec![50]);
+        let rec = SetObjectiveRecommender::new(&Walker, set, LineDist);
+        let (path, reached) = rec.generate(0, &[0], 5);
+        assert!(!reached);
+        assert_eq!(path.len(), 5);
+    }
+
+    #[test]
+    fn genre_objective_collects_genre_items() {
+        let d = Dataset {
+            name: "t".into(),
+            num_users: 1,
+            num_items: 4,
+            sequences: vec![vec![0, 1, 2, 3]],
+            genres: vec![vec![0], vec![1], vec![0, 1], vec![1]],
+            genre_names: vec!["A".into(), "B".into()],
+            item_names: vec![],
+        };
+        let set = ObjectiveSet::from_genre(&d, 1);
+        assert_eq!(set.items(), &[1, 2, 3]);
+        assert!(set.contains(2));
+        assert!(!set.contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_objective_set_is_rejected() {
+        let _ = ObjectiveSet::from_items(vec![]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Vanilla baselines: the unadapted recommender repeatedly recommends its
+//! top unseen item, ignoring the objective (§IV-D1, "Vanilla" rows of
+//! Table III).
+
+use irs_data::{ItemId, UserId};
+
+use crate::{rec_utils::top_k_unseen, InfluenceRecommender};
+use irs_baselines::SequentialScorer;
+
+/// A plain recommender driven solely by the user's current interest.
+pub struct Vanilla<S> {
+    scorer: S,
+}
+
+impl<S: SequentialScorer> Vanilla<S> {
+    /// Wrap a scorer.
+    pub fn new(scorer: S) -> Self {
+        Vanilla { scorer }
+    }
+
+    /// Access the backbone scorer.
+    pub fn scorer(&self) -> &S {
+        &self.scorer
+    }
+}
+
+impl<S: SequentialScorer> InfluenceRecommender for Vanilla<S> {
+    fn name(&self) -> String {
+        format!("Vanilla({})", self.scorer.name())
+    }
+
+    fn next_item(
+        &self,
+        user: UserId,
+        history: &[ItemId],
+        _objective: ItemId,
+        path: &[ItemId],
+    ) -> Option<ItemId> {
+        let mut context = history.to_vec();
+        context.extend_from_slice(path);
+        let scores = self.scorer.score(user, &context);
+        top_k_unseen(&scores, 1, history, path).into_iter().next()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate_influence_path;
+    use irs_baselines::Pop;
+
+    #[test]
+    fn recommends_most_popular_unseen_items_in_order() {
+        let pop = Pop::from_counts(&[1, 2, 3, 4, 5]);
+        let rec = Vanilla::new(pop);
+        let p = generate_influence_path(&rec, 0, &[4], 0, 3);
+        assert_eq!(p, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn reaches_objective_only_by_accident() {
+        let pop = Pop::from_counts(&[1, 2, 3, 4, 5]);
+        let rec = Vanilla::new(pop);
+        // Objective 3 happens to be the top unseen item.
+        let p = generate_influence_path(&rec, 0, &[4], 3, 5);
+        assert_eq!(p, vec![3]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # irs-data — datasets, synthetic generators, preprocessing, splitting
+//!
+//! The paper evaluates on MovieLens-1M and Lastfm.  Those datasets are not
+//! available in this offline environment, so this crate provides a
+//! **synthetic interaction generator** ([`synth`]) engineered to reproduce
+//! the structural properties the paper's phenomena depend on:
+//!
+//! 1. *Sequential dependency among items* — sessions follow a within-genre
+//!    item progression plus popularity jumps, so next-item models have real
+//!    signal to learn.
+//! 2. *Genre/topic clustering with smooth cross-genre bridges* — genres sit
+//!    on a ring; adjacent genres share "bridge" items (think *Avatar*
+//!    bridging Fantasy and Romance in the paper's Fig. 1), so influence
+//!    paths between genres exist.
+//! 3. *Heterogeneous user impressionability* — each simulated user has an
+//!    openness parameter governing how often they drift to a new genre,
+//!    the ground-truth analogue of the paper's `r_u`.
+//!
+//! The rest of the crate implements the paper's §IV-A pipeline:
+//! [`preprocess`] (positive-feedback flattening, consecutive dedup,
+//! iterative min-5 filtering), [`split`] (hold-out of the last item,
+//! subsequence splitting with lengths in `[l_min, l_max]`, pre-padding) and
+//! [`stats`] (the Table I statistics).
+
+pub mod loaders;
+pub mod preprocess;
+pub mod split;
+pub mod stats;
+pub mod synth;
+mod types;
+
+pub use types::{Dataset, GenreId, Interaction, ItemId, UserId};
+
+/// Reserved padding token: one past the largest item id.
+///
+/// All models in the workspace size their item vocabulary as
+/// `num_items + 1` and treat index `num_items` as `PAD`.
+pub fn pad_token(num_items: usize) -> ItemId {
+    num_items
+}

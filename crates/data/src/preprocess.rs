@@ -1,0 +1,222 @@
+//! Preprocessing per §IV-A1 of the paper: treat every logged event as
+//! positive feedback, merge consecutive duplicates of the same user–item
+//! pair (Lastfm), order by timestamp, and iteratively filter out users and
+//! items with fewer than `min_count` interactions, re-indexing ids densely.
+
+use std::collections::HashMap;
+
+use crate::types::{Dataset, Interaction, ItemId, UserId};
+
+/// Preprocessing options.
+#[derive(Debug, Clone)]
+pub struct PreprocessConfig {
+    /// Drop users/items with fewer interactions than this (paper uses 5).
+    pub min_count: usize,
+    /// Merge consecutive repeats of the same user–item pair (paper applies
+    /// this to Lastfm's listening logs).
+    pub dedup_consecutive: bool,
+}
+
+impl Default for PreprocessConfig {
+    fn default() -> Self {
+        PreprocessConfig { min_count: 5, dedup_consecutive: true }
+    }
+}
+
+/// Output of preprocessing: the dataset plus the id remappings (dense new
+/// id -> original id), so metadata can be carried over.
+#[derive(Debug, Clone)]
+pub struct Preprocessed {
+    /// Per-user chronological sequences with densely re-indexed ids.
+    pub sequences: Vec<Vec<ItemId>>,
+    /// Dense user id -> original user id.
+    pub user_index: Vec<UserId>,
+    /// Dense item id -> original item id.
+    pub item_index: Vec<ItemId>,
+}
+
+/// Run the full preprocessing pipeline on a raw interaction log.
+pub fn preprocess(interactions: &[Interaction], config: &PreprocessConfig) -> Preprocessed {
+    // Group by user, sort chronologically (stable on ties).
+    let mut by_user: HashMap<UserId, Vec<(i64, ItemId)>> = HashMap::new();
+    for it in interactions {
+        by_user.entry(it.user).or_default().push((it.timestamp, it.item));
+    }
+    let mut sequences: Vec<(UserId, Vec<ItemId>)> = by_user
+        .into_iter()
+        .map(|(u, mut evs)| {
+            evs.sort_by_key(|&(ts, _)| ts);
+            let mut items: Vec<ItemId> = evs.into_iter().map(|(_, i)| i).collect();
+            if config.dedup_consecutive {
+                items.dedup();
+            }
+            (u, items)
+        })
+        .collect();
+    sequences.sort_by_key(|&(u, _)| u);
+
+    // Iterative min-count filtering: removing sparse items can push users
+    // below the threshold and vice versa, so repeat until a fixed point.
+    loop {
+        let mut item_counts: HashMap<ItemId, usize> = HashMap::new();
+        for (_, seq) in &sequences {
+            for &i in seq {
+                *item_counts.entry(i).or_default() += 1;
+            }
+        }
+        let mut changed = false;
+        for (_, seq) in sequences.iter_mut() {
+            let before = seq.len();
+            seq.retain(|i| item_counts.get(i).copied().unwrap_or(0) >= config.min_count);
+            if config.dedup_consecutive {
+                seq.dedup();
+            }
+            if seq.len() != before {
+                changed = true;
+            }
+        }
+        let before_users = sequences.len();
+        sequences.retain(|(_, seq)| seq.len() >= config.min_count);
+        if sequences.len() != before_users {
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Dense re-indexing.
+    let mut item_map: HashMap<ItemId, ItemId> = HashMap::new();
+    let mut item_index: Vec<ItemId> = Vec::new();
+    let mut user_index: Vec<UserId> = Vec::new();
+    let mut out_sequences: Vec<Vec<ItemId>> = Vec::with_capacity(sequences.len());
+    for (u, seq) in sequences {
+        user_index.push(u);
+        out_sequences.push(
+            seq.into_iter()
+                .map(|orig| {
+                    *item_map.entry(orig).or_insert_with(|| {
+                        item_index.push(orig);
+                        item_index.len() - 1
+                    })
+                })
+                .collect(),
+        );
+    }
+
+    Preprocessed { sequences: out_sequences, user_index, item_index }
+}
+
+/// Convenience: preprocess a raw log and carry over metadata from an
+/// original [`Dataset`] (genres/names follow the item re-indexing).
+pub fn preprocess_dataset(
+    original: &Dataset,
+    interactions: &[Interaction],
+    config: &PreprocessConfig,
+) -> Dataset {
+    let pre = preprocess(interactions, config);
+    let genres = pre
+        .item_index
+        .iter()
+        .map(|&orig| original.genres.get(orig).cloned().unwrap_or_default())
+        .collect();
+    let item_names = pre
+        .item_index
+        .iter()
+        .map(|&orig| original.item_name(orig))
+        .collect();
+    let d = Dataset {
+        name: original.name.clone(),
+        num_users: pre.sequences.len(),
+        num_items: pre.item_index.len(),
+        sequences: pre.sequences,
+        genres,
+        genre_names: original.genre_names.clone(),
+        item_names,
+    };
+    debug_assert!(d.check_invariants().is_ok());
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(user: UserId, item: ItemId, ts: i64) -> Interaction {
+        Interaction { user, item, timestamp: ts }
+    }
+
+    #[test]
+    fn groups_and_orders_chronologically() {
+        let log = vec![ev(0, 3, 5), ev(0, 1, 1), ev(0, 2, 3)];
+        let cfg = PreprocessConfig { min_count: 1, dedup_consecutive: false };
+        let p = preprocess(&log, &cfg);
+        assert_eq!(p.sequences.len(), 1);
+        // Dense ids assigned in first-seen order after sorting: 1->0, 2->1, 3->2.
+        assert_eq!(p.sequences[0], vec![0, 1, 2]);
+        assert_eq!(p.item_index, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dedups_consecutive_repeats_only() {
+        let log = vec![ev(0, 7, 0), ev(0, 7, 1), ev(0, 8, 2), ev(0, 7, 3)];
+        let cfg = PreprocessConfig { min_count: 1, dedup_consecutive: true };
+        let p = preprocess(&log, &cfg);
+        // 7,7,8,7 -> 7,8,7 (non-consecutive repeat survives)
+        assert_eq!(p.sequences[0].len(), 3);
+        assert_eq!(p.sequences[0][0], p.sequences[0][2]);
+    }
+
+    #[test]
+    fn min_count_filter_removes_sparse_users_and_items() {
+        let mut log = Vec::new();
+        // User 0: 6 interactions with item 0 and 1 alternating (each ≥5? item0:3, item1:3)
+        for t in 0..6 {
+            log.push(ev(0, t % 2, t as i64));
+        }
+        // User 1: single interaction -> dropped.
+        log.push(ev(1, 0, 100));
+        let cfg = PreprocessConfig { min_count: 3, dedup_consecutive: false };
+        let p = preprocess(&log, &cfg);
+        assert_eq!(p.user_index, vec![0, 1].into_iter().filter(|&u| u == 0).collect::<Vec<_>>());
+        assert_eq!(p.sequences.len(), 1);
+        assert_eq!(p.sequences[0].len(), 6);
+    }
+
+    #[test]
+    fn filtering_reaches_fixed_point() {
+        // Item 9 appears 5 times but only via user 2; dropping user 2 (too
+        // short after item filtering) must also drop item 9.
+        let mut log = Vec::new();
+        for t in 0..8 {
+            log.push(ev(0, 1 + (t % 2), t as i64)); // items 1,2 popular
+        }
+        for t in 0..8 {
+            log.push(ev(1, 1 + (t % 2), 100 + t as i64));
+        }
+        // user 2: items 9 ×4 and 3 ×1 -> item 3 too rare -> user 2 left with 4 < 5 -> dropped
+        for t in 0..4 {
+            log.push(ev(2, 9, 200 + 2 * t as i64));
+            log.push(ev(2, 3, 201 + 2 * t as i64));
+        }
+        let cfg = PreprocessConfig { min_count: 5, dedup_consecutive: false };
+        let p = preprocess(&log, &cfg);
+        for seq in &p.sequences {
+            assert!(seq.len() >= 5);
+        }
+        // Item 9 no longer present anywhere.
+        assert!(!p.item_index.contains(&9));
+    }
+
+    #[test]
+    fn synth_pipeline_end_to_end() {
+        let out = crate::synth::generate(&crate::synth::SynthConfig::tiny(11));
+        let cfg = PreprocessConfig { min_count: 3, dedup_consecutive: true };
+        let d = preprocess_dataset(&out.dataset, &out.interactions, &cfg);
+        d.check_invariants().unwrap();
+        assert!(d.num_users > 0);
+        assert!(d.num_items > 0);
+        let counts = d.item_counts();
+        assert!(counts.iter().all(|&c| c >= 3), "min-count violated after preprocessing");
+    }
+}

@@ -1,0 +1,318 @@
+//! Dataset splitting per §IV-A2 and objective-item sampling per §IV-B1.
+//!
+//! For each user with history `{i₁,…,i_q}`:
+//! * `i_q` is held out to form the next-item **test case**;
+//! * the remainder is cut into continuous non-overlapping subsequences with
+//!   lengths drawn from `[l_min, l_max]`; each subsequence is a training
+//!   (or validation) example whose **last item doubles as the objective**
+//!   during IRN training.
+//!
+//! Pre-padding (`PAD…PAD, i₁,…,i_k`) keeps the objective at a fixed final
+//! position (§III-D5); both padding schemes are provided so the ablation
+//! bench can compare them.
+
+use rand::{Rng, SeedableRng};
+
+use crate::types::{Dataset, ItemId, UserId};
+
+/// A training/validation example: one contiguous subsequence of a user's
+/// history.  The last item is the objective item `i_t` during IRN training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubSeq {
+    /// Owning user.
+    pub user: UserId,
+    /// The items, in chronological order (length ≥ 2 after splitting).
+    pub items: Vec<ItemId>,
+}
+
+/// A next-item test case: the user's full history minus the held-out last
+/// item, plus that item as the label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCase {
+    /// Owning user.
+    pub user: UserId,
+    /// History `s_h` (everything but the held-out item).
+    pub history: Vec<ItemId>,
+    /// Held-out next item `i_q`.
+    pub next_item: ItemId,
+}
+
+/// Split configuration.
+#[derive(Debug, Clone)]
+pub struct SplitConfig {
+    /// Minimum subsequence length (paper: 20).
+    pub l_min: usize,
+    /// Maximum subsequence length (paper: 50 for Lastfm, 60 for ML-1M).
+    pub l_max: usize,
+    /// Fraction of subsequences held out for validation.
+    pub val_fraction: f32,
+    /// RNG seed for subsequence lengths and the validation split.
+    pub seed: u64,
+}
+
+impl SplitConfig {
+    /// The paper's Lastfm setting, with a 10% validation split.
+    pub fn lastfm_paper() -> Self {
+        SplitConfig { l_min: 20, l_max: 50, val_fraction: 0.1, seed: 0x5eed }
+    }
+
+    /// The paper's MovieLens-1M setting.
+    pub fn movielens_paper() -> Self {
+        SplitConfig { l_min: 20, l_max: 60, val_fraction: 0.1, seed: 0x5eed }
+    }
+
+    /// A small setting for scaled-down experiments and tests.
+    pub fn small() -> Self {
+        SplitConfig { l_min: 8, l_max: 20, val_fraction: 0.1, seed: 0x5eed }
+    }
+}
+
+/// The complete split.
+#[derive(Debug, Clone)]
+pub struct DataSplit {
+    /// Training subsequences.
+    pub train: Vec<SubSeq>,
+    /// Validation subsequences.
+    pub val: Vec<SubSeq>,
+    /// One next-item test case per surviving user.
+    pub test: Vec<TestCase>,
+}
+
+/// Perform the §IV-A2 split.
+pub fn split_dataset(dataset: &Dataset, config: &SplitConfig) -> DataSplit {
+    assert!(config.l_min >= 2, "l_min must be at least 2");
+    assert!(config.l_max >= config.l_min, "l_max must be ≥ l_min");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut subsequences = Vec::new();
+    let mut test = Vec::new();
+
+    for (u, seq) in dataset.sequences.iter().enumerate() {
+        if seq.len() < 3 {
+            continue; // not enough signal for history + label
+        }
+        let (body, last) = seq.split_at(seq.len() - 1);
+        test.push(TestCase { user: u, history: body.to_vec(), next_item: last[0] });
+
+        // Cut `body` into non-overlapping chunks with lengths in
+        // [l_min, l_max]; a trailing remainder shorter than l_min is merged
+        // into the previous chunk (or kept alone for short histories —
+        // the model pre-pads to l_min at batch time, matching the paper's
+        // "prolong through padding").
+        let mut start = 0;
+        while start < body.len() {
+            let remaining = body.len() - start;
+            let len = if remaining <= config.l_max {
+                remaining
+            } else {
+                let take = rng.random_range(config.l_min..=config.l_max);
+                // Never strand a remainder shorter than 2 items.
+                if remaining - take < 2 {
+                    remaining
+                } else {
+                    take
+                }
+            };
+            let chunk = &body[start..start + len];
+            if chunk.len() >= 2 {
+                subsequences.push(SubSeq { user: u, items: chunk.to_vec() });
+            }
+            start += len;
+        }
+    }
+
+    // Validation split.
+    let mut train = Vec::new();
+    let mut val = Vec::new();
+    for s in subsequences {
+        if rng.random::<f32>() < config.val_fraction {
+            val.push(s);
+        } else {
+            train.push(s);
+        }
+    }
+    DataSplit { train, val, test }
+}
+
+/// Sample one objective item per test case, per §IV-B1: the objective must
+/// (1) not occur in the user's history and (2) have at least `min_count`
+/// interactions overall.
+pub fn sample_objectives(
+    dataset: &Dataset,
+    test: &[TestCase],
+    min_count: usize,
+    seed: u64,
+) -> Vec<ItemId> {
+    let counts = dataset.item_counts();
+    let eligible: Vec<ItemId> =
+        (0..dataset.num_items).filter(|&i| counts[i] >= min_count).collect();
+    assert!(!eligible.is_empty(), "no item has ≥{min_count} interactions");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    test.iter()
+        .map(|tc| {
+            // Rejection-sample an item outside the history.
+            for _ in 0..10_000 {
+                let cand = eligible[rng.random_range(0..eligible.len())];
+                if !tc.history.contains(&cand) && cand != tc.next_item {
+                    return cand;
+                }
+            }
+            // Degenerate fallback (history covers almost the catalogue):
+            // accept any eligible item.
+            eligible[rng.random_range(0..eligible.len())]
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Padding
+// ---------------------------------------------------------------------
+
+/// Padding schemes (§III-D5 compares pre- against post-padding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaddingScheme {
+    /// `PAD…PAD, i₁,…,i_k` — keeps the last element at a fixed position.
+    Pre,
+    /// `i₁,…,i_k, PAD…PAD`.
+    Post,
+}
+
+/// Pad (or left-truncate, keeping the most recent items) to `target_len`.
+pub fn pad_to(seq: &[ItemId], target_len: usize, pad: ItemId, scheme: PaddingScheme) -> Vec<ItemId> {
+    if seq.len() >= target_len {
+        return seq[seq.len() - target_len..].to_vec();
+    }
+    let mut out = Vec::with_capacity(target_len);
+    match scheme {
+        PaddingScheme::Pre => {
+            out.resize(target_len - seq.len(), pad);
+            out.extend_from_slice(seq);
+        }
+        PaddingScheme::Post => {
+            out.extend_from_slice(seq);
+            out.resize(target_len, pad);
+        }
+    }
+    out
+}
+
+/// Number of leading PAD tokens in a pre-padded sequence.
+pub fn leading_pad_len(seq: &[ItemId], pad: ItemId) -> usize {
+    seq.iter().take_while(|&&i| i == pad).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    fn dataset() -> Dataset {
+        generate(&SynthConfig::tiny(21)).dataset
+    }
+
+    #[test]
+    fn split_covers_history_without_overlap() {
+        let d = dataset();
+        let cfg = SplitConfig::small();
+        let s = split_dataset(&d, &cfg);
+        // Reassemble per-user: subsequences concatenated in order must be a
+        // prefix partition of the body (history minus held-out item).
+        for tc in &s.test {
+            let mut rebuilt: Vec<ItemId> = Vec::new();
+            for sub in s.train.iter().chain(&s.val).filter(|sub| sub.user == tc.user) {
+                rebuilt.extend_from_slice(&sub.items);
+            }
+            // Order across train/val interleave can differ, so compare as
+            // multisets of positions: the concatenation in original split
+            // order equals history; verify multiset equality instead.
+            let mut a = rebuilt.clone();
+            let mut b = tc.history.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "subsequences must partition the history for user {}", tc.user);
+        }
+    }
+
+    #[test]
+    fn chunks_respect_length_bounds() {
+        let d = dataset();
+        let cfg = SplitConfig { l_min: 5, l_max: 9, val_fraction: 0.0, seed: 1 };
+        let s = split_dataset(&d, &cfg);
+        for sub in &s.train {
+            // Only the final chunk of a user (or a short user) may exceed
+            // l_max by the merge rule... it cannot: merging only happens when
+            // remaining ≤ l_max, or remainder < 2 which extends to `remaining`
+            // ≤ l_max + 1. Verify the practical bound.
+            assert!(sub.items.len() >= 2);
+            assert!(
+                sub.items.len() <= cfg.l_max + 2,
+                "chunk length {} far exceeds l_max {}",
+                sub.items.len(),
+                cfg.l_max
+            );
+        }
+    }
+
+    #[test]
+    fn test_cases_hold_out_exactly_last_item() {
+        let d = dataset();
+        let s = split_dataset(&d, &SplitConfig::small());
+        for tc in &s.test {
+            let orig = &d.sequences[tc.user];
+            assert_eq!(tc.next_item, *orig.last().unwrap());
+            assert_eq!(tc.history.as_slice(), &orig[..orig.len() - 1]);
+        }
+    }
+
+    #[test]
+    fn validation_fraction_is_roughly_respected() {
+        let d = dataset();
+        let cfg = SplitConfig { l_min: 4, l_max: 8, val_fraction: 0.3, seed: 9 };
+        let s = split_dataset(&d, &cfg);
+        let total = s.train.len() + s.val.len();
+        let frac = s.val.len() as f32 / total as f32;
+        assert!((0.1..0.5).contains(&frac), "val fraction {frac} out of expected band");
+    }
+
+    #[test]
+    fn objectives_respect_constraints() {
+        let d = dataset();
+        let s = split_dataset(&d, &SplitConfig::small());
+        let objectives = sample_objectives(&d, &s.test, 3, 77);
+        let counts = d.item_counts();
+        assert_eq!(objectives.len(), s.test.len());
+        for (tc, &obj) in s.test.iter().zip(&objectives) {
+            assert!(counts[obj] >= 3, "objective must be popular enough");
+            assert!(
+                !tc.history.contains(&obj),
+                "objective must be unseen for user {}",
+                tc.user
+            );
+        }
+    }
+
+    #[test]
+    fn objective_sampling_is_deterministic() {
+        let d = dataset();
+        let s = split_dataset(&d, &SplitConfig::small());
+        let a = sample_objectives(&d, &s.test, 3, 42);
+        let b = sample_objectives(&d, &s.test, 3, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pre_padding_fixes_last_position() {
+        let seq = vec![5, 6, 7];
+        let padded = pad_to(&seq, 6, 99, PaddingScheme::Pre);
+        assert_eq!(padded, vec![99, 99, 99, 5, 6, 7]);
+        assert_eq!(leading_pad_len(&padded, 99), 3);
+        let post = pad_to(&seq, 6, 99, PaddingScheme::Post);
+        assert_eq!(post, vec![5, 6, 7, 99, 99, 99]);
+    }
+
+    #[test]
+    fn padding_truncates_keeping_most_recent() {
+        let seq = vec![1, 2, 3, 4, 5];
+        let padded = pad_to(&seq, 3, 99, PaddingScheme::Pre);
+        assert_eq!(padded, vec![3, 4, 5]);
+    }
+}

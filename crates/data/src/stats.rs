@@ -1,0 +1,96 @@
+//! Dataset statistics — reproduces the columns of the paper's Table I.
+
+use crate::types::Dataset;
+
+/// Summary statistics of a preprocessed dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset label.
+    pub name: String,
+    /// Number of users.
+    pub users: usize,
+    /// Number of items.
+    pub items: usize,
+    /// Total interactions.
+    pub interactions: usize,
+    /// Interaction-matrix density in percent: `interactions / (users·items) · 100`.
+    pub density_pct: f64,
+    /// Average items per user.
+    pub avg_items_per_user: f64,
+}
+
+/// Compute Table I statistics.
+pub fn dataset_stats(d: &Dataset) -> DatasetStats {
+    let interactions = d.num_interactions();
+    let denom = (d.num_users * d.num_items).max(1);
+    DatasetStats {
+        name: d.name.clone(),
+        users: d.num_users,
+        items: d.num_items,
+        interactions,
+        density_pct: interactions as f64 / denom as f64 * 100.0,
+        avg_items_per_user: interactions as f64 / d.num_users.max(1) as f64,
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:<16} {:>7} {:>7} {:>12} {:>8.2}% {:>10.1}",
+            self.name, self.users, self.items, self.interactions, self.density_pct,
+            self.avg_items_per_user
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{generate, SynthConfig};
+
+    #[test]
+    fn stats_formulas() {
+        let d = Dataset {
+            name: "t".into(),
+            num_users: 2,
+            num_items: 4,
+            sequences: vec![vec![0, 1], vec![2, 3, 0, 1]],
+            genres: vec![vec![]; 4],
+            genre_names: vec![],
+            item_names: vec![],
+        };
+        let s = dataset_stats(&d);
+        assert_eq!(s.interactions, 6);
+        assert!((s.density_pct - 75.0).abs() < 1e-9);
+        assert!((s.avg_items_per_user - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_renders_all_columns() {
+        let s = DatasetStats {
+            name: "demo".into(),
+            users: 10,
+            items: 20,
+            interactions: 55,
+            density_pct: 27.5,
+            avg_items_per_user: 5.5,
+        };
+        let line = s.to_string();
+        for needle in ["demo", "10", "20", "55", "27.50%", "5.5"] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn synth_lastfm_stats_are_in_paper_ballpark() {
+        let out = generate(&SynthConfig::lastfm_like(0.1));
+        let s = dataset_stats(&out.dataset);
+        // Average items per user should be near the configured 31.
+        assert!(
+            (15.0..60.0).contains(&s.avg_items_per_user),
+            "avg items/user {} far from Lastfm's ≈31",
+            s.avg_items_per_user
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Core data types shared across the workspace.
+
+/// Dense item identifier in `0..num_items` (the padding token is
+/// `num_items`, see [`crate::pad_token`]).
+pub type ItemId = usize;
+
+/// Dense user identifier in `0..num_users`.
+pub type UserId = usize;
+
+/// Genre/category identifier.
+pub type GenreId = usize;
+
+/// One user–item interaction event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interaction {
+    /// The acting user.
+    pub user: UserId,
+    /// The consumed item.
+    pub item: ItemId,
+    /// Event time (monotonically comparable; synthetic data uses step
+    /// counters).
+    pub timestamp: i64,
+}
+
+/// A preprocessed interaction dataset: one chronologically ordered item
+/// sequence per user, plus item metadata.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset label (used in experiment printouts, e.g. `lastfm-like`).
+    pub name: String,
+    /// Number of distinct users (`sequences.len()`).
+    pub num_users: usize,
+    /// Number of distinct items.
+    pub num_items: usize,
+    /// Per-user chronological item sequences.
+    pub sequences: Vec<Vec<ItemId>>,
+    /// Genre labels per item (possibly several per item).
+    pub genres: Vec<Vec<GenreId>>,
+    /// Human-readable genre names.
+    pub genre_names: Vec<String>,
+    /// Human-readable item names (synthetic data fabricates these).
+    pub item_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Total number of interactions.
+    pub fn num_interactions(&self) -> usize {
+        self.sequences.iter().map(Vec::len).sum()
+    }
+
+    /// Per-item interaction counts (popularity).
+    pub fn item_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_items];
+        for seq in &self.sequences {
+            for &i in seq {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Genre labels of an item as a display string, e.g. `"Action, Comedy"`.
+    pub fn genre_label(&self, item: ItemId) -> String {
+        self.genres
+            .get(item)
+            .map(|gs| {
+                gs.iter()
+                    .map(|&g| self.genre_names[g].clone())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            })
+            .unwrap_or_default()
+    }
+
+    /// Display name of an item (falls back to `item-<id>`).
+    pub fn item_name(&self, item: ItemId) -> String {
+        self.item_names.get(item).cloned().unwrap_or_else(|| format!("item-{item}"))
+    }
+
+    /// Binary genre feature vectors `[num_items][num_genres]` — the paper
+    /// computes item distances on Movielens from genre feature vectors.
+    pub fn genre_feature_vectors(&self) -> Vec<Vec<f32>> {
+        let g = self.genre_names.len();
+        self.genres
+            .iter()
+            .map(|gs| {
+                let mut v = vec![0.0f32; g];
+                for &gi in gs {
+                    v[gi] = 1.0;
+                }
+                v
+            })
+            .collect()
+    }
+
+    /// Validate internal invariants; used by tests and debug assertions.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        if self.sequences.len() != self.num_users {
+            return Err(format!(
+                "num_users {} != sequences.len() {}",
+                self.num_users,
+                self.sequences.len()
+            ));
+        }
+        if self.genres.len() != self.num_items {
+            return Err(format!(
+                "genres.len() {} != num_items {}",
+                self.genres.len(),
+                self.num_items
+            ));
+        }
+        for (u, seq) in self.sequences.iter().enumerate() {
+            for &i in seq {
+                if i >= self.num_items {
+                    return Err(format!("user {u} references out-of-range item {i}"));
+                }
+            }
+        }
+        for (i, gs) in self.genres.iter().enumerate() {
+            for &g in gs {
+                if g >= self.genre_names.len() {
+                    return Err(format!("item {i} references out-of-range genre {g}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        Dataset {
+            name: "tiny".into(),
+            num_users: 2,
+            num_items: 3,
+            sequences: vec![vec![0, 1, 2], vec![2, 2, 1]],
+            genres: vec![vec![0], vec![0, 1], vec![1]],
+            genre_names: vec!["A".into(), "B".into()],
+            item_names: vec!["x".into(), "y".into(), "z".into()],
+        }
+    }
+
+    #[test]
+    fn counts_and_interactions() {
+        let d = tiny();
+        assert_eq!(d.num_interactions(), 6);
+        assert_eq!(d.item_counts(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn genre_labels_join_names() {
+        let d = tiny();
+        assert_eq!(d.genre_label(1), "A, B");
+        assert_eq!(d.genre_label(0), "A");
+    }
+
+    #[test]
+    fn genre_feature_vectors_are_binary_indicators() {
+        let d = tiny();
+        let f = d.genre_feature_vectors();
+        assert_eq!(f[1], vec![1.0, 1.0]);
+        assert_eq!(f[2], vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn invariants_hold_and_detect_corruption() {
+        let mut d = tiny();
+        assert!(d.check_invariants().is_ok());
+        d.sequences[0].push(99);
+        assert!(d.check_invariants().is_err());
+    }
+}

@@ -1,0 +1,126 @@
+//! Item-distance abstractions used by the Rec2Inf greedy re-sort.
+
+use irs_data::{Dataset, ItemId};
+
+use crate::item2vec::{cosine, ItemEmbeddings};
+
+/// A (pseudo-)distance between items: small means "similar / close to the
+/// objective".  Implementations need not satisfy the triangle inequality;
+/// Rec2Inf only ranks candidates by it.
+pub trait ItemDistance {
+    /// Distance between two items; non-negative, `0` for identical items.
+    fn distance(&self, a: ItemId, b: ItemId) -> f32;
+}
+
+impl<D: ItemDistance + ?Sized> ItemDistance for &D {
+    fn distance(&self, a: ItemId, b: ItemId) -> f32 {
+        (**self).distance(a, b)
+    }
+}
+
+/// Cosine distance on item2vec embeddings (Lastfm setting in the paper).
+#[derive(Debug, Clone)]
+pub struct EmbeddingDistance {
+    embeddings: ItemEmbeddings,
+}
+
+impl EmbeddingDistance {
+    /// Wrap trained embeddings.
+    pub fn new(embeddings: ItemEmbeddings) -> Self {
+        EmbeddingDistance { embeddings }
+    }
+
+    /// Access the wrapped embeddings.
+    pub fn embeddings(&self) -> &ItemEmbeddings {
+        &self.embeddings
+    }
+}
+
+impl ItemDistance for EmbeddingDistance {
+    fn distance(&self, a: ItemId, b: ItemId) -> f32 {
+        if a == b {
+            return 0.0;
+        }
+        self.embeddings.cosine_distance(a, b)
+    }
+}
+
+/// Cosine distance on binary genre feature vectors (MovieLens setting in
+/// the paper).  Items sharing all genres have distance 0; disjoint genre
+/// sets have distance 1.
+#[derive(Debug, Clone)]
+pub struct GenreDistance {
+    features: Vec<Vec<f32>>,
+}
+
+impl GenreDistance {
+    /// Build from a dataset's genre labels.
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        GenreDistance { features: dataset.genre_feature_vectors() }
+    }
+
+    /// Build from explicit feature vectors.
+    pub fn new(features: Vec<Vec<f32>>) -> Self {
+        GenreDistance { features }
+    }
+}
+
+impl ItemDistance for GenreDistance {
+    fn distance(&self, a: ItemId, b: ItemId) -> f32 {
+        if a == b {
+            return 0.0;
+        }
+        1.0 - cosine(&self.features[a], &self.features[b])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item2vec::{train_item2vec, Item2VecConfig};
+    use proptest::prelude::*;
+
+    #[test]
+    fn genre_distance_reflects_overlap() {
+        let gd = GenreDistance::new(vec![
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 0.0, 0.0],
+            vec![1.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        assert_eq!(gd.distance(0, 1), 0.0);
+        assert!(gd.distance(0, 2) > 0.0 && gd.distance(0, 2) < 1.0);
+        assert!((gd.distance(0, 3) - 1.0).abs() < 1e-6);
+        assert_eq!(gd.distance(2, 2), 0.0);
+    }
+
+    #[test]
+    fn embedding_distance_is_zero_on_self() {
+        let seqs = vec![vec![0, 1, 2], vec![2, 1, 0]];
+        let emb = train_item2vec(&seqs, 3, &Item2VecConfig { dim: 8, epochs: 2, ..Default::default() });
+        let ed = EmbeddingDistance::new(emb);
+        assert_eq!(ed.distance(1, 1), 0.0);
+        assert!(ed.distance(0, 2) >= 0.0);
+    }
+
+    proptest! {
+        /// Symmetry and bounds of the genre distance.
+        #[test]
+        fn genre_distance_symmetric_and_bounded(
+            feats in proptest::collection::vec(
+                proptest::collection::vec(0u8..2, 4), 2..6),
+        ) {
+            let features: Vec<Vec<f32>> =
+                feats.iter().map(|f| f.iter().map(|&b| b as f32).collect()).collect();
+            let gd = GenreDistance::new(features.clone());
+            for a in 0..features.len() {
+                for b in 0..features.len() {
+                    let d = gd.distance(a, b);
+                    prop_assert!((0.0..=2.0).contains(&d));
+                    prop_assert!((gd.distance(b, a) - d).abs() < 1e-6);
+                }
+                prop_assert_eq!(gd.distance(a, a), 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # irs-embed — item2vec embeddings and item distances
+//!
+//! The paper uses **item2vec** (Barkan & Koenigstein, 2016) in two places:
+//!
+//! 1. as pre-trained initial weights for IRN's item-embedding table
+//!    (§III-D1), and
+//! 2. as the item-distance function for the Rec2Inf greedy re-sort on
+//!    Lastfm (§IV-C); on MovieLens the distance comes from genre feature
+//!    vectors instead.
+//!
+//! item2vec is skip-gram with negative sampling over user interaction
+//! sequences.  The gradients are hand-derived (word2vec style) rather than
+//! routed through the autograd engine — SGNS updates touch only a handful
+//! of rows per step, so the dense-tape engine would be wasteful.
+
+mod distance;
+mod item2vec;
+
+pub use distance::{EmbeddingDistance, GenreDistance, ItemDistance};
+pub use item2vec::{train_item2vec, Item2VecConfig, ItemEmbeddings};

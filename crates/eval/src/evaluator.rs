@@ -1,0 +1,91 @@
+//! The IRS evaluator: probability estimates from a trained next-item model.
+
+use irs_baselines::{rank_of, SequentialScorer};
+use irs_data::{ItemId, UserId};
+use irs_tensor::log_sum_exp;
+
+/// Wraps any [`SequentialScorer`] and turns its scores into the probability
+/// measure `P(i | s) = softmax(scores(s))[i]` (Eq. 16–17).
+pub struct Evaluator<S> {
+    scorer: S,
+}
+
+impl<S: SequentialScorer> Evaluator<S> {
+    /// Wrap a trained scorer.
+    pub fn new(scorer: S) -> Self {
+        Evaluator { scorer }
+    }
+
+    /// The wrapped scorer.
+    pub fn scorer(&self) -> &S {
+        &self.scorer
+    }
+
+    /// Evaluator display name.
+    pub fn name(&self) -> &'static str {
+        self.scorer.name()
+    }
+
+    /// Raw scores over all items given a viewing sequence.
+    pub fn scores(&self, user: UserId, seq: &[ItemId]) -> Vec<f32> {
+        self.scorer.score(user, seq)
+    }
+
+    /// `log P(item | seq)` under the evaluator.
+    pub fn log_prob(&self, user: UserId, seq: &[ItemId], item: ItemId) -> f32 {
+        let scores = self.scores(user, seq);
+        scores[item] - log_sum_exp(&scores)
+    }
+
+    /// `P(item | seq)`.
+    pub fn prob(&self, user: UserId, seq: &[ItemId], item: ItemId) -> f32 {
+        self.log_prob(user, seq, item).exp()
+    }
+
+    /// 1-based rank of `item` among all items given `seq`.
+    pub fn rank(&self, user: UserId, seq: &[ItemId], item: ItemId) -> usize {
+        rank_of(&self.scores(user, seq), item)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Scorer that always returns fixed scores.
+    struct Fixed(Vec<f32>);
+
+    impl SequentialScorer for Fixed {
+        fn num_items(&self) -> usize {
+            self.0.len()
+        }
+        fn score(&self, _u: UserId, _h: &[ItemId]) -> Vec<f32> {
+            self.0.clone()
+        }
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+    }
+
+    #[test]
+    fn probabilities_form_a_distribution() {
+        let ev = Evaluator::new(Fixed(vec![0.0, 1.0, 2.0]));
+        let total: f32 = (0..3).map(|i| ev.prob(0, &[], i)).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        assert!(ev.prob(0, &[], 2) > ev.prob(0, &[], 0));
+    }
+
+    #[test]
+    fn log_prob_matches_softmax() {
+        let ev = Evaluator::new(Fixed(vec![1.0, 3.0]));
+        let p1 = (3.0f32).exp() / ((1.0f32).exp() + (3.0f32).exp());
+        assert!((ev.log_prob(0, &[], 1) - p1.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn rank_uses_scores() {
+        let ev = Evaluator::new(Fixed(vec![0.2, 0.9, 0.5]));
+        assert_eq!(ev.rank(0, &[], 1), 1);
+        assert_eq!(ev.rank(0, &[], 0), 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! # irs-eval — the IRS evaluator and every paper metric
+//!
+//! Offline evaluation of influence paths needs `P(i | s)` for
+//! sequence–item pairs that never occur in the logged data.  Following
+//! §IV-B3, a trained next-item recommender (the **Evaluator**, Bert4Rec in
+//! the paper) provides that probability via a softmax over its scores.
+//!
+//! Implemented metrics:
+//!
+//! * [`evaluate_paths`] — `SR_M`, `IoI_M`, `IoR_M` and `log(PPL)`
+//!   (Eq. 11–14) for a batch of generated influence paths.
+//! * [`next_item_metrics`] — `HR@K` and `MRR` (Eq. 18) for the traditional
+//!   next-item task (Tables II and IV).
+//! * [`stepwise_evolution`] — the per-step objective/item probability
+//!   curves of Fig. 9.
+//! * [`histogram`] — binned counts for the `r_u` distribution of Fig. 8.
+
+mod evaluator;
+mod metrics;
+pub mod quality;
+mod stepwise;
+
+pub use evaluator::Evaluator;
+pub use metrics::{
+    evaluate_paths, next_item_metrics, IrsMetrics, NextItemMetrics, PathRecord,
+};
+pub use quality::{genre_diversity, intra_list_distance, novelty, path_quality, PathQuality};
+pub use stepwise::{histogram, stepwise_evolution, StepwiseCurves};

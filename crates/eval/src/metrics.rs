@@ -1,0 +1,275 @@
+//! IRS path metrics (Eq. 11–14) and next-item metrics (Eq. 18).
+
+use irs_baselines::SequentialScorer;
+use irs_data::split::TestCase;
+use irs_data::{ItemId, UserId};
+
+use crate::evaluator::Evaluator;
+
+/// One generated influence path with its inputs.
+#[derive(Debug, Clone)]
+pub struct PathRecord {
+    /// The user the path was generated for.
+    pub user: UserId,
+    /// Viewing history `s_h`.
+    pub history: Vec<ItemId>,
+    /// The objective item `i_t`.
+    pub objective: ItemId,
+    /// The generated influence path `s_p` (may be empty).
+    pub path: Vec<ItemId>,
+}
+
+impl PathRecord {
+    /// Whether the path reached the objective.
+    pub fn success(&self) -> bool {
+        self.path.last() == Some(&self.objective)
+    }
+}
+
+/// Aggregate IRS metrics over a batch of paths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IrsMetrics {
+    /// Success rate `SR_M` ∈ [0, 1] (Eq. 11).
+    pub sr: f64,
+    /// Increase of interest `IoI_M` (Eq. 12).
+    pub ioi: f64,
+    /// Increment of rank `IoR_M` (Eq. 13).
+    pub ior: f64,
+    /// Mean log-perplexity of paths (Eq. 14, reported as `log(PPL)`;
+    /// lower is smoother).
+    pub log_ppl: f64,
+    /// Number of paths evaluated.
+    pub count: usize,
+}
+
+impl std::fmt::Display for IrsMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SR {:.4}  IoI {:+.4}  IoR {:+.1}  log(PPL) {:.3}",
+            self.sr, self.ioi, self.ior, self.log_ppl
+        )
+    }
+}
+
+/// Evaluate influence paths with the evaluator (Eq. 11–14).
+///
+/// * `SR` counts paths whose last item is the objective.
+/// * `IoI` is `log P(i_t | s_h ⊕ s_p) − log P(i_t | s_h)` averaged over all
+///   paths (empty paths contribute 0).
+/// * `IoR` is the (positively oriented) rank improvement of the objective.
+/// * `log(PPL)` is `−(1/|s_p|) Σ_k log P(i_k | s_h ⊕ i_{<k})` averaged over
+///   non-empty paths.
+pub fn evaluate_paths<S: SequentialScorer>(
+    evaluator: &Evaluator<S>,
+    paths: &[PathRecord],
+) -> IrsMetrics {
+    assert!(!paths.is_empty(), "no paths to evaluate");
+    let mut sr = 0.0f64;
+    let mut ioi = 0.0f64;
+    let mut ior = 0.0f64;
+    let mut log_ppl = 0.0f64;
+    let mut ppl_count = 0usize;
+
+    for rec in paths {
+        if rec.success() {
+            sr += 1.0;
+        }
+        let mut full = rec.history.clone();
+        full.extend_from_slice(&rec.path);
+
+        let lp_before = evaluator.log_prob(rec.user, &rec.history, rec.objective) as f64;
+        let lp_after = evaluator.log_prob(rec.user, &full, rec.objective) as f64;
+        ioi += lp_after - lp_before;
+
+        let r_before = evaluator.rank(rec.user, &rec.history, rec.objective) as f64;
+        let r_after = evaluator.rank(rec.user, &full, rec.objective) as f64;
+        ior += r_before - r_after; // −(R_after − R_before)
+
+        if !rec.path.is_empty() {
+            let mut ctx = rec.history.clone();
+            let mut acc = 0.0f64;
+            for &item in &rec.path {
+                acc += evaluator.log_prob(rec.user, &ctx, item) as f64;
+                ctx.push(item);
+            }
+            log_ppl += -acc / rec.path.len() as f64;
+            ppl_count += 1;
+        }
+    }
+
+    let n = paths.len() as f64;
+    IrsMetrics {
+        sr: sr / n,
+        ioi: ioi / n,
+        ior: ior / n,
+        log_ppl: if ppl_count > 0 { log_ppl / ppl_count as f64 } else { f64::NAN },
+        count: paths.len(),
+    }
+}
+
+/// Next-item ranking metrics (Eq. 18, plus NDCG@K).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NextItemMetrics {
+    /// Hit ratio at the configured cut-off.
+    pub hr: f64,
+    /// Mean reciprocal rank.
+    pub mrr: f64,
+    /// Normalised discounted cumulative gain at the cut-off (single
+    /// relevant item, so `1 / log₂(1 + rank)` when the item is in the
+    /// top-K, else 0).
+    pub ndcg: f64,
+    /// The cut-off `K` used for `hr` and `ndcg`.
+    pub k: usize,
+}
+
+impl std::fmt::Display for NextItemMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HR@{} {:.4}  MRR {:.4}  NDCG@{} {:.4}",
+            self.k, self.hr, self.mrr, self.k, self.ndcg
+        )
+    }
+}
+
+/// Compute `HR@K` / `MRR` / `NDCG@K` of a scorer on held-out next-item
+/// test cases.
+pub fn next_item_metrics<S: SequentialScorer>(
+    scorer: &S,
+    test: &[TestCase],
+    k: usize,
+) -> NextItemMetrics {
+    assert!(!test.is_empty(), "no test cases");
+    let mut hr = 0.0f64;
+    let mut mrr = 0.0f64;
+    let mut ndcg = 0.0f64;
+    for tc in test {
+        let scores = scorer.score(tc.user, &tc.history);
+        let rank = irs_baselines::rank_of(&scores, tc.next_item);
+        if rank <= k {
+            hr += 1.0;
+            ndcg += 1.0 / (1.0 + rank as f64).log2();
+        }
+        mrr += 1.0 / rank as f64;
+    }
+    let n = test.len() as f64;
+    NextItemMetrics { hr: hr / n, mrr: mrr / n, ndcg: ndcg / n, k }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Evaluator whose scores strongly prefer `seq.last() + 1`.
+    struct ChainScorer {
+        n: usize,
+    }
+
+    impl SequentialScorer for ChainScorer {
+        fn num_items(&self) -> usize {
+            self.n
+        }
+        fn score(&self, _u: UserId, h: &[ItemId]) -> Vec<f32> {
+            let mut s = vec![0.0f32; self.n];
+            if let Some(&last) = h.last() {
+                if last + 1 < self.n {
+                    s[last + 1] = 6.0;
+                }
+                if last + 2 < self.n {
+                    s[last + 2] = 3.0;
+                }
+            }
+            s
+        }
+        fn name(&self) -> &'static str {
+            "chain"
+        }
+    }
+
+    fn record(history: Vec<ItemId>, objective: ItemId, path: Vec<ItemId>) -> PathRecord {
+        PathRecord { user: 0, history, objective, path }
+    }
+
+    #[test]
+    fn sr_counts_successes() {
+        let ev = Evaluator::new(ChainScorer { n: 10 });
+        let paths = vec![
+            record(vec![0], 3, vec![1, 2, 3]),
+            record(vec![0], 5, vec![1, 2]),
+        ];
+        let m = evaluate_paths(&ev, &paths);
+        assert!((m.sr - 0.5).abs() < 1e-9);
+        assert_eq!(m.count, 2);
+    }
+
+    #[test]
+    fn ioi_positive_when_path_leads_to_objective() {
+        let ev = Evaluator::new(ChainScorer { n: 10 });
+        // After path 1,2 the context ends at 2; objective 3 is the top
+        // next item => its probability increased vs history [0].
+        let paths = vec![record(vec![0], 3, vec![1, 2])];
+        let m = evaluate_paths(&ev, &paths);
+        assert!(m.ioi > 0.0, "IoI must be positive, got {}", m.ioi);
+        assert!(m.ior > 0.0, "IoR must be positive, got {}", m.ior);
+    }
+
+    #[test]
+    fn smooth_chain_path_has_lower_ppl_than_random_path() {
+        let ev = Evaluator::new(ChainScorer { n: 10 });
+        let smooth = evaluate_paths(&ev, &[record(vec![0], 9, vec![1, 2, 3])]);
+        let rough = evaluate_paths(&ev, &[record(vec![0], 9, vec![7, 4, 9])]);
+        assert!(
+            smooth.log_ppl < rough.log_ppl,
+            "chain-following path must be smoother: {} vs {}",
+            smooth.log_ppl,
+            rough.log_ppl
+        );
+    }
+
+    #[test]
+    fn empty_paths_leave_ppl_nan_and_zero_ioi() {
+        let ev = Evaluator::new(ChainScorer { n: 10 });
+        let m = evaluate_paths(&ev, &[record(vec![0], 5, vec![])]);
+        assert_eq!(m.sr, 0.0);
+        assert!(m.ioi.abs() < 1e-9);
+        assert!(m.log_ppl.is_nan());
+    }
+
+    #[test]
+    fn next_item_metrics_on_chain() {
+        let scorer = ChainScorer { n: 10 };
+        let test = vec![
+            TestCase { user: 0, history: vec![0, 1], next_item: 2 },
+            TestCase { user: 0, history: vec![3], next_item: 5 },
+        ];
+        let m = next_item_metrics(&scorer, &test, 1);
+        // First case: rank 1 hit; second: item 5 = last+2 → rank 2, miss at K=1.
+        assert!((m.hr - 0.5).abs() < 1e-9);
+        assert!((m.mrr - 0.75).abs() < 1e-9);
+        // NDCG@1: only the rank-1 case counts, gain 1/log2(2) = 1.
+        assert!((m.ndcg - 0.5).abs() < 1e-9);
+        let m20 = next_item_metrics(&scorer, &test, 20);
+        assert!((m20.hr - 1.0).abs() < 1e-9);
+        assert!(m20.hr >= m.hr, "HR must be monotone in K");
+        // NDCG@20: (1 + 1/log2(3)) / 2.
+        let expected = (1.0 + 1.0 / 3f64.log2()) / 2.0;
+        assert!((m20.ndcg - expected).abs() < 1e-9);
+        assert!(m20.ndcg >= m.ndcg, "NDCG must be monotone in K");
+    }
+
+    #[test]
+    fn ndcg_bounded_by_hr() {
+        let scorer = ChainScorer { n: 10 };
+        let test = vec![
+            TestCase { user: 0, history: vec![0, 1], next_item: 2 },
+            TestCase { user: 0, history: vec![3], next_item: 5 },
+            TestCase { user: 0, history: vec![7], next_item: 0 },
+        ];
+        for k in [1, 5, 20] {
+            let m = next_item_metrics(&scorer, &test, k);
+            assert!(m.ndcg <= m.hr + 1e-12, "NDCG@{k} {} must be ≤ HR@{k} {}", m.ndcg, m.hr);
+            assert!(m.ndcg >= 0.0);
+        }
+    }
+}

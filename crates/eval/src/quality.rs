@@ -1,0 +1,175 @@
+//! Path-quality metrics beyond the paper: genre diversity, intra-list
+//! distance and novelty.
+//!
+//! The paper evaluates influence paths on influencing power (SR/IoI/IoR)
+//! and smoothness (PPL).  Production systems additionally care about what
+//! the path *costs the user*: how much catalogue variety it exposes
+//! (diversity), how spread out the recommendations are in item space
+//! (intra-list distance) and how far from the popularity mainstream they
+//! go (novelty).  These metrics quantify that and power the extended
+//! analyses in the benchmark harness.
+
+use irs_data::{Dataset, ItemId};
+use irs_embed::ItemDistance;
+
+use crate::metrics::PathRecord;
+
+/// Genre diversity of a path: distinct genres on the path divided by path
+/// length (0 for empty paths, in `(0, …]` otherwise; > 1 is possible for
+/// multi-genre items).
+pub fn genre_diversity(dataset: &Dataset, path: &[ItemId]) -> f64 {
+    if path.is_empty() {
+        return 0.0;
+    }
+    let mut genres: Vec<usize> = path
+        .iter()
+        .flat_map(|&i| dataset.genres.get(i).cloned().unwrap_or_default())
+        .collect();
+    genres.sort_unstable();
+    genres.dedup();
+    genres.len() as f64 / path.len() as f64
+}
+
+/// Mean pairwise distance between path items (intra-list distance).
+/// 0 for paths with fewer than two items.
+pub fn intra_list_distance<D: ItemDistance>(dist: &D, path: &[ItemId]) -> f64 {
+    if path.len() < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    let mut pairs = 0usize;
+    for i in 0..path.len() {
+        for j in (i + 1)..path.len() {
+            total += dist.distance(path[i], path[j]) as f64;
+            pairs += 1;
+        }
+    }
+    total / pairs as f64
+}
+
+/// Mean novelty of a path: `−log₂(popularity share)` averaged over items
+/// (higher = more long-tail).  `counts` are global item interaction counts.
+pub fn novelty(counts: &[usize], path: &[ItemId]) -> f64 {
+    if path.is_empty() {
+        return 0.0;
+    }
+    let total: usize = counts.iter().sum::<usize>().max(1);
+    path.iter()
+        .map(|&i| {
+            let share = (counts.get(i).copied().unwrap_or(0) as f64 + 0.5) / total as f64;
+            -share.log2()
+        })
+        .sum::<f64>()
+        / path.len() as f64
+}
+
+/// Aggregated quality metrics over a batch of paths (empty paths are
+/// skipped; `count` reports how many contributed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathQuality {
+    /// Mean genre diversity.
+    pub genre_diversity: f64,
+    /// Mean intra-list distance.
+    pub intra_list_distance: f64,
+    /// Mean novelty.
+    pub novelty: f64,
+    /// Number of non-empty paths.
+    pub count: usize,
+}
+
+/// Compute [`PathQuality`] over a batch of path records.
+pub fn path_quality<D: ItemDistance>(
+    dataset: &Dataset,
+    dist: &D,
+    paths: &[PathRecord],
+) -> PathQuality {
+    let counts = dataset.item_counts();
+    let mut gd = 0.0;
+    let mut ild = 0.0;
+    let mut nov = 0.0;
+    let mut n = 0usize;
+    for rec in paths {
+        if rec.path.is_empty() {
+            continue;
+        }
+        gd += genre_diversity(dataset, &rec.path);
+        ild += intra_list_distance(dist, &rec.path);
+        nov += novelty(&counts, &rec.path);
+        n += 1;
+    }
+    if n == 0 {
+        return PathQuality {
+            genre_diversity: 0.0,
+            intra_list_distance: 0.0,
+            novelty: 0.0,
+            count: 0,
+        };
+    }
+    PathQuality {
+        genre_diversity: gd / n as f64,
+        intra_list_distance: ild / n as f64,
+        novelty: nov / n as f64,
+        count: n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset() -> Dataset {
+        Dataset {
+            name: "t".into(),
+            num_users: 1,
+            num_items: 4,
+            // item 0 very popular, item 3 rare
+            sequences: vec![vec![0, 0, 0, 0, 1, 1, 2, 3]],
+            genres: vec![vec![0], vec![0], vec![1], vec![2]],
+            genre_names: vec!["A".into(), "B".into(), "C".into()],
+            item_names: vec![],
+        }
+    }
+
+    struct LineDist;
+    impl ItemDistance for LineDist {
+        fn distance(&self, a: ItemId, b: ItemId) -> f32 {
+            (a as f32 - b as f32).abs()
+        }
+    }
+
+    #[test]
+    fn genre_diversity_counts_distinct_genres() {
+        let d = tiny_dataset();
+        assert_eq!(genre_diversity(&d, &[0, 1]), 0.5); // one genre over 2 items
+        assert_eq!(genre_diversity(&d, &[0, 2]), 1.0); // two genres over 2 items
+        assert_eq!(genre_diversity(&d, &[]), 0.0);
+    }
+
+    #[test]
+    fn intra_list_distance_matches_hand_computation() {
+        let ild = intra_list_distance(&LineDist, &[0, 2, 4]);
+        // pairs: |0-2|=2, |0-4|=4, |2-4|=2 => mean 8/3
+        assert!((ild - 8.0 / 3.0).abs() < 1e-9);
+        assert_eq!(intra_list_distance(&LineDist, &[7]), 0.0);
+    }
+
+    #[test]
+    fn rare_items_are_more_novel() {
+        let d = tiny_dataset();
+        let counts = d.item_counts();
+        assert!(novelty(&counts, &[3]) > novelty(&counts, &[0]));
+    }
+
+    #[test]
+    fn aggregate_skips_empty_paths() {
+        let d = tiny_dataset();
+        let paths = vec![
+            PathRecord { user: 0, history: vec![0], objective: 3, path: vec![1, 2, 3] },
+            PathRecord { user: 0, history: vec![0], objective: 3, path: vec![] },
+        ];
+        let q = path_quality(&d, &LineDist, &paths);
+        assert_eq!(q.count, 1);
+        assert!(q.genre_diversity > 0.0);
+        assert!(q.novelty > 0.0);
+    }
+}

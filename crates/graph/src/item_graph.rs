@@ -1,0 +1,127 @@
+//! The undirected item co-occurrence graph.
+
+use irs_data::{Dataset, ItemId};
+use std::collections::HashMap;
+
+/// Undirected weighted graph over items.
+///
+/// Edge weights default to 1.0 (the paper assigns equal weight); the
+/// co-occurrence count is retained so alternative weightings (e.g.
+/// `1/count`) can be explored.
+#[derive(Debug, Clone)]
+pub struct ItemGraph {
+    num_items: usize,
+    /// Adjacency: for each item, sorted `(neighbour, weight, count)`.
+    adj: Vec<Vec<(ItemId, f32, u32)>>,
+    num_edges: usize,
+}
+
+impl ItemGraph {
+    /// Build from per-user sequences: consecutive items become edges.
+    pub fn from_sequences(num_items: usize, sequences: &[Vec<ItemId>]) -> Self {
+        let mut counts: HashMap<(ItemId, ItemId), u32> = HashMap::new();
+        for seq in sequences {
+            for w in seq.windows(2) {
+                let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+                if a == b {
+                    continue;
+                }
+                *counts.entry((a, b)).or_default() += 1;
+            }
+        }
+        let mut adj: Vec<Vec<(ItemId, f32, u32)>> = vec![Vec::new(); num_items];
+        for (&(a, b), &c) in &counts {
+            adj[a].push((b, 1.0, c));
+            adj[b].push((a, 1.0, c));
+        }
+        for list in adj.iter_mut() {
+            list.sort_unstable_by_key(|&(n, _, _)| n);
+        }
+        ItemGraph { num_items, adj, num_edges: counts.len() }
+    }
+
+    /// Build from a [`Dataset`].
+    pub fn from_dataset(dataset: &Dataset) -> Self {
+        Self::from_sequences(dataset.num_items, &dataset.sequences)
+    }
+
+    /// Number of vertices.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Neighbours of an item with weights.
+    pub fn neighbours(&self, item: ItemId) -> &[(ItemId, f32, u32)] {
+        &self.adj[item]
+    }
+
+    /// Degree of an item.
+    pub fn degree(&self, item: ItemId) -> usize {
+        self.adj[item].len()
+    }
+
+    /// True if `a`–`b` is an edge.
+    pub fn has_edge(&self, a: ItemId, b: ItemId) -> bool {
+        self.adj[a].binary_search_by_key(&b, |&(n, _, _)| n).is_ok()
+    }
+
+    /// Re-weight every edge with `f(co_occurrence_count) -> weight`.
+    pub fn reweight(&mut self, f: impl Fn(u32) -> f32) {
+        for list in self.adj.iter_mut() {
+            for e in list.iter_mut() {
+                e.1 = f(e.2);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_edges_from_consecutive_items() {
+        let g = ItemGraph::from_sequences(4, &[vec![0, 1, 2], vec![2, 3]]);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 3));
+        assert!(!g.has_edge(0, 2));
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn repeated_co_occurrence_counts() {
+        let g = ItemGraph::from_sequences(2, &[vec![0, 1, 0, 1]]);
+        assert_eq!(g.num_edges(), 1);
+        let (_, w, c) = g.neighbours(0)[0];
+        assert_eq!(c, 3);
+        assert_eq!(w, 1.0);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let g = ItemGraph::from_sequences(2, &[vec![0, 0, 1]]);
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn reweight_applies_function() {
+        let mut g = ItemGraph::from_sequences(2, &[vec![0, 1, 0, 1]]);
+        g.reweight(|c| 1.0 / c as f32);
+        let (_, w, _) = g.neighbours(0)[0];
+        assert!((w - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degrees_are_symmetric() {
+        let g = ItemGraph::from_sequences(5, &[vec![0, 1, 2, 3, 4, 0]]);
+        let total: usize = (0..5).map(|i| g.degree(i)).sum();
+        assert_eq!(total, 2 * g.num_edges());
+    }
+}

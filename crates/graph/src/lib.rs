@@ -1,0 +1,18 @@
+//! # irs-graph — item co-occurrence graphs and path-finding
+//!
+//! Implements the substrate of the paper's **Pf2Inf** framework (§III-B):
+//! an undirected item graph built from consecutive co-occurrence in user
+//! sequences ("we assign an edge to two vertices if the corresponding items
+//! appear consecutively in an interaction sequence and assign equal weight
+//! to each edge"), plus Dijkstra shortest paths and a Prim minimum spanning
+//! tree whose tree-paths serve as the MST baseline.
+
+mod dijkstra;
+mod item_graph;
+mod mst;
+pub mod typed;
+
+pub use dijkstra::{bellman_ford, dijkstra_path};
+pub use item_graph::ItemGraph;
+pub use mst::MstPaths;
+pub use typed::{Relation, RelationCosts, TypedItemGraph};

@@ -1,0 +1,176 @@
+//! Minimum spanning tree (Prim) with tree-path extraction — the paper's
+//! MST baseline selects influence paths along MST tree paths (§IV-C).
+
+use irs_data::ItemId;
+
+use crate::item_graph::ItemGraph;
+
+/// A minimum spanning forest of an [`ItemGraph`] supporting tree-path
+/// queries between vertices.
+#[derive(Debug, Clone)]
+pub struct MstPaths {
+    /// Parent of each vertex in its tree (self for roots).
+    parent: Vec<ItemId>,
+    /// Depth from the tree root.
+    depth: Vec<usize>,
+    /// Component id per vertex.
+    component: Vec<usize>,
+}
+
+impl MstPaths {
+    /// Build a minimum spanning forest with Prim's algorithm (restarted per
+    /// connected component).
+    pub fn build(graph: &ItemGraph) -> Self {
+        let n = graph.num_items();
+        let mut parent: Vec<ItemId> = (0..n).collect();
+        let mut depth = vec![0usize; n];
+        let mut component = vec![usize::MAX; n];
+        let mut in_tree = vec![false; n];
+        let mut comp = 0;
+
+        for start in 0..n {
+            if in_tree[start] {
+                continue;
+            }
+            // Prim from `start` over its component.
+            let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u32, ItemId, ItemId)>> =
+                Default::default();
+            in_tree[start] = true;
+            component[start] = comp;
+            for &(next, w, _) in graph.neighbours(start) {
+                heap.push(std::cmp::Reverse((ordered_from(w), next, start)));
+            }
+            while let Some(std::cmp::Reverse((_, v, from))) = heap.pop() {
+                if in_tree[v] {
+                    continue;
+                }
+                in_tree[v] = true;
+                parent[v] = from;
+                depth[v] = depth[from] + 1;
+                component[v] = comp;
+                for &(next, w, _) in graph.neighbours(v) {
+                    if !in_tree[next] {
+                        heap.push(std::cmp::Reverse((ordered_from(w), next, v)));
+                    }
+                }
+            }
+            comp += 1;
+        }
+        MstPaths { parent, depth, component }
+    }
+
+    /// Unique tree path between two vertices, or `None` if they live in
+    /// different components.
+    pub fn tree_path(&self, a: ItemId, b: ItemId) -> Option<Vec<ItemId>> {
+        if self.component[a] != self.component[b] {
+            return None;
+        }
+        if a == b {
+            return Some(vec![a]);
+        }
+        // Walk both vertices up to the lowest common ancestor.
+        let (mut xa, mut xb) = (a, b);
+        let mut left = vec![xa];
+        let mut right = vec![xb];
+        while self.depth[xa] > self.depth[xb] {
+            xa = self.parent[xa];
+            left.push(xa);
+        }
+        while self.depth[xb] > self.depth[xa] {
+            xb = self.parent[xb];
+            right.push(xb);
+        }
+        while xa != xb {
+            xa = self.parent[xa];
+            left.push(xa);
+            xb = self.parent[xb];
+            right.push(xb);
+        }
+        // left ends at the LCA; right also ends at the LCA — drop the
+        // duplicate and reverse the right half.
+        right.pop();
+        right.reverse();
+        left.extend(right);
+        Some(left)
+    }
+
+    /// Component id of a vertex.
+    pub fn component_of(&self, v: ItemId) -> usize {
+        self.component[v]
+    }
+}
+
+/// Total order for non-negative f32 edge weights (no NaNs are produced by
+/// the graph builders); `to_bits` is monotone on non-negative floats.
+fn ordered_from(w: f32) -> u32 {
+    debug_assert!(!w.is_nan());
+    // Monotone map from non-negative f32 to u32.
+    w.to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra_path;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tree_path_on_line_graph() {
+        let g = ItemGraph::from_sequences(5, &[(0..5).collect()]);
+        let mst = MstPaths::build(&g);
+        assert_eq!(mst.tree_path(0, 4).unwrap(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(mst.tree_path(4, 0).unwrap(), vec![4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn different_components_return_none() {
+        let g = ItemGraph::from_sequences(4, &[vec![0, 1], vec![2, 3]]);
+        let mst = MstPaths::build(&g);
+        assert!(mst.tree_path(0, 3).is_none());
+        assert_eq!(mst.component_of(0), mst.component_of(1));
+        assert_ne!(mst.component_of(0), mst.component_of(2));
+    }
+
+    #[test]
+    fn tree_path_endpoints_and_edges() {
+        let g = ItemGraph::from_sequences(6, &[vec![0, 1, 2, 3], vec![1, 4], vec![2, 5], vec![0, 3]]);
+        let mst = MstPaths::build(&g);
+        let p = mst.tree_path(4, 5).unwrap();
+        assert_eq!(p[0], 4);
+        assert_eq!(*p.last().unwrap(), 5);
+        for w in p.windows(2) {
+            assert!(g.has_edge(w[0], w[1]), "tree path must use graph edges");
+        }
+    }
+
+    proptest! {
+        /// Tree paths connect exactly the vertices Dijkstra can connect,
+        /// and are at least as long (a tree path can't beat the shortest).
+        #[test]
+        fn tree_paths_are_valid_and_not_shorter_than_shortest(
+            seqs in proptest::collection::vec(
+                proptest::collection::vec(0usize..10, 2..6), 1..5),
+        ) {
+            let g = ItemGraph::from_sequences(10, &seqs);
+            let mst = MstPaths::build(&g);
+            for a in 0..10 {
+                for b in 0..10 {
+                    let tp = mst.tree_path(a, b);
+                    let sp = dijkstra_path(&g, a, b);
+                    prop_assert_eq!(tp.is_some(), sp.is_some());
+                    if let (Some(tp), Some(sp)) = (tp, sp) {
+                        prop_assert!(tp.len() >= sp.len());
+                        // No repeated vertices on a tree path.
+                        let mut seen = tp.clone();
+                        seen.sort_unstable();
+                        seen.dedup();
+                        prop_assert_eq!(seen.len(), tp.len());
+                        for w in tp.windows(2) {
+                            prop_assert!(g.has_edge(w[0], w[1]));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Typed (knowledge-graph-flavoured) item graphs — the paper's future-work
+//! direction §V-(1): "extend the path-finding baseline by incorporating
+//! knowledge graphs".
+//!
+//! A [`TypedItemGraph`] carries multiple edge relations — behavioural
+//! co-occurrence plus content relations such as shared genre — each with
+//! its own traversal cost.  Shortest paths over the blended costs produce
+//! influence paths that can cross between items that were never watched
+//! consecutively but are semantically related, exactly the KG-subgraph
+//! expansion sketched in the paper.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use irs_data::{Dataset, ItemId};
+
+/// Edge relation kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Items consumed consecutively by some user (behavioural).
+    CoOccurrence,
+    /// Items sharing at least one genre (content).
+    SharedGenre,
+}
+
+/// Per-relation traversal costs.
+#[derive(Debug, Clone)]
+pub struct RelationCosts {
+    /// Cost of a co-occurrence hop.
+    pub co_occurrence: f32,
+    /// Cost of a shared-genre hop.
+    pub shared_genre: f32,
+}
+
+impl Default for RelationCosts {
+    fn default() -> Self {
+        // Behavioural evidence is stronger than mere genre overlap.
+        RelationCosts { co_occurrence: 1.0, shared_genre: 2.5 }
+    }
+}
+
+impl RelationCosts {
+    fn cost(&self, r: Relation) -> f32 {
+        match r {
+            Relation::CoOccurrence => self.co_occurrence,
+            Relation::SharedGenre => self.shared_genre,
+        }
+    }
+}
+
+/// An undirected multi-relational item graph.
+#[derive(Debug, Clone)]
+pub struct TypedItemGraph {
+    num_items: usize,
+    /// Adjacency: `(neighbour, relation)`, deduplicated per relation.
+    adj: Vec<Vec<(ItemId, Relation)>>,
+}
+
+impl TypedItemGraph {
+    /// Build from a dataset: co-occurrence edges from consecutive items in
+    /// user sequences, shared-genre edges between items of a genre
+    /// (capped per item to `genre_fanout` nearest ids to bound density).
+    pub fn from_dataset(dataset: &Dataset, genre_fanout: usize) -> Self {
+        let n = dataset.num_items;
+        let mut edge_set: HashMap<(ItemId, ItemId), Relation> = HashMap::new();
+
+        for seq in &dataset.sequences {
+            for w in seq.windows(2) {
+                let (a, b) = (w[0].min(w[1]), w[0].max(w[1]));
+                if a != b {
+                    // Behavioural edges dominate content edges.
+                    edge_set.insert((a, b), Relation::CoOccurrence);
+                }
+            }
+        }
+
+        // Genre co-membership edges (bounded fanout to the next ids of the
+        // same genre keeps the graph sparse while preserving reachability
+        // within a genre).
+        let mut per_genre: HashMap<usize, Vec<ItemId>> = HashMap::new();
+        for (item, genres) in dataset.genres.iter().enumerate() {
+            for &g in genres {
+                per_genre.entry(g).or_default().push(item);
+            }
+        }
+        for members in per_genre.values() {
+            for (pos, &item) in members.iter().enumerate() {
+                for &other in members.iter().skip(pos + 1).take(genre_fanout) {
+                    let key = (item.min(other), item.max(other));
+                    edge_set.entry(key).or_insert(Relation::SharedGenre);
+                }
+            }
+        }
+
+        let mut adj: Vec<Vec<(ItemId, Relation)>> = vec![Vec::new(); n];
+        for (&(a, b), &r) in &edge_set {
+            adj[a].push((b, r));
+            adj[b].push((a, r));
+        }
+        for list in adj.iter_mut() {
+            list.sort_unstable_by_key(|&(i, _)| i);
+        }
+        TypedItemGraph { num_items: n, adj }
+    }
+
+    /// Number of vertices.
+    pub fn num_items(&self) -> usize {
+        self.num_items
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Neighbours with relations.
+    pub fn neighbours(&self, item: ItemId) -> &[(ItemId, Relation)] {
+        &self.adj[item]
+    }
+
+    /// Cheapest path from `source` to `target` under the given relation
+    /// costs (Dijkstra).  Returns the vertex path including endpoints, or
+    /// `None` when unreachable.
+    pub fn cheapest_path(
+        &self,
+        source: ItemId,
+        target: ItemId,
+        costs: &RelationCosts,
+    ) -> Option<Vec<ItemId>> {
+        assert!(source < self.num_items && target < self.num_items, "vertex out of range");
+        if source == target {
+            return Some(vec![source]);
+        }
+
+        #[derive(PartialEq)]
+        struct Entry {
+            dist: f32,
+            node: ItemId,
+        }
+        impl Eq for Entry {}
+        impl Ord for Entry {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other
+                    .dist
+                    .partial_cmp(&self.dist)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Entry {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut dist = vec![f32::INFINITY; self.num_items];
+        let mut prev: Vec<Option<ItemId>> = vec![None; self.num_items];
+        let mut heap = BinaryHeap::new();
+        dist[source] = 0.0;
+        heap.push(Entry { dist: 0.0, node: source });
+        while let Some(Entry { dist: d, node }) = heap.pop() {
+            if d > dist[node] {
+                continue;
+            }
+            if node == target {
+                break;
+            }
+            for &(next, rel) in &self.adj[node] {
+                let nd = d + costs.cost(rel);
+                if nd < dist[next] {
+                    dist[next] = nd;
+                    prev[next] = Some(node);
+                    heap.push(Entry { dist: nd, node: next });
+                }
+            }
+        }
+        if dist[target].is_infinite() {
+            return None;
+        }
+        let mut path = vec![target];
+        let mut cur = target;
+        while let Some(p) = prev[cur] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> Dataset {
+        Dataset {
+            name: "t".into(),
+            num_users: 2,
+            num_items: 6,
+            // Behavioural chains: 0-1-2 and 3-4-5 (disconnected).
+            sequences: vec![vec![0, 1, 2], vec![3, 4, 5]],
+            // Genre A = {2, 3}: the only bridge between the components.
+            genres: vec![vec![1], vec![1], vec![0], vec![0], vec![2], vec![2]],
+            genre_names: vec!["A".into(), "B".into(), "C".into()],
+            item_names: vec![],
+        }
+    }
+
+    #[test]
+    fn genre_edges_bridge_behavioural_components() {
+        let g = TypedItemGraph::from_dataset(&dataset(), 4);
+        // A plain co-occurrence graph cannot reach 5 from 0; the shared
+        // genre edge 2–3 makes it possible.
+        let p = g.cheapest_path(0, 5, &RelationCosts::default()).expect("reachable via genre");
+        assert_eq!(p.first(), Some(&0));
+        assert_eq!(p.last(), Some(&5));
+        assert!(p.windows(2).any(|w| (w[0] == 2 && w[1] == 3) || (w[0] == 3 && w[1] == 2)));
+    }
+
+    #[test]
+    fn expensive_genre_hops_are_avoided_when_possible() {
+        let d = Dataset {
+            // 0-1-2 chain behaviourally; 0 and 2 also share a genre.
+            sequences: vec![vec![0, 1, 2]],
+            genres: vec![vec![0], vec![1], vec![0]],
+            genre_names: vec!["A".into(), "B".into()],
+            item_names: vec![],
+            name: "t2".into(),
+            num_users: 1,
+            num_items: 3,
+        };
+        let g = TypedItemGraph::from_dataset(&d, 4);
+        // With default costs (genre hop = 2.5 > two co-occurrence hops = 2),
+        // the behavioural route wins.
+        let p = g.cheapest_path(0, 2, &RelationCosts::default()).unwrap();
+        assert_eq!(p, vec![0, 1, 2]);
+        // Cheap genre hops flip the preference.
+        let cheap = RelationCosts { co_occurrence: 1.0, shared_genre: 0.5 };
+        let p2 = g.cheapest_path(0, 2, &cheap).unwrap();
+        assert_eq!(p2, vec![0, 2]);
+    }
+
+    #[test]
+    fn unreachable_without_any_relation_returns_none() {
+        let d = Dataset {
+            sequences: vec![vec![0, 1]],
+            genres: vec![vec![0], vec![0], vec![1]],
+            genre_names: vec!["A".into(), "B".into()],
+            item_names: vec![],
+            name: "t3".into(),
+            num_users: 1,
+            num_items: 3,
+        };
+        let g = TypedItemGraph::from_dataset(&d, 4);
+        assert!(g.cheapest_path(0, 2, &RelationCosts::default()).is_none());
+    }
+
+    #[test]
+    fn behavioural_edges_take_priority_in_dedup() {
+        // 0-1 both co-occur and share a genre: the edge must be recorded
+        // as co-occurrence (cheaper by default).
+        let d = Dataset {
+            sequences: vec![vec![0, 1]],
+            genres: vec![vec![0], vec![0]],
+            genre_names: vec!["A".into()],
+            item_names: vec![],
+            name: "t4".into(),
+            num_users: 1,
+            num_items: 2,
+        };
+        let g = TypedItemGraph::from_dataset(&d, 4);
+        assert_eq!(g.neighbours(0), &[(1, Relation::CoOccurrence)]);
+    }
+}

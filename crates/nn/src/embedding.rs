@@ -1,0 +1,188 @@
+//! Token embedding tables and sinusoidal / learned positional encodings.
+
+use irs_tensor::{Tensor, Var};
+
+use crate::params::{embedding_init, FwdCtx, ParamId, ParamStore};
+
+/// A learned embedding table `[vocab, dim]`.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    table: ParamId,
+    vocab: usize,
+    dim: usize,
+}
+
+impl Embedding {
+    /// Register a randomly initialised table.
+    pub fn new<R: rand::Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        vocab: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = store.add(format!("{name}.table"), embedding_init(vocab, dim, rng));
+        Embedding { table, vocab, dim }
+    }
+
+    /// Register a table initialised from pre-trained vectors (the paper
+    /// initialises IRN's item embeddings from item2vec, §III-D1).
+    pub fn from_pretrained(store: &mut ParamStore, name: &str, table: Tensor) -> Self {
+        assert_eq!(table.ndim(), 2, "embedding table must be 2-D");
+        let vocab = table.shape()[0];
+        let dim = table.shape()[1];
+        let table = store.add(format!("{name}.table"), table);
+        Embedding { table, vocab, dim }
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The table parameter id (for weight tying).
+    pub fn table_id(&self) -> ParamId {
+        self.table
+    }
+
+    /// Look up a flat index list -> `[indices.len(), dim]`.
+    pub fn lookup<'g>(&self, ctx: &FwdCtx<'g, '_>, indices: &[usize]) -> Var<'g> {
+        for &i in indices {
+            assert!(i < self.vocab, "embedding index {i} out of vocab {}", self.vocab);
+        }
+        ctx.param(self.table).gather_rows(indices)
+    }
+
+    /// Look up a `[b, t]` index matrix -> `[b, t, dim]`.
+    pub fn lookup_seq<'g>(&self, ctx: &FwdCtx<'g, '_>, indices: &[Vec<usize>]) -> Var<'g> {
+        let b = indices.len();
+        assert!(b > 0, "lookup_seq of empty batch");
+        let t = indices[0].len();
+        let flat: Vec<usize> = indices
+            .iter()
+            .flat_map(|row| {
+                assert_eq!(row.len(), t, "ragged batch in lookup_seq");
+                row.iter().copied()
+            })
+            .collect();
+        self.lookup(ctx, &flat).reshape(&[b, t, self.dim])
+    }
+}
+
+/// Learned positional encoding `[max_len, dim]`, added to token embeddings.
+#[derive(Debug, Clone)]
+pub struct PositionalEncoding {
+    table: ParamId,
+    max_len: usize,
+    dim: usize,
+}
+
+impl PositionalEncoding {
+    /// Register a learned positional table (SASRec/Bert4Rec style).
+    pub fn new<R: rand::Rng + ?Sized>(
+        store: &mut ParamStore,
+        name: &str,
+        max_len: usize,
+        dim: usize,
+        rng: &mut R,
+    ) -> Self {
+        let table = store.add(format!("{name}.pos"), embedding_init(max_len, dim, rng));
+        PositionalEncoding { table, max_len, dim }
+    }
+
+    /// Maximum supported sequence length.
+    pub fn max_len(&self) -> usize {
+        self.max_len
+    }
+
+    /// Add positions `0..t` to a `[b, t, dim]` tensor.
+    pub fn add_to<'g>(&self, ctx: &FwdCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "positional encoding expects 3-D input");
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.dim, "dim mismatch");
+        assert!(t <= self.max_len, "sequence length {t} exceeds max_len {}", self.max_len);
+        // Gather positions once and broadcast over the batch by tiling the
+        // index list; gradients scatter-add back into the table.
+        let idx: Vec<usize> = (0..b).flat_map(|_| 0..t).collect();
+        let pos = ctx.param(self.table).gather_rows(&idx).reshape(&[b, t, d]);
+        x.add(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_tensor::Graph;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn lookup_shapes_and_rows() {
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 10, 4, &mut rng());
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &store, false, 0);
+        let v = emb.lookup(&ctx, &[2, 7, 2]);
+        assert_eq!(v.shape(), vec![3, 4]);
+        let table = store.value(emb.table_id()).clone();
+        assert_eq!(&v.value().data()[..4], &table.data()[8..12]);
+        assert_eq!(&v.value().data()[8..12], &table.data()[8..12]);
+    }
+
+    #[test]
+    fn lookup_seq_reshapes() {
+        let mut store = ParamStore::new();
+        let emb = Embedding::new(&mut store, "e", 10, 3, &mut rng());
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &store, false, 0);
+        let v = emb.lookup_seq(&ctx, &[vec![0, 1], vec![2, 3]]);
+        assert_eq!(v.shape(), vec![2, 2, 3]);
+    }
+
+    #[test]
+    fn from_pretrained_preserves_vectors() {
+        let mut store = ParamStore::new();
+        let table = Tensor::from_fn(&[4, 2], |i| i as f32);
+        let emb = Embedding::from_pretrained(&mut store, "e", table.clone());
+        assert_eq!(store.value(emb.table_id()), &table);
+        assert_eq!(emb.vocab(), 4);
+        assert_eq!(emb.dim(), 2);
+    }
+
+    #[test]
+    fn positional_encoding_adds_same_offset_per_position() {
+        let mut store = ParamStore::new();
+        let pe = PositionalEncoding::new(&mut store, "p", 8, 3, &mut rng());
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &store, false, 0);
+        let x = g.constant(Tensor::zeros(&[2, 4, 3]));
+        let y = pe.add_to(&ctx, x);
+        let v = y.value();
+        // Batch elements receive identical positional rows.
+        for t in 0..4 {
+            for k in 0..3 {
+                assert_eq!(v.at(&[0, t, k]), v.at(&[1, t, k]));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds max_len")]
+    fn positional_encoding_rejects_long_sequences() {
+        let mut store = ParamStore::new();
+        let pe = PositionalEncoding::new(&mut store, "p", 2, 3, &mut rng());
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &store, false, 0);
+        let x = g.constant(Tensor::zeros(&[1, 4, 3]));
+        let _ = pe.add_to(&ctx, x);
+    }
+}

@@ -1,0 +1,55 @@
+//! Layer normalisation.
+
+use irs_tensor::{Tensor, Var};
+
+use crate::params::{FwdCtx, ParamId, ParamStore};
+
+/// Layer normalisation over the last axis with learned scale and shift.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    gamma: ParamId,
+    beta: ParamId,
+    dim: usize,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Register a layer-norm over feature dimension `dim`.
+    pub fn new(store: &mut ParamStore, name: &str, dim: usize) -> Self {
+        let gamma = store.add(format!("{name}.gamma"), Tensor::ones(&[dim]));
+        let beta = store.add(format!("{name}.beta"), Tensor::zeros(&[dim]));
+        LayerNorm { gamma, beta, dim, eps: 1e-5 }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Apply to a tensor whose last axis has length `dim`.
+    pub fn forward<'g>(&self, ctx: &FwdCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
+        x.layer_norm(ctx.param(self.gamma), ctx.param(self.beta), self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_tensor::Graph;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalises_each_row() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let mut store = ParamStore::new();
+        let ln = LayerNorm::new(&mut store, "ln", 5);
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &store, false, 0);
+        let x = g.constant(Tensor::randn(&[3, 5], 4.0, &mut rng));
+        let y = ln.forward(&ctx, x).value();
+        for row in y.data().chunks(5) {
+            let mean: f32 = row.iter().sum::<f32>() / 5.0;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Binary (de)serialisation of trained parameters.
+//!
+//! Format (`IRSP` v1, little-endian):
+//!
+//! ```text
+//! magic   [u8; 4] = b"IRSP"
+//! version u32     = 1
+//! count   u32                         number of parameter tensors
+//! per parameter:
+//!   name_len u16, name bytes (UTF-8)
+//!   ndim     u8,  dims u32 × ndim
+//!   data     f32 × Π dims
+//! ```
+//!
+//! Loading is *architecture-checked*: [`ParamStore::load_parameters`]
+//! matches records by name against the already-registered parameters and
+//! refuses shape or coverage mismatches, so a file can only be loaded into
+//! the model architecture that produced it.
+
+use bytes::{Buf, BufMut, BytesMut};
+use std::io::{self, Read, Write};
+
+use irs_tensor::Tensor;
+
+use crate::params::ParamStore;
+
+const MAGIC: &[u8; 4] = b"IRSP";
+const VERSION: u32 = 1;
+
+fn err(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl ParamStore {
+    /// Serialise every parameter tensor (names, shapes, values).
+    pub fn save_parameters<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.num_tensors() as u32);
+        for id in self.ids() {
+            let name = self.name(id).as_bytes();
+            if name.len() > u16::MAX as usize {
+                return Err(err("parameter name too long"));
+            }
+            buf.put_u16_le(name.len() as u16);
+            buf.put_slice(name);
+            let value = self.value(id);
+            let shape = value.shape();
+            if shape.len() > u8::MAX as usize {
+                return Err(err("parameter rank too large"));
+            }
+            buf.put_u8(shape.len() as u8);
+            for &d in shape {
+                buf.put_u32_le(d as u32);
+            }
+            for &x in value.data() {
+                buf.put_f32_le(x);
+            }
+        }
+        writer.write_all(&buf)
+    }
+
+    /// Load parameters into this (already constructed) store, matching
+    /// records by name.  Every registered parameter must be covered and
+    /// every record must match an existing parameter with the same shape.
+    pub fn load_parameters<R: Read>(&mut self, mut reader: R) -> io::Result<()> {
+        let mut raw = Vec::new();
+        reader.read_to_end(&mut raw)?;
+        let mut buf = &raw[..];
+
+        let need = |buf: &&[u8], n: usize| -> io::Result<()> {
+            if buf.remaining() < n {
+                Err(err("truncated parameter file"))
+            } else {
+                Ok(())
+            }
+        };
+
+        need(&buf, 8)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(err("not an IRSP parameter file"));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(err(format!("unsupported IRSP version {version}")));
+        }
+        need(&buf, 4)?;
+        let count = buf.get_u32_le() as usize;
+        if count != self.num_tensors() {
+            return Err(err(format!(
+                "parameter count mismatch: file has {count}, model has {}",
+                self.num_tensors()
+            )));
+        }
+
+        let mut loaded = vec![false; count];
+        for _ in 0..count {
+            need(&buf, 2)?;
+            let name_len = buf.get_u16_le() as usize;
+            need(&buf, name_len)?;
+            let mut name_bytes = vec![0u8; name_len];
+            buf.copy_to_slice(&mut name_bytes);
+            let name = String::from_utf8(name_bytes).map_err(|_| err("invalid UTF-8 name"))?;
+
+            need(&buf, 1)?;
+            let ndim = buf.get_u8() as usize;
+            need(&buf, 4 * ndim)?;
+            let shape: Vec<usize> = (0..ndim).map(|_| buf.get_u32_le() as usize).collect();
+            let numel: usize = shape.iter().product();
+            need(&buf, 4 * numel)?;
+            let data: Vec<f32> = (0..numel).map(|_| buf.get_f32_le()).collect();
+
+            let id = self
+                .ids()
+                .find(|&id| self.name(id) == name)
+                .ok_or_else(|| err(format!("unknown parameter '{name}' in file")))?;
+            let idx = self.ids().position(|i| i == id).expect("id exists");
+            if loaded[idx] {
+                return Err(err(format!("duplicate parameter '{name}'")));
+            }
+            if self.value(id).shape() != shape.as_slice() {
+                return Err(err(format!(
+                    "shape mismatch for '{name}': file {:?}, model {:?}",
+                    shape,
+                    self.value(id).shape()
+                )));
+            }
+            *self.value_mut(id) = Tensor::from_vec(data, &shape);
+            loaded[idx] = true;
+        }
+        if !loaded.iter().all(|&l| l) {
+            return Err(err("file does not cover every model parameter"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn sample_store(seed: u64) -> ParamStore {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut store = ParamStore::new();
+        store.add("layer.w", Tensor::randn(&[3, 4], 1.0, &mut rng));
+        store.add("layer.b", Tensor::randn(&[4], 1.0, &mut rng));
+        store.add("emb.table", Tensor::randn(&[10, 4], 1.0, &mut rng));
+        store
+    }
+
+    #[test]
+    fn round_trip_preserves_all_values() {
+        let src = sample_store(1);
+        let mut bytes = Vec::new();
+        src.save_parameters(&mut bytes).unwrap();
+
+        let mut dst = sample_store(2); // different values, same architecture
+        dst.load_parameters(&bytes[..]).unwrap();
+        for (a, b) in src.ids().zip(dst.ids()) {
+            assert_eq!(src.value(a), dst.value(b));
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_magic_and_truncation() {
+        let src = sample_store(1);
+        let mut bytes = Vec::new();
+        src.save_parameters(&mut bytes).unwrap();
+
+        let mut dst = sample_store(2);
+        let mut corrupted = bytes.clone();
+        corrupted[0] = b'X';
+        assert!(dst.load_parameters(&corrupted[..]).is_err());
+
+        let truncated = &bytes[..bytes.len() / 2];
+        assert!(dst.load_parameters(truncated).is_err());
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let src = sample_store(1);
+        let mut bytes = Vec::new();
+        src.save_parameters(&mut bytes).unwrap();
+
+        // Different shape.
+        let mut wrong_shape = ParamStore::new();
+        wrong_shape.add("layer.w", Tensor::zeros(&[3, 5]));
+        wrong_shape.add("layer.b", Tensor::zeros(&[4]));
+        wrong_shape.add("emb.table", Tensor::zeros(&[10, 4]));
+        assert!(wrong_shape.load_parameters(&bytes[..]).is_err());
+
+        // Different names.
+        let mut wrong_names = ParamStore::new();
+        wrong_names.add("other.w", Tensor::zeros(&[3, 4]));
+        wrong_names.add("layer.b", Tensor::zeros(&[4]));
+        wrong_names.add("emb.table", Tensor::zeros(&[10, 4]));
+        assert!(wrong_names.load_parameters(&bytes[..]).is_err());
+
+        // Different count.
+        let mut wrong_count = ParamStore::new();
+        wrong_count.add("layer.w", Tensor::zeros(&[3, 4]));
+        assert!(wrong_count.load_parameters(&bytes[..]).is_err());
+    }
+}

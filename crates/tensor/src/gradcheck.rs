@@ -1,0 +1,93 @@
+//! Finite-difference gradient checking.
+//!
+//! Every backward implementation in this workspace is validated against a
+//! central-difference approximation.  The checker builds a fresh graph per
+//! perturbation, which also exercises graph construction determinism.
+
+use crate::graph::{Graph, Var};
+use crate::tensor::Tensor;
+
+/// Relative tolerance used by [`check_gradients`].
+pub const DEFAULT_TOL: f32 = 2e-2;
+
+/// Step size for central differences (f32 arithmetic needs a fairly large
+/// step; the comparison uses a relative error metric).
+pub const DEFAULT_EPS: f32 = 1e-2;
+
+/// Check analytic gradients of `f` against central differences at `inputs`.
+///
+/// `f` receives the graph and one `Var` per input tensor (all created with
+/// `needs_grad = true`) and must return a scalar loss.  Panics with a
+/// descriptive message if any partial derivative disagrees.
+pub fn check_gradients<F>(inputs: &[Tensor], f: F)
+where
+    F: for<'g> Fn(&'g Graph, &[Var<'g>]) -> Var<'g>,
+{
+    check_gradients_tol(inputs, DEFAULT_EPS, DEFAULT_TOL, f);
+}
+
+/// [`check_gradients`] with explicit step size and tolerance.
+pub fn check_gradients_tol<F>(inputs: &[Tensor], eps: f32, tol: f32, f: F)
+where
+    F: for<'g> Fn(&'g Graph, &[Var<'g>]) -> Var<'g>,
+{
+    // Analytic gradients.
+    let analytic: Vec<Tensor> = {
+        let g = Graph::new();
+        let vars: Vec<Var<'_>> = inputs.iter().map(|t| g.var(t.clone(), true)).collect();
+        let loss = f(&g, &vars);
+        g.backward(loss);
+        vars.iter()
+            .map(|&v| g.grad(v).unwrap_or_else(|| Tensor::zeros(&v.shape())))
+            .collect()
+    };
+
+    let eval = |perturbed: &[Tensor]| -> f32 {
+        let g = Graph::new();
+        let vars: Vec<Var<'_>> = perturbed.iter().map(|t| g.var(t.clone(), true)).collect();
+        f(&g, &vars).item()
+    };
+
+    for (ti, input) in inputs.iter().enumerate() {
+        for ei in 0..input.len() {
+            let mut plus = inputs.to_vec();
+            plus[ti].data_mut()[ei] += eps;
+            let mut minus = inputs.to_vec();
+            minus[ti].data_mut()[ei] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * eps);
+            let a = analytic[ti].data()[ei];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            let rel = (a - numeric).abs() / denom;
+            assert!(
+                rel <= tol,
+                "gradient mismatch: input {ti} element {ei}: analytic {a}, numeric {numeric} (rel err {rel})"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_correct_gradient() {
+        let x = Tensor::from_vec(vec![0.4, -0.2, 0.9], &[3]);
+        check_gradients(&[x], |_g, vars| vars[0].mul(vars[0]).sum_all());
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient mismatch")]
+    fn rejects_wrong_gradient() {
+        // Deliberately broken op: forward computes x², backward claims d/dx = 1.
+        let inputs = [Tensor::from_vec(vec![1.0, 2.0], &[2])];
+        check_gradients(&inputs, |g, vars| {
+            let val = g.value(vars[0]).map(|v| v * v);
+            let broken = g.custom_op(&[vars[0]], val, |ctx| {
+                let go = ctx.grad_out().clone();
+                ctx.accumulate(0, &go);
+            });
+            broken.sum_all()
+        });
+    }
+}

@@ -1,0 +1,371 @@
+//! Differentiable neural-network primitives: softmax, log-softmax, layer
+//! normalisation, dropout, additive masks and the fused cross-entropy loss.
+
+use crate::graph::Var;
+use crate::tensor::{softmax_in_place, Tensor};
+
+impl<'g> Var<'g> {
+    /// Softmax along the last axis.
+    ///
+    /// Backward uses the standard Jacobian-vector product
+    /// `dx = y ⊙ (g − ⟨g, y⟩)` computed row-wise.
+    pub fn softmax_last(self) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| a.softmax_last());
+        self.graph.push_op(&[self], v, |ctx| {
+            let y = ctx.out_value().clone();
+            let go = ctx.grad_out().clone();
+            let d = *y.shape().last().expect("softmax grad on 0-d tensor");
+            let dx = ctx.grad_mut(0);
+            for ((dx_row, y_row), g_row) in dx
+                .data_mut()
+                .chunks_mut(d)
+                .zip(y.data().chunks(d))
+                .zip(go.data().chunks(d))
+            {
+                let dot: f32 = y_row.iter().zip(g_row).map(|(&yi, &gi)| yi * gi).sum();
+                for ((o, &yi), &gi) in dx_row.iter_mut().zip(y_row).zip(g_row) {
+                    *o += yi * (gi - dot);
+                }
+            }
+        })
+    }
+
+    /// Log-softmax along the last axis.
+    ///
+    /// Backward: `dx = g − softmax(x) · Σ g` computed row-wise.
+    pub fn log_softmax_last(self) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| a.log_softmax_last());
+        self.graph.push_op(&[self], v, |ctx| {
+            let logp = ctx.out_value().clone();
+            let go = ctx.grad_out().clone();
+            let d = *logp.shape().last().expect("log_softmax grad on 0-d tensor");
+            let dx = ctx.grad_mut(0);
+            for ((dx_row, lp_row), g_row) in dx
+                .data_mut()
+                .chunks_mut(d)
+                .zip(logp.data().chunks(d))
+                .zip(go.data().chunks(d))
+            {
+                let gsum: f32 = g_row.iter().sum();
+                for ((o, &lp), &gi) in dx_row.iter_mut().zip(lp_row).zip(g_row) {
+                    *o += gi - lp.exp() * gsum;
+                }
+            }
+        })
+    }
+
+    /// Layer normalisation over the last axis with learned `gamma`/`beta`
+    /// (both 1-D of the last-axis length).
+    pub fn layer_norm(self, gamma: Var<'g>, beta: Var<'g>, eps: f32) -> Var<'g> {
+        let d = *self.shape().last().expect("layer_norm on 0-d tensor");
+        assert_eq!(gamma.shape(), vec![d], "gamma must be [{d}]");
+        assert_eq!(beta.shape(), vec![d], "beta must be [{d}]");
+        let v = self.graph.with_value(self, |x| {
+            gamma.graph.with_value(gamma, |gm| {
+                beta.graph.with_value(beta, |bt| {
+                    let mut out = x.clone();
+                    for row in out.data_mut().chunks_mut(d) {
+                        let mean = row.iter().sum::<f32>() / d as f32;
+                        let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+                        let inv = 1.0 / (var + eps).sqrt();
+                        for (i, r) in row.iter_mut().enumerate() {
+                            *r = (*r - mean) * inv * gm.data()[i] + bt.data()[i];
+                        }
+                    }
+                    out
+                })
+            })
+        });
+        self.graph.push_op(&[self, gamma, beta], v, move |ctx| {
+            let x = ctx.value(0).clone();
+            let gm = ctx.value(1).clone();
+            let go = ctx.grad_out().clone();
+            let rows = x.len() / d;
+            // Recompute per-row statistics (cheaper than caching for the
+            // small feature dims used in this workspace).
+            let mut dgamma = vec![0.0f32; d];
+            let mut dbeta = vec![0.0f32; d];
+            {
+                let dx = ctx.grad_mut(0);
+                for r in 0..rows {
+                    let xr = &x.data()[r * d..(r + 1) * d];
+                    let gr = &go.data()[r * d..(r + 1) * d];
+                    let mean = xr.iter().sum::<f32>() / d as f32;
+                    let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
+                    let inv = 1.0 / (var + eps).sqrt();
+                    // xhat_i = (x_i - mean) * inv
+                    // dxhat_i = g_i * gamma_i
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for i in 0..d {
+                        let xhat = (xr[i] - mean) * inv;
+                        let dxhat = gr[i] * gm.data()[i];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * xhat;
+                        dgamma[i] += gr[i] * xhat;
+                        dbeta[i] += gr[i];
+                    }
+                    let dxr = &mut dx.data_mut()[r * d..(r + 1) * d];
+                    for i in 0..d {
+                        let xhat = (xr[i] - mean) * inv;
+                        let dxhat = gr[i] * gm.data()[i];
+                        dxr[i] += inv * (dxhat - sum_dxhat / d as f32 - xhat * sum_dxhat_xhat / d as f32);
+                    }
+                }
+            }
+            for (o, g) in ctx.grad_mut(1).data_mut().iter_mut().zip(&dgamma) {
+                *o += g;
+            }
+            for (o, g) in ctx.grad_mut(2).data_mut().iter_mut().zip(&dbeta) {
+                *o += g;
+            }
+        })
+    }
+
+    /// Inverted dropout.  When `training` is false this is the identity.
+    /// The Bernoulli mask is drawn from `rng` at op-construction time so the
+    /// forward value and backward routing agree.
+    pub fn dropout<R: rand::Rng + ?Sized>(self, p: f32, training: bool, rng: &mut R) -> Var<'g> {
+        assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
+        if !training || p == 0.0 {
+            return self;
+        }
+        let keep = 1.0 - p;
+        let n = self.graph.with_value(self, |t| t.len());
+        let mask: Vec<f32> = (0..n)
+            .map(|_| if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let v = self.graph.with_value(self, |t| {
+            let mut out = t.clone();
+            for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
+                *o *= m;
+            }
+            out
+        });
+        self.graph.push_op(&[self], v, move |ctx| {
+            let go = ctx.grad_out().clone();
+            let dx = ctx.grad_mut(0);
+            for ((o, &g), &m) in dx.data_mut().iter_mut().zip(go.data()).zip(&mask) {
+                *o += g * m;
+            }
+        })
+    }
+
+    /// Add a constant bias tensor broadcast over the leading axis:
+    /// `self: [B, ...rest]`, `mask: [...rest]`.  No gradient flows into the
+    /// mask (it is plain data, e.g. a causal attention mask).
+    pub fn add_mask_bcast(self, mask: &Tensor) -> Var<'g> {
+        let shape = self.shape();
+        let rest: usize = mask.len();
+        assert!(
+            !shape.is_empty() && shape.iter().skip(1).product::<usize>() == rest,
+            "mask shape {:?} does not match trailing axes of {:?}",
+            mask.shape(),
+            shape
+        );
+        let mask_data = mask.data().to_vec();
+        let v = self.graph.with_value(self, |t| {
+            let mut out = t.clone();
+            for chunk in out.data_mut().chunks_mut(rest) {
+                for (o, &m) in chunk.iter_mut().zip(&mask_data) {
+                    *o += m;
+                }
+            }
+            out
+        });
+        self.graph.push_op(&[self], v, |ctx| {
+            let go = ctx.grad_out().clone();
+            ctx.accumulate(0, &go);
+        })
+    }
+
+    /// Fused softmax cross-entropy over the last axis of a 2-D logits
+    /// tensor `[N, V]`, with integer `targets` (length `N`).  Positions
+    /// whose target equals `ignore_index` contribute neither loss nor
+    /// gradient.  Returns the mean loss over non-ignored rows (scalar).
+    pub fn cross_entropy(self, targets: &[usize], ignore_index: usize) -> Var<'g> {
+        let shape = self.shape();
+        assert_eq!(shape.len(), 2, "cross_entropy expects 2-D logits, got {shape:?}");
+        let (n, v_dim) = (shape[0], shape[1]);
+        assert_eq!(targets.len(), n, "targets length must equal logits rows");
+        let tg: Vec<usize> = targets.to_vec();
+        let count = tg.iter().filter(|&&t| t != ignore_index).count().max(1);
+
+        let value = self.graph.with_value(self, |logits| {
+            let mut loss = 0.0f64;
+            for (row, &t) in logits.data().chunks(v_dim).zip(&tg) {
+                if t == ignore_index {
+                    continue;
+                }
+                assert!(t < v_dim, "target {t} out of vocabulary {v_dim}");
+                let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+                loss += f64::from(lse - row[t]);
+            }
+            Tensor::scalar((loss / count as f64) as f32)
+        });
+
+        self.graph.push_op(&[self], value, move |ctx| {
+            let g = ctx.grad_out().item() / count as f32;
+            let logits = ctx.value(0).clone();
+            let dx = ctx.grad_mut(0);
+            for ((dx_row, row), &t) in dx
+                .data_mut()
+                .chunks_mut(v_dim)
+                .zip(logits.data().chunks(v_dim))
+                .zip(&tg)
+            {
+                if t == ignore_index {
+                    continue;
+                }
+                let mut probs = row.to_vec();
+                softmax_in_place(&mut probs);
+                for (i, (o, &p)) in dx_row.iter_mut().zip(&probs).enumerate() {
+                    let indicator = if i == t { 1.0 } else { 0.0 };
+                    *o += g * (p - indicator);
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck::check_gradients;
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(2024)
+    }
+
+    #[test]
+    fn softmax_grad() {
+        let x = Tensor::randn(&[3, 5], 1.0, &mut rng());
+        check_gradients(&[x], |_g, vars| {
+            let y = vars[0].softmax_last();
+            // Weighted sum to produce asymmetric upstream gradients.
+            let w = Tensor::from_fn(&[3, 5], |i| (i as f32 * 0.37).sin());
+            let wv = vars[0].graph().constant(w);
+            y.mul(wv).sum_all()
+        });
+    }
+
+    #[test]
+    fn log_softmax_grad() {
+        let x = Tensor::randn(&[2, 7], 1.0, &mut rng());
+        check_gradients(&[x], |_g, vars| {
+            let y = vars[0].log_softmax_last();
+            let w = Tensor::from_fn(&[2, 7], |i| ((i * i) as f32 * 0.11).cos());
+            let wv = vars[0].graph().constant(w);
+            y.mul(wv).sum_all()
+        });
+    }
+
+    #[test]
+    fn layer_norm_output_is_normalised() {
+        let g = Graph::new();
+        let x = g.var(Tensor::randn(&[4, 8], 3.0, &mut rng()), true);
+        let gamma = g.var(Tensor::ones(&[8]), true);
+        let beta = g.var(Tensor::zeros(&[8]), true);
+        let y = x.layer_norm(gamma, beta, 1e-5);
+        for row in y.value().data().chunks(8) {
+            let mean: f32 = row.iter().sum::<f32>() / 8.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 8.0;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn layer_norm_grad() {
+        let x = Tensor::randn(&[3, 6], 1.0, &mut rng());
+        let gamma = Tensor::rand_uniform(&[6], 0.5, 1.5, &mut rng());
+        let beta = Tensor::randn(&[6], 0.3, &mut rng());
+        check_gradients(&[x, gamma, beta], |_g, vars| {
+            let y = vars[0].layer_norm(vars[1], vars[2], 1e-5);
+            let w = Tensor::from_fn(&[3, 6], |i| (i as f32 * 0.71).sin());
+            let wv = vars[0].graph().constant(w);
+            y.mul(wv).sum_all()
+        });
+    }
+
+    #[test]
+    fn dropout_eval_is_identity_and_train_scales() {
+        let g = Graph::new();
+        let x = g.var(Tensor::ones(&[1000]), true);
+        let mut r = rng();
+        let eval = x.dropout(0.5, false, &mut r);
+        assert_eq!(eval.value().data(), x.value().data());
+
+        let train = x.dropout(0.5, true, &mut r);
+        let vals = train.value();
+        let kept = vals.data().iter().filter(|&&v| v > 0.0).count();
+        // Inverted dropout: kept values are scaled by 2.
+        assert!(vals.data().iter().all(|&v| v == 0.0 || (v - 2.0).abs() < 1e-6));
+        assert!((400..600).contains(&kept), "kept {kept}");
+    }
+
+    #[test]
+    fn dropout_backward_respects_mask() {
+        let g = Graph::new();
+        let x = g.var(Tensor::ones(&[64]), true);
+        let mut r = rng();
+        let y = x.dropout(0.25, true, &mut r);
+        let loss = y.sum_all();
+        g.backward(loss);
+        let dx = g.grad(x).unwrap();
+        let fwd = y.value();
+        for (gv, fv) in dx.data().iter().zip(fwd.data()) {
+            assert_eq!(gv, fv, "grad must equal mask value for linear loss");
+        }
+    }
+
+    #[test]
+    fn add_mask_bcast_values() {
+        let g = Graph::new();
+        let x = g.var(Tensor::zeros(&[2, 2, 2]), true);
+        let mask = Tensor::from_vec(vec![0.0, -1.0, 2.0, 0.5], &[2, 2]);
+        let y = x.add_mask_bcast(&mask);
+        assert_eq!(y.value().data(), &[0.0, -1.0, 2.0, 0.5, 0.0, -1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn cross_entropy_matches_manual_nll() {
+        let g = Graph::new();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5, -0.5, 0.0, 3.0], &[2, 3]);
+        let x = g.var(logits.clone(), true);
+        let loss = x.cross_entropy(&[1, 2], usize::MAX);
+        let lp = logits.log_softmax_last();
+        let manual = -(lp.at(&[0, 1]) + lp.at(&[1, 2])) / 2.0;
+        assert!((loss.item() - manual).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_ignores_padding_rows() {
+        let g = Graph::new();
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5, 9.0, -3.0, 0.1], &[2, 3]);
+        let x = g.var(logits.clone(), true);
+        const PAD: usize = 7;
+        let loss = x.cross_entropy(&[1, PAD], PAD);
+        let lp = logits.log_softmax_last();
+        assert!((loss.item() + lp.at(&[0, 1])).abs() < 1e-5);
+        g.backward(loss);
+        let dx = g.grad(x).unwrap();
+        // Ignored row receives zero gradient.
+        assert_eq!(&dx.data()[3..6], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck() {
+        let logits = Tensor::randn(&[4, 5], 1.0, &mut rng());
+        check_gradients(&[logits], |_g, vars| vars[0].cross_entropy(&[0, 3, 2, 4], usize::MAX));
+    }
+
+    #[test]
+    fn cross_entropy_gradcheck_with_ignore() {
+        let logits = Tensor::randn(&[4, 5], 1.0, &mut rng());
+        check_gradients(&[logits], |_g, vars| vars[0].cross_entropy(&[0, 9, 2, 9], 9));
+    }
+}

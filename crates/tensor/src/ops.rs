@@ -1,0 +1,370 @@
+//! Differentiable arithmetic, linear algebra and activation operations.
+
+use crate::graph::Var;
+use crate::tensor::Tensor;
+
+#[allow(clippy::should_implement_trait)] // add/sub/mul/neg mirror tensor-library convention
+impl<'g> Var<'g> {
+    // ------------------------------------------------------------------
+    // Elementwise arithmetic
+    // ------------------------------------------------------------------
+
+    /// Elementwise `self + other` (identical shapes).
+    pub fn add(self, other: Var<'g>) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.add(b)));
+        self.graph.push_op(&[self, other], v, |ctx| {
+            let g = ctx.grad_out().clone();
+            ctx.accumulate(0, &g);
+            ctx.accumulate(1, &g);
+        })
+    }
+
+    /// Elementwise `self - other` (identical shapes).
+    pub fn sub(self, other: Var<'g>) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.sub(b)));
+        self.graph.push_op(&[self, other], v, |ctx| {
+            let g = ctx.grad_out().clone();
+            ctx.accumulate(0, &g);
+            ctx.accumulate_scaled(1, -1.0, &g);
+        })
+    }
+
+    /// Elementwise Hadamard product (identical shapes).
+    pub fn mul(self, other: Var<'g>) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.mul(b)));
+        self.graph.push_op(&[self, other], v, |ctx| {
+            let da = ctx.grad_out().mul(ctx.value(1));
+            let db = ctx.grad_out().mul(ctx.value(0));
+            ctx.accumulate(0, &da);
+            ctx.accumulate(1, &db);
+        })
+    }
+
+    /// `self + c` for a scalar constant.
+    pub fn add_scalar(self, c: f32) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| a.map(|x| x + c));
+        self.graph.push_op(&[self], v, |ctx| {
+            let g = ctx.grad_out().clone();
+            ctx.accumulate(0, &g);
+        })
+    }
+
+    /// `self * c` for a scalar constant.
+    pub fn mul_scalar(self, c: f32) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| a.scale(c));
+        self.graph.push_op(&[self], v, move |ctx| {
+            let g = ctx.grad_out().clone();
+            ctx.accumulate_scaled(0, c, &g);
+        })
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Var<'g> {
+        self.mul_scalar(-1.0)
+    }
+
+    /// Multiply by a scalar-valued `Var` (shape `[1]`), broadcasting it over
+    /// every element.  The gradient flows into both operands; used e.g. for
+    /// learned temperature / impressionability factors.
+    pub fn scale_by(self, s: Var<'g>) -> Var<'g> {
+        let sv = s.item();
+        let v = self.graph.with_value(self, |a| a.scale(sv));
+        self.graph.push_op(&[self, s], v, |ctx| {
+            let s_val = ctx.value(1).item();
+            let go = ctx.grad_out().clone();
+            ctx.accumulate_scaled(0, s_val, &go);
+            let ds: f32 = ctx.grad_out().data().iter().zip(ctx.value(0).data()).map(|(&g, &x)| g * x).sum();
+            ctx.grad_mut(1).data_mut()[0] += ds;
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Broadcasting helpers
+    // ------------------------------------------------------------------
+
+    /// Add a 1-D bias of length `d` to a tensor whose last axis has length
+    /// `d`, broadcasting over all leading axes.
+    pub fn add_bias(self, bias: Var<'g>) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| {
+            bias.graph.with_value(bias, |b| {
+                assert_eq!(b.ndim(), 1, "add_bias needs 1-D bias, got {:?}", b.shape());
+                let d = b.shape()[0];
+                assert_eq!(
+                    *a.shape().last().expect("add_bias on 0-d tensor"),
+                    d,
+                    "bias length {d} does not match last axis of {:?}",
+                    a.shape()
+                );
+                let mut out = a.clone();
+                for row in out.data_mut().chunks_mut(d) {
+                    for (o, &bb) in row.iter_mut().zip(b.data()) {
+                        *o += bb;
+                    }
+                }
+                out
+            })
+        });
+        self.graph.push_op(&[self, bias], v, |ctx| {
+            let go = ctx.grad_out().clone();
+            ctx.accumulate(0, &go);
+            let d = ctx.value(1).shape()[0];
+            let db = ctx.grad_mut(1);
+            for row in go.data().chunks(d) {
+                for (b, &g) in db.data_mut().iter_mut().zip(row) {
+                    *b += g;
+                }
+            }
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// 2-D matrix multiply.
+    pub fn matmul(self, other: Var<'g>) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.matmul(b)));
+        self.graph.push_op(&[self, other], v, |ctx| {
+            // dA = g @ Bᵀ ; dB = Aᵀ @ g
+            let da = ctx.grad_out().matmul(&ctx.value(1).transpose2d());
+            let db = ctx.value(0).transpose2d().matmul(ctx.grad_out());
+            ctx.accumulate(0, &da);
+            ctx.accumulate(1, &db);
+        })
+    }
+
+    /// Batched 3-D matmul `[b,m,k] @ [b,k,n] -> [b,m,n]`.
+    pub fn bmm(self, other: Var<'g>) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.bmm(b)));
+        self.graph.push_op(&[self, other], v, |ctx| {
+            let da = ctx.grad_out().bmm(&ctx.value(1).transpose_last2());
+            let db = ctx.value(0).transpose_last2().bmm(ctx.grad_out());
+            ctx.accumulate(0, &da);
+            ctx.accumulate(1, &db);
+        })
+    }
+
+    /// Multiply a 3-D tensor by a shared 2-D matrix on the right:
+    /// `[b,m,k] @ [k,n] -> [b,m,n]`.  Implemented by flattening the leading
+    /// axes (a reshape is free for contiguous tensors).
+    pub fn matmul_rhs2d(self, w: Var<'g>) -> Var<'g> {
+        let shape = self.shape();
+        assert_eq!(shape.len(), 3, "matmul_rhs2d lhs must be 3-D, got {shape:?}");
+        let (b, m, k) = (shape[0], shape[1], shape[2]);
+        let n = w.shape()[1];
+        self.reshape(&[b * m, k]).matmul(w).reshape(&[b, m, n])
+    }
+
+    /// Swap the last two axes of a 3-D tensor.
+    pub fn transpose_last2(self) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| a.transpose_last2());
+        self.graph.push_op(&[self], v, |ctx| {
+            let da = ctx.grad_out().transpose_last2();
+            ctx.accumulate(0, &da);
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
+
+    /// Sum of every element (scalar output).
+    pub fn sum_all(self) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| Tensor::scalar(a.sum()));
+        self.graph.push_op(&[self], v, |ctx| {
+            let g = ctx.grad_out().item();
+            let ones = Tensor::full(ctx.value(0).shape(), 1.0);
+            ctx.accumulate_scaled(0, g, &ones);
+        })
+    }
+
+    /// Mean of every element (scalar output).
+    pub fn mean_all(self) -> Var<'g> {
+        let n = self.graph.with_value(self, |a| a.len());
+        assert!(n > 0, "mean_all of empty tensor");
+        self.sum_all().mul_scalar(1.0 / n as f32)
+    }
+
+    // ------------------------------------------------------------------
+    // Activations
+    // ------------------------------------------------------------------
+
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| a.map(|x| x.max(0.0)));
+        self.graph.push_op(&[self], v, |ctx| {
+            let x = ctx.value(0).clone();
+            let go = ctx.grad_out();
+            let mut delta = go.clone();
+            for (d, &xi) in delta.data_mut().iter_mut().zip(x.data()) {
+                if xi <= 0.0 {
+                    *d = 0.0;
+                }
+            }
+            ctx.accumulate(0, &delta);
+        })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| a.map(|x| 1.0 / (1.0 + (-x).exp())));
+        self.graph.push_op(&[self], v, |ctx| {
+            let y = ctx.out_value().clone();
+            let mut delta = ctx.grad_out().clone();
+            for (d, &yi) in delta.data_mut().iter_mut().zip(y.data()) {
+                *d *= yi * (1.0 - yi);
+            }
+            ctx.accumulate(0, &delta);
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| a.map(f32::tanh));
+        self.graph.push_op(&[self], v, |ctx| {
+            let y = ctx.out_value().clone();
+            let mut delta = ctx.grad_out().clone();
+            for (d, &yi) in delta.data_mut().iter_mut().zip(y.data()) {
+                *d *= 1.0 - yi * yi;
+            }
+            ctx.accumulate(0, &delta);
+        })
+    }
+
+    /// Gaussian error linear unit (tanh approximation, as used by
+    /// transformer implementations).
+    pub fn gelu(self) -> Var<'g> {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi)
+        let v = self.graph.with_value(self, |a| {
+            a.map(|x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()))
+        });
+        self.graph.push_op(&[self], v, |ctx| {
+            let x = ctx.value(0).clone();
+            let mut delta = ctx.grad_out().clone();
+            for (d, &xi) in delta.data_mut().iter_mut().zip(x.data()) {
+                let inner = C * (xi + 0.044715 * xi * xi * xi);
+                let t = inner.tanh();
+                let dinner = C * (1.0 + 3.0 * 0.044715 * xi * xi);
+                let dgelu = 0.5 * (1.0 + t) + 0.5 * xi * (1.0 - t * t) * dinner;
+                *d *= dgelu;
+            }
+            ctx.accumulate(0, &delta);
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::gradcheck::check_gradients;
+    use crate::graph::Graph;
+    use crate::tensor::Tensor;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn add_sub_mul_values() {
+        let g = Graph::new();
+        let a = g.var(Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+        let b = g.var(Tensor::from_vec(vec![3.0, 5.0], &[2]), true);
+        assert_eq!(a.add(b).value().data(), &[4.0, 7.0]);
+        assert_eq!(a.sub(b).value().data(), &[-2.0, -3.0]);
+        assert_eq!(a.mul(b).value().data(), &[3.0, 10.0]);
+    }
+
+    #[test]
+    fn grad_add() {
+        let x = Tensor::randn(&[3, 2], 1.0, &mut rng());
+        let y = Tensor::randn(&[3, 2], 1.0, &mut rng());
+        check_gradients(&[x, y], |_g, vars| vars[0].add(vars[1]).mul(vars[1]).sum_all());
+    }
+
+    #[test]
+    fn grad_mul_scalar_and_add_scalar() {
+        let x = Tensor::randn(&[4], 1.0, &mut rng());
+        check_gradients(&[x], |_g, vars| vars[0].mul_scalar(2.5).add_scalar(-1.0).mul(vars[0]).sum_all());
+    }
+
+    #[test]
+    fn grad_matmul() {
+        let a = Tensor::randn(&[3, 4], 1.0, &mut rng());
+        let b = Tensor::randn(&[4, 2], 1.0, &mut rng());
+        check_gradients(&[a, b], |_g, vars| vars[0].matmul(vars[1]).sum_all());
+    }
+
+    #[test]
+    fn grad_bmm() {
+        let a = Tensor::randn(&[2, 3, 4], 1.0, &mut rng());
+        let b = Tensor::randn(&[2, 4, 2], 1.0, &mut rng());
+        check_gradients(&[a, b], |_g, vars| {
+            // Square to make the loss non-linear in both inputs.
+            let c = vars[0].bmm(vars[1]);
+            c.mul(c).sum_all()
+        });
+    }
+
+    #[test]
+    fn grad_transpose_last2() {
+        let a = Tensor::randn(&[2, 3, 4], 1.0, &mut rng());
+        check_gradients(&[a], |_g, vars| {
+            let t = vars[0].transpose_last2();
+            t.mul(t).sum_all()
+        });
+    }
+
+    #[test]
+    fn grad_add_bias() {
+        let x = Tensor::randn(&[2, 3, 4], 1.0, &mut rng());
+        let b = Tensor::randn(&[4], 1.0, &mut rng());
+        check_gradients(&[x, b], |_g, vars| {
+            let y = vars[0].add_bias(vars[1]);
+            y.mul(y).sum_all()
+        });
+    }
+
+    #[test]
+    fn grad_scale_by() {
+        let x = Tensor::randn(&[5], 1.0, &mut rng());
+        let s = Tensor::scalar(0.7);
+        check_gradients(&[x, s], |_g, vars| {
+            let y = vars[0].scale_by(vars[1]);
+            y.mul(y).sum_all()
+        });
+    }
+
+    #[test]
+    fn grad_activations() {
+        for act in ["relu", "sigmoid", "tanh", "gelu"] {
+            let x = Tensor::randn(&[6], 1.0, &mut rng()).map(|v| v + 0.05); // keep away from relu kink
+            check_gradients(&[x], |_g, vars| {
+                let y = match act {
+                    "relu" => vars[0].relu(),
+                    "sigmoid" => vars[0].sigmoid(),
+                    "tanh" => vars[0].tanh(),
+                    _ => vars[0].gelu(),
+                };
+                y.mul(y).sum_all()
+            });
+        }
+    }
+
+    #[test]
+    fn grad_matmul_rhs2d_matches_flat_matmul() {
+        let g = Graph::new();
+        let x = g.var(Tensor::randn(&[2, 3, 4], 1.0, &mut rng()), true);
+        let w = g.var(Tensor::randn(&[4, 5], 1.0, &mut rng()), true);
+        let y = x.matmul_rhs2d(w);
+        assert_eq!(y.shape(), vec![2, 3, 5]);
+        let flat = x.reshape(&[6, 4]).matmul(w);
+        assert_eq!(y.value().data(), flat.value().data());
+    }
+
+    #[test]
+    fn sum_and_mean_grads() {
+        let x = Tensor::randn(&[3, 3], 1.0, &mut rng());
+        check_gradients(&[x.clone()], |_g, vars| vars[0].mul(vars[0]).sum_all());
+        check_gradients(&[x], |_g, vars| vars[0].mul(vars[0]).mean_all());
+    }
+}

@@ -1,0 +1,583 @@
+//! The dense tensor type and its non-differentiable kernels.
+
+use std::fmt;
+
+/// Error type for fallible tensor constructors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Data length does not match the product of the shape dimensions.
+    ShapeMismatch { expected: usize, got: usize },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape requires {expected} elements but data has {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// A contiguous, row-major `f32` tensor.
+///
+/// All kernels assert shape compatibility with descriptive messages; the
+/// workspace treats shape errors as programming bugs (like `ndarray` and
+/// most ML runtimes do) rather than recoverable conditions.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} elements]", self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Construction
+    // ------------------------------------------------------------------
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![0.0; numel(shape)] }
+    }
+
+    /// A tensor filled with ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor { shape: shape.to_vec(), data: vec![value; numel(shape)] }
+    }
+
+    /// A scalar tensor (shape `[1]`).
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: vec![1], data: vec![value] }
+    }
+
+    /// Build from a data vector; panics if the length does not match.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Self {
+        Self::try_from_vec(data, shape).expect("Tensor::from_vec")
+    }
+
+    /// Fallible variant of [`Tensor::from_vec`].
+    pub fn try_from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self, TensorError> {
+        let expected = numel(shape);
+        if data.len() != expected {
+            return Err(TensorError::ShapeMismatch { expected, got: data.len() });
+        }
+        Ok(Tensor { shape: shape.to_vec(), data })
+    }
+
+    /// Build by evaluating `f` at each flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n = numel(shape);
+        Tensor { shape: shape.to_vec(), data: (0..n).map(&mut f).collect() }
+    }
+
+    /// I.i.d. normal entries `N(0, std²)`.
+    pub fn randn<R: rand::Rng + ?Sized>(shape: &[usize], std: f32, rng: &mut R) -> Self {
+        Self::from_fn(shape, |_| crate::box_muller(rng) * std)
+    }
+
+    /// I.i.d. uniform entries in `[lo, hi)`.
+    pub fn rand_uniform<R: rand::Rng + ?Sized>(
+        shape: &[usize],
+        lo: f32,
+        hi: f32,
+        rng: &mut R,
+    ) -> Self {
+        Self::from_fn(shape, |_| lo + (hi - lo) * rng.random::<f32>())
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor has zero elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable view of the flat data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume into the flat data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The single value of a scalar tensor.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "Tensor::item on non-scalar shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    /// Element at a multi-dimensional index.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[self.flat_index(idx)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        let i = self.flat_index(idx);
+        &mut self.data[i]
+    }
+
+    fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut flat = 0;
+        for (d, (&i, &s)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(i < s, "index {i} out of bounds for dim {d} of size {s}");
+            flat = flat * s + i;
+        }
+        flat
+    }
+
+    /// Reinterpret with a new shape of identical element count.
+    pub fn reshaped(&self, shape: &[usize]) -> Tensor {
+        assert_eq!(
+            numel(shape),
+            self.data.len(),
+            "reshape from {:?} to {:?} changes element count",
+            self.shape,
+            shape
+        );
+        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+    }
+
+    /// In-place reshape (no data movement).
+    pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        assert_eq!(
+            numel(shape),
+            self.data.len(),
+            "reshape from {:?} to {:?} changes element count",
+            self.shape,
+            shape
+        );
+        self.shape = shape.to_vec();
+    }
+
+    // ------------------------------------------------------------------
+    // Elementwise kernels
+    // ------------------------------------------------------------------
+
+    /// Elementwise map into a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+    }
+
+    /// Elementwise combine with another tensor of identical shape.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Hadamard product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// `self * c`.
+    pub fn scale(&self, c: f32) -> Tensor {
+        self.map(|x| x * c)
+    }
+
+    /// `self += other` in place.
+    pub fn add_assign(&mut self, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += c * other` in place (axpy).
+    pub fn axpy(&mut self, c: f32, other: &Tensor) {
+        assert_eq!(self.shape, other.shape, "axpy shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += c * b;
+        }
+    }
+
+    /// Fill with zeros in place.
+    pub fn zero_(&mut self) {
+        self.data.iter_mut().for_each(|x| *x = 0.0);
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all entries (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared L2 norm.
+    pub fn sq_norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Linear algebra
+    // ------------------------------------------------------------------
+
+    /// 2-D matrix multiply: `[m,k] @ [k,n] -> [m,n]`.
+    ///
+    /// Cache-friendly `i-k-j` loop order; inner loop is an axpy over the
+    /// output row which LLVM auto-vectorises.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims differ: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; m * n];
+        matmul_into(&self.data, &other.data, &mut out, m, k, n);
+        Tensor { shape: vec![m, n], data: out }
+    }
+
+    /// Batched 3-D matmul: `[b,m,k] @ [b,k,n] -> [b,m,n]`.
+    pub fn bmm(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.ndim(), 3, "bmm lhs must be 3-D, got {:?}", self.shape);
+        assert_eq!(other.ndim(), 3, "bmm rhs must be 3-D, got {:?}", other.shape);
+        let (b, m, k) = (self.shape[0], self.shape[1], self.shape[2]);
+        let (b2, k2, n) = (other.shape[0], other.shape[1], other.shape[2]);
+        assert_eq!(b, b2, "bmm batch dims differ");
+        assert_eq!(k, k2, "bmm inner dims differ: {:?} vs {:?}", self.shape, other.shape);
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            matmul_into(
+                &self.data[i * m * k..(i + 1) * m * k],
+                &other.data[i * k * n..(i + 1) * k * n],
+                &mut out[i * m * n..(i + 1) * m * n],
+                m,
+                k,
+                n,
+            );
+        }
+        Tensor { shape: vec![b, m, n], data: out }
+    }
+
+    /// 2-D transpose.
+    pub fn transpose2d(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose2d needs 2-D, got {:?}", self.shape);
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: vec![n, m], data: out }
+    }
+
+    /// Swap the last two axes of a 3-D tensor: `[b,m,n] -> [b,n,m]`.
+    pub fn transpose_last2(&self) -> Tensor {
+        assert_eq!(self.ndim(), 3, "transpose_last2 needs 3-D, got {:?}", self.shape);
+        let (b, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
+        let mut out = vec![0.0f32; b * m * n];
+        for i in 0..b {
+            let src = &self.data[i * m * n..(i + 1) * m * n];
+            let dst = &mut out[i * m * n..(i + 1) * m * n];
+            for r in 0..m {
+                for c in 0..n {
+                    dst[c * m + r] = src[r * n + c];
+                }
+            }
+        }
+        Tensor { shape: vec![b, n, m], data: out }
+    }
+
+    // ------------------------------------------------------------------
+    // Softmax-family kernels (forward only; differentiable wrappers live
+    // in the autograd ops modules)
+    // ------------------------------------------------------------------
+
+    /// Softmax along the last axis (numerically stable).
+    pub fn softmax_last(&self) -> Tensor {
+        let d = *self.shape.last().expect("softmax on 0-d tensor");
+        assert!(d > 0, "softmax over empty last axis");
+        let mut out = self.data.clone();
+        for row in out.chunks_mut(d) {
+            softmax_in_place(row);
+        }
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Log-softmax along the last axis (numerically stable).
+    pub fn log_softmax_last(&self) -> Tensor {
+        let d = *self.shape.last().expect("log_softmax on 0-d tensor");
+        assert!(d > 0, "log_softmax over empty last axis");
+        let mut out = self.data.clone();
+        for row in out.chunks_mut(d) {
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            row.iter_mut().for_each(|x| *x -= lse);
+        }
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Gather rows of a 2-D tensor: `self[indices, :]`.
+    pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
+        assert_eq!(self.ndim(), 2, "gather_rows needs 2-D, got {:?}", self.shape);
+        let (rows, d) = (self.shape[0], self.shape[1]);
+        let mut out = Vec::with_capacity(indices.len() * d);
+        for &i in indices {
+            assert!(i < rows, "gather_rows index {i} out of bounds ({rows} rows)");
+            out.extend_from_slice(&self.data[i * d..(i + 1) * d]);
+        }
+        Tensor { shape: vec![indices.len(), d], data: out }
+    }
+}
+
+/// Softmax of one row, in place and numerically stable.
+pub(crate) fn softmax_in_place(row: &mut [f32]) {
+    let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for x in row.iter_mut() {
+        *x = (*x - m).exp();
+        sum += *x;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        row.iter_mut().for_each(|x| *x *= inv);
+    } else {
+        // All entries were -inf; fall back to uniform to avoid NaN.
+        let u = 1.0 / row.len() as f32;
+        row.iter_mut().for_each(|x| *x = u);
+    }
+}
+
+/// `out += a @ b` where `a` is `m×k`, `b` is `k×n`, `out` is `m×n` (zeroed by caller).
+pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let out_row = &mut out[i * n..(i + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                *o += a_ip * b_pj;
+            }
+        }
+    }
+}
+
+/// Product of a shape's dimensions.
+pub(crate) fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+    }
+
+    #[test]
+    fn try_from_vec_rejects_bad_shapes() {
+        let err = Tensor::try_from_vec(vec![1.0; 5], &[2, 3]).unwrap_err();
+        assert_eq!(err, TensorError::ShapeMismatch { expected: 6, got: 5 });
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul inner dims differ")]
+    fn matmul_rejects_mismatched_inner_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn matmul_matches_hand_computed() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[3, 4]);
+        let id = Tensor::from_fn(&[4, 4], |i| if i / 4 == i % 4 { 1.0 } else { 0.0 });
+        assert_eq!(a.matmul(&id), a);
+    }
+
+    #[test]
+    fn bmm_matches_per_batch_matmul() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[2, 2, 3]);
+        let b = Tensor::from_vec((0..12).map(|x| (x as f32) * 0.5).collect(), &[2, 3, 2]);
+        let c = a.bmm(&b);
+        for i in 0..2 {
+            let ai = Tensor::from_vec(a.data()[i * 6..(i + 1) * 6].to_vec(), &[2, 3]);
+            let bi = Tensor::from_vec(b.data()[i * 6..(i + 1) * 6].to_vec(), &[3, 2]);
+            let ci = ai.matmul(&bi);
+            assert_eq!(&c.data()[i * 4..(i + 1) * 4], ci.data());
+        }
+    }
+
+    #[test]
+    fn transpose2d_round_trips() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let t = a.transpose2d();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose2d(), a);
+    }
+
+    #[test]
+    fn transpose_last2_round_trips() {
+        let a = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let t = a.transpose_last2();
+        assert_eq!(t.shape(), &[2, 4, 3]);
+        assert_eq!(t.at(&[1, 3, 2]), a.at(&[1, 2, 3]));
+        assert_eq!(t.transpose_last2(), a);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]);
+        let s = t.softmax_last();
+        for row in s.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_all_neg_inf_row() {
+        let t = Tensor::from_vec(vec![f32::NEG_INFINITY; 4], &[1, 4]);
+        let s = t.softmax_last();
+        for &p in s.data() {
+            assert!((p - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_log_of_softmax() {
+        let t = Tensor::from_vec(vec![0.3, -0.7, 1.9, 0.0, 5.0, -5.0], &[2, 3]);
+        let a = t.log_softmax_last();
+        let b = t.softmax_last().map(f32::ln);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < 1e-4, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gather_rows_picks_expected_rows() {
+        let t = Tensor::from_vec((0..8).map(|x| x as f32).collect(), &[4, 2]);
+        let g = t.gather_rows(&[3, 0, 3]);
+        assert_eq!(g.shape(), &[3, 2]);
+        assert_eq!(g.data(), &[6.0, 7.0, 0.0, 1.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn axpy_and_add_assign() {
+        let mut a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![10.0, 20.0], &[2]);
+        a.axpy(0.5, &b);
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[16.0, 32.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let b = a.reshaped(&[3, 2]);
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.data(), a.data());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]);
+        assert_eq!(t.sum(), 6.0);
+        assert_eq!(t.mean(), 2.0);
+        assert_eq!(t.sq_norm(), 14.0);
+    }
+
+    #[test]
+    fn randn_seeded_is_deterministic() {
+        use rand::SeedableRng;
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        let a = Tensor::randn(&[4, 4], 0.1, &mut r1);
+        let b = Tensor::randn(&[4, 4], 0.1, &mut r2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests for the tensor engine: algebraic identities of the
+//! kernels and linearity/consistency of the autograd tape.
+
+use irs_tensor::{Graph, Tensor};
+use proptest::prelude::*;
+
+/// Strategy: a tensor with the given shape and small finite entries.
+fn tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    proptest::collection::vec(-3.0f32..3.0, n)
+        .prop_map(move |data| Tensor::from_vec(data, shape))
+}
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Softmax is invariant under adding a constant to every logit.
+    #[test]
+    fn softmax_shift_invariance(x in tensor(&[4, 6]), c in -5.0f32..5.0) {
+        let a = x.softmax_last();
+        let b = x.map(|v| v + c).softmax_last();
+        for (p, q) in a.data().iter().zip(b.data()) {
+            prop_assert!(close(*p, *q, 1e-4), "{p} vs {q}");
+        }
+    }
+
+    /// Softmax rows are probability distributions.
+    #[test]
+    fn softmax_rows_are_distributions(x in tensor(&[3, 8])) {
+        let s = x.softmax_last();
+        for row in s.data().chunks(8) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    /// Matmul distributes over addition: A(B + C) = AB + AC.
+    #[test]
+    fn matmul_distributes(
+        a in tensor(&[3, 4]),
+        b in tensor(&[4, 2]),
+        c in tensor(&[4, 2]),
+    ) {
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!(close(*x, *y, 1e-4), "{x} vs {y}");
+        }
+    }
+
+    /// (AB)ᵀ = BᵀAᵀ.
+    #[test]
+    fn matmul_transpose_identity(a in tensor(&[3, 4]), b in tensor(&[4, 5])) {
+        let lhs = a.matmul(&b).transpose2d();
+        let rhs = b.transpose2d().matmul(&a.transpose2d());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!(close(*x, *y, 1e-4));
+        }
+    }
+
+    /// The tape is linear: grad of (αf + βg) = α·grad f + β·grad g.
+    #[test]
+    fn autograd_linearity(x in tensor(&[5]), alpha in -2.0f32..2.0, beta in -2.0f32..2.0) {
+        // f = Σ x², g = Σ sin-ish via tanh composition
+        let grad_of = |coeff_a: f32, coeff_b: f32| -> Tensor {
+            let g = Graph::new();
+            let v = g.var(x.clone(), true);
+            let f = v.mul(v).sum_all().mul_scalar(coeff_a);
+            let h = v.tanh().sum_all().mul_scalar(coeff_b);
+            let loss = f.add(h);
+            g.backward(loss);
+            g.grad(v).unwrap()
+        };
+        let combined = grad_of(alpha, beta);
+        let fa = grad_of(alpha, 0.0);
+        let gb = grad_of(0.0, beta);
+        for ((c, a), b) in combined.data().iter().zip(fa.data()).zip(gb.data()) {
+            prop_assert!(close(*c, a + b, 1e-4), "{c} vs {}", a + b);
+        }
+    }
+
+    /// Gather followed by scatter-add backward conserves gradient mass:
+    /// the total gradient into the table equals the total upstream
+    /// gradient.
+    #[test]
+    fn gather_conserves_gradient_mass(
+        w in tensor(&[6, 3]),
+        idx in proptest::collection::vec(0usize..6, 1..10),
+    ) {
+        let g = Graph::new();
+        let table = g.var(w, true);
+        let gathered = table.gather_rows(&idx);
+        let loss = gathered.sum_all();
+        g.backward(loss);
+        let dw = g.grad(table).unwrap();
+        let mass: f32 = dw.data().iter().sum();
+        prop_assert!(close(mass, (idx.len() * 3) as f32, 1e-4));
+    }
+
+    /// Reshape/transpose round-trips preserve gradients exactly.
+    #[test]
+    fn shape_ops_round_trip_gradients(x in tensor(&[2, 3, 4])) {
+        let g = Graph::new();
+        let v = g.var(x.clone(), true);
+        let y = v.transpose_last2().transpose_last2().reshape(&[6, 4]).reshape(&[2, 3, 4]);
+        let loss = y.mul(y).sum_all();
+        g.backward(loss);
+        let dv = g.grad(v).unwrap();
+        for (d, xv) in dv.data().iter().zip(x.data()) {
+            prop_assert!(close(*d, 2.0 * xv, 1e-4));
+        }
+    }
+
+    /// Cross-entropy is minimised (≥ 0, and ≤ uniform loss) and its
+    /// gradient rows sum to ~0 (softmax minus one-hot property).
+    #[test]
+    fn cross_entropy_gradient_rows_sum_to_zero(
+        logits in tensor(&[4, 5]),
+        targets in proptest::collection::vec(0usize..5, 4),
+    ) {
+        let g = Graph::new();
+        let v = g.var(logits, true);
+        let loss = v.cross_entropy(&targets, usize::MAX);
+        prop_assert!(loss.item() >= 0.0);
+        g.backward(loss);
+        let dv = g.grad(v).unwrap();
+        for row in dv.data().chunks(5) {
+            let s: f32 = row.iter().sum();
+            prop_assert!(s.abs() < 1e-4, "row gradient sum {s}");
+        }
+    }
+
+    /// Layer-norm output is invariant to input shift and scale (with unit
+    /// gamma, zero beta).
+    #[test]
+    fn layer_norm_shift_scale_invariance(
+        x in tensor(&[2, 6]),
+        shift in -3.0f32..3.0,
+        scale in 0.5f32..3.0,
+    ) {
+        let run = |input: Tensor| {
+            let g = Graph::new();
+            let v = g.var(input, false);
+            let gamma = g.constant(Tensor::ones(&[6]));
+            let beta = g.constant(Tensor::zeros(&[6]));
+            v.layer_norm(gamma, beta, 1e-6).value()
+        };
+        let base = run(x.clone());
+        let transformed = run(x.map(|v| v * scale + shift));
+        for (a, b) in base.data().iter().zip(transformed.data()) {
+            prop_assert!(close(*a, *b, 2e-2), "{a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! Impressionability analysis: inspect the learned `r_u` distribution
+//! (Fig. 8) and sweep the inference-time aggressiveness `w_t` to see the
+//! SR/smoothness trade-off (Fig. 7) without retraining.
+//!
+//! ```text
+//! cargo run --release --example impressionability
+//! ```
+
+use influential_rs::eval::{evaluate_paths, histogram, Evaluator};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+
+fn main() {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    let evaluator = Evaluator::new(h.train_bert4rec());
+    let mut irn = h.train_irn();
+
+    // Learned impressionability factors.
+    let rus = irn.all_ru();
+    let mean = rus.iter().sum::<f32>() / rus.len() as f32;
+    println!("r_u over {} users: mean {:.4}", rus.len(), mean);
+    for (center, count) in histogram(&rus, 8) {
+        println!("  {center:+.3} | {}", "#".repeat(count));
+    }
+
+    // Inference-time aggressiveness sweep (the experiments retrain per
+    // w_t; this example shows the cheap inference-only variant).
+    println!("\nw_t sweep (inference-time):");
+    for wt in [0.0f32, 0.5, 1.0, 2.0] {
+        irn.set_wt(wt);
+        let paths = h.generate_paths(&irn, h.config.m);
+        let met = evaluate_paths(&evaluator, &paths);
+        println!("  w_t = {wt:>3}: {met}");
+    }
+}

@@ -1,0 +1,88 @@
+//! Quickstart: build a synthetic dataset, train IRN, generate an influence
+//! path and score it with the offline evaluator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use influential_rs::baselines::{Bert4Rec, Bert4RecConfig, NeuralTrainConfig};
+use influential_rs::core::{generate_influence_path, Irn, IrnConfig};
+use influential_rs::data::preprocess::{preprocess_dataset, PreprocessConfig};
+use influential_rs::data::split::{sample_objectives, split_dataset, SplitConfig};
+use influential_rs::data::synth::{generate, SynthConfig};
+use influential_rs::eval::{evaluate_paths, Evaluator, PathRecord};
+
+fn main() {
+    // 1. Data: a small Lastfm-like synthetic dataset, preprocessed and
+    //    split exactly as §IV-A of the paper prescribes.
+    let out = generate(&SynthConfig::lastfm_like(0.05));
+    let dataset = preprocess_dataset(
+        &out.dataset,
+        &out.interactions,
+        &PreprocessConfig { min_count: 5, dedup_consecutive: true },
+    );
+    println!(
+        "dataset: {} users, {} items, {} interactions",
+        dataset.num_users,
+        dataset.num_items,
+        dataset.num_interactions()
+    );
+    let split = split_dataset(
+        &dataset,
+        &SplitConfig { l_min: 8, l_max: 16, val_fraction: 0.1, seed: 7 },
+    );
+    let objectives = sample_objectives(&dataset, &split.test, 5, 7);
+
+    // 2. Train IRN (the core model) and Bert4Rec (the offline evaluator).
+    let train_cfg = NeuralTrainConfig { epochs: 3, lr: 2e-3, ..Default::default() };
+    let irn = Irn::fit(
+        &split.train,
+        &split.val,
+        dataset.num_items,
+        dataset.num_users,
+        &IrnConfig { max_len: 16, train: train_cfg.clone(), ..Default::default() },
+        None,
+    );
+    let bert = Bert4Rec::fit(
+        &split.train,
+        dataset.num_items,
+        &Bert4RecConfig { max_len: 16, train: train_cfg, ..Default::default() },
+    );
+    let evaluator = Evaluator::new(bert);
+
+    // 3. Generate one influence path per test user and evaluate.
+    let records: Vec<PathRecord> = split
+        .test
+        .iter()
+        .take(20)
+        .zip(&objectives)
+        .map(|(tc, &obj)| PathRecord {
+            user: tc.user,
+            history: tc.history.clone(),
+            objective: obj,
+            path: generate_influence_path(&irn, tc.user, &tc.history, obj, 10),
+        })
+        .collect();
+    let metrics = evaluate_paths(&evaluator, &records);
+    println!("IRN over {} users: {metrics}", records.len());
+
+    // 4. Show one concrete path with genre labels.
+    if let Some(rec) = records.iter().find(|r| !r.path.is_empty()) {
+        let last = *rec.history.last().unwrap();
+        println!(
+            "\nuser {} — last watched: {} [{}]",
+            rec.user,
+            dataset.item_name(last),
+            dataset.genre_label(last)
+        );
+        for &item in &rec.path {
+            println!("  -> {} [{}]", dataset.item_name(item), dataset.genre_label(item));
+        }
+        println!(
+            "objective: {} [{}] ({})",
+            dataset.item_name(rec.objective),
+            dataset.genre_label(rec.objective),
+            if rec.success() { "reached" } else { "not reached" }
+        );
+    }
+}

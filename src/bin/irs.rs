@@ -1,0 +1,259 @@
+//! `irs` — command-line interface to influential-rs.
+//!
+//! ```text
+//! irs stats     [--dataset lastfm|movielens] [--scale S]
+//! irs train     [--dataset ...] [--scale S] [--epochs N] --model-out FILE
+//! irs generate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
+//! irs evaluate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
+//! irs demo      [--dataset ...]
+//! ```
+//!
+//! The CLI runs on the synthetic datasets (deterministic given `--scale`);
+//! the same pipeline accepts real MovieLens/Lastfm dumps through
+//! `irs_data::loaders` for users who have them.
+
+use std::process::ExitCode;
+
+use influential_rs::core::{generate_influence_path, Irn, IrnConfig};
+use influential_rs::data::stats::dataset_stats;
+use influential_rs::eval::{evaluate_paths, Evaluator, PathRecord};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+
+/// Parsed command-line options.
+struct Opts {
+    command: String,
+    dataset: DatasetKind,
+    scale: Option<f32>,
+    epochs: Option<usize>,
+    users: usize,
+    m: usize,
+    model: Option<String>,
+    model_out: Option<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: irs <stats|train|generate|evaluate|demo> \
+         [--dataset lastfm|movielens] [--scale S] [--epochs N] \
+         [--users N] [--m M] [--model FILE] [--model-out FILE]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().cloned().ok_or("missing command")?;
+    let mut opts = Opts {
+        command,
+        dataset: DatasetKind::MovielensLike,
+        scale: None,
+        epochs: None,
+        users: 20,
+        m: 20,
+        model: None,
+        model_out: None,
+    };
+    let mut i = 1;
+    let take = |args: &[String], i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        args.get(*i).cloned().ok_or_else(|| format!("missing value for {}", args[*i - 1]))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => {
+                opts.dataset = match take(&args, &mut i)?.as_str() {
+                    "lastfm" => DatasetKind::LastfmLike,
+                    "movielens" => DatasetKind::MovielensLike,
+                    other => return Err(format!("unknown dataset '{other}'")),
+                };
+            }
+            "--scale" => {
+                opts.scale = Some(take(&args, &mut i)?.parse().map_err(|e| format!("--scale: {e}"))?)
+            }
+            "--epochs" => {
+                opts.epochs =
+                    Some(take(&args, &mut i)?.parse().map_err(|e| format!("--epochs: {e}"))?)
+            }
+            "--users" => {
+                opts.users = take(&args, &mut i)?.parse().map_err(|e| format!("--users: {e}"))?
+            }
+            "--m" => opts.m = take(&args, &mut i)?.parse().map_err(|e| format!("--m: {e}"))?,
+            "--model" => opts.model = Some(take(&args, &mut i)?),
+            "--model-out" => opts.model_out = Some(take(&args, &mut i)?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn build_harness(opts: &Opts) -> Harness {
+    let mut cfg = HarnessConfig::standard(opts.dataset);
+    if let Some(s) = opts.scale {
+        cfg.scale = s.clamp(0.005, 1.0);
+    }
+    if let Some(e) = opts.epochs {
+        cfg.epochs = e;
+    }
+    cfg.test_users = opts.users;
+    cfg.m = opts.m;
+    Harness::build(cfg)
+}
+
+fn irn_config(h: &Harness) -> IrnConfig {
+    h.irn_config()
+}
+
+fn cmd_stats(opts: &Opts) -> ExitCode {
+    let h = build_harness(opts);
+    let s = dataset_stats(&h.dataset);
+    println!("{:<16} {:>7} {:>7} {:>12} {:>9} {:>11}", "dataset", "users", "items", "interactions", "density", "items/user");
+    println!("{s}");
+    println!(
+        "\nsplit: {} train / {} val subsequences, {} test users",
+        h.split.train.len(),
+        h.split.val.len(),
+        h.split.test.len()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_train(opts: &Opts) -> ExitCode {
+    let Some(out_path) = &opts.model_out else {
+        eprintln!("train requires --model-out FILE");
+        return ExitCode::from(2);
+    };
+    let h = build_harness(opts);
+    eprintln!(
+        "training IRN on {} ({} train subsequences)...",
+        h.config.kind.label(),
+        h.split.train.len()
+    );
+    let irn = h.train_irn();
+    let file = match std::fs::File::create(out_path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {out_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = irn.save(std::io::BufWriter::new(file)) {
+        eprintln!("save failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("model written to {out_path}");
+    println!("val loss: {:.4}", irn.dataset_loss(&h.split.val));
+    ExitCode::SUCCESS
+}
+
+fn load_model(opts: &Opts, h: &Harness) -> Result<Irn, String> {
+    let Some(path) = &opts.model else {
+        return Err("this command requires --model FILE (create one with `irs train`)".into());
+    };
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Irn::load(
+        std::io::BufReader::new(file),
+        h.dataset.num_items,
+        h.dataset.num_users,
+        &irn_config(h),
+    )
+    .map_err(|e| format!("load failed: {e}"))
+}
+
+fn paths_for(h: &Harness, irn: &Irn, m: usize) -> Vec<PathRecord> {
+    h.generate_paths(irn, m)
+}
+
+fn cmd_generate(opts: &Opts) -> ExitCode {
+    let h = build_harness(opts);
+    let irn = match load_model(opts, &h) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let (test, objectives) = h.test_slice();
+    for (tc, &obj) in test.iter().zip(&objectives) {
+        let path = generate_influence_path(&irn, tc.user, &tc.history, obj, opts.m);
+        let reached = path.last() == Some(&obj);
+        println!(
+            "user {:>4}  objective {:<28} [{}] {}",
+            tc.user,
+            h.dataset.item_name(obj),
+            h.dataset.genre_label(obj),
+            if reached { "REACHED" } else { "" }
+        );
+        for &item in &path {
+            println!("    -> {:<28} [{}]", h.dataset.item_name(item), h.dataset.genre_label(item));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_evaluate(opts: &Opts) -> ExitCode {
+    let h = build_harness(opts);
+    let irn = match load_model(opts, &h) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("training evaluator (Bert4Rec)...");
+    let evaluator = Evaluator::new(h.train_bert4rec());
+    let paths = paths_for(&h, &irn, opts.m);
+    let metrics = evaluate_paths(&evaluator, &paths);
+    println!("IRN on {} over {} users: {metrics}", h.config.kind.label(), paths.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_demo(opts: &Opts) -> ExitCode {
+    let mut opts = Opts { users: 10, ..parse_defaults(opts) };
+    opts.scale = Some(opts.scale.unwrap_or(0.03));
+    let h = build_harness(&opts);
+    eprintln!("training IRN + evaluator at demo scale...");
+    let irn = h.train_irn();
+    let evaluator = Evaluator::new(h.train_bert4rec());
+    let paths = paths_for(&h, &irn, opts.m.min(10));
+    let metrics = evaluate_paths(&evaluator, &paths);
+    println!("{metrics}");
+    if let Some(rec) = paths.iter().find(|p| p.success()) {
+        println!("\nexample successful path (user {}):", rec.user);
+        for &item in &rec.path {
+            println!("  -> {:<28} [{}]", h.dataset.item_name(item), h.dataset.genre_label(item));
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn parse_defaults(opts: &Opts) -> Opts {
+    Opts {
+        command: opts.command.clone(),
+        dataset: opts.dataset,
+        scale: opts.scale,
+        epochs: opts.epochs,
+        users: opts.users,
+        m: opts.m,
+        model: opts.model.clone(),
+        model_out: opts.model_out.clone(),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    match opts.command.as_str() {
+        "stats" => cmd_stats(&opts),
+        "train" => cmd_train(&opts),
+        "generate" => cmd_generate(&opts),
+        "evaluate" => cmd_evaluate(&opts),
+        "demo" => cmd_demo(&opts),
+        _ => usage(),
+    }
+}

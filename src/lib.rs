@@ -1,0 +1,30 @@
+//! # influential-rs — facade crate
+//!
+//! Rust reproduction of *"Influential Recommender System"* (Zhu, Ge, Gu,
+//! Zhao, Lee — ICDE 2023).  This crate re-exports the workspace crates so
+//! examples, integration tests and downstream users can depend on a single
+//! package:
+//!
+//! * [`tensor`] — dense tensors + reverse-mode autograd ([`irs_tensor`]).
+//! * [`nn`] — layers, losses, optimizers ([`irs_nn`]).
+//! * [`data`] — datasets, synthetic generators, preprocessing ([`irs_data`]).
+//! * [`graph`] — item graphs and path-finding ([`irs_graph`]).
+//! * [`embed`] — item2vec embeddings and item distances ([`irs_embed`]).
+//! * [`baselines`] — POP/BPR/TransRec/GRU4Rec/Caser/SASRec/Bert4Rec
+//!   ([`irs_baselines`]).
+//! * [`core`] — the IRN model with PIM and the Pf2Inf / Rec2Inf / Vanilla
+//!   frameworks ([`irs_core`]).
+//! * [`eval`] — the offline evaluator and all IRS metrics ([`irs_eval`]).
+//!
+//! See `examples/quickstart.rs` for an end-to-end walk-through: build a
+//! synthetic dataset, train IRN, generate an influence path and score it.
+
+pub use irs_baselines as baselines;
+pub use irs_bench as bench;
+pub use irs_core as core;
+pub use irs_data as data;
+pub use irs_embed as embed;
+pub use irs_eval as eval;
+pub use irs_graph as graph;
+pub use irs_nn as nn;
+pub use irs_tensor as tensor;

@@ -1,0 +1,108 @@
+//! Integration tests for the future-work extensions (§V of the paper):
+//! interactive sessions with rejections, set/category objectives and
+//! beam-search decoding, all running over the trained IRN.
+
+use influential_rs::core::{
+    beam_search_path, run_interactive_session, BeamConfig, ObjectiveSet, SetObjectiveRecommender,
+    ThresholdUser, UserModel,
+};
+use influential_rs::data::{ItemId, UserId};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+
+#[test]
+fn passive_interactive_session_matches_offline_path() {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
+    let irn = h.train_irn();
+    let (test, objectives) = h.test_slice();
+    let tc = &test[0];
+    let obj = objectives[0];
+
+    struct AcceptAll;
+    impl UserModel for AcceptAll {
+        fn accepts(&mut self, _u: UserId, _c: &[ItemId], _i: ItemId) -> bool {
+            true
+        }
+    }
+    let outcome =
+        run_interactive_session(&irn, &mut AcceptAll, tc.user, &tc.history, obj, h.config.m, 3);
+    let offline =
+        influential_rs::core::generate_influence_path(&irn, tc.user, &tc.history, obj, h.config.m);
+    assert_eq!(outcome.accepted, offline, "passive user must reproduce Algorithm 1");
+    assert!(outcome.rejected.is_empty());
+}
+
+#[test]
+fn picky_users_cause_rejections_but_sessions_stay_valid() {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
+    let irn = h.train_irn();
+    let bert = h.train_bert4rec();
+    let (test, objectives) = h.test_slice();
+
+    let mut total_rejections = 0usize;
+    for (tc, &obj) in test.iter().zip(&objectives).take(8) {
+        let mut user = ThresholdUser::new(
+            |u, ctx: &[ItemId]| {
+                use influential_rs::baselines::SequentialScorer;
+                bert.score(u, ctx)
+            },
+            0.9,
+        );
+        let out = run_interactive_session(&irn, &mut user, tc.user, &tc.history, obj, 8, 2);
+        total_rejections += out.rejected.len();
+        // Accepted and rejected sets are disjoint.
+        for r in &out.rejected {
+            assert!(!out.accepted.contains(r), "item {r} both accepted and rejected");
+        }
+        assert!(out.proposals >= out.accepted.len() + out.rejected.len());
+        assert!((0.0..=1.0).contains(&out.rejection_rate()));
+    }
+    assert!(total_rejections > 0, "a 0.9-quantile user should reject something");
+}
+
+#[test]
+fn genre_objective_paths_end_inside_the_genre() {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
+    let irn = h.train_irn();
+    let dist = h.distance();
+    let genre = 0;
+    let set = ObjectiveSet::from_genre(&h.dataset, genre);
+    let rec = SetObjectiveRecommender::new(&irn, set.clone(), &dist);
+
+    let (test, _) = h.test_slice();
+    let mut reached_any = false;
+    for tc in test.iter().take(10) {
+        let (path, reached) = rec.generate(tc.user, &tc.history, h.config.m);
+        if reached {
+            reached_any = true;
+            let last = *path.last().unwrap();
+            assert!(
+                h.dataset.genres[last].contains(&genre),
+                "successful set path must end inside the target genre"
+            );
+        }
+        assert!(path.len() <= h.config.m);
+    }
+    assert!(reached_any, "some path should reach the genre objective");
+}
+
+#[test]
+fn beam_search_paths_are_valid_and_comparable_to_greedy() {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
+    let irn = h.train_irn();
+    let (test, objectives) = h.test_slice();
+    let cfg = BeamConfig { beam_width: 2, branch: 2, max_len: h.config.m, success_bonus: 2.0 };
+
+    for (tc, &obj) in test.iter().zip(&objectives).take(6) {
+        let beam = beam_search_path(&irn, tc.user, &tc.history, obj, &cfg);
+        assert!(beam.len() <= h.config.m);
+        let mut seen = tc.history.clone();
+        for &i in &beam {
+            assert!(i < h.dataset.num_items);
+            assert!(!seen.contains(&i) || i == obj, "beam repeated item {i}");
+            seen.push(i);
+        }
+        if let Some(pos) = beam.iter().position(|&i| i == obj) {
+            assert_eq!(pos, beam.len() - 1, "objective must terminate the beam path");
+        }
+    }
+}

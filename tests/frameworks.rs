@@ -1,0 +1,82 @@
+//! Cross-crate behaviour of the three IRS frameworks on shared synthetic
+//! data.
+
+use influential_rs::core::{
+    generate_influence_path, InfluenceRecommender, Pf2Inf, PathAlgorithm, Rec2Inf, Vanilla,
+};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+
+#[test]
+fn pf2inf_paths_walk_graph_edges_to_the_objective() {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    let graph = h.item_graph();
+    let rec = Pf2Inf::new(graph, PathAlgorithm::Dijkstra);
+    let paths = h.generate_paths(&rec, 50);
+    let graph = h.item_graph();
+    let mut successes = 0;
+    for rec in &paths {
+        if rec.path.is_empty() {
+            continue;
+        }
+        let mut prev = *rec.history.last().unwrap();
+        for &i in &rec.path {
+            assert!(graph.has_edge(prev, i), "Pf2Inf path must follow edges");
+            prev = i;
+        }
+        if rec.success() {
+            successes += 1;
+        }
+    }
+    // With a generous budget, the shortest-path method reaches connected
+    // objectives; the synthetic graph is mostly one component.
+    assert!(successes > 0, "Dijkstra should reach at least one objective");
+}
+
+#[test]
+fn rec2inf_with_full_catalogue_k_recommends_objective_immediately() {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
+    let pop = h.train_pop();
+    let dist = h.distance();
+    // k = catalogue size: the objective itself is always a candidate with
+    // distance 0, so every path has length 1 (the paper's k = |I| limit).
+    let rec = Rec2Inf::new(&pop, &dist, h.dataset.num_items);
+    let (test, objectives) = h.test_slice();
+    for (tc, &obj) in test.iter().zip(&objectives).take(10) {
+        let path = generate_influence_path(&rec, tc.user, &tc.history, obj, 5);
+        assert_eq!(path, vec![obj], "distance-0 objective must be picked first");
+    }
+}
+
+#[test]
+fn rec2inf_success_rate_dominates_vanilla() {
+    // The Rec2Inf adaptation must reach objectives at least as often as
+    // the unadapted recommender (Table III's main qualitative finding for
+    // the adapted baselines).
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
+    let pop = h.train_pop();
+    let dist = h.distance();
+    let k = (h.dataset.num_items / 4).max(5);
+
+    let vanilla_paths = h.generate_paths(&Vanilla::new(&pop), h.config.m);
+    let adapted_paths = h.generate_paths(&Rec2Inf::new(&pop, &dist, k), h.config.m);
+    let sr = |paths: &[influential_rs::eval::PathRecord]| {
+        paths.iter().filter(|p| p.success()).count() as f64 / paths.len() as f64
+    };
+    assert!(
+        sr(&adapted_paths) >= sr(&vanilla_paths),
+        "Rec2Inf ({}) must not reach fewer objectives than Vanilla ({})",
+        sr(&adapted_paths),
+        sr(&vanilla_paths)
+    );
+}
+
+#[test]
+fn framework_names_identify_backbones() {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    let pop = h.train_pop();
+    let dist = h.distance();
+    assert_eq!(Vanilla::new(&pop).name(), "Vanilla(POP)");
+    assert_eq!(Rec2Inf::new(&pop, &dist, 5).name(), "Rec2Inf(POP)");
+    let rec = Pf2Inf::new(h.item_graph(), PathAlgorithm::Mst);
+    assert_eq!(rec.name(), "Pf2Inf(MST)");
+}

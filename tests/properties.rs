@@ -1,0 +1,77 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! generator seeds and configuration corners.
+
+use influential_rs::data::split::{pad_to, split_dataset, PaddingScheme, SplitConfig};
+use influential_rs::data::synth::{generate, SynthConfig};
+use influential_rs::data::{pad_token, Dataset};
+use influential_rs::graph::{dijkstra_path, ItemGraph};
+use proptest::prelude::*;
+
+fn synth(seed: u64) -> Dataset {
+    generate(&SynthConfig::tiny(seed)).dataset
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Split + re-padding round-trips: every padded training input ends
+    /// with the subsequence's own items.
+    #[test]
+    fn padded_subsequences_preserve_suffix(seed in 0u64..500) {
+        let d = synth(seed);
+        let split = split_dataset(&d, &SplitConfig { l_min: 4, l_max: 9, val_fraction: 0.1, seed });
+        let pad = pad_token(d.num_items);
+        for sub in split.train.iter().take(20) {
+            let padded = pad_to(&sub.items, 12, pad, PaddingScheme::Pre);
+            prop_assert_eq!(padded.len(), 12);
+            let keep = sub.items.len().min(12);
+            prop_assert_eq!(
+                &padded[12 - keep..],
+                &sub.items[sub.items.len() - keep..]
+            );
+        }
+    }
+
+    /// The item graph built from any dataset supports Dijkstra queries that
+    /// return edge-connected paths.
+    #[test]
+    fn item_graph_paths_are_edge_connected(seed in 0u64..500) {
+        let d = synth(seed);
+        let g = ItemGraph::from_sequences(d.num_items, &d.sequences);
+        let src = d.sequences[0][0];
+        for target in (0..d.num_items).step_by(7) {
+            if let Some(p) = dijkstra_path(&g, src, target) {
+                prop_assert_eq!(p[0], src);
+                prop_assert_eq!(*p.last().unwrap(), target);
+                for w in p.windows(2) {
+                    prop_assert!(g.has_edge(w[0], w[1]));
+                }
+            }
+        }
+    }
+
+    /// Every held-out test case references only valid items and its
+    /// history stays duplicate-free of the label position.
+    #[test]
+    fn test_cases_reference_valid_items(seed in 0u64..500) {
+        let d = synth(seed);
+        let split = split_dataset(&d, &SplitConfig { l_min: 4, l_max: 9, val_fraction: 0.1, seed });
+        for tc in &split.test {
+            prop_assert!(tc.next_item < d.num_items);
+            for &i in &tc.history {
+                prop_assert!(i < d.num_items);
+            }
+            prop_assert!(!tc.history.is_empty());
+        }
+    }
+}
+
+#[test]
+fn evaluator_probabilities_are_normalised_end_to_end() {
+    use influential_rs::baselines::Pop;
+    use influential_rs::eval::Evaluator;
+    let d = synth(42);
+    let ev = Evaluator::new(Pop::fit(&d));
+    let total: f32 = (0..d.num_items).map(|i| ev.prob(0, &[0], i)).sum();
+    assert!((total - 1.0).abs() < 1e-3, "softmax must normalise: {total}");
+}
