@@ -96,9 +96,9 @@ mod tests {
                     let y = b.targets[bi * 4 + t];
                     if x != pad && y != pad {
                         // consecutive in some original sequence
-                        let ok = seqs().iter().any(|s| {
-                            s.items.windows(2).any(|w| w[0] == x && w[1] == y)
-                        });
+                        let ok = seqs()
+                            .iter()
+                            .any(|s| s.items.windows(2).any(|w| w[0] == x && w[1] == y));
                         assert!(ok, "({x} -> {y}) is not a real transition");
                     }
                 }

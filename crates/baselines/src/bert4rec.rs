@@ -103,8 +103,15 @@ impl Bert4Rec {
             for chunk in order.chunks(config.train.batch_size) {
                 let (inputs, targets, pad_lens) =
                     model.make_cloze_batch(seqs, chunk, pad, mask_tok, config.mask_prob, &mut rng);
-                let loss_val =
-                    model.train_step(&inputs, &targets, &pad_lens, pad, step, &mut opt, config.train.clip);
+                let loss_val = model.train_step(
+                    &inputs,
+                    &targets,
+                    &pad_lens,
+                    pad,
+                    step,
+                    &mut opt,
+                    config.train.clip,
+                );
                 step += 1;
                 epoch_loss += loss_val;
                 n += 1;

@@ -73,12 +73,20 @@ impl Caser {
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.train.seed);
         let mut store = ParamStore::new();
         let item_emb = Embedding::new(&mut store, "caser.item", vocab, config.dim, &mut rng);
-        let user_emb = Embedding::new(&mut store, "caser.user", num_users.max(1), config.dim, &mut rng);
+        let user_emb =
+            Embedding::new(&mut store, "caser.user", num_users.max(1), config.dim, &mut rng);
         let conv_h: Vec<Linear> = config
             .heights
             .iter()
             .map(|&h| {
-                Linear::new(&mut store, &format!("caser.h{h}"), h * config.dim, config.n_h, true, &mut rng)
+                Linear::new(
+                    &mut store,
+                    &format!("caser.h{h}"),
+                    h * config.dim,
+                    config.n_h,
+                    true,
+                    &mut rng,
+                )
             })
             .collect();
         let conv_v =

@@ -48,8 +48,7 @@ impl Gru4Rec {
         let emb = Embedding::new(&mut store, "gru4rec.emb", vocab, config.dim, &mut rng);
         let gru = Gru::new(&mut store, "gru4rec.gru", config.dim, config.hidden, &mut rng);
         let out = Linear::new(&mut store, "gru4rec.out", config.hidden, vocab, true, &mut rng);
-        let mut model =
-            Gru4Rec { store, emb, gru, out, num_items, max_len: config.max_len };
+        let mut model = Gru4Rec { store, emb, gru, out, num_items, max_len: config.max_len };
 
         let mut opt = Adam::new(config.train.lr);
         let mut step = 0u64;
@@ -65,10 +64,7 @@ impl Gru4Rec {
                 let x = model.emb.lookup_seq(&ctx, &batch.inputs);
                 let h = model.gru.forward_seq(&ctx, x);
                 let bt = batch.batch_size() * batch.seq_len();
-                let logits = model
-                    .out
-                    .forward3d(&ctx, h)
-                    .reshape(&[bt, model.num_items + 1]);
+                let logits = model.out.forward3d(&ctx, h).reshape(&[bt, model.num_items + 1]);
                 let loss = logits.cross_entropy(&batch.targets, pad);
                 epoch_loss += loss.item();
                 n += 1;
@@ -138,10 +134,7 @@ mod tests {
     /// Deterministic cycle data: item k is always followed by k+1 (mod n).
     fn cycle_seqs(n_items: usize, n_seqs: usize, len: usize) -> Vec<SubSeq> {
         (0..n_seqs)
-            .map(|s| SubSeq {
-                user: s,
-                items: (0..len).map(|k| (s + k) % n_items).collect(),
-            })
+            .map(|s| SubSeq { user: s, items: (0..len).map(|k| (s + k) % n_items).collect() })
             .collect()
     }
 

@@ -1,4 +1,4 @@
-//! # irs-baselines — baseline sequential recommenders
+//! # irs_baselines — baseline sequential recommenders
 //!
 //! Rust re-implementations (on the shared [`irs_nn`] substrate) of every
 //! baseline the paper evaluates (§IV-C) and every evaluator candidate
@@ -16,7 +16,7 @@
 //!
 //! Every model implements [`SequentialScorer`]: *given a user and an item
 //! history, produce a score for every item as the next interaction*.  The
-//! IRS frameworks in `irs-core` and the offline evaluator in `irs-eval`
+//! IRS frameworks in `irs_core` and the offline evaluator in `irs_eval`
 //! are all generic over this trait.
 
 mod batch;

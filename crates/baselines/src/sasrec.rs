@@ -61,7 +61,8 @@ impl SasRec {
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.train.seed);
         let mut store = ParamStore::new();
         let emb = Embedding::new(&mut store, "sasrec.emb", vocab, config.dim, &mut rng);
-        let pos = PositionalEncoding::new(&mut store, "sasrec", config.max_len, config.dim, &mut rng);
+        let pos =
+            PositionalEncoding::new(&mut store, "sasrec", config.max_len, config.dim, &mut rng);
         let blocks: Vec<TransformerBlock> = (0..config.layers)
             .map(|l| {
                 TransformerBlock::new(

@@ -124,7 +124,7 @@ impl TransRec {
                 // x = s_pos − s_neg.
                 let gp = 2.0 * diff_pos[k]; // ∂s_pos/∂γ_pos
                 let gn = -2.0 * diff_neg[k]; // ∂(−s_neg)/∂γ_neg = +2·diff_neg... see below
-                // s_neg contributes −s_neg to x: ∂x/∂γ_neg = −∂s_neg/∂γ_neg = −2·diff_neg
+                                             // s_neg contributes −s_neg to x: ∂x/∂γ_neg = −∂s_neg/∂γ_neg = −2·diff_neg
                 let dpos = g * gp;
                 let dneg = g * gn;
                 let ip = pos * d + k;
@@ -152,9 +152,7 @@ impl SequentialScorer for TransRec {
 
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
         match history.last() {
-            Some(&prev) => {
-                (0..self.num_items).map(|j| self.pair_score(user, prev, j)).collect()
-            }
+            Some(&prev) => (0..self.num_items).map(|j| self.pair_score(user, prev, j)).collect(),
             // No history: fall back to bias-only scores.
             None => self.item_bias.clone(),
         }

@@ -18,15 +18,11 @@ fn bench_graph(c: &mut Criterion) {
 
     let graph = ItemGraph::from_sequences(d.num_items, &d.sequences);
     let target = d.num_items - 1;
-    group.bench_function("dijkstra", |b| {
-        b.iter(|| black_box(dijkstra_path(&graph, 0, target)))
-    });
+    group.bench_function("dijkstra", |b| b.iter(|| black_box(dijkstra_path(&graph, 0, target))));
     group.bench_function("mst_build", |b| b.iter(|| black_box(MstPaths::build(&graph))));
 
     let mst = MstPaths::build(&graph);
-    group.bench_function("mst_tree_path", |b| {
-        b.iter(|| black_box(mst.tree_path(0, target)))
-    });
+    group.bench_function("mst_tree_path", |b| b.iter(|| black_box(mst.tree_path(0, target))));
     group.finish();
 }
 

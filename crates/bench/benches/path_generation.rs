@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
-use irs_core::{generate_influence_path, Pf2Inf, PathAlgorithm, Rec2Inf, Vanilla};
+use irs_core::{generate_influence_path, PathAlgorithm, Pf2Inf, Rec2Inf, Vanilla};
 use std::hint::black_box;
 
 fn bench_path_generation(c: &mut Criterion) {

@@ -2,7 +2,7 @@
 //!
 //! Usage:
 //! ```text
-//! cargo run --release -p irs-bench --bin run_all [--quick] [--out FILE]
+//! cargo run --release -p irs_bench --bin run_all [--quick] [--out FILE]
 //! ```
 //!
 //! `--quick` uses the seconds-scale preset; by default the standard preset
@@ -17,11 +17,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let standard = !quick;
-    let out_file = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned();
+    let out_file = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
 
     let experiments: Vec<(&str, fn(bool) -> String)> = vec![
         ("Table I", irs_bench::experiments::table1::run),

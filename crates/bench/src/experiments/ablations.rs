@@ -8,7 +8,7 @@
 //! 3. **Greedy vs beam-search decoding** of the influence path (extension).
 //! 4. **Unit vs inverse-co-occurrence edge weights** for Pf2Inf/Dijkstra.
 
-use irs_core::{beam_search_path, BeamConfig, Pf2Inf, PathAlgorithm};
+use irs_core::{beam_search_path, BeamConfig, PathAlgorithm, Pf2Inf};
 use irs_data::split::PaddingScheme;
 use irs_eval::{evaluate_paths, Evaluator, PathRecord};
 
@@ -35,7 +35,8 @@ pub fn run(standard: bool) -> String {
     };
 
     // 1. Padding scheme.
-    for (label, scheme) in [("pre-padding", PaddingScheme::Pre), ("post-padding", PaddingScheme::Post)]
+    for (label, scheme) in
+        [("pre-padding", PaddingScheme::Pre), ("post-padding", PaddingScheme::Post)]
     {
         let cfg = irs_core::IrnConfig { padding: scheme, ..h.irn_config() };
         let irn = h.train_irn_with(&cfg);
@@ -90,7 +91,14 @@ pub fn run(standard: bool) -> String {
     format!(
         "## Ablations (Lastfm-like, M = {m})\n\n{}",
         render_table(
-            &["Dimension", "Variant", &format!("SR{m}"), &format!("IoI{m}"), &format!("IoR{m}"), "log(PPL)"],
+            &[
+                "Dimension",
+                "Variant",
+                &format!("SR{m}"),
+                &format!("IoI{m}"),
+                &format!("IoR{m}"),
+                "log(PPL)"
+            ],
             &rows
         )
     )

@@ -6,7 +6,7 @@
 //! * **KG-enhanced Pf2Inf** (future work §V-1) — multi-relational
 //!   path-finding vs. the plain co-occurrence Dijkstra.
 
-use irs_core::{InfluenceRecommender, KgPf2Inf, Pf2Inf, PathAlgorithm, Rec2Inf, Vanilla};
+use irs_core::{InfluenceRecommender, KgPf2Inf, PathAlgorithm, Pf2Inf, Rec2Inf, Vanilla};
 use irs_eval::{evaluate_paths, path_quality, Evaluator};
 use irs_graph::RelationCosts;
 

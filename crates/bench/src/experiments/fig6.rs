@@ -13,10 +13,7 @@ use crate::render_table;
 
 /// `SR_M` from paths generated with budget `max_m ≥ m`.
 pub fn sr_at(paths: &[PathRecord], m: usize) -> f64 {
-    let hits = paths
-        .iter()
-        .filter(|p| p.success() && p.path.len() <= m)
-        .count();
+    let hits = paths.iter().filter(|p| p.success() && p.path.len() <= m).count();
     hits as f64 / paths.len().max(1) as f64
 }
 
@@ -26,10 +23,8 @@ pub fn run(standard: bool) -> String {
     let mut out = String::from("## Figure 6 — SR vs maximum path length M\n\n");
     for h in &harnesses {
         let max_m = if standard { 40 } else { h.config.m };
-        let ms: Vec<usize> = [1, 2, 5, 10, 15, 20, 30, 40]
-            .into_iter()
-            .filter(|&m| m <= max_m)
-            .collect();
+        let ms: Vec<usize> =
+            [1, 2, 5, 10, 15, 20, 30, 40].into_iter().filter(|&m| m <= max_m).collect();
         let k = super::default_k(h.dataset.num_items);
         let dist = h.distance();
 
@@ -74,9 +69,9 @@ mod tests {
     #[test]
     fn sr_at_is_monotone_in_m() {
         let paths = vec![
-            rec(5, vec![1, 5]),          // success at 2
-            rec(6, vec![1, 2, 3, 6]),    // success at 4
-            rec(7, vec![1, 2, 3]),       // failure
+            rec(5, vec![1, 5]),       // success at 2
+            rec(6, vec![1, 2, 3, 6]), // success at 4
+            rec(7, vec![1, 2, 3]),    // failure
         ];
         assert_eq!(sr_at(&paths, 1), 0.0);
         assert!((sr_at(&paths, 2) - 1.0 / 3.0).abs() < 1e-9);

@@ -19,8 +19,7 @@ pub fn run(standard: bool) -> String {
         let evaluator = Evaluator::new(h.train_bert4rec());
         let dist = h.distance();
         let k_max = super::default_k(h.dataset.num_items);
-        let mut k_levels: Vec<usize> =
-            (1..=5).map(|i| ((k_max * i) / 5).max(1)).collect();
+        let mut k_levels: Vec<usize> = (1..=5).map(|i| ((k_max * i) / 5).max(1)).collect();
         k_levels.dedup(); // tiny catalogues collapse adjacent levels
         let wt_levels = [0.0f32, 0.25, 0.5, 0.75, 1.0];
 

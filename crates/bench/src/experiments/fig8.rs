@@ -14,13 +14,11 @@ pub fn run(standard: bool) -> String {
         let rus = irn.all_ru();
         let bins = if standard { 15 } else { 8 };
         let hist = histogram(&rus, bins);
-        let points: Vec<(String, f64)> = hist
-            .iter()
-            .map(|&(center, count)| (format!("{center:+.3}"), count as f64))
-            .collect();
+        let points: Vec<(String, f64)> =
+            hist.iter().map(|&(center, count)| (format!("{center:+.3}"), count as f64)).collect();
         let mean = rus.iter().sum::<f32>() / rus.len().max(1) as f32;
-        let var = rus.iter().map(|r| (r - mean) * (r - mean)).sum::<f32>()
-            / rus.len().max(1) as f32;
+        let var =
+            rus.iter().map(|r| (r - mean) * (r - mean)).sum::<f32>() / rus.len().max(1) as f32;
         out.push_str(&format!(
             "### {} — {} users, mean {:.4}, std {:.4}\n\n{}\n",
             h.config.kind.label(),

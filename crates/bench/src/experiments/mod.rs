@@ -24,11 +24,8 @@ pub(crate) fn both_harnesses(standard: bool) -> Vec<Harness> {
     [DatasetKind::LastfmLike, DatasetKind::MovielensLike]
         .into_iter()
         .map(|kind| {
-            let cfg = if standard {
-                HarnessConfig::standard(kind)
-            } else {
-                HarnessConfig::quick(kind)
-            };
+            let cfg =
+                if standard { HarnessConfig::standard(kind) } else { HarnessConfig::quick(kind) };
             Harness::build(cfg)
         })
         .collect()

@@ -22,8 +22,7 @@ pub fn run(standard: bool) -> String {
 
     // rows[model][dataset] = (hr, mrr)
     let model_names = ["GRU4Rec", "Caser", "SASRec", "Bert4Rec"];
-    let mut cells: Vec<Vec<String>> =
-        model_names.iter().map(|n| vec![n.to_string()]).collect();
+    let mut cells: Vec<Vec<String>> = model_names.iter().map(|n| vec![n.to_string()]).collect();
     let mut winners = Vec::new();
 
     for h in &harnesses {

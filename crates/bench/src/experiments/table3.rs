@@ -2,7 +2,7 @@
 //! Pf2Inf (Dijkstra, MST), the six Vanilla baselines, the six Rec2Inf
 //! adaptations and IRN, scored with SR / IoI / IoR / log(PPL).
 
-use irs_core::{InfluenceRecommender, Pf2Inf, PathAlgorithm, Rec2Inf, Vanilla};
+use irs_core::{InfluenceRecommender, PathAlgorithm, Pf2Inf, Rec2Inf, Vanilla};
 use irs_eval::{evaluate_paths, Evaluator};
 
 use crate::harness::Harness;
@@ -61,7 +61,14 @@ pub fn run_one(h: &Harness) -> String {
         "### {} (M = {m}, k = {k})\n\n{}",
         h.config.kind.label(),
         render_table(
-            &["Framework", "Method", &format!("SR{m}"), &format!("IoI{m}"), &format!("IoR{m}"), "log(PPL)"],
+            &[
+                "Framework",
+                "Method",
+                &format!("SR{m}"),
+                &format!("IoI{m}"),
+                &format!("IoR{m}"),
+                "log(PPL)"
+            ],
             &rows
         )
     )

@@ -96,18 +96,11 @@ pub fn run(standard: bool) -> String {
                 format!("{:.4}", m.mrr),
             ]);
         }
-        for (name, scorer) in [
-            ("GRU4Rec", &gru as &dyn SequentialScorer),
-            ("Caser", &caser),
-            ("SASRec", &sasrec),
-        ] {
+        for (name, scorer) in
+            [("GRU4Rec", &gru as &dyn SequentialScorer), ("Caser", &caser), ("SASRec", &sasrec)]
+        {
             let (hr, mrr) = adapted_metrics(&scorer, &dist, k, &test, &objectives, 20);
-            rows.push(vec![
-                "IRS".into(),
-                name.into(),
-                format!("{hr:.4}"),
-                format!("{mrr:.4}"),
-            ]);
+            rows.push(vec!["IRS".into(), name.into(), format!("{hr:.4}"), format!("{mrr:.4}")]);
         }
         // IRN ranks with the objective pinned at the final input position.
         {

@@ -33,10 +33,7 @@ pub fn run(standard: bool) -> String {
         out.push_str(&format!(
             "### {}\n\n{}\n",
             h.config.kind.label(),
-            render_table(
-                &["Mask type", "log(PPL)", &format!("SR{m}"), &format!("IoI{m}")],
-                &rows
-            )
+            render_table(&["Mask type", "log(PPL)", &format!("SR{m}"), &format!("IoI{m}")], &rows)
         ));
     }
     out

@@ -9,16 +9,13 @@ use crate::harness::{DatasetKind, Harness, HarnessConfig};
 /// Pick the most illustrative path: prefers successful paths whose start
 /// and objective genres differ, then longer paths.
 fn pick_case<'a>(h: &Harness, paths: &'a [PathRecord]) -> Option<&'a PathRecord> {
-    paths
-        .iter()
-        .filter(|p| !p.path.is_empty() && !p.history.is_empty())
-        .max_by_key(|p| {
-            let start_genre = h.dataset.genres[*p.history.last().unwrap()].first().copied();
-            let obj_genre = h.dataset.genres[p.objective].first().copied();
-            let genre_shift = usize::from(start_genre != obj_genre);
-            let success = usize::from(p.success());
-            (success, genre_shift, p.path.len())
-        })
+    paths.iter().filter(|p| !p.path.is_empty() && !p.history.is_empty()).max_by_key(|p| {
+        let start_genre = h.dataset.genres[*p.history.last().unwrap()].first().copied();
+        let obj_genre = h.dataset.genres[p.objective].first().copied();
+        let genre_shift = usize::from(start_genre != obj_genre);
+        let success = usize::from(p.success());
+        (success, genre_shift, p.path.len())
+    })
 }
 
 /// Regenerate the Table VII case study on the Movielens-like dataset.
@@ -35,7 +32,8 @@ pub fn run(standard: bool) -> String {
         return "## Table VII — case study\n\n(no non-empty path generated)\n".into();
     };
 
-    let mut out = String::from("## Table VII — influence-path case study (IRN, Movielens-like)\n\n");
+    let mut out =
+        String::from("## Table VII — influence-path case study (IRN, Movielens-like)\n\n");
     let last = *case.history.last().expect("picked case has history");
     out.push_str(&format!(
         "Last item in viewing history:\n  {:<28}  [{}]\n\nInfluence path:\n",

@@ -15,9 +15,6 @@ use irs_embed::{
 };
 use irs_eval::PathRecord;
 
-#[allow(unused_imports)]
-use crossbeam;
-
 /// Which of the two paper datasets the harness emulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
@@ -76,17 +73,15 @@ impl HarnessConfig {
             test_users: 20,
             epochs: 2,
             dim: 16,
-            seed: 0x9e1,
+            seed: 0x9e2,
         }
     }
 
-    /// The configuration recorded in `EXPERIMENTS.md` (minutes-scale).
-    /// `IRS_SCALE` multiplies the dataset scale.
+    /// The minutes-scale preset (the target configuration for a future
+    /// standard-preset `EXPERIMENTS.md` run; the current report uses
+    /// `quick`).  `IRS_SCALE` multiplies the dataset scale.
     pub fn standard(kind: DatasetKind) -> Self {
-        let mult: f32 = std::env::var("IRS_SCALE")
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(1.0);
+        let mult: f32 = std::env::var("IRS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0);
         let base_scale = match kind {
             DatasetKind::LastfmLike => 0.15,
             DatasetKind::MovielensLike => 0.05,
@@ -213,7 +208,12 @@ impl Harness {
     pub fn train_bpr(&self) -> BprMf {
         BprMf::fit(
             &self.dataset,
-            &BprConfig { dim: self.config.dim.min(24), epochs: 6, seed: self.config.seed, ..Default::default() },
+            &BprConfig {
+                dim: self.config.dim.min(24),
+                epochs: 6,
+                seed: self.config.seed,
+                ..Default::default()
+            },
         )
     }
 
@@ -221,7 +221,12 @@ impl Harness {
     pub fn train_transrec(&self) -> TransRec {
         TransRec::fit(
             &self.dataset,
-            &TransRecConfig { dim: self.config.dim.min(24), epochs: 6, seed: self.config.seed, ..Default::default() },
+            &TransRecConfig {
+                dim: self.config.dim.min(24),
+                epochs: 6,
+                seed: self.config.seed,
+                ..Default::default()
+            },
         )
     }
 
@@ -358,10 +363,10 @@ impl Harness {
         }
         let chunk = test.len().div_ceil(threads);
         let mut results: Vec<Vec<PathRecord>> = Vec::new();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let mut handles = Vec::new();
             for (cases, objs) in test.chunks(chunk).zip(objectives.chunks(chunk)) {
-                handles.push(scope.spawn(move |_| {
+                handles.push(scope.spawn(move || {
                     cases
                         .iter()
                         .zip(objs)
@@ -377,8 +382,7 @@ impl Harness {
             for h in handles {
                 results.push(h.join().expect("path-generation worker panicked"));
             }
-        })
-        .expect("crossbeam scope");
+        });
         results.into_iter().flatten().collect()
     }
 

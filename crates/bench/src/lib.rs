@@ -1,4 +1,4 @@
-//! # irs-bench — the experiment harness
+//! # irs_bench — the experiment harness
 //!
 //! Regenerates every table and figure of the paper's evaluation section on
 //! the synthetic stand-in datasets (see `DESIGN.md` for the substitution
@@ -9,9 +9,11 @@
 //! wrappers, and `src/bin/run_all.rs` regenerates the full set.
 //!
 //! Scale is controlled by [`harness::HarnessConfig`]: `quick()` finishes in
-//! seconds (used by integration tests), `standard()` is the configuration
-//! recorded in `EXPERIMENTS.md`.  The `IRS_SCALE` environment variable
-//! multiplies the dataset scale of the standard preset.
+//! seconds (used by integration tests and the current `EXPERIMENTS.md`
+//! report), `standard()` is the minutes-scale preset.  The `IRS_SCALE`
+//! environment variable multiplies the dataset scale of the standard
+//! preset.  Regenerate the report with
+//! `cargo run --release -p irs_bench --bin run_all -- --quick --out EXPERIMENTS.md`.
 
 pub mod experiments;
 pub mod harness;

@@ -39,11 +39,8 @@ struct Hypothesis {
 
 impl Hypothesis {
     fn score(&self, bonus: f32) -> f32 {
-        let mean = if self.path.is_empty() {
-            0.0
-        } else {
-            self.log_prob_sum / self.path.len() as f32
-        };
+        let mean =
+            if self.path.is_empty() { 0.0 } else { self.log_prob_sum / self.path.len() as f32 };
         mean + if self.finished { bonus } else { 0.0 }
     }
 }
@@ -77,9 +74,7 @@ pub fn beam_search_path(
             let mut candidates: Vec<(ItemId, f32)> = scores
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| {
-                    !history.contains(i) && (!hyp.path.contains(i) || *i == objective)
-                })
+                .filter(|(i, _)| !history.contains(i) && (!hyp.path.contains(i) || *i == objective))
                 .map(|(i, &s)| (i, s - lse))
                 .collect();
             candidates.sort_unstable_by(|a, b| {
@@ -113,11 +108,7 @@ pub fn beam_search_path(
 
     beams
         .into_iter()
-        .max_by(|a, b| {
-            a.score(2.0)
-                .partial_cmp(&b.score(2.0))
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        .max_by(|a, b| a.score(2.0).partial_cmp(&b.score(2.0)).unwrap_or(std::cmp::Ordering::Equal))
         .map(|h| h.path)
         .unwrap_or_default()
 }

@@ -249,10 +249,8 @@ mod tests {
     fn threshold_user_accepts_top_items_only() {
         // Scores favour small item ids; a 0.5-quantile user accepts the
         // upper half.
-        let mut user = ThresholdUser::new(
-            |_u, _c: &[ItemId]| vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.0],
-            0.5,
-        );
+        let mut user =
+            ThresholdUser::new(|_u, _c: &[ItemId]| vec![5.0, 4.0, 3.0, 2.0, 1.0, 0.0], 0.5);
         assert!(user.accepts(0, &[], 0));
         assert!(user.accepts(0, &[], 2));
         assert!(!user.accepts(0, &[], 5));

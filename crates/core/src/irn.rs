@@ -183,11 +183,7 @@ impl Irn {
                 n += 1;
             }
             let train_loss = epoch_loss / n.max(1) as f32;
-            let monitored = if val.is_empty() {
-                train_loss
-            } else {
-                model.dataset_loss(val)
-            };
+            let monitored = if val.is_empty() { train_loss } else { model.dataset_loss(val) };
             sched.observe(monitored, &mut opt);
             if config.train.verbose {
                 println!(
@@ -278,8 +274,7 @@ impl Irn {
             MaskType::ObjectivePersonalized => {
                 // Objective column visible (weight 0 in the base); the
                 // learned part w_t·r_u is added differentiably.
-                let base =
-                    broadcast_then_add(&causal_mask_with_objective(t, t - 1, 0.0), &keypad);
+                let base = broadcast_then_add(&causal_mask_with_objective(t, t - 1, 0.0), &keypad);
                 let idx: Vec<UserId> = users.iter().map(|&u| u % self.num_users).collect();
                 let e = self.user_emb.lookup(ctx, &idx);
                 let ru = self.wu.forward2d(ctx, e).reshape(&[users.len()]);
@@ -392,10 +387,7 @@ impl Irn {
         let pad_len = padded.iter().take_while(|&&x| x == pad).count();
         let g = Graph::new();
         let ctx = FwdCtx::new(&g, &self.store, false, 0);
-        let logits = self
-            .decode(&ctx, &[user], &[padded], &[pad_len])
-            .select_step(t - 2)
-            .value();
+        let logits = self.decode(&ctx, &[user], &[padded], &[pad_len]).select_step(t - 2).value();
         logits.data()[..self.num_items].to_vec()
     }
 }
@@ -438,7 +430,8 @@ mod tests {
         }
         // A few cross-genre bridge sequences ending in genre B.
         for s in 0..n / 2 {
-            let items: Vec<ItemId> = vec![s % 5, (s + 1) % 5, 4, 5, 5 + (s + 1) % 5, 5 + (s + 2) % 5];
+            let items: Vec<ItemId> =
+                vec![s % 5, (s + 1) % 5, 4, 5, 5 + (s + 1) % 5, 5 + (s + 2) % 5];
             seqs.push(SubSeq { user: s % 6, items });
         }
         seqs
@@ -464,7 +457,17 @@ mod tests {
         let seqs = block_seqs(24);
         let cfg = quick_config();
         // Loss of an untrained (0-epoch) model vs trained model.
-        let untrained = Irn::fit(&seqs, &[], 10, 6, &IrnConfig { train: NeuralTrainConfig { epochs: 0, ..cfg.train.clone() }, ..cfg.clone() }, None);
+        let untrained = Irn::fit(
+            &seqs,
+            &[],
+            10,
+            6,
+            &IrnConfig {
+                train: NeuralTrainConfig { epochs: 0, ..cfg.train.clone() },
+                ..cfg.clone()
+            },
+            None,
+        );
         let trained = Irn::fit(&seqs, &[], 10, 6, &cfg, None);
         let lu = untrained.dataset_loss(&seqs);
         let lt = trained.dataset_loss(&seqs);
@@ -560,8 +563,12 @@ mod tests {
         use irs_embed::{train_item2vec, Item2VecConfig};
         let seqs = block_seqs(12);
         let raw: Vec<Vec<ItemId>> = seqs.iter().map(|s| s.items.clone()).collect();
-        let emb = train_item2vec(&raw, 10, &Item2VecConfig { dim: 16, epochs: 1, ..Default::default() });
-        let cfg = IrnConfig { train: NeuralTrainConfig { epochs: 0, ..Default::default() }, ..quick_config() };
+        let emb =
+            train_item2vec(&raw, 10, &Item2VecConfig { dim: 16, epochs: 1, ..Default::default() });
+        let cfg = IrnConfig {
+            train: NeuralTrainConfig { epochs: 0, ..Default::default() },
+            ..quick_config()
+        };
         let model = Irn::fit(&seqs, &[], 10, 6, &cfg, Some(&emb));
         // With 0 training epochs the embedding table must equal item2vec.
         let s = model.store.value(model.emb.table_id());

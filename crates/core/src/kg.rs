@@ -44,10 +44,8 @@ impl KgPf2Inf {
         if let Some(p) = self.cache.lock().get(&(source, objective)) {
             return p.clone();
         }
-        let path = self
-            .graph
-            .cheapest_path(source, objective, &self.costs)
-            .map(|p| p[1..].to_vec());
+        let path =
+            self.graph.cheapest_path(source, objective, &self.costs).map(|p| p[1..].to_vec());
         self.cache.lock().insert((source, objective), path.clone());
         path
     }

@@ -1,4 +1,4 @@
-//! # irs-core — the Influential Recommender System
+//! # irs_core — the Influential Recommender System
 //!
 //! This crate implements the paper's primary contribution:
 //!
@@ -63,9 +63,8 @@ pub(crate) mod rec_utils {
         history: &[ItemId],
         path: &[ItemId],
     ) -> Vec<ItemId> {
-        let mut idx: Vec<ItemId> = (0..scores.len())
-            .filter(|i| !history.contains(i) && !path.contains(i))
-            .collect();
+        let mut idx: Vec<ItemId> =
+            (0..scores.len()).filter(|i| !history.contains(i) && !path.contains(i)).collect();
         idx.sort_unstable_by(|&a, &b| {
             scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
         });
@@ -98,7 +97,7 @@ pub use interactive::{run_interactive_session, SessionOutcome, ThresholdUser, Us
 pub use irn::{Irn, IrnConfig, MaskType};
 pub use kg::KgPf2Inf;
 pub use objective::{ObjectiveSet, SetObjectiveRecommender};
-pub use pf2inf::{Pf2Inf, PathAlgorithm};
+pub use pf2inf::{PathAlgorithm, Pf2Inf};
 pub use rec2inf::Rec2Inf;
 pub use vanilla::Vanilla;
 

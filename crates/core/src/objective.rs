@@ -29,9 +29,8 @@ impl ObjectiveSet {
 
     /// All items carrying `genre` in the dataset.
     pub fn from_genre(dataset: &Dataset, genre: GenreId) -> Self {
-        let items: Vec<ItemId> = (0..dataset.num_items)
-            .filter(|&i| dataset.genres[i].contains(&genre))
-            .collect();
+        let items: Vec<ItemId> =
+            (0..dataset.num_items).filter(|&i| dataset.genres[i].contains(&genre)).collect();
         Self::from_items(items)
     }
 

@@ -1,4 +1,4 @@
-//! # irs-data — datasets, synthetic generators, preprocessing, splitting
+//! # irs_data — datasets, synthetic generators, preprocessing, splitting
 //!
 //! The paper evaluates on MovieLens-1M and Lastfm.  Those datasets are not
 //! available in this offline environment, so this crate provides a

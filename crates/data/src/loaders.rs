@@ -78,8 +78,7 @@ pub fn load_movielens_movies<R: BufRead>(reader: R) -> std::io::Result<Loaded<Ve
         let parsed = (|| {
             let id: usize = parts.next()?.parse().ok()?;
             let title = parts.next()?.to_string();
-            let genres: Vec<String> =
-                parts.next()?.trim().split('|').map(str::to_string).collect();
+            let genres: Vec<String> = parts.next()?.trim().split('|').map(str::to_string).collect();
             Some(MovieRecord { id, title, genres })
         })();
         match parsed {

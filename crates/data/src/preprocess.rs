@@ -120,11 +120,7 @@ pub fn preprocess_dataset(
         .iter()
         .map(|&orig| original.genres.get(orig).cloned().unwrap_or_default())
         .collect();
-    let item_names = pre
-        .item_index
-        .iter()
-        .map(|&orig| original.item_name(orig))
-        .collect();
+    let item_names = pre.item_index.iter().map(|&orig| original.item_name(orig)).collect();
     let d = Dataset {
         name: original.name.clone(),
         num_users: pre.sequences.len(),

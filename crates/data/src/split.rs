@@ -177,7 +177,12 @@ pub enum PaddingScheme {
 }
 
 /// Pad (or left-truncate, keeping the most recent items) to `target_len`.
-pub fn pad_to(seq: &[ItemId], target_len: usize, pad: ItemId, scheme: PaddingScheme) -> Vec<ItemId> {
+pub fn pad_to(
+    seq: &[ItemId],
+    target_len: usize,
+    pad: ItemId,
+    scheme: PaddingScheme,
+) -> Vec<ItemId> {
     if seq.len() >= target_len {
         return seq[seq.len() - target_len..].to_vec();
     }
@@ -282,11 +287,7 @@ mod tests {
         assert_eq!(objectives.len(), s.test.len());
         for (tc, &obj) in s.test.iter().zip(&objectives) {
             assert!(counts[obj] >= 3, "objective must be popular enough");
-            assert!(
-                !tc.history.contains(&obj),
-                "objective must be unseen for user {}",
-                tc.user
-            );
+            assert!(!tc.history.contains(&obj), "objective must be unseen for user {}", tc.user);
         }
     }
 

@@ -38,7 +38,11 @@ impl std::fmt::Display for DatasetStats {
         write!(
             f,
             "{:<16} {:>7} {:>7} {:>12} {:>8.2}% {:>10.1}",
-            self.name, self.users, self.items, self.interactions, self.density_pct,
+            self.name,
+            self.users,
+            self.items,
+            self.interactions,
+            self.density_pct,
             self.avg_items_per_user
         )
     }

@@ -123,8 +123,23 @@ impl SynthConfig {
 /// Genre names used by the simulator (cycled if `num_genres` exceeds the
 /// list).  Movie-flavoured to make the Table VII case study legible.
 const GENRE_NAMES: &[&str] = &[
-    "Action", "Thriller", "Adventure", "Sci-Fi", "Fantasy", "Animation", "Children", "Comedy",
-    "Romance", "Drama", "Crime", "Mystery", "Horror", "War", "Western", "Musical", "Documentary",
+    "Action",
+    "Thriller",
+    "Adventure",
+    "Sci-Fi",
+    "Fantasy",
+    "Animation",
+    "Children",
+    "Comedy",
+    "Romance",
+    "Drama",
+    "Crime",
+    "Mystery",
+    "Horror",
+    "War",
+    "Western",
+    "Musical",
+    "Documentary",
     "Film-Noir",
 ];
 
@@ -214,8 +229,8 @@ pub fn generate(config: &SynthConfig) -> SynthOutput {
     let mut ts: i64 = 0;
 
     for u in 0..config.num_users {
-        let o = (config.openness_mean + config.openness_std * irs_gauss(&mut rng))
-            .clamp(0.02, 0.95);
+        let o =
+            (config.openness_mean + config.openness_std * irs_gauss(&mut rng)).clamp(0.02, 0.95);
         openness.push(o);
 
         // Lognormal-ish length around the configured mean.
@@ -305,7 +320,7 @@ pub fn generate(config: &SynthConfig) -> SynthOutput {
 }
 
 /// Standard normal via Box–Muller (mirrors `irs_tensor::box_muller`, kept
-/// local so `irs-data` has no tensor dependency).
+/// local so `irs_data` has no tensor dependency).
 fn irs_gauss<R: Rng + ?Sized>(rng: &mut R) -> f32 {
     loop {
         let u1: f32 = rng.random();

@@ -64,10 +64,7 @@ impl Dataset {
         self.genres
             .get(item)
             .map(|gs| {
-                gs.iter()
-                    .map(|&g| self.genre_names[g].clone())
-                    .collect::<Vec<_>>()
-                    .join(", ")
+                gs.iter().map(|&g| self.genre_names[g].clone()).collect::<Vec<_>>().join(", ")
             })
             .unwrap_or_default()
     }

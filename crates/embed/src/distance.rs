@@ -97,7 +97,8 @@ mod tests {
     #[test]
     fn embedding_distance_is_zero_on_self() {
         let seqs = vec![vec![0, 1, 2], vec![2, 1, 0]];
-        let emb = train_item2vec(&seqs, 3, &Item2VecConfig { dim: 8, epochs: 2, ..Default::default() });
+        let emb =
+            train_item2vec(&seqs, 3, &Item2VecConfig { dim: 8, epochs: 2, ..Default::default() });
         let ed = EmbeddingDistance::new(emb);
         assert_eq!(ed.distance(1, 1), 0.0);
         assert!(ed.distance(0, 2) >= 0.0);

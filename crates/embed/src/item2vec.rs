@@ -118,7 +118,8 @@ pub fn train_item2vec(
     let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
     let dim = config.dim;
     let scale = 0.5 / dim as f32;
-    let mut w_in: Vec<f32> = (0..num_items * dim).map(|_| (rng.random::<f32>() - 0.5) * scale).collect();
+    let mut w_in: Vec<f32> =
+        (0..num_items * dim).map(|_| (rng.random::<f32>() - 0.5) * scale).collect();
     let mut w_out: Vec<f32> = vec![0.0; num_items * dim];
 
     // Unigram^0.75 negative-sampling table.
@@ -140,7 +141,8 @@ pub fn train_item2vec(
         cum.partition_point(|&c| c < x).min(num_items - 1)
     };
 
-    let total_pairs: usize = sequences.iter().map(|s| s.len()).sum::<usize>().max(1) * config.epochs;
+    let total_pairs: usize =
+        sequences.iter().map(|s| s.len()).sum::<usize>().max(1) * config.epochs;
     let mut seen_pairs = 0usize;
     let mut grad_in = vec![0.0f32; dim];
 

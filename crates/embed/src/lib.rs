@@ -1,4 +1,4 @@
-//! # irs-embed — item2vec embeddings and item distances
+//! # irs_embed — item2vec embeddings and item distances
 //!
 //! The paper uses **item2vec** (Barkan & Koenigstein, 2016) in two places:
 //!

@@ -1,4 +1,4 @@
-//! # irs-eval — the IRS evaluator and every paper metric
+//! # irs_eval — the IRS evaluator and every paper metric
 //!
 //! Offline evaluation of influence paths needs `P(i | s)` for
 //! sequence–item pairs that never occur in the logged data.  Following
@@ -21,8 +21,6 @@ pub mod quality;
 mod stepwise;
 
 pub use evaluator::Evaluator;
-pub use metrics::{
-    evaluate_paths, next_item_metrics, IrsMetrics, NextItemMetrics, PathRecord,
-};
+pub use metrics::{evaluate_paths, next_item_metrics, IrsMetrics, NextItemMetrics, PathRecord};
 pub use quality::{genre_diversity, intra_list_distance, novelty, path_quality, PathQuality};
 pub use stepwise::{histogram, stepwise_evolution, StepwiseCurves};

@@ -194,10 +194,7 @@ mod tests {
     #[test]
     fn sr_counts_successes() {
         let ev = Evaluator::new(ChainScorer { n: 10 });
-        let paths = vec![
-            record(vec![0], 3, vec![1, 2, 3]),
-            record(vec![0], 5, vec![1, 2]),
-        ];
+        let paths = vec![record(vec![0], 3, vec![1, 2, 3]), record(vec![0], 5, vec![1, 2])];
         let m = evaluate_paths(&ev, &paths);
         assert!((m.sr - 0.5).abs() < 1e-9);
         assert_eq!(m.count, 2);

@@ -21,10 +21,8 @@ pub fn genre_diversity(dataset: &Dataset, path: &[ItemId]) -> f64 {
     if path.is_empty() {
         return 0.0;
     }
-    let mut genres: Vec<usize> = path
-        .iter()
-        .flat_map(|&i| dataset.genres.get(i).cloned().unwrap_or_default())
-        .collect();
+    let mut genres: Vec<usize> =
+        path.iter().flat_map(|&i| dataset.genres.get(i).cloned().unwrap_or_default()).collect();
     genres.sort_unstable();
     genres.dedup();
     genres.len() as f64 / path.len() as f64

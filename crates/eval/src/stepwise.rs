@@ -66,11 +66,7 @@ pub fn histogram(values: &[f32], bins: usize) -> Vec<(f32, usize)> {
         let b = (((v - lo) / width) as usize).min(bins - 1);
         counts[b] += 1;
     }
-    counts
-        .into_iter()
-        .enumerate()
-        .map(|(b, c)| (lo + width * (b as f32 + 0.5), c))
-        .collect()
+    counts.into_iter().enumerate().map(|(b, c)| (lo + width * (b as f32 + 0.5), c)).collect()
 }
 
 #[cfg(test)]

@@ -1,4 +1,4 @@
-//! # irs-graph — item co-occurrence graphs and path-finding
+//! # irs_graph — item co-occurrence graphs and path-finding
 //!
 //! Implements the substrate of the paper's **Pf2Inf** framework (§III-B):
 //! an undirected item graph built from consecutive co-occurrence in user

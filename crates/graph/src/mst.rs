@@ -133,7 +133,8 @@ mod tests {
 
     #[test]
     fn tree_path_endpoints_and_edges() {
-        let g = ItemGraph::from_sequences(6, &[vec![0, 1, 2, 3], vec![1, 4], vec![2, 5], vec![0, 3]]);
+        let g =
+            ItemGraph::from_sequences(6, &[vec![0, 1, 2, 3], vec![1, 4], vec![2, 5], vec![0, 3]]);
         let mst = MstPaths::build(&g);
         let p = mst.tree_path(4, 5).unwrap();
         assert_eq!(p[0], 4);

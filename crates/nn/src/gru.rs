@@ -62,11 +62,7 @@ impl GruCell {
     pub fn step<'g>(&self, ctx: &FwdCtx<'g, '_>, x: Var<'g>, h: Var<'g>) -> Var<'g> {
         let z = self.wz.forward2d(ctx, x).add(self.uz.forward2d(ctx, h)).sigmoid();
         let r = self.wr.forward2d(ctx, x).add(self.ur.forward2d(ctx, h)).sigmoid();
-        let h_cand = self
-            .wh
-            .forward2d(ctx, x)
-            .add(self.uh.forward2d(ctx, r.mul(h)))
-            .tanh();
+        let h_cand = self.wh.forward2d(ctx, x).add(self.uh.forward2d(ctx, r.mul(h))).tanh();
         // h' = (1-z)⊙h + z⊙h̃  =  h + z⊙(h̃ − h)
         h.add(z.mul(h_cand.sub(h)))
     }

@@ -1,4 +1,4 @@
-//! # irs-nn — neural-network layers, losses and optimizers
+//! # irs_nn — neural-network layers, losses and optimizers
 //!
 //! Built on the [`irs_tensor`] autograd engine, this crate provides the
 //! building blocks shared by every model in the `influential-rs` workspace

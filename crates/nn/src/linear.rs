@@ -151,11 +151,7 @@ mod tests {
         let mut opt = Adam::new(5e-2);
 
         let xs = Tensor::randn(&[64, 2], 1.0, &mut r);
-        let ys: Vec<f32> = xs
-            .data()
-            .chunks(2)
-            .map(|p| 2.0 * p[0] - p[1] + 0.5)
-            .collect();
+        let ys: Vec<f32> = xs.data().chunks(2).map(|p| 2.0 * p[0] - p[1] + 0.5).collect();
         let y_t = Tensor::from_vec(ys, &[64, 1]);
 
         let mut last = f32::INFINITY;

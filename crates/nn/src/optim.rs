@@ -117,12 +117,8 @@ impl Optimizer for Adam {
                 v[i] = Tensor::zeros(value.shape());
             }
             let (mi, vi) = (&mut m[i], &mut v[i]);
-            for (((w, &g), mk), vk) in value
-                .data_mut()
-                .iter_mut()
-                .zip(grad.data())
-                .zip(mi.data_mut())
-                .zip(vi.data_mut())
+            for (((w, &g), mk), vk) in
+                value.data_mut().iter_mut().zip(grad.data()).zip(mi.data_mut()).zip(vi.data_mut())
             {
                 *mk = b1 * *mk + (1.0 - b1) * g;
                 *vk = b2 * *vk + (1.0 - b2) * g * g;

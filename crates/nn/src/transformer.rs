@@ -32,7 +32,15 @@ impl TransformerBlock {
     ) -> Self {
         TransformerBlock {
             attn: MultiHeadAttention::new(store, &format!("{name}.attn"), d, heads, dropout, rng),
-            ff: FeedForward::new(store, &format!("{name}.ff"), d, 4 * d, Activation::Gelu, dropout, rng),
+            ff: FeedForward::new(
+                store,
+                &format!("{name}.ff"),
+                d,
+                4 * d,
+                Activation::Gelu,
+                dropout,
+                rng,
+            ),
             ln1: LayerNorm::new(store, &format!("{name}.ln1"), d),
             ln2: LayerNorm::new(store, &format!("{name}.ln2"), d),
             dropout,

@@ -37,9 +37,7 @@ where
         let vars: Vec<Var<'_>> = inputs.iter().map(|t| g.var(t.clone(), true)).collect();
         let loss = f(&g, &vars);
         g.backward(loss);
-        vars.iter()
-            .map(|&v| g.grad(v).unwrap_or_else(|| Tensor::zeros(&v.shape())))
-            .collect()
+        vars.iter().map(|&v| g.grad(v).unwrap_or_else(|| Tensor::zeros(&v.shape()))).collect()
     };
 
     let eval = |perturbed: &[Tensor]| -> f32 {

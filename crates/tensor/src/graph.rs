@@ -7,7 +7,7 @@
 //! modules, all funnelling through [`Graph::push_op`].
 //!
 //! Custom operations (e.g. the IRN Personalized Impressionability Mask in
-//! `irs-nn`) can be defined outside this crate via [`Graph::custom_op`].
+//! `irs_nn`) can be defined outside this crate via [`Graph::custom_op`].
 
 use std::cell::RefCell;
 
@@ -151,7 +151,7 @@ impl Graph {
     }
 
     /// Public alias of [`Graph::push_op`] for defining operations outside
-    /// this crate (used by `irs-nn` for the PIM attention mask).
+    /// this crate (used by `irs_nn` for the PIM attention mask).
     pub fn custom_op(
         &self,
         parents: &[Var<'_>],

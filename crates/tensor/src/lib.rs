@@ -1,4 +1,4 @@
-//! # irs-tensor — dense tensors and reverse-mode autograd
+//! # irs_tensor — dense tensors and reverse-mode autograd
 //!
 //! This crate is the numerical substrate for the `influential-rs` workspace,
 //! the Rust reproduction of *"Influential Recommender System"* (ICDE 2023).

@@ -16,11 +16,8 @@ impl<'g> Var<'g> {
             let go = ctx.grad_out().clone();
             let d = *y.shape().last().expect("softmax grad on 0-d tensor");
             let dx = ctx.grad_mut(0);
-            for ((dx_row, y_row), g_row) in dx
-                .data_mut()
-                .chunks_mut(d)
-                .zip(y.data().chunks(d))
-                .zip(go.data().chunks(d))
+            for ((dx_row, y_row), g_row) in
+                dx.data_mut().chunks_mut(d).zip(y.data().chunks(d)).zip(go.data().chunks(d))
             {
                 let dot: f32 = y_row.iter().zip(g_row).map(|(&yi, &gi)| yi * gi).sum();
                 for ((o, &yi), &gi) in dx_row.iter_mut().zip(y_row).zip(g_row) {
@@ -40,11 +37,8 @@ impl<'g> Var<'g> {
             let go = ctx.grad_out().clone();
             let d = *logp.shape().last().expect("log_softmax grad on 0-d tensor");
             let dx = ctx.grad_mut(0);
-            for ((dx_row, lp_row), g_row) in dx
-                .data_mut()
-                .chunks_mut(d)
-                .zip(logp.data().chunks(d))
-                .zip(go.data().chunks(d))
+            for ((dx_row, lp_row), g_row) in
+                dx.data_mut().chunks_mut(d).zip(logp.data().chunks(d)).zip(go.data().chunks(d))
             {
                 let gsum: f32 = g_row.iter().sum();
                 for ((o, &lp), &gi) in dx_row.iter_mut().zip(lp_row).zip(g_row) {
@@ -66,7 +60,8 @@ impl<'g> Var<'g> {
                     let mut out = x.clone();
                     for row in out.data_mut().chunks_mut(d) {
                         let mean = row.iter().sum::<f32>() / d as f32;
-                        let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+                        let var =
+                            row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
                         let inv = 1.0 / (var + eps).sqrt();
                         for (i, r) in row.iter_mut().enumerate() {
                             *r = (*r - mean) * inv * gm.data()[i] + bt.data()[i];
@@ -109,7 +104,8 @@ impl<'g> Var<'g> {
                     for i in 0..d {
                         let xhat = (xr[i] - mean) * inv;
                         let dxhat = gr[i] * gm.data()[i];
-                        dxr[i] += inv * (dxhat - sum_dxhat / d as f32 - xhat * sum_dxhat_xhat / d as f32);
+                        dxr[i] +=
+                            inv * (dxhat - sum_dxhat / d as f32 - xhat * sum_dxhat_xhat / d as f32);
                     }
                 }
             }
@@ -132,9 +128,8 @@ impl<'g> Var<'g> {
         }
         let keep = 1.0 - p;
         let n = self.graph.with_value(self, |t| t.len());
-        let mask: Vec<f32> = (0..n)
-            .map(|_| if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 })
-            .collect();
+        let mask: Vec<f32> =
+            (0..n).map(|_| if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
         let v = self.graph.with_value(self, |t| {
             let mut out = t.clone();
             for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
@@ -209,11 +204,8 @@ impl<'g> Var<'g> {
             let g = ctx.grad_out().item() / count as f32;
             let logits = ctx.value(0).clone();
             let dx = ctx.grad_mut(0);
-            for ((dx_row, row), &t) in dx
-                .data_mut()
-                .chunks_mut(v_dim)
-                .zip(logits.data().chunks(v_dim))
-                .zip(&tg)
+            for ((dx_row, row), &t) in
+                dx.data_mut().chunks_mut(v_dim).zip(logits.data().chunks(v_dim)).zip(&tg)
             {
                 if t == ignore_index {
                     continue;

@@ -73,7 +73,8 @@ impl<'g> Var<'g> {
             let s_val = ctx.value(1).item();
             let go = ctx.grad_out().clone();
             ctx.accumulate_scaled(0, s_val, &go);
-            let ds: f32 = ctx.grad_out().data().iter().zip(ctx.value(0).data()).map(|(&g, &x)| g * x).sum();
+            let ds: f32 =
+                ctx.grad_out().data().iter().zip(ctx.value(0).data()).map(|(&g, &x)| g * x).sum();
             ctx.grad_mut(1).data_mut()[0] += ds;
         })
     }
@@ -284,7 +285,9 @@ mod tests {
     #[test]
     fn grad_mul_scalar_and_add_scalar() {
         let x = Tensor::randn(&[4], 1.0, &mut rng());
-        check_gradients(&[x], |_g, vars| vars[0].mul_scalar(2.5).add_scalar(-1.0).mul(vars[0]).sum_all());
+        check_gradients(&[x], |_g, vars| {
+            vars[0].mul_scalar(2.5).add_scalar(-1.0).mul(vars[0]).sum_all()
+        });
     }
 
     #[test]

@@ -44,11 +44,7 @@ impl<'g> Var<'g> {
         let shapes: Vec<Vec<usize>> = parts.iter().map(|p| p.shape()).collect();
         let lead = &shapes[0][..shapes[0].len() - 1];
         for s in &shapes {
-            assert_eq!(
-                &s[..s.len() - 1],
-                lead,
-                "concat_last leading axes differ: {shapes:?}"
-            );
+            assert_eq!(&s[..s.len() - 1], lead, "concat_last leading axes differ: {shapes:?}");
         }
         let widths: Vec<usize> = shapes.iter().map(|s| *s.last().unwrap()).collect();
         let total_w: usize = widths.iter().sum();
@@ -456,10 +452,7 @@ mod tests {
     #[test]
     fn max_axis1_values_and_grad_routing() {
         let g = Graph::new();
-        let x = g.var(
-            Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0, 0.0, 4.0], &[1, 3, 2]),
-            true,
-        );
+        let x = g.var(Tensor::from_vec(vec![1.0, 5.0, 3.0, 2.0, 0.0, 4.0], &[1, 3, 2]), true);
         let m = x.max_axis1();
         assert_eq!(m.value().data(), &[3.0, 5.0]);
         let loss = m.sum_all();

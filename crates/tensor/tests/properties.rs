@@ -7,8 +7,7 @@ use proptest::prelude::*;
 /// Strategy: a tensor with the given shape and small finite entries.
 fn tensor(shape: &'static [usize]) -> impl Strategy<Value = Tensor> {
     let n: usize = shape.iter().product();
-    proptest::collection::vec(-3.0f32..3.0, n)
-        .prop_map(move |data| Tensor::from_vec(data, shape))
+    proptest::collection::vec(-3.0f32..3.0, n).prop_map(move |data| Tensor::from_vec(data, shape))
 }
 
 fn close(a: f32, b: f32, tol: f32) -> bool {

@@ -18,11 +18,7 @@ fn show_path(h: &Harness, label: &str, path: &[usize], objective: usize) {
     }
     for &item in path {
         let marker = if item == objective { "  <-- objective" } else { "" };
-        println!(
-            "  {} [{}]{marker}",
-            h.dataset.item_name(item),
-            h.dataset.genre_label(item)
-        );
+        println!("  {} [{}]{marker}", h.dataset.item_name(item), h.dataset.genre_label(item));
     }
 }
 

@@ -1,7 +1,7 @@
 //! Music-discovery scenario on the Lastfm-like dataset: quantitative
-//! comparison of IRN against the Rec2Inf adaptation of SASRec, using
-//! item2vec distances (the paper's Lastfm setting) and the full metric
-//! suite.
+//! comparison of IRN against the Rec2Inf adaptation of SASRec (§III-C),
+//! using item2vec distances (the paper's Lastfm setting, §IV-C) and the
+//! full §IV-B metric suite.
 //!
 //! ```text
 //! cargo run --release --example music_discovery

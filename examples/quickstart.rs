@@ -1,5 +1,7 @@
-//! Quickstart: build a synthetic dataset, train IRN, generate an influence
-//! path and score it with the offline evaluator.
+//! Quickstart: the paper's full pipeline end to end — build a synthetic
+//! dataset (§IV-A preprocessing/splitting), train IRN (§III-D), generate an
+//! influence path with Algorithm 1, and score it with the offline
+//! evaluator (§IV-B).
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -27,10 +29,8 @@ fn main() {
         dataset.num_items,
         dataset.num_interactions()
     );
-    let split = split_dataset(
-        &dataset,
-        &SplitConfig { l_min: 8, l_max: 16, val_fraction: 0.1, seed: 7 },
-    );
+    let split =
+        split_dataset(&dataset, &SplitConfig { l_min: 8, l_max: 16, val_fraction: 0.1, seed: 7 });
     let objectives = sample_objectives(&dataset, &split.test, 5, 7);
 
     // 2. Train IRN (the core model) and Bert4Rec (the offline evaluator).

@@ -1,0 +1,186 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness. Each benchmark warms up briefly, then runs a fixed
+//! number of timed samples and reports the median time per iteration to
+//! stdout. No statistical analysis, plots, or baselines — just honest
+//! wall-clock medians, which is enough for the relative comparisons the
+//! `EXPERIMENTS.md` performance notes make.
+//!
+//! Used with `harness = false` bench targets and the usual
+//! `criterion_group!` / `criterion_main!` pair.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLES: usize = 15;
+
+/// Identifier for a parameterised benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`: a short warm-up, then `samples` timed runs; the
+    /// median is what gets reported.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        for _ in 0..2 {
+            black_box(routine());
+        }
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = times[times.len() / 2];
+    }
+}
+
+fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, median_ns: f64::NAN };
+    f(&mut b);
+    let ns = b.median_ns;
+    let pretty = if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    };
+    println!("bench: {label:<40} median {pretty}/iter ({samples} samples)");
+}
+
+/// Top-level harness: owns default settings, hands out groups.
+pub struct Criterion {
+    sample_count: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_count: DEFAULT_SAMPLES }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        name: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&name.to_string(), self.sample_count, &mut f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_count: self.sample_count, _parent: self }
+    }
+}
+
+/// A named collection of related benchmarks (shares a `sample_size`).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_count: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_count = n.max(1);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_count, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.sample_count, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `fn main` running the given groups (for `harness = false` targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_reports() {
+        let mut c = Criterion::default();
+        c.sample_size(3).bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_api_works() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("f", |b| b.iter(|| black_box(2) * 2));
+        g.bench_with_input(BenchmarkId::from_parameter(8), &8usize, |b, &n| b.iter(|| n * n));
+        g.finish();
+    }
+}

@@ -68,7 +68,8 @@ fn parse_args() -> Result<Opts, String> {
                 };
             }
             "--scale" => {
-                opts.scale = Some(take(&args, &mut i)?.parse().map_err(|e| format!("--scale: {e}"))?)
+                opts.scale =
+                    Some(take(&args, &mut i)?.parse().map_err(|e| format!("--scale: {e}"))?)
             }
             "--epochs" => {
                 opts.epochs =
@@ -107,7 +108,10 @@ fn irn_config(h: &Harness) -> IrnConfig {
 fn cmd_stats(opts: &Opts) -> ExitCode {
     let h = build_harness(opts);
     let s = dataset_stats(&h.dataset);
-    println!("{:<16} {:>7} {:>7} {:>12} {:>9} {:>11}", "dataset", "users", "items", "interactions", "density", "items/user");
+    println!(
+        "{:<16} {:>7} {:>7} {:>12} {:>9} {:>11}",
+        "dataset", "users", "items", "interactions", "density", "items/user"
+    );
     println!("{s}");
     println!(
         "\nsplit: {} train / {} val subsequences, {} test users",

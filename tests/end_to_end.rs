@@ -2,9 +2,29 @@
 //! training → influence-path generation → metric evaluation, across all
 //! workspace crates.
 
-use influential_rs::core::Vanilla;
+use influential_rs::core::{generate_influence_path, Vanilla};
 use influential_rs::eval::{evaluate_paths, Evaluator};
 use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+
+#[test]
+fn smoke_single_epoch_irn_generates_a_path() {
+    // Minimal viability check, cheaper than the full pipeline below:
+    // synthetic dataset -> one training pass of IRN -> one influence path.
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    let mut cfg = h.irn_config();
+    cfg.train.epochs = 1;
+    let irn = h.train_irn_with(&cfg);
+
+    let (test, objectives) = h.test_slice();
+    let tc = &test[0];
+    let m = h.config.m;
+    let path = generate_influence_path(&irn, tc.user, &tc.history, objectives[0], m);
+    assert!(!path.is_empty(), "a barely-trained IRN must still propose items");
+    assert!(path.len() <= m, "path budget M={m} exceeded: {}", path.len());
+    for &i in &path {
+        assert!(i < h.dataset.num_items, "invalid item {i}");
+    }
+}
 
 #[test]
 fn full_pipeline_produces_valid_paths_and_metrics() {
@@ -45,14 +65,12 @@ fn irn_objective_conditioning_beats_objective_blind_baseline() {
     let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
     let irn = h.train_irn();
     let irn_paths = h.generate_paths(&irn, h.config.m);
-    let sr_irn =
-        irn_paths.iter().filter(|p| p.success()).count() as f64 / irn_paths.len() as f64;
+    let sr_irn = irn_paths.iter().filter(|p| p.success()).count() as f64 / irn_paths.len() as f64;
 
     let pop = h.train_pop();
     let vanilla = Vanilla::new(&pop);
     let pop_paths = h.generate_paths(&vanilla, h.config.m);
-    let sr_pop =
-        pop_paths.iter().filter(|p| p.success()).count() as f64 / pop_paths.len() as f64;
+    let sr_pop = pop_paths.iter().filter(|p| p.success()).count() as f64 / pop_paths.len() as f64;
 
     assert!(
         sr_irn >= sr_pop,

@@ -2,7 +2,7 @@
 //! data.
 
 use influential_rs::core::{
-    generate_influence_path, InfluenceRecommender, Pf2Inf, PathAlgorithm, Rec2Inf, Vanilla,
+    generate_influence_path, InfluenceRecommender, PathAlgorithm, Pf2Inf, Rec2Inf, Vanilla,
 };
 use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
 
