@@ -5,8 +5,8 @@
 use irs_data::split::{pad_to, PaddingScheme, SubSeq};
 use irs_data::{pad_token, ItemId, UserId};
 use irs_nn::{
-    clip_grad_norm, key_padding_mask, Adam, AttnBias, Embedding, FwdCtx, Linear, Optimizer,
-    ParamStore, PositionalEncoding, TransformerBlock,
+    clip_grad_norm, key_padding_mask, Adam, AttnBias, Embedding, FwdCtx, InferBias, Linear,
+    Optimizer, ParamStore, PositionalEncoding, TransformerBlock,
 };
 use irs_tensor::Graph;
 use rand::{Rng, SeedableRng};
@@ -206,7 +206,9 @@ impl SequentialScorer for Bert4Rec {
     }
 
     /// Score by appending `[MASK]` and predicting it, as in the original
-    /// Bert4Rec evaluation protocol.
+    /// Bert4Rec evaluation protocol.  This graph-path forward is the
+    /// reference implementation `score_batch`'s tape-free engine is tested
+    /// against.
     fn score(&self, _user: UserId, history: &[ItemId]) -> Vec<f32> {
         let pad = pad_token(self.num_items);
         let mut seq: Vec<ItemId> = history.to_vec();
@@ -223,6 +225,43 @@ impl SequentialScorer for Bert4Rec {
         }
         let logits = self.out.forward3d(&ctx, h).select_step(t - 1).value();
         logits.data()[..self.num_items].to_vec()
+    }
+
+    /// Batched `[MASK]`-prediction through the tape-free inference engine:
+    /// all queries share one padded `[B, T]` pass, and the final block is
+    /// evaluated at the mask position only.  Per row this reproduces
+    /// [`Bert4Rec::score`] exactly.
+    fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        assert_eq!(users.len(), histories.len(), "score_batch users/histories length mismatch");
+        if histories.is_empty() {
+            return Vec::new();
+        }
+        let pad = pad_token(self.num_items);
+        let t = self.max_len;
+        let mut padded = Vec::with_capacity(histories.len());
+        let mut pad_lens = Vec::with_capacity(histories.len());
+        for h in histories {
+            let mut seq: Vec<ItemId> = h.to_vec();
+            seq.push(self.mask_token());
+            let row = pad_to(&seq, t, pad, PaddingScheme::Pre);
+            pad_lens.push(row.iter().take_while(|&&x| x == pad).count());
+            padded.push(row);
+        }
+        let bias = InferBias { base: key_padding_mask(t, &pad_lens), scaled_column: None };
+        let mut h = self.emb.infer_lookup_seq(&self.store, &padded);
+        self.pos.infer_add_in_place(&self.store, &mut h);
+        let last = match self.blocks.split_last() {
+            Some((final_block, earlier)) => {
+                for block in earlier {
+                    h = block.infer(&self.store, &h, &bias);
+                }
+                final_block.infer_last_query(&self.store, &h, &bias, t - 1)
+            }
+            None => h.select_step(t - 1),
+        };
+        let logits = self.out.infer(&self.store, &last);
+        let vocab = self.num_items + 2;
+        logits.data().chunks(vocab).map(|row| row[..self.num_items].to_vec()).collect()
     }
 
     fn name(&self) -> &'static str {

@@ -192,12 +192,25 @@ impl SequentialScorer for Caser {
     }
 
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
+        self.score_batch(&[user], &[history]).pop().expect("one row per query")
+    }
+
+    /// Batched forward: [`Caser::forward`] is natively batch-shaped, so all
+    /// queries share one convolutional pass.
+    fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        assert_eq!(users.len(), histories.len(), "score_batch users/histories length mismatch");
+        if histories.is_empty() {
+            return Vec::new();
+        }
         let pad = pad_token(self.num_items);
-        let window = pad_to(history, self.l_window, pad, PaddingScheme::Pre);
+        let windows: Vec<Vec<ItemId>> =
+            histories.iter().map(|h| pad_to(h, self.l_window, pad, PaddingScheme::Pre)).collect();
+        let mapped: Vec<UserId> = users.iter().map(|&u| u % self.num_users).collect();
         let g = Graph::new();
         let ctx = FwdCtx::new(&g, &self.store, false, 0);
-        let logits = self.forward(&ctx, &[user % self.num_users], &[window]).value();
-        logits.data()[..self.num_items].to_vec()
+        let logits = self.forward(&ctx, &mapped, &windows).value();
+        let vocab = logits.shape()[1];
+        logits.data().chunks(vocab).map(|row| row[..self.num_items].to_vec()).collect()
     }
 
     fn name(&self) -> &'static str {

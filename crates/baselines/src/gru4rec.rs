@@ -121,6 +121,50 @@ impl SequentialScorer for Gru4Rec {
         logits.data()[..self.num_items].to_vec()
     }
 
+    /// Batched forward: ragged histories are *post*-padded to the longest
+    /// row so the recurrence over real tokens is untouched (a GRU state at
+    /// step `t` only depends on steps `≤ t`), then each row's hidden state
+    /// is read at its own last real position — identical to running the
+    /// row alone.
+    fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        assert_eq!(users.len(), histories.len(), "score_batch users/histories length mismatch");
+        let live: Vec<usize> = (0..histories.len()).filter(|&i| !histories[i].is_empty()).collect();
+        let mut out = vec![vec![0.0; self.num_items]; histories.len()];
+        if live.is_empty() {
+            return out;
+        }
+        let pad = pad_token(self.num_items);
+        let mut rows = Vec::with_capacity(live.len());
+        let mut lens = Vec::with_capacity(live.len());
+        for &i in &live {
+            let h = histories[i];
+            let start = h.len().saturating_sub(self.max_len);
+            rows.push(h[start..].to_vec());
+            lens.push(h.len() - start);
+        }
+        let t_max = lens.iter().copied().max().expect("non-empty batch");
+        for row in &mut rows {
+            row.resize(t_max, pad);
+        }
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &self.store, false, 0);
+        let x = self.emb.lookup_seq(&ctx, &rows);
+        let states = self.gru.forward_seq(&ctx, x).value(); // [B, T, H]
+        let hid = self.gru.hidden_dim();
+        let mut last = vec![0.0f32; live.len() * hid];
+        for (r, &len) in lens.iter().enumerate() {
+            let src = r * t_max * hid + (len - 1) * hid;
+            last[r * hid..(r + 1) * hid].copy_from_slice(&states.data()[src..src + hid]);
+        }
+        let last = g.constant(irs_tensor::Tensor::from_vec(last, &[live.len(), hid]));
+        let logits = self.out.forward2d(&ctx, last).value();
+        let vocab = self.num_items + 1;
+        for (r, &i) in live.iter().enumerate() {
+            out[i] = logits.data()[r * vocab..r * vocab + self.num_items].to_vec();
+        }
+        out
+    }
+
     fn name(&self) -> &'static str {
         "GRU4Rec"
     }

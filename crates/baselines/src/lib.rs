@@ -52,6 +52,19 @@ pub trait SequentialScorer {
     /// scores.
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32>;
 
+    /// Score a batch of `(user, history)` queries in one call.
+    ///
+    /// The provided implementation loops over [`SequentialScorer::score`];
+    /// neural models override it with a real padded-batch forward pass so
+    /// per-query graph overhead amortises across the batch.  Overrides must
+    /// return exactly what the scalar path returns for every row (the
+    /// workspace kernels make this bitwise, see `irs_tensor::matmul_into`);
+    /// `batch_properties.rs` asserts the equivalence for every model.
+    fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        assert_eq!(users.len(), histories.len(), "score_batch users/histories length mismatch");
+        users.iter().zip(histories).map(|(&u, h)| self.score(u, h)).collect()
+    }
+
     /// Display name used in experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -62,6 +75,9 @@ impl<S: SequentialScorer + ?Sized> SequentialScorer for &S {
     }
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
         (**self).score(user, history)
+    }
+    fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        (**self).score_batch(users, histories)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -74,6 +90,9 @@ impl<S: SequentialScorer + ?Sized> SequentialScorer for Box<S> {
     }
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
         (**self).score(user, history)
+    }
+    fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        (**self).score_batch(users, histories)
     }
     fn name(&self) -> &'static str {
         (**self).name()

@@ -4,7 +4,7 @@ use irs_data::split::{pad_to, PaddingScheme, SubSeq};
 use irs_data::{pad_token, ItemId, UserId};
 use irs_nn::{
     broadcast_then_add, causal_mask, clip_grad_norm, key_padding_mask, Adam, AttnBias, Embedding,
-    FwdCtx, Linear, Optimizer, ParamStore, PositionalEncoding, TransformerBlock,
+    FwdCtx, InferBias, Linear, Optimizer, ParamStore, PositionalEncoding, TransformerBlock,
 };
 use irs_tensor::Graph;
 use rand::SeedableRng;
@@ -127,8 +127,9 @@ impl SasRec {
         loss_val
     }
 
-    /// Forward a single pre-padded sequence in eval mode, returning logits
-    /// at the last position.
+    /// Forward a single pre-padded sequence through the graph path in eval
+    /// mode, returning logits at the last position.  This is the reference
+    /// implementation `score_batch`'s tape-free engine is tested against.
     fn last_position_logits(&self, padded: &[ItemId], pad: ItemId) -> Vec<f32> {
         let t = padded.len();
         let pad_len = padded.iter().take_while(|&&x| x == pad).count();
@@ -157,6 +158,51 @@ impl SequentialScorer for SasRec {
         let pad = pad_token(self.num_items);
         let padded = pad_to(history, self.max_len, pad, PaddingScheme::Pre);
         self.last_position_logits(&padded, pad)
+    }
+
+    /// Batched tape-free forward: all queries share one padded `[B, T]`
+    /// pass through the inference engine, with the final block evaluated
+    /// at the last position only.  Per row this reproduces
+    /// [`SasRec::score`] exactly.
+    fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        assert_eq!(users.len(), histories.len(), "score_batch users/histories length mismatch");
+        let pad = pad_token(self.num_items);
+        // Empty histories score zero (no signal); only real rows enter the
+        // batched forward.
+        let live: Vec<usize> = (0..histories.len()).filter(|&i| !histories[i].is_empty()).collect();
+        let mut out = vec![vec![0.0; self.num_items]; histories.len()];
+        if live.is_empty() {
+            return out;
+        }
+        let t = self.max_len;
+        let mut padded = Vec::with_capacity(live.len());
+        let mut pad_lens = Vec::with_capacity(live.len());
+        for &i in &live {
+            let row = pad_to(histories[i], t, pad, PaddingScheme::Pre);
+            pad_lens.push(row.iter().take_while(|&&x| x == pad).count());
+            padded.push(row);
+        }
+        let bias = InferBias {
+            base: broadcast_then_add(&causal_mask(t), &key_padding_mask(t, &pad_lens)),
+            scaled_column: None,
+        };
+        let mut h = self.emb.infer_lookup_seq(&self.store, &padded);
+        self.pos.infer_add_in_place(&self.store, &mut h);
+        let last = match self.blocks.split_last() {
+            Some((final_block, earlier)) => {
+                for block in earlier {
+                    h = block.infer(&self.store, &h, &bias);
+                }
+                final_block.infer_last_query(&self.store, &h, &bias, t - 1)
+            }
+            None => h.select_step(t - 1),
+        };
+        let logits = self.out.infer(&self.store, &last);
+        let vocab = self.num_items + 1;
+        for (&i, row) in live.iter().zip(logits.data().chunks(vocab)) {
+            out[i] = row[..self.num_items].to_vec();
+        }
+        out
     }
 
     fn name(&self) -> &'static str {

@@ -12,17 +12,17 @@ use irs_core::{beam_search_path, BeamConfig, PathAlgorithm, Pf2Inf};
 use irs_data::split::PaddingScheme;
 use irs_eval::{evaluate_paths, Evaluator, PathRecord};
 
-use crate::harness::{DatasetKind, Harness, HarnessConfig};
+use crate::harness::{DatasetKind, Harness};
 use crate::render_table;
 
 /// Regenerate the ablation suite on the Lastfm-like dataset.
 pub fn run(standard: bool) -> String {
-    let cfg = if standard {
-        HarnessConfig::standard(DatasetKind::LastfmLike)
-    } else {
-        HarnessConfig::quick(DatasetKind::LastfmLike)
-    };
-    let h = Harness::build(cfg);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate the ablation suite at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let h = Harness::build(fidelity.config(DatasetKind::LastfmLike));
     let m = h.config.m;
     let evaluator = Evaluator::new(h.train_bert4rec());
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -107,8 +107,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_ablations_cover_all_dimensions() {
-        let out = super::run(false);
+    fn tiny_ablations_cover_all_dimensions() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         for dim in ["Padding", "Embedding init", "Decoding", "Pf2Inf weights"] {
             assert!(out.contains(dim), "missing {dim} in:\n{out}");
         }

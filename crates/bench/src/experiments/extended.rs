@@ -10,18 +10,18 @@ use irs_core::{InfluenceRecommender, KgPf2Inf, PathAlgorithm, Pf2Inf, Rec2Inf, V
 use irs_eval::{evaluate_paths, path_quality, Evaluator};
 use irs_graph::RelationCosts;
 
-use crate::harness::{DatasetKind, Harness, HarnessConfig};
+use crate::harness::{DatasetKind, Harness};
 use crate::render_table;
 
 /// Regenerate the extended analyses on the Movielens-like dataset (genre
 /// metadata makes both analyses meaningful there).
 pub fn run(standard: bool) -> String {
-    let cfg = if standard {
-        HarnessConfig::standard(DatasetKind::MovielensLike)
-    } else {
-        HarnessConfig::quick(DatasetKind::MovielensLike)
-    };
-    let h = Harness::build(cfg);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate the extended analyses at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let h = Harness::build(fidelity.config(DatasetKind::MovielensLike));
     let m = h.config.m;
     let evaluator = Evaluator::new(h.train_bert4rec());
     let dist = h.distance();
@@ -69,8 +69,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_run_reports_quality_columns() {
-        let out = super::run(false);
+    fn tiny_run_reports_quality_columns() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         for col in ["Diversity", "ILD", "Novelty", "Pf2Inf(KG)", "IRN"] {
             assert!(out.contains(col), "missing {col} in:\n{out}");
         }

@@ -19,10 +19,15 @@ pub fn sr_at(paths: &[PathRecord], m: usize) -> f64 {
 
 /// Regenerate Figure 6.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Figure 6 at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let mut out = String::from("## Figure 6 — SR vs maximum path length M\n\n");
     for h in &harnesses {
-        let max_m = if standard { 40 } else { h.config.m };
+        let max_m = if fidelity.is_standard() { 40 } else { h.config.m };
         let ms: Vec<usize> =
             [1, 2, 5, 10, 15, 20, 30, 40].into_iter().filter(|&m| m <= max_m).collect();
         let k = super::default_k(h.dataset.num_items);

@@ -9,11 +9,23 @@ use crate::render_table;
 
 /// Regenerate Figure 7.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Figure 7 at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let mut out = String::from(
         "## Figure 7 — aggressiveness degree (AD) vs SR and log(PPL)\n\n\
          AD levels: Rec2Inf k ∈ 5 steps up to k_max; IRN w_t ∈ {0, 0.25, 0.5, 0.75, 1}.\n\n",
     );
+    // Every w_t level retrains IRN; the unit-test preset sweeps a coarser
+    // grid.
+    let wt_levels: &[f32] = if fidelity == super::Fidelity::Tiny {
+        &[0.0, 0.5, 1.0]
+    } else {
+        &[0.0, 0.25, 0.5, 0.75, 1.0]
+    };
     for h in &harnesses {
         let m = h.config.m;
         let evaluator = Evaluator::new(h.train_bert4rec());
@@ -21,7 +33,6 @@ pub fn run(standard: bool) -> String {
         let k_max = super::default_k(h.dataset.num_items);
         let mut k_levels: Vec<usize> = (1..=5).map(|i| ((k_max * i) / 5).max(1)).collect();
         k_levels.dedup(); // tiny catalogues collapse adjacent levels
-        let wt_levels = [0.0f32, 0.25, 0.5, 0.75, 1.0];
 
         let caser = h.train_caser();
         let sasrec = h.train_sasrec();
@@ -43,7 +54,7 @@ pub fn run(standard: bool) -> String {
         for &k in &k_levels {
             add(format!("Rec2Inf(SASRec) k={k}"), &Rec2Inf::new(&sasrec, &dist, k));
         }
-        for &wt in &wt_levels {
+        for &wt in wt_levels {
             // The paper treats w_t as a training-time hyperparameter;
             // retrain IRN per level.
             let cfg = irs_core::IrnConfig { wt, ..h.irn_config() };
@@ -63,8 +74,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_run_sweeps_k_and_wt() {
-        let out = super::run(false);
+    fn tiny_run_sweeps_k_and_wt() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         assert!(out.contains("k="));
         assert!(out.contains("wt=0.5"));
         assert!(out.contains("wt=1"));

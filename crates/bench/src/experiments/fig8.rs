@@ -7,12 +7,17 @@ use crate::render_bars;
 
 /// Regenerate Figure 8.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Figure 8 at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let mut out = String::from("## Figure 8 — distribution of r_u\n\n");
     for h in &harnesses {
         let irn = h.train_irn();
         let rus = irn.all_ru();
-        let bins = if standard { 15 } else { 8 };
+        let bins = if fidelity.is_standard() { 15 } else { 8 };
         let hist = histogram(&rus, bins);
         let points: Vec<(String, f64)> =
             hist.iter().map(|&(center, count)| (format!("{center:+.3}"), count as f64)).collect();
@@ -34,8 +39,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_run_prints_histograms() {
-        let out = super::run(false);
+    fn tiny_run_prints_histograms() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         assert!(out.contains("r_u histogram"));
         assert!(out.contains("mean"));
     }

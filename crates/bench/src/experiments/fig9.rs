@@ -10,7 +10,12 @@ use crate::render_table;
 
 /// Regenerate Figure 9.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Figure 9 at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let mut out = String::from(
         "## Figure 9 — stepwise evolution of user interests (early-success paths excluded)\n\n",
     );
@@ -53,8 +58,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_run_emits_probability_curves() {
-        let out = super::run(false);
+    fn tiny_run_emits_probability_curves() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         assert!(out.contains("P(obj)"));
         assert!(out.contains("P(item)"));
     }

@@ -19,15 +19,51 @@ pub mod table7;
 use crate::harness::{DatasetKind, Harness, HarnessConfig};
 use irs_eval::IrsMetrics;
 
+/// Dataset scale and training budget of an experiment run.
+///
+/// Every experiment exposes `run_at(Fidelity)`; the legacy
+/// `run(standard: bool)` wrappers map `true`/`false` onto
+/// `Standard`/`Quick`.  `Tiny` exists for the unit-test suite: the tests
+/// assert report structure, not metric values, so they ride the cheapest
+/// preset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Sub-second preset for unit tests ([`HarnessConfig::tiny`]).
+    Tiny,
+    /// Seconds-scale preset ([`HarnessConfig::quick`]).
+    Quick,
+    /// Minutes-scale preset ([`HarnessConfig::standard`]).
+    Standard,
+}
+
+impl Fidelity {
+    pub(crate) fn from_standard(standard: bool) -> Self {
+        if standard {
+            Fidelity::Standard
+        } else {
+            Fidelity::Quick
+        }
+    }
+
+    pub(crate) fn is_standard(self) -> bool {
+        self == Fidelity::Standard
+    }
+
+    /// The harness configuration of this fidelity for one dataset.
+    pub(crate) fn config(self, kind: DatasetKind) -> HarnessConfig {
+        match self {
+            Fidelity::Tiny => HarnessConfig::tiny(kind),
+            Fidelity::Quick => HarnessConfig::quick(kind),
+            Fidelity::Standard => HarnessConfig::standard(kind),
+        }
+    }
+}
+
 /// Build the two dataset harnesses at the requested fidelity.
-pub(crate) fn both_harnesses(standard: bool) -> Vec<Harness> {
+pub(crate) fn both_harnesses(fidelity: Fidelity) -> Vec<Harness> {
     [DatasetKind::LastfmLike, DatasetKind::MovielensLike]
         .into_iter()
-        .map(|kind| {
-            let cfg =
-                if standard { HarnessConfig::standard(kind) } else { HarnessConfig::quick(kind) };
-            Harness::build(cfg)
-        })
+        .map(|kind| Harness::build(fidelity.config(kind)))
         .collect()
 }
 

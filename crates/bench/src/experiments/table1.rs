@@ -6,7 +6,12 @@ use crate::render_table;
 
 /// Regenerate Table I.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Table I at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let rows: Vec<Vec<String>> = harnesses
         .iter()
         .map(|h| {
@@ -33,8 +38,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_run_produces_two_rows() {
-        let out = super::run(false);
+    fn tiny_run_produces_two_rows() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         assert!(out.contains("lastfm-like"));
         assert!(out.contains("movielens-like"));
     }

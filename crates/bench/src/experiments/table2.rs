@@ -12,7 +12,12 @@ use crate::render_table;
 /// Regenerate Table II.  Returns the report; the winner per dataset is
 /// stated below the table.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Table II at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let mut headers: Vec<String> = vec!["Method".into()];
     for h in &harnesses {
         headers.push(format!("{} HR@20", h.config.kind.label()));
@@ -54,8 +59,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_run_reports_all_candidates() {
-        let out = super::run(false);
+    fn tiny_run_reports_all_candidates() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         for name in ["GRU4Rec", "Caser", "SASRec", "Bert4Rec", "Selected evaluator"] {
             assert!(out.contains(name), "missing {name} in:\n{out}");
         }

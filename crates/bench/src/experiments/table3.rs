@@ -76,7 +76,12 @@ pub fn run_one(h: &Harness) -> String {
 
 /// Regenerate Table III for both datasets.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Table III at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let mut out = String::from("## Table III — overall comparison of IRS approaches\n\n");
     for h in &harnesses {
         out.push_str(&run_one(h));
@@ -90,8 +95,8 @@ mod tests {
     use crate::harness::{DatasetKind, Harness, HarnessConfig};
 
     #[test]
-    fn quick_table3_contains_all_frameworks() {
-        let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
+    fn tiny_table3_contains_all_frameworks() {
+        let h = Harness::build(HarnessConfig::tiny(DatasetKind::LastfmLike));
         let out = super::run_one(&h);
         for name in ["Dijkstra", "MST", "Vanilla", "Rec2Inf", "IRN"] {
             assert!(out.contains(name), "missing {name} in:\n{out}");

@@ -51,11 +51,13 @@ fn adapted_metrics<S: SequentialScorer, D: ItemDistance>(
     objectives: &[ItemId],
     k_eval: usize,
 ) -> (f64, f64) {
+    let users: Vec<_> = test.iter().map(|tc| tc.user).collect();
+    let histories: Vec<&[ItemId]> = test.iter().map(|tc| tc.history.as_slice()).collect();
+    let all_scores = scorer.score_batch(&users, &histories);
     let mut hr = 0.0;
     let mut mrr = 0.0;
-    for (tc, &obj) in test.iter().zip(objectives) {
-        let scores = scorer.score(tc.user, &tc.history);
-        let pseudo = rec2inf_pseudo_scores(&scores, k_candidates, dist, obj);
+    for ((tc, &obj), scores) in test.iter().zip(objectives).zip(&all_scores) {
+        let pseudo = rec2inf_pseudo_scores(scores, k_candidates, dist, obj);
         let rank = rank_of(&pseudo, tc.next_item);
         if rank <= k_eval {
             hr += 1.0;
@@ -68,7 +70,12 @@ fn adapted_metrics<S: SequentialScorer, D: ItemDistance>(
 
 /// Regenerate Table IV.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Table IV at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let mut out = String::from("## Table IV — next-item performance, vanilla vs IRS-adapted\n\n");
     for h in &harnesses {
         let (test, objectives) = h.test_slice();
@@ -102,13 +109,16 @@ pub fn run(standard: bool) -> String {
             let (hr, mrr) = adapted_metrics(&scorer, &dist, k, &test, &objectives, 20);
             rows.push(vec!["IRS".into(), name.into(), format!("{hr:.4}"), format!("{mrr:.4}")]);
         }
-        // IRN ranks with the objective pinned at the final input position.
+        // IRN ranks with the objective pinned at the final input position;
+        // all test users share one batched forward.
         {
+            let users: Vec<_> = test.iter().map(|tc| tc.user).collect();
+            let histories: Vec<&[ItemId]> = test.iter().map(|tc| tc.history.as_slice()).collect();
+            let all_scores = irn.score_next_batch(&users, &histories, &objectives);
             let mut hr = 0.0;
             let mut mrr = 0.0;
-            for (tc, &obj) in test.iter().zip(&objectives) {
-                let scores = irn.score_next(tc.user, &tc.history, obj);
-                let rank = rank_of(&scores, tc.next_item);
+            for (tc, scores) in test.iter().zip(&all_scores) {
+                let rank = rank_of(scores, tc.next_item);
                 if rank <= 20 {
                     hr += 1.0;
                 }

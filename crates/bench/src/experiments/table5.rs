@@ -8,7 +8,12 @@ use crate::render_table;
 
 /// Regenerate Table V.
 pub fn run(standard: bool) -> String {
-    let harnesses = super::both_harnesses(standard);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate Table V at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let harnesses = super::both_harnesses(fidelity);
     let mut out = String::from("## Table V — comparison of PIM mask types\n\n");
     for h in &harnesses {
         let m = h.config.m;
@@ -42,8 +47,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_run_reports_three_mask_types() {
-        let out = super::run(false);
+    fn tiny_run_reports_three_mask_types() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         assert!(out.contains("Type 1"));
         assert!(out.contains("Type 2"));
         assert!(out.contains("Type 3"));

@@ -5,24 +5,30 @@
 
 use irs_eval::{evaluate_paths, Evaluator};
 
-use crate::harness::{DatasetKind, Harness, HarnessConfig};
+use crate::harness::{DatasetKind, Harness};
 use crate::render_table;
 
 /// Regenerate the Table VI sweep on the Lastfm-like dataset.
 pub fn run(standard: bool) -> String {
-    let cfg = if standard {
-        HarnessConfig::standard(DatasetKind::LastfmLike)
-    } else {
-        HarnessConfig::quick(DatasetKind::LastfmLike)
-    };
-    let h = Harness::build(cfg);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate the Table VI sweep at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    use super::Fidelity;
+    let standard = fidelity.is_standard();
+    let h = Harness::build(fidelity.config(DatasetKind::LastfmLike));
     let evaluator = Evaluator::new(h.train_bert4rec());
     let m = h.config.m;
     let base = h.irn_config();
 
     // Coordinate sweep: vary one hyperparameter at a time.
     let mut variants: Vec<(String, irs_core::IrnConfig)> = Vec::new();
-    let dims: &[usize] = if standard { &[16, 32, 48] } else { &[16] };
+    let dims: &[usize] = match fidelity {
+        Fidelity::Standard => &[16, 32, 48],
+        Fidelity::Quick => &[16],
+        Fidelity::Tiny => &[8],
+    };
     for &d in dims {
         variants.push((format!("d = {d}"), irs_core::IrnConfig { dim: d, ..base.clone() }));
     }
@@ -76,9 +82,9 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_run_sweeps_at_least_three_variants() {
-        let out = super::run(false);
-        assert!(out.contains("d = 16"));
+    fn tiny_run_sweeps_at_least_three_variants() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
+        assert!(out.contains("d = 8"));
         assert!(out.contains("L = 1"));
         assert!(out.contains("Best validation loss"));
     }

@@ -4,7 +4,7 @@
 
 use irs_eval::PathRecord;
 
-use crate::harness::{DatasetKind, Harness, HarnessConfig};
+use crate::harness::{DatasetKind, Harness};
 
 /// Pick the most illustrative path: prefers successful paths whose start
 /// and objective genres differ, then longer paths.
@@ -20,12 +20,12 @@ fn pick_case<'a>(h: &Harness, paths: &'a [PathRecord]) -> Option<&'a PathRecord>
 
 /// Regenerate the Table VII case study on the Movielens-like dataset.
 pub fn run(standard: bool) -> String {
-    let cfg = if standard {
-        HarnessConfig::standard(DatasetKind::MovielensLike)
-    } else {
-        HarnessConfig::quick(DatasetKind::MovielensLike)
-    };
-    let h = Harness::build(cfg);
+    run_at(super::Fidelity::from_standard(standard))
+}
+
+/// Regenerate the Table VII case study at an explicit fidelity.
+pub fn run_at(fidelity: super::Fidelity) -> String {
+    let h = Harness::build(fidelity.config(DatasetKind::MovielensLike));
     let irn = h.train_irn();
     let paths = h.generate_paths(&irn, h.config.m);
     let Some(case) = pick_case(&h, &paths) else {
@@ -60,8 +60,8 @@ pub fn run(standard: bool) -> String {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn quick_case_study_prints_a_path() {
-        let out = super::run(false);
+    fn tiny_case_study_prints_a_path() {
+        let out = super::run_at(crate::experiments::Fidelity::Tiny);
         assert!(out.contains("Influence path"));
         assert!(out.contains("Objective:"));
     }

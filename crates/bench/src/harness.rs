@@ -5,7 +5,7 @@ use irs_baselines::{
     Bert4Rec, Bert4RecConfig, BprConfig, BprMf, Caser, CaserConfig, Gru4Rec, Gru4RecConfig,
     NeuralTrainConfig, Pop, SasRec, SasRecConfig, TransRec, TransRecConfig,
 };
-use irs_core::{generate_influence_path, InfluenceRecommender, Irn, IrnConfig};
+use irs_core::{generate_influence_paths, InfluenceRecommender, Irn, IrnConfig, PathRequest};
 use irs_data::preprocess::{preprocess_dataset, PreprocessConfig};
 use irs_data::split::{sample_objectives, split_dataset, DataSplit, SplitConfig, TestCase};
 use irs_data::synth::{generate, SynthConfig};
@@ -61,6 +61,27 @@ pub struct HarnessConfig {
 }
 
 impl HarnessConfig {
+    /// Sub-second-scale configuration for unit tests: the synthetic
+    /// generators bottom out at their minimum user/item floors, so the
+    /// savings come from the training budget (1 epoch, width 8, length 8)
+    /// and the evaluation span (8 users, M = 6).  Experiment unit tests
+    /// assert report *structure*, not metric values, so this preset trades
+    /// model quality for wall-clock without losing coverage.
+    pub fn tiny(kind: DatasetKind) -> Self {
+        HarnessConfig {
+            kind,
+            scale: 0.01,
+            l_min: 4,
+            l_max: 8,
+            max_len: 8,
+            m: 6,
+            test_users: 8,
+            epochs: 1,
+            dim: 8,
+            seed: 0x9e2,
+        }
+    }
+
     /// Seconds-scale configuration for tests.
     pub fn quick(kind: DatasetKind) -> Self {
         HarnessConfig {
@@ -338,52 +359,61 @@ impl Harness {
     // Path generation
     // ------------------------------------------------------------------
 
-    /// Generate one influence path per evaluated test case, fanning the
-    /// (embarrassingly parallel) users out over the available cores.
-    /// Trained models are `Sync` (gradient accumulators sit behind a
-    /// `Mutex`), so sharing them across threads is safe.
+    /// Generate one influence path per evaluated test case.
+    ///
+    /// All users advance in lockstep through the batched Algorithm 1
+    /// ([`generate_influence_paths`]): model-backed recommenders pay one
+    /// batched forward per path step instead of one forward per user per
+    /// step.  On multi-core hosts the test users are additionally fanned
+    /// out over threads (one lockstep batch per thread — trained models
+    /// are `Sync`; gradient accumulators sit behind a `Mutex`).
     pub fn generate_paths<R: InfluenceRecommender + Sync + ?Sized>(
         &self,
         rec: &R,
         m: usize,
     ) -> Vec<PathRecord> {
         let (test, objectives) = self.test_slice();
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if threads <= 1 || test.len() < 4 {
-            return test
-                .iter()
-                .zip(&objectives)
-                .map(|(tc, &obj)| PathRecord {
-                    user: tc.user,
-                    history: tc.history.clone(),
-                    objective: obj,
-                    path: generate_influence_path(rec, tc.user, &tc.history, obj, m),
-                })
-                .collect();
-        }
-        let chunk = test.len().div_ceil(threads);
-        let mut results: Vec<Vec<PathRecord>> = Vec::new();
-        std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for (cases, objs) in test.chunks(chunk).zip(objectives.chunks(chunk)) {
-                handles.push(scope.spawn(move || {
-                    cases
-                        .iter()
-                        .zip(objs)
-                        .map(|(tc, &obj)| PathRecord {
-                            user: tc.user,
-                            history: tc.history.clone(),
-                            objective: obj,
-                            path: generate_influence_path(rec, tc.user, &tc.history, obj, m),
-                        })
-                        .collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                results.push(h.join().expect("path-generation worker panicked"));
-            }
-        });
-        results.into_iter().flatten().collect()
+        let requests: Vec<PathRequest<'_>> = test
+            .iter()
+            .zip(&objectives)
+            .map(|(tc, &obj)| PathRequest { user: tc.user, history: &tc.history, objective: obj })
+            .collect();
+        // Cap the outer fan-out so each worker keeps a lockstep batch of
+        // at least MIN_LOCKSTEP_BATCH users — the batched forward (itself
+        // thread-parallel for large shapes) is where the throughput comes
+        // from, and tiny per-worker batches would forfeit it while
+        // oversubscribing cores with nested kernel threads.
+        const MIN_LOCKSTEP_BATCH: usize = 16;
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(requests.len().div_ceil(MIN_LOCKSTEP_BATCH));
+        let paths: Vec<Vec<ItemId>> = if threads <= 1 || requests.len() < 4 {
+            generate_influence_paths(rec, &requests, m)
+        } else {
+            let chunk = requests.len().div_ceil(threads);
+            let mut results: Vec<Vec<Vec<ItemId>>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for reqs in requests.chunks(chunk) {
+                    handles.push(scope.spawn(move || generate_influence_paths(rec, reqs, m)));
+                }
+                for h in handles {
+                    results.push(h.join().expect("path-generation worker panicked"));
+                }
+            });
+            results.into_iter().flatten().collect()
+        };
+        test.iter()
+            .zip(&objectives)
+            .zip(paths)
+            .map(|((tc, &obj), path)| PathRecord {
+                user: tc.user,
+                history: tc.history.clone(),
+                objective: obj,
+                path,
+            })
+            .collect()
     }
 
     /// The item co-occurrence graph built from the *training* sequences.

@@ -30,9 +30,44 @@ impl Default for BeamConfig {
     }
 }
 
+/// Fixed-size membership bitmask over the item catalogue: the candidate
+/// filter tests every item against every hypothesis each step, so this is
+/// an O(1) lookup instead of an O(|path|) `Vec::contains` scan.
+#[derive(Clone)]
+struct ItemMask {
+    words: Vec<u64>,
+}
+
+impl ItemMask {
+    fn new(num_items: usize) -> Self {
+        ItemMask { words: vec![0; num_items.div_ceil(64)] }
+    }
+
+    fn from_items(num_items: usize, items: &[ItemId]) -> Self {
+        let mut m = ItemMask::new(num_items);
+        for &i in items {
+            m.insert(i);
+        }
+        m
+    }
+
+    fn insert(&mut self, i: ItemId) {
+        if let Some(w) = self.words.get_mut(i / 64) {
+            *w |= 1u64 << (i % 64);
+        }
+    }
+
+    #[inline]
+    fn contains(&self, i: ItemId) -> bool {
+        self.words.get(i / 64).is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+    }
+}
+
 #[derive(Clone)]
 struct Hypothesis {
     path: Vec<ItemId>,
+    /// Bitmask over `path` (history has its own shared mask).
+    path_mask: ItemMask,
     log_prob_sum: f32,
     finished: bool,
 }
@@ -47,6 +82,11 @@ impl Hypothesis {
 
 /// Generate an influence path with beam search over IRN's next-item
 /// distribution.  Returns the best-scoring path.
+///
+/// All open hypotheses of a step are scored in a single
+/// [`Irn::score_next_batch`] forward, and candidate filtering uses
+/// precomputed bitmasks instead of per-item `contains` scans over the
+/// history and path.
 pub fn beam_search_path(
     irn: &Irn,
     user: UserId,
@@ -55,27 +95,56 @@ pub fn beam_search_path(
     config: &BeamConfig,
 ) -> Vec<ItemId> {
     assert!(config.beam_width >= 1 && config.branch >= 1);
-    let mut beams = vec![Hypothesis { path: Vec::new(), log_prob_sum: 0.0, finished: false }];
+    let history_mask = ItemMask::from_items(irn.num_items(), history);
+    let mut beams = vec![Hypothesis {
+        path: Vec::new(),
+        path_mask: ItemMask::new(irn.num_items()),
+        log_prob_sum: 0.0,
+        finished: false,
+    }];
 
     for _step in 0..config.max_len {
+        let open: Vec<usize> = (0..beams.len()).filter(|&i| !beams[i].finished).collect();
+        if open.is_empty() {
+            break;
+        }
+        // One batched forward for every open hypothesis.
+        let contexts: Vec<Vec<ItemId>> = open
+            .iter()
+            .map(|&i| {
+                let mut c = history.to_vec();
+                c.extend_from_slice(&beams[i].path);
+                c
+            })
+            .collect();
+        let ctx_refs: Vec<&[ItemId]> = contexts.iter().map(Vec::as_slice).collect();
+        let users = vec![user; open.len()];
+        let objectives = vec![objective; open.len()];
+        let batch_scores = irn.score_next_batch(&users, &ctx_refs, &objectives);
+
+        // Rebuild `expanded` in the original per-hypothesis order (each
+        // finished clone interleaved with each open hypothesis's
+        // expansions) so exact-score ties at the truncation boundary break
+        // the same way as the pre-batching sequential loop.
         let mut expanded: Vec<Hypothesis> = Vec::new();
-        let mut any_open = false;
+        let mut batch_row = 0usize;
         for hyp in &beams {
             if hyp.finished {
                 expanded.push(hyp.clone());
                 continue;
             }
-            any_open = true;
-            let mut context = history.to_vec();
-            context.extend_from_slice(&hyp.path);
-            let scores = irn.score_next(user, &context, objective);
+            let scores = &batch_scores[batch_row];
+            batch_row += 1;
             // Log-softmax for calibrated accumulation.
-            let lse = irs_tensor::log_sum_exp(&scores);
+            let lse = irs_tensor::log_sum_exp(scores);
             let mut candidates: Vec<(ItemId, f32)> = scores
                 .iter()
                 .enumerate()
-                .filter(|(i, _)| !history.contains(i) && (!hyp.path.contains(i) || *i == objective))
-                .map(|(i, &s)| (i, s - lse))
+                .filter(|&(item, _)| {
+                    !history_mask.contains(item)
+                        && (!hyp.path_mask.contains(item) || item == objective)
+                })
+                .map(|(item, &s)| (item, s - lse))
                 .collect();
             candidates.sort_unstable_by(|a, b| {
                 b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal)
@@ -83,14 +152,17 @@ pub fn beam_search_path(
             for &(item, lp) in candidates.iter().take(config.branch) {
                 let mut path = hyp.path.clone();
                 path.push(item);
+                let mut path_mask = hyp.path_mask.clone();
+                path_mask.insert(item);
                 expanded.push(Hypothesis {
                     finished: item == objective,
                     log_prob_sum: hyp.log_prob_sum + lp,
                     path,
+                    path_mask,
                 });
             }
         }
-        if !any_open || expanded.is_empty() {
+        if expanded.is_empty() {
             break;
         }
         expanded.sort_unstable_by(|a, b| {

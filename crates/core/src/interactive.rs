@@ -14,7 +14,7 @@
 
 use irs_data::{ItemId, UserId};
 
-use crate::InfluenceRecommender;
+use crate::{InfluenceRecommender, NextQuery, PathRequest};
 
 /// A simulated user deciding whether to accept a recommended item.
 pub trait UserModel {
@@ -148,6 +148,109 @@ where
     SessionOutcome { accepted, rejected, reached_objective: false, proposals }
 }
 
+/// Per-session state of the lockstep driver.
+struct SessionState {
+    accepted: Vec<ItemId>,
+    rejected: Vec<ItemId>,
+    proposals: usize,
+    step_rejections: usize,
+    reached_objective: bool,
+    /// `accepted ⊕ rejected`, the virtual path shown to the recommender.
+    virtual_path: Vec<ItemId>,
+}
+
+/// Run many interactive persuasion sessions in lockstep: each round every
+/// live session requests one proposal, and all requests share a single
+/// [`InfluenceRecommender::next_items`] call (one batched forward per
+/// round for model-backed recommenders).
+///
+/// Each session follows exactly the [`run_interactive_session`] protocol —
+/// for a deterministic user model the outcomes are identical — but the
+/// user model is consulted in round-robin order across sessions rather
+/// than session by session.
+pub fn run_interactive_sessions<R, U>(
+    rec: &R,
+    user_model: &mut U,
+    requests: &[PathRequest<'_>],
+    max_len: usize,
+    patience: usize,
+) -> Vec<SessionOutcome>
+where
+    R: InfluenceRecommender + ?Sized,
+    U: UserModel + ?Sized,
+{
+    let mut states: Vec<SessionState> = requests
+        .iter()
+        .map(|_| SessionState {
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+            proposals: 0,
+            step_rejections: 0,
+            reached_objective: false,
+            virtual_path: Vec::new(),
+        })
+        .collect();
+    let mut live: Vec<usize> =
+        if max_len == 0 { Vec::new() } else { (0..requests.len()).collect() };
+
+    while !live.is_empty() {
+        let answers = {
+            let queries: Vec<NextQuery<'_>> = live
+                .iter()
+                .map(|&i| NextQuery {
+                    user: requests[i].user,
+                    history: requests[i].history,
+                    objective: requests[i].objective,
+                    path: &states[i].virtual_path,
+                })
+                .collect();
+            rec.next_items(&queries)
+        };
+        let mut still_live = Vec::with_capacity(live.len());
+        for (&i, answer) in live.iter().zip(answers) {
+            let req = &requests[i];
+            let s = &mut states[i];
+            let Some(item) = answer else {
+                continue; // recommender gave up: session over
+            };
+            s.proposals += 1;
+            let mut context = req.history.to_vec();
+            context.extend_from_slice(&s.accepted);
+            if user_model.accepts(req.user, &context, item) {
+                s.accepted.push(item);
+                s.step_rejections = 0;
+                if item == req.objective {
+                    s.reached_objective = true;
+                } else if s.accepted.len() < max_len {
+                    // The virtual path tracks accepted ⊕ rejected so far.
+                    s.virtual_path.clear();
+                    s.virtual_path.extend_from_slice(&s.accepted);
+                    s.virtual_path.extend_from_slice(&s.rejected);
+                    still_live.push(i);
+                }
+            } else {
+                s.rejected.push(item);
+                s.step_rejections += 1;
+                if s.step_rejections <= patience {
+                    s.virtual_path.push(item);
+                    still_live.push(i);
+                }
+            }
+        }
+        live = still_live;
+    }
+
+    states
+        .into_iter()
+        .map(|s| SessionOutcome {
+            accepted: s.accepted,
+            rejected: s.rejected,
+            reached_objective: s.reached_objective,
+            proposals: s.proposals,
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -243,6 +346,51 @@ mod tests {
         let out = run_interactive_session(&rec, &mut Agreeable, 0, &[1], 99, 4, 3);
         assert_eq!(out.accepted.len(), 4);
         assert!(!out.reached_objective);
+    }
+
+    #[test]
+    fn lockstep_sessions_match_scalar_driver() {
+        // Deterministic recommender + user model: the batched driver must
+        // reproduce the scalar outcomes exactly, session by session.
+        let rec = Counting { objective_after: 3 };
+        let histories: Vec<Vec<ItemId>> = vec![vec![1], vec![2, 3], vec![4]];
+        let requests: Vec<PathRequest<'_>> = histories
+            .iter()
+            .enumerate()
+            .map(|(u, h)| PathRequest { user: u, history: h, objective: 99 })
+            .collect();
+        let batched = run_interactive_sessions(&rec, &mut Picky(vec![10, 12]), &requests, 10, 3);
+        for (req, out) in requests.iter().zip(&batched) {
+            let scalar = run_interactive_session(
+                &rec,
+                &mut Picky(vec![10, 12]),
+                req.user,
+                req.history,
+                req.objective,
+                10,
+                3,
+            );
+            assert_eq!(*out, scalar, "session for user {} diverged", req.user);
+        }
+    }
+
+    #[test]
+    fn lockstep_sessions_respect_patience_and_budget() {
+        struct Never;
+        impl UserModel for Never {
+            fn accepts(&mut self, _u: UserId, _c: &[ItemId], _i: ItemId) -> bool {
+                false
+            }
+        }
+        let rec = Counting { objective_after: 100 };
+        let h = vec![1];
+        let requests = [PathRequest { user: 0, history: &h, objective: 99 }];
+        let out = run_interactive_sessions(&rec, &mut Never, &requests, 10, 2);
+        assert_eq!(out[0].rejected.len(), 3);
+        assert!(!out[0].reached_objective);
+
+        let out = run_interactive_sessions(&rec, &mut Agreeable, &requests, 4, 2);
+        assert_eq!(out[0].accepted.len(), 4);
     }
 
     #[test]

@@ -29,13 +29,14 @@ use irs_data::{pad_token, ItemId, UserId};
 use irs_embed::ItemEmbeddings;
 use irs_nn::{
     broadcast_then_add, causal_mask, causal_mask_with_objective, clip_grad_norm, key_padding_mask,
-    Adam, AttnBias, Embedding, FwdCtx, Linear, Optimizer, ParamStore, PositionalEncoding,
-    ReduceLrOnPlateau, TransformerBlock,
+    Adam, AttnBias, Embedding, FwdCtx, InferBias, Linear, Optimizer, ParamStore,
+    PositionalEncoding, ReduceLrOnPlateau, TransformerBlock,
 };
 use irs_tensor::{Graph, Tensor, Var};
+use parking_lot::Mutex;
 use rand::SeedableRng;
 
-use crate::InfluenceRecommender;
+use crate::{InfluenceRecommender, NextQuery};
 use irs_baselines::NeuralTrainConfig;
 
 /// PIM variants (Table V ablation).
@@ -105,6 +106,27 @@ pub struct Irn {
     config: IrnConfig,
     num_items: usize,
     num_users: usize,
+    pim_cache: Mutex<PimCache>,
+}
+
+/// Inference-time cache for the PIM attention bias, reused across decoding
+/// steps (`score_next_batch` is called once per path step; neither part
+/// below depends on the step's context):
+///
+/// * the shared `[T, T]` causal-plus-objective base mask — constant for a
+///   given `w_t`/mask-type, rebuilt only when [`Irn::set_wt`] changes the
+///   baked-in weight (the `wt` field is the invalidation key);
+/// * the learned impressionability `r_u` per user — a pure function of the
+///   trained weights, so valid for the model's lifetime.
+///
+/// Guarded by a `Mutex` (held only while assembling bias inputs, not during
+/// the forward pass) so trained models stay `Sync` for parallel path
+/// generation.
+#[derive(Default)]
+struct PimCache {
+    wt: f32,
+    base: Option<Tensor>,
+    ru: Vec<Option<f32>>,
 }
 
 impl Irn {
@@ -164,6 +186,7 @@ impl Irn {
             config: config.clone(),
             num_items,
             num_users: num_users.max(1),
+            pim_cache: Mutex::new(PimCache::default()),
         };
 
         let mut opt = Adam::new(config.train.lr);
@@ -390,6 +413,117 @@ impl Irn {
         let logits = self.decode(&ctx, &[user], &[padded], &[pad_len]).select_step(t - 2).value();
         logits.data()[..self.num_items].to_vec()
     }
+
+    /// Batched [`Irn::score_next`]: pads `N` contexts (each ⊕ its
+    /// objective) into a single `[N, T]` forward pass under the PIM mask
+    /// and returns next-item logits per row.
+    ///
+    /// Every row's computation is independent of its neighbours and the
+    /// tensor kernels accumulate deterministically, so each returned row is
+    /// bitwise identical to the scalar [`Irn::score_next`] — `score_next`
+    /// stays the reference path, and a debug assertion spot-checks the
+    /// first row against it on every batched call.
+    pub fn score_next_batch(
+        &self,
+        users: &[UserId],
+        contexts: &[&[ItemId]],
+        objectives: &[ItemId],
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(users.len(), contexts.len(), "score_next_batch users/contexts mismatch");
+        assert_eq!(users.len(), objectives.len(), "score_next_batch users/objectives mismatch");
+        if users.is_empty() {
+            return Vec::new();
+        }
+        let pad = pad_token(self.num_items);
+        let t = self.config.max_len;
+        let mut inputs = Vec::with_capacity(users.len());
+        let mut pad_lens = Vec::with_capacity(users.len());
+        for (ctx_items, &obj) in contexts.iter().zip(objectives) {
+            let mut seq: Vec<ItemId> = ctx_items.to_vec();
+            seq.push(obj);
+            let padded = pad_to(&seq, t, pad, self.config.padding);
+            pad_lens.push(padded.iter().take_while(|&&x| x == pad).count());
+            inputs.push(padded);
+        }
+        let bias = self.cached_infer_bias(users, &pad_lens);
+        let mut h = self.emb.infer_lookup_seq(&self.store, &inputs);
+        self.pos.infer_add_in_place(&self.store, &mut h);
+        // Only position T−2 (the last context slot) feeds the output
+        // projection, so the final block runs its query/FFN for that row
+        // alone and earlier blocks run in full — the graph path computes
+        // every position because training needs every logit.
+        let d = self.config.dim;
+        let last = match self.blocks.split_last() {
+            Some((final_block, earlier)) => {
+                for block in earlier {
+                    h = block.infer(&self.store, &h, &bias);
+                }
+                final_block.infer_last_query(&self.store, &h, &bias, t - 2)
+            }
+            None => {
+                let mut rows = Vec::with_capacity(users.len() * d);
+                for bi in 0..users.len() {
+                    let off = bi * t * d + (t - 2) * d;
+                    rows.extend_from_slice(&h.data()[off..off + d]);
+                }
+                Tensor::from_vec(rows, &[users.len(), d])
+            }
+        };
+        let logits = self.out.infer(&self.store, &last);
+        let vocab = self.num_items + 1;
+        let rows: Vec<Vec<f32>> =
+            logits.data().chunks(vocab).map(|row| row[..self.num_items].to_vec()).collect();
+        debug_assert!(
+            {
+                let reference = self.score_next(users[0], contexts[0], objectives[0]);
+                rows[0].iter().zip(&reference).all(|(a, b)| a.to_bits() == b.to_bits())
+            },
+            "batched scores diverged from the scalar reference path"
+        );
+        rows
+    }
+
+    /// Inference-only PIM bias assembled from [`PimCache`]: the shared base
+    /// mask and the per-user `r_u` scalars are fetched (or computed once)
+    /// under the cache lock; the lock is released before the forward pass.
+    ///
+    /// Produces the same bias values as the differentiable
+    /// [`Irn::build_bias`]: `r_u` is evaluated through the identical
+    /// lookup + linear kernels, only detached from the tape.
+    fn cached_infer_bias(&self, users: &[UserId], pad_lens: &[usize]) -> InferBias {
+        let t = self.config.max_len;
+        let keypad = key_padding_mask(t, pad_lens);
+        let mut cache = self.pim_cache.lock();
+        if cache.base.is_some() && cache.wt != self.config.wt {
+            cache.base = None; // w_t is baked into the Type-2 base mask
+        }
+        if cache.base.is_none() {
+            cache.wt = self.config.wt;
+            cache.base = Some(match self.config.mask_type {
+                MaskType::Causal => causal_mask(t),
+                MaskType::ObjectiveUniform => causal_mask_with_objective(t, t - 1, self.config.wt),
+                MaskType::ObjectivePersonalized => causal_mask_with_objective(t, t - 1, 0.0),
+            });
+        }
+        let base = broadcast_then_add(cache.base.as_ref().expect("base mask built"), &keypad);
+        let scaled_column = match self.config.mask_type {
+            MaskType::Causal | MaskType::ObjectiveUniform => None,
+            MaskType::ObjectivePersonalized => {
+                if cache.ru.is_empty() {
+                    cache.ru = vec![None; self.num_users];
+                }
+                let ru_vals: Vec<f32> = users
+                    .iter()
+                    .map(|&u| {
+                        let idx = u % self.num_users;
+                        *cache.ru[idx].get_or_insert_with(|| self.ru(idx))
+                    })
+                    .collect();
+                Some((t - 1, ru_vals, self.config.wt))
+            }
+        };
+        InferBias { base, scaled_column }
+    }
 }
 
 impl InfluenceRecommender for Irn {
@@ -411,6 +545,28 @@ impl InfluenceRecommender for Irn {
             &scores,
             history.iter().chain(path.iter()).copied().filter(|&i| i != objective),
         )
+    }
+
+    /// All queries share one `[N, T]` forward through
+    /// [`Irn::score_next_batch`] instead of `N` scalar passes.
+    fn next_items(&self, queries: &[NextQuery<'_>]) -> Vec<Option<ItemId>> {
+        if queries.is_empty() {
+            return Vec::new();
+        }
+        let (contexts, users) = crate::batched_query_parts(queries);
+        let ctx_refs: Vec<&[ItemId]> = contexts.iter().map(Vec::as_slice).collect();
+        let objectives: Vec<ItemId> = queries.iter().map(|q| q.objective).collect();
+        let scores = self.score_next_batch(&users, &ctx_refs, &objectives);
+        queries
+            .iter()
+            .zip(&scores)
+            .map(|(q, s)| {
+                crate::masked_argmax(
+                    s,
+                    q.history.iter().chain(q.path.iter()).copied().filter(|&i| i != q.objective),
+                )
+            })
+            .collect()
     }
 }
 
@@ -493,6 +649,71 @@ mod tests {
             assert!(!seen.contains(&i) || i == 9, "item {i} repeated");
             seen.push(i);
         }
+    }
+
+    #[test]
+    fn score_next_batch_matches_scalar_within_tolerance() {
+        let seqs = block_seqs(24);
+        let model = Irn::fit(&seqs, &[], 10, 6, &quick_config(), None);
+        let contexts: Vec<Vec<ItemId>> =
+            vec![vec![0, 1, 2], vec![5, 6], vec![], vec![3, 4, 0, 1, 2, 3, 4, 0, 1, 2, 3]];
+        let users = [0usize, 3, 5, 1];
+        let objectives = [7usize, 2, 9, 8];
+        let ctx_refs: Vec<&[ItemId]> = contexts.iter().map(Vec::as_slice).collect();
+        // Twice: the second call runs fully from the PIM cache.
+        for round in 0..2 {
+            let batched = model.score_next_batch(&users, &ctx_refs, &objectives);
+            assert_eq!(batched.len(), 4);
+            for ((&u, (ctx, &obj)), row) in
+                users.iter().zip(contexts.iter().zip(&objectives)).zip(&batched)
+            {
+                let scalar = model.score_next(u, ctx, obj);
+                assert_eq!(row.len(), scalar.len());
+                for (a, b) in row.iter().zip(&scalar) {
+                    assert!(
+                        (a - b).abs() <= 1e-4 * b.abs().max(1.0),
+                        "round {round}: batched {a} vs scalar {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn next_items_matches_next_item() {
+        let seqs = block_seqs(24);
+        let model = Irn::fit(&seqs, &[], 10, 6, &quick_config(), None);
+        let histories: Vec<Vec<ItemId>> = vec![vec![0, 1], vec![5, 6, 7], vec![2]];
+        let paths: Vec<Vec<ItemId>> = vec![vec![2], vec![], vec![3, 4]];
+        let queries: Vec<NextQuery<'_>> = histories
+            .iter()
+            .zip(&paths)
+            .enumerate()
+            .map(|(u, (h, p))| NextQuery { user: u, history: h, objective: 9, path: p })
+            .collect();
+        let batched = model.next_items(&queries);
+        for (q, b) in queries.iter().zip(&batched) {
+            assert_eq!(*b, model.next_item(q.user, q.history, q.objective, q.path));
+        }
+    }
+
+    #[test]
+    fn set_wt_invalidates_the_cached_base_mask() {
+        // Type-2 masks bake w_t into the cached base; changing w_t must
+        // change batched scores just like it changes scalar scores.
+        let seqs = block_seqs(12);
+        let cfg = IrnConfig { mask_type: MaskType::ObjectiveUniform, ..quick_config() };
+        let mut model = Irn::fit(&seqs, &[], 10, 6, &cfg, None);
+        let ctx: Vec<ItemId> = vec![0, 1, 2];
+        let before = model.score_next_batch(&[0], &[&ctx], &[8]);
+        model.set_wt(3.0);
+        let after = model.score_next_batch(&[0], &[&ctx], &[8]);
+        let scalar_after = model.score_next(0, &ctx, 8);
+        for (a, b) in after[0].iter().zip(&scalar_after) {
+            assert!((a - b).abs() <= 1e-4 * b.abs().max(1.0));
+        }
+        let diff: f32 = before[0].iter().zip(&after[0]).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-4, "w_t change must reach the cached mask (diff {diff})");
     }
 
     #[test]

@@ -93,6 +93,7 @@ pub(crate) mod rec_utils {
 }
 
 pub use beam::{beam_search_path, BeamConfig};
+pub use interactive::run_interactive_sessions;
 pub use interactive::{run_interactive_session, SessionOutcome, ThresholdUser, UserModel};
 pub use irn::{Irn, IrnConfig, MaskType};
 pub use kg::KgPf2Inf;
@@ -102,6 +103,36 @@ pub use rec2inf::Rec2Inf;
 pub use vanilla::Vanilla;
 
 use irs_data::{ItemId, UserId};
+
+/// The inputs of one `next_item` call, borrowed — the unit of work of the
+/// batched path-extension API.
+#[derive(Debug, Clone, Copy)]
+pub struct NextQuery<'a> {
+    /// The user the path is generated for.
+    pub user: UserId,
+    /// Original viewing history `s_h`.
+    pub history: &'a [ItemId],
+    /// Objective item `i_t`.
+    pub objective: ItemId,
+    /// Path generated so far.
+    pub path: &'a [ItemId],
+}
+
+/// Assemble the per-query scoring inputs shared by every batched
+/// `next_items` override: the `(history ⊕ path)` context and the user id
+/// of each query.
+pub(crate) fn batched_query_parts(queries: &[NextQuery<'_>]) -> (Vec<Vec<ItemId>>, Vec<UserId>) {
+    let contexts = queries
+        .iter()
+        .map(|q| {
+            let mut c = q.history.to_vec();
+            c.extend_from_slice(q.path);
+            c
+        })
+        .collect();
+    let users = queries.iter().map(|q| q.user).collect();
+    (contexts, users)
+}
 
 /// A recommender that can extend an influence path toward an objective.
 pub trait InfluenceRecommender {
@@ -118,6 +149,18 @@ pub trait InfluenceRecommender {
         objective: ItemId,
         path: &[ItemId],
     ) -> Option<ItemId>;
+
+    /// Extend many paths in one call, one answer per query.
+    ///
+    /// The provided implementation loops over
+    /// [`InfluenceRecommender::next_item`]; model-backed frameworks
+    /// override it to share a single batched forward pass across queries
+    /// ([`Irn`] via `score_next_batch`, [`Vanilla`]/[`Rec2Inf`] via their
+    /// scorer's `score_batch`).  Overrides must answer each query exactly
+    /// as `next_item` would.
+    fn next_items(&self, queries: &[NextQuery<'_>]) -> Vec<Option<ItemId>> {
+        queries.iter().map(|q| self.next_item(q.user, q.history, q.objective, q.path)).collect()
+    }
 }
 
 /// Algorithm 1: generate an influence path of at most `max_len` items,
@@ -142,6 +185,60 @@ pub fn generate_influence_path<R: InfluenceRecommender + ?Sized>(
         }
     }
     path
+}
+
+/// One path-generation request for the batched Algorithm 1.
+#[derive(Debug, Clone, Copy)]
+pub struct PathRequest<'a> {
+    /// The user the path is generated for.
+    pub user: UserId,
+    /// Original viewing history `s_h`.
+    pub history: &'a [ItemId],
+    /// Objective item `i_t`.
+    pub objective: ItemId,
+}
+
+/// Batched Algorithm 1: advance every open path by one item per round via
+/// [`InfluenceRecommender::next_items`], so a model-backed recommender pays
+/// one batched forward per step instead of one forward per user per step.
+///
+/// Produces exactly the paths `generate_influence_path` would produce
+/// request-by-request (a path closes when its objective is recommended,
+/// the recommender returns `None`, or the `max_len` budget is exhausted).
+pub fn generate_influence_paths<R: InfluenceRecommender + ?Sized>(
+    rec: &R,
+    requests: &[PathRequest<'_>],
+    max_len: usize,
+) -> Vec<Vec<ItemId>> {
+    let mut paths: Vec<Vec<ItemId>> = vec![Vec::new(); requests.len()];
+    let mut open: Vec<usize> =
+        if max_len == 0 { Vec::new() } else { (0..requests.len()).collect() };
+    while !open.is_empty() {
+        let answers = {
+            let queries: Vec<NextQuery<'_>> = open
+                .iter()
+                .map(|&i| NextQuery {
+                    user: requests[i].user,
+                    history: requests[i].history,
+                    objective: requests[i].objective,
+                    path: &paths[i],
+                })
+                .collect();
+            rec.next_items(&queries)
+        };
+        debug_assert_eq!(answers.len(), open.len(), "next_items must answer every query");
+        let mut still_open = Vec::with_capacity(open.len());
+        for (&i, answer) in open.iter().zip(answers) {
+            if let Some(item) = answer {
+                paths[i].push(item);
+                if item != requests[i].objective && paths[i].len() < max_len {
+                    still_open.push(i);
+                }
+            }
+        }
+        open = still_open;
+    }
+    paths
 }
 
 /// Argmax over `scores` with the ids yielded by `exclude` removed.
@@ -205,6 +302,31 @@ mod tests {
         let rec = Scripted(vec![5]);
         let p = generate_influence_path(&rec, 0, &[1], 99, 10);
         assert_eq!(p, vec![5]);
+    }
+
+    #[test]
+    fn batched_paths_match_scalar_paths() {
+        let rec = Scripted(vec![5, 6, 7, 8]);
+        let histories: Vec<Vec<ItemId>> = vec![vec![1], vec![2], vec![3]];
+        let requests: Vec<PathRequest<'_>> = histories
+            .iter()
+            .enumerate()
+            .map(|(u, h)| PathRequest { user: u, history: h, objective: 7 })
+            .collect();
+        let batched = generate_influence_paths(&rec, &requests, 10);
+        for (req, path) in requests.iter().zip(&batched) {
+            let scalar = generate_influence_path(&rec, req.user, req.history, req.objective, 10);
+            assert_eq!(*path, scalar);
+        }
+    }
+
+    #[test]
+    fn batched_paths_handle_empty_request_set_and_zero_budget() {
+        let rec = Scripted(vec![5]);
+        assert!(generate_influence_paths(&rec, &[], 10).is_empty());
+        let h = vec![1];
+        let requests = [PathRequest { user: 0, history: &h, objective: 9 }];
+        assert_eq!(generate_influence_paths(&rec, &requests, 0), vec![Vec::<ItemId>::new()]);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use irs_data::{ItemId, UserId};
 use irs_embed::ItemDistance;
 
-use crate::{rec_utils::top_k_unseen, InfluenceRecommender};
+use crate::{rec_utils::top_k_unseen, InfluenceRecommender, NextQuery};
 use irs_baselines::SequentialScorer;
 
 /// The Rec2Inf framework wrapping a backbone scorer and an item-distance
@@ -39,6 +39,29 @@ impl<S: SequentialScorer, D: ItemDistance> Rec2Inf<S, D> {
     pub fn scorer(&self) -> &S {
         &self.scorer
     }
+
+    /// Greedy Rec2Inf step given precomputed scores: re-sort the top-k
+    /// unseen candidates by distance to the objective.
+    fn pick(
+        &self,
+        scores: &[f32],
+        history: &[ItemId],
+        path: &[ItemId],
+        objective: ItemId,
+    ) -> Option<ItemId> {
+        let candidates = top_k_unseen(scores, self.k, history, path);
+        // Ties (e.g. items with identical genre vectors all at distance 0)
+        // break in favour of the objective itself — "when k is set to the
+        // total number of items, it may recommend the objective item
+        // directly which has zero distance to itself" (§IV-D3).
+        candidates.into_iter().min_by(|&a, &b| {
+            let da = self.distance.distance(a, objective);
+            let db = self.distance.distance(b, objective);
+            da.partial_cmp(&db)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (a != objective).cmp(&(b != objective)))
+        })
+    }
 }
 
 impl<S: SequentialScorer, D: ItemDistance> InfluenceRecommender for Rec2Inf<S, D> {
@@ -56,19 +79,20 @@ impl<S: SequentialScorer, D: ItemDistance> InfluenceRecommender for Rec2Inf<S, D
         let mut context = history.to_vec();
         context.extend_from_slice(path);
         let scores = self.scorer.score(user, &context);
-        let candidates = top_k_unseen(&scores, self.k, history, path);
-        // Greedy step: the candidate closest to the objective wins.  Ties
-        // (e.g. items with identical genre vectors all at distance 0)
-        // break in favour of the objective itself — "when k is set to the
-        // total number of items, it may recommend the objective item
-        // directly which has zero distance to itself" (§IV-D3).
-        candidates.into_iter().min_by(|&a, &b| {
-            let da = self.distance.distance(a, objective);
-            let db = self.distance.distance(b, objective);
-            da.partial_cmp(&db)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| (a != objective).cmp(&(b != objective)))
-        })
+        self.pick(&scores, history, path, objective)
+    }
+
+    /// One `score_batch` call over all queries, then the greedy re-sort per
+    /// query.
+    fn next_items(&self, queries: &[NextQuery<'_>]) -> Vec<Option<ItemId>> {
+        let (contexts, users) = crate::batched_query_parts(queries);
+        let ctx_refs: Vec<&[ItemId]> = contexts.iter().map(Vec::as_slice).collect();
+        let scores = self.scorer.score_batch(&users, &ctx_refs);
+        queries
+            .iter()
+            .zip(&scores)
+            .map(|(q, s)| self.pick(s, q.history, q.path, q.objective))
+            .collect()
     }
 }
 

@@ -4,7 +4,7 @@
 
 use irs_data::{ItemId, UserId};
 
-use crate::{rec_utils::top_k_unseen, InfluenceRecommender};
+use crate::{rec_utils::top_k_unseen, InfluenceRecommender, NextQuery};
 use irs_baselines::SequentialScorer;
 
 /// A plain recommender driven solely by the user's current interest.
@@ -40,6 +40,19 @@ impl<S: SequentialScorer> InfluenceRecommender for Vanilla<S> {
         context.extend_from_slice(path);
         let scores = self.scorer.score(user, &context);
         top_k_unseen(&scores, 1, history, path).into_iter().next()
+    }
+
+    /// One `score_batch` call over all queries instead of a scalar forward
+    /// per query.
+    fn next_items(&self, queries: &[NextQuery<'_>]) -> Vec<Option<ItemId>> {
+        let (contexts, users) = crate::batched_query_parts(queries);
+        let ctx_refs: Vec<&[ItemId]> = contexts.iter().map(Vec::as_slice).collect();
+        let scores = self.scorer.score_batch(&users, &ctx_refs);
+        queries
+            .iter()
+            .zip(&scores)
+            .map(|(q, s)| top_k_unseen(s, 1, q.history, q.path).into_iter().next())
+            .collect()
     }
 }
 

@@ -46,6 +46,16 @@ impl<S: SequentialScorer> Evaluator<S> {
     pub fn rank(&self, user: UserId, seq: &[ItemId], item: ItemId) -> usize {
         rank_of(&self.scores(user, seq), item)
     }
+
+    /// Raw scores for a batch of `(user, seq)` queries: one `score_batch`
+    /// forward serves every row, with arithmetic identical per row to the
+    /// scalar accessors above.  Callers needing several statistics of the
+    /// same row (log-prob *and* rank, or probabilities of two items)
+    /// should derive them from one returned row rather than issuing
+    /// separate calls — see `evaluate_paths` and `stepwise_evolution`.
+    pub fn scores_batch(&self, users: &[UserId], seqs: &[&[ItemId]]) -> Vec<Vec<f32>> {
+        self.scorer.score_batch(users, seqs)
+    }
 }
 
 #[cfg(test)]

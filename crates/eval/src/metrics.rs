@@ -65,38 +65,70 @@ pub fn evaluate_paths<S: SequentialScorer>(
     paths: &[PathRecord],
 ) -> IrsMetrics {
     assert!(!paths.is_empty(), "no paths to evaluate");
+
+    // Assemble every evaluator query up front — per path: the objective
+    // against `history` and `history ⊕ path` (IoI and IoR share one scores
+    // row each), plus one query per path step (log-PPL) — then answer them
+    // through the batched scorer in bounded chunks.
+    let mut q_users: Vec<UserId> = Vec::new();
+    let mut q_ctxs: Vec<Vec<ItemId>> = Vec::new();
+    let mut q_items: Vec<ItemId> = Vec::new();
+    for rec in paths {
+        let mut full = rec.history.clone();
+        full.extend_from_slice(&rec.path);
+        q_users.push(rec.user);
+        q_ctxs.push(rec.history.clone());
+        q_items.push(rec.objective);
+        q_users.push(rec.user);
+        q_ctxs.push(full);
+        q_items.push(rec.objective);
+        let mut ctx = rec.history.clone();
+        for &item in &rec.path {
+            q_users.push(rec.user);
+            q_ctxs.push(ctx.clone());
+            q_items.push(item);
+            ctx.push(item);
+        }
+    }
+
+    // Chunked batch answers: (log-prob, rank) per query row.  The chunk
+    // bound caps transient activation memory at ~chunk × catalogue floats.
+    const CHUNK: usize = 64;
+    let mut lps: Vec<f64> = Vec::with_capacity(q_users.len());
+    let mut ranks: Vec<f64> = Vec::with_capacity(q_users.len());
+    for start in (0..q_users.len()).step_by(CHUNK) {
+        let end = (start + CHUNK).min(q_users.len());
+        let refs: Vec<&[ItemId]> = q_ctxs[start..end].iter().map(Vec::as_slice).collect();
+        for (scores, &item) in
+            evaluator.scores_batch(&q_users[start..end], &refs).iter().zip(&q_items[start..end])
+        {
+            lps.push((scores[item] - irs_tensor::log_sum_exp(scores)) as f64);
+            ranks.push(irs_baselines::rank_of(scores, item) as f64);
+        }
+    }
+
     let mut sr = 0.0f64;
     let mut ioi = 0.0f64;
     let mut ior = 0.0f64;
     let mut log_ppl = 0.0f64;
     let mut ppl_count = 0usize;
-
+    let mut cursor = 0usize;
     for rec in paths {
         if rec.success() {
             sr += 1.0;
         }
-        let mut full = rec.history.clone();
-        full.extend_from_slice(&rec.path);
-
-        let lp_before = evaluator.log_prob(rec.user, &rec.history, rec.objective) as f64;
-        let lp_after = evaluator.log_prob(rec.user, &full, rec.objective) as f64;
-        ioi += lp_after - lp_before;
-
-        let r_before = evaluator.rank(rec.user, &rec.history, rec.objective) as f64;
-        let r_after = evaluator.rank(rec.user, &full, rec.objective) as f64;
-        ior += r_before - r_after; // −(R_after − R_before)
-
+        let (before, after) = (cursor, cursor + 1);
+        cursor += 2;
+        ioi += lps[after] - lps[before];
+        ior += ranks[before] - ranks[after]; // −(R_after − R_before)
         if !rec.path.is_empty() {
-            let mut ctx = rec.history.clone();
-            let mut acc = 0.0f64;
-            for &item in &rec.path {
-                acc += evaluator.log_prob(rec.user, &ctx, item) as f64;
-                ctx.push(item);
-            }
+            let acc: f64 = lps[cursor..cursor + rec.path.len()].iter().sum();
             log_ppl += -acc / rec.path.len() as f64;
             ppl_count += 1;
         }
+        cursor += rec.path.len();
     }
+    debug_assert_eq!(cursor, lps.len(), "query/answer bookkeeping out of sync");
 
     let n = paths.len() as f64;
     IrsMetrics {

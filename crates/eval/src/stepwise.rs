@@ -31,16 +31,33 @@ pub fn stepwise_evolution<S: SequentialScorer>(
     let mut item_prob = vec![0.0f64; steps];
     let mut support = vec![0usize; steps];
 
-    for rec in paths {
-        if exclude_early_success && rec.success() && rec.path.len() < steps {
-            continue;
+    // Advance all included paths in lockstep: at step `k` every path still
+    // alive contributes one row to a single batched scores call, and that
+    // row yields both `P(objective | ctx)` and `P(item_k | ctx)` — the
+    // scalar loop paid two forward passes per (path, step).
+    let included: Vec<&PathRecord> = paths
+        .iter()
+        .filter(|rec| !(exclude_early_success && rec.success() && rec.path.len() < steps))
+        .collect();
+    let mut ctxs: Vec<Vec<irs_data::ItemId>> =
+        included.iter().map(|rec| rec.history.clone()).collect();
+    for k in 0..steps {
+        let alive: Vec<usize> =
+            (0..included.len()).filter(|&i| k < included[i].path.len()).collect();
+        if alive.is_empty() {
+            break;
         }
-        let mut ctx = rec.history.clone();
-        for (k, &item) in rec.path.iter().take(steps).enumerate() {
-            objective_prob[k] += evaluator.prob(rec.user, &ctx, rec.objective) as f64;
-            item_prob[k] += evaluator.prob(rec.user, &ctx, item) as f64;
+        let users: Vec<_> = alive.iter().map(|&i| included[i].user).collect();
+        let refs: Vec<&[irs_data::ItemId]> = alive.iter().map(|&i| ctxs[i].as_slice()).collect();
+        let scores = evaluator.scores_batch(&users, &refs);
+        for (&i, s) in alive.iter().zip(&scores) {
+            let rec = included[i];
+            let item = rec.path[k];
+            let lse = irs_tensor::log_sum_exp(s);
+            objective_prob[k] += (s[rec.objective] - lse).exp() as f64;
+            item_prob[k] += (s[item] - lse).exp() as f64;
             support[k] += 1;
-            ctx.push(item);
+            ctxs[i].push(item);
         }
     }
     for k in 0..steps {

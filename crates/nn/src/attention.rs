@@ -188,6 +188,128 @@ impl MultiHeadAttention {
         let out = attn.bmm(v).merge_heads(self.heads);
         self.wo.forward3d(ctx, out)
     }
+
+    /// Tape-free eval-mode self-attention over `x: [B, T, D]` — the same
+    /// kernel sequence as [`MultiHeadAttention::forward`] with dropout as
+    /// the identity and the bias applied in place.
+    pub fn infer(&self, store: &ParamStore, x: &Tensor, bias: &crate::infer::InferBias) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "attention expects 3-D input, got {shape:?}");
+        let (b, _t, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.d, "model dim mismatch");
+        let dk = self.d / self.heads;
+
+        let q = crate::infer::split_heads_t(&self.wq.infer(store, x), self.heads);
+        let k = crate::infer::split_heads_t(&self.wk.infer(store, x), self.heads);
+        let v = crate::infer::split_heads_t(&self.wv.infer(store, x), self.heads);
+
+        let mut scores = q.bmm(&k.transpose_last2()).scale(1.0 / (dk as f32).sqrt());
+        crate::infer::add_bias_in_place(&mut scores, bias, b, self.heads);
+        scores.softmax_last_in_place();
+        let out = crate::infer::merge_heads_t(&scores.bmm(&v), self.heads);
+        self.wo.infer(store, &out)
+    }
+
+    /// [`MultiHeadAttention::infer`] restricted to a single query position:
+    /// keys/values cover the full sequence but only query row `q_pos` is
+    /// projected, scored and contracted, returning `[B, D]`.
+    ///
+    /// Row `q_pos` of the full forward is reproduced exactly — each kernel
+    /// touches the same operands in the same order, the other query rows
+    /// simply never influence it.
+    pub fn infer_single_query(
+        &self,
+        store: &ParamStore,
+        x: &Tensor,
+        bias: &crate::infer::InferBias,
+        q_pos: usize,
+    ) -> Tensor {
+        let shape = x.shape();
+        assert_eq!(shape.len(), 3, "attention expects 3-D input, got {shape:?}");
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.d, "model dim mismatch");
+        assert!(q_pos < t, "query position {q_pos} out of range T={t}");
+        let heads = self.heads;
+        let dk = d / heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let k = crate::infer::split_heads_t(&self.wk.infer(store, x), heads); // [B*H, T, dk]
+        let v = crate::infer::split_heads_t(&self.wv.infer(store, x), heads);
+
+        // Project only the query row.
+        let mut xq = Vec::with_capacity(b * d);
+        for bi in 0..b {
+            let off = bi * t * d + q_pos * d;
+            xq.extend_from_slice(&x.data()[off..off + d]);
+        }
+        let q = self.wq.infer(store, &Tensor::from_vec(xq, &[b, d])); // [B, D]
+
+        // scores[b·H+h][j] = (q_row · k_j) / sqrt(dk), then bias row q_pos.
+        let mut scores = Tensor::zeros(&[b * heads, t]);
+        for bi in 0..b {
+            for h in 0..heads {
+                let q_row = &q.data()[bi * d + h * dk..bi * d + (h + 1) * dk];
+                let k_mat = &k.data()[(bi * heads + h) * t * dk..(bi * heads + h + 1) * t * dk];
+                let out_row =
+                    &mut scores.data_mut()[(bi * heads + h) * t..(bi * heads + h + 1) * t];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for (p, &qv) in q_row.iter().enumerate() {
+                        acc += qv * k_mat[j * dk + p];
+                    }
+                    *o = acc * scale;
+                }
+            }
+        }
+        match bias.base.ndim() {
+            2 => {
+                for bh in 0..b * heads {
+                    let row = &mut scores.data_mut()[bh * t..(bh + 1) * t];
+                    for (o, j) in row.iter_mut().zip(0..t) {
+                        *o += bias.base.at(&[q_pos, j]);
+                    }
+                }
+            }
+            3 => {
+                for bi in 0..b {
+                    for h in 0..heads {
+                        let off = (bi * heads + h) * t;
+                        for j in 0..t {
+                            scores.data_mut()[off + j] += bias.base.at(&[bi, q_pos, j]);
+                        }
+                    }
+                }
+            }
+            n => panic!("base mask must be 2-D or 3-D, got {n}-D"),
+        }
+        if let Some((col, ru, weight)) = &bias.scaled_column {
+            for (bi, &r) in ru.iter().enumerate() {
+                for h in 0..heads {
+                    scores.data_mut()[(bi * heads + h) * t + col] += weight * r;
+                }
+            }
+        }
+        scores.softmax_last_in_place();
+
+        // attn · V, merged back to [B, D].
+        let mut out = vec![0.0f32; b * d];
+        for bi in 0..b {
+            for h in 0..heads {
+                let attn = &scores.data()[(bi * heads + h) * t..(bi * heads + h + 1) * t];
+                let v_mat = &v.data()[(bi * heads + h) * t * dk..(bi * heads + h + 1) * t * dk];
+                let dst = &mut out[bi * d + h * dk..bi * d + (h + 1) * dk];
+                for (j, &a) in attn.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    for (o, &vv) in dst.iter_mut().zip(&v_mat[j * dk..(j + 1) * dk]) {
+                        *o += a * vv;
+                    }
+                }
+            }
+        }
+        self.wo.infer(store, &Tensor::from_vec(out, &[b, d]))
+    }
 }
 
 /// Build a causal (lower-triangular) `[t, t]` mask: `0` where key ≤ query,

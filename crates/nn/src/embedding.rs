@@ -72,6 +72,24 @@ impl Embedding {
             .collect();
         self.lookup(ctx, &flat).reshape(&[b, t, self.dim])
     }
+
+    /// Tape-free `[b, t]` lookup -> `[b, t, dim]`; gathers straight from
+    /// the stored table without cloning it.
+    pub fn infer_lookup_seq(&self, store: &ParamStore, indices: &[Vec<usize>]) -> Tensor {
+        let b = indices.len();
+        assert!(b > 0, "lookup_seq of empty batch");
+        let t = indices[0].len();
+        let table = store.value(self.table);
+        let mut out = Vec::with_capacity(b * t * self.dim);
+        for row in indices {
+            assert_eq!(row.len(), t, "ragged batch in lookup_seq");
+            for &i in row {
+                assert!(i < self.vocab, "embedding index {i} out of vocab {}", self.vocab);
+                out.extend_from_slice(&table.data()[i * self.dim..(i + 1) * self.dim]);
+            }
+        }
+        Tensor::from_vec(out, &[b, t, self.dim])
+    }
 }
 
 /// Learned positional encoding `[max_len, dim]`, added to token embeddings.
@@ -112,6 +130,26 @@ impl PositionalEncoding {
         let idx: Vec<usize> = (0..b).flat_map(|_| 0..t).collect();
         let pos = ctx.param(self.table).gather_rows(&idx).reshape(&[b, t, d]);
         x.add(pos)
+    }
+
+    /// Tape-free in-place variant of [`PositionalEncoding::add_to`].
+    pub fn infer_add_in_place(&self, store: &ParamStore, x: &mut Tensor) {
+        let shape = x.shape().to_vec();
+        assert_eq!(shape.len(), 3, "positional encoding expects 3-D input");
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.dim, "dim mismatch");
+        assert!(t <= self.max_len, "sequence length {t} exceeds max_len {}", self.max_len);
+        let table = store.value(self.table);
+        for bi in 0..b {
+            for ti in 0..t {
+                let off = bi * t * d + ti * d;
+                for (o, &p) in
+                    x.data_mut()[off..off + d].iter_mut().zip(&table.data()[ti * d..(ti + 1) * d])
+                {
+                    *o += p;
+                }
+            }
+        }
     }
 }
 

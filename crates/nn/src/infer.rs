@@ -1,0 +1,140 @@
+//! Tape-free batched inference.
+//!
+//! The autograd path ([`crate::FwdCtx`]) clones every parameter tensor
+//! into the graph and records an op per kernel — negligible against a
+//! training step, but the dominant cost of small per-step inference
+//! forwards.  The `infer` methods on [`crate::Linear`],
+//! [`crate::LayerNorm`], [`crate::MultiHeadAttention`],
+//! [`crate::FeedForward`], [`crate::TransformerBlock`],
+//! [`crate::Embedding`] and [`crate::PositionalEncoding`] evaluate the
+//! same kernels directly on [`Tensor`] values: parameters are read in
+//! place from the [`crate::ParamStore`], elementwise stages mutate their
+//! operand, and nothing is taped.
+//!
+//! **Equivalence contract:** every `infer` method applies the identical
+//! arithmetic in the identical order as its graph twin, so outputs are
+//! bitwise equal to an eval-mode (`training = false`) forward.  The
+//! scalar graph path stays the reference; `Irn::score_next_batch`
+//! debug-asserts one row against it on every call, and the baseline
+//! property tests pin `score_batch ≡ score` per model.
+
+use irs_tensor::Tensor;
+
+/// Additive attention bias for the inference path — the value-level
+/// mirror of [`crate::AttnBias`].
+pub struct InferBias {
+    /// Constant part, `[T, T]` (shared) or `[B, T, T]` (per batch element).
+    pub base: Tensor,
+    /// PIM objective column: `(col, r_u per batch element, w_t)` adds
+    /// `w_t · r_u[b]` to key column `col` of every query row.
+    pub scaled_column: Option<(usize, Vec<f32>, f32)>,
+}
+
+/// `[B, T, D] -> [B*H, T, D/H]`, head-major — mirrors `Var::split_heads`.
+pub(crate) fn split_heads_t(x: &Tensor, heads: usize) -> Tensor {
+    let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert!(heads > 0 && d % heads == 0, "d={d} not divisible by heads={heads}");
+    let dk = d / heads;
+    let mut out = vec![0.0f32; b * t * d];
+    for bi in 0..b {
+        for ti in 0..t {
+            for h in 0..heads {
+                let src = bi * t * d + ti * d + h * dk;
+                let dst = (bi * heads + h) * t * dk + ti * dk;
+                out[dst..dst + dk].copy_from_slice(&x.data()[src..src + dk]);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b * heads, t, dk])
+}
+
+/// `[B*H, T, Dk] -> [B, T, H*Dk]` — mirrors `Var::merge_heads`.
+pub(crate) fn merge_heads_t(x: &Tensor, heads: usize) -> Tensor {
+    let (bh, t, dk) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+    assert!(heads > 0 && bh % heads == 0, "batch*heads={bh} not divisible by heads={heads}");
+    let b = bh / heads;
+    let d = heads * dk;
+    let mut out = vec![0.0f32; b * t * d];
+    for bi in 0..b {
+        for ti in 0..t {
+            for h in 0..heads {
+                let src = (bi * heads + h) * t * dk + ti * dk;
+                let dst = bi * t * d + ti * d + h * dk;
+                out[dst..dst + dk].copy_from_slice(&x.data()[src..src + dk]);
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, t, d])
+}
+
+/// Add the bias to raw attention scores `[B*H, T, T]` in place — mirrors
+/// the `add_base` / `add_scaled_column` graph ops.
+pub(crate) fn add_bias_in_place(scores: &mut Tensor, bias: &InferBias, batch: usize, heads: usize) {
+    let t = scores.shape()[1];
+    let tt = t * t;
+    match bias.base.ndim() {
+        2 => {
+            assert_eq!(bias.base.shape(), &[t, t], "base mask must be [T,T]");
+            for bh in 0..batch * heads {
+                let off = bh * tt;
+                for (o, &m) in scores.data_mut()[off..off + tt].iter_mut().zip(bias.base.data()) {
+                    *o += m;
+                }
+            }
+        }
+        3 => {
+            assert_eq!(bias.base.shape(), &[batch, t, t], "base mask must be [B,T,T]");
+            for b in 0..batch {
+                let m = &bias.base.data()[b * tt..(b + 1) * tt];
+                for h in 0..heads {
+                    let off = (b * heads + h) * tt;
+                    for (o, &mm) in scores.data_mut()[off..off + tt].iter_mut().zip(m) {
+                        *o += mm;
+                    }
+                }
+            }
+        }
+        n => panic!("base mask must be 2-D or 3-D, got {n}-D"),
+    }
+    if let Some((col, scale, weight)) = &bias.scaled_column {
+        assert!(*col < t, "column {col} out of range T={t}");
+        assert_eq!(scale.len(), batch, "scale must have one entry per batch element");
+        for (b, &ru) in scale.iter().enumerate() {
+            let add = weight * ru;
+            for h in 0..heads {
+                let off = (b * heads + h) * tt;
+                for q in 0..t {
+                    scores.data_mut()[off + q * t + col] += add;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_merge_heads_round_trip() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let x = Tensor::randn(&[2, 3, 8], 1.0, &mut rng);
+        let merged = merge_heads_t(&split_heads_t(&x, 4), 4);
+        assert_eq!(merged.data(), x.data());
+    }
+
+    #[test]
+    fn scaled_column_adds_to_every_query_row() {
+        let mut scores = Tensor::zeros(&[4, 2, 2]); // B=2, H=2
+        let bias = InferBias {
+            base: Tensor::zeros(&[2, 2]),
+            scaled_column: Some((1, vec![0.5, -1.0], 2.0)),
+        };
+        add_bias_in_place(&mut scores, &bias, 2, 2);
+        assert_eq!(scores.at(&[0, 0, 1]), 1.0);
+        assert_eq!(scores.at(&[1, 1, 1]), 1.0);
+        assert_eq!(scores.at(&[2, 0, 1]), -2.0);
+        assert_eq!(scores.at(&[0, 0, 0]), 0.0);
+    }
+}

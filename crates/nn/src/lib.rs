@@ -40,6 +40,7 @@
 mod attention;
 mod embedding;
 mod gru;
+mod infer;
 mod linear;
 mod norm;
 mod optim;
@@ -53,6 +54,7 @@ pub use attention::{
 };
 pub use embedding::{Embedding, PositionalEncoding};
 pub use gru::{Gru, GruCell};
+pub use infer::InferBias;
 pub use linear::{FeedForward, Linear};
 pub use norm::LayerNorm;
 pub use optim::{clip_grad_norm, Adam, Optimizer, ReduceLrOnPlateau, Sgd};
@@ -79,6 +81,19 @@ impl Activation {
             Activation::Relu => x.relu(),
             Activation::Gelu => x.gelu(),
             Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// In-place value-level apply (inference path); identical formulas to
+    /// the graph ops, including the tanh-approximated GELU constants.
+    pub fn apply_in_place(self, x: &mut irs_tensor::Tensor) {
+        const C: f32 = 0.797_884_6; // sqrt(2/pi), as in Var::gelu
+        for v in x.data_mut() {
+            *v = match self {
+                Activation::Relu => v.max(0.0),
+                Activation::Gelu => 0.5 * *v * (1.0 + (C * (*v + 0.044715 * *v * *v * *v)).tanh()),
+                Activation::Tanh => v.tanh(),
+            };
         }
     }
 }

@@ -68,6 +68,30 @@ impl Linear {
             None => y,
         }
     }
+
+    /// Tape-free apply: the last axis is the feature axis, all leading
+    /// axes are flattened through the shared matmul kernel — identical
+    /// arithmetic to `forward2d`/`forward3d` on the same rows.
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let shape = x.shape();
+        let in_dim = *shape.last().expect("Linear::infer on 0-d tensor");
+        assert_eq!(in_dim, self.in_dim, "input dim {in_dim} != layer in_dim {}", self.in_dim);
+        let rows = x.len() / in_dim;
+        let w = store.value(self.w);
+        let mut out = vec![0.0f32; rows * self.out_dim];
+        irs_tensor::matmul_into(x.data(), w.data(), &mut out, rows, in_dim, self.out_dim);
+        if let Some(b) = self.b {
+            let bias = store.value(b);
+            for row in out.chunks_mut(self.out_dim) {
+                for (o, &bb) in row.iter_mut().zip(bias.data()) {
+                    *o += bb;
+                }
+            }
+        }
+        let mut out_shape = shape.to_vec();
+        *out_shape.last_mut().expect("non-empty shape") = self.out_dim;
+        Tensor::from_vec(out, &out_shape)
+    }
 }
 
 /// Position-wise feed-forward block: `Linear -> activation -> Linear`,
@@ -104,6 +128,13 @@ impl FeedForward {
         let h = self.activation.apply(self.fc1.forward3d(ctx, x));
         let h = ctx.dropout(h, self.dropout);
         self.fc2.forward3d(ctx, h)
+    }
+
+    /// Tape-free eval-mode apply (dropout is the identity).
+    pub fn infer(&self, store: &ParamStore, x: &Tensor) -> Tensor {
+        let mut h = self.fc1.infer(store, x);
+        self.activation.apply_in_place(&mut h);
+        self.fc2.infer(store, &h)
     }
 }
 

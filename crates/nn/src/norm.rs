@@ -30,6 +30,24 @@ impl LayerNorm {
     pub fn forward<'g>(&self, ctx: &FwdCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
         x.layer_norm(ctx.param(self.gamma), ctx.param(self.beta), self.eps)
     }
+
+    /// Tape-free in-place apply — the identical per-row kernel as the
+    /// `layer_norm` graph op's forward.
+    pub fn infer_in_place(&self, store: &ParamStore, x: &mut Tensor) {
+        let d = *x.shape().last().expect("layer_norm on 0-d tensor");
+        assert_eq!(d, self.dim, "layer_norm dim mismatch: {d} vs {}", self.dim);
+        let gm = store.value(self.gamma);
+        let bt = store.value(self.beta);
+        let eps = self.eps;
+        for row in x.data_mut().chunks_mut(d) {
+            let mean = row.iter().sum::<f32>() / d as f32;
+            let var = row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (i, r) in row.iter_mut().enumerate() {
+                *r = (*r - mean) * inv * gm.data()[i] + bt.data()[i];
+            }
+        }
+    }
 }
 
 #[cfg(test)]

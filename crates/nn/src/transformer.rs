@@ -56,6 +56,55 @@ impl TransformerBlock {
         let f = ctx.dropout(f, self.dropout);
         self.ln2.forward(ctx, x.add(f))
     }
+
+    /// Tape-free eval-mode apply: same sublayer order as
+    /// [`TransformerBlock::forward`] with dropout as the identity;
+    /// residual adds and layer norms mutate in place.
+    pub fn infer(
+        &self,
+        store: &ParamStore,
+        x: &irs_tensor::Tensor,
+        bias: &crate::infer::InferBias,
+    ) -> irs_tensor::Tensor {
+        let a = self.attn.infer(store, x, bias);
+        let mut h = x.add(&a);
+        self.ln1.infer_in_place(store, &mut h);
+        let f = self.ff.infer(store, &h);
+        h.add_assign(&f);
+        self.ln2.infer_in_place(store, &mut h);
+        h
+    }
+
+    /// Final-layer shortcut: when only position `q_pos` feeds downstream
+    /// consumers (next-item logits), attention keys/values still span the
+    /// whole sequence but the query, residuals, norms and feed-forward run
+    /// for that single row, returning `[B, D]` — exactly row `q_pos` of
+    /// [`TransformerBlock::infer`].
+    pub fn infer_last_query(
+        &self,
+        store: &ParamStore,
+        x: &irs_tensor::Tensor,
+        bias: &crate::infer::InferBias,
+        q_pos: usize,
+    ) -> irs_tensor::Tensor {
+        let (b, t, d) = (x.shape()[0], x.shape()[1], x.shape()[2]);
+        assert!(q_pos < t, "query position {q_pos} out of range T={t}");
+        let a = self.attn.infer_single_query(store, x, bias, q_pos);
+        let mut h = a; // reuse: h = x[., q_pos, :] + a
+        for bi in 0..b {
+            let src = bi * t * d + q_pos * d;
+            for (o, &xv) in
+                h.data_mut()[bi * d..(bi + 1) * d].iter_mut().zip(&x.data()[src..src + d])
+            {
+                *o += xv;
+            }
+        }
+        self.ln1.infer_in_place(store, &mut h);
+        let f = self.ff.infer(store, &h);
+        h.add_assign(&f);
+        self.ln2.infer_in_place(store, &mut h);
+        h
+    }
 }
 
 #[cfg(test)]

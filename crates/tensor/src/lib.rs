@@ -31,9 +31,12 @@
 //! assert_eq!(dx.data(), &[2.0, 4.0, 6.0]); // dy/dx = 2x
 //! ```
 //!
-//! The engine is deliberately eager and single-threaded: every model in the
-//! workspace trains in seconds on CPU at the scales used by the experiment
-//! harness, and determinism (fixed seeds => identical results) is a design
+//! The engine is deliberately eager: every model in the workspace trains in
+//! seconds on CPU at the scales used by the experiment harness.  The dense
+//! matmul kernels ([`matmul_into`]) are blocked and fan large shapes out
+//! over `std::thread::scope` threads, but always accumulate each output
+//! element in the same order — determinism (fixed seeds => bitwise
+//! identical results, regardless of core count or batching) is a design
 //! requirement for the paper-reproduction experiments.
 
 pub mod gradcheck;
@@ -44,7 +47,7 @@ mod shapeops;
 mod tensor;
 
 pub use graph::{BackwardCtx, Graph, Var, VarId};
-pub use tensor::{Tensor, TensorError};
+pub use tensor::{matmul_into, Tensor, TensorError};
 
 /// Numerically stable log-sum-exp over a slice.
 ///

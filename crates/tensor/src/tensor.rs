@@ -283,8 +283,9 @@ impl Tensor {
 
     /// 2-D matrix multiply: `[m,k] @ [k,n] -> [m,n]`.
     ///
-    /// Cache-friendly `i-k-j` loop order; inner loop is an axpy over the
-    /// output row which LLVM auto-vectorises.
+    /// Delegates to [`matmul_into`]: blocked `i-k-j` order (inner loop is an
+    /// axpy over the output row which LLVM auto-vectorises), thread-parallel
+    /// over row blocks for large shapes.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
         assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
@@ -297,6 +298,11 @@ impl Tensor {
     }
 
     /// Batched 3-D matmul: `[b,m,k] @ [b,k,n] -> [b,m,n]`.
+    ///
+    /// Independent batch slices fan out over threads when the total work is
+    /// large enough to amortise the spawn cost (batched inference across
+    /// many users); each slice runs the same serial kernel, so results are
+    /// identical to the sequential loop.
     pub fn bmm(&self, other: &Tensor) -> Tensor {
         assert_eq!(self.ndim(), 3, "bmm lhs must be 3-D, got {:?}", self.shape);
         assert_eq!(other.ndim(), 3, "bmm rhs must be 3-D, got {:?}", other.shape);
@@ -305,15 +311,40 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch dims differ");
         assert_eq!(k, k2, "bmm inner dims differ: {:?} vs {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; b * m * n];
-        for i in 0..b {
-            matmul_into(
-                &self.data[i * m * k..(i + 1) * m * k],
-                &other.data[i * k * n..(i + 1) * k * n],
-                &mut out[i * m * n..(i + 1) * m * n],
-                m,
-                k,
-                n,
-            );
+        let threads = parallelism_for(b * m * k * n).min(b);
+        if threads > 1 {
+            let per = b.div_ceil(threads);
+            std::thread::scope(|scope| {
+                for (chunk_idx, out_chunk) in out.chunks_mut(per * m * n).enumerate() {
+                    let b0 = chunk_idx * per;
+                    let a = &self.data;
+                    let bb = &other.data;
+                    scope.spawn(move || {
+                        for (j, o) in out_chunk.chunks_mut(m * n).enumerate() {
+                            let i = b0 + j;
+                            matmul_block(
+                                &a[i * m * k..(i + 1) * m * k],
+                                &bb[i * k * n..(i + 1) * k * n],
+                                o,
+                                m,
+                                k,
+                                n,
+                            );
+                        }
+                    });
+                }
+            });
+        } else {
+            for i in 0..b {
+                matmul_block(
+                    &self.data[i * m * k..(i + 1) * m * k],
+                    &other.data[i * k * n..(i + 1) * k * n],
+                    &mut out[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
         }
         Tensor { shape: vec![b, m, n], data: out }
     }
@@ -355,13 +386,20 @@ impl Tensor {
 
     /// Softmax along the last axis (numerically stable).
     pub fn softmax_last(&self) -> Tensor {
+        let mut out = self.clone();
+        out.softmax_last_in_place();
+        out
+    }
+
+    /// In-place variant of [`Tensor::softmax_last`] — the inference path
+    /// normalises attention rows without an intermediate allocation, using
+    /// the identical per-row kernel.
+    pub fn softmax_last_in_place(&mut self) {
         let d = *self.shape.last().expect("softmax on 0-d tensor");
         assert!(d > 0, "softmax over empty last axis");
-        let mut out = self.data.clone();
-        for row in out.chunks_mut(d) {
+        for row in self.data.chunks_mut(d) {
             softmax_in_place(row);
         }
-        Tensor { shape: self.shape.clone(), data: out }
     }
 
     /// Log-softmax along the last axis (numerically stable).
@@ -375,6 +413,19 @@ impl Tensor {
             row.iter_mut().for_each(|x| *x -= lse);
         }
         Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Select timestep `t` from a `[B, T, D]` tensor -> `[B, D]` (the
+    /// value-level mirror of `Var::select_step`).
+    pub fn select_step(&self, t: usize) -> Tensor {
+        assert_eq!(self.ndim(), 3, "select_step needs 3-D, got {:?}", self.shape);
+        let (b, tt, d) = (self.shape[0], self.shape[1], self.shape[2]);
+        assert!(t < tt, "select_step index {t} out of bounds for T={tt}");
+        let mut out = Vec::with_capacity(b * d);
+        for bi in 0..b {
+            out.extend_from_slice(&self.data[bi * tt * d + t * d..bi * tt * d + (t + 1) * d]);
+        }
+        Tensor { shape: vec![b, d], data: out }
     }
 
     /// Gather rows of a 2-D tensor: `self[indices, :]`.
@@ -408,23 +459,77 @@ pub(crate) fn softmax_in_place(row: &mut [f32]) {
     }
 }
 
-/// `out += a @ b` where `a` is `m×k`, `b` is `k×n`, `out` is `m×n` (zeroed by caller).
-pub(crate) fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+/// Tile height over the inner (`k`) axis: one tile of `b` (`K_BLOCK × n`
+/// floats) stays cache-resident while it is streamed against every row of
+/// `a`.
+const K_BLOCK: usize = 64;
+
+/// Minimum multiply-accumulate count before a matmul fans out over threads;
+/// below this the spawn/join overhead outweighs the parallel speed-up.
+const PAR_MIN_WORK: usize = 1 << 19;
+
+/// Worker-thread count for a kernel of `work` multiply-accumulates: 1 when
+/// the problem is small or the host is single-core, otherwise capped so
+/// every thread keeps at least `PAR_MIN_WORK` MACs.
+fn parallelism_for(work: usize) -> usize {
+    if work < 2 * PAR_MIN_WORK {
+        return 1;
+    }
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    cores.min(work / PAR_MIN_WORK).min(16)
+}
+
+/// `out += a @ b` where `a` is `m×k`, `b` is `k×n`, `out` is `m×n` (zeroed
+/// by the caller).
+///
+/// Blocked over the inner axis and thread-parallel over row blocks for
+/// large shapes (`std::thread::scope`, no dependencies).  Every output
+/// element accumulates its `k` products in increasing-`k` order regardless
+/// of blocking or threading, so results are bitwise identical to the naive
+/// `i-k-j` loop — batched forwards reproduce scalar forwards exactly.
+pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
+    let threads = parallelism_for(m * k * n).min(m);
+    if threads > 1 {
+        let rows_per = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let row0 = chunk_idx * rows_per;
+                let rows = out_chunk.len() / n;
+                let a_chunk = &a[row0 * k..(row0 + rows) * k];
+                scope.spawn(move || matmul_block(a_chunk, b, out_chunk, rows, k, n));
             }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
-                *o += a_ip * b_pj;
+        });
+    } else {
+        matmul_block(a, b, out, m, k, n);
+    }
+}
+
+/// Serial blocked kernel: `out += a @ b` with `K_BLOCK`-tall tiles of `b`
+/// reused across all rows of `a`.  Per output element the `k` loop still
+/// runs in increasing order (tiles are visited in order, rows within a tile
+/// in order), preserving bitwise results.
+fn matmul_block(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + K_BLOCK).min(k);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let out_row = &mut out[i * n..(i + 1) * n];
+            for p in kb..kend {
+                let a_ip = a_row[p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[p * n..(p + 1) * n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
             }
         }
+        kb = kend;
     }
 }
 
@@ -569,6 +674,60 @@ mod tests {
         assert_eq!(t.sum(), 6.0);
         assert_eq!(t.mean(), 2.0);
         assert_eq!(t.sq_norm(), 14.0);
+    }
+
+    /// Reference i-k-j matmul, no blocking or threading.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for p in 0..k {
+                let a_ip = a.data()[i * k + p];
+                for j in 0..n {
+                    out[i * n + j] += a_ip * b.data()[p * n + j];
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    #[test]
+    fn blocked_matmul_is_bitwise_equal_to_naive_across_tile_boundaries() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        // Inner dims straddling the K_BLOCK=64 tile edge, plus odd sizes.
+        for &(m, k, n) in &[(3, 63, 5), (4, 64, 7), (5, 65, 3), (2, 130, 9), (1, 1, 1)] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            assert_eq!(a.matmul(&b).data(), naive_matmul(&a, &b).data(), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn parallel_matmul_is_bitwise_equal_to_naive() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        // Large enough to cross PAR_MIN_WORK on multi-core hosts; on a
+        // single-core host this still exercises the blocked serial path.
+        let a = Tensor::randn(&[128, 96], 1.0, &mut rng);
+        let b = Tensor::randn(&[96, 128], 1.0, &mut rng);
+        assert_eq!(a.matmul(&b).data(), naive_matmul(&a, &b).data());
+    }
+
+    #[test]
+    fn parallel_bmm_matches_sequential_per_batch_matmul() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (b, m, k, n) = (24, 17, 32, 33);
+        let x = Tensor::randn(&[b, m, k], 1.0, &mut rng);
+        let y = Tensor::randn(&[b, k, n], 1.0, &mut rng);
+        let z = x.bmm(&y);
+        for i in 0..b {
+            let xi = Tensor::from_vec(x.data()[i * m * k..(i + 1) * m * k].to_vec(), &[m, k]);
+            let yi = Tensor::from_vec(y.data()[i * k * n..(i + 1) * k * n].to_vec(), &[k, n]);
+            assert_eq!(&z.data()[i * m * n..(i + 1) * m * n], xi.matmul(&yi).data());
+        }
     }
 
     #[test]

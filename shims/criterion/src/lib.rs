@@ -9,11 +9,45 @@
 //! `criterion_group!` / `criterion_main!` pair.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use std::hint::black_box;
 
 const DEFAULT_SAMPLES: usize = 15;
+
+/// Every `(label, median_ns)` measured so far in this process.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
+
+/// Results recorded so far — lets a bench target compare its own
+/// measurements (e.g. assert a batched/scalar speed-up) without re-timing.
+pub fn recorded_results() -> Vec<(String, f64)> {
+    RESULTS.lock().expect("results poisoned").clone()
+}
+
+/// Write all recorded results as JSON to the path named by the
+/// `CRITERION_JSON` environment variable (no-op when unset).  Called by
+/// the `criterion_main!`-generated `main` after all groups finish, so CI
+/// can upload a machine-readable artifact next to the stdout report.
+pub fn write_json_if_requested() {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results poisoned");
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (label, ns)) in results.iter().enumerate() {
+        let escaped: String =
+            label.chars().map(|c| if c == '"' || c == '\\' { '_' } else { c }).collect();
+        out.push_str(&format!(
+            "    {{ \"name\": \"{escaped}\", \"median_ns\": {ns:.1} }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion shim: failed to write {path}: {e}");
+    }
+}
 
 /// Identifier for a parameterised benchmark within a group.
 #[derive(Clone, Debug)]
@@ -62,9 +96,16 @@ impl Bencher {
 }
 
 fn run_one(label: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Smoke mode: `CRITERION_SAMPLES` caps every benchmark's sample count
+    // (CI runs the suite for trend data, not statistical confidence).
+    let samples = match std::env::var("CRITERION_SAMPLES").ok().and_then(|v| v.parse().ok()) {
+        Some(cap) => samples.min(std::cmp::max(cap, 1)),
+        None => samples,
+    };
     let mut b = Bencher { samples, median_ns: f64::NAN };
     f(&mut b);
     let ns = b.median_ns;
+    RESULTS.lock().expect("results poisoned").push((label.to_string(), ns));
     let pretty = if ns < 1_000.0 {
         format!("{ns:.0} ns")
     } else if ns < 1_000_000.0 {
@@ -154,12 +195,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Emit `fn main` running the given groups (for `harness = false` targets).
+/// Emit `fn main` running the given groups (for `harness = false` targets),
+/// then dump a JSON summary when `CRITERION_JSON` is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_if_requested();
         }
     };
 }
