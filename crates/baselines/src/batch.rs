@@ -91,8 +91,7 @@ mod tests {
             for (bi, input) in b.inputs.iter().enumerate() {
                 // Every non-pad transition (input[t] -> target[t]) must be a
                 // consecutive pair of the original sequence.
-                for t in 0..4 {
-                    let x = input[t];
+                for (t, &x) in input.iter().enumerate().take(4) {
                     let y = b.targets[bi * 4 + t];
                     if x != pad && y != pad {
                         // consecutive in some original sequence

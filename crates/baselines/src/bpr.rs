@@ -71,8 +71,7 @@ impl BprMf {
             .collect();
 
         for _ in 0..config.epochs {
-            for u in 0..u_n {
-                let pos = &positives[u];
+            for (u, pos) in positives.iter().enumerate() {
                 if pos.is_empty() {
                     continue;
                 }

@@ -6,8 +6,8 @@
 
 use irs_data::split::{pad_to, PaddingScheme, SubSeq};
 use irs_data::{pad_token, ItemId, UserId};
-use irs_nn::{clip_grad_norm, Adam, Embedding, FwdCtx, Linear, Optimizer, ParamStore};
-use irs_tensor::{Graph, Var};
+use irs_nn::{clip_grad_norm, Activation, Adam, Embedding, FwdCtx, Linear, Optimizer, ParamStore};
+use irs_tensor::{Graph, Tensor, Var};
 use rand::{seq::SliceRandom, SeedableRng};
 
 use crate::{NeuralTrainConfig, SequentialScorer};
@@ -184,6 +184,81 @@ impl Caser {
         let full = Var::concat_last(&[seq_repr, u]); // [B, 2D]
         self.out.forward2d(ctx, full)
     }
+
+    /// Tape-free mirror of [`Caser::forward`] (eval mode: dropout is the
+    /// identity): the identical kernels in the identical order, evaluated
+    /// on [`Tensor`] values with no graph nodes and an allocation-light
+    /// layout — windows arrive as one flat `[B·L]` index slice, the
+    /// per-height `relu → max` epilogue folds straight into the
+    /// concatenated feature buffer, and the vertical convolution writes
+    /// its feature block in place (same products, same `L`-ascending
+    /// accumulation and skip-zero rule as the `et @ Wv` matmul).  Every
+    /// stage applies the identical arithmetic in the identical order as
+    /// [`Caser::forward`], so per row the result is bitwise equal to the
+    /// graph path — `batch_properties.rs` pins it.
+    fn infer_forward(&self, users: &[UserId], flat_windows: &[usize]) -> Tensor {
+        let d = self.cfg_dim;
+        let l = self.l_window;
+        let b = flat_windows.len() / l;
+        let mut e = self.item_emb.infer_lookup(&self.store, flat_windows); // [B*L, D]
+        e.reshape_in_place(&[b, l, d]);
+
+        let n_h_total: usize = self.conv_h.iter().map(Linear::out_dim).sum();
+        let z_dim = n_h_total + d * self.n_v;
+        let mut z = vec![0.0f32; b * z_dim];
+        let mut off = 0;
+        // Horizontal convolutions: per height, windowed matmul, then
+        // relu+max fused into this height's column block of `z` (the
+        // same comparison sequence as `relu` + `max_axis1`).
+        for (conv, &h) in self.conv_h.iter().zip(&self.heights) {
+            let unfolded = e.unfold_windows(h); // [B, L-h+1, h*D]
+            let fmap = conv.infer(&self.store, &unfolded); // [B, L-h+1, n_h]
+            let (w_cnt, nh) = (l - h + 1, conv.out_dim());
+            for bi in 0..b {
+                let zrow = &mut z[bi * z_dim + off..bi * z_dim + off + nh];
+                zrow.fill(f32::NEG_INFINITY);
+                for s in 0..w_cnt {
+                    let frow =
+                        &fmap.data()[bi * w_cnt * nh + s * nh..bi * w_cnt * nh + (s + 1) * nh];
+                    for (zv, &f) in zrow.iter_mut().zip(frow) {
+                        let val = f.max(0.0);
+                        if val > *zv {
+                            *zv = val;
+                        }
+                    }
+                }
+            }
+            off += nh;
+        }
+        // Vertical convolution, in place: element `(di, c)` of row `bi`'s
+        // feature block accumulates `Σ_l e[bi, l, di] · Wv[l, c]` with `l`
+        // ascending — the identical dot product (and skip-zero-`a` rule)
+        // the graph path's `[B·D, L] @ [L, n_v]` matmul performs.
+        let wv = self.store.value(self.conv_v.weight_id());
+        for bi in 0..b {
+            let vblock = &mut z[bi * z_dim + off..(bi + 1) * z_dim];
+            for di in 0..d {
+                for li in 0..l {
+                    let a = e.data()[bi * l * d + li * d + di];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let wrow = &wv.data()[li * self.n_v..(li + 1) * self.n_v];
+                    for (o, &wc) in vblock[di * self.n_v..(di + 1) * self.n_v].iter_mut().zip(wrow)
+                    {
+                        *o += a * wc;
+                    }
+                }
+            }
+        }
+
+        let mut z = Tensor::from_vec(z, &[b, z_dim]);
+        Activation::Relu.apply_in_place(&mut z);
+        let seq_repr = self.fc.infer(&self.store, &z); // [B, D]
+        let u = self.user_emb.infer_lookup(&self.store, users); // [B, D]
+        let full = Tensor::concat_last(&[&seq_repr, &u]); // [B, 2D]
+        self.out.infer(&self.store, &full)
+    }
 }
 
 impl SequentialScorer for Caser {
@@ -191,24 +266,38 @@ impl SequentialScorer for Caser {
         self.num_items
     }
 
+    /// Scalar scoring through the autograd graph in eval mode — the
+    /// reference implementation the tape-free [`Caser::score_batch`]
+    /// engine is pinned against.
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
-        self.score_batch(&[user], &[history]).pop().expect("one row per query")
+        let pad = pad_token(self.num_items);
+        let window = pad_to(history, self.l_window, pad, PaddingScheme::Pre);
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &self.store, false, 0);
+        let logits = self.forward(&ctx, &[user % self.num_users], &[window]).value();
+        logits.data()[..self.num_items].to_vec()
     }
 
-    /// Batched forward: [`Caser::forward`] is natively batch-shaped, so all
-    /// queries share one convolutional pass.
+    /// Batched tape-free forward: all queries share one convolutional pass
+    /// through the value-level `infer_forward` engine, skipping the
+    /// autograd graph entirely.  Per row this reproduces [`Caser::score`]
+    /// bitwise.
     fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
         assert_eq!(users.len(), histories.len(), "score_batch users/histories length mismatch");
         if histories.is_empty() {
             return Vec::new();
         }
         let pad = pad_token(self.num_items);
-        let windows: Vec<Vec<ItemId>> =
-            histories.iter().map(|h| pad_to(h, self.l_window, pad, PaddingScheme::Pre)).collect();
+        let lw = self.l_window;
+        // Pre-padded windows as one flat [B·L] buffer (same layout
+        // `pad_to(…, PaddingScheme::Pre)` produces row by row).
+        let mut flat = vec![pad; histories.len() * lw];
+        for (r, h) in histories.iter().enumerate() {
+            let take = h.len().min(lw);
+            flat[r * lw + lw - take..(r + 1) * lw].copy_from_slice(&h[h.len() - take..]);
+        }
         let mapped: Vec<UserId> = users.iter().map(|&u| u % self.num_users).collect();
-        let g = Graph::new();
-        let ctx = FwdCtx::new(&g, &self.store, false, 0);
-        let logits = self.forward(&ctx, &mapped, &windows).value();
+        let logits = self.infer_forward(&mapped, &flat);
         let vocab = logits.shape()[1];
         logits.data().chunks(vocab).map(|row| row[..self.num_items].to_vec()).collect()
     }

@@ -121,11 +121,13 @@ impl SequentialScorer for Gru4Rec {
         logits.data()[..self.num_items].to_vec()
     }
 
-    /// Batched forward: ragged histories are *post*-padded to the longest
-    /// row so the recurrence over real tokens is untouched (a GRU state at
-    /// step `t` only depends on steps `≤ t`), then each row's hidden state
-    /// is read at its own last real position — identical to running the
-    /// row alone.
+    /// Batched tape-free forward through the `irs_nn` inference engine:
+    /// ragged histories are *post*-padded to the longest row so the
+    /// recurrence over real tokens is untouched (a GRU state at step `t`
+    /// only depends on steps `≤ t`), then [`Gru::infer_last`] runs the
+    /// fused-gate recurrence and reads each row's hidden state at its own
+    /// last real position — bitwise identical to running the row alone
+    /// through the scalar graph path ([`Gru4Rec::score`]).
     fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
         assert_eq!(users.len(), histories.len(), "score_batch users/histories length mismatch");
         let live: Vec<usize> = (0..histories.len()).filter(|&i| !histories[i].is_empty()).collect();
@@ -146,18 +148,9 @@ impl SequentialScorer for Gru4Rec {
         for row in &mut rows {
             row.resize(t_max, pad);
         }
-        let g = Graph::new();
-        let ctx = FwdCtx::new(&g, &self.store, false, 0);
-        let x = self.emb.lookup_seq(&ctx, &rows);
-        let states = self.gru.forward_seq(&ctx, x).value(); // [B, T, H]
-        let hid = self.gru.hidden_dim();
-        let mut last = vec![0.0f32; live.len() * hid];
-        for (r, &len) in lens.iter().enumerate() {
-            let src = r * t_max * hid + (len - 1) * hid;
-            last[r * hid..(r + 1) * hid].copy_from_slice(&states.data()[src..src + hid]);
-        }
-        let last = g.constant(irs_tensor::Tensor::from_vec(last, &[live.len(), hid]));
-        let logits = self.out.forward2d(&ctx, last).value();
+        let x = self.emb.infer_lookup_seq(&self.store, &rows);
+        let last = self.gru.infer_last(&self.store, &x, &lens);
+        let logits = self.out.infer(&self.store, &last);
         let vocab = self.num_items + 1;
         for (r, &i) in live.iter().enumerate() {
             out[i] = logits.data()[r * vocab..r * vocab + self.num_items].to_vec();

@@ -135,12 +135,12 @@ impl TransRec {
                 dv[k] = g * (-2.0 * diff_pos[k] + 2.0 * diff_neg[k]);
             }
         }
-        for k in 0..d {
+        for (k, &dvk) in dv.iter().enumerate() {
             let ipk = prev * d + k;
-            self.item_emb[ipk] -= lr * (dv[k] + reg * self.item_emb[ipk]);
-            self.global_t[k] -= lr * dv[k];
+            self.item_emb[ipk] -= lr * (dvk + reg * self.item_emb[ipk]);
+            self.global_t[k] -= lr * dvk;
             let iu = u * d + k;
-            self.user_t[iu] -= lr * (dv[k] + reg * self.user_t[iu]);
+            self.user_t[iu] -= lr * (dvk + reg * self.user_t[iu]);
         }
     }
 }

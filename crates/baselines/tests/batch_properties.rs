@@ -3,11 +3,13 @@
 //! query exactly as per-item `score` does — including empty histories,
 //! singleton batches, and batches mixing empty and non-empty rows.
 //!
-//! For SASRec and Bert4Rec this compares two genuinely different engines
-//! (the scalar autograd-graph path vs the tape-free batched inference
-//! path); for GRU4Rec it checks that post-padding ragged rows leaves each
-//! row's recurrence untouched; for the rest it pins the default loop and
-//! the shared batched forward.
+//! For SASRec, Bert4Rec, GRU4Rec and Caser this compares two genuinely
+//! different engines: the scalar autograd-graph path (the reference) vs
+//! the tape-free batched inference path (fused-gate recurrence for
+//! GRU4Rec, value-level convolutional pass for Caser, single-query final
+//! block for the transformers).  For GRU4Rec it additionally checks that
+//! post-padding ragged rows leaves each row's recurrence untouched; for
+//! the rest it pins the default loop and the shared batched forward.
 
 use std::sync::OnceLock;
 

@@ -50,39 +50,60 @@ fn bench_irn_inference(c: &mut Criterion) {
     report_speedup(
         &format!("irn/score_next_scalar_x{BATCH}"),
         &format!("irn/score_next_batch_{BATCH}"),
+        3.0,
+    );
+}
+
+/// Scalar-x16 vs batch-16 for one evaluator/baseline model.
+fn bench_scorer<S: SequentialScorer>(
+    c: &mut Criterion,
+    name: &str,
+    scorer: &S,
+    users: &[usize],
+    contexts: &[&[ItemId]],
+    min_speedup: f64,
+) {
+    let mut group = c.benchmark_group(name);
+    group.sample_size(10);
+    group.bench_function(format!("score_scalar_x{BATCH}"), |b| {
+        b.iter(|| {
+            for i in 0..BATCH {
+                black_box(scorer.score(users[i], contexts[i]));
+            }
+        })
+    });
+    group.bench_function(format!("score_batch_{BATCH}"), |b| {
+        b.iter(|| black_box(scorer.score_batch(users, contexts)))
+    });
+    group.finish();
+
+    report_speedup(
+        &format!("{name}/score_scalar_x{BATCH}"),
+        &format!("{name}/score_batch_{BATCH}"),
+        min_speedup,
     );
 }
 
 fn bench_evaluator_inference(c: &mut Criterion) {
     let h = Harness::build(HarnessConfig::quick(DatasetKind::LastfmLike));
-    let bert = h.train_bert4rec();
     let (test, _) = h.test_slice();
     let users: Vec<usize> = test[..BATCH].iter().map(|tc| tc.user).collect();
     let contexts: Vec<&[ItemId]> = test[..BATCH].iter().map(|tc| tc.history.as_slice()).collect();
 
-    let mut group = c.benchmark_group("bert4rec");
-    group.sample_size(10);
-    group.bench_function(format!("score_scalar_x{BATCH}"), |b| {
-        b.iter(|| {
-            for i in 0..BATCH {
-                black_box(bert.score(users[i], contexts[i]));
-            }
-        })
-    });
-    group.bench_function(format!("score_batch_{BATCH}"), |b| {
-        b.iter(|| black_box(bert.score_batch(&users, &contexts)))
-    });
-    group.finish();
-
-    report_speedup(
-        &format!("bert4rec/score_scalar_x{BATCH}"),
-        &format!("bert4rec/score_batch_{BATCH}"),
-    );
+    // Transformer family: batched tape-free engine vs scalar graph path.
+    let bert = h.train_bert4rec();
+    bench_scorer(c, "bert4rec", &bert, &users, &contexts, 3.0);
+    // RNN family: fused-gate tape-free recurrence vs scalar graph path.
+    let gru = h.train_gru4rec();
+    bench_scorer(c, "gru4rec", &gru, &users, &contexts, 1.5);
+    // CNN family: value-level convolutional pass vs scalar graph path.
+    let caser = h.train_caser();
+    bench_scorer(c, "caser", &caser, &users, &contexts, 1.5);
 }
 
 /// Print (and optionally assert) the scalar/batched throughput ratio from
 /// the recorded medians.
-fn report_speedup(scalar_label: &str, batched_label: &str) {
+fn report_speedup(scalar_label: &str, batched_label: &str, min_speedup: f64) {
     let results = criterion::recorded_results();
     let find = |label: &str| {
         results.iter().find(|(l, _)| l == label).map(|&(_, ns)| ns).unwrap_or(f64::NAN)
@@ -93,8 +114,8 @@ fn report_speedup(scalar_label: &str, batched_label: &str) {
     println!("bench: {batched_label:<40} speedup {speedup:.2}x over scalar");
     if std::env::var("IRS_BENCH_ASSERT").as_deref() == Ok("1") {
         assert!(
-            speedup >= 3.0,
-            "batched inference must be ≥3x scalar at batch {BATCH}, got {speedup:.2}x"
+            speedup >= min_speedup,
+            "batched inference must be ≥{min_speedup}x scalar at batch {BATCH}, got {speedup:.2}x"
         );
     }
 }

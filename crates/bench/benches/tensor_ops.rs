@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use irs_nn::{causal_mask, AttnBias, FwdCtx, MultiHeadAttention, ParamStore};
-use irs_tensor::{Graph, Tensor};
+use irs_tensor::{matmul_into_packed, matmul_into_plain, Graph, Tensor};
 use rand::SeedableRng;
 use std::hint::black_box;
 
@@ -16,6 +16,39 @@ fn bench_matmul(c: &mut Criterion) {
         let b = Tensor::randn(&[n, n], 1.0, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bch, _| {
             bch.iter(|| black_box(a.matmul(&b)));
+        });
+    }
+    group.finish();
+}
+
+/// Packed-B vs plain kernel head-to-head on the shapes the inference
+/// engine actually hits: fused GRU gate matmuls ([T·B, D] @ [D, 3H]) and
+/// output projections ([B, D] @ [D, vocab]).
+fn bench_matmul_packed(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut group = c.benchmark_group("matmul_kernel");
+    for &(label, m, k, n) in &[
+        ("gru_gates_384x32x96", 384usize, 32usize, 96usize),
+        ("out_proj_16x32x512", 16, 32, 512),
+        ("wide_64x256x512", 64, 256, 512),
+        ("wide_128x512x512", 128, 512, 512),
+    ] {
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        group.bench_function(format!("plain_{label}"), |bch| {
+            bch.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                matmul_into_plain(a.data(), b.data(), &mut out, m, k, n);
+                black_box(out[0])
+            });
+        });
+        group.bench_function(format!("packed_{label}"), |bch| {
+            bch.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                matmul_into_packed(a.data(), b.data(), &mut out, m, k, n);
+                black_box(out[0])
+            });
         });
     }
     group.finish();
@@ -54,5 +87,12 @@ fn bench_attention_fwd_bwd(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_matmul, bench_bmm, bench_softmax, bench_attention_fwd_bwd);
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_matmul_packed,
+    bench_bmm,
+    bench_softmax,
+    bench_attention_fwd_bwd
+);
 criterion_main!(benches);

@@ -1,0 +1,182 @@
+//! CI perf-regression gate over the inference benchmark artifact.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p irs_bench --bin bench_gate -- [--update] [FRESH] [BASELINE]
+//! ```
+//!
+//! `FRESH` defaults to `BENCH_inference.json` (the artifact the CI bench
+//! step writes via `CRITERION_JSON`), `BASELINE` to
+//! `tests/bench_baseline.json` (checked in).  The gate fails (exit 1)
+//! when any benchmark's fresh median regresses more than
+//! [`THRESHOLD`]-fold against the baseline *after host-speed
+//! normalisation*; `--update` instead rewrites the baseline from the
+//! fresh file.
+//!
+//! ## Threshold choice
+//!
+//! Two noise sources dominate, and the gate is sized to both:
+//!
+//! * **Smoke-mode jitter.** CI runs the bench with `CRITERION_SAMPLES=5`;
+//!   5-sample medians on shared runners move ±10–15% run to run, so any
+//!   margin below ~20% would flake.
+//! * **Host speed.** The baseline is recorded on whatever machine last
+//!   ran `--update`, which is not the CI runner.  Absolute nanoseconds
+//!   are therefore meaningless across the diff; the gate first divides
+//!   every per-benchmark ratio by the suite-wide geometric-mean ratio
+//!   (the host-speed factor), leaving only *relative* movement — a
+//!   benchmark that got slower than its peers.
+//!
+//! A normalised regression above 25% is far outside observed jitter and
+//! far below the signal of a real regression (losing a batched path is
+//! 2–8x), so `1.25` catches the failures worth catching without flaking.
+
+use std::process::ExitCode;
+
+/// Maximum tolerated normalised fresh/baseline median ratio.
+const THRESHOLD: f64 = 1.25;
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    args.retain(|a| a != "--update");
+    let fresh_path = args.first().map(String::as_str).unwrap_or("BENCH_inference.json");
+    let base_path = args.get(1).map(String::as_str).unwrap_or("tests/bench_baseline.json");
+
+    let fresh = match parse_medians(fresh_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read fresh results {fresh_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if fresh.is_empty() {
+        eprintln!("bench_gate: no benchmarks found in {fresh_path}");
+        return ExitCode::FAILURE;
+    }
+
+    if update {
+        return match std::fs::copy(fresh_path, base_path) {
+            Ok(_) => {
+                println!("bench_gate: baseline {base_path} updated from {fresh_path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("bench_gate: failed to update {base_path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let baseline = match parse_medians(base_path) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read baseline {base_path}: {e}");
+            eprintln!("bench_gate: record one with `--update` after a bench run");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // Pair up benchmarks present in both files.
+    let mut pairs: Vec<(&str, f64, f64)> = Vec::new();
+    let mut missing: Vec<&str> = Vec::new();
+    for (name, base_ns) in &baseline {
+        match fresh.iter().find(|(n, _)| n == name) {
+            Some((_, fresh_ns)) if fresh_ns.is_finite() && *base_ns > 0.0 => {
+                pairs.push((name, *base_ns, *fresh_ns));
+            }
+            _ => missing.push(name),
+        }
+    }
+    for (name, _) in &fresh {
+        if !baseline.iter().any(|(n, _)| n == name) {
+            println!("bench_gate: NEW  {name} (not in baseline; run --update to track it)");
+        }
+    }
+    if !missing.is_empty() {
+        eprintln!("bench_gate: benchmarks missing from fresh results: {missing:?}");
+        eprintln!("bench_gate: a renamed or dropped benchmark must be re-baselined (--update)");
+        return ExitCode::FAILURE;
+    }
+    if pairs.is_empty() {
+        eprintln!("bench_gate: no comparable benchmarks between {fresh_path} and {base_path}");
+        return ExitCode::FAILURE;
+    }
+
+    // Host-speed factor: geometric mean of all fresh/baseline ratios.
+    let host = (pairs.iter().map(|(_, b, f)| (f / b).ln()).sum::<f64>() / pairs.len() as f64).exp();
+    println!("bench_gate: host-speed factor {host:.3} over {} benchmarks", pairs.len());
+
+    let mut failed = false;
+    for (name, base_ns, fresh_ns) in &pairs {
+        let norm = (fresh_ns / base_ns) / host;
+        let verdict = if norm > THRESHOLD {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "bench_gate: {verdict:<9} {name:<42} baseline {:>12.0} ns, fresh {:>12.0} ns, normalised ratio {norm:.2}",
+            base_ns, fresh_ns
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_gate: FAILED — at least one benchmark regressed >{:.0}% after host normalisation",
+            (THRESHOLD - 1.0) * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: all benchmarks within {THRESHOLD}x of baseline");
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parse the criterion shim's JSON artifact: one
+/// `{ "name": "...", "median_ns": ... }` object per line.  Hand-rolled
+/// because the offline dependency set has no JSON crate — the format is
+/// produced by `criterion::write_json_if_requested` and is line-regular
+/// by construction.
+fn parse_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\":") else { continue };
+        let rest = &line[name_at + "\"name\":".len()..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else { continue };
+        let name = &rest[open + 1..open + 1 + close];
+        let Some(med_at) = line.find("\"median_ns\":") else { continue };
+        let num = line[med_at + "\"median_ns\":".len()..]
+            .trim_start()
+            .trim_end_matches(['}', ',', ' '])
+            .trim();
+        let ns: f64 = num.parse().map_err(|e| format!("bad median for {name}: {num:?} ({e})"))?;
+        out.push((name.to_string(), ns));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_medians;
+
+    #[test]
+    fn parses_shim_artifact_format() {
+        let dir = std::env::temp_dir().join("bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.json");
+        std::fs::write(
+            &path,
+            "{\n  \"benchmarks\": [\n    { \"name\": \"irn/a\", \"median_ns\": 120.5 },\n    { \"name\": \"irn/b\", \"median_ns\": 99 }\n  ]\n}\n",
+        )
+        .unwrap();
+        let parsed = parse_medians(path.to_str().unwrap()).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].0, "irn/a");
+        assert!((parsed[0].1 - 120.5).abs() < 1e-9);
+        assert_eq!(parsed[1].0, "irn/b");
+    }
+}

@@ -13,13 +13,17 @@
 use std::io::Write;
 use std::time::Instant;
 
+/// An experiment entry point: takes the quick-mode flag, returns the
+/// rendered report section.
+type ExperimentFn = fn(bool) -> String;
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let standard = !quick;
     let out_file = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
 
-    let experiments: Vec<(&str, fn(bool) -> String)> = vec![
+    let experiments: Vec<(&str, ExperimentFn)> = vec![
         ("Table I", irs_bench::experiments::table1::run),
         ("Table II", irs_bench::experiments::table2::run),
         ("Table III", irs_bench::experiments::table3::run),

@@ -13,11 +13,15 @@ use irs_graph::{RelationCosts, TypedItemGraph};
 
 use crate::InfluenceRecommender;
 
+/// Memoised full paths keyed by `(source, objective)`; `None` records an
+/// unreachable pair so it is not re-searched.
+type PathCache = Mutex<HashMap<(ItemId, ItemId), Option<Vec<ItemId>>>>;
+
 /// Pf2Inf over a multi-relational item graph.
 pub struct KgPf2Inf {
     graph: TypedItemGraph,
     costs: RelationCosts,
-    cache: Mutex<HashMap<(ItemId, ItemId), Option<Vec<ItemId>>>>,
+    cache: PathCache,
 }
 
 impl KgPf2Inf {

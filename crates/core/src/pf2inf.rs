@@ -24,13 +24,16 @@ pub enum PathAlgorithm {
     Mst,
 }
 
+/// Memoised full paths keyed by `(source, objective)`; `None` records an
+/// unreachable pair so it is not re-searched.
+type PathCache = Mutex<HashMap<(ItemId, ItemId), Option<Vec<ItemId>>>>;
+
 /// The Pf2Inf framework.
 pub struct Pf2Inf {
     graph: ItemGraph,
     mst: Option<MstPaths>,
     algorithm: PathAlgorithm,
-    /// Memoised full paths keyed by `(source, objective)`.
-    cache: Mutex<HashMap<(ItemId, ItemId), Option<Vec<ItemId>>>>,
+    cache: PathCache,
 }
 
 impl Pf2Inf {

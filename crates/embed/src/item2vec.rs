@@ -155,11 +155,10 @@ pub fn train_item2vec(
                 let win = 1 + rng.random_range(0..config.window);
                 let lo = pos.saturating_sub(win);
                 let hi = (pos + win + 1).min(seq.len());
-                for ctx_pos in lo..hi {
+                for (ctx_pos, &context) in seq.iter().enumerate().take(hi).skip(lo) {
                     if ctx_pos == pos {
                         continue;
                     }
-                    let context = seq[ctx_pos];
                     grad_in.iter_mut().for_each(|g| *g = 0.0);
                     // Positive pair + negatives; label 1 for the true pair.
                     for sample in 0..=config.negatives {

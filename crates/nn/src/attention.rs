@@ -145,7 +145,7 @@ impl MultiHeadAttention {
         dropout: f32,
         rng: &mut R,
     ) -> Self {
-        assert!(heads > 0 && d % heads == 0, "d={d} must be divisible by heads={heads}");
+        assert!(heads > 0 && d.is_multiple_of(heads), "d={d} must be divisible by heads={heads}");
         MultiHeadAttention {
             wq: Linear::new(store, &format!("{name}.wq"), d, d, true, rng),
             wk: Linear::new(store, &format!("{name}.wk"), d, d, true, rng),

@@ -73,6 +73,18 @@ impl Embedding {
         self.lookup(ctx, &flat).reshape(&[b, t, self.dim])
     }
 
+    /// Tape-free flat lookup -> `[indices.len(), dim]`; gathers straight
+    /// from the stored table without cloning it.
+    pub fn infer_lookup(&self, store: &ParamStore, indices: &[usize]) -> Tensor {
+        let table = store.value(self.table);
+        let mut out = Vec::with_capacity(indices.len() * self.dim);
+        for &i in indices {
+            assert!(i < self.vocab, "embedding index {i} out of vocab {}", self.vocab);
+            out.extend_from_slice(&table.data()[i * self.dim..(i + 1) * self.dim]);
+        }
+        Tensor::from_vec(out, &[indices.len(), self.dim])
+    }
+
     /// Tape-free `[b, t]` lookup -> `[b, t, dim]`; gathers straight from
     /// the stored table without cloning it.
     pub fn infer_lookup_seq(&self, store: &ParamStore, indices: &[Vec<usize>]) -> Tensor {

@@ -53,7 +53,7 @@ pub use attention::{
     AttnBias, MultiHeadAttention,
 };
 pub use embedding::{Embedding, PositionalEncoding};
-pub use gru::{Gru, GruCell};
+pub use gru::{Gru, GruCell, GruInferScratch, GruInferWeights};
 pub use infer::InferBias;
 pub use linear::{FeedForward, Linear};
 pub use norm::LayerNorm;

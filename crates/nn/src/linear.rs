@@ -45,6 +45,12 @@ impl Linear {
         self.w
     }
 
+    /// The bias parameter id, when the layer has one (used by fused
+    /// inference paths that pack several layers' parameters together).
+    pub fn bias_id(&self) -> Option<ParamId> {
+        self.b
+    }
+
     /// Apply to a 2-D input `[n, in] -> [n, out]`.
     pub fn forward2d<'g>(&self, ctx: &FwdCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
         let shape = x.shape();

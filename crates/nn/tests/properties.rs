@@ -1,7 +1,7 @@
 //! Property-based tests for layers and optimizers.
 
 use irs_nn::{
-    causal_mask, causal_mask_with_objective, Adam, AttnBias, FwdCtx, LayerNorm, Linear,
+    causal_mask, causal_mask_with_objective, Adam, AttnBias, FwdCtx, Gru, LayerNorm, Linear,
     MultiHeadAttention, Optimizer, ParamStore, Sgd,
 };
 use irs_tensor::{Graph, Tensor};
@@ -110,6 +110,43 @@ proptest! {
         for row in y.data().chunks(6) {
             let norm: f32 = row.iter().map(|v| v * v).sum::<f32>().sqrt();
             prop_assert!(norm < 6.0f32.sqrt() + 1e-3, "row norm {norm}");
+        }
+    }
+
+    /// The fused tape-free GRU recurrence ([`Gru::infer_last`]) is bitwise
+    /// equal to the autograd graph path at every row's own last timestep —
+    /// the same contract `batch_properties.rs` pins end-to-end for
+    /// GRU4Rec's `score_batch`.
+    #[test]
+    fn gru_infer_last_equals_graph_forward(
+        seed in 0u64..500,
+        lens in proptest::collection::vec(1usize..7, 1..5),
+    ) {
+        let mut r = rng(seed);
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "g", 4, 6, &mut r);
+        let b = lens.len();
+        let t_max = *lens.iter().max().unwrap();
+        let x = Tensor::randn(&[b, t_max, 4], 1.0, &mut r);
+
+        let g = Graph::new();
+        let ctx = FwdCtx::new(&g, &store, false, 0);
+        let states = gru.forward_seq(&ctx, g.constant(x.clone())).value();
+        let fast = gru.infer_last(&store, &x, &lens);
+        for (row, &len) in lens.iter().enumerate() {
+            for j in 0..6 {
+                let want = states.at(&[row, len - 1, j]);
+                let got = fast.at(&[row, j]);
+                prop_assert_eq!(
+                    want.to_bits(),
+                    got.to_bits(),
+                    "row {} dim {}: {} vs {}",
+                    row,
+                    j,
+                    want,
+                    got
+                );
+            }
         }
     }
 

@@ -47,7 +47,7 @@ mod shapeops;
 mod tensor;
 
 pub use graph::{BackwardCtx, Graph, Var, VarId};
-pub use tensor::{matmul_into, Tensor, TensorError};
+pub use tensor::{matmul_into, matmul_into_packed, matmul_into_plain, Tensor, TensorError};
 
 /// Numerically stable log-sum-exp over a slice.
 ///

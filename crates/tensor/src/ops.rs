@@ -367,7 +367,7 @@ mod tests {
     #[test]
     fn sum_and_mean_grads() {
         let x = Tensor::randn(&[3, 3], 1.0, &mut rng());
-        check_gradients(&[x.clone()], |_g, vars| vars[0].mul(vars[0]).sum_all());
+        check_gradients(std::slice::from_ref(&x), |_g, vars| vars[0].mul(vars[0]).sum_all());
         check_gradients(&[x], |_g, vars| vars[0].mul(vars[0]).mean_all());
     }
 }

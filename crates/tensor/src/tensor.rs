@@ -322,7 +322,7 @@ impl Tensor {
                     scope.spawn(move || {
                         for (j, o) in out_chunk.chunks_mut(m * n).enumerate() {
                             let i = b0 + j;
-                            matmul_block(
+                            matmul_slice(
                                 &a[i * m * k..(i + 1) * m * k],
                                 &bb[i * k * n..(i + 1) * k * n],
                                 o,
@@ -336,7 +336,7 @@ impl Tensor {
             });
         } else {
             for i in 0..b {
-                matmul_block(
+                matmul_slice(
                     &self.data[i * m * k..(i + 1) * m * k],
                     &other.data[i * k * n..(i + 1) * k * n],
                     &mut out[i * m * n..(i + 1) * m * n],
@@ -439,6 +439,55 @@ impl Tensor {
         }
         Tensor { shape: vec![indices.len(), d], data: out }
     }
+
+    /// Unfold sliding windows of width `w` along the time axis:
+    /// `[B, T, D] -> [B, T-w+1, w*D]` — the value-level mirror of
+    /// `Var::unfold_windows` (Caser's im2col step).
+    pub fn unfold_windows(&self, w: usize) -> Tensor {
+        assert_eq!(self.ndim(), 3, "unfold_windows needs 3-D, got {:?}", self.shape);
+        let (b, t, d) = (self.shape[0], self.shape[1], self.shape[2]);
+        assert!(w >= 1 && w <= t, "window width {w} out of range for T={t}");
+        let windows = t - w + 1;
+        let mut out = vec![0.0f32; b * windows * w * d];
+        for bi in 0..b {
+            for s in 0..windows {
+                let dst = bi * windows * w * d + s * w * d;
+                let src = bi * t * d + s * d;
+                out[dst..dst + w * d].copy_from_slice(&self.data[src..src + w * d]);
+            }
+        }
+        Tensor { shape: vec![b, windows, w * d], data: out }
+    }
+
+    /// Concatenate along the last axis — the value-level mirror of
+    /// `Var::concat_last`.  All inputs must agree on the leading axes.
+    pub fn concat_last(parts: &[&Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_last of zero tensors");
+        let lead = &parts[0].shape[..parts[0].shape.len() - 1];
+        for p in parts {
+            assert_eq!(
+                &p.shape[..p.shape.len() - 1],
+                lead,
+                "concat_last leading axes differ: {:?}",
+                parts.iter().map(|p| &p.shape).collect::<Vec<_>>()
+            );
+        }
+        let widths: Vec<usize> = parts.iter().map(|p| *p.shape.last().unwrap()).collect();
+        let total_w: usize = widths.iter().sum();
+        let rows: usize = lead.iter().product();
+        let mut out_shape = lead.to_vec();
+        out_shape.push(total_w);
+        let mut data = vec![0.0f32; rows * total_w];
+        for r in 0..rows {
+            let mut off = 0;
+            for (p, &w) in parts.iter().zip(&widths) {
+                data[r * total_w + off..r * total_w + off + w]
+                    .copy_from_slice(&p.data[r * w..(r + 1) * w]);
+                off += w;
+            }
+        }
+        Tensor { shape: out_shape, data }
+    }
 }
 
 /// Softmax of one row, in place and numerically stable.
@@ -464,6 +513,26 @@ pub(crate) fn softmax_in_place(row: &mut [f32]) {
 /// `a`.
 const K_BLOCK: usize = 64;
 
+/// Panel width of the packed-B kernel: 8 `f32`s — two baseline-SSE2
+/// registers (rustc's default x86-64 target) or one AVX2 register, a
+/// width LLVM reliably vectorises without spilling.
+const NR: usize = 8;
+
+/// Row-tile height of the packed-B kernel: accumulators for `MR × NR`
+/// outputs live in registers across the whole `k` loop (`MR·NR/4 = 8`
+/// SSE2 registers, leaving half the file for the B panel row and the
+/// broadcast A element).
+const MR: usize = 4;
+
+/// Minimum B-operand element count (`k·n`) before the packed kernel wins:
+/// once B outgrows the fast cache levels (2¹⁷ `f32`s = 512 KiB), the
+/// plain kernel's repeated `K_BLOCK × n` tile streaming pays per row of A
+/// while the packed panels stay L1-resident per `MR` rows.  Below this
+/// the plain kernel runs at SIMD peak and the repack is pure overhead
+/// (measured: `cargo bench -p irs_bench --bench tensor_ops`,
+/// `matmul_kernel/*`).
+const PACK_MIN_KN: usize = 1 << 17;
+
 /// Minimum multiply-accumulate count before a matmul fans out over threads;
 /// below this the spawn/join overhead outweighs the parallel speed-up.
 const PAR_MIN_WORK: usize = 1 << 19;
@@ -482,12 +551,45 @@ fn parallelism_for(work: usize) -> usize {
 /// `out += a @ b` where `a` is `m×k`, `b` is `k×n`, `out` is `m×n` (zeroed
 /// by the caller).
 ///
-/// Blocked over the inner axis and thread-parallel over row blocks for
-/// large shapes (`std::thread::scope`, no dependencies).  Every output
-/// element accumulates its `k` products in increasing-`k` order regardless
-/// of blocking or threading, so results are bitwise identical to the naive
-/// `i-k-j` loop — batched forwards reproduce scalar forwards exactly.
+/// Dispatch layer over two serial kernels, both thread-parallel over row
+/// blocks for large shapes (`std::thread::scope`, no dependencies):
+///
+/// * [`matmul_into_plain`] — `K_BLOCK`-tiled `i-k-j` loop, no setup cost;
+///   runs at SIMD peak while its B tiles stay cache-resident, so it is
+///   chosen for every model-sized shape.
+/// * [`matmul_into_packed`] — A and B repacked once per call (B into
+///   contiguous `NR`-wide block-major panels, A row blocks transposed to
+///   step-major), then an `MR × NR` register-tiled kernel streams the
+///   panels; chosen when the B operand outgrows the fast caches and the
+///   plain kernel turns memory-bound.
+///
+/// Every output element accumulates its `k` products in increasing-`k`
+/// order regardless of kernel, blocking or threading, so results are
+/// bitwise identical to the naive `i-k-j` loop — batched forwards
+/// reproduce scalar forwards exactly even when dispatch picks different
+/// kernels for the batched and scalar shapes.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    if should_pack(m, k, n) {
+        matmul_into_packed(a, b, out, m, k, n);
+    } else {
+        matmul_into_plain(a, b, out, m, k, n);
+    }
+}
+
+/// True when the packed-B kernel's repack pass (`k·n` copies plus panel
+/// zero-padding) is amortised: enough rows to reuse each panel, at least
+/// one full panel of columns, and a B operand big enough that the plain
+/// kernel's tile streaming falls out of cache.
+fn should_pack(m: usize, k: usize, n: usize) -> bool {
+    m >= 2 * MR && n >= NR && k * n >= PACK_MIN_KN
+}
+
+/// Plain blocked `out += a @ b`: `K_BLOCK`-tiled serial kernel, rows fanned
+/// out over threads for large shapes.
+pub fn matmul_into_plain(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
@@ -502,6 +604,172 @@ pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n:
                 scope.spawn(move || matmul_block(a_chunk, b, out_chunk, rows, k, n));
             }
         });
+    } else {
+        matmul_block(a, b, out, m, k, n);
+    }
+}
+
+/// Packed-B `out += a @ b`: B is repacked once into block-major panels,
+/// then every row block streams the packed buffer with the register-tiled
+/// kernel.  Threads share the one packed copy.
+pub fn matmul_into_packed(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(out.len(), m * n);
+    let packed = pack_b(b, k, n);
+    let threads = parallelism_for(m * k * n).min(m);
+    if threads > 1 {
+        let rows_per = m.div_ceil(threads);
+        let packed = &packed;
+        std::thread::scope(|scope| {
+            for (chunk_idx, out_chunk) in out.chunks_mut(rows_per * n).enumerate() {
+                let row0 = chunk_idx * rows_per;
+                let rows = out_chunk.len() / n;
+                let a_chunk = &a[row0 * k..(row0 + rows) * k];
+                scope.spawn(move || matmul_block_packed(a_chunk, packed, out_chunk, rows, k, n));
+            }
+        });
+    } else {
+        matmul_block_packed(a, &packed, out, m, k, n);
+    }
+}
+
+/// Repack `b` (`k×n`, row-major) into `NR`-wide block-major panels: panel
+/// `pi` holds columns `pi·NR .. pi·NR+NR` contiguously per `k` row, so the
+/// packed kernel's inner loop reads `NR` consecutive floats instead of
+/// striding by `n`.  The ragged last panel is zero-padded — padding lanes
+/// multiply into accumulators that are never written back.
+fn pack_b(b: &[f32], k: usize, n: usize) -> Vec<f32> {
+    let panels = n.div_ceil(NR);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    for pi in 0..panels {
+        let j0 = pi * NR;
+        let w = NR.min(n - j0);
+        let base = pi * k * NR;
+        for p in 0..k {
+            packed[base + p * NR..base + p * NR + w]
+                .copy_from_slice(&b[p * n + j0..p * n + j0 + w]);
+        }
+    }
+    packed
+}
+
+/// Register-tiled serial kernel over packed panels: for each `MR × NR`
+/// output tile the accumulators stay in registers across the whole `k`
+/// loop.  Per output element the `k` products are added in increasing
+/// order with the same skip-zero-`a` rule as [`matmul_block`], so results
+/// are bitwise identical to the plain kernel.
+///
+/// Full tiles and ragged remainder rows run through separate helpers with
+/// compile-time loop bounds — a runtime row count would stop LLVM from
+/// unrolling the row loop and keeping the accumulators in registers.
+fn matmul_block_packed(a: &[f32], packed: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    let panels = n.div_ceil(NR);
+    // A row blocks transposed once to [k, MR] so each step's multipliers
+    // are contiguous; reused across every panel.
+    let full_tiles = m / MR;
+    let mut at = vec![0.0f32; full_tiles * k * MR];
+    for ti in 0..full_tiles {
+        let block = &mut at[ti * k * MR..(ti + 1) * k * MR];
+        for r in 0..MR {
+            for (p, chunk) in block.chunks_exact_mut(MR).enumerate() {
+                chunk[r] = a[(ti * MR + r) * k + p];
+            }
+        }
+    }
+    for pi in 0..panels {
+        let j0 = pi * NR;
+        let w = NR.min(n - j0);
+        let bp = &packed[pi * k * NR..(pi + 1) * k * NR];
+        let mut i = 0;
+        for ti in 0..full_tiles {
+            let g = TileGeom { i, k, n, j0, w };
+            packed_tile_full(&at[ti * k * MR..(ti + 1) * k * MR], bp, out, g);
+            i += MR;
+        }
+        while i < m {
+            packed_tile_row(a, bp, out, TileGeom { i, k, n, j0, w });
+            i += 1;
+        }
+    }
+}
+
+/// Geometry of one packed-kernel tile: first output row `i`, operand
+/// dims `k`/`n`, panel column origin `j0` and live panel width `w`.
+#[derive(Clone, Copy)]
+struct TileGeom {
+    i: usize,
+    k: usize,
+    n: usize,
+    j0: usize,
+    w: usize,
+}
+
+/// One full `MR × NR` tile of the packed kernel (fixed loop bounds).
+///
+/// `at` is the row block's A transposed to `[k, MR]` (see
+/// [`matmul_block_packed`]) so the `MR` multipliers of step `p` sit in one
+/// cache line.  The common all-multipliers-nonzero case runs one branch
+/// per `p` followed by straight-line `MR × NR` updates; the rare path
+/// applies the per-element skip-zero rule exactly like [`matmul_block`].
+#[inline]
+fn packed_tile_full(at: &[f32], bp: &[f32], out: &mut [f32], g: TileGeom) {
+    let TileGeom { i, k, n, j0, w } = g;
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, acc_row) in acc.iter_mut().enumerate() {
+        acc_row[..w].copy_from_slice(&out[(i + r) * n + j0..(i + r) * n + j0 + w]);
+    }
+    for p in 0..k {
+        let brow: &[f32; NR] = bp[p * NR..(p + 1) * NR].try_into().expect("panel row");
+        let arow: &[f32; MR] = at[p * MR..(p + 1) * MR].try_into().expect("a tile row");
+        if arow.iter().all(|&v| v != 0.0) {
+            for (acc_row, &a_ip) in acc.iter_mut().zip(arow) {
+                for (o, &b_pj) in acc_row.iter_mut().zip(brow) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        } else {
+            for (acc_row, &a_ip) in acc.iter_mut().zip(arow) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                for (o, &b_pj) in acc_row.iter_mut().zip(brow) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+    }
+    for (r, acc_row) in acc.iter().enumerate() {
+        out[(i + r) * n + j0..(i + r) * n + j0 + w].copy_from_slice(&acc_row[..w]);
+    }
+}
+
+/// One remainder row of the packed kernel (`m % MR` trailing rows).
+#[inline]
+fn packed_tile_row(a: &[f32], bp: &[f32], out: &mut [f32], g: TileGeom) {
+    let TileGeom { i, k, n, j0, w } = g;
+    let mut acc = [0.0f32; NR];
+    acc[..w].copy_from_slice(&out[i * n + j0..i * n + j0 + w]);
+    for p in 0..k {
+        let a_ip = a[i * k + p];
+        if a_ip == 0.0 {
+            continue;
+        }
+        let brow: &[f32; NR] = bp[p * NR..(p + 1) * NR].try_into().expect("panel row");
+        for (o, &b_pj) in acc.iter_mut().zip(brow) {
+            *o += a_ip * b_pj;
+        }
+    }
+    out[i * n + j0..i * n + j0 + w].copy_from_slice(&acc[..w]);
+}
+
+/// Serial per-slice dispatch used by [`Tensor::bmm`]: each batch slice has
+/// its own `b`, so the packed kernel repacks per slice — worth it only
+/// when that slice's `m` rows amortise the pass.
+fn matmul_slice(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    if should_pack(m, k, n) {
+        let packed = pack_b(b, k, n);
+        matmul_block_packed(a, &packed, out, m, k, n);
     } else {
         matmul_block(a, b, out, m, k, n);
     }
@@ -728,6 +996,80 @@ mod tests {
             let yi = Tensor::from_vec(y.data()[i * k * n..(i + 1) * k * n].to_vec(), &[k, n]);
             assert_eq!(&z.data()[i * m * n..(i + 1) * m * n], xi.matmul(&yi).data());
         }
+    }
+
+    #[test]
+    fn packed_matmul_is_bitwise_equal_to_plain_across_odd_shapes() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        // Shapes straddling the NR=8 panel edge and MR=4 row tile, plus
+        // ragged remainders in every dimension.
+        for &(m, k, n) in &[
+            (1, 7, 17),
+            (3, 16, 15),
+            (4, 33, 16),
+            (5, 64, 31),
+            (7, 65, 33),
+            (9, 130, 47),
+            (16, 8, 100),
+        ] {
+            let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+            let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+            let mut plain = vec![0.0f32; m * n];
+            let mut packed = vec![0.0f32; m * n];
+            matmul_into_plain(a.data(), b.data(), &mut plain, m, k, n);
+            matmul_into_packed(a.data(), b.data(), &mut packed, m, k, n);
+            assert_eq!(plain, packed, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn packed_matmul_accumulates_into_nonzero_out() {
+        // Both kernels share the `out += a @ b` contract.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let (m, k, n) = (5, 9, 21);
+        let a = Tensor::randn(&[m, k], 1.0, &mut rng);
+        let b = Tensor::randn(&[k, n], 1.0, &mut rng);
+        let seed: Vec<f32> = (0..m * n).map(|i| i as f32 * 0.25).collect();
+        let mut plain = seed.clone();
+        let mut packed = seed;
+        matmul_into_plain(a.data(), b.data(), &mut plain, m, k, n);
+        matmul_into_packed(a.data(), b.data(), &mut packed, m, k, n);
+        assert_eq!(plain, packed);
+    }
+
+    #[test]
+    fn packed_matmul_skips_zero_a_like_plain() {
+        // The skip-zero rule must match or an inf/NaN in B would produce
+        // NaN in one kernel and not the other.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 2.0, 0.0, 0.0, 3.0], &[2, 3]);
+        let mut b = Tensor::zeros(&[3, 20]);
+        b.data_mut()[0] = f32::INFINITY; // row 0 of B, only ever hit by a=0.0
+        let (m, k, n) = (2, 3, 20);
+        let mut plain = vec![0.0f32; m * n];
+        let mut packed = vec![0.0f32; m * n];
+        matmul_into_plain(a.data(), b.data(), &mut plain, m, k, n);
+        matmul_into_packed(a.data(), b.data(), &mut packed, m, k, n);
+        assert_eq!(plain, packed);
+        assert!(plain.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn unfold_and_concat_value_helpers_match_graph_ops() {
+        use crate::graph::Graph;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let x = Tensor::randn(&[2, 5, 3], 1.0, &mut rng);
+        let g = Graph::new();
+        let xv = g.constant(x.clone());
+        assert_eq!(x.unfold_windows(2).data(), xv.unfold_windows(2).value().data());
+        let y = Tensor::randn(&[2, 5, 4], 1.0, &mut rng);
+        let yv = g.constant(y.clone());
+        let cat = Tensor::concat_last(&[&x, &y]);
+        let cat_v = crate::graph::Var::concat_last(&[xv, yv]);
+        assert_eq!(cat.shape(), &[2, 5, 7]);
+        assert_eq!(cat.data(), cat_v.value().data());
     }
 
     #[test]

@@ -134,6 +134,33 @@ proptest! {
         }
     }
 
+    /// The packed-B register-tiled matmul kernel is bitwise equal to the
+    /// plain blocked kernel on arbitrary (odd) shapes — the invariant that
+    /// lets `matmul_into` dispatch by shape without batched and scalar
+    /// forwards ever diverging.
+    #[test]
+    fn packed_matmul_equals_plain_matmul(
+        m in 1usize..12,
+        k in 1usize..40,
+        n in 1usize..40,
+        seed in 0u32..1000,
+    ) {
+        let numel_a = m * k;
+        let numel_b = k * n;
+        // Deterministic pseudo-random fill from the seed (keeps the
+        // strategy space small while varying values).
+        let val = |i: usize| ((i as f32 * 0.37 + seed as f32 * 0.11).sin()) * 2.0;
+        let a: Vec<f32> = (0..numel_a).map(val).collect();
+        let b: Vec<f32> = (numel_a..numel_a + numel_b).map(val).collect();
+        let mut plain = vec![0.0f32; m * n];
+        let mut packed = vec![0.0f32; m * n];
+        irs_tensor::matmul_into_plain(&a, &b, &mut plain, m, k, n);
+        irs_tensor::matmul_into_packed(&a, &b, &mut packed, m, k, n);
+        for (p, q) in plain.iter().zip(&packed) {
+            prop_assert_eq!(p.to_bits(), q.to_bits(), "{m}x{k}x{n}: {p} vs {q}");
+        }
+    }
+
     /// Layer-norm output is invariant to input shift and scale (with unit
     /// gamma, zero beta).
     #[test]
