@@ -123,6 +123,41 @@ impl BprMf {
     pub fn dim(&self) -> usize {
         self.dim
     }
+
+    /// Serialise the factor matrices and biases (IRSP format).
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        use irs_tensor::Tensor;
+        let d = self.dim;
+        let num_users = self.user_factors.len() / d.max(1);
+        let mut store = irs_nn::ParamStore::new();
+        store.add("bpr.user", Tensor::from_vec(self.user_factors.clone(), &[num_users, d]));
+        store.add("bpr.item", Tensor::from_vec(self.item_factors.clone(), &[self.num_items, d]));
+        store.add("bpr.bias", Tensor::from_vec(self.item_bias.clone(), &[self.num_items]));
+        store.save_parameters(writer)
+    }
+
+    /// Load a model saved by [`BprMf::save`].  Counts and dimensionality
+    /// must match the saved shapes (shape-checked).
+    pub fn load<R: std::io::Read>(
+        reader: R,
+        num_users: usize,
+        num_items: usize,
+        dim: usize,
+    ) -> std::io::Result<Self> {
+        use irs_tensor::Tensor;
+        let mut store = irs_nn::ParamStore::new();
+        let u = store.add("bpr.user", Tensor::zeros(&[num_users, dim]));
+        let i = store.add("bpr.item", Tensor::zeros(&[num_items, dim]));
+        let b = store.add("bpr.bias", Tensor::zeros(&[num_items]));
+        store.load_parameters(reader)?;
+        Ok(BprMf {
+            dim,
+            num_items,
+            user_factors: store.value(u).data().to_vec(),
+            item_factors: store.value(i).data().to_vec(),
+            item_bias: store.value(b).data().to_vec(),
+        })
+    }
 }
 
 impl SequentialScorer for BprMf {

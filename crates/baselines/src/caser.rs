@@ -259,6 +259,26 @@ impl Caser {
         let full = Tensor::concat_last(&[&seq_repr, &u]); // [B, 2D]
         self.out.infer(&self.store, &full)
     }
+
+    /// Serialise the trained parameters (IRSP format).
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        self.store.save_parameters(writer)
+    }
+
+    /// Reconstruct a model of the given architecture and load trained
+    /// parameters into it (architecture-checked by name/shape).
+    pub fn load<R: std::io::Read>(
+        reader: R,
+        num_items: usize,
+        num_users: usize,
+        config: &CaserConfig,
+    ) -> std::io::Result<Self> {
+        let mut arch_cfg = config.clone();
+        arch_cfg.train.epochs = 0; // build architecture only
+        let mut model = Caser::fit(&[], num_items, num_users, &arch_cfg);
+        model.store.load_parameters(reader)?;
+        Ok(model)
+    }
 }
 
 impl SequentialScorer for Caser {

@@ -81,6 +81,25 @@ impl Gru4Rec {
         model
     }
 
+    /// Serialise the trained parameters (IRSP format).
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        self.store.save_parameters(writer)
+    }
+
+    /// Reconstruct a model of the given architecture and load trained
+    /// parameters into it (architecture-checked by name/shape).
+    pub fn load<R: std::io::Read>(
+        reader: R,
+        num_items: usize,
+        config: &Gru4RecConfig,
+    ) -> std::io::Result<Self> {
+        let mut arch_cfg = config.clone();
+        arch_cfg.train.epochs = 0; // build architecture only
+        let mut model = Gru4Rec::fit(&[], num_items, &arch_cfg);
+        model.store.load_parameters(reader)?;
+        Ok(model)
+    }
+
     /// Average next-token cross-entropy on held-out subsequences.
     pub fn validation_loss(&self, seqs: &[SubSeq]) -> f32 {
         let pad = pad_token(self.num_items);

@@ -21,6 +21,27 @@ impl Pop {
     pub fn fit(dataset: &Dataset) -> Self {
         Self::from_counts(&dataset.item_counts())
     }
+
+    /// Serialise the popularity scores (IRSP format, one `pop.scores`
+    /// tensor — the same container the neural families use, so every
+    /// scorer snapshot round-trips through one loader).
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        let mut store = irs_nn::ParamStore::new();
+        store.add(
+            "pop.scores",
+            irs_tensor::Tensor::from_vec(self.scores.clone(), &[self.scores.len()]),
+        );
+        store.save_parameters(writer)
+    }
+
+    /// Load scores saved by [`Pop::save`]; `num_items` must match
+    /// (shape-checked like every IRSP load).
+    pub fn load<R: std::io::Read>(reader: R, num_items: usize) -> std::io::Result<Self> {
+        let mut store = irs_nn::ParamStore::new();
+        let id = store.add("pop.scores", irs_tensor::Tensor::zeros(&[num_items]));
+        store.load_parameters(reader)?;
+        Ok(Pop { scores: store.value(id).data().to_vec() })
+    }
 }
 
 impl SequentialScorer for Pop {

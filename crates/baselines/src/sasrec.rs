@@ -144,6 +144,25 @@ impl SasRec {
         let logits = self.out.forward3d(&ctx, h).select_step(t - 1).value();
         logits.data()[..self.num_items].to_vec()
     }
+
+    /// Serialise the trained parameters (IRSP format).
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        self.store.save_parameters(writer)
+    }
+
+    /// Reconstruct a model of the given architecture and load trained
+    /// parameters into it (architecture-checked by name/shape).
+    pub fn load<R: std::io::Read>(
+        reader: R,
+        num_items: usize,
+        config: &SasRecConfig,
+    ) -> std::io::Result<Self> {
+        let mut arch_cfg = config.clone();
+        arch_cfg.train.epochs = 0; // build architecture only
+        let mut model = SasRec::fit(&[], num_items, &arch_cfg);
+        model.store.load_parameters(reader)?;
+        Ok(model)
+    }
 }
 
 impl SequentialScorer for SasRec {

@@ -143,6 +143,44 @@ impl TransRec {
             self.user_t[iu] -= lr * (dvk + reg * self.user_t[iu]);
         }
     }
+
+    /// Serialise the embeddings, biases and translations (IRSP format).
+    pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
+        use irs_tensor::Tensor;
+        let d = self.dim;
+        let num_users = self.user_t.len() / d.max(1);
+        let mut store = irs_nn::ParamStore::new();
+        store.add("transrec.item", Tensor::from_vec(self.item_emb.clone(), &[self.num_items, d]));
+        store.add("transrec.bias", Tensor::from_vec(self.item_bias.clone(), &[self.num_items]));
+        store.add("transrec.t", Tensor::from_vec(self.global_t.clone(), &[d]));
+        store.add("transrec.user_t", Tensor::from_vec(self.user_t.clone(), &[num_users, d]));
+        store.save_parameters(writer)
+    }
+
+    /// Load a model saved by [`TransRec::save`].  Counts and
+    /// dimensionality must match the saved shapes (shape-checked).
+    pub fn load<R: std::io::Read>(
+        reader: R,
+        num_users: usize,
+        num_items: usize,
+        dim: usize,
+    ) -> std::io::Result<Self> {
+        use irs_tensor::Tensor;
+        let mut store = irs_nn::ParamStore::new();
+        let i = store.add("transrec.item", Tensor::zeros(&[num_items, dim]));
+        let b = store.add("transrec.bias", Tensor::zeros(&[num_items]));
+        let t = store.add("transrec.t", Tensor::zeros(&[dim]));
+        let ut = store.add("transrec.user_t", Tensor::zeros(&[num_users, dim]));
+        store.load_parameters(reader)?;
+        Ok(TransRec {
+            dim,
+            num_items,
+            item_emb: store.value(i).data().to_vec(),
+            item_bias: store.value(b).data().to_vec(),
+            global_t: store.value(t).data().to_vec(),
+            user_t: store.value(ut).data().to_vec(),
+        })
+    }
 }
 
 impl SequentialScorer for TransRec {

@@ -1,0 +1,141 @@
+//! Serving-subsystem throughput: concurrent interactive sessions driven
+//! through the `irs_serve` micro-batching engine vs the batch-size-1
+//! configuration (per-session scalar `next_item` calls).
+//!
+//! One iteration replays a fixed script of concurrent sessions (passive
+//! user, every proposal accepted) to completion; the ratio of the two
+//! medians is the serving speedup `serve_load --compare` demonstrates at
+//! load-test scale.  CI runs this in smoke mode with
+//! `CRITERION_JSON=BENCH_serving.json` so the serving-perf trajectory
+//! accumulates as a build artifact next to the inference bench.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+use irs_core::InteractiveSession;
+use irs_data::ItemId;
+use irs_serve::{BatchPolicy, Engine, ModelSnapshot, SnapshotRegistry};
+use std::hint::black_box;
+
+const SESSIONS: usize = 32;
+const STEPS: usize = 3;
+
+struct Script {
+    user: usize,
+    history: Vec<ItemId>,
+    objective: ItemId,
+}
+
+/// Drive every script to completion; `engine` chooses scheduled vs
+/// scalar scoring.  Returns total proposals (consumed by `black_box`).
+fn replay(
+    scripts: &[Script],
+    registry: &Arc<SnapshotRegistry>,
+    engine: Option<&Arc<Engine>>,
+) -> usize {
+    let snapshot = registry.current();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                let engine = engine.cloned();
+                let snapshot = &snapshot;
+                scope.spawn(move || {
+                    let mut session = InteractiveSession::new(
+                        script.user,
+                        script.history.clone(),
+                        script.objective,
+                        STEPS,
+                        2,
+                    );
+                    let mut proposals = 0usize;
+                    while !session.is_done() {
+                        let answer = match &engine {
+                            Some(engine) => engine.propose(&session),
+                            None => {
+                                let q = session.query();
+                                snapshot.model.next_item(q.user, q.history, q.objective, q.path)
+                            }
+                        };
+                        proposals += 1;
+                        match answer {
+                            Some(item) => session.record(item, true),
+                            None => session.record_give_up(),
+                        }
+                    }
+                    proposals
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("session thread")).sum()
+    })
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
+    // Timing is weight-independent; one epoch keeps setup short.
+    let mut cfg = h.irn_config();
+    cfg.train.epochs = 1;
+    let irn = h.train_irn_with(&cfg);
+    let (test, objectives) = h.test_slice();
+    let scripts: Vec<Script> = (0..SESSIONS)
+        .map(|s| {
+            let tc = &test[s % test.len()];
+            Script {
+                user: tc.user,
+                history: tc.history.clone(),
+                objective: objectives[s % objectives.len()],
+            }
+        })
+        .collect();
+    let registry = Arc::new(SnapshotRegistry::new(ModelSnapshot::in_memory_with_catalogue(
+        "bench",
+        Box::new(irn),
+        h.dataset.num_items,
+    )));
+
+    let mut group = c.benchmark_group("serving");
+    group.sample_size(10);
+    group.bench_function(format!("scalar_b1_{SESSIONS}sessions"), |b| {
+        b.iter(|| black_box(replay(&scripts, &registry, None)))
+    });
+    // The engine persists across iterations (a server outlives requests);
+    // each iteration replays the same concurrent session mix through it.
+    let engine = Arc::new(Engine::start(
+        registry.clone(),
+        BatchPolicy {
+            max_batch: 16,
+            max_wait: Duration::from_micros(500),
+            workers: 2,
+            queue_capacity: 256,
+        },
+    ));
+    group.bench_function(format!("microbatch_16_{SESSIONS}sessions"), |b| {
+        b.iter(|| black_box(replay(&scripts, &registry, Some(&engine))))
+    });
+    group.finish();
+    engine.shutdown();
+
+    let results = criterion::recorded_results();
+    let median = |name: &str| -> Option<f64> {
+        results.iter().find(|(n, _)| n.contains(name)).map(|(_, ns)| *ns)
+    };
+    if let (Some(scalar), Some(batched)) = (median("scalar_b1"), median("microbatch_16")) {
+        let speedup = scalar / batched;
+        println!(
+            "serving speedup at {SESSIONS} concurrent sessions: {speedup:.2}x \
+             (micro-batched over batch-size-1)"
+        );
+        if std::env::var("IRS_BENCH_ASSERT").as_deref() == Ok("1") {
+            assert!(
+                speedup >= 2.0,
+                "micro-batched serving speedup {speedup:.2}x below the 2x acceptance threshold"
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_serving);
+criterion_main!(benches);

@@ -1,18 +1,21 @@
-//! CI perf-regression gate over the inference benchmark artifact.
+//! CI perf-regression gate over the benchmark artifacts.
 //!
 //! Usage:
 //!
 //! ```text
-//! cargo run -p irs_bench --bin bench_gate -- [--update] [FRESH] [BASELINE]
+//! cargo run -p irs_bench --bin bench_gate -- [--update] [--baseline PATH] [FRESH...]
 //! ```
 //!
-//! `FRESH` defaults to `BENCH_inference.json` (the artifact the CI bench
-//! step writes via `CRITERION_JSON`), `BASELINE` to
-//! `tests/bench_baseline.json` (checked in).  The gate fails (exit 1)
-//! when any benchmark's fresh median regresses more than
-//! [`THRESHOLD`]-fold against the baseline *after host-speed
+//! Every positional argument is a fresh-results file (the artifacts the
+//! CI bench steps write via `CRITERION_JSON`); they are merged before
+//! the diff, so one checked-in baseline can cover several bench targets
+//! (currently `inference` and `tensor_ops`; `path_generation` stays out
+//! until its CI medians prove stable).  `FRESH` defaults to
+//! `BENCH_inference.json`, the baseline to `tests/bench_baseline.json`.
+//! The gate fails (exit 1) when any benchmark's fresh median regresses
+//! more than [`THRESHOLD`]-fold against the baseline *after host-speed
 //! normalisation*; `--update` instead rewrites the baseline from the
-//! fresh file.
+//! merged fresh files.
 //!
 //! ## Threshold choice
 //!
@@ -41,25 +44,65 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let update = args.iter().any(|a| a == "--update");
     args.retain(|a| a != "--update");
-    let fresh_path = args.first().map(String::as_str).unwrap_or("BENCH_inference.json");
-    let base_path = args.get(1).map(String::as_str).unwrap_or("tests/bench_baseline.json");
-
-    let fresh = match parse_medians(fresh_path) {
-        Ok(v) => v,
-        Err(e) => {
-            eprintln!("bench_gate: cannot read fresh results {fresh_path}: {e}");
+    let base_path = match args.iter().position(|a| a == "--baseline") {
+        Some(at) => {
+            if at + 1 >= args.len() {
+                eprintln!("bench_gate: --baseline requires a path");
+                return ExitCode::FAILURE;
+            }
+            let path = args[at + 1].clone();
+            args.drain(at..=at + 1);
+            path
+        }
+        None => "tests/bench_baseline.json".to_string(),
+    };
+    if args.is_empty() {
+        if update {
+            // The baseline spans several bench targets; a defaulted
+            // `--update` would silently shrink it to the inference
+            // entries and the gate would stop covering the rest.
+            eprintln!(
+                "bench_gate: --update requires explicit fresh files so the merged \
+                 baseline keeps covering every gated bench target, e.g.\n\
+                 bench_gate: --update BENCH_inference.json BENCH_tensor_ops.json"
+            );
             return ExitCode::FAILURE;
         }
-    };
-    if fresh.is_empty() {
-        eprintln!("bench_gate: no benchmarks found in {fresh_path}");
-        return ExitCode::FAILURE;
+        args.push("BENCH_inference.json".to_string());
+    }
+
+    // Merge all fresh files; duplicate names across files are a config
+    // error (each bench target owns its label prefix).
+    let mut fresh: Vec<(String, f64)> = Vec::new();
+    for path in &args {
+        let parsed = match parse_medians(path) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench_gate: cannot read fresh results {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if parsed.is_empty() {
+            eprintln!("bench_gate: no benchmarks found in {path}");
+            return ExitCode::FAILURE;
+        }
+        for (name, ns) in parsed {
+            if fresh.iter().any(|(n, _)| *n == name) {
+                eprintln!("bench_gate: benchmark '{name}' appears in more than one fresh file");
+                return ExitCode::FAILURE;
+            }
+            fresh.push((name, ns));
+        }
     }
 
     if update {
-        return match std::fs::copy(fresh_path, base_path) {
-            Ok(_) => {
-                println!("bench_gate: baseline {base_path} updated from {fresh_path}");
+        return match write_medians(&base_path, &fresh) {
+            Ok(()) => {
+                println!(
+                    "bench_gate: baseline {base_path} updated from {} ({} benchmarks)",
+                    args.join(", "),
+                    fresh.len()
+                );
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -68,6 +111,7 @@ fn main() -> ExitCode {
             }
         };
     }
+    let base_path = base_path.as_str();
 
     let baseline = match parse_medians(base_path) {
         Ok(v) => v,
@@ -100,7 +144,10 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     if pairs.is_empty() {
-        eprintln!("bench_gate: no comparable benchmarks between {fresh_path} and {base_path}");
+        eprintln!(
+            "bench_gate: no comparable benchmarks between {} and {base_path}",
+            args.join(", ")
+        );
         return ExitCode::FAILURE;
     }
 
@@ -134,6 +181,20 @@ fn main() -> ExitCode {
     }
 }
 
+/// Write medians in the criterion shim's artifact format (the merged
+/// baseline `--update` produces).
+fn write_medians(path: &str, medians: &[(String, f64)]) -> std::io::Result<()> {
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, (name, ns)) in medians.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"median_ns\": {ns:.1} }}{}\n",
+            if i + 1 < medians.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
 /// Parse the criterion shim's JSON artifact: one
 /// `{ "name": "...", "median_ns": ... }` object per line.  Hand-rolled
 /// because the offline dependency set has no JSON crate — the format is
@@ -161,7 +222,21 @@ fn parse_medians(path: &str) -> Result<Vec<(String, f64)>, String> {
 
 #[cfg(test)]
 mod tests {
-    use super::parse_medians;
+    use super::{parse_medians, write_medians};
+
+    #[test]
+    fn write_then_parse_round_trips() {
+        let dir = std::env::temp_dir().join("bench_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("merged.json");
+        let medians = vec![
+            ("irn/score_next_batch_16".to_string(), 504866.0),
+            ("matmul/64".to_string(), 12345.5),
+        ];
+        write_medians(path.to_str().unwrap(), &medians).unwrap();
+        let parsed = parse_medians(path.to_str().unwrap()).unwrap();
+        assert_eq!(parsed, medians);
+    }
 
     #[test]
     fn parses_shim_artifact_format() {

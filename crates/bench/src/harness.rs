@@ -131,6 +131,31 @@ impl HarnessConfig {
             verbose: false,
         }
     }
+
+    /// IRN configuration derived from the harness configuration alone —
+    /// also the architecture key for loading saved `IRSP` models (e.g.
+    /// `irs serve` rebuilds it without training anything).  IRN gets a
+    /// larger training budget and learning rate than the baselines: it
+    /// must learn the objective conditioning on top of the next-item
+    /// signal (the paper trains IRN for 1–2 GPU-hours with lr 8e-3 and
+    /// plateau decay).
+    pub fn irn_config(&self) -> IrnConfig {
+        let mut train = self.train_cfg();
+        train.epochs += self.epochs;
+        train.lr = 3e-3;
+        IrnConfig {
+            dim: self.dim,
+            user_dim: 8,
+            layers: 2,
+            heads: 2,
+            max_len: self.max_len,
+            dropout: 0.1,
+            wt: 1.0,
+            mask_type: irs_core::MaskType::ObjectivePersonalized,
+            padding: irs_data::split::PaddingScheme::Pre,
+            train,
+        }
+    }
 }
 
 /// Item distance dispatch (the paper uses genre vectors on MovieLens and
@@ -166,16 +191,32 @@ pub struct Harness {
 }
 
 impl Harness {
-    /// Generate, preprocess, split and embed one dataset.
-    pub fn build(config: HarnessConfig) -> Self {
+    /// Generate and preprocess the synthetic dataset a configuration
+    /// describes — public so `irs serve` can rebuild the exact catalogue
+    /// (item/user counts are part of the snapshot architecture check)
+    /// without paying for the split and item2vec training.
+    pub fn synth_dataset(config: &HarnessConfig) -> Dataset {
         let synth_cfg = match config.kind {
             DatasetKind::LastfmLike => SynthConfig::lastfm_like(config.scale),
             DatasetKind::MovielensLike => SynthConfig::movielens_like(config.scale),
         };
         let out = generate(&synth_cfg);
         let pre_cfg = PreprocessConfig { min_count: 5, dedup_consecutive: true };
-        let dataset = preprocess_dataset(&out.dataset, &out.interactions, &pre_cfg);
+        preprocess_dataset(&out.dataset, &out.interactions, &pre_cfg)
+    }
 
+    /// Generate, preprocess, split and embed one synthetic dataset.
+    pub fn build(config: HarnessConfig) -> Self {
+        let dataset = Self::synth_dataset(&config);
+        Self::build_with_dataset(config, dataset)
+    }
+
+    /// Build the harness around an already-assembled dataset — the entry
+    /// point for real MovieLens/Lastfm dumps loaded through
+    /// `irs_data::loaders` (`irs train --ratings …`).  Splitting,
+    /// objective sampling and item2vec run exactly as for synthetic data;
+    /// `config.scale` is ignored (the dataset is whatever was loaded).
+    pub fn build_with_dataset(config: HarnessConfig, dataset: Dataset) -> Self {
         let split_cfg = SplitConfig {
             l_min: config.l_min,
             l_max: config.l_max,
@@ -316,26 +357,10 @@ impl Harness {
         )
     }
 
-    /// IRN configuration derived from the harness.  IRN gets a larger
-    /// training budget and learning rate than the baselines: it must learn
-    /// the objective conditioning on top of the next-item signal (the
-    /// paper trains IRN for 1–2 GPU-hours with lr 8e-3 and plateau decay).
+    /// IRN configuration derived from the harness (see
+    /// [`HarnessConfig::irn_config`]).
     pub fn irn_config(&self) -> IrnConfig {
-        let mut train = self.config.train_cfg();
-        train.epochs += self.config.epochs;
-        train.lr = 3e-3;
-        IrnConfig {
-            dim: self.config.dim,
-            user_dim: 8,
-            layers: 2,
-            heads: 2,
-            max_len: self.config.max_len,
-            dropout: 0.1,
-            wt: 1.0,
-            mask_type: irs_core::MaskType::ObjectivePersonalized,
-            padding: irs_data::split::PaddingScheme::Pre,
-            train,
-        }
+        self.config.irn_config()
     }
 
     /// Train IRN with optional config overrides (item2vec-initialised).

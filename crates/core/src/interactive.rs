@@ -87,6 +87,161 @@ impl SessionOutcome {
     }
 }
 
+/// The state machine of one interactive persuasion session.
+///
+/// Owns everything the drivers ([`run_interactive_session`],
+/// [`run_interactive_sessions`]) and the online serving subsystem
+/// (`irs_serve`) need between proposals: the accepted prefix, the
+/// per-step rejection blocklist, and the `accepted ⊕ rejected` virtual
+/// path shown to the recommender so rejected items are never proposed
+/// again.
+///
+/// Protocol: while [`InteractiveSession::is_done`] is false, ask the
+/// recommender for the next item of [`InteractiveSession::query`], then
+/// report the user's verdict with [`InteractiveSession::record`] (or
+/// [`InteractiveSession::record_give_up`] when the recommender returned
+/// `None`).  The session closes when the objective is accepted, the
+/// budget of `max_len` accepted items is reached, per-step patience is
+/// exhausted, or the recommender gives up.
+#[derive(Debug, Clone)]
+pub struct InteractiveSession {
+    user: UserId,
+    history: Vec<ItemId>,
+    objective: ItemId,
+    max_len: usize,
+    patience: usize,
+    accepted: Vec<ItemId>,
+    rejected: Vec<ItemId>,
+    proposals: usize,
+    step_rejections: usize,
+    reached_objective: bool,
+    /// `accepted ⊕ rejected`, the virtual path shown to the recommender.
+    virtual_path: Vec<ItemId>,
+    done: bool,
+}
+
+impl InteractiveSession {
+    /// Open a session for `user` with the given viewing history and
+    /// persuasion objective.  `max_len` bounds accepted items, `patience`
+    /// bounds consecutive rejections within one step.
+    pub fn new(
+        user: UserId,
+        history: Vec<ItemId>,
+        objective: ItemId,
+        max_len: usize,
+        patience: usize,
+    ) -> Self {
+        InteractiveSession {
+            user,
+            history,
+            objective,
+            max_len,
+            patience,
+            accepted: Vec::new(),
+            rejected: Vec::new(),
+            proposals: 0,
+            step_rejections: 0,
+            reached_objective: false,
+            virtual_path: Vec::new(),
+            done: max_len == 0,
+        }
+    }
+
+    /// The session's user.
+    pub fn user(&self) -> UserId {
+        self.user
+    }
+
+    /// The persuasion objective.
+    pub fn objective(&self) -> ItemId {
+        self.objective
+    }
+
+    /// The original viewing history.
+    pub fn history(&self) -> &[ItemId] {
+        &self.history
+    }
+
+    /// Items accepted so far (the realised influence path prefix).
+    pub fn accepted(&self) -> &[ItemId] {
+        &self.accepted
+    }
+
+    /// Items rejected so far, in proposal order.
+    pub fn rejected(&self) -> &[ItemId] {
+        &self.rejected
+    }
+
+    /// Whether the session is closed (objective reached, budget or
+    /// patience exhausted, or recommender gave up).
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The context the user decides against: `history ⊕ accepted`.
+    pub fn context(&self) -> Vec<ItemId> {
+        let mut c = self.history.clone();
+        c.extend_from_slice(&self.accepted);
+        c
+    }
+
+    /// The recommender query for the next proposal.  Must not be called on
+    /// a closed session (there is nothing left to ask).
+    pub fn query(&self) -> NextQuery<'_> {
+        debug_assert!(!self.done, "query() on a closed session");
+        NextQuery {
+            user: self.user,
+            history: &self.history,
+            objective: self.objective,
+            path: &self.virtual_path,
+        }
+    }
+
+    /// The recommender could not extend the path: close the session.
+    pub fn record_give_up(&mut self) {
+        self.done = true;
+    }
+
+    /// Record the user's verdict on a proposed `item` and advance the
+    /// state machine exactly as the offline drivers do.
+    pub fn record(&mut self, item: ItemId, accepted: bool) {
+        debug_assert!(!self.done, "record() on a closed session");
+        self.proposals += 1;
+        if accepted {
+            self.accepted.push(item);
+            self.step_rejections = 0;
+            if item == self.objective {
+                self.reached_objective = true;
+                self.done = true;
+            } else if self.accepted.len() >= self.max_len {
+                self.done = true;
+            } else {
+                self.virtual_path.clear();
+                self.virtual_path.extend_from_slice(&self.accepted);
+                self.virtual_path.extend_from_slice(&self.rejected);
+            }
+        } else {
+            self.rejected.push(item);
+            self.step_rejections += 1;
+            if self.step_rejections > self.patience {
+                self.done = true;
+            } else {
+                self.virtual_path.push(item);
+            }
+        }
+    }
+
+    /// Snapshot the session as a [`SessionOutcome`].
+    pub fn outcome(&self) -> SessionOutcome {
+        SessionOutcome {
+            accepted: self.accepted.clone(),
+            rejected: self.rejected.clone(),
+            reached_objective: self.reached_objective,
+            proposals: self.proposals,
+        }
+    }
+}
+
 /// Run an interactive persuasion session.
 ///
 /// At each step the recommender proposes the next path item for the
@@ -108,55 +263,18 @@ where
     R: InfluenceRecommender + ?Sized,
     U: UserModel + ?Sized,
 {
-    let mut accepted: Vec<ItemId> = Vec::new();
-    let mut rejected: Vec<ItemId> = Vec::new();
-    let mut proposals = 0usize;
-
-    'outer: while accepted.len() < max_len {
-        // The "virtual path" shown to the recommender contains accepted
-        // items plus this step's rejected proposals, so it never proposes
-        // a rejected item again.
-        let mut step_rejections = 0usize;
-        loop {
-            let mut virtual_path = accepted.clone();
-            virtual_path.extend_from_slice(&rejected);
-            let Some(item) = rec.next_item(user, history, objective, &virtual_path) else {
-                break 'outer;
-            };
-            proposals += 1;
-            let mut context = history.to_vec();
-            context.extend_from_slice(&accepted);
-            if user_model.accepts(user, &context, item) {
-                accepted.push(item);
-                if item == objective {
-                    return SessionOutcome {
-                        accepted,
-                        rejected,
-                        reached_objective: true,
-                        proposals,
-                    };
-                }
-                break;
-            }
-            rejected.push(item);
-            step_rejections += 1;
-            if step_rejections > patience {
-                break 'outer;
-            }
-        }
+    let mut session = InteractiveSession::new(user, history.to_vec(), objective, max_len, patience);
+    while !session.is_done() {
+        let q = session.query();
+        let Some(item) = rec.next_item(q.user, q.history, q.objective, q.path) else {
+            session.record_give_up();
+            break;
+        };
+        let context = session.context();
+        let verdict = user_model.accepts(user, &context, item);
+        session.record(item, verdict);
     }
-    SessionOutcome { accepted, rejected, reached_objective: false, proposals }
-}
-
-/// Per-session state of the lockstep driver.
-struct SessionState {
-    accepted: Vec<ItemId>,
-    rejected: Vec<ItemId>,
-    proposals: usize,
-    step_rejections: usize,
-    reached_objective: bool,
-    /// `accepted ⊕ rejected`, the virtual path shown to the recommender.
-    virtual_path: Vec<ItemId>,
+    session.outcome()
 }
 
 /// Run many interactive persuasion sessions in lockstep: each round every
@@ -179,76 +297,38 @@ where
     R: InfluenceRecommender + ?Sized,
     U: UserModel + ?Sized,
 {
-    let mut states: Vec<SessionState> = requests
+    let mut sessions: Vec<InteractiveSession> = requests
         .iter()
-        .map(|_| SessionState {
-            accepted: Vec::new(),
-            rejected: Vec::new(),
-            proposals: 0,
-            step_rejections: 0,
-            reached_objective: false,
-            virtual_path: Vec::new(),
+        .map(|r| {
+            InteractiveSession::new(r.user, r.history.to_vec(), r.objective, max_len, patience)
         })
         .collect();
     let mut live: Vec<usize> =
-        if max_len == 0 { Vec::new() } else { (0..requests.len()).collect() };
+        sessions.iter().enumerate().filter(|(_, s)| !s.is_done()).map(|(i, _)| i).collect();
 
     while !live.is_empty() {
         let answers = {
-            let queries: Vec<NextQuery<'_>> = live
-                .iter()
-                .map(|&i| NextQuery {
-                    user: requests[i].user,
-                    history: requests[i].history,
-                    objective: requests[i].objective,
-                    path: &states[i].virtual_path,
-                })
-                .collect();
+            let queries: Vec<NextQuery<'_>> = live.iter().map(|&i| sessions[i].query()).collect();
             rec.next_items(&queries)
         };
         let mut still_live = Vec::with_capacity(live.len());
         for (&i, answer) in live.iter().zip(answers) {
-            let req = &requests[i];
-            let s = &mut states[i];
+            let s = &mut sessions[i];
             let Some(item) = answer else {
-                continue; // recommender gave up: session over
+                s.record_give_up();
+                continue;
             };
-            s.proposals += 1;
-            let mut context = req.history.to_vec();
-            context.extend_from_slice(&s.accepted);
-            if user_model.accepts(req.user, &context, item) {
-                s.accepted.push(item);
-                s.step_rejections = 0;
-                if item == req.objective {
-                    s.reached_objective = true;
-                } else if s.accepted.len() < max_len {
-                    // The virtual path tracks accepted ⊕ rejected so far.
-                    s.virtual_path.clear();
-                    s.virtual_path.extend_from_slice(&s.accepted);
-                    s.virtual_path.extend_from_slice(&s.rejected);
-                    still_live.push(i);
-                }
-            } else {
-                s.rejected.push(item);
-                s.step_rejections += 1;
-                if s.step_rejections <= patience {
-                    s.virtual_path.push(item);
-                    still_live.push(i);
-                }
+            let context = s.context();
+            let verdict = user_model.accepts(s.user(), &context, item);
+            s.record(item, verdict);
+            if !s.is_done() {
+                still_live.push(i);
             }
         }
         live = still_live;
     }
 
-    states
-        .into_iter()
-        .map(|s| SessionOutcome {
-            accepted: s.accepted,
-            rejected: s.rejected,
-            reached_objective: s.reached_objective,
-            proposals: s.proposals,
-        })
-        .collect()
+    sessions.iter().map(InteractiveSession::outcome).collect()
 }
 
 #[cfg(test)]

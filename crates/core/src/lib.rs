@@ -94,8 +94,14 @@ pub(crate) mod rec_utils {
 
 pub use beam::{beam_search_path, BeamConfig};
 pub use interactive::run_interactive_sessions;
-pub use interactive::{run_interactive_session, SessionOutcome, ThresholdUser, UserModel};
+pub use interactive::{
+    run_interactive_session, InteractiveSession, SessionOutcome, ThresholdUser, UserModel,
+};
 pub use irn::{Irn, IrnConfig, MaskType};
+// Part of `IrnConfig`'s public surface; re-exported so downstream crates
+// (e.g. the serving subsystem) can build configs without a direct
+// `irs_baselines` dependency.
+pub use irs_baselines::NeuralTrainConfig;
 pub use kg::KgPf2Inf;
 pub use objective::{ObjectiveSet, SetObjectiveRecommender};
 pub use pf2inf::{PathAlgorithm, Pf2Inf};

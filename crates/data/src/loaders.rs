@@ -177,6 +177,58 @@ pub fn assemble_dataset(
     d
 }
 
+/// On-disk dump formats the CLI accepts via `--ratings`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RatingsFormat {
+    /// MovieLens-1M `ratings.dat` (`UserID::MovieID::Rating::Timestamp`),
+    /// optionally with `movies.dat` metadata.
+    MovielensDat,
+    /// HetRec-2011 Lastfm tab-separated log (header line tolerated).
+    LastfmTsv,
+}
+
+/// Load a real dataset dump from disk and assemble it with the standard
+/// preprocessing — the one-call path behind `irs train --ratings FILE`.
+/// `movies_path` attaches MovieLens metadata (titles + genres) and is
+/// ignored for the Lastfm format.  `skipped` counts malformed lines
+/// across all parsed files.
+pub fn load_dataset_from_files(
+    format: RatingsFormat,
+    ratings_path: &std::path::Path,
+    movies_path: Option<&std::path::Path>,
+    config: &crate::preprocess::PreprocessConfig,
+) -> std::io::Result<Loaded<Dataset>> {
+    use std::io::BufReader;
+    let ratings_file = BufReader::new(std::fs::File::open(ratings_path)?);
+    let name = ratings_path.file_stem().and_then(|s| s.to_str()).unwrap_or("ratings").to_string();
+    let (interactions, mut skipped) = match format {
+        RatingsFormat::MovielensDat => {
+            let loaded = load_movielens_ratings(ratings_file)?;
+            (loaded.records, loaded.skipped)
+        }
+        RatingsFormat::LastfmTsv => {
+            let loaded = load_lastfm_tsv(ratings_file)?;
+            (loaded.records, loaded.skipped)
+        }
+    };
+    let movies = match (format, movies_path) {
+        (RatingsFormat::MovielensDat, Some(path)) => {
+            let loaded = load_movielens_movies(BufReader::new(std::fs::File::open(path)?))?;
+            skipped += loaded.skipped;
+            Some(loaded.records)
+        }
+        _ => None,
+    };
+    if interactions.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("no parsable interactions in {}", ratings_path.display()),
+        ));
+    }
+    let dataset = assemble_dataset(&name, &interactions, movies.as_deref(), config);
+    Ok(Loaded { records: dataset, skipped })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +286,34 @@ not-a-line
         // Metadata carried over through re-indexing.
         let toy = (0..d.num_items).find(|&i| d.item_name(i).contains("Toy Story")).unwrap();
         assert_eq!(d.genre_label(toy), "Animation, Children, Comedy");
+    }
+
+    #[test]
+    fn load_dataset_from_files_end_to_end() {
+        let dir = std::env::temp_dir().join("irs_loaders_files_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ratings = dir.join("ratings.dat");
+        let movies = dir.join("movies.dat");
+        std::fs::write(&ratings, RATINGS).unwrap();
+        std::fs::write(&movies, MOVIES).unwrap();
+        let cfg = PreprocessConfig { min_count: 1, dedup_consecutive: false };
+        let loaded =
+            load_dataset_from_files(RatingsFormat::MovielensDat, &ratings, Some(&movies), &cfg)
+                .unwrap();
+        assert_eq!(loaded.skipped, 1, "the malformed ratings line is counted");
+        let d = loaded.records;
+        d.check_invariants().unwrap();
+        assert_eq!(d.num_users, 2);
+        assert!(d.item_names.iter().any(|n| n.contains("Toy Story")));
+
+        // Missing file surfaces as an io error, not a panic.
+        assert!(load_dataset_from_files(
+            RatingsFormat::LastfmTsv,
+            &dir.join("missing.tsv"),
+            None,
+            &cfg
+        )
+        .is_err());
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub use linear::{FeedForward, Linear};
 pub use norm::LayerNorm;
 pub use optim::{clip_grad_norm, Adam, Optimizer, ReduceLrOnPlateau, Sgd};
 pub use params::{FwdCtx, ParamId, ParamStore};
+pub use serialize::{irsp_summary, IrspRecord};
 pub use transformer::TransformerBlock;
 
 use irs_tensor::Var;

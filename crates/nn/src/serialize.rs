@@ -67,51 +67,21 @@ impl ParamStore {
     pub fn load_parameters<R: Read>(&mut self, mut reader: R) -> io::Result<()> {
         let mut raw = Vec::new();
         reader.read_to_end(&mut raw)?;
-        let mut buf = &raw[..];
-
-        let need = |buf: &&[u8], n: usize| -> io::Result<()> {
-            if buf.remaining() < n {
-                Err(err("truncated parameter file"))
-            } else {
-                Ok(())
-            }
-        };
-
-        need(&buf, 8)?;
-        let mut magic = [0u8; 4];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(err("not an IRSP parameter file"));
-        }
-        let version = buf.get_u32_le();
-        if version != VERSION {
-            return Err(err(format!("unsupported IRSP version {version}")));
-        }
-        need(&buf, 4)?;
-        let count = buf.get_u32_le() as usize;
-        if count != self.num_tensors() {
+        let mut records = IrspReader::new(&raw)?;
+        if records.count() != self.num_tensors() {
             return Err(err(format!(
-                "parameter count mismatch: file has {count}, model has {}",
+                "parameter count mismatch: file has {}, model has {}",
+                records.count(),
                 self.num_tensors()
             )));
         }
 
-        let mut loaded = vec![false; count];
-        for _ in 0..count {
-            need(&buf, 2)?;
-            let name_len = buf.get_u16_le() as usize;
-            need(&buf, name_len)?;
-            let mut name_bytes = vec![0u8; name_len];
-            buf.copy_to_slice(&mut name_bytes);
-            let name = String::from_utf8(name_bytes).map_err(|_| err("invalid UTF-8 name"))?;
-
-            need(&buf, 1)?;
-            let ndim = buf.get_u8() as usize;
-            need(&buf, 4 * ndim)?;
-            let shape: Vec<usize> = (0..ndim).map(|_| buf.get_u32_le() as usize).collect();
-            let numel: usize = shape.iter().product();
-            need(&buf, 4 * numel)?;
-            let data: Vec<f32> = (0..numel).map(|_| buf.get_f32_le()).collect();
+        let mut loaded = vec![false; records.count()];
+        while let Some((name, shape, payload)) = records.next_record()? {
+            let data: Vec<f32> = payload
+                .chunks_exact(4)
+                .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+                .collect();
 
             let id = self
                 .ids()
@@ -136,6 +106,104 @@ impl ParamStore {
         }
         Ok(())
     }
+}
+
+/// Streaming reader over an IRSP byte buffer — the single copy of the
+/// format grammar shared by [`ParamStore::load_parameters`] (which reads
+/// the weight payloads) and [`irsp_summary`] (which skips them).
+struct IrspReader<'a> {
+    buf: &'a [u8],
+    remaining: usize,
+    count: usize,
+}
+
+impl<'a> IrspReader<'a> {
+    /// Validate magic + version and read the record count.
+    fn new(raw: &'a [u8]) -> io::Result<IrspReader<'a>> {
+        let mut buf = raw;
+        Self::need(&buf, 12)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(err("not an IRSP parameter file"));
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(err(format!("unsupported IRSP version {version}")));
+        }
+        let count = buf.get_u32_le() as usize;
+        Ok(IrspReader { buf, remaining: count, count })
+    }
+
+    fn need(buf: &&[u8], n: usize) -> io::Result<()> {
+        if buf.remaining() < n {
+            Err(err("truncated parameter file"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Number of records the header declares.
+    fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The next `(name, shape, raw little-endian f32 payload)` record, or
+    /// `None` after the last one.
+    #[allow(clippy::type_complexity)]
+    fn next_record(&mut self) -> io::Result<Option<(String, Vec<usize>, &'a [u8])>> {
+        if self.remaining == 0 {
+            return Ok(None);
+        }
+        self.remaining -= 1;
+        let buf = &mut self.buf;
+        Self::need(buf, 2)?;
+        let name_len = buf.get_u16_le() as usize;
+        Self::need(buf, name_len)?;
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).map_err(|_| err("invalid UTF-8 name"))?;
+
+        Self::need(buf, 1)?;
+        let ndim = buf.get_u8() as usize;
+        Self::need(buf, 4 * ndim)?;
+        let shape: Vec<usize> = (0..ndim).map(|_| buf.get_u32_le() as usize).collect();
+        let numel: usize = shape.iter().product();
+        Self::need(buf, 4 * numel)?;
+        let payload = &buf[..4 * numel];
+        buf.advance(4 * numel);
+        Ok(Some((name, shape, payload)))
+    }
+}
+
+/// Summary of one parameter record in an IRSP file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrspRecord {
+    /// Parameter name.
+    pub name: String,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+}
+
+impl IrspRecord {
+    /// Number of scalars in this record.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+}
+
+/// Read the header and per-parameter metadata of an IRSP file without
+/// materialising the weights — what a serving frontend reports about a
+/// snapshot before (or instead of) loading it into a model.
+pub fn irsp_summary<R: Read>(mut reader: R) -> io::Result<Vec<IrspRecord>> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut records = IrspReader::new(&raw)?;
+    let mut out = Vec::with_capacity(records.count());
+    while let Some((name, shape, _payload)) = records.next_record()? {
+        out.push(IrspRecord { name, shape });
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -163,6 +231,21 @@ mod tests {
         for (a, b) in src.ids().zip(dst.ids()) {
             assert_eq!(src.value(a), dst.value(b));
         }
+    }
+
+    #[test]
+    fn summary_reports_names_and_shapes_without_loading() {
+        let src = sample_store(1);
+        let mut bytes = Vec::new();
+        src.save_parameters(&mut bytes).unwrap();
+        let records = irsp_summary(&bytes[..]).unwrap();
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], IrspRecord { name: "layer.w".into(), shape: vec![3, 4] });
+        assert_eq!(records[0].numel(), 12);
+        assert_eq!(records[2].name, "emb.table");
+
+        let truncated = &bytes[..bytes.len() - 3];
+        assert!(irsp_summary(truncated).is_err());
     }
 
     #[test]

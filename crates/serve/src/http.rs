@@ -1,0 +1,570 @@
+//! Minimal HTTP/1.1 JSON frontend on `std::net::TcpListener`.
+//!
+//! One thread per connection, `Connection: close` semantics, hand-rolled
+//! request parsing — deliberately the smallest server that can put the
+//! micro-batching engine behind a socket without third-party
+//! dependencies.  The protocol:
+//!
+//! | Route                           | Body → Reply |
+//! |---------------------------------|--------------|
+//! | `GET /healthz`                  | → `{ok, snapshot, version}` |
+//! | `GET /v1/stats`                 | → engine counters, session count, snapshot info |
+//! | `POST /v1/session`              | `{user, history, objective, max_len?, patience?}` → `{session_id}` |
+//! | `GET /v1/session/{id}`          | → session state summary |
+//! | `POST /v1/session/{id}/next`    | → `{item, done}` (blocks through the scheduler) |
+//! | `POST /v1/session/{id}/feedback`| `{item, accepted}` → `{done, reached_objective, …}` |
+//! | `DELETE /v1/session/{id}`       | → final outcome |
+//! | `POST /v1/admin/swap`           | `{path}` → `{version, label}` (hot-swap) |
+//! | `POST /v1/admin/shutdown`       | → `{ok}` and the accept loop exits |
+//!
+//! Item ids in requests are door-checked against the snapshot's
+//! catalogue (400 on out-of-range, instead of a panic deep in an
+//! embedding lookup).  User ids are deliberately *not* bounded: the IRN
+//! aliases unseen users into its trained table (`u % num_users`, the
+//! same cold-start rule its scalar reference path applies everywhere),
+//! so a brand-new user is served the impressionability profile of an
+//! existing one rather than rejected.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use irs_core::InteractiveSession;
+
+use crate::json::JsonValue;
+use crate::scheduler::Engine;
+use crate::session::SessionStore;
+use crate::snapshot::SnapshotLoader;
+
+/// Frontend configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Default accepted-items budget for new sessions.
+    pub max_len: usize,
+    /// Default per-step rejection patience for new sessions.
+    pub patience: usize,
+    /// Session-store shard count.
+    pub session_shards: usize,
+    /// Cap on live sessions; `POST /v1/session` answers 429 at the cap
+    /// (clients free slots with `DELETE /v1/session/{id}`).  Bounds the
+    /// memory abandoned sessions can pin until real TTL eviction lands
+    /// (ROADMAP follow-on).
+    pub max_sessions: usize,
+    /// Cap on concurrent connection-handler threads; excess connections
+    /// are answered 503 inline on the accept thread.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_len: 20,
+            patience: 3,
+            session_shards: 16,
+            max_sessions: 65_536,
+            max_connections: 256,
+        }
+    }
+}
+
+struct ServerState {
+    engine: Arc<Engine>,
+    sessions: SessionStore,
+    loader: Option<SnapshotLoader>,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    started: Instant,
+    /// Live connection-handler threads; joined before `run` returns so
+    /// in-flight responses (the shutdown 200 included) are written
+    /// before the process can exit.
+    handlers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// A bound (but not yet running) HTTP server.
+pub struct HttpServer {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// A handle for driving a running server from another thread (tests, the
+/// load generator): the bound address plus a way to request shutdown.
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+}
+
+impl ServerHandle {
+    /// The bound socket address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Ask the accept loop to exit (same effect as `POST
+    /// /v1/admin/shutdown`).
+    pub fn request_shutdown(&self) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        wake_listener(self.addr);
+    }
+}
+
+impl HttpServer {
+    /// Bind the frontend.  `loader` enables `POST /v1/admin/swap`; without
+    /// it the route answers 501.
+    pub fn bind(
+        addr: &str,
+        engine: Arc<Engine>,
+        loader: Option<SnapshotLoader>,
+        config: ServerConfig,
+    ) -> io::Result<HttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let state = Arc::new(ServerState {
+            engine,
+            sessions: SessionStore::new(config.session_shards),
+            loader,
+            config,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            handlers: parking_lot::Mutex::new(Vec::new()),
+        });
+        Ok(HttpServer { listener, state })
+    }
+
+    /// The bound address (use port 0 in `bind` for an ephemeral port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle usable from other threads while `run` blocks.
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle { addr: self.listener.local_addr()?, state: self.state.clone() })
+    }
+
+    /// Serve until a shutdown request arrives, then return.  The engine
+    /// is left running (the caller owns it and decides when to stop the
+    /// scheduler).
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.listener.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(mut stream) = stream else { continue };
+            let state = self.state.clone();
+            {
+                let mut handlers = state.handlers.lock();
+                // Bounded by concurrent connections: finished handles
+                // are pruned as new ones arrive, and connections beyond
+                // the cap are turned away inline instead of each taking
+                // a thread (and its read-timeout window) of their own.
+                handlers.retain(|h| !h.is_finished());
+                if handlers.len() >= state.config.max_connections {
+                    drop(handlers);
+                    let _ = write_response(
+                        &mut stream,
+                        503,
+                        &JsonValue::obj(vec![("error", JsonValue::from("server busy"))]),
+                    );
+                    continue;
+                }
+                let handle = {
+                    let state = state.clone();
+                    std::thread::spawn(move || {
+                        let _ = handle_connection(stream, &state, addr);
+                    })
+                };
+                handlers.push(handle);
+            }
+        }
+        // Drain in-flight handlers so every accepted request — the
+        // shutdown 200 included — gets its response before we return
+        // and the process can exit.
+        let handlers: Vec<_> = self.state.handlers.lock().drain(..).collect();
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+/// Unblock a listener waiting in `accept` after the shutdown flag is set.
+fn wake_listener(addr: SocketAddr) {
+    let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(200));
+}
+
+// ---------------------------------------------------------------------
+// Request plumbing
+// ---------------------------------------------------------------------
+
+const MAX_HEADER_BYTES: usize = 16 * 1024;
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Protocol errors carrying the HTTP status to answer with.
+struct HttpError {
+    status: u16,
+    message: String,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        HttpError { status, message: message.into() }
+    }
+
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self::new(400, message)
+    }
+
+    fn not_found(message: impl Into<String>) -> Self {
+        Self::new(404, message)
+    }
+}
+
+fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    // Hard cap on bytes read per request: without it a newline-free
+    // header line would grow the line buffer unboundedly — the per-line
+    // budget below only triggers once a line terminates.
+    let limit = (MAX_HEADER_BYTES + MAX_BODY_BYTES) as u64;
+    let mut reader = BufReader::new(Read::take(&mut *stream, limit));
+
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        return Ok(None); // peer closed without sending anything
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or_default().to_string();
+    let path = parts.next().unwrap_or_default().to_string();
+    if method.is_empty() || path.is_empty() {
+        return Ok(None);
+    }
+
+    let mut content_length = 0usize;
+    let mut header_bytes = request_line.len();
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(None);
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "header section too large"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().map_err(|_| {
+                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(Some(Request { method, path, body }))
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &JsonValue) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let payload = body.to_string();
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    )?;
+    stream.flush()
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    state: &Arc<ServerState>,
+    addr: SocketAddr,
+) -> io::Result<()> {
+    let Some(request) = read_request(&mut stream)? else {
+        return Ok(()); // wake-up / empty connection
+    };
+    let (status, body) = match route(&request, state, addr) {
+        Ok(value) => (200, value),
+        Err(e) => (e.status, JsonValue::obj(vec![("error", JsonValue::Str(e.message))])),
+    };
+    write_response(&mut stream, status, &body)
+}
+
+fn parse_body(request: &Request) -> Result<JsonValue, HttpError> {
+    if request.body.is_empty() {
+        return Ok(JsonValue::Obj(Vec::new()));
+    }
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
+    JsonValue::parse(text).map_err(|e| HttpError::bad_request(format!("invalid JSON: {e}")))
+}
+
+fn field_usize(body: &JsonValue, key: &str) -> Result<usize, HttpError> {
+    body.get(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| HttpError::bad_request(format!("missing or invalid '{key}'")))
+}
+
+fn route(
+    request: &Request,
+    state: &Arc<ServerState>,
+    addr: SocketAddr,
+) -> Result<JsonValue, HttpError> {
+    // Route on the path alone; query strings are accepted and ignored
+    // (health probes commonly append `?...`).
+    let path = request.path.split('?').next().unwrap_or("");
+    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let snap = state.engine.registry().current();
+            Ok(JsonValue::obj(vec![
+                ("ok", JsonValue::Bool(true)),
+                ("snapshot", JsonValue::Str(snap.label.clone())),
+                ("version", JsonValue::num(state.engine.registry().version() as usize)),
+            ]))
+        }
+        ("GET", ["v1", "stats"]) => Ok(stats_payload(state)),
+        ("POST", ["v1", "session"]) => create_session(request, state),
+        ("GET", ["v1", "session", id]) => {
+            let id = parse_session_id(id)?;
+            state
+                .sessions
+                .with(id, |s| session_payload(id, s))
+                .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))
+        }
+        ("POST", ["v1", "session", id, "next"]) => next_item(parse_session_id(id)?, state),
+        ("POST", ["v1", "session", id, "feedback"]) => {
+            feedback(parse_session_id(id)?, request, state)
+        }
+        ("DELETE", ["v1", "session", id]) => {
+            let id = parse_session_id(id)?;
+            let session = state
+                .sessions
+                .remove(id)
+                .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?;
+            Ok(session_payload(id, &session))
+        }
+        ("POST", ["v1", "admin", "swap"]) => swap_snapshot(request, state),
+        ("POST", ["v1", "admin", "shutdown"]) => {
+            state.shutdown.store(true, Ordering::SeqCst);
+            // Unblock the accept loop from a detached thread so the
+            // response reaches the client first.
+            std::thread::spawn(move || wake_listener(addr));
+            Ok(JsonValue::obj(vec![("ok", JsonValue::Bool(true))]))
+        }
+        // Known paths reached with the wrong verb are 405; everything
+        // else (typo'd routes included) is 404.
+        (_, ["healthz"])
+        | (_, ["v1", "stats"])
+        | (_, ["v1", "session"])
+        | (_, ["v1", "session", _])
+        | (_, ["v1", "session", _, "next" | "feedback"])
+        | (_, ["v1", "admin", "swap" | "shutdown"]) => {
+            Err(HttpError::new(405, "method not allowed"))
+        }
+        _ => Err(HttpError::not_found(format!("no route for {}", request.path))),
+    }
+}
+
+fn parse_session_id(raw: &str) -> Result<u64, HttpError> {
+    raw.parse().map_err(|_| HttpError::bad_request(format!("invalid session id '{raw}'")))
+}
+
+fn session_payload(id: u64, session: &InteractiveSession) -> JsonValue {
+    let outcome = session.outcome();
+    JsonValue::obj(vec![
+        ("session_id", JsonValue::num(id as usize)),
+        ("user", JsonValue::num(session.user())),
+        ("objective", JsonValue::num(session.objective())),
+        ("accepted", JsonValue::Arr(outcome.accepted.iter().map(|&i| JsonValue::num(i)).collect())),
+        ("rejected", JsonValue::Arr(outcome.rejected.iter().map(|&i| JsonValue::num(i)).collect())),
+        ("proposals", JsonValue::num(outcome.proposals)),
+        ("reached_objective", JsonValue::Bool(outcome.reached_objective)),
+        ("done", JsonValue::Bool(session.is_done())),
+    ])
+}
+
+fn stats_payload(state: &Arc<ServerState>) -> JsonValue {
+    let stats = state.engine.stats();
+    let snap = state.engine.registry().current();
+    let policy = state.engine.policy();
+    JsonValue::obj(vec![
+        ("requests", JsonValue::num(stats.requests as usize)),
+        ("batches", JsonValue::num(stats.batches as usize)),
+        ("mean_batch", JsonValue::Num(stats.mean_batch())),
+        ("gave_up", JsonValue::num(stats.gave_up as usize)),
+        ("sessions", JsonValue::num(state.sessions.len())),
+        ("snapshot", JsonValue::Str(snap.label.clone())),
+        ("snapshot_version", JsonValue::num(state.engine.registry().version() as usize)),
+        ("snapshot_params", JsonValue::num(snap.num_scalars())),
+        ("max_batch", JsonValue::num(policy.max_batch)),
+        ("max_wait_us", JsonValue::num(policy.max_wait.as_micros() as usize)),
+        ("workers", JsonValue::num(policy.workers)),
+        ("uptime_ms", JsonValue::num(state.started.elapsed().as_millis() as usize)),
+    ])
+}
+
+fn create_session(request: &Request, state: &Arc<ServerState>) -> Result<JsonValue, HttpError> {
+    // Best-effort cap (checked outside the shard locks): bounds the
+    // memory abandoned sessions can pin.
+    if state.sessions.len() >= state.config.max_sessions {
+        return Err(HttpError::new(
+            429,
+            format!(
+                "session limit {} reached; DELETE finished sessions",
+                state.config.max_sessions
+            ),
+        ));
+    }
+    let body = parse_body(request)?;
+    let user = field_usize(&body, "user")?;
+    let objective = field_usize(&body, "objective")?;
+    let history = body
+        .get("history")
+        .map(|h| h.as_usize_arr().ok_or_else(|| HttpError::bad_request("invalid 'history'")))
+        .transpose()?
+        .unwrap_or_default();
+    let max_len = body
+        .get("max_len")
+        .map(|v| v.as_usize().ok_or_else(|| HttpError::bad_request("invalid 'max_len'")))
+        .transpose()?
+        .unwrap_or(state.config.max_len);
+    let patience = body
+        .get("patience")
+        .map(|v| v.as_usize().ok_or_else(|| HttpError::bad_request("invalid 'patience'")))
+        .transpose()?
+        .unwrap_or(state.config.patience);
+
+    // Reject out-of-catalogue ids up front when the snapshot knows its
+    // catalogue (an in-range check at the door instead of a panic deep in
+    // an embedding lookup).
+    if let Some(n) = state.engine.registry().current().num_items {
+        if objective >= n {
+            return Err(HttpError::bad_request(format!(
+                "objective {objective} outside catalogue of {n} items"
+            )));
+        }
+        if let Some(&bad) = history.iter().find(|&&i| i >= n) {
+            return Err(HttpError::bad_request(format!(
+                "history item {bad} outside catalogue of {n} items"
+            )));
+        }
+    }
+
+    let id =
+        state.sessions.insert(InteractiveSession::new(user, history, objective, max_len, patience));
+    Ok(JsonValue::obj(vec![
+        ("session_id", JsonValue::num(id as usize)),
+        ("max_len", JsonValue::num(max_len)),
+        ("patience", JsonValue::num(patience)),
+    ]))
+}
+
+fn next_item(id: u64, state: &Arc<ServerState>) -> Result<JsonValue, HttpError> {
+    // Clone the query state under the shard lock, release it for the
+    // (blocking) scheduler round-trip, then reacquire only if the
+    // recommender gave up.
+    let query = state
+        .sessions
+        .with(id, |s| {
+            if s.is_done() {
+                None
+            } else {
+                let q = s.query();
+                Some((q.user, q.history.to_vec(), q.objective, q.path.to_vec()))
+            }
+        })
+        .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?;
+    let Some((user, history, objective, path)) = query else {
+        return Ok(JsonValue::obj(vec![
+            ("item", JsonValue::Null),
+            ("done", JsonValue::Bool(true)),
+        ]));
+    };
+    let answer = state.engine.next_item(user, history, objective, path);
+    match answer {
+        Some(item) => Ok(JsonValue::obj(vec![
+            ("item", JsonValue::num(item)),
+            ("done", JsonValue::Bool(false)),
+        ])),
+        None => {
+            state.sessions.with(id, |s| {
+                if !s.is_done() {
+                    s.record_give_up();
+                }
+            });
+            Ok(JsonValue::obj(vec![("item", JsonValue::Null), ("done", JsonValue::Bool(true))]))
+        }
+    }
+}
+
+fn feedback(id: u64, request: &Request, state: &Arc<ServerState>) -> Result<JsonValue, HttpError> {
+    let body = parse_body(request)?;
+    let item = field_usize(&body, "item")?;
+    let accepted = body
+        .get("accepted")
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| HttpError::bad_request("missing or invalid 'accepted'"))?;
+    // Same door-check as session creation: a recorded item enters the
+    // session's virtual path and reaches embedding lookups on the next
+    // proposal, so out-of-catalogue ids are rejected here, not deep in a
+    // forward pass.
+    if let Some(n) = state.engine.registry().current().num_items {
+        if item >= n {
+            return Err(HttpError::bad_request(format!(
+                "item {item} outside catalogue of {n} items"
+            )));
+        }
+    }
+    state
+        .sessions
+        .with(id, |s| {
+            if s.is_done() {
+                return Err(HttpError::bad_request(format!("session {id} is already closed")));
+            }
+            s.record(item, accepted);
+            Ok(session_payload(id, s))
+        })
+        .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?
+}
+
+fn swap_snapshot(request: &Request, state: &Arc<ServerState>) -> Result<JsonValue, HttpError> {
+    let Some(loader) = &state.loader else {
+        return Err(HttpError::new(501, "snapshot loading not configured on this server"));
+    };
+    let body = parse_body(request)?;
+    let path = body
+        .get("path")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| HttpError::bad_request("missing or invalid 'path'"))?;
+    let snapshot =
+        loader(path).map_err(|e| HttpError::bad_request(format!("cannot load {path}: {e}")))?;
+    let label = snapshot.label.clone();
+    let version = state.engine.registry().swap(snapshot);
+    Ok(JsonValue::obj(vec![
+        ("version", JsonValue::num(version as usize)),
+        ("label", JsonValue::Str(label)),
+    ]))
+}

@@ -1,0 +1,47 @@
+//! # irs_serve — online recommendation serving
+//!
+//! The paper's IRN is an *interactive* recommender: it re-plans a
+//! persuasion path step by step as the user accepts or rejects items.
+//! This crate turns the offline engines built for that protocol
+//! (`Irn::score_next_batch`, `InfluenceRecommender::next_items`) into an
+//! online service for concurrent live traffic:
+//!
+//! * [`SessionStore`] — a sharded concurrent map of per-user
+//!   [`irs_core::InteractiveSession`] state (history ⊕ accepted path,
+//!   objective, rejection blocklist);
+//! * [`Engine`] — a **dynamic micro-batching scheduler**: worker threads
+//!   drain a bounded request queue under a max-batch-size / max-wait
+//!   policy and coalesce concurrent `next_item` requests from different
+//!   sessions into single batched [`InfluenceRecommender::next_items`]
+//!   calls, sharing one PIM cache per model snapshot;
+//! * [`SnapshotRegistry`] — atomically hot-swappable model snapshots
+//!   loaded from `IRSP` files through the architecture-checked
+//!   `ParamStore::load_parameters` path, so a running server picks up a
+//!   retrained model without restart;
+//! * [`HttpServer`] — a minimal HTTP/1.1 JSON frontend on
+//!   `std::net::TcpListener` (no third-party dependencies).
+//!
+//! ## Why micro-batching is safe
+//!
+//! The scheduler regroups requests arbitrarily: which sessions share a
+//! forward pass depends on arrival timing.  That is unobservable in the
+//! recommendations because the workspace's batched≡scalar contract makes
+//! every batched score *bitwise* identical to the scalar graph path —
+//! batch composition cannot leak into the results.  The scheduler-level
+//! property tests in `tests/scheduler_properties.rs` pin this end to end:
+//! random session mixes and arrival orders produce exactly the
+//! recommendations per-session scalar `next_item` calls produce.
+//!
+//! [`InfluenceRecommender::next_items`]: irs_core::InfluenceRecommender::next_items
+
+mod http;
+mod json;
+mod scheduler;
+mod session;
+mod snapshot;
+
+pub use http::{HttpServer, ServerConfig, ServerHandle};
+pub use json::JsonValue;
+pub use scheduler::{BatchPolicy, Engine, StatsSnapshot};
+pub use session::{SessionId, SessionStore};
+pub use snapshot::{IrnArchitecture, ModelSnapshot, SnapshotLoader, SnapshotRegistry};

@@ -1,0 +1,437 @@
+//! Dynamic micro-batching scheduler.
+//!
+//! Concurrent `next_item` requests from different sessions land in one
+//! bounded queue; worker threads drain it under a *max-batch-size /
+//! max-wait* policy — a worker takes the first available request, then
+//! keeps collecting until the batch is full or the wait budget since the
+//! first pop is spent — and answer every request in the batch with a
+//! single [`InfluenceRecommender::next_items`] call against the current
+//! model snapshot.
+//!
+//! The policy trades latency for throughput explicitly: `max_wait` is the
+//! most latency a request can pay to find co-travellers; `max_batch`
+//! bounds the forward-pass size.  Under load the queue never drains
+//! between pops, so batches fill instantly and the wait budget is never
+//! charged; at low load a request waits at most `max_wait` before
+//! travelling alone — `BatchPolicy { max_batch: 1, .. }` degenerates to
+//! no batching (the baseline configuration `serve_load --compare`
+//! measures against).
+//!
+//! Batch composition is unobservable in the answers (the batched≡scalar
+//! bitwise contract), so regrouping requests by arrival timing is safe.
+//!
+//! [`InfluenceRecommender::next_items`]: irs_core::InfluenceRecommender::next_items
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use irs_core::NextQuery;
+use irs_data::{ItemId, UserId};
+
+use crate::snapshot::SnapshotRegistry;
+
+/// Micro-batching knobs.
+#[derive(Debug, Clone)]
+pub struct BatchPolicy {
+    /// Largest coalesced batch (1 disables batching).
+    pub max_batch: usize,
+    /// Longest a worker waits for co-travellers after the first request
+    /// of a batch arrives.
+    pub max_wait: Duration,
+    /// Scheduler worker threads draining the queue.
+    pub workers: usize,
+    /// Bound on queued requests; producers block when it is reached
+    /// (backpressure instead of unbounded memory growth).
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy {
+            max_batch: 16,
+            max_wait: Duration::from_micros(500),
+            workers: 2,
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// One queued scoring request: the session state needed to build a
+/// [`NextQuery`], plus the channel the answer travels back on.
+struct ScoreRequest {
+    user: UserId,
+    history: Vec<ItemId>,
+    objective: ItemId,
+    path: Vec<ItemId>,
+    reply: mpsc::Sender<Option<ItemId>>,
+}
+
+struct QueueInner {
+    requests: VecDeque<ScoreRequest>,
+    shutdown: bool,
+}
+
+struct SharedQueue {
+    inner: Mutex<QueueInner>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// Aggregate serving counters (all monotonic).
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    batches: AtomicU64,
+    gave_up: AtomicU64,
+}
+
+/// A point-in-time copy of the engine counters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests answered.
+    pub requests: u64,
+    /// Batched forward passes issued.
+    pub batches: u64,
+    /// Requests the recommender could not extend a path for.
+    pub gave_up: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean coalesced batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+}
+
+/// The micro-batching engine: a bounded request queue plus worker threads
+/// scoring coalesced batches against [`SnapshotRegistry::current`].
+pub struct Engine {
+    queue: Arc<SharedQueue>,
+    registry: Arc<SnapshotRegistry>,
+    stats: Arc<Stats>,
+    policy: BatchPolicy,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Spawn the scheduler's worker threads.
+    pub fn start(registry: Arc<SnapshotRegistry>, policy: BatchPolicy) -> Self {
+        assert!(policy.max_batch >= 1, "max_batch must be at least 1");
+        assert!(policy.workers >= 1, "at least one worker is required");
+        assert!(policy.queue_capacity >= 1, "queue capacity must be at least 1");
+        let queue = Arc::new(SharedQueue {
+            inner: Mutex::new(QueueInner { requests: VecDeque::new(), shutdown: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: policy.queue_capacity,
+        });
+        let stats = Arc::new(Stats::default());
+        let workers = (0..policy.workers)
+            .map(|_| {
+                let queue = queue.clone();
+                let registry = registry.clone();
+                let stats = stats.clone();
+                let policy = policy.clone();
+                std::thread::spawn(move || worker_loop(&queue, &registry, &stats, &policy))
+            })
+            .collect();
+        Engine { queue, registry, stats, policy, workers: Mutex::new(workers) }
+    }
+
+    /// The snapshot registry this engine scores against.
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.registry
+    }
+
+    /// The batching policy the engine runs under.
+    pub fn policy(&self) -> &BatchPolicy {
+        &self.policy
+    }
+
+    /// Submit one request and block until the scheduler answers it.
+    /// Returns `None` when the recommender cannot extend the path or the
+    /// engine is shutting down.
+    pub fn next_item(
+        &self,
+        user: UserId,
+        history: Vec<ItemId>,
+        objective: ItemId,
+        path: Vec<ItemId>,
+    ) -> Option<ItemId> {
+        let (reply, rx) = mpsc::channel();
+        {
+            let mut inner = self.queue.inner.lock().expect("serve queue poisoned");
+            while inner.requests.len() >= self.queue.capacity && !inner.shutdown {
+                inner = self.queue.not_full.wait(inner).expect("serve queue poisoned");
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner.requests.push_back(ScoreRequest { user, history, objective, path, reply });
+        }
+        self.queue.not_empty.notify_one();
+        // A dropped sender (shutdown racing the submit) answers `None`.
+        rx.recv().unwrap_or(None)
+    }
+
+    /// One scheduling round-trip for a live session: clone its query
+    /// state and block for the batched answer.  Feed the result back
+    /// with [`InteractiveSession::record`] /
+    /// [`InteractiveSession::record_give_up`] (the session stays with
+    /// the caller — under a store lock, on a client thread, wherever).
+    ///
+    /// [`InteractiveSession::record`]: irs_core::InteractiveSession::record
+    /// [`InteractiveSession::record_give_up`]: irs_core::InteractiveSession::record_give_up
+    pub fn propose(&self, session: &irs_core::InteractiveSession) -> Option<ItemId> {
+        let q = session.query();
+        self.next_item(q.user, q.history.to_vec(), q.objective, q.path.to_vec())
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            batches: self.stats.batches.load(Ordering::Relaxed),
+            gave_up: self.stats.gave_up.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drain the queue, stop the workers and join them (idempotent).
+    /// Queued requests are still answered; requests submitted after
+    /// shutdown get `None`.
+    pub fn shutdown(&self) {
+        {
+            let mut inner = self.queue.inner.lock().expect("serve queue poisoned");
+            inner.shutdown = true;
+        }
+        self.queue.not_empty.notify_all();
+        self.queue.not_full.notify_all();
+        let handles: Vec<_> =
+            self.workers.lock().expect("worker list poisoned").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Collect one micro-batch: block for the first request, then keep
+/// taking until the batch is full or `max_wait` since the first pop has
+/// elapsed.  Returns `None` when the engine shut down and the queue is
+/// drained.
+fn collect_batch(queue: &SharedQueue, policy: &BatchPolicy) -> Option<Vec<ScoreRequest>> {
+    let mut inner = queue.inner.lock().expect("serve queue poisoned");
+    loop {
+        if let Some(first) = inner.requests.pop_front() {
+            queue.not_full.notify_one();
+            let mut batch = vec![first];
+            let deadline = Instant::now() + policy.max_wait;
+            while batch.len() < policy.max_batch {
+                if let Some(req) = inner.requests.pop_front() {
+                    queue.not_full.notify_one();
+                    batch.push(req);
+                    continue;
+                }
+                if inner.shutdown {
+                    break; // don't charge the wait budget during drain
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = queue
+                    .not_empty
+                    .wait_timeout(inner, deadline - now)
+                    .expect("serve queue poisoned");
+                inner = guard;
+                if timeout.timed_out() && inner.requests.is_empty() {
+                    break;
+                }
+            }
+            return Some(batch);
+        }
+        if inner.shutdown {
+            return None;
+        }
+        inner = queue.not_empty.wait(inner).expect("serve queue poisoned");
+    }
+}
+
+fn worker_loop(
+    queue: &SharedQueue,
+    registry: &SnapshotRegistry,
+    stats: &Stats,
+    policy: &BatchPolicy,
+) {
+    while let Some(batch) = collect_batch(queue, policy) {
+        // One snapshot per batch: every request in it is scored by the
+        // same model even if a hot-swap lands mid-flight.
+        let snapshot = registry.current();
+        // Panic isolation: a model panic (bad input reaching an
+        // embedding lookup, a future model bug) must not kill the worker
+        // — one dead worker silently halves capacity and once all are
+        // gone every submitter blocks forever.  The poisoned batch is
+        // answered `None`; the worker lives on.
+        let answers = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let queries: Vec<NextQuery<'_>> = batch
+                .iter()
+                .map(|r| NextQuery {
+                    user: r.user,
+                    history: &r.history,
+                    objective: r.objective,
+                    path: &r.path,
+                })
+                .collect();
+            snapshot.model.next_items(&queries)
+        }))
+        .unwrap_or_else(|_| {
+            eprintln!(
+                "irs_serve: model panicked scoring a batch of {}; answering None",
+                batch.len()
+            );
+            vec![None; batch.len()]
+        });
+        stats.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        stats.batches.fetch_add(1, Ordering::Relaxed);
+        stats
+            .gave_up
+            .fetch_add(answers.iter().filter(|a| a.is_none()).count() as u64, Ordering::Relaxed);
+        for (req, answer) in batch.into_iter().zip(answers) {
+            // A disconnected receiver (client gave up) is not an error.
+            let _ = req.reply.send(answer);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ModelSnapshot;
+    use irs_core::InfluenceRecommender;
+
+    /// Deterministic stand-in: answers `base + path.len()`, unless the
+    /// objective is reachable.
+    struct Walker {
+        base: ItemId,
+    }
+
+    impl InfluenceRecommender for Walker {
+        fn name(&self) -> String {
+            "walker".into()
+        }
+        fn next_item(
+            &self,
+            _user: UserId,
+            _history: &[ItemId],
+            objective: ItemId,
+            path: &[ItemId],
+        ) -> Option<ItemId> {
+            let next = self.base + path.len();
+            (next <= objective).then_some(next)
+        }
+    }
+
+    fn engine(policy: BatchPolicy) -> Engine {
+        let registry = Arc::new(SnapshotRegistry::new(ModelSnapshot::in_memory(
+            "walker",
+            Box::new(Walker { base: 10 }),
+        )));
+        Engine::start(registry, policy)
+    }
+
+    #[test]
+    fn answers_match_the_scalar_recommender() {
+        let eng = engine(BatchPolicy::default());
+        assert_eq!(eng.next_item(0, vec![1], 99, vec![]), Some(10));
+        assert_eq!(eng.next_item(0, vec![1], 99, vec![10, 11]), Some(12));
+        assert_eq!(eng.next_item(0, vec![1], 5, vec![]), None, "unreachable objective");
+        let stats = eng.stats();
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.gave_up, 1);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn concurrent_requests_coalesce_into_batches() {
+        let eng = Arc::new(engine(BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_millis(50),
+            workers: 1,
+            queue_capacity: 64,
+        }));
+        let mut handles = Vec::new();
+        for t in 0..16usize {
+            let eng = eng.clone();
+            handles.push(std::thread::spawn(move || eng.next_item(t, vec![t], 99, vec![])));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(10));
+        }
+        let stats = eng.stats();
+        assert_eq!(stats.requests, 16);
+        assert!(
+            stats.batches < 16,
+            "16 concurrent requests with a 50ms window must share batches (got {})",
+            stats.batches
+        );
+        eng.shutdown();
+    }
+
+    #[test]
+    fn batch_size_one_still_answers_everything() {
+        let eng = Arc::new(engine(BatchPolicy {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            workers: 2,
+            queue_capacity: 4, // force backpressure too
+        }));
+        let mut handles = Vec::new();
+        for t in 0..12usize {
+            let eng = eng.clone();
+            handles.push(std::thread::spawn(move || eng.next_item(t, vec![], 99, vec![])));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(10));
+        }
+        let stats = eng.stats();
+        assert_eq!(stats.requests, 12);
+        assert_eq!(stats.batches, 12, "max_batch 1 must never coalesce");
+        eng.shutdown();
+    }
+
+    #[test]
+    fn shutdown_answers_queued_requests_and_rejects_new_ones() {
+        let eng = engine(BatchPolicy::default());
+        assert_eq!(eng.next_item(0, vec![], 99, vec![]), Some(10));
+        eng.shutdown();
+        // A fresh engine whose queue is already shut down answers None.
+        let eng = engine(BatchPolicy::default());
+        {
+            let mut inner = eng.queue.inner.lock().unwrap();
+            inner.shutdown = true;
+        }
+        assert_eq!(eng.next_item(0, vec![], 99, vec![]), None);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn mean_batch_reflects_coalescing() {
+        let s = StatsSnapshot { requests: 12, batches: 3, gave_up: 0 };
+        assert!((s.mean_batch() - 4.0).abs() < 1e-12);
+        let empty = StatsSnapshot { requests: 0, batches: 0, gave_up: 0 };
+        assert_eq!(empty.mean_batch(), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Sharded concurrent session store.
+//!
+//! Sessions are the per-user state [`irs_core::run_interactive_session`]
+//! used to own internally: the accepted path prefix, the rejection
+//! blocklist and the `accepted ⊕ rejected` virtual path.  The store
+//! shards them by id across independently locked maps so concurrent
+//! request handlers for different sessions rarely contend, while one
+//! session's transitions stay serialised behind its shard lock.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use irs_core::InteractiveSession;
+use parking_lot::Mutex;
+
+/// Opaque session identifier handed to clients.
+pub type SessionId = u64;
+
+/// A sharded `SessionId → InteractiveSession` map.
+pub struct SessionStore {
+    shards: Vec<Mutex<HashMap<SessionId, InteractiveSession>>>,
+    next_id: AtomicU64,
+}
+
+impl SessionStore {
+    /// Create a store with `num_shards` independent shards (rounded up to
+    /// at least 1).
+    pub fn new(num_shards: usize) -> Self {
+        let n = num_shards.max(1);
+        SessionStore {
+            shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    fn shard(&self, id: SessionId) -> &Mutex<HashMap<SessionId, InteractiveSession>> {
+        // Ids are sequential; a multiplicative hash spreads neighbouring
+        // sessions across shards (Fibonacci hashing).
+        let h = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    /// Insert a new session and return its id.
+    pub fn insert(&self, session: InteractiveSession) -> SessionId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.shard(id).lock().insert(id, session);
+        id
+    }
+
+    /// Run `f` on the session under its shard lock.  `None` when the id
+    /// is unknown (expired or never issued).
+    pub fn with<T>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut InteractiveSession) -> T,
+    ) -> Option<T> {
+        self.shard(id).lock().get_mut(&id).map(f)
+    }
+
+    /// Remove a session, returning its final state.
+    pub fn remove(&self, id: SessionId) -> Option<InteractiveSession> {
+        self.shard(id).lock().remove(&id)
+    }
+
+    /// Number of live sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no sessions are live.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn session(user: usize) -> InteractiveSession {
+        InteractiveSession::new(user, vec![1, 2], 9, 10, 3)
+    }
+
+    #[test]
+    fn insert_with_remove_round_trip() {
+        let store = SessionStore::new(4);
+        let a = store.insert(session(0));
+        let b = store.insert(session(1));
+        assert_ne!(a, b);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.with(a, |s| s.user()), Some(0));
+        assert_eq!(store.with(b, |s| s.user()), Some(1));
+        store.with(a, |s| s.record(5, true));
+        assert_eq!(store.with(a, |s| s.accepted().to_vec()), Some(vec![5]));
+        let removed = store.remove(a).unwrap();
+        assert_eq!(removed.accepted(), &[5]);
+        assert!(store.with(a, |_| ()).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn unknown_ids_are_none() {
+        let store = SessionStore::new(2);
+        assert!(store.with(99, |_| ()).is_none());
+        assert!(store.remove(99).is_none());
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_inserts_get_unique_ids() {
+        let store = std::sync::Arc::new(SessionStore::new(8));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..50).map(|_| store.insert(session(t))).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<SessionId> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 200, "ids must be unique across threads");
+        assert_eq!(store.len(), 200);
+    }
+}

@@ -1,0 +1,213 @@
+//! Model snapshot registry with atomic hot-swap.
+//!
+//! A [`ModelSnapshot`] owns one immutable trained recommender plus its
+//! metadata.  For IRN snapshots the model's PIM cache (shared base mask +
+//! per-user `r_u`) lives *inside* the model, so every request scheduled
+//! against a snapshot shares one cache, and swapping snapshots swaps the
+//! cache with the weights — no stale-mask hazard.
+//!
+//! [`SnapshotRegistry::swap`] publishes a new snapshot atomically: the
+//! scheduler grabs `current()` once per micro-batch, so a batch is always
+//! scored by exactly one snapshot, and in-flight batches finish on the
+//! snapshot they started with (the `Arc` keeps it alive until the last
+//! batch drops it).
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use irs_core::{InfluenceRecommender, Irn, IrnConfig};
+use irs_nn::IrspRecord;
+use parking_lot::RwLock;
+
+/// The recommender trait object a snapshot serves.
+pub type ServedModel = Box<dyn InfluenceRecommender + Send + Sync>;
+
+/// One immutable model snapshot.
+pub struct ModelSnapshot {
+    /// Operator-facing label (e.g. the source file name).
+    pub label: String,
+    /// The served model.
+    pub model: ServedModel,
+    /// IRSP parameter summary when loaded from a file (empty for
+    /// in-memory models).
+    pub params: Vec<IrspRecord>,
+    /// Catalogue size when known — lets the frontend reject requests with
+    /// out-of-catalogue item ids before they reach an embedding lookup.
+    pub num_items: Option<usize>,
+}
+
+impl ModelSnapshot {
+    /// Wrap an in-memory recommender (tests, load generators).
+    pub fn in_memory(label: impl Into<String>, model: ServedModel) -> Self {
+        ModelSnapshot { label: label.into(), model, params: Vec::new(), num_items: None }
+    }
+
+    /// Wrap an in-memory recommender over a known catalogue size.
+    pub fn in_memory_with_catalogue(
+        label: impl Into<String>,
+        model: ServedModel,
+        num_items: usize,
+    ) -> Self {
+        ModelSnapshot { label: label.into(), model, params: Vec::new(), num_items: Some(num_items) }
+    }
+
+    /// Total scalar parameter count of the snapshot.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(IrspRecord::numel).sum()
+    }
+}
+
+/// Everything needed to materialise IRN snapshots from `IRSP` files: the
+/// architecture is fixed at server start, and every swap is checked
+/// against it (name/shape matching in `ParamStore::load_parameters`), so
+/// a mismatched file is rejected instead of served.
+#[derive(Clone)]
+pub struct IrnArchitecture {
+    /// Catalogue size the model was trained for.
+    pub num_items: usize,
+    /// User count the model was trained for.
+    pub num_users: usize,
+    /// Model hyperparameters.
+    pub config: IrnConfig,
+}
+
+impl IrnArchitecture {
+    /// Load an `IRSP` file into a fresh model of this architecture.
+    pub fn load_snapshot(&self, path: &str) -> io::Result<ModelSnapshot> {
+        let bytes = std::fs::read(path)?;
+        let params = irs_nn::irsp_summary(&bytes[..])?;
+        let model = Irn::load(&bytes[..], self.num_items, self.num_users, &self.config)?;
+        Ok(ModelSnapshot {
+            label: path.to_string(),
+            model: Box::new(model),
+            params,
+            num_items: Some(self.num_items),
+        })
+    }
+}
+
+/// A function that turns a snapshot path into a loaded [`ModelSnapshot`]
+/// (the HTTP frontend's hot-swap hook; [`IrnArchitecture::load_snapshot`]
+/// is the standard implementation).
+pub type SnapshotLoader = Arc<dyn Fn(&str) -> io::Result<ModelSnapshot> + Send + Sync>;
+
+/// Atomically swappable registry of the currently served snapshot.
+pub struct SnapshotRegistry {
+    current: RwLock<Arc<ModelSnapshot>>,
+    version: AtomicU64,
+    swaps: AtomicU64,
+}
+
+impl SnapshotRegistry {
+    /// Create a registry serving `initial` as version 1.
+    pub fn new(initial: ModelSnapshot) -> Self {
+        SnapshotRegistry {
+            current: RwLock::new(Arc::new(initial)),
+            version: AtomicU64::new(1),
+            swaps: AtomicU64::new(0),
+        }
+    }
+
+    /// The currently served snapshot (cheap `Arc` clone under a read
+    /// lock; the lock is never held across a forward pass).
+    pub fn current(&self) -> Arc<ModelSnapshot> {
+        self.current.read().clone()
+    }
+
+    /// Publish a new snapshot; returns the new version number.
+    pub fn swap(&self, snapshot: ModelSnapshot) -> u64 {
+        let mut slot = self.current.write();
+        *slot = Arc::new(snapshot);
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        self.version.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Version of the current snapshot (1 for the initial model, +1 per
+    /// swap).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::Relaxed)
+    }
+
+    /// Number of completed hot-swaps.
+    pub fn swap_count(&self) -> u64 {
+        self.swaps.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use irs_data::{ItemId, UserId};
+
+    struct Fixed(ItemId);
+    impl InfluenceRecommender for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn next_item(
+            &self,
+            _user: UserId,
+            _history: &[ItemId],
+            _objective: ItemId,
+            _path: &[ItemId],
+        ) -> Option<ItemId> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn swap_publishes_atomically_and_bumps_version() {
+        let reg = SnapshotRegistry::new(ModelSnapshot::in_memory("v1", Box::new(Fixed(1))));
+        assert_eq!(reg.version(), 1);
+        let before = reg.current();
+        assert_eq!(before.model.next_item(0, &[], 9, &[]), Some(1));
+
+        let v = reg.swap(ModelSnapshot::in_memory("v2", Box::new(Fixed(2))));
+        assert_eq!(v, 2);
+        assert_eq!(reg.version(), 2);
+        assert_eq!(reg.swap_count(), 1);
+        // The old Arc still answers with the old model (in-flight batches
+        // finish on the snapshot they started with).
+        assert_eq!(before.model.next_item(0, &[], 9, &[]), Some(1));
+        assert_eq!(reg.current().model.next_item(0, &[], 9, &[]), Some(2));
+        assert_eq!(reg.current().label, "v2");
+    }
+
+    #[test]
+    fn irn_architecture_round_trips_and_rejects_mismatch() {
+        use irs_data::split::SubSeq;
+        let seqs: Vec<SubSeq> = (0..8)
+            .map(|s| SubSeq { user: s % 3, items: (0..6).map(|k| (s + k) % 8).collect() })
+            .collect();
+        let train = irs_core::NeuralTrainConfig { epochs: 1, ..Default::default() };
+        let config = IrnConfig {
+            dim: 8,
+            user_dim: 4,
+            layers: 1,
+            heads: 2,
+            max_len: 8,
+            train,
+            ..Default::default()
+        };
+        let model = Irn::fit(&seqs, &[], 8, 3, &config, None);
+        let dir = std::env::temp_dir().join("irs_serve_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.irsp");
+        model.save(std::fs::File::create(&path).unwrap()).unwrap();
+
+        let arch = IrnArchitecture { num_items: 8, num_users: 3, config: config.clone() };
+        let snap = arch.load_snapshot(path.to_str().unwrap()).unwrap();
+        assert!(!snap.params.is_empty());
+        assert!(snap.num_scalars() > 0);
+        assert_eq!(
+            snap.model.next_item(0, &[0, 1], 5, &[]),
+            model.next_item(0, &[0, 1], 5, &[]),
+            "loaded snapshot must answer like the original"
+        );
+
+        let mut wrong = arch.clone();
+        wrong.config.dim = 16;
+        assert!(wrong.load_snapshot(path.to_str().unwrap()).is_err());
+    }
+}

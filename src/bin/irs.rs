@@ -1,22 +1,40 @@
 //! `irs` — command-line interface to influential-rs.
 //!
 //! ```text
-//! irs stats     [--dataset lastfm|movielens] [--scale S]
+//! irs stats     [--dataset lastfm|movielens] [--scale S] [--ratings FILE [--movies FILE]]
 //! irs train     [--dataset ...] [--scale S] [--epochs N] --model-out FILE
 //! irs generate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
 //! irs evaluate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
+//! irs serve     --model FILE [--port P] [--max-batch B] [--max-wait-us U] [--workers W]
 //! irs demo      [--dataset ...]
 //! ```
 //!
-//! The CLI runs on the synthetic datasets (deterministic given `--scale`);
-//! the same pipeline accepts real MovieLens/Lastfm dumps through
-//! `irs_data::loaders` for users who have them.
+//! The CLI runs on the synthetic datasets (deterministic given `--scale`)
+//! or, with `--ratings FILE`, on real MovieLens/Lastfm dumps routed
+//! through `irs_data::loaders` (`--dataset` selects the parse format;
+//! `--movies` attaches MovieLens metadata).  Commands that load a model
+//! (`generate`, `evaluate`, `serve`) must be given the same dataset flags
+//! as the `train` run that produced it — item/user counts are part of the
+//! architecture check.
+//!
+//! `serve` exposes the online serving subsystem (`irs_serve`): per-user
+//! sessions, dynamic micro-batching, and `POST /v1/admin/swap` hot-swaps
+//! of retrained snapshots.
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
 
 use influential_rs::core::{generate_influence_path, Irn, IrnConfig};
+use influential_rs::data::loaders::{load_dataset_from_files, RatingsFormat};
+use influential_rs::data::preprocess::PreprocessConfig;
 use influential_rs::data::stats::dataset_stats;
+use influential_rs::data::Dataset;
 use influential_rs::eval::{evaluate_paths, Evaluator, PathRecord};
+use influential_rs::serve::{
+    BatchPolicy, Engine, HttpServer, IrnArchitecture, ServerConfig, SnapshotLoader,
+    SnapshotRegistry,
+};
 use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
 
 /// Parsed command-line options.
@@ -29,13 +47,22 @@ struct Opts {
     m: usize,
     model: Option<String>,
     model_out: Option<String>,
+    ratings: Option<String>,
+    movies: Option<String>,
+    port: u16,
+    max_batch: usize,
+    max_wait_us: u64,
+    workers: usize,
+    patience: usize,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: irs <stats|train|generate|evaluate|demo> \
+        "usage: irs <stats|train|generate|evaluate|serve|demo> \
          [--dataset lastfm|movielens] [--scale S] [--epochs N] \
-         [--users N] [--m M] [--model FILE] [--model-out FILE]"
+         [--users N] [--m M] [--model FILE] [--model-out FILE] \
+         [--ratings FILE] [--movies FILE] \
+         [--port P] [--max-batch B] [--max-wait-us U] [--workers W] [--patience P]"
     );
     ExitCode::from(2)
 }
@@ -52,6 +79,13 @@ fn parse_args() -> Result<Opts, String> {
         m: 20,
         model: None,
         model_out: None,
+        ratings: None,
+        movies: None,
+        port: 7878,
+        max_batch: 16,
+        max_wait_us: 500,
+        workers: 2,
+        patience: 3,
     };
     let mut i = 1;
     let take = |args: &[String], i: &mut usize| -> Result<String, String> {
@@ -81,6 +115,27 @@ fn parse_args() -> Result<Opts, String> {
             "--m" => opts.m = take(&args, &mut i)?.parse().map_err(|e| format!("--m: {e}"))?,
             "--model" => opts.model = Some(take(&args, &mut i)?),
             "--model-out" => opts.model_out = Some(take(&args, &mut i)?),
+            "--ratings" => opts.ratings = Some(take(&args, &mut i)?),
+            "--movies" => opts.movies = Some(take(&args, &mut i)?),
+            "--port" => {
+                opts.port = take(&args, &mut i)?.parse().map_err(|e| format!("--port: {e}"))?
+            }
+            "--max-batch" => {
+                opts.max_batch =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--max-batch: {e}"))?
+            }
+            "--max-wait-us" => {
+                opts.max_wait_us =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--max-wait-us: {e}"))?
+            }
+            "--workers" => {
+                opts.workers =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--workers: {e}"))?
+            }
+            "--patience" => {
+                opts.patience =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--patience: {e}"))?
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -88,7 +143,7 @@ fn parse_args() -> Result<Opts, String> {
     Ok(opts)
 }
 
-fn build_harness(opts: &Opts) -> Harness {
+fn harness_config(opts: &Opts) -> HarnessConfig {
     let mut cfg = HarnessConfig::standard(opts.dataset);
     if let Some(s) = opts.scale {
         cfg.scale = s.clamp(0.005, 1.0);
@@ -98,7 +153,63 @@ fn build_harness(opts: &Opts) -> Harness {
     }
     cfg.test_users = opts.users;
     cfg.m = opts.m;
-    Harness::build(cfg)
+    cfg
+}
+
+/// Load the real dataset named by `--ratings` (format per `--dataset`),
+/// or `None` when the synthetic pipeline should run.
+fn load_real_dataset(opts: &Opts) -> Result<Option<Dataset>, String> {
+    let Some(ratings) = &opts.ratings else {
+        return Ok(None);
+    };
+    let format = match opts.dataset {
+        DatasetKind::MovielensLike => RatingsFormat::MovielensDat,
+        DatasetKind::LastfmLike => RatingsFormat::LastfmTsv,
+    };
+    let pre_cfg = PreprocessConfig { min_count: 5, dedup_consecutive: true };
+    let loaded = load_dataset_from_files(
+        format,
+        std::path::Path::new(ratings),
+        opts.movies.as_deref().map(std::path::Path::new),
+        &pre_cfg,
+    )
+    .map_err(|e| format!("cannot load {ratings}: {e}"))?;
+    if loaded.skipped > 0 {
+        eprintln!("note: skipped {} malformed lines in {ratings}", loaded.skipped);
+    }
+    eprintln!(
+        "loaded {}: {} users, {} items, {} interactions",
+        ratings,
+        loaded.records.num_users,
+        loaded.records.num_items,
+        loaded.records.num_interactions()
+    );
+    Ok(Some(loaded.records))
+}
+
+/// Build the harness, printing the error and mapping it to a failure
+/// exit code (the shared front door of every harness-driven command).
+fn build_harness(opts: &Opts) -> Result<Harness, ExitCode> {
+    let cfg = harness_config(opts);
+    let dataset = load_real_dataset(opts).map_err(|e| {
+        eprintln!("{e}");
+        ExitCode::FAILURE
+    })?;
+    Ok(match dataset {
+        Some(dataset) => Harness::build_with_dataset(cfg, dataset),
+        None => Harness::build(cfg),
+    })
+}
+
+/// The dataset alone (no split / item2vec) — what `serve` needs to
+/// reconstruct the snapshot architecture.
+fn build_dataset(opts: &Opts) -> Result<(Dataset, HarnessConfig), String> {
+    let cfg = harness_config(opts);
+    let dataset = match load_real_dataset(opts)? {
+        Some(d) => d,
+        None => Harness::synth_dataset(&cfg),
+    };
+    Ok((dataset, cfg))
 }
 
 fn irn_config(h: &Harness) -> IrnConfig {
@@ -106,7 +217,10 @@ fn irn_config(h: &Harness) -> IrnConfig {
 }
 
 fn cmd_stats(opts: &Opts) -> ExitCode {
-    let h = build_harness(opts);
+    let h = match build_harness(opts) {
+        Ok(h) => h,
+        Err(code) => return code,
+    };
     let s = dataset_stats(&h.dataset);
     println!(
         "{:<16} {:>7} {:>7} {:>12} {:>9} {:>11}",
@@ -127,12 +241,11 @@ fn cmd_train(opts: &Opts) -> ExitCode {
         eprintln!("train requires --model-out FILE");
         return ExitCode::from(2);
     };
-    let h = build_harness(opts);
-    eprintln!(
-        "training IRN on {} ({} train subsequences)...",
-        h.config.kind.label(),
-        h.split.train.len()
-    );
+    let h = match build_harness(opts) {
+        Ok(h) => h,
+        Err(code) => return code,
+    };
+    eprintln!("training IRN on {} ({} train subsequences)...", h.dataset.name, h.split.train.len());
     let irn = h.train_irn();
     let file = match std::fs::File::create(out_path) {
         Ok(f) => f,
@@ -169,7 +282,10 @@ fn paths_for(h: &Harness, irn: &Irn, m: usize) -> Vec<PathRecord> {
 }
 
 fn cmd_generate(opts: &Opts) -> ExitCode {
-    let h = build_harness(opts);
+    let h = match build_harness(opts) {
+        Ok(h) => h,
+        Err(code) => return code,
+    };
     let irn = match load_model(opts, &h) {
         Ok(m) => m,
         Err(e) => {
@@ -196,7 +312,10 @@ fn cmd_generate(opts: &Opts) -> ExitCode {
 }
 
 fn cmd_evaluate(opts: &Opts) -> ExitCode {
-    let h = build_harness(opts);
+    let h = match build_harness(opts) {
+        Ok(h) => h,
+        Err(code) => return code,
+    };
     let irn = match load_model(opts, &h) {
         Ok(m) => m,
         Err(e) => {
@@ -208,14 +327,104 @@ fn cmd_evaluate(opts: &Opts) -> ExitCode {
     let evaluator = Evaluator::new(h.train_bert4rec());
     let paths = paths_for(&h, &irn, opts.m);
     let metrics = evaluate_paths(&evaluator, &paths);
-    println!("IRN on {} over {} users: {metrics}", h.config.kind.label(), paths.len());
+    println!("IRN on {} over {} users: {metrics}", h.dataset.name, paths.len());
+    ExitCode::SUCCESS
+}
+
+fn cmd_serve(opts: &Opts) -> ExitCode {
+    let Some(model_path) = &opts.model else {
+        eprintln!("serve requires --model FILE (create one with `irs train`)");
+        return ExitCode::from(2);
+    };
+    // Validate here so bad values exit 2 with a message like every other
+    // flag error instead of tripping Engine::start's asserts.
+    if opts.max_batch == 0 || opts.workers == 0 {
+        eprintln!("serve requires --max-batch >= 1 and --workers >= 1");
+        return ExitCode::from(2);
+    }
+    let (dataset, cfg) = match build_dataset(opts) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let arch = IrnArchitecture {
+        num_items: dataset.num_items,
+        num_users: dataset.num_users,
+        config: cfg.irn_config(),
+    };
+    let initial = match arch.load_snapshot(model_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load snapshot {model_path}: {e}");
+            eprintln!("(serve must be given the same --dataset/--scale flags as the train run)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let label = initial.label.clone();
+    let registry = Arc::new(SnapshotRegistry::new(initial));
+    let engine = Arc::new(Engine::start(
+        registry,
+        BatchPolicy {
+            max_batch: opts.max_batch,
+            max_wait: Duration::from_micros(opts.max_wait_us),
+            workers: opts.workers,
+            queue_capacity: 1024,
+        },
+    ));
+    let loader: SnapshotLoader = Arc::new(move |path: &str| arch.load_snapshot(path));
+    let server = match HttpServer::bind(
+        &format!("127.0.0.1:{}", opts.port),
+        engine.clone(),
+        Some(loader),
+        ServerConfig {
+            max_len: opts.m,
+            patience: opts.patience,
+            session_shards: 16,
+            ..Default::default()
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind port {}: {e}", opts.port);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "serving {label} on http://{addr} ({} items, {} users; max_batch {}, wait {} µs, {} workers)",
+            dataset.num_items, dataset.num_users, opts.max_batch, opts.max_wait_us, opts.workers
+        ),
+        Err(e) => {
+            eprintln!("cannot resolve bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("POST /v1/admin/shutdown to stop");
+    if let Err(e) = server.run() {
+        eprintln!("server error: {e}");
+        engine.shutdown();
+        return ExitCode::FAILURE;
+    }
+    let stats = engine.stats();
+    engine.shutdown();
+    eprintln!(
+        "shutdown: {} requests in {} batches (mean batch {:.2})",
+        stats.requests,
+        stats.batches,
+        stats.mean_batch()
+    );
     ExitCode::SUCCESS
 }
 
 fn cmd_demo(opts: &Opts) -> ExitCode {
     let mut opts = Opts { users: 10, ..parse_defaults(opts) };
     opts.scale = Some(opts.scale.unwrap_or(0.03));
-    let h = build_harness(&opts);
+    let h = match build_harness(&opts) {
+        Ok(h) => h,
+        Err(code) => return code,
+    };
     eprintln!("training IRN + evaluator at demo scale...");
     let irn = h.train_irn();
     let evaluator = Evaluator::new(h.train_bert4rec());
@@ -241,6 +450,13 @@ fn parse_defaults(opts: &Opts) -> Opts {
         m: opts.m,
         model: opts.model.clone(),
         model_out: opts.model_out.clone(),
+        ratings: opts.ratings.clone(),
+        movies: opts.movies.clone(),
+        port: opts.port,
+        max_batch: opts.max_batch,
+        max_wait_us: opts.max_wait_us,
+        workers: opts.workers,
+        patience: opts.patience,
     }
 }
 
@@ -257,6 +473,7 @@ fn main() -> ExitCode {
         "train" => cmd_train(&opts),
         "generate" => cmd_generate(&opts),
         "evaluate" => cmd_evaluate(&opts),
+        "serve" => cmd_serve(&opts),
         "demo" => cmd_demo(&opts),
         _ => usage(),
     }

@@ -15,6 +15,9 @@
 //! * [`core`] — the IRN model with PIM and the Pf2Inf / Rec2Inf / Vanilla
 //!   frameworks ([`irs_core`]).
 //! * [`eval`] — the offline evaluator and all IRS metrics ([`irs_eval`]).
+//! * [`serve`] — the online serving subsystem: session store,
+//!   micro-batching scheduler, hot-swappable snapshots, HTTP frontend
+//!   ([`irs_serve`]).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through: build a
 //! synthetic dataset, train IRN, generate an influence path and score it.
@@ -27,4 +30,5 @@ pub use irs_embed as embed;
 pub use irs_eval as eval;
 pub use irs_graph as graph;
 pub use irs_nn as nn;
+pub use irs_serve as serve;
 pub use irs_tensor as tensor;
