@@ -5,8 +5,8 @@
 use irs_data::split::{pad_to, PaddingScheme, SubSeq};
 use irs_data::{pad_token, ItemId, UserId};
 use irs_nn::{
-    clip_grad_norm, key_padding_mask, Adam, AttnBias, Embedding, FwdCtx, InferBias, Linear,
-    Optimizer, ParamStore, PositionalEncoding, TransformerBlock,
+    key_padding_mask, Adam, AttnBias, Embedding, FwdCtx, InferBias, Linear, Optimizer, ParamStore,
+    PositionalEncoding, TransformerBlock,
 };
 use irs_tensor::Graph;
 use rand::{Rng, SeedableRng};
@@ -58,6 +58,7 @@ pub struct Bert4Rec {
     out: Linear,
     num_items: usize,
     max_len: usize,
+    epoch_losses: Vec<f32>,
 }
 
 impl Bert4Rec {
@@ -89,12 +90,22 @@ impl Bert4Rec {
             })
             .collect();
         let out = Linear::new(&mut store, "bert4rec.out", config.dim, vocab, true, &mut rng);
-        let mut model =
-            Bert4Rec { store, emb, pos, blocks, out, num_items, max_len: config.max_len };
+        let mut model = Bert4Rec {
+            store,
+            emb,
+            pos,
+            blocks,
+            out,
+            num_items,
+            max_len: config.max_len,
+            epoch_losses: Vec::new(),
+        };
 
         let mut opt = Adam::new(config.train.lr);
         let mut order: Vec<usize> = (0..seqs.len()).collect();
         let mut step = 0u64;
+        // One tape for the whole run, reset per minibatch (buffer reuse).
+        let graph = Graph::new();
         for epoch in 0..config.train.epochs {
             use rand::seq::SliceRandom;
             order.shuffle(&mut rng);
@@ -104,6 +115,7 @@ impl Bert4Rec {
                 let (inputs, targets, pad_lens) =
                     model.make_cloze_batch(seqs, chunk, pad, mask_tok, config.mask_prob, &mut rng);
                 let loss_val = model.train_step(
+                    &graph,
                     &inputs,
                     &targets,
                     &pad_lens,
@@ -116,11 +128,19 @@ impl Bert4Rec {
                 epoch_loss += loss_val;
                 n += 1;
             }
+            let mean_loss = epoch_loss / n.max(1) as f32;
+            model.epoch_losses.push(mean_loss);
             if config.train.verbose {
-                println!("Bert4Rec epoch {epoch}: loss {:.4}", epoch_loss / n.max(1) as f32);
+                println!("Bert4Rec epoch {epoch}: loss {mean_loss:.4}");
             }
         }
         model
+    }
+
+    /// Mean training loss per epoch, recorded during [`Bert4Rec::fit`] —
+    /// pinned by the trajectory determinism tests.
+    pub fn training_losses(&self) -> &[f32] {
+        &self.epoch_losses
     }
 
     /// Build one cloze batch: randomly mask non-pad positions; in half the
@@ -170,6 +190,7 @@ impl Bert4Rec {
     #[allow(clippy::too_many_arguments)]
     fn train_step(
         &mut self,
+        g: &Graph,
         inputs: &[Vec<ItemId>],
         targets: &[ItemId],
         pad_lens: &[usize],
@@ -179,23 +200,21 @@ impl Bert4Rec {
         clip: f32,
     ) -> f32 {
         let t = self.max_len;
-        let b = inputs.len();
-        let g = Graph::new();
-        let ctx = FwdCtx::new(&g, &self.store, true, step);
+        g.reset();
+        let ctx = FwdCtx::new(g, &self.store, true, step);
         // Bidirectional attention with key-padding masking only.
         let bias = AttnBias::Base(key_padding_mask(t, pad_lens));
         let mut h = self.pos.add_to(&ctx, self.emb.lookup_seq(&ctx, inputs));
         for block in &self.blocks {
             h = block.forward(&ctx, h, &bias);
         }
-        let logits = self.out.forward3d(&ctx, h).reshape(&[b * t, self.num_items + 2]);
+        let logits = self.out.forward3d(&ctx, h);
         let loss = logits.cross_entropy(targets, pad);
         let loss_val = loss.item();
         self.store.zero_grad();
         ctx.backprop(loss);
         drop(ctx);
-        clip_grad_norm(&self.store, clip);
-        opt.step(&mut self.store);
+        opt.step_clipped(&mut self.store, clip);
         loss_val
     }
 

@@ -6,7 +6,7 @@
 
 use irs_data::split::{pad_to, PaddingScheme, SubSeq};
 use irs_data::{pad_token, ItemId, UserId};
-use irs_nn::{clip_grad_norm, Activation, Adam, Embedding, FwdCtx, Linear, Optimizer, ParamStore};
+use irs_nn::{Activation, Adam, Embedding, FwdCtx, Linear, Optimizer, ParamStore};
 use irs_tensor::{Graph, Tensor, Var};
 use rand::{seq::SliceRandom, SeedableRng};
 
@@ -61,6 +61,7 @@ pub struct Caser {
     dropout: f32,
     num_items: usize,
     num_users: usize,
+    epoch_losses: Vec<f32>,
 }
 
 impl Caser {
@@ -110,6 +111,7 @@ impl Caser {
             dropout: config.dropout,
             num_items,
             num_users: num_users.max(1),
+            epoch_losses: Vec::new(),
         };
 
         // Training windows: (user, L previous items, next item).
@@ -125,6 +127,8 @@ impl Caser {
 
         let mut opt = Adam::new(config.train.lr);
         let mut step = 0u64;
+        // One tape for the whole run, reset per minibatch (buffer reuse).
+        let graph = Graph::new();
         for epoch in 0..config.train.epochs {
             windows.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
@@ -133,8 +137,8 @@ impl Caser {
                 let users: Vec<UserId> = chunk.iter().map(|w| w.0).collect();
                 let inputs: Vec<Vec<ItemId>> = chunk.iter().map(|w| w.1.clone()).collect();
                 let targets: Vec<ItemId> = chunk.iter().map(|w| w.2).collect();
-                let g = Graph::new();
-                let ctx = FwdCtx::new(&g, &model.store, true, step);
+                graph.reset();
+                let ctx = FwdCtx::new(&graph, &model.store, true, step);
                 step += 1;
                 let logits = model.forward(&ctx, &users, &inputs);
                 let loss = logits.cross_entropy(&targets, pad);
@@ -143,14 +147,21 @@ impl Caser {
                 model.store.zero_grad();
                 ctx.backprop(loss);
                 drop(ctx);
-                clip_grad_norm(&model.store, config.train.clip);
-                opt.step(&mut model.store);
+                opt.step_clipped(&mut model.store, config.train.clip);
             }
+            let mean_loss = epoch_loss / n.max(1) as f32;
+            model.epoch_losses.push(mean_loss);
             if config.train.verbose {
-                println!("Caser epoch {epoch}: loss {:.4}", epoch_loss / n.max(1) as f32);
+                println!("Caser epoch {epoch}: loss {mean_loss:.4}");
             }
         }
         model
+    }
+
+    /// Mean training loss per epoch, recorded during [`Caser::fit`] —
+    /// pinned by the trajectory determinism tests.
+    pub fn training_losses(&self) -> &[f32] {
+        &self.epoch_losses
     }
 
     /// Full forward pass: users + `[B][L]` item windows -> `[B, vocab]`.

@@ -2,7 +2,7 @@
 
 use irs_data::split::SubSeq;
 use irs_data::{pad_token, ItemId, UserId};
-use irs_nn::{clip_grad_norm, Adam, Embedding, FwdCtx, Gru, Linear, Optimizer, ParamStore};
+use irs_nn::{Adam, Embedding, FwdCtx, Gru, Linear, Optimizer, ParamStore};
 use irs_tensor::Graph;
 use rand::SeedableRng;
 
@@ -36,6 +36,7 @@ pub struct Gru4Rec {
     out: Linear,
     num_items: usize,
     max_len: usize,
+    epoch_losses: Vec<f32>,
 }
 
 impl Gru4Rec {
@@ -48,37 +49,53 @@ impl Gru4Rec {
         let emb = Embedding::new(&mut store, "gru4rec.emb", vocab, config.dim, &mut rng);
         let gru = Gru::new(&mut store, "gru4rec.gru", config.dim, config.hidden, &mut rng);
         let out = Linear::new(&mut store, "gru4rec.out", config.hidden, vocab, true, &mut rng);
-        let mut model = Gru4Rec { store, emb, gru, out, num_items, max_len: config.max_len };
+        let mut model = Gru4Rec {
+            store,
+            emb,
+            gru,
+            out,
+            num_items,
+            max_len: config.max_len,
+            epoch_losses: Vec::new(),
+        };
 
         let mut opt = Adam::new(config.train.lr);
         let mut step = 0u64;
+        // One tape for the whole run, reset per minibatch (buffer reuse).
+        let graph = Graph::new();
         for epoch in 0..config.train.epochs {
             let batches =
                 make_lm_batches(seqs, config.max_len, pad, config.train.batch_size, &mut rng);
             let mut epoch_loss = 0.0;
             let mut n = 0usize;
             for batch in &batches {
-                let g = Graph::new();
-                let ctx = FwdCtx::new(&g, &model.store, true, step);
+                graph.reset();
+                let ctx = FwdCtx::new(&graph, &model.store, true, step);
                 step += 1;
                 let x = model.emb.lookup_seq(&ctx, &batch.inputs);
                 let h = model.gru.forward_seq(&ctx, x);
-                let bt = batch.batch_size() * batch.seq_len();
-                let logits = model.out.forward3d(&ctx, h).reshape(&[bt, model.num_items + 1]);
+                let logits = model.out.forward3d(&ctx, h);
                 let loss = logits.cross_entropy(&batch.targets, pad);
                 epoch_loss += loss.item();
                 n += 1;
                 model.store.zero_grad();
                 ctx.backprop(loss);
                 drop(ctx);
-                clip_grad_norm(&model.store, config.train.clip);
-                opt.step(&mut model.store);
+                opt.step_clipped(&mut model.store, config.train.clip);
             }
+            let mean_loss = epoch_loss / n.max(1) as f32;
+            model.epoch_losses.push(mean_loss);
             if config.train.verbose {
-                println!("GRU4Rec epoch {epoch}: loss {:.4}", epoch_loss / n.max(1) as f32);
+                println!("GRU4Rec epoch {epoch}: loss {mean_loss:.4}");
             }
         }
         model
+    }
+
+    /// Mean training loss per epoch, recorded during [`Gru4Rec::fit`] —
+    /// pinned by the trajectory determinism tests.
+    pub fn training_losses(&self) -> &[f32] {
+        &self.epoch_losses
     }
 
     /// Serialise the trained parameters (IRSP format).
@@ -107,13 +124,13 @@ impl Gru4Rec {
         let batches = make_lm_batches(seqs, self.max_len, pad, 16, &mut rng);
         let mut total = 0.0;
         let mut n = 0usize;
+        let graph = Graph::new();
         for batch in &batches {
-            let g = Graph::new();
-            let ctx = FwdCtx::new(&g, &self.store, false, 0);
+            graph.reset();
+            let ctx = FwdCtx::new(&graph, &self.store, false, 0);
             let x = self.emb.lookup_seq(&ctx, &batch.inputs);
             let h = self.gru.forward_seq(&ctx, x);
-            let bt = batch.batch_size() * batch.seq_len();
-            let logits = self.out.forward3d(&ctx, h).reshape(&[bt, self.num_items + 1]);
+            let logits = self.out.forward3d(&ctx, h);
             total += logits.cross_entropy(&batch.targets, pad).item();
             n += 1;
         }

@@ -3,8 +3,8 @@
 use irs_data::split::{pad_to, PaddingScheme, SubSeq};
 use irs_data::{pad_token, ItemId, UserId};
 use irs_nn::{
-    broadcast_then_add, causal_mask, clip_grad_norm, key_padding_mask, Adam, AttnBias, Embedding,
-    FwdCtx, InferBias, Linear, Optimizer, ParamStore, PositionalEncoding, TransformerBlock,
+    broadcast_then_add, causal_mask, key_padding_mask, Adam, AttnBias, Embedding, FwdCtx,
+    InferBias, Linear, Optimizer, ParamStore, PositionalEncoding, TransformerBlock,
 };
 use irs_tensor::Graph;
 use rand::SeedableRng;
@@ -51,6 +51,7 @@ pub struct SasRec {
     out: Linear,
     num_items: usize,
     max_len: usize,
+    epoch_losses: Vec<f32>,
 }
 
 impl SasRec {
@@ -76,30 +77,53 @@ impl SasRec {
             })
             .collect();
         let out = Linear::new(&mut store, "sasrec.out", config.dim, vocab, true, &mut rng);
-        let mut model = SasRec { store, emb, pos, blocks, out, num_items, max_len: config.max_len };
+        let mut model = SasRec {
+            store,
+            emb,
+            pos,
+            blocks,
+            out,
+            num_items,
+            max_len: config.max_len,
+            epoch_losses: Vec::new(),
+        };
 
         let mut opt = Adam::new(config.train.lr);
         let mut step = 0u64;
+        // One tape for the whole run: every step re-records ops but
+        // recycles the previous step's value/gradient buffers.
+        let graph = Graph::new();
         for epoch in 0..config.train.epochs {
             let batches =
                 make_lm_batches(seqs, config.max_len, pad, config.train.batch_size, &mut rng);
             let mut epoch_loss = 0.0;
             let mut n = 0usize;
             for batch in &batches {
-                let loss_val = model.train_step(batch, pad, step, &mut opt, config.train.clip);
+                let loss_val =
+                    model.train_step(&graph, batch, pad, step, &mut opt, config.train.clip);
                 step += 1;
                 epoch_loss += loss_val;
                 n += 1;
             }
+            let mean_loss = epoch_loss / n.max(1) as f32;
+            model.epoch_losses.push(mean_loss);
             if config.train.verbose {
-                println!("SASRec epoch {epoch}: loss {:.4}", epoch_loss / n.max(1) as f32);
+                println!("SASRec epoch {epoch}: loss {mean_loss:.4}");
             }
         }
         model
     }
 
+    /// Mean training loss per epoch, recorded during [`SasRec::fit`] — the
+    /// pinned-trajectory determinism tests assert these stay bitwise
+    /// stable across refactors of the training engine.
+    pub fn training_losses(&self) -> &[f32] {
+        &self.epoch_losses
+    }
+
     fn train_step(
         &mut self,
+        g: &Graph,
         batch: &crate::batch::LmBatch,
         pad: ItemId,
         step: u64,
@@ -107,23 +131,21 @@ impl SasRec {
         clip: f32,
     ) -> f32 {
         let t = batch.seq_len();
-        let g = Graph::new();
-        let ctx = FwdCtx::new(&g, &self.store, true, step);
+        g.reset();
+        let ctx = FwdCtx::new(g, &self.store, true, step);
         let mask = broadcast_then_add(&causal_mask(t), &key_padding_mask(t, &batch.pad_lens));
         let bias = AttnBias::Base(mask);
         let mut h = self.pos.add_to(&ctx, self.emb.lookup_seq(&ctx, &batch.inputs));
         for block in &self.blocks {
             h = block.forward(&ctx, h, &bias);
         }
-        let bt = batch.batch_size() * t;
-        let logits = self.out.forward3d(&ctx, h).reshape(&[bt, self.num_items + 1]);
+        let logits = self.out.forward3d(&ctx, h);
         let loss = logits.cross_entropy(&batch.targets, pad);
         let loss_val = loss.item();
         self.store.zero_grad();
         ctx.backprop(loss);
         drop(ctx);
-        clip_grad_norm(&self.store, clip);
-        opt.step(&mut self.store);
+        opt.step_clipped(&mut self.store, clip);
         loss_val
     }
 

@@ -28,9 +28,9 @@ use irs_data::split::{pad_to, PaddingScheme, SubSeq};
 use irs_data::{pad_token, ItemId, UserId};
 use irs_embed::ItemEmbeddings;
 use irs_nn::{
-    broadcast_then_add, causal_mask, causal_mask_with_objective, clip_grad_norm, key_padding_mask,
-    Adam, AttnBias, Embedding, FwdCtx, InferBias, Linear, Optimizer, ParamStore,
-    PositionalEncoding, ReduceLrOnPlateau, TransformerBlock,
+    broadcast_then_add, causal_mask, causal_mask_with_objective, key_padding_mask, Adam, AttnBias,
+    Embedding, FwdCtx, InferBias, Linear, Optimizer, ParamStore, PositionalEncoding,
+    ReduceLrOnPlateau, TransformerBlock,
 };
 use irs_tensor::{Graph, Tensor, Var};
 use parking_lot::Mutex;
@@ -107,6 +107,7 @@ pub struct Irn {
     num_items: usize,
     num_users: usize,
     pim_cache: Mutex<PimCache>,
+    epoch_losses: Vec<f32>,
 }
 
 /// Inference-time cache for the PIM attention bias, reused across decoding
@@ -187,11 +188,15 @@ impl Irn {
             num_items,
             num_users: num_users.max(1),
             pim_cache: Mutex::new(PimCache::default()),
+            epoch_losses: Vec::new(),
         };
 
         let mut opt = Adam::new(config.train.lr);
         let mut sched = ReduceLrOnPlateau::new(1);
         let mut step = 0u64;
+        // One tape for the whole run: every step re-records ops but
+        // recycles the previous step's value/gradient buffers.
+        let graph = Graph::new();
         for epoch in 0..config.train.epochs {
             use rand::seq::SliceRandom;
             let mut order: Vec<usize> = (0..train.len()).collect();
@@ -200,12 +205,13 @@ impl Irn {
             let mut n = 0usize;
             for chunk in order.chunks(config.train.batch_size) {
                 let batch: Vec<&SubSeq> = chunk.iter().map(|&i| &train[i]).collect();
-                let loss = model.train_step(&batch, step, &mut opt);
+                let loss = model.train_step(&graph, &batch, step, &mut opt);
                 step += 1;
                 epoch_loss += loss;
                 n += 1;
             }
             let train_loss = epoch_loss / n.max(1) as f32;
+            model.epoch_losses.push(train_loss);
             let monitored = if val.is_empty() { train_loss } else { model.dataset_loss(val) };
             sched.observe(monitored, &mut opt);
             if config.train.verbose {
@@ -232,6 +238,12 @@ impl Irn {
     /// Model configuration.
     pub fn config(&self) -> &IrnConfig {
         &self.config
+    }
+
+    /// Mean training loss per epoch, recorded during [`Irn::fit`] — pinned
+    /// by the trajectory determinism tests.
+    pub fn training_losses(&self) -> &[f32] {
+        &self.epoch_losses
     }
 
     /// Number of real items.
@@ -353,22 +365,18 @@ impl Irn {
         (users, inputs, targets, pad_lens)
     }
 
-    fn train_step(&mut self, batch: &[&SubSeq], step: u64, opt: &mut Adam) -> f32 {
+    fn train_step(&mut self, g: &Graph, batch: &[&SubSeq], step: u64, opt: &mut Adam) -> f32 {
         let pad = pad_token(self.num_items);
-        let t = self.config.max_len;
         let (users, inputs, targets, pad_lens) = self.prepare_batch(batch);
-        let g = Graph::new();
-        let ctx = FwdCtx::new(&g, &self.store, true, step);
-        let logits = self
-            .decode(&ctx, &users, &inputs, &pad_lens)
-            .reshape(&[batch.len() * t, self.num_items + 1]);
+        g.reset();
+        let ctx = FwdCtx::new(g, &self.store, true, step);
+        let logits = self.decode(&ctx, &users, &inputs, &pad_lens);
         let loss = logits.cross_entropy(&targets, pad);
         let loss_val = loss.item();
         self.store.zero_grad();
         ctx.backprop(loss);
         drop(ctx);
-        clip_grad_norm(&self.store, self.config.train.clip);
-        opt.step(&mut self.store);
+        opt.step_clipped(&mut self.store, self.config.train.clip);
         loss_val
     }
 
@@ -379,17 +387,15 @@ impl Irn {
             return f32::NAN;
         }
         let pad = pad_token(self.num_items);
-        let t = self.config.max_len;
         let mut total = 0.0;
         let mut n = 0usize;
+        let graph = Graph::new();
         for chunk in seqs.chunks(16) {
             let batch: Vec<&SubSeq> = chunk.iter().collect();
             let (users, inputs, targets, pad_lens) = self.prepare_batch(&batch);
-            let g = Graph::new();
-            let ctx = FwdCtx::new(&g, &self.store, false, 0);
-            let logits = self
-                .decode(&ctx, &users, &inputs, &pad_lens)
-                .reshape(&[batch.len() * t, self.num_items + 1]);
+            graph.reset();
+            let ctx = FwdCtx::new(&graph, &self.store, false, 0);
+            let logits = self.decode(&ctx, &users, &inputs, &pad_lens);
             total += logits.cross_entropy(&targets, pad).item();
             n += 1;
         }

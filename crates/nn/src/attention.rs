@@ -49,24 +49,26 @@ fn add_base<'g>(scores: Var<'g>, base: &Tensor, batch: usize, heads: usize) -> V
         3 => {
             assert_eq!(base.shape(), &[batch, t, t], "base mask must be [B,T,T]");
             let g = scores.graph();
-            let base_c = base.clone();
             let v = g.with_value(scores, |s| {
-                let mut out = s.clone();
+                let mut out = g.alloc_out(s.shape());
                 let tt = t * t;
                 for b in 0..batch {
-                    let m = &base_c.data()[b * tt..(b + 1) * tt];
+                    let m = &base.data()[b * tt..(b + 1) * tt];
                     for h in 0..heads {
                         let off = (b * heads + h) * tt;
-                        for (o, &mm) in out.data_mut()[off..off + tt].iter_mut().zip(m) {
-                            *o += mm;
+                        for ((o, &sv), &mm) in out.data_mut()[off..off + tt]
+                            .iter_mut()
+                            .zip(&s.data()[off..off + tt])
+                            .zip(m)
+                        {
+                            *o = sv + mm;
                         }
                     }
                 }
                 out
             });
             g.custom_op(&[scores], v, |ctx| {
-                let go = ctx.grad_out().clone();
-                ctx.accumulate(0, &go);
+                ctx.accumulate_grad_out(0);
             })
         }
         n => panic!("base mask must be 2-D or 3-D, got {n}-D"),
@@ -91,7 +93,8 @@ fn add_scaled_column<'g>(
     let g = scores.graph();
     let v = g.with_value(scores, |s| {
         g.with_value(scale, |ru| {
-            let mut out = s.clone();
+            let mut out = g.alloc_out(s.shape());
+            out.data_mut().copy_from_slice(s.data());
             let tt = t * t;
             for b in 0..batch {
                 let add = weight * ru.data()[b];
@@ -106,8 +109,8 @@ fn add_scaled_column<'g>(
         })
     });
     g.custom_op(&[scores, scale], v, move |ctx| {
-        let go = ctx.grad_out().clone();
-        ctx.accumulate(0, &go);
+        ctx.accumulate_grad_out(0);
+        let go = ctx.grad_out();
         let tt = t * t;
         let dscale = ctx.grad_mut(1);
         for b in 0..batch {
@@ -174,7 +177,7 @@ impl MultiHeadAttention {
         let k = self.wk.forward3d(ctx, x).split_heads(self.heads);
         let v = self.wv.forward3d(ctx, x).split_heads(self.heads);
 
-        let mut scores = q.bmm(k.transpose_last2()).mul_scalar(1.0 / (dk as f32).sqrt());
+        let mut scores = q.bmm_nt(k).mul_scalar(1.0 / (dk as f32).sqrt());
         scores = match bias {
             AttnBias::None => scores,
             AttnBias::Base(base) => add_base(scores, base, b, self.heads),

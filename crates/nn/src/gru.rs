@@ -228,7 +228,7 @@ impl Gru {
         assert_eq!(shape.len(), 3, "gru expects 3-D input, got {shape:?}");
         let (b, t, _d) = (shape[0], shape[1], shape[2]);
         assert!(t > 0, "gru over empty sequence");
-        let mut h = ctx.graph.constant(Tensor::zeros(&[b, self.cell.hidden_dim()]));
+        let mut h = ctx.graph.constant(ctx.graph.alloc_zeroed(&[b, self.cell.hidden_dim()]));
         let mut steps = Vec::with_capacity(t);
         for ti in 0..t {
             let xt = x.select_step(ti);

@@ -51,28 +51,24 @@ impl Linear {
         self.b
     }
 
-    /// Apply to a 2-D input `[n, in] -> [n, out]`.
+    /// Apply to a 2-D input `[n, in] -> [n, out]` — one fused affine tape
+    /// node (matmul + bias), bitwise equal to the historical
+    /// matmul-then-add_bias pair.
     pub fn forward2d<'g>(&self, ctx: &FwdCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
         let shape = x.shape();
         assert_eq!(shape.len(), 2, "forward2d expects 2-D input, got {shape:?}");
         assert_eq!(shape[1], self.in_dim, "input dim {} != layer in_dim {}", shape[1], self.in_dim);
-        let y = x.matmul(ctx.param(self.w));
-        match self.b {
-            Some(b) => y.add_bias(ctx.param(b)),
-            None => y,
-        }
+        x.affine(ctx.param(self.w), self.b.map(|b| ctx.param(b)))
     }
 
-    /// Apply to a 3-D input `[b, t, in] -> [b, t, out]`.
+    /// Apply to a 3-D input `[b, t, in] -> [b, t, out]` — one fused affine
+    /// tape node (the historical reshape → matmul → reshape → add_bias
+    /// chain, minus its two full-tensor copies).
     pub fn forward3d<'g>(&self, ctx: &FwdCtx<'g, '_>, x: Var<'g>) -> Var<'g> {
         let shape = x.shape();
         assert_eq!(shape.len(), 3, "forward3d expects 3-D input, got {shape:?}");
         assert_eq!(shape[2], self.in_dim, "input dim {} != layer in_dim {}", shape[2], self.in_dim);
-        let y = x.matmul_rhs2d(ctx.param(self.w));
-        match self.b {
-            Some(b) => y.add_bias(ctx.param(b)),
-            None => y,
-        }
+        x.affine(ctx.param(self.w), self.b.map(|b| ctx.param(b)))
     }
 
     /// Tape-free apply: the last axis is the feature axis, all leading

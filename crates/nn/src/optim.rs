@@ -10,11 +10,39 @@ pub trait Optimizer {
     /// leave the gradients untouched (callers decide when to `zero_grad`).
     fn step(&mut self, store: &mut ParamStore);
 
+    /// Clip gradients to a maximum global L2 norm and apply one update,
+    /// fused into a single pass over the store where the optimizer
+    /// supports it (the clip factor folds into the update instead of a
+    /// separate rewrite-every-gradient pass).  Parameter updates are
+    /// bitwise identical to [`clip_grad_norm`] followed by
+    /// [`Optimizer::step`] — `c·g` is the same single rounding either
+    /// way.  Post-step gradient state is unspecified: the fused
+    /// overrides (Adam/Sgd) leave the stored gradients unscaled while
+    /// this default, which falls back to the two-pass sequence, scales
+    /// them in place — callers must zero gradients before the next
+    /// backward rather than reading them after a step.  Returns the
+    /// pre-clip norm.
+    fn step_clipped(&mut self, store: &mut ParamStore, max_norm: f32) -> f32 {
+        let norm = clip_grad_norm(store, max_norm);
+        self.step(store);
+        norm
+    }
+
     /// Current learning rate.
     fn lr(&self) -> f32;
 
     /// Override the learning rate (used by schedulers).
     fn set_lr(&mut self, lr: f32);
+}
+
+/// The clip factor for a gradient norm: `max_norm / norm` when the norm
+/// exceeds the cap, 1.0 otherwise (matching [`clip_grad_norm`]'s guard).
+fn clip_factor(norm: f32, max_norm: f32) -> f32 {
+    if norm > max_norm && norm > 0.0 {
+        max_norm / norm
+    } else {
+        1.0
+    }
 }
 
 /// Plain stochastic gradient descent with optional momentum.
@@ -38,14 +66,22 @@ impl Sgd {
     }
 }
 
-impl Optimizer for Sgd {
-    fn step(&mut self, store: &mut ParamStore) {
+impl Sgd {
+    /// One update pass with the gradient pre-scaled by `scale` (the fused
+    /// clip factor; 1.0 leaves each gradient untouched bitwise).
+    fn apply(&mut self, store: &mut ParamStore, scale: f32) {
         let lr = self.lr;
         let mom = self.momentum;
         let velocity = &mut self.velocity;
         store.for_each_mut(|i, value, grad| {
             if mom == 0.0 {
-                value.axpy(-lr, grad);
+                if scale == 1.0 {
+                    value.axpy(-lr, grad);
+                } else {
+                    for (w, &g) in value.data_mut().iter_mut().zip(grad.data()) {
+                        *w += -lr * (scale * g);
+                    }
+                }
                 return;
             }
             if velocity.len() <= i {
@@ -56,10 +92,23 @@ impl Optimizer for Sgd {
             }
             let v = &mut velocity[i];
             for (vk, &gk) in v.data_mut().iter_mut().zip(grad.data()) {
-                *vk = mom * *vk + gk;
+                let gs = if scale == 1.0 { gk } else { scale * gk };
+                *vk = mom * *vk + gs;
             }
             value.axpy(-lr, v);
         });
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.apply(store, 1.0);
+    }
+
+    fn step_clipped(&mut self, store: &mut ParamStore, max_norm: f32) -> f32 {
+        let norm = store.grad_norm();
+        self.apply(store, clip_factor(norm, max_norm));
+        norm
     }
 
     fn lr(&self) -> f32 {
@@ -99,8 +148,10 @@ impl Adam {
     }
 }
 
-impl Optimizer for Adam {
-    fn step(&mut self, store: &mut ParamStore) {
+impl Adam {
+    /// One update pass with the gradient pre-scaled by `scale` (the fused
+    /// clip factor; 1.0 leaves each gradient untouched bitwise).
+    fn apply(&mut self, store: &mut ParamStore, scale: f32) {
         self.t += 1;
         let (b1, b2, eps, lr, wd) = (self.beta1, self.beta2, self.eps, self.lr, self.weight_decay);
         let bc1 = 1.0 - b1.powi(self.t as i32);
@@ -120,8 +171,9 @@ impl Optimizer for Adam {
             for (((w, &g), mk), vk) in
                 value.data_mut().iter_mut().zip(grad.data()).zip(mi.data_mut()).zip(vi.data_mut())
             {
-                *mk = b1 * *mk + (1.0 - b1) * g;
-                *vk = b2 * *vk + (1.0 - b2) * g * g;
+                let gs = if scale == 1.0 { g } else { scale * g };
+                *mk = b1 * *mk + (1.0 - b1) * gs;
+                *vk = b2 * *vk + (1.0 - b2) * gs * gs;
                 let mhat = *mk / bc1;
                 let vhat = *vk / bc2;
                 let mut upd = mhat / (vhat.sqrt() + eps);
@@ -131,6 +183,18 @@ impl Optimizer for Adam {
                 *w -= lr * upd;
             }
         });
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore) {
+        self.apply(store, 1.0);
+    }
+
+    fn step_clipped(&mut self, store: &mut ParamStore, max_norm: f32) -> f32 {
+        let norm = store.grad_norm();
+        self.apply(store, clip_factor(norm, max_norm));
+        norm
     }
 
     fn lr(&self) -> f32 {
@@ -268,6 +332,65 @@ mod tests {
         sched.observe(1.0, &mut opt);
         sched.observe(1.0, &mut opt);
         assert!(opt.lr() >= 1e-6);
+    }
+
+    #[test]
+    fn step_clipped_is_bitwise_equal_to_clip_then_step() {
+        use irs_tensor::Tensor;
+        // Same gradients through both paths, for both optimizers, both
+        // above and below the clip threshold.
+        for max_norm in [0.5f32, 100.0] {
+            let grads =
+                [Tensor::from_vec(vec![3.0, -4.0], &[2]), Tensor::from_vec(vec![0.25], &[1])];
+            let build = || {
+                let mut store = ParamStore::new();
+                let a = store.add("a", Tensor::from_vec(vec![1.0, -2.0], &[2]));
+                let b = store.add("b", Tensor::from_vec(vec![0.5], &[1]));
+                (store, a, b)
+            };
+            {
+                let run_adam = |fused: bool| {
+                    let (mut store, a, b) = build();
+                    let mut opt = Adam::new(0.05);
+                    for _ in 0..3 {
+                        store.zero_grad();
+                        store.accumulate_grad(a, &grads[0]);
+                        store.accumulate_grad(b, &grads[1]);
+                        if fused {
+                            opt.step_clipped(&mut store, max_norm);
+                        } else {
+                            clip_grad_norm(&store, max_norm);
+                            opt.step(&mut store);
+                        }
+                    }
+                    (store.value(a).clone(), store.value(b).clone())
+                };
+                let run_sgd = |fused: bool| {
+                    let (mut store, a, b) = build();
+                    let mut opt = Sgd::with_momentum(0.05, 0.9);
+                    for _ in 0..3 {
+                        store.zero_grad();
+                        store.accumulate_grad(a, &grads[0]);
+                        store.accumulate_grad(b, &grads[1]);
+                        if fused {
+                            opt.step_clipped(&mut store, max_norm);
+                        } else {
+                            clip_grad_norm(&store, max_norm);
+                            opt.step(&mut store);
+                        }
+                    }
+                    (store.value(a).clone(), store.value(b).clone())
+                };
+                let (af, bf) = run_adam(true);
+                let (ar, br) = run_adam(false);
+                assert_eq!(af.data(), ar.data(), "adam fused clip drifted (max {max_norm})");
+                assert_eq!(bf.data(), br.data());
+                let (af, bf) = run_sgd(true);
+                let (ar, br) = run_sgd(false);
+                assert_eq!(af.data(), ar.data(), "sgd fused clip drifted (max {max_norm})");
+                assert_eq!(bf.data(), br.data());
+            }
+        }
     }
 
     #[test]

@@ -138,12 +138,14 @@ impl<'g, 's> FwdCtx<'g, 's> {
     }
 
     /// Bind a parameter into the graph (cached: repeated calls return the
-    /// same `Var`, so gradient contributions accumulate correctly).
+    /// same `Var`, so gradient contributions accumulate correctly).  The
+    /// binding copies the parameter into a pooled graph buffer, so a reset
+    /// graph re-binds without allocating.
     pub fn param(&self, id: ParamId) -> Var<'g> {
         if let Some(v) = self.bound.borrow().get(&id) {
             return *v;
         }
-        let v = self.graph.var(self.store.value(id).clone(), true);
+        let v = self.graph.var_from(self.store.value(id), true);
         self.bound.borrow_mut().insert(id, v);
         v
     }
@@ -154,13 +156,11 @@ impl<'g, 's> FwdCtx<'g, 's> {
     }
 
     /// Run `graph.backward(loss)` and deposit parameter gradients into the
-    /// store's accumulators.
+    /// store's accumulators (borrowed straight off the tape, no clones).
     pub fn backprop(&self, loss: Var<'g>) {
         self.graph.backward(loss);
         for (&id, &var) in self.bound.borrow().iter() {
-            if let Some(g) = self.graph.grad(var) {
-                self.store.accumulate_grad(id, &g);
-            }
+            self.graph.with_grad(var, |g| self.store.accumulate_grad(id, g));
         }
     }
 }

@@ -48,13 +48,17 @@ pub struct ServerConfig {
     /// Session-store shard count.
     pub session_shards: usize,
     /// Cap on live sessions; `POST /v1/session` answers 429 at the cap
-    /// (clients free slots with `DELETE /v1/session/{id}`).  Bounds the
-    /// memory abandoned sessions can pin until real TTL eviction lands
-    /// (ROADMAP follow-on).
+    /// (clients free slots with `DELETE /v1/session/{id}`).  The hard
+    /// backstop behind TTL eviction.
     pub max_sessions: usize,
     /// Cap on concurrent connection-handler threads; excess connections
     /// are answered 503 inline on the accept thread.
     pub max_connections: usize,
+    /// Idle time after which an abandoned session is evicted by the
+    /// background sweeper (`None` disables sweeping; sessions then live
+    /// until `DELETE` or shutdown).  `irs serve` exposes this as
+    /// `--session-ttl-s`.
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -65,6 +69,7 @@ impl Default for ServerConfig {
             session_shards: 16,
             max_sessions: 65_536,
             max_connections: 256,
+            session_ttl: None,
         }
     }
 }
@@ -76,6 +81,8 @@ struct ServerState {
     config: ServerConfig,
     shutdown: AtomicBool,
     started: Instant,
+    /// Sessions aged out by the TTL sweeper since startup.
+    evicted: std::sync::atomic::AtomicU64,
     /// Live connection-handler threads; joined before `run` returns so
     /// in-flight responses (the shutdown 200 included) are written
     /// before the process can exit.
@@ -108,6 +115,16 @@ impl ServerHandle {
         self.state.shutdown.store(true, Ordering::SeqCst);
         wake_listener(self.addr);
     }
+
+    /// Sessions evicted by the TTL sweeper since startup.
+    pub fn evicted_sessions(&self) -> u64 {
+        self.state.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Currently live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.state.sessions.len()
+    }
 }
 
 impl HttpServer {
@@ -127,6 +144,7 @@ impl HttpServer {
             config,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            evicted: std::sync::atomic::AtomicU64::new(0),
             handlers: parking_lot::Mutex::new(Vec::new()),
         });
         Ok(HttpServer { listener, state })
@@ -145,8 +163,37 @@ impl HttpServer {
     /// Serve until a shutdown request arrives, then return.  The engine
     /// is left running (the caller owns it and decides when to stop the
     /// scheduler).
+    ///
+    /// When [`ServerConfig::session_ttl`] is set, a background sweeper
+    /// ages out sessions idle past the TTL (checking every quarter-TTL,
+    /// clamped to 10 ms – 60 s, napping in short slices so shutdown is
+    /// never delayed by more than ~250 ms) so abandoned sessions stop
+    /// counting against `max_sessions`; evictions are tallied in the
+    /// stats.
     pub fn run(self) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
+        let sweeper = self.state.config.session_ttl.map(|ttl| {
+            let state = self.state.clone();
+            std::thread::spawn(move || {
+                let interval = (ttl / 4).clamp(Duration::from_millis(10), Duration::from_secs(60));
+                let nap_cap = Duration::from_millis(250);
+                'sweeping: loop {
+                    let mut slept = Duration::ZERO;
+                    while slept < interval {
+                        if state.shutdown.load(Ordering::SeqCst) {
+                            break 'sweeping;
+                        }
+                        let nap = (interval - slept).min(nap_cap);
+                        std::thread::sleep(nap);
+                        slept += nap;
+                    }
+                    let evicted = state.sessions.sweep_older_than(ttl);
+                    if evicted > 0 {
+                        state.evicted.fetch_add(evicted as u64, Ordering::Relaxed);
+                    }
+                }
+            })
+        });
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -184,6 +231,9 @@ impl HttpServer {
         let handlers: Vec<_> = self.state.handlers.lock().drain(..).collect();
         for handle in handlers {
             let _ = handle.join();
+        }
+        if let Some(sweeper) = sweeper {
+            let _ = sweeper.join();
         }
         Ok(())
     }
@@ -416,6 +466,10 @@ fn stats_payload(state: &Arc<ServerState>) -> JsonValue {
         ("mean_batch", JsonValue::Num(stats.mean_batch())),
         ("gave_up", JsonValue::num(stats.gave_up as usize)),
         ("sessions", JsonValue::num(state.sessions.len())),
+        (
+            "evicted_sessions",
+            JsonValue::num(state.evicted.load(std::sync::atomic::Ordering::Relaxed) as usize),
+        ),
         ("snapshot", JsonValue::Str(snap.label.clone())),
         ("snapshot_version", JsonValue::num(state.engine.registry().version() as usize)),
         ("snapshot_params", JsonValue::num(snap.num_scalars())),

@@ -6,9 +6,15 @@
 //! shards them by id across independently locked maps so concurrent
 //! request handlers for different sessions rarely contend, while one
 //! session's transitions stay serialised behind its shard lock.
+//!
+//! Every access refreshes a per-session last-seen timestamp;
+//! [`SessionStore::sweep_older_than`] evicts sessions idle past a TTL —
+//! the frontend runs it from a background sweeper so abandoned sessions
+//! stop pinning slots against the `max_sessions` cap.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 use irs_core::InteractiveSession;
 use parking_lot::Mutex;
@@ -16,9 +22,15 @@ use parking_lot::Mutex;
 /// Opaque session identifier handed to clients.
 pub type SessionId = u64;
 
-/// A sharded `SessionId → InteractiveSession` map.
+/// A stored session plus its idle-tracking timestamp.
+struct Slot {
+    session: InteractiveSession,
+    last_seen: Instant,
+}
+
+/// A sharded `SessionId → InteractiveSession` map with idle tracking.
 pub struct SessionStore {
-    shards: Vec<Mutex<HashMap<SessionId, InteractiveSession>>>,
+    shards: Vec<Mutex<HashMap<SessionId, Slot>>>,
     next_id: AtomicU64,
 }
 
@@ -33,7 +45,7 @@ impl SessionStore {
         }
     }
 
-    fn shard(&self, id: SessionId) -> &Mutex<HashMap<SessionId, InteractiveSession>> {
+    fn shard(&self, id: SessionId) -> &Mutex<HashMap<SessionId, Slot>> {
         // Ids are sequential; a multiplicative hash spreads neighbouring
         // sessions across shards (Fibonacci hashing).
         let h = id.wrapping_mul(0x9e37_79b9_7f4a_7c15);
@@ -43,23 +55,43 @@ impl SessionStore {
     /// Insert a new session and return its id.
     pub fn insert(&self, session: InteractiveSession) -> SessionId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shard(id).lock().insert(id, session);
+        self.shard(id).lock().insert(id, Slot { session, last_seen: Instant::now() });
         id
     }
 
-    /// Run `f` on the session under its shard lock.  `None` when the id
-    /// is unknown (expired or never issued).
+    /// Run `f` on the session under its shard lock, refreshing its
+    /// idle timestamp.  `None` when the id is unknown (expired or never
+    /// issued).
     pub fn with<T>(
         &self,
         id: SessionId,
         f: impl FnOnce(&mut InteractiveSession) -> T,
     ) -> Option<T> {
-        self.shard(id).lock().get_mut(&id).map(f)
+        self.shard(id).lock().get_mut(&id).map(|slot| {
+            slot.last_seen = Instant::now();
+            f(&mut slot.session)
+        })
     }
 
     /// Remove a session, returning its final state.
     pub fn remove(&self, id: SessionId) -> Option<InteractiveSession> {
-        self.shard(id).lock().remove(&id)
+        self.shard(id).lock().remove(&id).map(|slot| slot.session)
+    }
+
+    /// Evict every session idle for at least `ttl`, returning how many
+    /// were dropped.  Shards are swept one lock at a time, so request
+    /// handlers only ever contend with the sweep of their own shard.
+    pub fn sweep_older_than(&self, ttl: Duration) -> usize {
+        let now = Instant::now();
+        self.shards
+            .iter()
+            .map(|s| {
+                let mut shard = s.lock();
+                let before = shard.len();
+                shard.retain(|_, slot| now.duration_since(slot.last_seen) < ttl);
+                before - shard.len()
+            })
+            .sum()
     }
 
     /// Number of live sessions across all shards.
@@ -95,6 +127,23 @@ mod tests {
         let removed = store.remove(a).unwrap();
         assert_eq!(removed.accepted(), &[5]);
         assert!(store.with(a, |_| ()).is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn sweep_evicts_only_idle_sessions() {
+        let store = SessionStore::new(4);
+        let a = store.insert(session(0));
+        let b = store.insert(session(1));
+        std::thread::sleep(Duration::from_millis(30));
+        // Touch `a` so only `b` is idle past the TTL.
+        store.with(a, |_| ());
+        let evicted = store.sweep_older_than(Duration::from_millis(20));
+        assert_eq!(evicted, 1);
+        assert!(store.with(a, |_| ()).is_some(), "touched session must survive");
+        assert!(store.with(b, |_| ()).is_none(), "idle session must be evicted");
+        // A generous TTL evicts nothing.
+        assert_eq!(store.sweep_older_than(Duration::from_secs(3600)), 0);
         assert_eq!(store.len(), 1);
     }
 

@@ -203,3 +203,76 @@ fn full_protocol_with_mid_run_hot_swap() {
     server_thread.join().expect("server thread").expect("server run");
     engine.shutdown();
 }
+
+#[test]
+fn idle_sessions_are_evicted_by_the_ttl_sweeper() {
+    let dataset = generate(&SynthConfig::tiny(0x88ff)).dataset;
+    let config = IrnConfig {
+        dim: 8,
+        user_dim: 4,
+        layers: 1,
+        heads: 2,
+        max_len: 10,
+        train: NeuralTrainConfig { epochs: 0, ..Default::default() },
+        ..Default::default()
+    };
+    let model = Irn::fit(&[], &[], dataset.num_items, dataset.num_users, &config, None);
+    let dir = std::env::temp_dir().join("irs_serve_ttl_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snap_path = dir.join("model.irsp");
+    model.save(std::fs::File::create(&snap_path).unwrap()).unwrap();
+    let arch = IrnArchitecture {
+        num_items: dataset.num_items,
+        num_users: dataset.num_users,
+        config: config.clone(),
+    };
+    let initial = arch.load_snapshot(snap_path.to_str().unwrap()).unwrap();
+    let registry = Arc::new(SnapshotRegistry::new(initial));
+    let engine = Arc::new(Engine::start(
+        registry,
+        BatchPolicy {
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            workers: 1,
+            queue_capacity: 16,
+        },
+    ));
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        engine.clone(),
+        None,
+        ServerConfig {
+            // Generous TTL: the assert below (live before idling) must
+            // not flake when this thread is descheduled on a busy 1-core
+            // runner between session creation and the check.
+            session_ttl: Some(Duration::from_secs(1)),
+            session_shards: 2,
+            ..Default::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let (status, created) =
+        request(addr, "POST", "/v1/session", "{\"user\": 0, \"history\": [0], \"objective\": 1}");
+    assert_eq!(status, 200, "create failed: {created}");
+    let sid = created.get("session_id").and_then(JsonValue::as_usize).expect("session id");
+    assert_eq!(handle.live_sessions(), 1);
+
+    // Abandon the session for several TTLs + sweeper intervals.
+    std::thread::sleep(Duration::from_millis(3000));
+    let (status, _) = request(addr, "GET", &format!("/v1/session/{sid}"), "");
+    assert_eq!(status, 404, "abandoned session must be evicted");
+    assert_eq!(handle.live_sessions(), 0);
+    assert!(handle.evicted_sessions() >= 1);
+    let (status, stats) = request(addr, "GET", "/v1/stats", "");
+    assert_eq!(status, 200);
+    assert!(stats.get("evicted_sessions").and_then(JsonValue::as_usize).unwrap() >= 1);
+
+    let (status, _) = request(addr, "POST", "/v1/admin/shutdown", "");
+    assert_eq!(status, 200);
+    server_thread.join().expect("server thread").expect("server run");
+    engine.shutdown();
+}

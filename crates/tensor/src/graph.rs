@@ -1,4 +1,5 @@
-//! Tape-based reverse-mode automatic differentiation.
+//! Tape-based reverse-mode automatic differentiation with a
+//! workspace-reusing arena.
 //!
 //! A [`Graph`] records every value produced during a forward pass together
 //! with a backward closure per operation.  [`Var`] is a `Copy` handle
@@ -6,42 +7,86 @@
 //! implementations live in the sibling `ops`, `nnops` and `shapeops`
 //! modules, all funnelling through [`Graph::push_op`].
 //!
+//! ## Buffer reuse across training steps
+//!
+//! Training runs the same step shape thousands of times, so instead of
+//! dropping a graph per step the training loops call [`Graph::reset`]:
+//! every node value and gradient buffer retires into a pool keyed by
+//! element count, and the next step's ops draw their output buffers from
+//! that pool via [`Graph::alloc_out`] / [`Graph::alloc_zeroed`] instead of
+//! the allocator.  Reset invalidates all outstanding [`Var`] handles of
+//! the previous step (using one panics on an out-of-bounds node id).
+//! Buffer reuse never changes values: an op either fully overwrites its
+//! pooled buffer or requests it zeroed, so results are bitwise identical
+//! to a freshly allocated graph.
+//!
 //! Custom operations (e.g. the IRN Personalized Impressionability Mask in
 //! `irs_nn`) can be defined outside this crate via [`Graph::custom_op`].
 
 use std::cell::RefCell;
+use std::collections::HashMap;
 
-use crate::tensor::Tensor;
+use crate::tensor::{numel, Tensor};
 
 /// Identifier of a node inside a [`Graph`].
 pub type VarId = usize;
 
+/// Retired buffers keyed by element count, ready for reuse by the next
+/// step's nodes of identical shape (shapes repeat across training steps;
+/// the ragged final minibatch of an epoch parks its odd sizes here until
+/// the next ragged batch, bounding the pool at one step's worth of
+/// buffers per distinct shape set).
+#[derive(Default)]
+struct Pool {
+    by_len: HashMap<usize, Vec<Vec<f32>>>,
+}
+
+impl Pool {
+    fn put(&mut self, t: Tensor) {
+        let data = t.into_vec();
+        if data.capacity() > 0 {
+            self.by_len.entry(data.len()).or_default().push(data);
+        }
+    }
+
+    /// A buffer of exactly `len` elements with unspecified (stale)
+    /// contents, or `None` when nothing of that size has retired.
+    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+        self.by_len.get_mut(&len).and_then(Vec::pop)
+    }
+}
+
 /// Backward context handed to every backward closure.
 ///
 /// Provides read access to parent values and the upstream gradient, and
-/// lazily-initialised mutable access to parent gradients.
+/// lazily-initialised mutable access to parent gradients.  Accessors
+/// return references tied to the backward pass (`'a`), so closures can
+/// hold a parent value or the upstream gradient while mutating a
+/// gradient slot — no defensive clones needed.
 pub struct BackwardCtx<'a> {
     parent_ids: &'a [VarId],
     values: &'a [Tensor],
+    needs_grad: &'a [bool],
     out_id: VarId,
     grad_out: &'a Tensor,
     /// Gradient slots for ids `0..out_id` (parents are always earlier).
     grads: &'a mut [Option<Tensor>],
+    pool: &'a RefCell<Pool>,
 }
 
 impl<'a> BackwardCtx<'a> {
     /// Value of the `i`-th parent.
-    pub fn value(&self, i: usize) -> &Tensor {
+    pub fn value(&self, i: usize) -> &'a Tensor {
         &self.values[self.parent_ids[i]]
     }
 
     /// Value of the op output.
-    pub fn out_value(&self) -> &Tensor {
+    pub fn out_value(&self) -> &'a Tensor {
         &self.values[self.out_id]
     }
 
     /// Gradient flowing into the op output.
-    pub fn grad_out(&self) -> &Tensor {
+    pub fn grad_out(&self) -> &'a Tensor {
         self.grad_out
     }
 
@@ -50,12 +95,28 @@ impl<'a> BackwardCtx<'a> {
         self.parent_ids.len()
     }
 
+    /// Whether the `i`-th parent requires a gradient.  Backward closures
+    /// may skip computing contributions for parents that do not — their
+    /// slots are never read by earlier ops or by parameter collection.
+    pub fn parent_needs_grad(&self, i: usize) -> bool {
+        self.needs_grad[self.parent_ids[i]]
+    }
+
+    /// A zeroed gradient tensor for the parent's shape, drawn from the
+    /// graph's buffer pool.
+    fn zeroed_like(&self, pid: VarId) -> Tensor {
+        let shape = self.values[pid].shape();
+        zeroed_from_pool(self.pool, shape)
+    }
+
     /// Mutable gradient slot of the `i`-th parent, zero-initialised on first
     /// access with the parent's shape.
     pub fn grad_mut(&mut self, i: usize) -> &mut Tensor {
         let pid = self.parent_ids[i];
-        let shape = self.values[pid].shape().to_vec();
-        self.grads[pid].get_or_insert_with(|| Tensor::zeros(&shape))
+        if self.grads[pid].is_none() {
+            self.grads[pid] = Some(self.zeroed_like(pid));
+        }
+        self.grads[pid].as_mut().expect("just initialised")
     }
 
     /// Accumulate `c * delta` into the `i`-th parent gradient.
@@ -66,6 +127,51 @@ impl<'a> BackwardCtx<'a> {
     /// Accumulate `delta` into the `i`-th parent gradient.
     pub fn accumulate(&mut self, i: usize, delta: &Tensor) {
         self.grad_mut(i).add_assign(delta);
+    }
+
+    /// Accumulate the upstream gradient into the `i`-th parent gradient
+    /// (the pass-through of `add`-like ops), without cloning it.
+    pub fn accumulate_grad_out(&mut self, i: usize) {
+        let go = self.grad_out;
+        self.grad_mut(i).add_assign(go);
+    }
+
+    /// Accumulate `c ·` upstream gradient into the `i`-th parent gradient.
+    pub fn accumulate_grad_out_scaled(&mut self, i: usize, c: f32) {
+        let go = self.grad_out;
+        self.grad_mut(i).axpy(c, go);
+    }
+
+    /// Accumulate the upstream gradient elementwise, ignoring shape (the
+    /// backward of `reshape`: same elements, different metadata).
+    pub fn accumulate_grad_out_flat(&mut self, i: usize) {
+        let go = self.grad_out;
+        self.grad_mut(i).add_assign_flat(go);
+    }
+
+    /// Accumulate a multi-add contribution computed by `f` into the
+    /// `i`-th parent gradient, preserving the historical accumulation
+    /// order exactly.
+    ///
+    /// `f` receives a **zeroed** buffer of the parent's shape and must
+    /// `+=` its full contribution into it (the `matmul_into`-family
+    /// contract).  When the slot is fresh the buffer *becomes* the
+    /// gradient; when a previous op already deposited a gradient, the
+    /// contribution is computed separately and added tensor-wide — the
+    /// same `grad += delta` rounding the compute-then-accumulate path
+    /// produced, so kernels that add many products per element stay
+    /// bitwise identical to the old two-pass code.
+    pub fn accumulate_with(&mut self, i: usize, f: impl FnOnce(&mut [f32])) {
+        let pid = self.parent_ids[i];
+        let mut fresh = self.zeroed_like(pid);
+        f(fresh.data_mut());
+        match &mut self.grads[pid] {
+            Some(live) => {
+                live.add_assign(&fresh);
+                self.pool.borrow_mut().put(fresh);
+            }
+            slot @ None => *slot = Some(fresh),
+        }
     }
 }
 
@@ -87,18 +193,69 @@ struct GraphInner {
 
 /// A computation tape.
 ///
-/// A fresh graph is created per forward/backward pass; dropping it releases
-/// all intermediates.  Interior mutability keeps the builder API ergonomic
-/// (`Var` is `Copy` and methods take `self` by value).
+/// One graph serves either a single forward/backward pass (drop it to
+/// release all intermediates) or — via [`Graph::reset`] — a whole
+/// training run, recycling its node and gradient buffers across steps.
+/// Interior mutability keeps the builder API ergonomic (`Var` is `Copy`
+/// and methods take `self` by value).
 #[derive(Default)]
 pub struct Graph {
     inner: RefCell<GraphInner>,
+    pool: RefCell<Pool>,
+}
+
+/// Pop a pooled buffer of the right size and zero it, or allocate fresh.
+fn zeroed_from_pool(pool: &RefCell<Pool>, shape: &[usize]) -> Tensor {
+    let n = numel(shape);
+    match pool.borrow_mut().take(n) {
+        Some(mut data) => {
+            data.iter_mut().for_each(|x| *x = 0.0);
+            Tensor::from_vec(data, shape)
+        }
+        None => Tensor::zeros(shape),
+    }
 }
 
 impl Graph {
     /// An empty tape.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Retire every node value and gradient into the buffer pool and
+    /// clear the tape, keeping all allocations for the next step.
+    ///
+    /// All `Var` handles created before the reset are invalidated (using
+    /// one panics).  Call between training steps of identical shape; the
+    /// subsequent forward pass then runs allocation-free.
+    pub fn reset(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let mut pool = self.pool.borrow_mut();
+        for t in inner.values.drain(..) {
+            pool.put(t);
+        }
+        for t in inner.grads.drain(..).flatten() {
+            pool.put(t);
+        }
+        inner.needs_grad.clear();
+        inner.ops.clear();
+    }
+
+    /// An output buffer for an op producing `shape`: recycled from the
+    /// pool when a retired buffer of the same element count exists
+    /// (contents then **unspecified** — the op must overwrite every
+    /// element), freshly zero-allocated otherwise.
+    pub fn alloc_out(&self, shape: &[usize]) -> Tensor {
+        match self.pool.borrow_mut().take(numel(shape)) {
+            Some(data) => Tensor::from_vec(data, shape),
+            None => Tensor::zeros(shape),
+        }
+    }
+
+    /// Like [`Graph::alloc_out`] but guaranteed zero-filled — for ops that
+    /// accumulate into their output (`out += …` kernels).
+    pub fn alloc_zeroed(&self, shape: &[usize]) -> Tensor {
+        zeroed_from_pool(&self.pool, shape)
     }
 
     /// Insert a leaf value.  `needs_grad` leaves receive gradients during
@@ -110,6 +267,14 @@ impl Graph {
         inner.grads.push(None);
         inner.needs_grad.push(needs_grad);
         Var { graph: self, id }
+    }
+
+    /// Insert a leaf copied from `value` into a pooled buffer — the
+    /// allocation-free way to bind parameters each step.
+    pub fn var_from(&self, value: &Tensor, needs_grad: bool) -> Var<'_> {
+        let mut buf = self.alloc_out(value.shape());
+        buf.data_mut().copy_from_slice(value.data());
+        self.var(buf, needs_grad)
     }
 
     /// Insert a constant leaf (no gradient).
@@ -165,7 +330,7 @@ impl Graph {
     ///
     /// Gradients of all `needs_grad` leaves reachable from `loss` are
     /// afterwards available via [`Graph::grad`].  Backward may be called
-    /// once per graph.
+    /// once per graph (once per [`Graph::reset`] cycle).
     pub fn backward(&self, loss: Var<'_>) {
         assert!(std::ptr::eq(loss.graph, self), "loss Var from a different Graph");
         let mut inner = self.inner.borrow_mut();
@@ -176,7 +341,9 @@ impl Graph {
             "backward requires a scalar loss, got shape {:?}",
             inner.values[loss.id].shape()
         );
-        inner.grads[loss.id] = Some(Tensor::scalar(1.0));
+        let mut seed = zeroed_from_pool(&self.pool, &[1]);
+        seed.data_mut()[0] = 1.0;
+        inner.grads[loss.id] = Some(seed);
         for op in inner.ops.iter().rev() {
             // Split so the output gradient can be read while parent slots
             // are written; parents always precede their output on the tape.
@@ -188,9 +355,11 @@ impl Graph {
             let mut ctx = BackwardCtx {
                 parent_ids: &op.parents,
                 values: &inner.values,
+                needs_grad: &inner.needs_grad,
                 out_id: op.out,
                 grad_out,
                 grads: before,
+                pool: &self.pool,
             };
             (op.back)(&mut ctx);
         }
@@ -199,6 +368,12 @@ impl Graph {
     /// Gradient accumulated at `var` (None if it never received one).
     pub fn grad(&self, var: Var<'_>) -> Option<Tensor> {
         self.inner.borrow().grads[var.id].clone()
+    }
+
+    /// Run `f` with a borrow of the gradient at `var` (avoids a clone);
+    /// `None` when no gradient was accumulated.
+    pub fn with_grad<R>(&self, var: Var<'_>, f: impl FnOnce(&Tensor) -> R) -> Option<R> {
+        self.inner.borrow().grads[var.id].as_ref().map(f)
     }
 
     /// Clone of the value stored at `var`.
@@ -270,10 +445,8 @@ mod tests {
         let y = x.mul(c).sum_all();
         g.backward(y);
         assert_eq!(g.grad(x).unwrap().item(), 3.0);
-        // Constant slot may hold a gradient internally but the leaf was
-        // declared needs_grad=false so the op was recorded only because x
-        // needs it; reading c's grad is not part of the contract, but x's
-        // gradient must be exact.
+        // The op was recorded because x needs a gradient; c's slot is not
+        // part of the contract, but x's gradient must be exact.
     }
 
     #[test]
@@ -321,11 +494,78 @@ mod tests {
         // out = 5 * x, custom implementation.
         let val = g.value(x).scale(5.0);
         let y = g.custom_op(&[x], val, |ctx| {
-            let go = ctx.grad_out().clone();
-            ctx.accumulate_scaled(0, 5.0, &go);
+            ctx.accumulate_grad_out_scaled(0, 5.0);
         });
         let loss = y.sum_all();
         g.backward(loss);
+        assert_eq!(g.grad(x).unwrap().data(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_preserves_results() {
+        // The same computation, once on a fresh graph and once on a graph
+        // that has been through a reset cycle, must agree bitwise — and
+        // the second pass must draw its buffers from the pool.
+        let g = Graph::new();
+        let run = |g: &Graph| {
+            let x = g.var(Tensor::from_vec(vec![0.5, -1.5, 2.5, 3.5], &[2, 2]), true);
+            let w = g.var(Tensor::from_vec(vec![1.0, 2.0, -0.5, 0.25], &[2, 2]), true);
+            let y = x.matmul(w).relu().sum_all();
+            g.backward(y);
+            (y.item(), g.grad(x).unwrap(), g.grad(w).unwrap())
+        };
+        let (l1, dx1, dw1) = run(&g);
+        let nodes = g.num_nodes();
+        g.reset();
+        assert_eq!(g.num_nodes(), 0);
+        let (l2, dx2, dw2) = run(&g);
+        assert_eq!(g.num_nodes(), nodes);
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(dx1.data(), dx2.data());
+        assert_eq!(dw1.data(), dw2.data());
+
+        let fresh = Graph::new();
+        let (l3, dx3, dw3) = run(&fresh);
+        assert_eq!(l1.to_bits(), l3.to_bits());
+        assert_eq!(dx1.data(), dx3.data());
+        assert_eq!(dw1.data(), dw3.data());
+    }
+
+    #[test]
+    fn alloc_out_reuses_retired_buffers() {
+        let g = Graph::new();
+        let _ = g.var(Tensor::full(&[4, 4], 7.0), false);
+        g.reset();
+        // The retired 16-element buffer must come back from the pool
+        // (contents stale), and alloc_zeroed must scrub it.
+        let t = g.alloc_out(&[2, 8]);
+        assert_eq!(t.len(), 16);
+        let _ = g.var(t, false);
+        g.reset();
+        let t2 = g.alloc_zeroed(&[16]);
+        assert!(t2.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn accumulate_with_matches_two_pass_accumulation() {
+        // Fresh slot: contribution becomes the gradient. Live slot: the
+        // contribution is computed apart and added whole, like the old
+        // compute-then-add path.
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+        let y = g.custom_op(&[x, x], g.value(x).scale(2.0), |ctx| {
+            ctx.accumulate_with(0, |out| {
+                for o in out.iter_mut() {
+                    *o += 2.0;
+                }
+            });
+            ctx.accumulate_with(1, |out| {
+                for o in out.iter_mut() {
+                    *o += 3.0;
+                }
+            });
+        });
+        g.backward(y.sum_all());
         assert_eq!(g.grad(x).unwrap().data(), &[5.0, 5.0]);
     }
 }

@@ -47,7 +47,10 @@ mod shapeops;
 mod tensor;
 
 pub use graph::{BackwardCtx, Graph, Var, VarId};
-pub use tensor::{matmul_into, matmul_into_packed, matmul_into_plain, Tensor, TensorError};
+pub use tensor::{
+    bmm_into, bmm_nt_into, bmm_tn_into, matmul_into, matmul_into_packed, matmul_into_plain,
+    matmul_nt_into, matmul_tn_into, set_kernel_threads, Tensor, TensorError,
+};
 
 /// Numerically stable log-sum-exp over a slice.
 ///

@@ -1,8 +1,14 @@
 //! Differentiable neural-network primitives: softmax, log-softmax, layer
 //! normalisation, dropout, additive masks and the fused cross-entropy loss.
+//!
+//! Like the arithmetic ops, outputs come from the graph's buffer pool and
+//! backward closures accumulate in place against borrowed values — no
+//! per-op clones.  Accumulation order per gradient element is unchanged
+//! from the historical implementations, keeping trajectories bitwise
+//! stable.
 
 use crate::graph::Var;
-use crate::tensor::{softmax_in_place, Tensor};
+use crate::tensor::Tensor;
 
 impl<'g> Var<'g> {
     /// Softmax along the last axis.
@@ -10,10 +16,15 @@ impl<'g> Var<'g> {
     /// Backward uses the standard Jacobian-vector product
     /// `dx = y ⊙ (g − ⟨g, y⟩)` computed row-wise.
     pub fn softmax_last(self) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.softmax_last());
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(a.shape());
+            out.data_mut().copy_from_slice(a.data());
+            out.softmax_last_in_place();
+            out
+        });
         self.graph.push_op(&[self], v, |ctx| {
-            let y = ctx.out_value().clone();
-            let go = ctx.grad_out().clone();
+            let y = ctx.out_value();
+            let go = ctx.grad_out();
             let d = *y.shape().last().expect("softmax grad on 0-d tensor");
             let dx = ctx.grad_mut(0);
             for ((dx_row, y_row), g_row) in
@@ -31,10 +42,22 @@ impl<'g> Var<'g> {
     ///
     /// Backward: `dx = g − softmax(x) · Σ g` computed row-wise.
     pub fn log_softmax_last(self) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.log_softmax_last());
+        let v = self.graph.with_value(self, |a| {
+            let d = *a.shape().last().expect("log_softmax on 0-d tensor");
+            assert!(d > 0, "log_softmax over empty last axis");
+            let mut out = self.graph.alloc_out(a.shape());
+            for (row, src) in out.data_mut().chunks_mut(d).zip(a.data().chunks(d)) {
+                let m = src.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+                let lse = m + src.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+                for (o, &x) in row.iter_mut().zip(src) {
+                    *o = x - lse;
+                }
+            }
+            out
+        });
         self.graph.push_op(&[self], v, |ctx| {
-            let logp = ctx.out_value().clone();
-            let go = ctx.grad_out().clone();
+            let logp = ctx.out_value();
+            let go = ctx.grad_out();
             let d = *logp.shape().last().expect("log_softmax grad on 0-d tensor");
             let dx = ctx.grad_mut(0);
             for ((dx_row, lp_row), g_row) in
@@ -54,40 +77,50 @@ impl<'g> Var<'g> {
         let d = *self.shape().last().expect("layer_norm on 0-d tensor");
         assert_eq!(gamma.shape(), vec![d], "gamma must be [{d}]");
         assert_eq!(beta.shape(), vec![d], "beta must be [{d}]");
+        // Per-row (mean, 1/σ) cached for the backward in a pooled buffer
+        // (a constant tape parent, like gelu's tanh cache) — recomputing
+        // them cost two extra passes over `x` per row.
+        let rows = self.graph.with_value(self, |x| x.len() / d);
+        let mut stats = self.graph.alloc_out(&[rows, 2]);
         let v = self.graph.with_value(self, |x| {
             gamma.graph.with_value(gamma, |gm| {
                 beta.graph.with_value(beta, |bt| {
-                    let mut out = x.clone();
-                    for row in out.data_mut().chunks_mut(d) {
-                        let mean = row.iter().sum::<f32>() / d as f32;
+                    let mut out = self.graph.alloc_out(x.shape());
+                    for ((row, src), st) in out
+                        .data_mut()
+                        .chunks_mut(d)
+                        .zip(x.data().chunks(d))
+                        .zip(stats.data_mut().chunks_mut(2))
+                    {
+                        let mean = src.iter().sum::<f32>() / d as f32;
                         let var =
-                            row.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
+                            src.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / d as f32;
                         let inv = 1.0 / (var + eps).sqrt();
-                        for (i, r) in row.iter_mut().enumerate() {
-                            *r = (*r - mean) * inv * gm.data()[i] + bt.data()[i];
+                        st[0] = mean;
+                        st[1] = inv;
+                        for ((o, &x), i) in row.iter_mut().zip(src).zip(0..d) {
+                            *o = (x - mean) * inv * gm.data()[i] + bt.data()[i];
                         }
                     }
                     out
                 })
             })
         });
-        self.graph.push_op(&[self, gamma, beta], v, move |ctx| {
-            let x = ctx.value(0).clone();
-            let gm = ctx.value(1).clone();
-            let go = ctx.grad_out().clone();
+        let stats = self.graph.constant(stats);
+        self.graph.push_op(&[self, gamma, beta, stats], v, move |ctx| {
+            let x = ctx.value(0);
+            let gm = ctx.value(1);
+            let stats = ctx.value(3);
+            let go = ctx.grad_out();
             let rows = x.len() / d;
-            // Recompute per-row statistics (cheaper than caching for the
-            // small feature dims used in this workspace).
             let mut dgamma = vec![0.0f32; d];
             let mut dbeta = vec![0.0f32; d];
             {
                 let dx = ctx.grad_mut(0);
-                for r in 0..rows {
+                for (r, st) in stats.data().chunks(2).enumerate().take(rows) {
+                    let (mean, inv) = (st[0], st[1]);
                     let xr = &x.data()[r * d..(r + 1) * d];
                     let gr = &go.data()[r * d..(r + 1) * d];
-                    let mean = xr.iter().sum::<f32>() / d as f32;
-                    let var = xr.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d as f32;
-                    let inv = 1.0 / (var + eps).sqrt();
                     // xhat_i = (x_i - mean) * inv
                     // dxhat_i = g_i * gamma_i
                     let mut sum_dxhat = 0.0f32;
@@ -121,98 +154,118 @@ impl<'g> Var<'g> {
     /// Inverted dropout.  When `training` is false this is the identity.
     /// The Bernoulli mask is drawn from `rng` at op-construction time so the
     /// forward value and backward routing agree.
+    ///
+    /// The mask lives as a constant node (a pooled buffer, recycled on
+    /// graph reset — masks are the largest per-step allocations after the
+    /// activations) and the op is a plain Hadamard `mul`, whose backward
+    /// `dx += g ⊙ mask` is the identical expression the dedicated
+    /// dropout backward applied; the mask, as a constant, receives none.
     pub fn dropout<R: rand::Rng + ?Sized>(self, p: f32, training: bool, rng: &mut R) -> Var<'g> {
         assert!((0.0..1.0).contains(&p), "dropout p must be in [0,1), got {p}");
         if !training || p == 0.0 {
             return self;
         }
         let keep = 1.0 - p;
-        let n = self.graph.with_value(self, |t| t.len());
-        let mask: Vec<f32> =
-            (0..n).map(|_| if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 }).collect();
-        let v = self.graph.with_value(self, |t| {
-            let mut out = t.clone();
-            for (o, &m) in out.data_mut().iter_mut().zip(&mask) {
-                *o *= m;
-            }
-            out
-        });
-        self.graph.push_op(&[self], v, move |ctx| {
-            let go = ctx.grad_out().clone();
-            let dx = ctx.grad_mut(0);
-            for ((o, &g), &m) in dx.data_mut().iter_mut().zip(go.data()).zip(&mask) {
-                *o += g * m;
-            }
-        })
+        let mut mask = self.graph.with_value(self, |t| self.graph.alloc_out(t.shape()));
+        for m in mask.data_mut() {
+            *m = if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 };
+        }
+        let mask = self.graph.constant(mask);
+        self.mul(mask)
     }
 
     /// Add a constant bias tensor broadcast over the leading axis:
     /// `self: [B, ...rest]`, `mask: [...rest]`.  No gradient flows into the
     /// mask (it is plain data, e.g. a causal attention mask).
     pub fn add_mask_bcast(self, mask: &Tensor) -> Var<'g> {
-        let shape = self.shape();
         let rest: usize = mask.len();
-        assert!(
-            !shape.is_empty() && shape.iter().skip(1).product::<usize>() == rest,
-            "mask shape {:?} does not match trailing axes of {:?}",
-            mask.shape(),
-            shape
-        );
-        let mask_data = mask.data().to_vec();
         let v = self.graph.with_value(self, |t| {
-            let mut out = t.clone();
-            for chunk in out.data_mut().chunks_mut(rest) {
-                for (o, &m) in chunk.iter_mut().zip(&mask_data) {
-                    *o += m;
+            assert!(
+                t.ndim() > 0 && t.shape().iter().skip(1).product::<usize>() == rest,
+                "mask shape {:?} does not match trailing axes of {:?}",
+                mask.shape(),
+                t.shape()
+            );
+            let mut out = self.graph.alloc_out(t.shape());
+            for (chunk, src) in out.data_mut().chunks_mut(rest).zip(t.data().chunks(rest)) {
+                for ((o, &x), &m) in chunk.iter_mut().zip(src).zip(mask.data()) {
+                    *o = x + m;
                 }
             }
             out
         });
         self.graph.push_op(&[self], v, |ctx| {
-            let go = ctx.grad_out().clone();
-            ctx.accumulate(0, &go);
+            ctx.accumulate_grad_out(0);
         })
     }
 
-    /// Fused softmax cross-entropy over the last axis of a 2-D logits
-    /// tensor `[N, V]`, with integer `targets` (length `N`).  Positions
-    /// whose target equals `ignore_index` contribute neither loss nor
-    /// gradient.  Returns the mean loss over non-ignored rows (scalar).
+    /// Fused softmax cross-entropy over the last axis of a logits tensor
+    /// (any rank; leading axes flatten to rows of width `V`), with integer
+    /// `targets` (one per row).  Positions whose target equals
+    /// `ignore_index` contribute neither loss nor gradient.  Returns the
+    /// mean loss over non-ignored rows (scalar).
     pub fn cross_entropy(self, targets: &[usize], ignore_index: usize) -> Var<'g> {
         let shape = self.shape();
-        assert_eq!(shape.len(), 2, "cross_entropy expects 2-D logits, got {shape:?}");
-        let (n, v_dim) = (shape[0], shape[1]);
+        let v_dim = *shape.last().expect("cross_entropy on 0-d logits");
+        let n: usize = shape[..shape.len() - 1].iter().product();
         assert_eq!(targets.len(), n, "targets length must equal logits rows");
         let tg: Vec<usize> = targets.to_vec();
         let count = tg.iter().filter(|&&t| t != ignore_index).count().max(1);
 
+        // The softmax the backward needs is a byproduct of the forward's
+        // log-sum-exp, so cache the per-row probabilities in a pooled
+        // buffer: the exps are computed once, summed in the same
+        // ascending order (the loss sees the identical `lse`), then
+        // normalised exactly as `softmax_in_place` would — re-softmaxing
+        // every row in the backward was the second-largest `exp` sink of
+        // a training step.  Rows whose target is ignored are skipped on
+        // both sides, so their (stale) cache contents are never read.
+        let mut probs = self.graph.alloc_out(&[n, v_dim]);
         let value = self.graph.with_value(self, |logits| {
             let mut loss = 0.0f64;
-            for (row, &t) in logits.data().chunks(v_dim).zip(&tg) {
+            for ((row, p_row), &t) in
+                logits.data().chunks(v_dim).zip(probs.data_mut().chunks_mut(v_dim)).zip(&tg)
+            {
                 if t == ignore_index {
                     continue;
                 }
                 assert!(t < v_dim, "target {t} out of vocabulary {v_dim}");
                 let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-                let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+                let mut sum = 0.0f32;
+                for (p, &x) in p_row.iter_mut().zip(row) {
+                    *p = (x - m).exp();
+                    sum += *p;
+                }
+                let lse = m + sum.ln();
                 loss += f64::from(lse - row[t]);
+                if sum > 0.0 {
+                    let inv = 1.0 / sum;
+                    p_row.iter_mut().for_each(|p| *p *= inv);
+                } else {
+                    // Mirror `softmax_in_place`'s all-`-inf` fallback.
+                    let u = 1.0 / v_dim as f32;
+                    p_row.iter_mut().for_each(|p| *p = u);
+                }
             }
-            Tensor::scalar((loss / count as f64) as f32)
+            let mut out = self.graph.alloc_out(&[1]);
+            out.data_mut()[0] = (loss / count as f64) as f32;
+            out
         });
 
-        self.graph.push_op(&[self], value, move |ctx| {
+        // Like gelu's tanh cache: the probabilities ride the tape as a
+        // constant parent so the buffer recycles on graph reset.
+        let probs = self.graph.constant(probs);
+        self.graph.push_op(&[self, probs], value, move |ctx| {
             let g = ctx.grad_out().item() / count as f32;
-            let logits = ctx.value(0).clone();
+            let probs = ctx.value(1);
             let dx = ctx.grad_mut(0);
-            for ((dx_row, row), &t) in
-                dx.data_mut().chunks_mut(v_dim).zip(logits.data().chunks(v_dim)).zip(&tg)
+            for ((dx_row, p_row), &t) in
+                dx.data_mut().chunks_mut(v_dim).zip(probs.data().chunks(v_dim)).zip(&tg)
             {
                 if t == ignore_index {
                     continue;
                 }
-                let mut probs = row.to_vec();
-                softmax_in_place(&mut probs);
-                for (i, (o, &p)) in dx_row.iter_mut().zip(&probs).enumerate() {
+                for (i, (o, &p)) in dx_row.iter_mut().zip(p_row).enumerate() {
                     let indicator = if i == t { 1.0 } else { 0.0 };
                     *o += g * (p - indicator);
                 }
@@ -253,6 +306,14 @@ mod tests {
             let wv = vars[0].graph().constant(w);
             y.mul(wv).sum_all()
         });
+    }
+
+    #[test]
+    fn log_softmax_matches_tensor_kernel() {
+        let t = Tensor::from_vec(vec![0.3, -0.7, 1.9, 0.0, 5.0, -5.0], &[2, 3]);
+        let g = Graph::new();
+        let v = g.constant(t.clone()).log_softmax_last();
+        assert_eq!(v.value().data(), t.log_softmax_last().data());
     }
 
     #[test]
@@ -332,6 +393,22 @@ mod tests {
         let lp = logits.log_softmax_last();
         let manual = -(lp.at(&[0, 1]) + lp.at(&[1, 2])) / 2.0;
         assert!((loss.item() - manual).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_accepts_3d_logits() {
+        // [B, T, V] logits flatten to B·T rows — the training loops feed
+        // the projection output without an intermediate reshape node.
+        let g = Graph::new();
+        let logits = Tensor::randn(&[2, 3, 4], 1.0, &mut rng());
+        let targets = [0usize, 3, 1, 2, 9, 0];
+        let flat = g.var(logits.reshaped(&[6, 4]), true);
+        let cube = g.var(logits, true);
+        let l_flat = flat.cross_entropy(&targets, 9);
+        let l_cube = cube.cross_entropy(&targets, 9);
+        assert_eq!(l_flat.item().to_bits(), l_cube.item().to_bits());
+        g.backward(l_flat.add(l_cube).sum_all());
+        assert_eq!(g.grad(flat).unwrap().data(), g.grad(cube).unwrap().data());
     }
 
     #[test]

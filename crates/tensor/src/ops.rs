@@ -1,7 +1,19 @@
 //! Differentiable arithmetic, linear algebra and activation operations.
+//!
+//! Every op draws its output from the graph's recycled-buffer pool
+//! ([`crate::Graph::alloc_out`]) so repeated steps over a reset graph run
+//! allocation-free, and every backward closure works directly against the
+//! upstream gradient and parent values (no defensive clones).  The matmul
+//! family routes its backward — matmuls against transposed operands —
+//! through the blocked transposed-accumulate kernels
+//! ([`crate::matmul_nt_into`] / [`crate::matmul_tn_into`]), preserving
+//! per-element accumulation order and the skip-zero rule so gradients are
+//! bitwise identical to the historical transpose-then-multiply path.
 
 use crate::graph::Var;
-use crate::tensor::Tensor;
+use crate::tensor::{
+    bmm_into, bmm_nt_into, bmm_tn_into, matmul_into, matmul_nt_into, matmul_tn_into,
+};
 
 #[allow(clippy::should_implement_trait)] // add/sub/mul/neg mirror tensor-library convention
 impl<'g> Var<'g> {
@@ -11,50 +23,96 @@ impl<'g> Var<'g> {
 
     /// Elementwise `self + other` (identical shapes).
     pub fn add(self, other: Var<'g>) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.add(b)));
+        let v = self.graph.with_value(self, |a| {
+            other.graph.with_value(other, |b| {
+                assert_eq!(a.shape(), b.shape(), "add shape mismatch");
+                let mut out = self.graph.alloc_out(a.shape());
+                for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+                    *o = x + y;
+                }
+                out
+            })
+        });
         self.graph.push_op(&[self, other], v, |ctx| {
-            let g = ctx.grad_out().clone();
-            ctx.accumulate(0, &g);
-            ctx.accumulate(1, &g);
+            ctx.accumulate_grad_out(0);
+            ctx.accumulate_grad_out(1);
         })
     }
 
     /// Elementwise `self - other` (identical shapes).
     pub fn sub(self, other: Var<'g>) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.sub(b)));
+        let v = self.graph.with_value(self, |a| {
+            other.graph.with_value(other, |b| {
+                assert_eq!(a.shape(), b.shape(), "sub shape mismatch");
+                let mut out = self.graph.alloc_out(a.shape());
+                for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+                    *o = x - y;
+                }
+                out
+            })
+        });
         self.graph.push_op(&[self, other], v, |ctx| {
-            let g = ctx.grad_out().clone();
-            ctx.accumulate(0, &g);
-            ctx.accumulate_scaled(1, -1.0, &g);
+            ctx.accumulate_grad_out(0);
+            ctx.accumulate_grad_out_scaled(1, -1.0);
         })
     }
 
     /// Elementwise Hadamard product (identical shapes).
     pub fn mul(self, other: Var<'g>) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.mul(b)));
+        let v = self.graph.with_value(self, |a| {
+            other.graph.with_value(other, |b| {
+                assert_eq!(a.shape(), b.shape(), "mul shape mismatch");
+                let mut out = self.graph.alloc_out(a.shape());
+                for ((o, &x), &y) in out.data_mut().iter_mut().zip(a.data()).zip(b.data()) {
+                    *o = x * y;
+                }
+                out
+            })
+        });
         self.graph.push_op(&[self, other], v, |ctx| {
-            let da = ctx.grad_out().mul(ctx.value(1));
-            let db = ctx.grad_out().mul(ctx.value(0));
-            ctx.accumulate(0, &da);
-            ctx.accumulate(1, &db);
+            let go = ctx.grad_out();
+            let b = ctx.value(1);
+            let a = ctx.value(0);
+            if ctx.parent_needs_grad(0) {
+                let da = ctx.grad_mut(0);
+                for ((o, &g), &y) in da.data_mut().iter_mut().zip(go.data()).zip(b.data()) {
+                    *o += g * y;
+                }
+            }
+            if ctx.parent_needs_grad(1) {
+                let db = ctx.grad_mut(1);
+                for ((o, &g), &x) in db.data_mut().iter_mut().zip(go.data()).zip(a.data()) {
+                    *o += g * x;
+                }
+            }
         })
     }
 
     /// `self + c` for a scalar constant.
     pub fn add_scalar(self, c: f32) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.map(|x| x + c));
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(a.shape());
+            for (o, &x) in out.data_mut().iter_mut().zip(a.data()) {
+                *o = x + c;
+            }
+            out
+        });
         self.graph.push_op(&[self], v, |ctx| {
-            let g = ctx.grad_out().clone();
-            ctx.accumulate(0, &g);
+            ctx.accumulate_grad_out(0);
         })
     }
 
     /// `self * c` for a scalar constant.
     pub fn mul_scalar(self, c: f32) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.scale(c));
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(a.shape());
+            for (o, &x) in out.data_mut().iter_mut().zip(a.data()) {
+                *o = x * c;
+            }
+            out
+        });
         self.graph.push_op(&[self], v, move |ctx| {
-            let g = ctx.grad_out().clone();
-            ctx.accumulate_scaled(0, c, &g);
+            ctx.accumulate_grad_out_scaled(0, c);
         })
     }
 
@@ -68,11 +126,16 @@ impl<'g> Var<'g> {
     /// learned temperature / impressionability factors.
     pub fn scale_by(self, s: Var<'g>) -> Var<'g> {
         let sv = s.item();
-        let v = self.graph.with_value(self, |a| a.scale(sv));
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(a.shape());
+            for (o, &x) in out.data_mut().iter_mut().zip(a.data()) {
+                *o = x * sv;
+            }
+            out
+        });
         self.graph.push_op(&[self, s], v, |ctx| {
             let s_val = ctx.value(1).item();
-            let go = ctx.grad_out().clone();
-            ctx.accumulate_scaled(0, s_val, &go);
+            ctx.accumulate_grad_out_scaled(0, s_val);
             let ds: f32 =
                 ctx.grad_out().data().iter().zip(ctx.value(0).data()).map(|(&g, &x)| g * x).sum();
             ctx.grad_mut(1).data_mut()[0] += ds;
@@ -96,18 +159,18 @@ impl<'g> Var<'g> {
                     "bias length {d} does not match last axis of {:?}",
                     a.shape()
                 );
-                let mut out = a.clone();
-                for row in out.data_mut().chunks_mut(d) {
-                    for (o, &bb) in row.iter_mut().zip(b.data()) {
-                        *o += bb;
+                let mut out = self.graph.alloc_out(a.shape());
+                for (row, src) in out.data_mut().chunks_mut(d).zip(a.data().chunks(d)) {
+                    for ((o, &x), &bb) in row.iter_mut().zip(src).zip(b.data()) {
+                        *o = x + bb;
                     }
                 }
                 out
             })
         });
         self.graph.push_op(&[self, bias], v, |ctx| {
-            let go = ctx.grad_out().clone();
-            ctx.accumulate(0, &go);
+            ctx.accumulate_grad_out(0);
+            let go = ctx.grad_out();
             let d = ctx.value(1).shape()[0];
             let db = ctx.grad_mut(1);
             for row in go.data().chunks(d) {
@@ -124,44 +187,223 @@ impl<'g> Var<'g> {
 
     /// 2-D matrix multiply.
     pub fn matmul(self, other: Var<'g>) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.matmul(b)));
+        let v = self.graph.with_value(self, |a| {
+            other.graph.with_value(other, |b| {
+                assert_eq!(a.ndim(), 2, "matmul lhs must be 2-D, got {:?}", a.shape());
+                assert_eq!(b.ndim(), 2, "matmul rhs must be 2-D, got {:?}", b.shape());
+                let (m, k) = (a.shape()[0], a.shape()[1]);
+                let (k2, n) = (b.shape()[0], b.shape()[1]);
+                assert_eq!(k, k2, "matmul inner dims differ: {:?} vs {:?}", a.shape(), b.shape());
+                let mut out = self.graph.alloc_zeroed(&[m, n]);
+                matmul_into(a.data(), b.data(), out.data_mut(), m, k, n);
+                out
+            })
+        });
         self.graph.push_op(&[self, other], v, |ctx| {
-            // dA = g @ Bᵀ ; dB = Aᵀ @ g
-            let da = ctx.grad_out().matmul(&ctx.value(1).transpose2d());
-            let db = ctx.value(0).transpose2d().matmul(ctx.grad_out());
-            ctx.accumulate(0, &da);
-            ctx.accumulate(1, &db);
+            // dA += g @ Bᵀ ; dB += Aᵀ @ g — transposed-accumulate kernels,
+            // bitwise equal to materialising the transposes.
+            let g = ctx.grad_out();
+            let (m, n) = (g.shape()[0], g.shape()[1]);
+            if ctx.parent_needs_grad(0) {
+                let b = ctx.value(1);
+                let k = b.shape()[0];
+                ctx.accumulate_with(0, |out| matmul_nt_into(g.data(), b.data(), out, m, n, k));
+            }
+            if ctx.parent_needs_grad(1) {
+                let a = ctx.value(0);
+                let k = a.shape()[1];
+                ctx.accumulate_with(1, |out| matmul_tn_into(a.data(), g.data(), out, m, k, n));
+            }
         })
     }
 
     /// Batched 3-D matmul `[b,m,k] @ [b,k,n] -> [b,m,n]`.
     pub fn bmm(self, other: Var<'g>) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| other.graph.with_value(other, |b| a.bmm(b)));
+        let v = self.graph.with_value(self, |a| {
+            other.graph.with_value(other, |b| {
+                assert_eq!(a.ndim(), 3, "bmm lhs must be 3-D, got {:?}", a.shape());
+                assert_eq!(b.ndim(), 3, "bmm rhs must be 3-D, got {:?}", b.shape());
+                let (bt, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+                let (b2, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+                assert_eq!(bt, b2, "bmm batch dims differ");
+                assert_eq!(k, k2, "bmm inner dims differ: {:?} vs {:?}", a.shape(), b.shape());
+                let mut out = self.graph.alloc_zeroed(&[bt, m, n]);
+                bmm_into(a.data(), b.data(), out.data_mut(), bt, m, k, n);
+                out
+            })
+        });
         self.graph.push_op(&[self, other], v, |ctx| {
-            let da = ctx.grad_out().bmm(&ctx.value(1).transpose_last2());
-            let db = ctx.value(0).transpose_last2().bmm(ctx.grad_out());
-            ctx.accumulate(0, &da);
-            ctx.accumulate(1, &db);
+            let g = ctx.grad_out();
+            let (bt, m, n) = (g.shape()[0], g.shape()[1], g.shape()[2]);
+            if ctx.parent_needs_grad(0) {
+                let b = ctx.value(1);
+                let k = b.shape()[1];
+                ctx.accumulate_with(0, |out| bmm_nt_into(g.data(), b.data(), out, bt, m, n, k));
+            }
+            if ctx.parent_needs_grad(1) {
+                let a = ctx.value(0);
+                let k = a.shape()[2];
+                ctx.accumulate_with(1, |out| bmm_tn_into(a.data(), g.data(), out, bt, m, k, n));
+            }
+        })
+    }
+
+    /// Batched `self @ otherᵀ` over the last two axes:
+    /// `[b,m,d] @ [b,n,d] -> [b,m,n]` — the attention score kernel, one
+    /// tape node instead of `other.transpose_last2()` + `bmm`, with
+    /// identical values and gradients (the forward stages the transpose
+    /// in kernel scratch; the backward needs no transposes at all —
+    /// `dA += G @ B` is a plain bmm, and `dB` scatters the same products
+    /// the transpose-node chain accumulated, in the same order).
+    pub fn bmm_nt(self, other: Var<'g>) -> Var<'g> {
+        let v = self.graph.with_value(self, |a| {
+            other.graph.with_value(other, |b| {
+                assert_eq!(a.ndim(), 3, "bmm_nt lhs must be 3-D, got {:?}", a.shape());
+                assert_eq!(b.ndim(), 3, "bmm_nt rhs must be 3-D, got {:?}", b.shape());
+                let (bt, m, d) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+                let (b2, n, d2) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+                assert_eq!(bt, b2, "bmm_nt batch dims differ");
+                assert_eq!(d, d2, "bmm_nt inner dims differ: {:?} vs {:?}", a.shape(), b.shape());
+                let mut out = self.graph.alloc_zeroed(&[bt, m, n]);
+                bmm_nt_into(a.data(), b.data(), out.data_mut(), bt, m, d, n);
+                out
+            })
+        });
+        self.graph.push_op(&[self, other], v, |ctx| {
+            let g = ctx.grad_out();
+            let (bt, m, n) = (g.shape()[0], g.shape()[1], g.shape()[2]);
+            if ctx.parent_needs_grad(0) {
+                // dA += G @ B : [b,m,n] @ [b,n,d] — contraction ascending
+                // over n with the skip-zero rule on G, exactly what the
+                // transpose-node chain's NT kernel produced.
+                let b = ctx.value(1);
+                let d = b.shape()[2];
+                ctx.accumulate_with(0, |out| bmm_into(g.data(), b.data(), out, bt, m, n, d));
+            }
+            if ctx.parent_needs_grad(1) {
+                // dB[j,p] += Σ_i a[i,p]·g[i,j] per slice (ascending i,
+                // skip-zero on a) — the old dBᵀ accumulation followed by
+                // its transpose-node pass-through, fused.
+                let a = ctx.value(0);
+                let d = a.shape()[2];
+                ctx.accumulate_with(1, |out| {
+                    for s in 0..bt {
+                        let a_s = &a.data()[s * m * d..(s + 1) * m * d];
+                        let g_s = &g.data()[s * m * n..(s + 1) * m * n];
+                        let o_s = &mut out[s * n * d..(s + 1) * n * d];
+                        for i in 0..m {
+                            for (p, &a_ip) in a_s[i * d..(i + 1) * d].iter().enumerate() {
+                                if a_ip == 0.0 {
+                                    continue;
+                                }
+                                for (j, &g_ij) in g_s[i * n..(i + 1) * n].iter().enumerate() {
+                                    o_s[j * d + p] += a_ip * g_ij;
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        })
+    }
+
+    /// Fused affine transform over the last axis: flatten all leading axes
+    /// to rows, multiply by `w: [k, n]` and (optionally) add a `[n]` bias —
+    /// one tape node instead of the historical reshape → matmul → reshape
+    /// (→ add_bias) chain, with identical values and gradients (the
+    /// flattening is metadata-only for contiguous tensors, and the bias
+    /// add happens after each output element's dot product completes,
+    /// exactly as the separate `add_bias` node did).
+    pub fn affine(self, w: Var<'g>, bias: Option<Var<'g>>) -> Var<'g> {
+        let (out_shape, rows, k, n) = self.graph.with_value(self, |x| {
+            w.graph.with_value(w, |wt| {
+                assert_eq!(wt.ndim(), 2, "affine weight must be 2-D, got {:?}", wt.shape());
+                let (k, n) = (wt.shape()[0], wt.shape()[1]);
+                assert_eq!(
+                    *x.shape().last().expect("affine on 0-d tensor"),
+                    k,
+                    "input last axis {:?} does not match weight rows {k}",
+                    x.shape()
+                );
+                let rows = x.len() / k;
+                let mut out_shape = x.shape().to_vec();
+                *out_shape.last_mut().expect("non-empty shape") = n;
+                (out_shape, rows, k, n)
+            })
+        });
+        let v = self.graph.with_value(self, |x| {
+            w.graph.with_value(w, |wt| {
+                let mut out = self.graph.alloc_zeroed(&out_shape);
+                matmul_into(x.data(), wt.data(), out.data_mut(), rows, k, n);
+                if let Some(b) = bias {
+                    b.graph.with_value(b, |bt| {
+                        assert_eq!(bt.shape(), &[n], "affine bias must be [{n}]");
+                        for row in out.data_mut().chunks_mut(n) {
+                            for (o, &bb) in row.iter_mut().zip(bt.data()) {
+                                *o += bb;
+                            }
+                        }
+                    });
+                }
+                out
+            })
+        });
+        let parents: Vec<Var<'g>> = match bias {
+            Some(b) => vec![self, w, b],
+            None => vec![self, w],
+        };
+        self.graph.push_op(&parents, v, move |ctx| {
+            let g = ctx.grad_out();
+            if ctx.parent_needs_grad(0) {
+                let w = ctx.value(1);
+                ctx.accumulate_with(0, |out| matmul_nt_into(g.data(), w.data(), out, rows, n, k));
+            }
+            if ctx.parent_needs_grad(1) {
+                let x = ctx.value(0);
+                ctx.accumulate_with(1, |out| matmul_tn_into(x.data(), g.data(), out, rows, k, n));
+            }
+            if ctx.num_parents() == 3 && ctx.parent_needs_grad(2) {
+                let db = ctx.grad_mut(2);
+                for row in g.data().chunks(n) {
+                    for (b, &gv) in db.data_mut().iter_mut().zip(row) {
+                        *b += gv;
+                    }
+                }
+            }
         })
     }
 
     /// Multiply a 3-D tensor by a shared 2-D matrix on the right:
-    /// `[b,m,k] @ [k,n] -> [b,m,n]`.  Implemented by flattening the leading
-    /// axes (a reshape is free for contiguous tensors).
+    /// `[b,m,k] @ [k,n] -> [b,m,n]` — [`Var::affine`] without a bias.
     pub fn matmul_rhs2d(self, w: Var<'g>) -> Var<'g> {
         let shape = self.shape();
         assert_eq!(shape.len(), 3, "matmul_rhs2d lhs must be 3-D, got {shape:?}");
-        let (b, m, k) = (shape[0], shape[1], shape[2]);
-        let n = w.shape()[1];
-        self.reshape(&[b * m, k]).matmul(w).reshape(&[b, m, n])
+        self.affine(w, None)
     }
 
     /// Swap the last two axes of a 3-D tensor.
     pub fn transpose_last2(self) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.transpose_last2());
+        let v = self.graph.with_value(self, |a| {
+            assert_eq!(a.ndim(), 3, "transpose_last2 needs 3-D, got {:?}", a.shape());
+            let (b, m, n) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let mut out = self.graph.alloc_out(&[b, n, m]);
+            transpose_last2_into(a.data(), out.data_mut(), b, m, n);
+            out
+        });
         self.graph.push_op(&[self], v, |ctx| {
-            let da = ctx.grad_out().transpose_last2();
-            ctx.accumulate(0, &da);
+            let go = ctx.grad_out();
+            let (b, n, m) = (go.shape()[0], go.shape()[1], go.shape()[2]);
+            let dx = ctx.grad_mut(0);
+            // dx[., r, c] += go[., c, r]
+            for bi in 0..b {
+                let src = &go.data()[bi * m * n..(bi + 1) * m * n];
+                let dst = &mut dx.data_mut()[bi * m * n..(bi + 1) * m * n];
+                for c in 0..n {
+                    for r in 0..m {
+                        dst[r * n + c] += src[c * m + r];
+                    }
+                }
+            }
         })
     }
 
@@ -171,11 +413,17 @@ impl<'g> Var<'g> {
 
     /// Sum of every element (scalar output).
     pub fn sum_all(self) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| Tensor::scalar(a.sum()));
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(&[1]);
+            out.data_mut()[0] = a.sum();
+            out
+        });
         self.graph.push_op(&[self], v, |ctx| {
             let g = ctx.grad_out().item();
-            let ones = Tensor::full(ctx.value(0).shape(), 1.0);
-            ctx.accumulate_scaled(0, g, &ones);
+            let dx = ctx.grad_mut(0);
+            for o in dx.data_mut() {
+                *o += g;
+            }
         })
     }
 
@@ -192,65 +440,112 @@ impl<'g> Var<'g> {
 
     /// Rectified linear unit.
     pub fn relu(self) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.map(|x| x.max(0.0)));
-        self.graph.push_op(&[self], v, |ctx| {
-            let x = ctx.value(0).clone();
-            let go = ctx.grad_out();
-            let mut delta = go.clone();
-            for (d, &xi) in delta.data_mut().iter_mut().zip(x.data()) {
-                if xi <= 0.0 {
-                    *d = 0.0;
-                }
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(a.shape());
+            for (o, &x) in out.data_mut().iter_mut().zip(a.data()) {
+                *o = x.max(0.0);
             }
-            ctx.accumulate(0, &delta);
+            out
+        });
+        self.graph.push_op(&[self], v, |ctx| {
+            let go = ctx.grad_out();
+            let x = ctx.value(0);
+            let dx = ctx.grad_mut(0);
+            for ((o, &g), &xi) in dx.data_mut().iter_mut().zip(go.data()).zip(x.data()) {
+                *o += if xi <= 0.0 { 0.0 } else { g };
+            }
         })
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(self) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.map(|x| 1.0 / (1.0 + (-x).exp())));
-        self.graph.push_op(&[self], v, |ctx| {
-            let y = ctx.out_value().clone();
-            let mut delta = ctx.grad_out().clone();
-            for (d, &yi) in delta.data_mut().iter_mut().zip(y.data()) {
-                *d *= yi * (1.0 - yi);
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(a.shape());
+            for (o, &x) in out.data_mut().iter_mut().zip(a.data()) {
+                *o = 1.0 / (1.0 + (-x).exp());
             }
-            ctx.accumulate(0, &delta);
+            out
+        });
+        self.graph.push_op(&[self], v, |ctx| {
+            let go = ctx.grad_out();
+            let y = ctx.out_value();
+            let dx = ctx.grad_mut(0);
+            for ((o, &g), &yi) in dx.data_mut().iter_mut().zip(go.data()).zip(y.data()) {
+                *o += g * (yi * (1.0 - yi));
+            }
         })
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(self) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.map(f32::tanh));
-        self.graph.push_op(&[self], v, |ctx| {
-            let y = ctx.out_value().clone();
-            let mut delta = ctx.grad_out().clone();
-            for (d, &yi) in delta.data_mut().iter_mut().zip(y.data()) {
-                *d *= 1.0 - yi * yi;
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(a.shape());
+            for (o, &x) in out.data_mut().iter_mut().zip(a.data()) {
+                *o = x.tanh();
             }
-            ctx.accumulate(0, &delta);
+            out
+        });
+        self.graph.push_op(&[self], v, |ctx| {
+            let go = ctx.grad_out();
+            let y = ctx.out_value();
+            let dx = ctx.grad_mut(0);
+            for ((o, &g), &yi) in dx.data_mut().iter_mut().zip(go.data()).zip(y.data()) {
+                *o += g * (1.0 - yi * yi);
+            }
         })
     }
 
     /// Gaussian error linear unit (tanh approximation, as used by
     /// transformer implementations).
+    ///
+    /// `tanh` dominates a transformer training step's elementwise cost
+    /// (half the profile), so the forward caches its tanh values and the
+    /// backward reuses them instead of recomputing — same values, half
+    /// the `tanh` calls per step.
     pub fn gelu(self) -> Var<'g> {
         const C: f32 = 0.797_884_6; // sqrt(2/pi)
-        let v = self.graph.with_value(self, |a| {
-            a.map(|x| 0.5 * x * (1.0 + (C * (x + 0.044715 * x * x * x)).tanh()))
+        let (v, tcache) = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(a.shape());
+            let mut tc = self.graph.alloc_out(a.shape());
+            for ((o, t), &x) in
+                out.data_mut().iter_mut().zip(tc.data_mut().iter_mut()).zip(a.data())
+            {
+                *t = (C * (x + 0.044715 * x * x * x)).tanh();
+                *o = 0.5 * x * (1.0 + *t);
+            }
+            (out, tc)
         });
-        self.graph.push_op(&[self], v, |ctx| {
-            let x = ctx.value(0).clone();
-            let mut delta = ctx.grad_out().clone();
-            for (d, &xi) in delta.data_mut().iter_mut().zip(x.data()) {
-                let inner = C * (xi + 0.044715 * xi * xi * xi);
-                let t = inner.tanh();
+        // The tanh cache rides the tape as a constant parent: its buffer
+        // recycles through the pool on reset, and the backward reads it
+        // like any other parent value (it receives no gradient).
+        let tcache = self.graph.constant(tcache);
+        self.graph.push_op(&[self, tcache], v, move |ctx| {
+            let go = ctx.grad_out();
+            let x = ctx.value(0);
+            let tc = ctx.value(1);
+            let dx = ctx.grad_mut(0);
+            for (((o, &g), &xi), &t) in
+                dx.data_mut().iter_mut().zip(go.data()).zip(x.data()).zip(tc.data())
+            {
                 let dinner = C * (1.0 + 3.0 * 0.044715 * xi * xi);
                 let dgelu = 0.5 * (1.0 + t) + 0.5 * xi * (1.0 - t * t) * dinner;
-                *d *= dgelu;
+                *o += g * dgelu;
             }
-            ctx.accumulate(0, &delta);
         })
+    }
+}
+
+/// `out[., n, m] = src[., m, n]` — the transpose copy used by the
+/// `transpose_last2` op (full overwrite, so a stale pooled buffer is fine).
+fn transpose_last2_into(src: &[f32], out: &mut [f32], b: usize, m: usize, n: usize) {
+    for bi in 0..b {
+        let s = &src[bi * m * n..(bi + 1) * m * n];
+        let d = &mut out[bi * m * n..(bi + 1) * m * n];
+        for r in 0..m {
+            for c in 0..n {
+                d[c * m + r] = s[r * n + c];
+            }
+        }
     }
 }
 
@@ -306,6 +601,28 @@ mod tests {
             let c = vars[0].bmm(vars[1]);
             c.mul(c).sum_all()
         });
+    }
+
+    #[test]
+    fn bmm_nt_matches_transpose_then_bmm_bitwise() {
+        let mut r = rng();
+        let a = Tensor::randn(&[2, 3, 4], 1.0, &mut r);
+        let b = Tensor::randn(&[2, 5, 4], 1.0, &mut r);
+        let run = |fused: bool| {
+            let g = Graph::new();
+            let av = g.var(a.clone(), true);
+            let bv = g.var(b.clone(), true);
+            let y = if fused { av.bmm_nt(bv) } else { av.bmm(bv.transpose_last2()) };
+            let loss = y.mul(y).sum_all();
+            g.backward(loss);
+            (y.value(), g.grad(av).unwrap(), g.grad(bv).unwrap())
+        };
+        let (yf, daf, dbf) = run(true);
+        let (yr, dar, dbr) = run(false);
+        assert_eq!(yf.shape(), &[2, 3, 5]);
+        assert_eq!(yf.data(), yr.data());
+        assert_eq!(daf.data(), dar.data());
+        assert_eq!(dbf.data(), dbr.data());
     }
 
     #[test]
@@ -365,9 +682,71 @@ mod tests {
     }
 
     #[test]
+    fn affine_matches_matmul_plus_bias_bitwise() {
+        // Values and gradients of the fused op must equal the historical
+        // reshape → matmul → add_bias chain exactly.
+        let mut r = rng();
+        let x = Tensor::randn(&[2, 3, 4], 1.0, &mut r);
+        let w = Tensor::randn(&[4, 5], 1.0, &mut r);
+        let b = Tensor::randn(&[5], 0.5, &mut r);
+
+        let run = |fused: bool| {
+            let g = Graph::new();
+            let xv = g.var(x.clone(), true);
+            let wv = g.var(w.clone(), true);
+            let bv = g.var(b.clone(), true);
+            let y = if fused {
+                xv.affine(wv, Some(bv))
+            } else {
+                xv.reshape(&[6, 4]).matmul(wv).reshape(&[2, 3, 5]).add_bias(bv)
+            };
+            let loss = y.mul(y).sum_all();
+            g.backward(loss);
+            (y.value(), g.grad(xv).unwrap(), g.grad(wv).unwrap(), g.grad(bv).unwrap())
+        };
+        let (yf, dxf, dwf, dbf) = run(true);
+        let (yr, dxr, dwr, dbr) = run(false);
+        assert_eq!(yf.data(), yr.data());
+        assert_eq!(dxf.data(), dxr.data());
+        assert_eq!(dwf.data(), dwr.data());
+        assert_eq!(dbf.data(), dbr.data());
+    }
+
+    #[test]
+    fn affine_gradcheck() {
+        let x = Tensor::randn(&[3, 4], 1.0, &mut rng());
+        let w = Tensor::randn(&[4, 2], 1.0, &mut rng());
+        let b = Tensor::randn(&[2], 1.0, &mut rng());
+        check_gradients(&[x, w, b], |_g, vars| {
+            let y = vars[0].affine(vars[1], Some(vars[2]));
+            y.mul(y).sum_all()
+        });
+    }
+
+    #[test]
     fn sum_and_mean_grads() {
         let x = Tensor::randn(&[3, 3], 1.0, &mut rng());
         check_gradients(std::slice::from_ref(&x), |_g, vars| vars[0].mul(vars[0]).sum_all());
         check_gradients(&[x], |_g, vars| vars[0].mul(vars[0]).mean_all());
+    }
+
+    #[test]
+    fn matmul_backward_survives_graph_reset() {
+        // The same matmul forward/backward, re-run after reset, must draw
+        // pooled buffers and still produce bitwise-identical gradients.
+        let g = Graph::new();
+        let run = |g: &Graph| {
+            let a = g.var(Tensor::from_fn(&[3, 4], |i| (i as f32 * 0.37).sin()), true);
+            let b = g.var(Tensor::from_fn(&[4, 5], |i| (i as f32 * 0.11).cos()), true);
+            let y = a.matmul(b);
+            let loss = y.mul(y).sum_all();
+            g.backward(loss);
+            (g.grad(a).unwrap(), g.grad(b).unwrap())
+        };
+        let (da1, db1) = run(&g);
+        g.reset();
+        let (da2, db2) = run(&g);
+        assert_eq!(da1.data(), da2.data());
+        assert_eq!(db1.data(), db2.data());
     }
 }

@@ -1,18 +1,29 @@
 //! Differentiable shape-manipulation operations: reshape, gather, concat,
 //! stacking, step selection, window unfolding and attention head splitting.
+//!
+//! Outputs draw from the graph's buffer pool; each op fully overwrites its
+//! buffer (or requests it zeroed where it accumulates), and backward
+//! closures scatter upstream gradients in place without cloning them.
 
 use crate::graph::Var;
-use crate::tensor::Tensor;
 
 impl<'g> Var<'g> {
     /// Reshape (element count must be preserved; data is contiguous so this
     /// is a metadata-only operation plus one copy for the new node).
     pub fn reshape(self, shape: &[usize]) -> Var<'g> {
-        let v = self.graph.with_value(self, |a| a.reshaped(shape));
+        let v = self.graph.with_value(self, |a| {
+            let mut out = self.graph.alloc_out(shape);
+            assert_eq!(
+                out.len(),
+                a.len(),
+                "reshape from {:?} to {shape:?} changes element count",
+                a.shape()
+            );
+            out.data_mut().copy_from_slice(a.data());
+            out
+        });
         self.graph.push_op(&[self], v, |ctx| {
-            let src_shape = ctx.value(0).shape().to_vec();
-            let da = ctx.grad_out().reshaped(&src_shape);
-            ctx.accumulate(0, &da);
+            ctx.accumulate_grad_out_flat(0);
         })
     }
 
@@ -21,10 +32,19 @@ impl<'g> Var<'g> {
     /// pass scatter-adds gradients into the gathered rows.
     pub fn gather_rows(self, indices: &[usize]) -> Var<'g> {
         let idx: Vec<usize> = indices.to_vec();
-        let v = self.graph.with_value(self, |a| a.gather_rows(&idx));
+        let v = self.graph.with_value(self, |a| {
+            assert_eq!(a.ndim(), 2, "gather_rows needs 2-D, got {:?}", a.shape());
+            let (rows, d) = (a.shape()[0], a.shape()[1]);
+            let mut out = self.graph.alloc_out(&[idx.len(), d]);
+            for (n, &i) in idx.iter().enumerate() {
+                assert!(i < rows, "gather_rows index {i} out of bounds ({rows} rows)");
+                out.data_mut()[n * d..(n + 1) * d].copy_from_slice(&a.data()[i * d..(i + 1) * d]);
+            }
+            out
+        });
         self.graph.push_op(&[self], v, move |ctx| {
             let d = ctx.value(0).shape()[1];
-            let go = ctx.grad_out().clone();
+            let go = ctx.grad_out();
             let dw = ctx.grad_mut(0);
             for (n, &row) in idx.iter().enumerate() {
                 let src = &go.data()[n * d..(n + 1) * d];
@@ -52,20 +72,20 @@ impl<'g> Var<'g> {
         let mut out_shape = lead.to_vec();
         out_shape.push(total_w);
 
-        let mut data = vec![0.0f32; rows * total_w];
+        let mut out = graph.alloc_out(&out_shape);
         for r in 0..rows {
             let mut off = 0;
             for (p, &w) in parts.iter().zip(&widths) {
                 p.graph.with_value(*p, |t| {
-                    data[r * total_w + off..r * total_w + off + w]
+                    out.data_mut()[r * total_w + off..r * total_w + off + w]
                         .copy_from_slice(&t.data()[r * w..(r + 1) * w]);
                 });
                 off += w;
             }
         }
         let widths_c = widths.clone();
-        graph.push_op(parts, Tensor::from_vec(data, &out_shape), move |ctx| {
-            let go = ctx.grad_out().clone();
+        graph.push_op(parts, out, move |ctx| {
+            let go = ctx.grad_out();
             let total_w: usize = widths_c.iter().sum();
             let rows = go.len() / total_w;
             for r in 0..rows {
@@ -96,17 +116,17 @@ impl<'g> Var<'g> {
             assert_eq!(s.shape(), vec![b, d], "stack_axis1 inputs must share shape");
         }
         let t = steps.len();
-        let mut data = vec![0.0f32; b * t * d];
+        let mut out = graph.alloc_out(&[b, t, d]);
         for (k, s) in steps.iter().enumerate() {
             s.graph.with_value(*s, |v| {
                 for bi in 0..b {
-                    data[bi * t * d + k * d..bi * t * d + (k + 1) * d]
+                    out.data_mut()[bi * t * d + k * d..bi * t * d + (k + 1) * d]
                         .copy_from_slice(&v.data()[bi * d..(bi + 1) * d]);
                 }
             });
         }
-        graph.push_op(steps, Tensor::from_vec(data, &[b, t, d]), move |ctx| {
-            let go = ctx.grad_out().clone();
+        graph.push_op(steps, out, move |ctx| {
+            let go = ctx.grad_out();
             for k in 0..t {
                 let dst = ctx.grad_mut(k);
                 for bi in 0..b {
@@ -126,15 +146,15 @@ impl<'g> Var<'g> {
         let (b, tt, d) = (shape[0], shape[1], shape[2]);
         assert!(t < tt, "select_step index {t} out of bounds for T={tt}");
         let v = self.graph.with_value(self, |x| {
-            let mut out = vec![0.0f32; b * d];
+            let mut out = self.graph.alloc_out(&[b, d]);
             for bi in 0..b {
-                out[bi * d..(bi + 1) * d]
+                out.data_mut()[bi * d..(bi + 1) * d]
                     .copy_from_slice(&x.data()[bi * tt * d + t * d..bi * tt * d + (t + 1) * d]);
             }
-            Tensor::from_vec(out, &[b, d])
+            out
         });
         self.graph.push_op(&[self], v, move |ctx| {
-            let go = ctx.grad_out().clone();
+            let go = ctx.grad_out();
             let dx = ctx.grad_mut(0);
             for bi in 0..b {
                 let src = &go.data()[bi * d..(bi + 1) * d];
@@ -159,19 +179,19 @@ impl<'g> Var<'g> {
         assert!(w >= 1 && w <= t, "window width {w} out of range for T={t}");
         let windows = t - w + 1;
         let v = self.graph.with_value(self, |x| {
-            let mut out = vec![0.0f32; b * windows * w * d];
+            let mut out = self.graph.alloc_out(&[b, windows, w * d]);
             for bi in 0..b {
                 for s in 0..windows {
                     let dst_base = bi * windows * w * d + s * w * d;
                     let src_base = bi * t * d + s * d;
-                    out[dst_base..dst_base + w * d]
+                    out.data_mut()[dst_base..dst_base + w * d]
                         .copy_from_slice(&x.data()[src_base..src_base + w * d]);
                 }
             }
-            Tensor::from_vec(out, &[b, windows, w * d])
+            out
         });
         self.graph.push_op(&[self], v, move |ctx| {
-            let go = ctx.grad_out().clone();
+            let go = ctx.grad_out();
             let dx = ctx.grad_mut(0);
             for bi in 0..b {
                 for s in 0..windows {
@@ -194,22 +214,23 @@ impl<'g> Var<'g> {
         assert!(n > 0, "max_axis1 over empty axis");
         let mut argmax = vec![0usize; b * f];
         let v = self.graph.with_value(self, |x| {
-            let mut out = vec![f32::NEG_INFINITY; b * f];
+            let mut out = self.graph.alloc_out(&[b, f]);
+            out.data_mut().fill(f32::NEG_INFINITY);
             for bi in 0..b {
                 for ni in 0..n {
                     for fi in 0..f {
                         let val = x.data()[bi * n * f + ni * f + fi];
-                        if val > out[bi * f + fi] {
-                            out[bi * f + fi] = val;
+                        if val > out.data()[bi * f + fi] {
+                            out.data_mut()[bi * f + fi] = val;
                             argmax[bi * f + fi] = ni;
                         }
                     }
                 }
             }
-            Tensor::from_vec(out, &[b, f])
+            out
         });
         self.graph.push_op(&[self], v, move |ctx| {
-            let go = ctx.grad_out().clone();
+            let go = ctx.grad_out();
             let dx = ctx.grad_mut(0);
             for bi in 0..b {
                 for fi in 0..f {
@@ -228,18 +249,18 @@ impl<'g> Var<'g> {
         assert!(n > 0, "mean_axis1 over empty axis");
         let inv = 1.0 / n as f32;
         let v = self.graph.with_value(self, |x| {
-            let mut out = vec![0.0f32; b * f];
+            let mut out = self.graph.alloc_zeroed(&[b, f]);
             for bi in 0..b {
                 for ni in 0..n {
                     for fi in 0..f {
-                        out[bi * f + fi] += x.data()[bi * n * f + ni * f + fi] * inv;
+                        out.data_mut()[bi * f + fi] += x.data()[bi * n * f + ni * f + fi] * inv;
                     }
                 }
             }
-            Tensor::from_vec(out, &[b, f])
+            out
         });
         self.graph.push_op(&[self], v, move |ctx| {
-            let go = ctx.grad_out().clone();
+            let go = ctx.grad_out();
             let dx = ctx.grad_mut(0);
             for bi in 0..b {
                 for ni in 0..n {
@@ -260,20 +281,20 @@ impl<'g> Var<'g> {
         assert!(heads > 0 && d % heads == 0, "d={d} not divisible by heads={heads}");
         let dk = d / heads;
         let v = self.graph.with_value(self, |x| {
-            let mut out = vec![0.0f32; b * t * d];
+            let mut out = self.graph.alloc_out(&[b * heads, t, dk]);
             for bi in 0..b {
                 for ti in 0..t {
                     for h in 0..heads {
                         let src = bi * t * d + ti * d + h * dk;
                         let dst = (bi * heads + h) * t * dk + ti * dk;
-                        out[dst..dst + dk].copy_from_slice(&x.data()[src..src + dk]);
+                        out.data_mut()[dst..dst + dk].copy_from_slice(&x.data()[src..src + dk]);
                     }
                 }
             }
-            Tensor::from_vec(out, &[b * heads, t, dk])
+            out
         });
         self.graph.push_op(&[self], v, move |ctx| {
-            let go = ctx.grad_out().clone();
+            let go = ctx.grad_out();
             let dx = ctx.grad_mut(0);
             for bi in 0..b {
                 for ti in 0..t {
@@ -298,20 +319,20 @@ impl<'g> Var<'g> {
         let b = bh / heads;
         let d = heads * dk;
         let v = self.graph.with_value(self, |x| {
-            let mut out = vec![0.0f32; b * t * d];
+            let mut out = self.graph.alloc_out(&[b, t, d]);
             for bi in 0..b {
                 for ti in 0..t {
                     for h in 0..heads {
                         let src = (bi * heads + h) * t * dk + ti * dk;
                         let dst = bi * t * d + ti * d + h * dk;
-                        out[dst..dst + dk].copy_from_slice(&x.data()[src..src + dk]);
+                        out.data_mut()[dst..dst + dk].copy_from_slice(&x.data()[src..src + dk]);
                     }
                 }
             }
-            Tensor::from_vec(out, &[b, t, d])
+            out
         });
         self.graph.push_op(&[self], v, move |ctx| {
-            let go = ctx.grad_out().clone();
+            let go = ctx.grad_out();
             let dx = ctx.grad_mut(0);
             for bi in 0..b {
                 for ti in 0..t {
@@ -459,6 +480,22 @@ mod tests {
         g.backward(loss);
         let dx = g.grad(x).unwrap();
         assert_eq!(dx.data(), &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn max_axis1_survives_stale_pooled_buffers() {
+        // A reset graph hands max_axis1 a stale buffer; the op must
+        // re-initialise it (NEG_INFINITY fill) before the max scan.
+        let g = Graph::new();
+        let run = |g: &Graph| {
+            let x = g.var(Tensor::from_vec(vec![-3.0, -5.0, -4.0, -2.0], &[1, 2, 2]), true);
+            x.max_axis1().value()
+        };
+        let first = run(&g);
+        g.reset();
+        let second = run(&g);
+        assert_eq!(first.data(), &[-3.0, -2.0]);
+        assert_eq!(first.data(), second.data());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! irs generate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
 //! irs evaluate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
 //! irs serve     --model FILE [--port P] [--max-batch B] [--max-wait-us U] [--workers W]
+//!               [--session-ttl-s S]
 //! irs demo      [--dataset ...]
 //! ```
 //!
@@ -54,6 +55,8 @@ struct Opts {
     max_wait_us: u64,
     workers: usize,
     patience: usize,
+    /// Idle-session eviction TTL in seconds (0 disables the sweeper).
+    session_ttl_s: u64,
 }
 
 fn usage() -> ExitCode {
@@ -62,7 +65,8 @@ fn usage() -> ExitCode {
          [--dataset lastfm|movielens] [--scale S] [--epochs N] \
          [--users N] [--m M] [--model FILE] [--model-out FILE] \
          [--ratings FILE] [--movies FILE] \
-         [--port P] [--max-batch B] [--max-wait-us U] [--workers W] [--patience P]"
+         [--port P] [--max-batch B] [--max-wait-us U] [--workers W] [--patience P] \
+         [--session-ttl-s S]"
     );
     ExitCode::from(2)
 }
@@ -86,6 +90,7 @@ fn parse_args() -> Result<Opts, String> {
         max_wait_us: 500,
         workers: 2,
         patience: 3,
+        session_ttl_s: 900,
     };
     let mut i = 1;
     let take = |args: &[String], i: &mut usize| -> Result<String, String> {
@@ -135,6 +140,10 @@ fn parse_args() -> Result<Opts, String> {
             "--patience" => {
                 opts.patience =
                     take(&args, &mut i)?.parse().map_err(|e| format!("--patience: {e}"))?
+            }
+            "--session-ttl-s" => {
+                opts.session_ttl_s =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--session-ttl-s: {e}"))?
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -374,6 +383,7 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
         },
     ));
     let loader: SnapshotLoader = Arc::new(move |path: &str| arch.load_snapshot(path));
+    let session_ttl = (opts.session_ttl_s > 0).then(|| Duration::from_secs(opts.session_ttl_s));
     let server = match HttpServer::bind(
         &format!("127.0.0.1:{}", opts.port),
         engine.clone(),
@@ -382,6 +392,7 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             max_len: opts.m,
             patience: opts.patience,
             session_shards: 16,
+            session_ttl,
             ..Default::default()
         },
     ) {
@@ -401,7 +412,19 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    match session_ttl {
+        Some(ttl) => eprintln!("idle sessions evicted after {} s", ttl.as_secs()),
+        None => eprintln!("session TTL disabled (--session-ttl-s 0)"),
+    }
     eprintln!("POST /v1/admin/shutdown to stop");
+    let handle = match server.handle() {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("cannot create server handle: {e}");
+            engine.shutdown();
+            return ExitCode::FAILURE;
+        }
+    };
     if let Err(e) = server.run() {
         eprintln!("server error: {e}");
         engine.shutdown();
@@ -410,10 +433,12 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
     let stats = engine.stats();
     engine.shutdown();
     eprintln!(
-        "shutdown: {} requests in {} batches (mean batch {:.2})",
+        "shutdown: {} requests in {} batches (mean batch {:.2}); {} idle sessions evicted, {} still live",
         stats.requests,
         stats.batches,
-        stats.mean_batch()
+        stats.mean_batch(),
+        handle.evicted_sessions(),
+        handle.live_sessions()
     );
     ExitCode::SUCCESS
 }
@@ -457,6 +482,7 @@ fn parse_defaults(opts: &Opts) -> Opts {
         max_wait_us: opts.max_wait_us,
         workers: opts.workers,
         patience: opts.patience,
+        session_ttl_s: opts.session_ttl_s,
     }
 }
 

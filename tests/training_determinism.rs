@@ -1,0 +1,238 @@
+//! Pinned-trajectory training determinism.
+//!
+//! Trains every scorer family (all seven baselines + IRN) on the tiny
+//! preset and asserts that the per-epoch loss curves and the final
+//! parameters are **bitwise** identical to a checked-in fixture.  This is
+//! the correctness gate for training-engine refactors: graph reuse,
+//! kernel routing and optimizer fusion must all preserve accumulation
+//! order exactly (the same contract the batched inference paths honour),
+//! so the trajectories recorded before a refactor must survive it
+//! unchanged.
+//!
+//! Regenerate the fixture (only when a trajectory change is *intended*,
+//! e.g. a new hyperparameter default) with:
+//!
+//! ```text
+//! IRS_UPDATE_TRAJECTORIES=1 cargo test --test training_determinism
+//! ```
+
+use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
+
+const FIXTURE: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/training_trajectories.txt");
+
+/// FNV-1a over the serialised (IRSP) parameter bytes — a stable bitwise
+/// fingerprint of a trained model.
+fn fingerprint(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Trajectory {
+    name: &'static str,
+    /// Per-epoch mean training loss (empty for the non-graph models).
+    losses: Vec<f32>,
+    /// Fingerprint of the final parameters.
+    params: u64,
+}
+
+impl Trajectory {
+    fn format(&self) -> String {
+        let losses: Vec<String> =
+            self.losses.iter().map(|l| format!("{:08x}", l.to_bits())).collect();
+        format!("{} losses={} params={:016x}", self.name, losses.join(","), self.params)
+    }
+}
+
+fn saved_bytes(save: impl FnOnce(&mut Vec<u8>) -> std::io::Result<()>) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    save(&mut bytes).expect("in-memory save cannot fail");
+    bytes
+}
+
+/// Train all eight families on the harness and collect their trajectories.
+fn train_all(h: &Harness) -> Vec<Trajectory> {
+    let mut out = Vec::new();
+
+    let pop = h.train_pop();
+    out.push(Trajectory {
+        name: "pop",
+        losses: Vec::new(),
+        params: fingerprint(&saved_bytes(|w| pop.save(w))),
+    });
+
+    let bpr = h.train_bpr();
+    out.push(Trajectory {
+        name: "bpr",
+        losses: Vec::new(),
+        params: fingerprint(&saved_bytes(|w| bpr.save(w))),
+    });
+
+    let transrec = h.train_transrec();
+    out.push(Trajectory {
+        name: "transrec",
+        losses: Vec::new(),
+        params: fingerprint(&saved_bytes(|w| transrec.save(w))),
+    });
+
+    let gru4rec = h.train_gru4rec();
+    out.push(Trajectory {
+        name: "gru4rec",
+        losses: gru4rec.training_losses().to_vec(),
+        params: fingerprint(&saved_bytes(|w| gru4rec.save(w))),
+    });
+
+    let caser = h.train_caser();
+    out.push(Trajectory {
+        name: "caser",
+        losses: caser.training_losses().to_vec(),
+        params: fingerprint(&saved_bytes(|w| caser.save(w))),
+    });
+
+    let sasrec = h.train_sasrec();
+    out.push(Trajectory {
+        name: "sasrec",
+        losses: sasrec.training_losses().to_vec(),
+        params: fingerprint(&saved_bytes(|w| sasrec.save(w))),
+    });
+
+    let bert4rec = h.train_bert4rec();
+    out.push(Trajectory {
+        name: "bert4rec",
+        losses: bert4rec.training_losses().to_vec(),
+        params: fingerprint(&saved_bytes(|w| bert4rec.save(w))),
+    });
+
+    let irn = h.train_irn();
+    out.push(Trajectory {
+        name: "irn",
+        losses: irn.training_losses().to_vec(),
+        params: fingerprint(&saved_bytes(|w| irn.save(w))),
+    });
+
+    out
+}
+
+fn tiny_harness() -> Harness {
+    let mut cfg = HarnessConfig::tiny(DatasetKind::LastfmLike);
+    // Two epochs so the fixture pins a *curve*, not a single point.
+    cfg.epochs = 2;
+    Harness::build(cfg)
+}
+
+fn parse_fixture(text: &str) -> Vec<(String, Vec<u32>, u64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let name = parts.next().expect("fixture line missing name").to_string();
+        let losses_field = parts.next().expect("fixture line missing losses");
+        let params_field = parts.next().expect("fixture line missing params");
+        let losses_hex = losses_field.strip_prefix("losses=").expect("malformed losses field");
+        let losses: Vec<u32> = if losses_hex.is_empty() {
+            Vec::new()
+        } else {
+            losses_hex
+                .split(',')
+                .map(|h| u32::from_str_radix(h, 16).expect("bad loss bits"))
+                .collect()
+        };
+        let params = params_field.strip_prefix("params=").expect("malformed params field");
+        let params = u64::from_str_radix(params, 16).expect("bad param fingerprint");
+        out.push((name, losses, params));
+    }
+    out
+}
+
+#[test]
+fn trajectories_are_invariant_to_kernel_thread_count() {
+    // Every tensor kernel accumulates each output element in a fixed
+    // order regardless of how many worker threads the work fans out
+    // over, so forcing a multi-thread schedule (even on a 1-core host —
+    // `std::thread::scope` still splits the work) must not move a single
+    // bit of a training trajectory.
+    use influential_rs::tensor::set_kernel_threads;
+    let h = tiny_harness();
+
+    set_kernel_threads(Some(1));
+    let serial = {
+        let sas = h.train_sasrec();
+        let gru = h.train_gru4rec();
+        (
+            sas.training_losses().to_vec(),
+            fingerprint(&saved_bytes(|w| sas.save(w))),
+            gru.training_losses().to_vec(),
+            fingerprint(&saved_bytes(|w| gru.save(w))),
+        )
+    };
+    set_kernel_threads(Some(3));
+    let threaded = {
+        let sas = h.train_sasrec();
+        let gru = h.train_gru4rec();
+        (
+            sas.training_losses().to_vec(),
+            fingerprint(&saved_bytes(|w| sas.save(w))),
+            gru.training_losses().to_vec(),
+            fingerprint(&saved_bytes(|w| gru.save(w))),
+        )
+    };
+    set_kernel_threads(None);
+
+    let bits = |v: &[f32]| v.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&serial.0), bits(&threaded.0), "sasrec loss curve moved across thread counts");
+    assert_eq!(serial.1, threaded.1, "sasrec params moved across thread counts");
+    assert_eq!(bits(&serial.2), bits(&threaded.2), "gru4rec loss curve moved across thread counts");
+    assert_eq!(serial.3, threaded.3, "gru4rec params moved across thread counts");
+}
+
+#[test]
+fn trajectories_match_pinned_fixture() {
+    let h = tiny_harness();
+    let trajectories = train_all(&h);
+
+    if std::env::var("IRS_UPDATE_TRAJECTORIES").is_ok() {
+        let mut text = String::from(
+            "# Pinned training trajectories (tiny preset, 2 epochs).\n\
+             # Regenerate: IRS_UPDATE_TRAJECTORIES=1 cargo test --test training_determinism\n",
+        );
+        for t in &trajectories {
+            text.push_str(&t.format());
+            text.push('\n');
+        }
+        std::fs::write(FIXTURE, text).expect("cannot write fixture");
+        eprintln!("fixture updated: {FIXTURE}");
+        return;
+    }
+
+    let text = std::fs::read_to_string(FIXTURE).expect(
+        "missing fixture; run IRS_UPDATE_TRAJECTORIES=1 cargo test --test training_determinism",
+    );
+    let pinned = parse_fixture(&text);
+    assert_eq!(pinned.len(), trajectories.len(), "fixture family count mismatch");
+    for (t, (name, losses, params)) in trajectories.iter().zip(&pinned) {
+        assert_eq!(t.name, name, "fixture family order mismatch");
+        let got: Vec<u32> = t.losses.iter().map(|l| l.to_bits()).collect();
+        assert_eq!(
+            &got,
+            losses,
+            "{}: loss curve drifted from the pinned trajectory \
+             (got {:?}, pinned {:?} as f32 bits) — the training engine is no \
+             longer bitwise-identical to the recorded graph path",
+            t.name,
+            t.losses,
+            losses.iter().map(|&b| f32::from_bits(b)).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            t.params, *params,
+            "{}: final parameters drifted from the pinned trajectory",
+            t.name
+        );
+    }
+}
