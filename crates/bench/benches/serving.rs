@@ -9,6 +9,8 @@
 //! `CRITERION_JSON=BENCH_serving.json` so the serving-perf trajectory
 //! accumulates as a build artifact next to the inference bench.
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -16,7 +18,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
 use irs_core::InteractiveSession;
 use irs_data::ItemId;
-use irs_serve::{BatchPolicy, Engine, ModelSnapshot, SnapshotRegistry};
+use irs_serve::{
+    BatchPolicy, Engine, HttpServer, JsonValue, ModelSnapshot, ServerConfig, SnapshotRegistry,
+};
 use std::hint::black_box;
 
 const SESSIONS: usize = 32;
@@ -73,6 +77,121 @@ fn replay(
     })
 }
 
+/// Minimal HTTP/1.1 client for the socket-level benches.  `keep_alive:
+/// false` reconnects for every request (`Connection: close`) — the v1
+/// thread-per-socket cost model; `keep_alive: true` reuses one
+/// connection for the client's whole traffic, exercising the v2
+/// keep-alive pool's warm path.
+struct HttpConn {
+    addr: SocketAddr,
+    keep_alive: bool,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl HttpConn {
+    fn new(addr: SocketAddr, keep_alive: bool) -> Self {
+        HttpConn { addr, keep_alive, stream: None, buf: Vec::new() }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> JsonValue {
+        let mut stream = self.stream.take().unwrap_or_else(|| {
+            let s = TcpStream::connect(self.addr).expect("connect");
+            s.set_nodelay(true).expect("nodelay");
+            s
+        });
+        let connection = if self.keep_alive { "keep-alive" } else { "close" };
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\
+             Connection: {connection}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        self.buf.clear();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "server closed before the response head completed");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end]).expect("response head");
+        assert!(head.starts_with("HTTP/1.1 200"), "request failed: {head:?}");
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.trim().eq_ignore_ascii_case("content-length").then(|| value.trim())
+            })
+            .and_then(|v| v.parse().ok())
+            .expect("Content-Length");
+        while self.buf.len() < head_end + content_length {
+            let n = stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "server closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let payload = std::str::from_utf8(&self.buf[head_end..head_end + content_length])
+            .expect("response body");
+        let value = JsonValue::parse(payload).expect("response JSON");
+        if self.keep_alive {
+            self.stream = Some(stream);
+        }
+        value
+    }
+}
+
+/// Drive every script to completion over real sockets, one client
+/// thread per script.  Returns total requests issued.
+fn http_replay(addr: SocketAddr, scripts: &[Script], keep_alive: bool) -> usize {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = scripts
+            .iter()
+            .map(|script| {
+                scope.spawn(move || {
+                    let mut conn = HttpConn::new(addr, keep_alive);
+                    let history: Vec<String> =
+                        script.history.iter().map(ToString::to_string).collect();
+                    let body = format!(
+                        "{{\"user\": {}, \"history\": [{}], \"objective\": {}}}",
+                        script.user,
+                        history.join(","),
+                        script.objective
+                    );
+                    let mut requests = 1usize;
+                    let created = conn.request("POST", "/v1/session", &body);
+                    let sid = created
+                        .get("session_id")
+                        .and_then(JsonValue::as_usize)
+                        .expect("session id");
+                    loop {
+                        let next = conn.request("POST", &format!("/v1/session/{sid}/next"), "");
+                        requests += 1;
+                        if next.get("done").and_then(JsonValue::as_bool) == Some(true) {
+                            break;
+                        }
+                        let item = next.get("item").and_then(JsonValue::as_usize).expect("item");
+                        let fb = conn.request(
+                            "POST",
+                            &format!("/v1/session/{sid}/feedback"),
+                            &format!("{{\"item\": {item}, \"accepted\": true}}"),
+                        );
+                        requests += 1;
+                        if fb.get("done").and_then(JsonValue::as_bool) == Some(true) {
+                            break;
+                        }
+                    }
+                    conn.request("DELETE", &format!("/v1/session/{sid}"), "");
+                    requests + 1
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).sum()
+    })
+}
+
 fn bench_serving(c: &mut Criterion) {
     let h = Harness::build(HarnessConfig::quick(DatasetKind::MovielensLike));
     // Timing is weight-independent; one epoch keeps setup short.
@@ -115,7 +234,29 @@ fn bench_serving(c: &mut Criterion) {
     group.bench_function(format!("microbatch_16_{SESSIONS}sessions"), |b| {
         b.iter(|| black_box(replay(&scripts, &registry, Some(&engine))))
     });
+
+    // The same traffic over real sockets: close-per-request vs one
+    // keep-alive connection per client, both through the v2 worker
+    // pool.  The ratio is the connection-reuse win `serve_load
+    // --keep-alive` demonstrates at load-test scale.
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        engine.clone(),
+        None,
+        ServerConfig { max_len: STEPS, patience: 2, ..Default::default() },
+    )
+    .expect("bind HTTP frontend");
+    let addr = server.local_addr().expect("local addr");
+    let server_thread = std::thread::spawn(move || server.run());
+    group.bench_function(format!("http_close_{SESSIONS}sessions"), |b| {
+        b.iter(|| black_box(http_replay(addr, &scripts, false)))
+    });
+    group.bench_function(format!("http_keepalive_{SESSIONS}sessions"), |b| {
+        b.iter(|| black_box(http_replay(addr, &scripts, true)))
+    });
     group.finish();
+    HttpConn::new(addr, false).request("POST", "/v1/admin/shutdown", "");
+    server_thread.join().expect("server thread").expect("server run");
     engine.shutdown();
 
     let results = criterion::recorded_results();
@@ -134,6 +275,13 @@ fn bench_serving(c: &mut Criterion) {
                 "micro-batched serving speedup {speedup:.2}x below the 2x acceptance threshold"
             );
         }
+    }
+    if let (Some(close), Some(keep)) = (median("http_close"), median("http_keepalive")) {
+        println!(
+            "keep-alive win at {SESSIONS} concurrent HTTP clients: {:.2}x \
+             (connection reuse over close-per-request)",
+            close / keep
+        );
     }
 }
 

@@ -178,6 +178,16 @@ impl InteractiveSession {
         self.done
     }
 
+    /// Whether the objective has been accepted.
+    pub fn reached_objective(&self) -> bool {
+        self.reached_objective
+    }
+
+    /// Total proposals made so far (accepted + rejected).
+    pub fn proposals(&self) -> usize {
+        self.proposals
+    }
+
     /// The context the user decides against: `history ⊕ accepted`.
     pub fn context(&self) -> Vec<ItemId> {
         let mut c = self.history.clone();

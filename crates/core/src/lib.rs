@@ -167,6 +167,15 @@ pub trait InfluenceRecommender {
     fn next_items(&self, queries: &[NextQuery<'_>]) -> Vec<Option<ItemId>> {
         queries.iter().map(|q| self.next_item(q.user, q.history, q.objective, q.path)).collect()
     }
+
+    /// Like [`InfluenceRecommender::next_items`], but appending the
+    /// answers to a caller-owned buffer so a serving loop can reuse one
+    /// allocation across batches.  The provided implementation delegates
+    /// to `next_items` (keeping batched overrides batched); models that
+    /// can answer without allocating override this directly.
+    fn next_items_into(&self, queries: &[NextQuery<'_>], out: &mut Vec<Option<ItemId>>) {
+        out.extend(self.next_items(queries));
+    }
 }
 
 /// Algorithm 1: generate an influence path of at most `max_len` items,

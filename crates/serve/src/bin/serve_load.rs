@@ -8,13 +8,23 @@
 //! batched-vs-scalar ratio); `IRS_SERVE_ASSERT=1` turns the ≥2x
 //! acceptance threshold into a hard failure.
 //!
+//! `--keep-alive` instead boots the full HTTP frontend in-process and
+//! drives the same session traffic over real sockets twice — once
+//! opening a fresh connection per request (`Connection: close`), once
+//! reusing one keep-alive connection per client — and reports the
+//! connection-reuse win (throughput + p50/p95/p99).  With
+//! `IRS_SERVE_ASSERT=1` the ≥1.3x keep-alive threshold is enforced.
+//!
 //! ```text
 //! cargo run --release -p irs_serve --bin serve_load -- \
 //!     [--sessions 32] [--rounds 3] [--steps 8] [--patience 3] \
 //!     [--max-batch 16] [--max-wait-us 500] [--workers 2] \
-//!     [--scale 0.02] [--epochs 1] [--compare] [--verify]
+//!     [--http-workers 0] [--scale 0.02] [--epochs 1] \
+//!     [--compare] [--keep-alive] [--verify]
 //! ```
 
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,7 +33,9 @@ use irs_core::{InteractiveSession, Irn, IrnConfig, NeuralTrainConfig};
 use irs_data::split::{sample_objectives, split_dataset, SplitConfig};
 use irs_data::synth::{generate, SynthConfig};
 use irs_data::ItemId;
-use irs_serve::{BatchPolicy, Engine, ModelSnapshot, SnapshotRegistry};
+use irs_serve::{
+    BatchPolicy, Engine, HttpServer, JsonValue, ModelSnapshot, ServerConfig, SnapshotRegistry,
+};
 
 struct Opts {
     sessions: usize,
@@ -36,6 +48,8 @@ struct Opts {
     scale: f32,
     epochs: usize,
     compare: bool,
+    keep_alive: bool,
+    http_workers: usize,
     verify: bool,
 }
 
@@ -52,6 +66,8 @@ impl Default for Opts {
             scale: 0.02,
             epochs: 1,
             compare: false,
+            keep_alive: false,
+            http_workers: 0,
             verify: false,
         }
     }
@@ -100,6 +116,11 @@ fn parse_args() -> Result<Opts, String> {
                 opts.epochs = take(&args, &mut i)?.parse().map_err(|e| format!("--epochs: {e}"))?
             }
             "--compare" => opts.compare = true,
+            "--keep-alive" => opts.keep_alive = true,
+            "--http-workers" => {
+                opts.http_workers =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--http-workers: {e}"))?
+            }
             "--verify" => opts.verify = true,
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -238,6 +259,172 @@ fn run_load(
     LoadReport { requests, wall, latencies_us, mean_batch }
 }
 
+/// Minimal blocking HTTP/1.1 client for the socket-level load modes.
+///
+/// In keep-alive mode one connection is opened lazily and reused for
+/// every request; in close mode each request connects fresh and sends
+/// `Connection: close` — exactly the two behaviours whose throughput
+/// the `--keep-alive` run compares.
+struct HttpClient {
+    addr: SocketAddr,
+    keep_alive: bool,
+    stream: Option<TcpStream>,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    fn new(addr: SocketAddr, keep_alive: bool) -> Self {
+        HttpClient { addr, keep_alive, stream: None, buf: Vec::new() }
+    }
+
+    /// One request/response round trip; returns (status, parsed body).
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, JsonValue) {
+        let mut stream = match self.stream.take() {
+            Some(s) => s,
+            None => {
+                let s = TcpStream::connect(self.addr).expect("connect");
+                s.set_nodelay(true).expect("nodelay");
+                s.set_read_timeout(Some(Duration::from_secs(30))).expect("read timeout");
+                s
+            }
+        };
+        let connection = if self.keep_alive { "keep-alive" } else { "close" };
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\
+             Connection: {connection}\r\n\r\n{body}",
+            body.len()
+        )
+        .expect("write request");
+        self.buf.clear();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos + 4;
+            }
+            let n = stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "server closed before the response head completed");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = std::str::from_utf8(&self.buf[..head_end]).expect("non-UTF-8 response head");
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("malformed status line: {head:?}"));
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (name, value) = line.split_once(':')?;
+                name.trim().eq_ignore_ascii_case("content-length").then(|| value.trim())
+            })
+            .and_then(|v| v.parse().ok())
+            .expect("every response must carry Content-Length");
+        while self.buf.len() < head_end + content_length {
+            let n = stream.read(&mut chunk).expect("read body");
+            assert!(n > 0, "server closed mid-body");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+        let payload =
+            std::str::from_utf8(&self.buf[head_end..head_end + content_length]).expect("body");
+        let json =
+            JsonValue::parse(payload).unwrap_or_else(|e| panic!("bad JSON body {payload:?}: {e}"));
+        if self.keep_alive {
+            self.stream = Some(stream);
+        }
+        (status, json)
+    }
+}
+
+/// Drive one scripted session over HTTP to completion:
+/// create → (next → feedback-accept)* → delete.  Returns per-request
+/// latencies (µs) appended to `lats`.
+fn drive_http_session(
+    client: &mut HttpClient,
+    script: &Script,
+    objective: ItemId,
+    lats: &mut Vec<u64>,
+) {
+    let history: Vec<String> = script.history.iter().map(ToString::to_string).collect();
+    let body = format!(
+        "{{\"user\": {}, \"history\": [{}], \"objective\": {objective}}}",
+        script.user,
+        history.join(",")
+    );
+    let t0 = Instant::now();
+    let (status, created) = client.request("POST", "/v1/session", &body);
+    lats.push(t0.elapsed().as_micros() as u64);
+    assert_eq!(status, 200, "create failed: {created}");
+    let sid = created.get("session_id").and_then(JsonValue::as_usize).expect("session id");
+    loop {
+        let t0 = Instant::now();
+        let (status, next) = client.request("POST", &format!("/v1/session/{sid}/next"), "");
+        lats.push(t0.elapsed().as_micros() as u64);
+        assert_eq!(status, 200, "next failed: {next}");
+        if next.get("done").and_then(JsonValue::as_bool) == Some(true) {
+            break;
+        }
+        let item = next.get("item").and_then(JsonValue::as_usize).expect("item");
+        let t0 = Instant::now();
+        let (status, fb) = client.request(
+            "POST",
+            &format!("/v1/session/{sid}/feedback"),
+            &format!("{{\"item\": {item}, \"accepted\": true}}"),
+        );
+        lats.push(t0.elapsed().as_micros() as u64);
+        assert_eq!(status, 200, "feedback failed: {fb}");
+        if fb.get("done").and_then(JsonValue::as_bool) == Some(true) {
+            break;
+        }
+    }
+    let t0 = Instant::now();
+    let (status, _) = client.request("DELETE", &format!("/v1/session/{sid}"), "");
+    lats.push(t0.elapsed().as_micros() as u64);
+    assert_eq!(status, 200, "delete failed");
+}
+
+/// Replay the session scripts over real sockets against the in-process
+/// HTTP frontend, one client thread per script.  `keep_alive: false`
+/// reconnects for every single request (`Connection: close`);
+/// `keep_alive: true` reuses one connection per client for its whole
+/// traffic.
+fn run_http_load(
+    addr: SocketAddr,
+    scripts: &[Script],
+    opts: &Opts,
+    keep_alive: bool,
+) -> LoadReport {
+    let started = Instant::now();
+    let mut latencies_us: Vec<u64> = Vec::new();
+    let mut requests = 0usize;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for script in scripts {
+            handles.push(scope.spawn(move || {
+                let mut client = HttpClient::new(addr, keep_alive);
+                let mut lats = Vec::new();
+                for round in 0..opts.rounds {
+                    let objective = script.objectives[round % script.objectives.len()];
+                    drive_http_session(&mut client, script, objective, &mut lats);
+                }
+                lats
+            }));
+        }
+        for h in handles {
+            let lats = h.join().expect("http client thread panicked");
+            requests += lats.len();
+            latencies_us.extend(lats);
+        }
+    });
+    let wall = started.elapsed();
+    // The engine's mean batch over the whole server lifetime so far — a
+    // cumulative figure shared by both runs, reported for context only.
+    let (_, stats) = HttpClient::new(addr, false).request("GET", "/v1/stats", "");
+    let mean_batch = stats.get("mean_batch").and_then(JsonValue::as_f64).unwrap_or(0.0);
+    latencies_us.sort_unstable();
+    LoadReport { requests, wall, latencies_us, mean_batch }
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args() {
         Ok(o) => o,
@@ -245,8 +432,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: serve_load [--sessions N] [--rounds R] [--steps S] [--patience P] \
-                 [--max-batch B] [--max-wait-us U] [--workers W] [--scale S] [--epochs E] \
-                 [--compare] [--verify]"
+                 [--max-batch B] [--max-wait-us U] [--workers W] [--http-workers N] \
+                 [--scale S] [--epochs E] [--compare] [--keep-alive] [--verify]"
             );
             return ExitCode::from(2);
         }
@@ -316,7 +503,52 @@ fn main() -> ExitCode {
     };
 
     let mut speedup = None;
-    if opts.compare {
+    let mut reuse_win = None;
+    if opts.keep_alive {
+        // Boot the full HTTP frontend in-process and compare
+        // close-per-request traffic with keep-alive connection reuse.
+        let engine = Arc::new(Engine::start(registry.clone(), batched_policy.clone()));
+        let server = HttpServer::bind(
+            "127.0.0.1:0",
+            engine.clone(),
+            None,
+            ServerConfig {
+                max_len: opts.steps,
+                patience: opts.patience,
+                http_workers: opts.http_workers,
+                ..Default::default()
+            },
+        )
+        .expect("bind HTTP frontend");
+        let addr = server.local_addr().expect("local addr");
+        let server_thread = std::thread::spawn(move || server.run());
+        // Untimed warm-up of the HTTP path itself (worker workspaces,
+        // connection buffers) so neither timed run pays first-use costs.
+        {
+            let mut client = HttpClient::new(addr, true);
+            let mut lats = Vec::new();
+            drive_http_session(&mut client, &scripts[0], scripts[0].objectives[0], &mut lats);
+        }
+        eprintln!(
+            "serve_load: HTTP close-per-request run ({} clients, fresh connection each request)...",
+            opts.sessions
+        );
+        let close = run_http_load(addr, &scripts, &opts, false);
+        close.print("http-close");
+        eprintln!(
+            "serve_load: HTTP keep-alive run ({} clients, one reused connection each)...",
+            opts.sessions
+        );
+        let keep = run_http_load(addr, &scripts, &opts, true);
+        keep.print("http-keep ");
+        let ratio = keep.throughput() / close.throughput().max(1e-9);
+        println!("keep-alive win: {ratio:.2}x throughput over close-per-request");
+        reuse_win = Some(ratio);
+        let (status, _) = HttpClient::new(addr, false).request("POST", "/v1/admin/shutdown", "");
+        assert_eq!(status, 200, "shutdown failed");
+        server_thread.join().expect("server thread").expect("server run");
+        engine.shutdown();
+    } else if opts.compare {
         // Three configurations, most naive first:
         //   scalar   — batch-size-1: every proposal is an individual
         //              scalar next_item call (no engine, no batching);
@@ -372,15 +604,23 @@ fn main() -> ExitCode {
     }
 
     if std::env::var("IRS_SERVE_ASSERT").as_deref() == Ok("1") {
-        let Some(s) = speedup else {
-            eprintln!("IRS_SERVE_ASSERT requires --compare");
-            return ExitCode::FAILURE;
-        };
-        if s < 2.0 {
-            eprintln!("FAIL: micro-batching speedup {s:.2}x below the 2x acceptance threshold");
-            return ExitCode::FAILURE;
+        if let Some(r) = reuse_win {
+            if r < 1.3 {
+                eprintln!("FAIL: keep-alive win {r:.2}x below the 1.3x acceptance threshold");
+                return ExitCode::FAILURE;
+            }
+            println!("ok: keep-alive win {r:.2}x ≥ 1.3x");
+        } else {
+            let Some(s) = speedup else {
+                eprintln!("IRS_SERVE_ASSERT requires --compare or --keep-alive");
+                return ExitCode::FAILURE;
+            };
+            if s < 2.0 {
+                eprintln!("FAIL: micro-batching speedup {s:.2}x below the 2x acceptance threshold");
+                return ExitCode::FAILURE;
+            }
+            println!("ok: micro-batching speedup {s:.2}x ≥ 2x");
         }
-        println!("ok: micro-batching speedup {s:.2}x ≥ 2x");
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,428 @@
+//! Per-connection state for the keep-alive frontend.
+//!
+//! A [`Conn`] owns a non-blocking socket plus the two buffers a
+//! connection ever needs: an input accumulation buffer the incremental
+//! parser walks, and an output buffer responses are staged in until the
+//! socket accepts them.  Both keep their capacity across requests, so a
+//! warm connection reads, parses and responds without allocating.
+//!
+//! Parsing is a pure function of the buffered bytes
+//! ([`Conn::try_parse`]): it either yields a [`RequestSpans`] describing
+//! a complete request *in place* (byte ranges into the input buffer — no
+//! copies), reports that more bytes are needed, or rejects the
+//! connection with the HTTP status to die with.  Over-long header
+//! sections (431) and oversized bodies (413) are rejected from the
+//! buffered prefix alone — the server never reads unbounded input to
+//! decide a request is too big.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Hard cap on the request head (request line + headers).
+pub(crate) const MAX_HEADER_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body.
+pub(crate) const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Socket read granularity.
+const READ_CHUNK: usize = 8 * 1024;
+/// Stop buffering input beyond this point; the parser is guaranteed to
+/// have either produced a request or rejected the connection by then.
+const MAX_BUFFERED: usize = MAX_HEADER_BYTES + MAX_BODY_BYTES + READ_CHUNK;
+
+/// What a non-blocking read pass achieved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FillState {
+    /// Socket has no more bytes right now.
+    WouldBlock,
+    /// Peer half-closed; whatever is buffered is all there will be.
+    Eof,
+    /// Socket error — the connection is dead.
+    Dead,
+}
+
+/// A complete request located in the input buffer.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RequestSpans {
+    /// Byte range of the method token.
+    pub method: (usize, usize),
+    /// Byte range of the request target.
+    pub path: (usize, usize),
+    /// Byte range of the body.
+    pub body: (usize, usize),
+    /// Total bytes this request consumed (next request starts here).
+    pub end: usize,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default, `Connection` header respected both ways).
+    pub keep_alive: bool,
+}
+
+/// Outcome of one [`Conn::try_parse`] call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ParseStatus {
+    /// No complete request buffered yet.
+    NeedMore,
+    /// A complete request, located in place.
+    Complete(RequestSpans),
+    /// Protocol violation: answer with this status and close.
+    Bad(u16, &'static str),
+}
+
+/// One client connection: non-blocking socket + reusable I/O buffers.
+pub(crate) struct Conn {
+    stream: TcpStream,
+    /// Unparsed-input accumulation buffer.
+    pub buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by parsed requests (compacted
+    /// away between worker turns).
+    pub parsed: usize,
+    /// Staged response bytes not yet accepted by the socket.
+    pub out: Vec<u8>,
+    /// Bytes of `out` already written to the socket.
+    pub out_pos: usize,
+    /// Last time the socket produced or accepted bytes (idle-timeout
+    /// clock).
+    pub last_activity: Instant,
+    /// Close once `out` is fully flushed (error response, `Connection:
+    /// close`, half-closed peer, …).
+    pub close_after_flush: bool,
+    /// Peer half-closed its write side.
+    pub eof: bool,
+    open_count: Arc<AtomicUsize>,
+}
+
+impl Conn {
+    /// Adopt an accepted socket.  Switches it to non-blocking and
+    /// disables Nagle (keep-alive responses are small and
+    /// latency-sensitive).  `open_count` is incremented here and
+    /// decremented when the connection drops.
+    pub fn new(stream: TcpStream, open_count: Arc<AtomicUsize>) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        open_count.fetch_add(1, Ordering::Relaxed);
+        Ok(Conn {
+            stream,
+            buf: Vec::new(),
+            parsed: 0,
+            out: Vec::new(),
+            out_pos: 0,
+            last_activity: Instant::now(),
+            close_after_flush: false,
+            eof: false,
+            open_count,
+        })
+    }
+
+    /// Read until the socket would block (or EOF / error / buffer cap).
+    /// Refreshes the idle clock whenever bytes arrive.
+    pub fn fill(&mut self) -> FillState {
+        loop {
+            if self.buf.len() >= MAX_BUFFERED {
+                // The parser will reject this connection from what is
+                // already buffered; reading further would be unbounded.
+                return FillState::WouldBlock;
+            }
+            let start = self.buf.len();
+            self.buf.resize(start + READ_CHUNK, 0);
+            match self.stream.read(&mut self.buf[start..]) {
+                Ok(0) => {
+                    self.buf.truncate(start);
+                    self.eof = true;
+                    return FillState::Eof;
+                }
+                Ok(n) => {
+                    self.buf.truncate(start + n);
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    self.buf.truncate(start);
+                    return FillState::WouldBlock;
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                    self.buf.truncate(start);
+                }
+                Err(_) => {
+                    self.buf.truncate(start);
+                    return FillState::Dead;
+                }
+            }
+        }
+    }
+
+    /// Try to locate one complete request starting at `self.parsed`.
+    pub fn try_parse(&self) -> ParseStatus {
+        parse_request(&self.buf, self.parsed)
+    }
+
+    /// Drop consumed input so the buffer only holds the unparsed tail
+    /// (an in-place move — capacity is kept).
+    pub fn compact(&mut self) {
+        if self.parsed > 0 {
+            self.buf.copy_within(self.parsed.., 0);
+            self.buf.truncate(self.buf.len() - self.parsed);
+            self.parsed = 0;
+        }
+    }
+
+    /// Push staged response bytes into the socket without blocking.
+    /// Returns `Ok(true)` once everything staged has been written (the
+    /// buffer is then reset for reuse), `Ok(false)` if the socket
+    /// stopped accepting bytes mid-response.
+    pub fn flush_out(&mut self) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_pos += n;
+                    self.last_activity = Instant::now();
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+
+    /// Whether staged response bytes are waiting on the socket.
+    pub fn has_pending_out(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Whether unparsed input bytes are buffered.
+    pub fn has_buffered_input(&self) -> bool {
+        self.parsed < self.buf.len()
+    }
+}
+
+impl Drop for Conn {
+    fn drop(&mut self) {
+        self.open_count.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Locate one request in `buf[from..]`.  Pure function of the bytes, so
+/// it is directly testable without a socket.
+pub(crate) fn parse_request(buf: &[u8], from: usize) -> ParseStatus {
+    let input = &buf[from..];
+    // Find the end of the header section: the first blank line.  Lines
+    // terminate on `\n`; a trailing `\r` is tolerated (same laxness as
+    // the previous BufRead-based parser).
+    let mut head_end = None; // offset just past the blank line
+    let mut pos = 0;
+    while pos < input.len() && pos <= MAX_HEADER_BYTES {
+        match input[pos..].iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                let line = &input[pos..pos + nl];
+                let line = if line.ends_with(b"\r") { &line[..line.len() - 1] } else { line };
+                pos += nl + 1;
+                if line.is_empty() {
+                    head_end = Some(pos);
+                    break;
+                }
+            }
+            None => break,
+        }
+    }
+    let Some(head_end) = head_end else {
+        return if input.len() > MAX_HEADER_BYTES {
+            ParseStatus::Bad(431, "request header section too large")
+        } else {
+            ParseStatus::NeedMore
+        };
+    };
+    if head_end > MAX_HEADER_BYTES {
+        return ParseStatus::Bad(431, "request header section too large");
+    }
+
+    // Request line.
+    let first_nl = input.iter().position(|&b| b == b'\n').unwrap_or(head_end);
+    let request_line = &input[..first_nl];
+    let request_line = if request_line.ends_with(b"\r") {
+        &request_line[..request_line.len() - 1]
+    } else {
+        request_line
+    };
+    let mut tokens = request_line.split(|&b| b == b' ' || b == b'\t').filter(|t| !t.is_empty());
+    let (Some(method), Some(path)) = (tokens.next(), tokens.next()) else {
+        return ParseStatus::Bad(400, "malformed request line");
+    };
+    let Some(version) = tokens.next() else {
+        return ParseStatus::Bad(400, "malformed request line");
+    };
+    if tokens.next().is_some() {
+        return ParseStatus::Bad(400, "malformed request line");
+    }
+    let mut keep_alive = match version {
+        b"HTTP/1.1" => true,
+        b"HTTP/1.0" => false,
+        _ => return ParseStatus::Bad(505, "unsupported HTTP version"),
+    };
+    let method_start = from + offset_in(input, method);
+    let path_start = from + offset_in(input, path);
+
+    // Headers: walk the remaining lines of the head for the few headers
+    // the framing depends on.
+    let mut content_length = 0usize;
+    let mut line_start = first_nl + 1;
+    while line_start < head_end {
+        let nl = input[line_start..head_end]
+            .iter()
+            .position(|&b| b == b'\n')
+            .map(|p| line_start + p)
+            .unwrap_or(head_end);
+        let line = &input[line_start..nl];
+        let line = if line.ends_with(b"\r") { &line[..line.len() - 1] } else { line };
+        line_start = nl + 1;
+        if line.is_empty() {
+            break;
+        }
+        let Some(colon) = line.iter().position(|&b| b == b':') else { continue };
+        let name = &line[..colon];
+        let value = trim_ascii(&line[colon + 1..]);
+        if name.eq_ignore_ascii_case(b"content-length") {
+            let Ok(text) = std::str::from_utf8(value) else {
+                return ParseStatus::Bad(400, "bad content-length");
+            };
+            let Ok(n) = text.parse::<usize>() else {
+                return ParseStatus::Bad(400, "bad content-length");
+            };
+            content_length = n;
+        } else if name.eq_ignore_ascii_case(b"connection") {
+            if value.eq_ignore_ascii_case(b"close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case(b"keep-alive") {
+                keep_alive = true;
+            }
+        } else if name.eq_ignore_ascii_case(b"transfer-encoding") {
+            // Chunked framing is not supported; rejecting is the only
+            // safe answer (guessing the framing would desynchronise the
+            // connection).
+            return ParseStatus::Bad(501, "transfer-encoding not supported");
+        }
+    }
+
+    if content_length > MAX_BODY_BYTES {
+        return ParseStatus::Bad(413, "request body too large");
+    }
+    if input.len() < head_end + content_length {
+        return ParseStatus::NeedMore;
+    }
+    ParseStatus::Complete(RequestSpans {
+        method: (method_start, method_start + method.len()),
+        path: (path_start, path_start + path.len()),
+        body: (from + head_end, from + head_end + content_length),
+        end: from + head_end + content_length,
+        keep_alive,
+    })
+}
+
+/// Byte offset of subslice `part` inside `whole` (both from the same
+/// allocation — the request line tokens always are).
+fn offset_in(whole: &[u8], part: &[u8]) -> usize {
+    part.as_ptr() as usize - whole.as_ptr() as usize
+}
+
+fn trim_ascii(mut s: &[u8]) -> &[u8] {
+    while let [b' ' | b'\t', rest @ ..] = s {
+        s = rest;
+    }
+    while let [rest @ .., b' ' | b'\t'] = s {
+        s = rest;
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn complete(raw: &[u8]) -> RequestSpans {
+        match parse_request(raw, 0) {
+            ParseStatus::Complete(s) => s,
+            other => panic!("expected a complete request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_a_simple_get() {
+        let raw = b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+        let s = complete(raw);
+        assert_eq!(&raw[s.method.0..s.method.1], b"GET");
+        assert_eq!(&raw[s.path.0..s.path.1], b"/healthz");
+        assert_eq!(s.body.0, s.body.1);
+        assert_eq!(s.end, raw.len());
+        assert!(s.keep_alive, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn parses_a_post_with_body_and_respects_connection_close() {
+        let raw =
+            b"POST /v1/session HTTP/1.1\r\nContent-Length: 4\r\nConnection: close\r\n\r\n{\"a\"";
+        let s = complete(raw);
+        assert_eq!(&raw[s.method.0..s.method.1], b"POST");
+        assert_eq!(&raw[s.body.0..s.body.1], b"{\"a\"");
+        assert!(!s.keep_alive);
+    }
+
+    #[test]
+    fn http_10_defaults_to_close_but_can_opt_in() {
+        let raw = b"GET / HTTP/1.0\r\n\r\n";
+        assert!(!complete(raw).keep_alive);
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        assert!(complete(raw).keep_alive);
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more() {
+        for raw in [
+            &b"GET /health"[..],
+            b"GET / HTTP/1.1\r\nHost: x\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\n12345",
+        ] {
+            assert!(matches!(parse_request(raw, 0), ParseStatus::NeedMore), "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn second_pipelined_request_parses_from_its_offset() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let first = complete(raw);
+        let second = match parse_request(raw, first.end) {
+            ParseStatus::Complete(s) => s,
+            other => panic!("expected second request, got {other:?}"),
+        };
+        assert_eq!(&raw[second.path.0..second.path.1], b"/b");
+        assert_eq!(second.end, raw.len());
+    }
+
+    #[test]
+    fn oversized_header_and_body_are_rejected_without_reading_more() {
+        let mut raw = b"GET / HTTP/1.1\r\nX: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEADER_BYTES + 10));
+        assert!(matches!(parse_request(&raw, 0), ParseStatus::Bad(431, _)));
+
+        let raw = format!("POST / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert!(
+            matches!(parse_request(raw.as_bytes(), 0), ParseStatus::Bad(413, _)),
+            "413 must come from the declared length, before any body bytes arrive"
+        );
+    }
+
+    #[test]
+    fn protocol_violations_get_the_right_status() {
+        assert!(matches!(parse_request(b"\x01\x02\r\n\r\n", 0), ParseStatus::Bad(400, _)));
+        assert!(matches!(parse_request(b"GET / HTTP/2.0\r\n\r\n", 0), ParseStatus::Bad(505, _)));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nContent-Length: x\r\n\r\n", 0),
+            ParseStatus::Bad(400, _)
+        ));
+        assert!(matches!(
+            parse_request(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 0),
+            ParseStatus::Bad(501, _)
+        ));
+    }
+}

@@ -1,9 +1,12 @@
-//! Minimal HTTP/1.1 JSON frontend on `std::net::TcpListener`.
+//! HTTP/1.1 JSON frontend on `std::net::TcpListener`.
 //!
-//! One thread per connection, `Connection: close` semantics, hand-rolled
-//! request parsing — deliberately the smallest server that can put the
-//! micro-batching engine behind a socket without third-party
-//! dependencies.  The protocol:
+//! Serving v2: keep-alive with pipelining over a bounded worker pool
+//! (see [`crate::pool`] for the accept → poller → ready-queue → worker
+//! topology).  Requests are parsed incrementally and in place from the
+//! connection's input buffer ([`crate::conn`]), handled against a
+//! per-worker reusable [`RequestWorkspace`], and answered by writing
+//! JSON directly into the connection's output buffer — after warm-up the
+//! steady-state request path performs no heap allocation.  The protocol:
 //!
 //! | Route                           | Body → Reply |
 //! |---------------------------------|--------------|
@@ -17,6 +20,15 @@
 //! | `POST /v1/admin/swap`           | `{path}` → `{version, label}` (hot-swap) |
 //! | `POST /v1/admin/shutdown`       | → `{ok}` and the accept loop exits |
 //!
+//! Protocol behaviour: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
+//! close, and the `Connection` header overrides either way; every
+//! response carries a `Content-Length`; oversized heads/bodies are
+//! rejected with 431/413 from the buffered prefix alone; chunked
+//! transfer encoding and HTTP versions other than 1.0/1.1 are rejected
+//! (501/505); `Expect: 100-continue` is ignored (clients send the body
+//! after their grace period).  Connections idle past
+//! [`ServerConfig::idle_timeout`] are closed by the poller.
+//!
 //! Item ids in requests are door-checked against the snapshot's
 //! catalogue (400 on out-of-range, instead of a panic deep in an
 //! embedding lookup).  User ids are deliberately *not* bounded: the IRN
@@ -25,18 +37,21 @@
 //! so a brand-new user is served the impressionability profile of an
 //! existing one rather than rejected.
 
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use irs_core::InteractiveSession;
 
-use crate::json::JsonValue;
+use crate::conn::{Conn, RequestSpans};
+use crate::json::{write_json_num, write_json_str, JsonRef};
+use crate::pool;
 use crate::scheduler::Engine;
 use crate::session::SessionStore;
 use crate::snapshot::SnapshotLoader;
+use crate::workspace::RequestWorkspace;
 
 /// Frontend configuration.
 #[derive(Debug, Clone)]
@@ -51,14 +66,21 @@ pub struct ServerConfig {
     /// (clients free slots with `DELETE /v1/session/{id}`).  The hard
     /// backstop behind TTL eviction.
     pub max_sessions: usize,
-    /// Cap on concurrent connection-handler threads; excess connections
-    /// are answered 503 inline on the accept thread.
+    /// Cap on concurrently open connections; excess connections are
+    /// answered 503 inline on the accept thread.
     pub max_connections: usize,
     /// Idle time after which an abandoned session is evicted by the
     /// background sweeper (`None` disables sweeping; sessions then live
     /// until `DELETE` or shutdown).  `irs serve` exposes this as
     /// `--session-ttl-s`.
     pub session_ttl: Option<Duration>,
+    /// HTTP worker threads serving parsed requests (0 = auto: twice the
+    /// available cores, minimum 8).  `irs serve` exposes this as
+    /// `--http-workers`.
+    pub http_workers: usize,
+    /// Keep-alive connections idle past this are closed by the poller.
+    /// `irs serve` exposes this as `--idle-timeout-s`.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -68,25 +90,29 @@ impl Default for ServerConfig {
             patience: 3,
             session_shards: 16,
             max_sessions: 65_536,
-            max_connections: 256,
+            max_connections: 8_192,
             session_ttl: None,
+            http_workers: 0,
+            idle_timeout: Duration::from_secs(30),
         }
     }
 }
 
-struct ServerState {
-    engine: Arc<Engine>,
-    sessions: SessionStore,
+pub(crate) struct ServerState {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) sessions: SessionStore,
     loader: Option<SnapshotLoader>,
-    config: ServerConfig,
+    pub(crate) config: ServerConfig,
     shutdown: AtomicBool,
     started: Instant,
     /// Sessions aged out by the TTL sweeper since startup.
     evicted: std::sync::atomic::AtomicU64,
-    /// Live connection-handler threads; joined before `run` returns so
-    /// in-flight responses (the shutdown 200 included) are written
-    /// before the process can exit.
-    handlers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Resolved HTTP worker-pool size (config value or the 2×cores
+    /// default).
+    http_workers: usize,
+    /// Currently open client connections (incremented at accept,
+    /// decremented when a [`Conn`] drops).
+    open_conns: Arc<AtomicUsize>,
 }
 
 /// A bound (but not yet running) HTTP server.
@@ -125,6 +151,16 @@ impl ServerHandle {
     pub fn live_sessions(&self) -> usize {
         self.state.sessions.len()
     }
+
+    /// Currently open client connections.
+    pub fn open_connections(&self) -> usize {
+        self.state.open_conns.load(Ordering::Relaxed)
+    }
+
+    /// The resolved HTTP worker-pool size.
+    pub fn http_workers(&self) -> usize {
+        self.state.http_workers
+    }
 }
 
 impl HttpServer {
@@ -137,6 +173,14 @@ impl HttpServer {
         config: ServerConfig,
     ) -> io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
+        let http_workers = if config.http_workers == 0 {
+            // Workers park on the batching engine while their request is
+            // in flight, so the pool needs headroom beyond the core
+            // count — too few workers caps the engine's batch depth.
+            (2 * std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)).max(8)
+        } else {
+            config.http_workers
+        };
         let state = Arc::new(ServerState {
             engine,
             sessions: SessionStore::new(config.session_shards),
@@ -145,7 +189,8 @@ impl HttpServer {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             evicted: std::sync::atomic::AtomicU64::new(0),
-            handlers: parking_lot::Mutex::new(Vec::new()),
+            http_workers,
+            open_conns: Arc::new(AtomicUsize::new(0)),
         });
         Ok(HttpServer { listener, state })
     }
@@ -164,12 +209,19 @@ impl HttpServer {
     /// is left running (the caller owns it and decides when to stop the
     /// scheduler).
     ///
+    /// The accept loop admits connections up to
+    /// [`ServerConfig::max_connections`] and hands them to the worker
+    /// pool; shutdown drains in two phases (workers finish every
+    /// accepted request, then the poller flushes and closes parked
+    /// connections).
+    ///
     /// When [`ServerConfig::session_ttl`] is set, a background sweeper
     /// ages out sessions idle past the TTL (checking every quarter-TTL,
     /// clamped to 10 ms – 60 s, napping in short slices so shutdown is
     /// never delayed by more than ~250 ms) so abandoned sessions stop
     /// counting against `max_sessions`; evictions are tallied in the
-    /// stats.
+    /// stats.  Sessions with a request in flight are pinned and never
+    /// swept mid-request.
     pub fn run(self) -> io::Result<()> {
         let addr = self.listener.local_addr()?;
         let sweeper = self.state.config.session_ttl.map(|ttl| {
@@ -194,44 +246,34 @@ impl HttpServer {
                 }
             })
         });
+        let shared = Arc::new(pool::Shared::new());
+        let workers = pool::spawn_workers(&shared, &self.state, addr, self.state.http_workers);
+        let poller = pool::spawn_poller(&shared, self.state.config.idle_timeout);
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let Ok(mut stream) = stream else { continue };
-            let state = self.state.clone();
-            {
-                let mut handlers = state.handlers.lock();
-                // Bounded by concurrent connections: finished handles
-                // are pruned as new ones arrive, and connections beyond
-                // the cap are turned away inline instead of each taking
-                // a thread (and its read-timeout window) of their own.
-                handlers.retain(|h| !h.is_finished());
-                if handlers.len() >= state.config.max_connections {
-                    drop(handlers);
-                    let _ = write_response(
-                        &mut stream,
-                        503,
-                        &JsonValue::obj(vec![("error", JsonValue::from("server busy"))]),
-                    );
-                    continue;
-                }
-                let handle = {
-                    let state = state.clone();
-                    std::thread::spawn(move || {
-                        let _ = handle_connection(stream, &state, addr);
-                    })
-                };
-                handlers.push(handle);
+            if self.state.open_conns.load(Ordering::Relaxed) >= self.state.config.max_connections {
+                // Turned away inline (blocking write of a tiny response)
+                // instead of admitting an unbounded connection set.
+                let _ = write_busy(&mut stream);
+                continue;
+            }
+            if let Ok(conn) = Conn::new(stream, self.state.open_conns.clone()) {
+                shared.push_ready(conn);
             }
         }
-        // Drain in-flight handlers so every accepted request — the
-        // shutdown 200 included — gets its response before we return
-        // and the process can exit.
-        let handlers: Vec<_> = self.state.handlers.lock().drain(..).collect();
-        for handle in handlers {
+        // Phase 1: workers drain the ready queue so every accepted
+        // request — the shutdown 200 included — gets its response.
+        shared.begin_drain();
+        for handle in workers {
             let _ = handle.join();
         }
+        // Phase 2: the poller flushes whatever is still staged on parked
+        // connections, then closes them.
+        shared.stop_poller();
+        let _ = poller.join();
         if let Some(sweeper) = sweeper {
             let _ = sweeper.join();
         }
@@ -245,19 +287,71 @@ fn wake_listener(addr: SocketAddr) {
 }
 
 // ---------------------------------------------------------------------
-// Request plumbing
+// Response plumbing (direct-write, allocation-free)
 // ---------------------------------------------------------------------
 
-const MAX_HEADER_BYTES: usize = 16 * 1024;
-const MAX_BODY_BYTES: usize = 1024 * 1024;
-
-struct Request {
-    method: String,
-    path: String,
-    body: Vec<u8>,
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Internal Server Error",
+    }
 }
 
-/// Protocol errors carrying the HTTP status to answer with.
+/// Append a response head.  Every response carries an explicit
+/// `Content-Length` (keep-alive framing depends on it).
+fn write_head(out: &mut Vec<u8>, status: u16, body_len: usize, keep_alive: bool) {
+    let _ = write!(
+        out,
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {body_len}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+}
+
+fn write_error_body(body: &mut Vec<u8>, message: &str) {
+    body.extend_from_slice(b"{\"error\":");
+    write_json_str(body, message);
+    body.push(b'}');
+}
+
+/// Stage a complete error response on `out` (used for protocol errors
+/// that close the connection).
+pub(crate) fn write_error_response(
+    out: &mut Vec<u8>,
+    scratch: &mut Vec<u8>,
+    status: u16,
+    message: &str,
+) {
+    scratch.clear();
+    write_error_body(scratch, message);
+    write_head(out, status, scratch.len(), false);
+    out.extend_from_slice(scratch);
+}
+
+/// Inline 503 for the accept loop (the socket is still in blocking mode
+/// here — `Conn::new` was never called).
+fn write_busy(stream: &mut TcpStream) -> io::Result<()> {
+    let body = b"{\"error\":\"server busy\"}";
+    write!(
+        stream,
+        "HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Protocol errors carrying the HTTP status to answer with.  Error paths
+/// are cold, so they may allocate their message freely.
 struct HttpError {
     status: u16,
     message: String,
@@ -277,164 +371,111 @@ impl HttpError {
     }
 }
 
-fn read_request(stream: &mut TcpStream) -> io::Result<Option<Request>> {
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    // Hard cap on bytes read per request: without it a newline-free
-    // header line would grow the line buffer unboundedly — the per-line
-    // budget below only triggers once a line terminates.
-    let limit = (MAX_HEADER_BYTES + MAX_BODY_BYTES) as u64;
-    let mut reader = BufReader::new(Read::take(&mut *stream, limit));
-
-    let mut request_line = String::new();
-    if reader.read_line(&mut request_line)? == 0 {
-        return Ok(None); // peer closed without sending anything
-    }
-    let mut parts = request_line.split_whitespace();
-    let method = parts.next().unwrap_or_default().to_string();
-    let path = parts.next().unwrap_or_default().to_string();
-    if method.is_empty() || path.is_empty() {
-        return Ok(None);
-    }
-
-    let mut content_length = 0usize;
-    let mut header_bytes = request_line.len();
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(None);
-        }
-        header_bytes += line.len();
-        if header_bytes > MAX_HEADER_BYTES {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "header section too large"));
-        }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().map_err(|_| {
-                    io::Error::new(io::ErrorKind::InvalidData, "bad content-length")
-                })?;
-            }
-        }
-    }
-    if content_length > MAX_BODY_BYTES {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    Ok(Some(Request { method, path, body }))
-}
-
-fn write_response(stream: &mut TcpStream, status: u16, body: &JsonValue) -> io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        429 => "Too Many Requests",
-        501 => "Not Implemented",
-        503 => "Service Unavailable",
-        _ => "Internal Server Error",
-    };
-    let payload = body.to_string();
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
-        payload.len()
-    )?;
-    stream.flush()
-}
-
-fn handle_connection(
-    mut stream: TcpStream,
+/// Handle one parsed request: route it, run the handler (which writes
+/// the response body into the workspace), and stage the full response on
+/// `out`.  Infallible — every outcome becomes a staged response.
+pub(crate) fn handle_parsed(
     state: &Arc<ServerState>,
     addr: SocketAddr,
-) -> io::Result<()> {
-    let Some(request) = read_request(&mut stream)? else {
-        return Ok(()); // wake-up / empty connection
+    ws: &mut RequestWorkspace,
+    buf: &[u8],
+    spans: &RequestSpans,
+    out: &mut Vec<u8>,
+) {
+    ws.body.clear();
+    let status = match route(state, addr, ws, buf, spans) {
+        Ok(status) => status,
+        Err(e) => {
+            ws.body.clear();
+            write_error_body(&mut ws.body, &e.message);
+            e.status
+        }
     };
-    let (status, body) = match route(&request, state, addr) {
-        Ok(value) => (200, value),
-        Err(e) => (e.status, JsonValue::obj(vec![("error", JsonValue::Str(e.message))])),
-    };
-    write_response(&mut stream, status, &body)
-}
-
-fn parse_body(request: &Request) -> Result<JsonValue, HttpError> {
-    if request.body.is_empty() {
-        return Ok(JsonValue::Obj(Vec::new()));
-    }
-    let text = std::str::from_utf8(&request.body)
-        .map_err(|_| HttpError::bad_request("body is not UTF-8"))?;
-    JsonValue::parse(text).map_err(|e| HttpError::bad_request(format!("invalid JSON: {e}")))
-}
-
-fn field_usize(body: &JsonValue, key: &str) -> Result<usize, HttpError> {
-    body.get(key)
-        .and_then(JsonValue::as_usize)
-        .ok_or_else(|| HttpError::bad_request(format!("missing or invalid '{key}'")))
+    write_head(out, status, ws.body.len(), spans.keep_alive);
+    out.extend_from_slice(&ws.body);
 }
 
 fn route(
-    request: &Request,
     state: &Arc<ServerState>,
     addr: SocketAddr,
-) -> Result<JsonValue, HttpError> {
+    ws: &mut RequestWorkspace,
+    buf: &[u8],
+    spans: &RequestSpans,
+) -> Result<u16, HttpError> {
+    let method = &buf[spans.method.0..spans.method.1];
+    let target = std::str::from_utf8(&buf[spans.path.0..spans.path.1])
+        .map_err(|_| HttpError::bad_request("request target is not UTF-8"))?;
     // Route on the path alone; query strings are accepted and ignored
     // (health probes commonly append `?...`).
-    let path = request.path.split('?').next().unwrap_or("");
-    let segments: Vec<&str> = path.trim_matches('/').split('/').collect();
-    match (request.method.as_str(), segments.as_slice()) {
-        ("GET", ["healthz"]) => {
+    let path = target.split('?').next().unwrap_or("");
+    let mut it = path.trim_matches('/').split('/');
+    let seg = [it.next(), it.next(), it.next(), it.next()];
+    if it.next().is_some() {
+        return Err(HttpError::not_found(format!("no route for {target}")));
+    }
+    let body = &buf[spans.body.0..spans.body.1];
+    match (method, seg) {
+        (b"GET", [Some("healthz"), None, None, None]) => {
             let snap = state.engine.registry().current();
-            Ok(JsonValue::obj(vec![
-                ("ok", JsonValue::Bool(true)),
-                ("snapshot", JsonValue::Str(snap.label.clone())),
-                ("version", JsonValue::num(state.engine.registry().version() as usize)),
-            ]))
+            let b = &mut ws.body;
+            b.extend_from_slice(b"{\"ok\":true,\"snapshot\":");
+            write_json_str(b, &snap.label);
+            b.extend_from_slice(b",\"version\":");
+            write_json_num(b, state.engine.registry().version() as f64);
+            b.push(b'}');
+            Ok(200)
         }
-        ("GET", ["v1", "stats"]) => Ok(stats_payload(state)),
-        ("POST", ["v1", "session"]) => create_session(request, state),
-        ("GET", ["v1", "session", id]) => {
+        (b"GET", [Some("v1"), Some("stats"), None, None]) => {
+            stats_payload(state, &mut ws.body);
+            Ok(200)
+        }
+        (b"POST", [Some("v1"), Some("session"), None, None]) => create_session(state, ws, body),
+        (b"GET", [Some("v1"), Some("session"), Some(id), None]) => {
             let id = parse_session_id(id)?;
+            let b = &mut ws.body;
             state
                 .sessions
-                .with(id, |s| session_payload(id, s))
-                .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))
+                .with(id, |s| write_session_payload(b, id, s))
+                .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?;
+            Ok(200)
         }
-        ("POST", ["v1", "session", id, "next"]) => next_item(parse_session_id(id)?, state),
-        ("POST", ["v1", "session", id, "feedback"]) => {
-            feedback(parse_session_id(id)?, request, state)
+        (b"POST", [Some("v1"), Some("session"), Some(id), Some("next")]) => {
+            next_item(state, ws, parse_session_id(id)?)
         }
-        ("DELETE", ["v1", "session", id]) => {
+        (b"POST", [Some("v1"), Some("session"), Some(id), Some("feedback")]) => {
+            feedback(state, ws, parse_session_id(id)?, body)
+        }
+        (b"DELETE", [Some("v1"), Some("session"), Some(id), None]) => {
             let id = parse_session_id(id)?;
             let session = state
                 .sessions
                 .remove(id)
                 .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?;
-            Ok(session_payload(id, &session))
+            write_session_payload(&mut ws.body, id, &session);
+            Ok(200)
         }
-        ("POST", ["v1", "admin", "swap"]) => swap_snapshot(request, state),
-        ("POST", ["v1", "admin", "shutdown"]) => {
+        (b"POST", [Some("v1"), Some("admin"), Some("swap"), None]) => {
+            swap_snapshot(state, ws, body)
+        }
+        (b"POST", [Some("v1"), Some("admin"), Some("shutdown"), None]) => {
             state.shutdown.store(true, Ordering::SeqCst);
             // Unblock the accept loop from a detached thread so the
             // response reaches the client first.
             std::thread::spawn(move || wake_listener(addr));
-            Ok(JsonValue::obj(vec![("ok", JsonValue::Bool(true))]))
+            ws.body.extend_from_slice(b"{\"ok\":true}");
+            Ok(200)
         }
         // Known paths reached with the wrong verb are 405; everything
         // else (typo'd routes included) is 404.
-        (_, ["healthz"])
-        | (_, ["v1", "stats"])
-        | (_, ["v1", "session"])
-        | (_, ["v1", "session", _])
-        | (_, ["v1", "session", _, "next" | "feedback"])
-        | (_, ["v1", "admin", "swap" | "shutdown"]) => {
+        (_, [Some("healthz"), None, None, None])
+        | (_, [Some("v1"), Some("stats"), None, None])
+        | (_, [Some("v1"), Some("session"), None, None])
+        | (_, [Some("v1"), Some("session"), Some(_), None])
+        | (_, [Some("v1"), Some("session"), Some(_), Some("next" | "feedback")])
+        | (_, [Some("v1"), Some("admin"), Some("swap" | "shutdown"), None]) => {
             Err(HttpError::new(405, "method not allowed"))
         }
-        _ => Err(HttpError::not_found(format!("no route for {}", request.path))),
+        _ => Err(HttpError::not_found(format!("no route for {target}"))),
     }
 }
 
@@ -442,45 +483,92 @@ fn parse_session_id(raw: &str) -> Result<u64, HttpError> {
     raw.parse().map_err(|_| HttpError::bad_request(format!("invalid session id '{raw}'")))
 }
 
-fn session_payload(id: u64, session: &InteractiveSession) -> JsonValue {
-    let outcome = session.outcome();
-    JsonValue::obj(vec![
-        ("session_id", JsonValue::num(id as usize)),
-        ("user", JsonValue::num(session.user())),
-        ("objective", JsonValue::num(session.objective())),
-        ("accepted", JsonValue::Arr(outcome.accepted.iter().map(|&i| JsonValue::num(i)).collect())),
-        ("rejected", JsonValue::Arr(outcome.rejected.iter().map(|&i| JsonValue::num(i)).collect())),
-        ("proposals", JsonValue::num(outcome.proposals)),
-        ("reached_objective", JsonValue::Bool(outcome.reached_objective)),
-        ("done", JsonValue::Bool(session.is_done())),
-    ])
+fn parse_body<'s>(
+    slab: &'s mut crate::json::JsonSlab,
+    body: &[u8],
+) -> Result<JsonRef<'s>, HttpError> {
+    slab.parse_body(body).map_err(|e| HttpError::bad_request(format!("invalid JSON: {e}")))
 }
 
-fn stats_payload(state: &Arc<ServerState>) -> JsonValue {
+fn field_usize(body: &JsonRef<'_>, key: &str) -> Result<usize, HttpError> {
+    body.get(key)
+        .and_then(|v| v.as_usize())
+        .ok_or_else(|| HttpError::bad_request(format!("missing or invalid '{key}'")))
+}
+
+fn write_id_array(b: &mut Vec<u8>, items: &[usize]) {
+    b.push(b'[');
+    for (i, &item) in items.iter().enumerate() {
+        if i > 0 {
+            b.push(b',');
+        }
+        write_json_num(b, item as f64);
+    }
+    b.push(b']');
+}
+
+fn write_session_payload(b: &mut Vec<u8>, id: u64, session: &InteractiveSession) {
+    b.extend_from_slice(b"{\"session_id\":");
+    write_json_num(b, id as f64);
+    b.extend_from_slice(b",\"user\":");
+    write_json_num(b, session.user() as f64);
+    b.extend_from_slice(b",\"objective\":");
+    write_json_num(b, session.objective() as f64);
+    b.extend_from_slice(b",\"accepted\":");
+    write_id_array(b, session.accepted());
+    b.extend_from_slice(b",\"rejected\":");
+    write_id_array(b, session.rejected());
+    b.extend_from_slice(b",\"proposals\":");
+    write_json_num(b, session.proposals() as f64);
+    b.extend_from_slice(b",\"reached_objective\":");
+    b.extend_from_slice(if session.reached_objective() { b"true" } else { b"false" });
+    b.extend_from_slice(b",\"done\":");
+    b.extend_from_slice(if session.is_done() { b"true" } else { b"false" });
+    b.push(b'}');
+}
+
+fn stats_payload(state: &Arc<ServerState>, b: &mut Vec<u8>) {
     let stats = state.engine.stats();
     let snap = state.engine.registry().current();
     let policy = state.engine.policy();
-    JsonValue::obj(vec![
-        ("requests", JsonValue::num(stats.requests as usize)),
-        ("batches", JsonValue::num(stats.batches as usize)),
-        ("mean_batch", JsonValue::Num(stats.mean_batch())),
-        ("gave_up", JsonValue::num(stats.gave_up as usize)),
-        ("sessions", JsonValue::num(state.sessions.len())),
-        (
-            "evicted_sessions",
-            JsonValue::num(state.evicted.load(std::sync::atomic::Ordering::Relaxed) as usize),
-        ),
-        ("snapshot", JsonValue::Str(snap.label.clone())),
-        ("snapshot_version", JsonValue::num(state.engine.registry().version() as usize)),
-        ("snapshot_params", JsonValue::num(snap.num_scalars())),
-        ("max_batch", JsonValue::num(policy.max_batch)),
-        ("max_wait_us", JsonValue::num(policy.max_wait.as_micros() as usize)),
-        ("workers", JsonValue::num(policy.workers)),
-        ("uptime_ms", JsonValue::num(state.started.elapsed().as_millis() as usize)),
-    ])
+    b.extend_from_slice(b"{\"requests\":");
+    write_json_num(b, stats.requests as f64);
+    b.extend_from_slice(b",\"batches\":");
+    write_json_num(b, stats.batches as f64);
+    b.extend_from_slice(b",\"mean_batch\":");
+    write_json_num(b, stats.mean_batch());
+    b.extend_from_slice(b",\"gave_up\":");
+    write_json_num(b, stats.gave_up as f64);
+    b.extend_from_slice(b",\"sessions\":");
+    write_json_num(b, state.sessions.len() as f64);
+    b.extend_from_slice(b",\"evicted_sessions\":");
+    write_json_num(b, state.evicted.load(Ordering::Relaxed) as f64);
+    b.extend_from_slice(b",\"snapshot\":");
+    write_json_str(b, &snap.label);
+    b.extend_from_slice(b",\"snapshot_version\":");
+    write_json_num(b, state.engine.registry().version() as f64);
+    b.extend_from_slice(b",\"snapshot_params\":");
+    write_json_num(b, snap.num_scalars() as f64);
+    b.extend_from_slice(b",\"max_batch\":");
+    write_json_num(b, policy.max_batch as f64);
+    b.extend_from_slice(b",\"max_wait_us\":");
+    write_json_num(b, policy.max_wait.as_micros() as f64);
+    b.extend_from_slice(b",\"workers\":");
+    write_json_num(b, policy.workers as f64);
+    b.extend_from_slice(b",\"http_workers\":");
+    write_json_num(b, state.http_workers as f64);
+    b.extend_from_slice(b",\"open_connections\":");
+    write_json_num(b, state.open_conns.load(Ordering::Relaxed) as f64);
+    b.extend_from_slice(b",\"uptime_ms\":");
+    write_json_num(b, state.started.elapsed().as_millis() as f64);
+    b.push(b'}');
 }
 
-fn create_session(request: &Request, state: &Arc<ServerState>) -> Result<JsonValue, HttpError> {
+fn create_session(
+    state: &Arc<ServerState>,
+    ws: &mut RequestWorkspace,
+    body: &[u8],
+) -> Result<u16, HttpError> {
     // Best-effort cap (checked outside the shard locks): bounds the
     // memory abandoned sessions can pin.
     if state.sessions.len() >= state.config.max_sessions {
@@ -492,24 +580,30 @@ fn create_session(request: &Request, state: &Arc<ServerState>) -> Result<JsonVal
             ),
         ));
     }
-    let body = parse_body(request)?;
-    let user = field_usize(&body, "user")?;
-    let objective = field_usize(&body, "objective")?;
-    let history = body
-        .get("history")
-        .map(|h| h.as_usize_arr().ok_or_else(|| HttpError::bad_request("invalid 'history'")))
-        .transpose()?
-        .unwrap_or_default();
-    let max_len = body
-        .get("max_len")
-        .map(|v| v.as_usize().ok_or_else(|| HttpError::bad_request("invalid 'max_len'")))
-        .transpose()?
-        .unwrap_or(state.config.max_len);
-    let patience = body
-        .get("patience")
-        .map(|v| v.as_usize().ok_or_else(|| HttpError::bad_request("invalid 'patience'")))
-        .transpose()?
-        .unwrap_or(state.config.patience);
+    let parsed = parse_body(&mut ws.slab, body)?;
+    let user = field_usize(&parsed, "user")?;
+    let objective = field_usize(&parsed, "objective")?;
+    let history = match parsed.get("history") {
+        None => Vec::new(),
+        Some(h) if h.is_arr() => {
+            let mut ids = Vec::with_capacity(h.len().unwrap_or(0));
+            for item in h.children() {
+                ids.push(
+                    item.as_usize().ok_or_else(|| HttpError::bad_request("invalid 'history'"))?,
+                );
+            }
+            ids
+        }
+        Some(_) => return Err(HttpError::bad_request("invalid 'history'")),
+    };
+    let max_len = match parsed.get("max_len") {
+        None => state.config.max_len,
+        Some(v) => v.as_usize().ok_or_else(|| HttpError::bad_request("invalid 'max_len'"))?,
+    };
+    let patience = match parsed.get("patience") {
+        None => state.config.patience,
+        Some(v) => v.as_usize().ok_or_else(|| HttpError::bad_request("invalid 'patience'"))?,
+    };
 
     // Reject out-of-catalogue ids up front when the snapshot knows its
     // catalogue (an in-range check at the door instead of a panic deep in
@@ -529,57 +623,93 @@ fn create_session(request: &Request, state: &Arc<ServerState>) -> Result<JsonVal
 
     let id =
         state.sessions.insert(InteractiveSession::new(user, history, objective, max_len, patience));
-    Ok(JsonValue::obj(vec![
-        ("session_id", JsonValue::num(id as usize)),
-        ("max_len", JsonValue::num(max_len)),
-        ("patience", JsonValue::num(patience)),
-    ]))
+    let b = &mut ws.body;
+    b.extend_from_slice(b"{\"session_id\":");
+    write_json_num(b, id as f64);
+    b.extend_from_slice(b",\"max_len\":");
+    write_json_num(b, max_len as f64);
+    b.extend_from_slice(b",\"patience\":");
+    write_json_num(b, patience as f64);
+    b.push(b'}');
+    Ok(200)
 }
 
-fn next_item(id: u64, state: &Arc<ServerState>) -> Result<JsonValue, HttpError> {
-    // Clone the query state under the shard lock, release it for the
-    // (blocking) scheduler round-trip, then reacquire only if the
-    // recommender gave up.
-    let query = state
+/// What the pinned-session read found.
+enum NextState {
+    AlreadyDone,
+    Ask { user: usize, objective: usize },
+}
+
+fn next_item(
+    state: &Arc<ServerState>,
+    ws: &mut RequestWorkspace,
+    id: u64,
+) -> Result<u16, HttpError> {
+    // Stage the query into the caller's buffers under the shard lock and
+    // *pin* the session: the TTL sweeper must not evict it while the
+    // scheduler round-trip is in flight (the round-trip can outlast a
+    // short TTL, and losing the session mid-request would drop the
+    // give-up record below).  The pin is taken under the same lock as
+    // the read, so there is no evict window in between.
+    let caller = &mut ws.caller;
+    let (pin, staged) = state
         .sessions
-        .with(id, |s| {
+        .pin_with(id, |s| {
             if s.is_done() {
-                None
+                NextState::AlreadyDone
             } else {
                 let q = s.query();
-                Some((q.user, q.history.to_vec(), q.objective, q.path.to_vec()))
+                caller.history_mut().extend_from_slice(q.history);
+                caller.path_mut().extend_from_slice(q.path);
+                NextState::Ask { user: q.user, objective: q.objective }
             }
         })
         .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?;
-    let Some((user, history, objective, path)) = query else {
-        return Ok(JsonValue::obj(vec![
-            ("item", JsonValue::Null),
-            ("done", JsonValue::Bool(true)),
-        ]));
-    };
-    let answer = state.engine.next_item(user, history, objective, path);
-    match answer {
-        Some(item) => Ok(JsonValue::obj(vec![
-            ("item", JsonValue::num(item)),
-            ("done", JsonValue::Bool(false)),
-        ])),
-        None => {
-            state.sessions.with(id, |s| {
-                if !s.is_done() {
-                    s.record_give_up();
+    let b = &mut ws.body;
+    match staged {
+        NextState::AlreadyDone => {
+            // Nothing was staged; release the pin and report the closed
+            // session (clearing is defensive — the buffers are empty).
+            caller.history_mut().clear();
+            caller.path_mut().clear();
+            drop(pin);
+            b.extend_from_slice(b"{\"item\":null,\"done\":true}");
+        }
+        NextState::Ask { user, objective } => {
+            match state.engine.next_item_with(caller, user, objective) {
+                Some(item) => {
+                    b.extend_from_slice(b"{\"item\":");
+                    write_json_num(b, item as f64);
+                    b.extend_from_slice(b",\"done\":false}");
                 }
-            });
-            Ok(JsonValue::obj(vec![("item", JsonValue::Null), ("done", JsonValue::Bool(true))]))
+                None => {
+                    // Still pinned, so the session cannot have been
+                    // evicted between the round-trip and this record.
+                    state.sessions.with(id, |s| {
+                        if !s.is_done() {
+                            s.record_give_up();
+                        }
+                    });
+                    b.extend_from_slice(b"{\"item\":null,\"done\":true}");
+                }
+            }
+            drop(pin);
         }
     }
+    Ok(200)
 }
 
-fn feedback(id: u64, request: &Request, state: &Arc<ServerState>) -> Result<JsonValue, HttpError> {
-    let body = parse_body(request)?;
-    let item = field_usize(&body, "item")?;
-    let accepted = body
+fn feedback(
+    state: &Arc<ServerState>,
+    ws: &mut RequestWorkspace,
+    id: u64,
+    body: &[u8],
+) -> Result<u16, HttpError> {
+    let parsed = parse_body(&mut ws.slab, body)?;
+    let item = field_usize(&parsed, "item")?;
+    let accepted = parsed
         .get("accepted")
-        .and_then(JsonValue::as_bool)
+        .and_then(|v| v.as_bool())
         .ok_or_else(|| HttpError::bad_request("missing or invalid 'accepted'"))?;
     // Same door-check as session creation: a recorded item enters the
     // session's virtual path and reaches embedding lookups on the next
@@ -592,6 +722,7 @@ fn feedback(id: u64, request: &Request, state: &Arc<ServerState>) -> Result<Json
             )));
         }
     }
+    let b = &mut ws.body;
     state
         .sessions
         .with(id, |s| {
@@ -599,26 +730,34 @@ fn feedback(id: u64, request: &Request, state: &Arc<ServerState>) -> Result<Json
                 return Err(HttpError::bad_request(format!("session {id} is already closed")));
             }
             s.record(item, accepted);
-            Ok(session_payload(id, s))
+            write_session_payload(b, id, s);
+            Ok(200)
         })
         .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?
 }
 
-fn swap_snapshot(request: &Request, state: &Arc<ServerState>) -> Result<JsonValue, HttpError> {
+fn swap_snapshot(
+    state: &Arc<ServerState>,
+    ws: &mut RequestWorkspace,
+    body: &[u8],
+) -> Result<u16, HttpError> {
     let Some(loader) = &state.loader else {
         return Err(HttpError::new(501, "snapshot loading not configured on this server"));
     };
-    let body = parse_body(request)?;
-    let path = body
+    let parsed = parse_body(&mut ws.slab, body)?;
+    let path = parsed
         .get("path")
-        .and_then(JsonValue::as_str)
+        .and_then(|v| v.as_str())
         .ok_or_else(|| HttpError::bad_request("missing or invalid 'path'"))?;
     let snapshot =
         loader(path).map_err(|e| HttpError::bad_request(format!("cannot load {path}: {e}")))?;
     let label = snapshot.label.clone();
     let version = state.engine.registry().swap(snapshot);
-    Ok(JsonValue::obj(vec![
-        ("version", JsonValue::num(version as usize)),
-        ("label", JsonValue::Str(label)),
-    ]))
+    let b = &mut ws.body;
+    b.extend_from_slice(b"{\"version\":");
+    write_json_num(b, version as f64);
+    b.extend_from_slice(b",\"label\":");
+    write_json_str(b, &label);
+    b.push(b'}');
+    Ok(200)
 }

@@ -18,8 +18,12 @@
 //!   loaded from `IRSP` files through the architecture-checked
 //!   `ParamStore::load_parameters` path, so a running server picks up a
 //!   retrained model without restart;
-//! * [`HttpServer`] — a minimal HTTP/1.1 JSON frontend on
-//!   `std::net::TcpListener` (no third-party dependencies).
+//! * [`HttpServer`] — a hand-rolled HTTP/1.1 keep-alive frontend on
+//!   `std::net::TcpListener` (no third-party dependencies): a bounded
+//!   worker pool plus a single readiness poller multiplex every
+//!   connection (idle sessions cost a parked socket, not a thread), and
+//!   each worker's reusable [`RequestWorkspace`] makes the steady-state
+//!   request path allocation-free.
 //!
 //! ## Why micro-batching is safe
 //!
@@ -34,14 +38,20 @@
 //!
 //! [`InfluenceRecommender::next_items`]: irs_core::InfluenceRecommender::next_items
 
+mod conn;
 mod http;
 mod json;
+mod pool;
 mod scheduler;
 mod session;
 mod snapshot;
+mod workspace;
 
 pub use http::{HttpServer, ServerConfig, ServerHandle};
-pub use json::JsonValue;
-pub use scheduler::{BatchPolicy, Engine, StatsSnapshot};
-pub use session::{SessionId, SessionStore};
+pub use json::{
+    write_json_num, write_json_str, JsonError, JsonRef, JsonSlab, JsonValue, MAX_DEPTH,
+};
+pub use scheduler::{BatchPolicy, Engine, EngineCaller, StatsSnapshot};
+pub use session::{SessionId, SessionPin, SessionStore};
 pub use snapshot::{IrnArchitecture, ModelSnapshot, SnapshotLoader, SnapshotRegistry};
+pub use workspace::RequestWorkspace;

@@ -20,11 +20,23 @@
 //! Batch composition is unobservable in the answers (the batched≡scalar
 //! bitwise contract), so regrouping requests by arrival timing is safe.
 //!
+//! # Allocation discipline
+//!
+//! The handoff is built so a warm caller pays **zero allocations per
+//! round-trip**: replies travel through a reusable [`EngineCaller`] slot
+//! (a `Mutex` + `Condvar` cell, not a fresh channel per request), the
+//! caller's `history`/`path` buffers move *into* the queued request and
+//! are handed back through the slot when the worker answers, and the
+//! worker itself keeps its batch/query/answer buffers across batches
+//! (stack-allocated query slices up to [`STACK_QUERIES`]).  The legacy
+//! [`Engine::next_item`] entry point allocates a fresh slot per call and
+//! remains for tests and one-shot callers.
+//!
 //! [`InfluenceRecommender::next_items`]: irs_core::InfluenceRecommender::next_items
 
 use std::collections::VecDeque;
+use std::mem;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -59,14 +71,89 @@ impl Default for BatchPolicy {
     }
 }
 
+/// Where a worker writes a request's answer and hands the caller's
+/// buffers back.  One slot serves one in-flight request at a time but is
+/// reused across requests by [`EngineCaller`].
+#[derive(Default)]
+struct ReplyState {
+    done: bool,
+    answer: Option<ItemId>,
+    /// The caller's `history`/`path` buffers, returned so the next
+    /// request on this slot reuses their capacity.
+    history: Vec<ItemId>,
+    path: Vec<ItemId>,
+}
+
+#[derive(Default)]
+struct ReplySlot {
+    state: Mutex<ReplyState>,
+    ready: Condvar,
+}
+
+impl ReplySlot {
+    fn arm(&self) {
+        let mut st = self.state.lock().expect("reply slot poisoned");
+        st.done = false;
+        st.answer = None;
+    }
+}
+
+/// The worker-side handle on a slot.  `deliver` answers the request and
+/// returns the buffers; dropping an undelivered reply (a worker dying
+/// mid-batch) still wakes the caller with `None` so nobody blocks
+/// forever.
+struct Reply {
+    slot: Arc<ReplySlot>,
+    delivered: bool,
+}
+
+impl Reply {
+    fn new(slot: Arc<ReplySlot>) -> Self {
+        Reply { slot, delivered: false }
+    }
+
+    fn deliver(mut self, answer: Option<ItemId>, history: Vec<ItemId>, path: Vec<ItemId>) {
+        self.delivered = true;
+        let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+        st.answer = answer;
+        st.history = history;
+        st.path = path;
+        st.done = true;
+        drop(st);
+        self.slot.ready.notify_one();
+    }
+}
+
+impl Drop for Reply {
+    fn drop(&mut self) {
+        if !self.delivered {
+            let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
+            st.done = true;
+            drop(st);
+            self.slot.ready.notify_one();
+        }
+    }
+}
+
 /// One queued scoring request: the session state needed to build a
-/// [`NextQuery`], plus the channel the answer travels back on.
+/// [`NextQuery`], plus the slot the answer travels back on.
 struct ScoreRequest {
     user: UserId,
     history: Vec<ItemId>,
     objective: ItemId,
     path: Vec<ItemId>,
-    reply: mpsc::Sender<Option<ItemId>>,
+    reply: Reply,
+}
+
+impl ScoreRequest {
+    fn query(&self) -> NextQuery<'_> {
+        NextQuery {
+            user: self.user,
+            history: &self.history,
+            objective: self.objective,
+            path: &self.path,
+        }
+    }
 }
 
 struct QueueInner {
@@ -79,6 +166,42 @@ struct SharedQueue {
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+}
+
+/// A caller-owned scheduling workspace: one reusable reply slot plus the
+/// `history`/`path` staging buffers a request is built from.  Fill the
+/// buffers, call [`Engine::next_item_with`], repeat — a warm caller
+/// allocates nothing per round-trip (the buffers travel to the worker
+/// and come back through the slot).
+pub struct EngineCaller {
+    slot: Arc<ReplySlot>,
+    history: Vec<ItemId>,
+    path: Vec<ItemId>,
+}
+
+impl EngineCaller {
+    /// Create an empty workspace (the one-time allocations happen here).
+    pub fn new() -> Self {
+        EngineCaller { slot: Arc::new(ReplySlot::default()), history: Vec::new(), path: Vec::new() }
+    }
+
+    /// The staging buffer for the query's viewing history.  Cleared by
+    /// [`Engine::next_item_with`] after each round-trip.
+    pub fn history_mut(&mut self) -> &mut Vec<ItemId> {
+        &mut self.history
+    }
+
+    /// The staging buffer for the query's path-so-far.  Cleared by
+    /// [`Engine::next_item_with`] after each round-trip.
+    pub fn path_mut(&mut self) -> &mut Vec<ItemId> {
+        &mut self.path
+    }
+}
+
+impl Default for EngineCaller {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// Aggregate serving counters (all monotonic).
@@ -159,6 +282,10 @@ impl Engine {
     /// Submit one request and block until the scheduler answers it.
     /// Returns `None` when the recommender cannot extend the path or the
     /// engine is shutting down.
+    ///
+    /// This is the one-shot entry point (it allocates a fresh reply slot
+    /// per call); steady-state servers should hold an [`EngineCaller`]
+    /// and use [`Engine::next_item_with`] instead.
     pub fn next_item(
         &self,
         user: UserId,
@@ -166,20 +293,65 @@ impl Engine {
         objective: ItemId,
         path: Vec<ItemId>,
     ) -> Option<ItemId> {
-        let (reply, rx) = mpsc::channel();
+        let slot = Arc::new(ReplySlot::default());
+        self.submit_and_wait(&slot, user, history, objective, path).0
+    }
+
+    /// The allocation-free round-trip: submit a request built from the
+    /// caller's staged `history`/`path` buffers, block for the batched
+    /// answer, and reclaim the buffers (cleared, capacity kept) for the
+    /// next request.
+    pub fn next_item_with(
+        &self,
+        caller: &mut EngineCaller,
+        user: UserId,
+        objective: ItemId,
+    ) -> Option<ItemId> {
+        let history = mem::take(&mut caller.history);
+        let path = mem::take(&mut caller.path);
+        let (answer, mut history, mut path) =
+            self.submit_and_wait(&caller.slot, user, history, objective, path);
+        history.clear();
+        path.clear();
+        caller.history = history;
+        caller.path = path;
+        answer
+    }
+
+    fn submit_and_wait(
+        &self,
+        slot: &Arc<ReplySlot>,
+        user: UserId,
+        history: Vec<ItemId>,
+        objective: ItemId,
+        path: Vec<ItemId>,
+    ) -> (Option<ItemId>, Vec<ItemId>, Vec<ItemId>) {
+        slot.arm();
         {
             let mut inner = self.queue.inner.lock().expect("serve queue poisoned");
             while inner.requests.len() >= self.queue.capacity && !inner.shutdown {
                 inner = self.queue.not_full.wait(inner).expect("serve queue poisoned");
             }
             if inner.shutdown {
-                return None;
+                return (None, history, path);
             }
-            inner.requests.push_back(ScoreRequest { user, history, objective, path, reply });
+            inner.requests.push_back(ScoreRequest {
+                user,
+                history,
+                objective,
+                path,
+                reply: Reply::new(slot.clone()),
+            });
         }
         self.queue.not_empty.notify_one();
-        // A dropped sender (shutdown racing the submit) answers `None`.
-        rx.recv().unwrap_or(None)
+        let mut st = slot.state.lock().expect("reply slot poisoned");
+        while !st.done {
+            st = slot.ready.wait(st).expect("reply slot poisoned");
+        }
+        let answer = st.answer.take();
+        let history = mem::take(&mut st.history);
+        let path = mem::take(&mut st.path);
+        (answer, history, path)
     }
 
     /// One scheduling round-trip for a live session: clone its query
@@ -228,16 +400,17 @@ impl Drop for Engine {
     }
 }
 
-/// Collect one micro-batch: block for the first request, then keep
-/// taking until the batch is full or `max_wait` since the first pop has
-/// elapsed.  Returns `None` when the engine shut down and the queue is
-/// drained.
-fn collect_batch(queue: &SharedQueue, policy: &BatchPolicy) -> Option<Vec<ScoreRequest>> {
+/// Collect one micro-batch into `batch` (cleared first): block for the
+/// first request, then keep taking until the batch is full or `max_wait`
+/// since the first pop has elapsed.  Returns `false` when the engine
+/// shut down and the queue is drained.
+fn collect_batch(queue: &SharedQueue, policy: &BatchPolicy, batch: &mut Vec<ScoreRequest>) -> bool {
+    batch.clear();
     let mut inner = queue.inner.lock().expect("serve queue poisoned");
     loop {
         if let Some(first) = inner.requests.pop_front() {
             queue.not_full.notify_one();
-            let mut batch = vec![first];
+            batch.push(first);
             let deadline = Instant::now() + policy.max_wait;
             while batch.len() < policy.max_batch {
                 if let Some(req) = inner.requests.pop_front() {
@@ -261,14 +434,19 @@ fn collect_batch(queue: &SharedQueue, policy: &BatchPolicy) -> Option<Vec<ScoreR
                     break;
                 }
             }
-            return Some(batch);
+            return true;
         }
         if inner.shutdown {
-            return None;
+            return false;
         }
         inner = queue.not_empty.wait(inner).expect("serve queue poisoned");
     }
 }
+
+/// Batches at most this large borrow a stack-allocated query slice; the
+/// rare larger batch falls back to a heap `Vec` (one allocation per
+/// *batch*, not per request).
+const STACK_QUERIES: usize = 64;
 
 fn worker_loop(
     queue: &SharedQueue,
@@ -276,42 +454,59 @@ fn worker_loop(
     stats: &Stats,
     policy: &BatchPolicy,
 ) {
-    while let Some(batch) = collect_batch(queue, policy) {
+    const EMPTY_QUERY: NextQuery<'static> =
+        NextQuery { user: 0, history: &[], objective: 0, path: &[] };
+    // Worker-lifetime buffers: reused across batches so a warm worker
+    // allocates nothing per batch.
+    let mut batch: Vec<ScoreRequest> = Vec::with_capacity(policy.max_batch);
+    let mut answers: Vec<Option<ItemId>> = Vec::with_capacity(policy.max_batch);
+    while collect_batch(queue, policy, &mut batch) {
         // One snapshot per batch: every request in it is scored by the
         // same model even if a hot-swap lands mid-flight.
         let snapshot = registry.current();
+        answers.clear();
         // Panic isolation: a model panic (bad input reaching an
         // embedding lookup, a future model bug) must not kill the worker
         // — one dead worker silently halves capacity and once all are
         // gone every submitter blocks forever.  The poisoned batch is
         // answered `None`; the worker lives on.
-        let answers = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let queries: Vec<NextQuery<'_>> = batch
-                .iter()
-                .map(|r| NextQuery {
-                    user: r.user,
-                    history: &r.history,
-                    objective: r.objective,
-                    path: &r.path,
-                })
-                .collect();
-            snapshot.model.next_items(&queries)
+        let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if batch.len() <= STACK_QUERIES {
+                let mut qbuf = [EMPTY_QUERY; STACK_QUERIES];
+                for (slot, req) in qbuf.iter_mut().zip(batch.iter()) {
+                    *slot = req.query();
+                }
+                snapshot.model.next_items_into(&qbuf[..batch.len()], &mut answers);
+            } else {
+                let queries: Vec<NextQuery<'_>> = batch.iter().map(|r| r.query()).collect();
+                snapshot.model.next_items_into(&queries, &mut answers);
+            }
         }))
-        .unwrap_or_else(|_| {
-            eprintln!(
-                "irs_serve: model panicked scoring a batch of {}; answering None",
-                batch.len()
-            );
-            vec![None; batch.len()]
-        });
+        .is_ok();
+        if !scored || answers.len() != batch.len() {
+            if scored {
+                eprintln!(
+                    "irs_serve: model answered {} of {} queries; answering None",
+                    answers.len(),
+                    batch.len()
+                );
+            } else {
+                eprintln!(
+                    "irs_serve: model panicked scoring a batch of {}; answering None",
+                    batch.len()
+                );
+            }
+            answers.clear();
+            answers.resize(batch.len(), None);
+        }
         stats.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
         stats.batches.fetch_add(1, Ordering::Relaxed);
         stats
             .gave_up
             .fetch_add(answers.iter().filter(|a| a.is_none()).count() as u64, Ordering::Relaxed);
-        for (req, answer) in batch.into_iter().zip(answers) {
-            // A disconnected receiver (client gave up) is not an error.
-            let _ = req.reply.send(answer);
+        for (req, answer) in batch.drain(..).zip(answers.drain(..)) {
+            let ScoreRequest { history, path, reply, .. } = req;
+            reply.deliver(answer, history, path);
         }
     }
 }
@@ -362,6 +557,24 @@ mod tests {
         assert_eq!(stats.requests, 3);
         assert_eq!(stats.gave_up, 1);
         eng.shutdown();
+    }
+
+    #[test]
+    fn workspace_round_trips_match_and_reclaim_buffers() {
+        let eng = engine(BatchPolicy::default());
+        let mut caller = EngineCaller::new();
+        caller.history_mut().extend_from_slice(&[1, 2, 3]);
+        assert_eq!(eng.next_item_with(&mut caller, 0, 99), Some(10));
+        assert!(caller.history_mut().is_empty(), "buffers come back cleared");
+        assert!(caller.path_mut().is_empty());
+        assert!(caller.history_mut().capacity() >= 3, "…but keep their capacity");
+        caller.history_mut().push(1);
+        caller.path_mut().extend_from_slice(&[10, 11]);
+        assert_eq!(eng.next_item_with(&mut caller, 0, 99), Some(12));
+        caller.history_mut().push(1);
+        assert_eq!(eng.next_item_with(&mut caller, 0, 5), None, "unreachable objective");
+        eng.shutdown();
+        assert_eq!(eng.next_item_with(&mut caller, 0, 99), None, "post-shutdown answers None");
     }
 
     #[test]
@@ -424,6 +637,28 @@ mod tests {
             inner.shutdown = true;
         }
         assert_eq!(eng.next_item(0, vec![], 99, vec![]), None);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn oversized_batches_fall_back_to_the_heap_path() {
+        // max_batch larger than the stack query buffer exercises the
+        // heap fallback in `worker_loop`.
+        let eng = Arc::new(engine(BatchPolicy {
+            max_batch: STACK_QUERIES + 8,
+            max_wait: Duration::from_millis(20),
+            workers: 1,
+            queue_capacity: 256,
+        }));
+        let mut handles = Vec::new();
+        for t in 0..(STACK_QUERIES + 8) {
+            let eng = eng.clone();
+            handles.push(std::thread::spawn(move || eng.next_item(t, vec![], 99, vec![])));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(10));
+        }
+        assert_eq!(eng.stats().requests, (STACK_QUERIES + 8) as u64);
         eng.shutdown();
     }
 

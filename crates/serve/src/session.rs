@@ -11,6 +11,13 @@
 //! [`SessionStore::sweep_older_than`] evicts sessions idle past a TTL —
 //! the frontend runs it from a background sweeper so abandoned sessions
 //! stop pinning slots against the `max_sessions` cap.
+//!
+//! A session with a request in flight must not be swept out from under
+//! that request (the model round-trip can outlast a short TTL, and losing
+//! the session mid-request drops the give-up record or 404s the follow-up
+//! feedback).  [`SessionStore::pin`] marks a session busy for the
+//! lifetime of the returned [`SessionPin`] guard; the sweeper skips
+//! pinned sessions no matter how stale their timestamp looks.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -26,6 +33,9 @@ pub type SessionId = u64;
 struct Slot {
     session: InteractiveSession,
     last_seen: Instant,
+    /// In-flight requests currently pinning this session (see
+    /// [`SessionStore::pin`]); the sweeper never evicts a pinned slot.
+    pins: u32,
 }
 
 /// A sharded `SessionId → InteractiveSession` map with idle tracking.
@@ -55,8 +65,37 @@ impl SessionStore {
     /// Insert a new session and return its id.
     pub fn insert(&self, session: InteractiveSession) -> SessionId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shard(id).lock().insert(id, Slot { session, last_seen: Instant::now() });
+        self.shard(id).lock().insert(id, Slot { session, last_seen: Instant::now(), pins: 0 });
         id
+    }
+
+    /// Pin the session against TTL eviction and run `f` on it under the
+    /// shard lock — one lock acquisition covers both, so there is no
+    /// window where the sweeper can evict between the read and the pin.
+    /// The pin lasts until the returned [`SessionPin`] is dropped.
+    /// `None` when the id is unknown.
+    pub fn pin_with<T>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut InteractiveSession) -> T,
+    ) -> Option<(SessionPin<'_>, T)> {
+        let mut shard = self.shard(id).lock();
+        let slot = shard.get_mut(&id)?;
+        slot.last_seen = Instant::now();
+        slot.pins += 1;
+        let value = f(&mut slot.session);
+        drop(shard);
+        Some((SessionPin { store: self, id }, value))
+    }
+
+    fn unpin(&self, id: SessionId) {
+        if let Some(slot) = self.shard(id).lock().get_mut(&id) {
+            slot.pins = slot.pins.saturating_sub(1);
+            // The request that held the pin just finished: that is
+            // activity, so the idle clock restarts now rather than at the
+            // moment the request started.
+            slot.last_seen = Instant::now();
+        }
     }
 
     /// Run `f` on the session under its shard lock, refreshing its
@@ -81,6 +120,9 @@ impl SessionStore {
     /// Evict every session idle for at least `ttl`, returning how many
     /// were dropped.  Shards are swept one lock at a time, so request
     /// handlers only ever contend with the sweep of their own shard.
+    /// Sessions with an in-flight request (pinned) are never evicted,
+    /// however stale their idle timestamp — the request finishing will
+    /// refresh it.
     pub fn sweep_older_than(&self, ttl: Duration) -> usize {
         let now = Instant::now();
         self.shards
@@ -88,7 +130,7 @@ impl SessionStore {
             .map(|s| {
                 let mut shard = s.lock();
                 let before = shard.len();
-                shard.retain(|_, slot| now.duration_since(slot.last_seen) < ttl);
+                shard.retain(|_, slot| slot.pins > 0 || now.duration_since(slot.last_seen) < ttl);
                 before - shard.len()
             })
             .sum()
@@ -102,6 +144,21 @@ impl SessionStore {
     /// Whether no sessions are live.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// RAII guard marking a session as having a request in flight (see
+/// [`SessionStore::pin_with`]).  Dropping it unpins the session and
+/// refreshes its idle timestamp — panic-safe, so a handler that unwinds
+/// mid-request cannot leave a session pinned forever.
+pub struct SessionPin<'a> {
+    store: &'a SessionStore,
+    id: SessionId,
+}
+
+impl Drop for SessionPin<'_> {
+    fn drop(&mut self) {
+        self.store.unpin(self.id);
     }
 }
 
@@ -145,6 +202,46 @@ mod tests {
         // A generous TTL evicts nothing.
         assert_eq!(store.sweep_older_than(Duration::from_secs(3600)), 0);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn pinned_sessions_survive_the_sweep() {
+        let store = SessionStore::new(2);
+        let a = store.insert(session(0));
+        let b = store.insert(session(1));
+        let (pin, user) = store.pin_with(a, |s| s.user()).unwrap();
+        assert_eq!(user, 0);
+        std::thread::sleep(Duration::from_millis(25));
+        // Both sessions look idle, but `a` has a request in flight.
+        let evicted = store.sweep_older_than(Duration::from_millis(10));
+        assert_eq!(evicted, 1);
+        assert!(store.with(a, |_| ()).is_some(), "pinned session must survive");
+        assert!(store.with(b, |_| ()).is_none(), "unpinned idle session must be evicted");
+        drop(pin);
+        // Unpinning refreshes the idle clock, so an immediate sweep still
+        // spares it…
+        assert_eq!(store.sweep_older_than(Duration::from_millis(10)), 0);
+        std::thread::sleep(Duration::from_millis(25));
+        // …but once genuinely idle again it is evictable.
+        assert_eq!(store.sweep_older_than(Duration::from_millis(10)), 1);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn pin_is_reentrant_across_requests() {
+        let store = SessionStore::new(2);
+        let a = store.insert(session(0));
+        let (p1, ()) = store.pin_with(a, |_| ()).unwrap();
+        let (p2, ()) = store.pin_with(a, |_| ()).unwrap();
+        drop(p1);
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(
+            store.sweep_older_than(Duration::from_millis(5)),
+            0,
+            "second in-flight request must keep the session pinned"
+        );
+        drop(p2);
+        assert!(store.pin_with(99, |_| ()).is_none(), "unknown ids cannot be pinned");
     }
 
     #[test]

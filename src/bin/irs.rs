@@ -6,7 +6,7 @@
 //! irs generate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
 //! irs evaluate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
 //! irs serve     --model FILE [--port P] [--max-batch B] [--max-wait-us U] [--workers W]
-//!               [--session-ttl-s S]
+//!               [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S]
 //! irs demo      [--dataset ...]
 //! ```
 //!
@@ -57,6 +57,8 @@ struct Opts {
     patience: usize,
     /// Idle-session eviction TTL in seconds (0 disables the sweeper).
     session_ttl_s: u64,
+    http_workers: usize,
+    idle_timeout_s: u64,
 }
 
 fn usage() -> ExitCode {
@@ -66,7 +68,7 @@ fn usage() -> ExitCode {
          [--users N] [--m M] [--model FILE] [--model-out FILE] \
          [--ratings FILE] [--movies FILE] \
          [--port P] [--max-batch B] [--max-wait-us U] [--workers W] [--patience P] \
-         [--session-ttl-s S]"
+         [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S]"
     );
     ExitCode::from(2)
 }
@@ -91,6 +93,8 @@ fn parse_args() -> Result<Opts, String> {
         workers: 2,
         patience: 3,
         session_ttl_s: 900,
+        http_workers: 0,
+        idle_timeout_s: 30,
     };
     let mut i = 1;
     let take = |args: &[String], i: &mut usize| -> Result<String, String> {
@@ -144,6 +148,14 @@ fn parse_args() -> Result<Opts, String> {
             "--session-ttl-s" => {
                 opts.session_ttl_s =
                     take(&args, &mut i)?.parse().map_err(|e| format!("--session-ttl-s: {e}"))?
+            }
+            "--http-workers" => {
+                opts.http_workers =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--http-workers: {e}"))?
+            }
+            "--idle-timeout-s" => {
+                opts.idle_timeout_s =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--idle-timeout-s: {e}"))?
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -393,6 +405,8 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             patience: opts.patience,
             session_shards: 16,
             session_ttl,
+            http_workers: opts.http_workers,
+            idle_timeout: Duration::from_secs(opts.idle_timeout_s.max(1)),
             ..Default::default()
         },
     ) {
@@ -483,6 +497,8 @@ fn parse_defaults(opts: &Opts) -> Opts {
         workers: opts.workers,
         patience: opts.patience,
         session_ttl_s: opts.session_ttl_s,
+        http_workers: opts.http_workers,
+        idle_timeout_s: opts.idle_timeout_s,
     }
 }
 
