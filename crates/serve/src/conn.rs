@@ -89,6 +89,12 @@ pub(crate) struct Conn {
     pub close_after_flush: bool,
     /// Peer half-closed its write side.
     pub eof: bool,
+    /// Buffered-input length at which the last worker turn stalled on a
+    /// partial request with a dry socket (`None` = not stalled).  The
+    /// poller only promotes a stalled connection once *more* bytes than
+    /// this are buffered; otherwise it would ping-pong a slow client's
+    /// half-request between the poller and the workers forever.
+    pub parse_stalled_at: Option<usize>,
     open_count: Arc<AtomicUsize>,
 }
 
@@ -110,6 +116,7 @@ impl Conn {
             last_activity: Instant::now(),
             close_after_flush: false,
             eof: false,
+            parse_stalled_at: None,
             open_count,
         })
     }
@@ -195,6 +202,14 @@ impl Conn {
     /// Whether unparsed input bytes are buffered.
     pub fn has_buffered_input(&self) -> bool {
         self.parsed < self.buf.len()
+    }
+
+    /// Whether a worker turn could make parse progress: unparsed bytes
+    /// are buffered, and — if the last turn stalled on a partial
+    /// request — more of them than when it stalled.
+    pub fn parse_can_progress(&self) -> bool {
+        let buffered = self.buf.len() - self.parsed;
+        buffered > 0 && self.parse_stalled_at.is_none_or(|stalled| buffered > stalled)
     }
 }
 
@@ -292,9 +307,18 @@ pub(crate) fn parse_request(buf: &[u8], from: usize) -> ParseStatus {
             };
             content_length = n;
         } else if name.eq_ignore_ascii_case(b"connection") {
-            if value.eq_ignore_ascii_case(b"close") {
+            // The value is a comma-separated option list (e.g.
+            // `keep-alive, Upgrade`); `close` anywhere in it wins.
+            let mut wants_close = false;
+            let mut wants_keep_alive = false;
+            for option in value.split(|&b| b == b',') {
+                let option = trim_ascii(option);
+                wants_close |= option.eq_ignore_ascii_case(b"close");
+                wants_keep_alive |= option.eq_ignore_ascii_case(b"keep-alive");
+            }
+            if wants_close {
                 keep_alive = false;
-            } else if value.eq_ignore_ascii_case(b"keep-alive") {
+            } else if wants_keep_alive {
                 keep_alive = true;
             }
         } else if name.eq_ignore_ascii_case(b"transfer-encoding") {
@@ -374,6 +398,16 @@ mod tests {
         assert!(!complete(raw).keep_alive);
         let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
         assert!(complete(raw).keep_alive);
+    }
+
+    #[test]
+    fn connection_header_option_lists_are_honoured() {
+        let raw = b"GET / HTTP/1.0\r\nConnection: keep-alive, Upgrade\r\n\r\n";
+        assert!(complete(raw).keep_alive, "keep-alive inside an option list was ignored");
+        let raw = b"GET / HTTP/1.1\r\nConnection: foo, close\r\n\r\n";
+        assert!(!complete(raw).keep_alive, "close inside an option list was ignored");
+        let raw = b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n";
+        assert!(!complete(raw).keep_alive, "close must win over keep-alive in one list");
     }
 
     #[test]

@@ -338,8 +338,10 @@ pub(crate) fn write_error_response(
 }
 
 /// Inline 503 for the accept loop (the socket is still in blocking mode
-/// here — `Conn::new` was never called).
+/// here — `Conn::new` was never called).  The write is bounded by a
+/// short timeout so a client that never reads cannot stall accepting.
 fn write_busy(stream: &mut TcpStream) -> io::Result<()> {
+    stream.set_write_timeout(Some(Duration::from_millis(250)))?;
     let body = b"{\"error\":\"server busy\"}";
     write!(
         stream,

@@ -206,6 +206,10 @@ fn serve_turn(
         }
     }
     conn.compact();
+    // Record where parsing stalled (a partial request with a dry socket)
+    // so the poller promotes this connection only once new bytes arrive,
+    // rather than bouncing the same half-request back to a worker.
+    conn.parse_stalled_at = if need_more { Some(conn.buf.len()) } else { None };
     let flushed = match conn.flush_out() {
         Ok(done) => done,
         Err(_) => return Disposition::Close,
@@ -223,9 +227,12 @@ fn serve_turn(
     }
     if conn.close_after_flush {
         Disposition::Close
-    } else if conn.has_buffered_input() {
-        // Pipelining fairness: more requests are buffered but the turn
-        // cap was hit — requeue behind other ready connections.
+    } else if conn.has_buffered_input() && !need_more {
+        // Pipelining fairness: more complete requests are buffered but
+        // the turn cap was hit — requeue behind other ready connections.
+        // A partial trailing request (`need_more`) parks with the poller
+        // instead: requeueing it would spin it through the workers at
+        // full CPU until the client sends the rest.
         Disposition::Ready
     } else {
         Disposition::Poller
@@ -291,19 +298,24 @@ fn poller_loop(shared: &Arc<Shared>, idle_timeout: Duration) {
                 match conn.fill() {
                     FillState::Dead => close = true,
                     FillState::Eof => {
-                        if conn.has_buffered_input() {
+                        if conn.parse_can_progress() {
                             promote = true; // serve what's buffered, then close
                         } else if conn.has_pending_out() {
                             conn.close_after_flush = true; // keep flushing above
                         } else {
+                            // Nothing serveable will ever arrive: either
+                            // the buffer is empty or it holds a partial
+                            // request the half-closed peer cannot finish.
                             close = true;
                         }
                     }
                     FillState::WouldBlock => {
-                        if conn.has_buffered_input() {
+                        if conn.parse_can_progress() {
                             promote = true;
                         } else if now.duration_since(conn.last_activity) > idle_timeout {
-                            close = true; // idle keep-alive session expired
+                            // Idle keep-alive session expired — a client
+                            // stalled mid-request counts as idle too.
+                            close = true;
                         }
                     }
                 }

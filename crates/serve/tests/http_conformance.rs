@@ -275,6 +275,13 @@ fn connection_lifetime_follows_version_and_connection_header() {
     let (status, _, _) = read_response(&mut conn);
     assert_eq!(status, 200, "HTTP/1.0 keep-alive was not honoured");
 
+    // List-valued `Connection` header: `close` anywhere in it wins.
+    let mut conn = server.connect();
+    conn.write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\nConnection: foo, close\r\n\r\n").unwrap();
+    let (status, _, _) = read_response(&mut conn);
+    assert_eq!(status, 200);
+    assert!(reads_eof(&mut conn), "list-valued Connection: close was not honoured");
+
     server.stop();
 }
 
@@ -304,6 +311,29 @@ fn every_status_path_carries_content_length() {
         );
         assert!(!body.is_empty(), "error responses carry a JSON body");
     }
+    server.stop();
+}
+
+#[test]
+fn a_stalled_partial_request_is_idle_timed_out_not_spun() {
+    let server = TestServer::boot(ServerConfig {
+        idle_timeout: Duration::from_millis(300),
+        ..Default::default()
+    });
+    let mut conn = server.connect();
+    // Half a request, then silence.  The server must park the
+    // connection with the poller (not bounce it through the worker pool
+    // at full CPU) and enforce the idle timeout on it.
+    conn.write_all(b"POST /v1/session HTTP/1.1\r\nContent-Length: 40\r\n\r\n{\"user\"").unwrap();
+    let mut byte = [0u8; 1];
+    match conn.read(&mut byte) {
+        Ok(0) => {}
+        Ok(_) => panic!("unexpected bytes in reply to a partial request"),
+        Err(e) if e.kind() == ErrorKind::ConnectionReset => {}
+        Err(e) => panic!("expected idle-timeout close of the stalled connection, got {e}"),
+    }
+    // A spinning connection would also keep the ready queue non-empty
+    // and wedge the phase-1 shutdown drain; stop() proves it drains.
     server.stop();
 }
 
