@@ -31,13 +31,14 @@ mod transrec;
 pub use batch::{make_lm_batches, LmBatch};
 pub use bert4rec::{Bert4Rec, Bert4RecConfig};
 pub use bpr::{BprConfig, BprMf};
-pub use caser::{Caser, CaserConfig};
-pub use gru4rec::{Gru4Rec, Gru4RecConfig};
+pub use caser::{Caser, CaserCacheState, CaserConfig};
+pub use gru4rec::{Gru4Rec, Gru4RecConfig, GruCacheState};
 pub use pop::Pop;
-pub use sasrec::{SasRec, SasRecConfig};
+pub use sasrec::{SasRec, SasRecCacheState, SasRecConfig};
 pub use transrec::{TransRec, TransRecConfig};
 
 use irs_data::{ItemId, UserId};
+use irs_nn::CacheState;
 
 /// A model that scores every item as the candidate next interaction.
 ///
@@ -52,6 +53,15 @@ pub trait SequentialScorer {
     /// scores.
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32>;
 
+    /// Like [`SequentialScorer::score`], but writing into a caller-owned
+    /// buffer (cleared first) so a serving loop can reuse one allocation
+    /// across requests.  The provided implementation copies the scalar
+    /// path's result; allocation-sensitive models ([`Pop`]) override it.
+    fn score_into(&self, user: UserId, history: &[ItemId], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend(self.score(user, history));
+    }
+
     /// Score a batch of `(user, history)` queries in one call.
     ///
     /// The provided implementation loops over [`SequentialScorer::score`];
@@ -65,6 +75,33 @@ pub trait SequentialScorer {
         users.iter().zip(histories).map(|(&u, h)| self.score(u, h)).collect()
     }
 
+    /// A fresh per-session incremental state for
+    /// [`SequentialScorer::score_incremental`], or `None` when this model
+    /// has no incremental path (the default).  Models whose encoding is
+    /// append-only over the history ([`SasRec`] in that layout,
+    /// [`Gru4Rec`], [`Caser`]) return their concrete [`CacheState`].
+    fn new_incremental_state(&self) -> Option<Box<dyn CacheState>> {
+        None
+    }
+
+    /// Score using (and updating) a per-session incremental `state`
+    /// previously obtained from
+    /// [`SequentialScorer::new_incremental_state`].  Returns the scores
+    /// plus whether the stored prefix was reused (`true`) instead of
+    /// rebuilt.  The scores must be exactly what
+    /// [`SequentialScorer::score`] returns — the incremental paths are
+    /// bitwise-pinned to the cold re-encode by property tests.  The
+    /// default ignores the state and scores cold.
+    fn score_incremental(
+        &self,
+        user: UserId,
+        history: &[ItemId],
+        state: &mut dyn CacheState,
+    ) -> (Vec<f32>, bool) {
+        let _ = state;
+        (self.score(user, history), false)
+    }
+
     /// Display name used in experiment tables.
     fn name(&self) -> &'static str;
 }
@@ -76,8 +113,22 @@ impl<S: SequentialScorer + ?Sized> SequentialScorer for &S {
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
         (**self).score(user, history)
     }
+    fn score_into(&self, user: UserId, history: &[ItemId], out: &mut Vec<f32>) {
+        (**self).score_into(user, history, out)
+    }
     fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
         (**self).score_batch(users, histories)
+    }
+    fn new_incremental_state(&self) -> Option<Box<dyn CacheState>> {
+        (**self).new_incremental_state()
+    }
+    fn score_incremental(
+        &self,
+        user: UserId,
+        history: &[ItemId],
+        state: &mut dyn CacheState,
+    ) -> (Vec<f32>, bool) {
+        (**self).score_incremental(user, history, state)
     }
     fn name(&self) -> &'static str {
         (**self).name()
@@ -91,8 +142,22 @@ impl<S: SequentialScorer + ?Sized> SequentialScorer for Box<S> {
     fn score(&self, user: UserId, history: &[ItemId]) -> Vec<f32> {
         (**self).score(user, history)
     }
+    fn score_into(&self, user: UserId, history: &[ItemId], out: &mut Vec<f32>) {
+        (**self).score_into(user, history, out)
+    }
     fn score_batch(&self, users: &[UserId], histories: &[&[ItemId]]) -> Vec<Vec<f32>> {
         (**self).score_batch(users, histories)
+    }
+    fn new_incremental_state(&self) -> Option<Box<dyn CacheState>> {
+        (**self).new_incremental_state()
+    }
+    fn score_incremental(
+        &self,
+        user: UserId,
+        history: &[ItemId],
+        state: &mut dyn CacheState,
+    ) -> (Vec<f32>, bool) {
+        (**self).score_incremental(user, history, state)
     }
     fn name(&self) -> &'static str {
         (**self).name()

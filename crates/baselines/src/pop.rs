@@ -53,6 +53,11 @@ impl SequentialScorer for Pop {
         self.scores.clone()
     }
 
+    fn score_into(&self, _user: UserId, _history: &[ItemId], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(&self.scores);
+    }
+
     fn name(&self) -> &'static str {
         "POP"
     }

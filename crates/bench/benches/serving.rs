@@ -16,7 +16,9 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
-use irs_core::InteractiveSession;
+use irs_core::{EncodingLayout, InteractiveSession, Irn, IrnConfig, NeuralTrainConfig};
+use irs_data::split::{split_dataset, SplitConfig};
+use irs_data::synth::{generate, SynthConfig};
 use irs_data::ItemId;
 use irs_serve::{
     BatchPolicy, Engine, HttpServer, JsonValue, ModelSnapshot, ServerConfig, SnapshotRegistry,
@@ -285,5 +287,105 @@ fn bench_serving(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_serving);
+/// Session lengths for the long-session latency sweep.
+const LONG_SESSION_LENGTHS: [usize; 3] = [8, 64, 256];
+
+/// Per-step serve latency as a session grows: the incremental
+/// per-session cache vs the cold full re-encode, at context lengths 8,
+/// 64 and 256.
+///
+/// `cached_step_T{len}` measures the steady-state *hit*: the parked
+/// cache's stored prefix already covers the append window, so a step is
+/// prefix validation plus the output projection — no re-encoding.  (The
+/// append-a-token variant adds one `infer_append_row`; the hit is the
+/// dominant shape because every repeated `next` without feedback replays
+/// the same context.)  `cold_step_T{len}` is what the same step cost
+/// before the cache existed: a full `O(len)`-token re-encode with
+/// `O(len²)` attention.  The cached curve must stay ~flat in `len`
+/// (that is the O(1)-step claim) while the cold curve grows
+/// quadratically, which is the win the `--context-cache-mb` budget buys
+/// at serve time.
+fn bench_long_session(c: &mut Criterion) {
+    // Timing is weight-independent; a tiny synthetic catalogue with one
+    // training epoch keeps setup short.  `max_len` must cover the
+    // longest context plus the objective slot, otherwise the append
+    // window slides mid-measurement and every step degrades to a
+    // bounded replay instead of a hit.
+    let dataset = generate(&SynthConfig::tiny(0x10f6)).dataset;
+    let split = split_dataset(&dataset, &SplitConfig::small());
+    let n = dataset.num_items;
+    let max = LONG_SESSION_LENGTHS[LONG_SESSION_LENGTHS.len() - 1];
+    let config = IrnConfig {
+        dim: 16,
+        user_dim: 4,
+        layers: 1,
+        heads: 2,
+        max_len: max + 4,
+        layout: EncodingLayout::AppendOnly,
+        train: NeuralTrainConfig { epochs: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let irn = Irn::fit(&split.train, &[], n, dataset.num_users, &config, None);
+    let user = 3usize;
+    let objective = 7usize;
+    let session: Vec<ItemId> = (0..max).map(|i| (i * 7 + 1) % n).collect();
+
+    let mut group = c.benchmark_group("long_session");
+    group.sample_size(10);
+    for &len in &LONG_SESSION_LENGTHS {
+        let ctx = &session[..len];
+        let mut cache = irn.new_append_cache();
+        // Prime outside the timing loop, then pin that the measured
+        // calls really take the hit path.
+        irn.score_next_cached(user, ctx, objective, &mut cache);
+        let (_, hit) = irn.score_next_cached(user, ctx, objective, &mut cache);
+        assert!(hit, "primed cache must hit at T{len}");
+        group.bench_function(format!("cached_step_T{len}"), |b| {
+            b.iter(|| black_box(irn.score_next_cached(user, black_box(ctx), objective, &mut cache)))
+        });
+        group.bench_function(format!("cold_step_T{len}"), |b| {
+            b.iter(|| black_box(irn.score_next(user, black_box(ctx), objective)))
+        });
+    }
+    group.finish();
+
+    let results = criterion::recorded_results();
+    let median = |name: &str| -> Option<f64> {
+        results.iter().find(|(n, _)| n.contains(name)).map(|(_, ns)| *ns)
+    };
+    for &len in &LONG_SESSION_LENGTHS {
+        if let (Some(cached), Some(cold)) =
+            (median(&format!("cached_step_T{len}")), median(&format!("cold_step_T{len}")))
+        {
+            println!(
+                "long-session step at T{len}: cached {cached:.0} ns, cold {cold:.0} ns \
+                 ({:.2}x cold over cached)",
+                cold / cached
+            );
+        }
+    }
+    if let (Some(c8), Some(c256), Some(cold256)) =
+        (median("cached_step_T8"), median("cached_step_T256"), median("cold_step_T256"))
+    {
+        let flatness = c256 / c8;
+        let win = cold256 / c256;
+        println!(
+            "long-session cached-step flatness T256/T8: {flatness:.2}x; \
+             cold-over-cached at T256: {win:.2}x"
+        );
+        if std::env::var("IRS_SERVE_ASSERT").as_deref() == Ok("1") {
+            assert!(
+                flatness <= 1.5,
+                "cached step latency must stay ~flat in session length: \
+                 T256/T8 {flatness:.2}x exceeds 1.5x"
+            );
+            assert!(
+                win >= 2.0,
+                "cold re-encode must cost at least 2x a cached step at T256: got {win:.2}x"
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench_serving, bench_long_session);
 criterion_main!(benches);

@@ -60,6 +60,7 @@ fn bench_training(c: &mut Criterion) {
             heads: 2,
             max_len: MAX_LEN,
             dropout: 0.1,
+            layout: Default::default(),
             train: train_cfg(),
         };
         b.iter(|| black_box(SasRec::fit(&data, NUM_ITEMS, &cfg)))
@@ -72,6 +73,7 @@ fn bench_training(c: &mut Criterion) {
             heads: 2,
             max_len: MAX_LEN,
             dropout: 0.0,
+            layout: Default::default(),
             train: train_cfg(),
         };
         b.iter(|| black_box(SasRec::fit(&data, NUM_ITEMS, &cfg)))
@@ -119,6 +121,7 @@ fn bench_training(c: &mut Criterion) {
             wt: 1.0,
             mask_type: irs_core::MaskType::ObjectivePersonalized,
             padding: irs_data::split::PaddingScheme::Pre,
+            layout: irs_core::EncodingLayout::PrePadded,
             train: train_cfg(),
         };
         b.iter(|| black_box(Irn::fit(&data, &[], NUM_ITEMS, NUM_USERS, &cfg, None)))

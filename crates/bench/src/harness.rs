@@ -153,6 +153,7 @@ impl HarnessConfig {
             wt: 1.0,
             mask_type: irs_core::MaskType::ObjectivePersonalized,
             padding: irs_data::split::PaddingScheme::Pre,
+            layout: irs_core::EncodingLayout::PrePadded,
             train,
         }
     }
@@ -335,6 +336,7 @@ impl Harness {
                 heads: 2,
                 max_len: self.config.max_len,
                 dropout: 0.1,
+                layout: Default::default(),
                 train: self.config.train_cfg(),
             },
         )

@@ -213,6 +213,7 @@ mod tests {
                 wt: 1.0,
                 mask_type: MaskType::ObjectivePersonalized,
                 padding: irs_data::split::PaddingScheme::Pre,
+                layout: crate::EncodingLayout::PrePadded,
                 train: NeuralTrainConfig { epochs: 3, ..Default::default() },
             },
             None,

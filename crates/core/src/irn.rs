@@ -28,9 +28,10 @@ use irs_data::split::{pad_to, PaddingScheme, SubSeq};
 use irs_data::{pad_token, ItemId, UserId};
 use irs_embed::ItemEmbeddings;
 use irs_nn::{
-    broadcast_then_add, causal_mask, causal_mask_with_objective, key_padding_mask, Adam, AttnBias,
-    Embedding, FwdCtx, InferBias, Linear, Optimizer, ParamStore, PositionalEncoding,
-    ReduceLrOnPlateau, TransformerBlock,
+    append_only_objective_mask, broadcast_then_add, causal_mask, causal_mask_with_objective,
+    key_padding_mask, Adam, AppendKey, AttnBias, CacheState, Embedding, EncodingLayout, FwdCtx,
+    InferBias, LayerKv, Linear, Optimizer, ParamStore, PositionalEncoding, ReduceLrOnPlateau,
+    TransformerBlock,
 };
 use irs_tensor::{Graph, Tensor, Var};
 use parking_lot::Mutex;
@@ -73,6 +74,14 @@ pub struct IrnConfig {
     /// Padding scheme (§III-D5 argues for pre-padding; post-padding is the
     /// ablation).
     pub padding: PaddingScheme,
+    /// Inference-time sequence layout.  [`EncodingLayout::PrePadded`] is
+    /// the paper's right-aligned window; [`EncodingLayout::AppendOnly`]
+    /// places context items at absolute positions `0..c` with the
+    /// objective as a fixed appended query slot, which keeps encoded
+    /// prefixes stable across serve steps and enables the per-session
+    /// K/V cache ([`Irn::score_next_cached`]).  Training always uses the
+    /// pre-padded layout; this only routes the scoring paths.
+    pub layout: EncodingLayout,
     /// Shared training options.
     pub train: NeuralTrainConfig,
 }
@@ -89,6 +98,7 @@ impl Default for IrnConfig {
             wt: 1.0,
             mask_type: MaskType::ObjectivePersonalized,
             padding: PaddingScheme::Pre,
+            layout: EncodingLayout::default(),
             train: NeuralTrainConfig::default(),
         }
     }
@@ -402,11 +412,17 @@ impl Irn {
         total / n as f32
     }
 
-    /// Next-item logits given a context and the objective: the context is
-    /// pre-padded to end at position `T−2` with the objective pinned at
-    /// `T−1`; the returned scores are the logits at the last context
-    /// position (PAD logit removed).
+    /// Next-item logits given a context and the objective, routed on
+    /// [`IrnConfig::layout`].  Pre-padded: the context is pre-padded to
+    /// end at position `T−2` with the objective pinned at `T−1`; the
+    /// returned scores are the logits at the last context position (PAD
+    /// logit removed).  Append-only: context tokens at absolute
+    /// positions `0..c` with the objective at the fixed appended query
+    /// slot (the cold path [`Irn::score_next_cached`] is pinned to).
     pub fn score_next(&self, user: UserId, context: &[ItemId], objective: ItemId) -> Vec<f32> {
+        if self.config.layout == EncodingLayout::AppendOnly {
+            return self.score_next_append(user, context, objective);
+        }
         let pad = pad_token(self.num_items);
         let t = self.config.max_len;
         // Keep the most recent T−1 tokens of context ⊕ objective.
@@ -439,6 +455,16 @@ impl Irn {
         assert_eq!(users.len(), objectives.len(), "score_next_batch users/objectives mismatch");
         if users.is_empty() {
             return Vec::new();
+        }
+        if self.config.layout == EncodingLayout::AppendOnly {
+            // Append-only rows have per-query lengths, so there is no
+            // shared `[N, T]` rectangle to batch; score each row through
+            // the scalar append path (itself the bitwise reference).
+            return users
+                .iter()
+                .zip(contexts.iter().zip(objectives))
+                .map(|(&u, (ctx_items, &obj))| self.score_next_append(u, ctx_items, obj))
+                .collect();
         }
         let pad = pad_token(self.num_items);
         let t = self.config.max_len;
@@ -530,6 +556,278 @@ impl Irn {
         };
         InferBias { base, scaled_column }
     }
+
+    // ------------------------------------------------------------------
+    // Append-only layout: cold path + per-session incremental cache
+    // ------------------------------------------------------------------
+
+    /// The append-only context window: the most recent `T − 1` context
+    /// items (one slot stays reserved for the objective).  An empty
+    /// context is substituted with a single PAD token so there is always
+    /// a last context row to read logits from — the one place this
+    /// layout is not comparable to the pre-padded one, which reads a PAD
+    /// row out of a fully padded window instead.
+    fn append_window(&self, context: &[ItemId]) -> Vec<ItemId> {
+        let w = self.config.max_len - 1;
+        let start = context.len().saturating_sub(w);
+        if context[start..].is_empty() {
+            vec![pad_token(self.num_items)]
+        } else {
+            context[start..].to_vec()
+        }
+    }
+
+    /// `r_u` through the [`PimCache`] memo — the same values as
+    /// [`Irn::ru`], computed at most once per user for the model's
+    /// lifetime.
+    fn cached_ru(&self, user: UserId) -> f32 {
+        let idx = user % self.num_users;
+        let mut cache = self.pim_cache.lock();
+        if cache.ru.is_empty() {
+            cache.ru = vec![None; self.num_users];
+        }
+        *cache.ru[idx].get_or_insert_with(|| self.ru(idx))
+    }
+
+    /// PIM bias for an `n`-row append-only window (`n − 1` context rows
+    /// plus the objective row at index `n − 1`).  Every row is a real
+    /// token, so there is no key-padding term; the mask is the shared
+    /// 2-D [`append_only_objective_mask`] with the per-type objective
+    /// column weight.
+    fn append_infer_bias(&self, user: UserId, n: usize) -> InferBias {
+        let base = match self.config.mask_type {
+            MaskType::Causal => append_only_objective_mask(n, -1e9),
+            MaskType::ObjectiveUniform => append_only_objective_mask(n, self.config.wt),
+            MaskType::ObjectivePersonalized => append_only_objective_mask(n, 0.0),
+        };
+        let scaled_column = match self.config.mask_type {
+            MaskType::Causal | MaskType::ObjectiveUniform => None,
+            MaskType::ObjectivePersonalized => {
+                Some((n - 1, vec![self.cached_ru(user)], self.config.wt))
+            }
+        };
+        InferBias { base, scaled_column }
+    }
+
+    /// Cold full re-encode in the append-only layout: context tokens at
+    /// absolute positions `0..c`, the objective embedded at the fixed
+    /// positional slot `max_len − 1`, logits read at the last context
+    /// row.
+    ///
+    /// At `L = 1` with a full window this is bitwise identical to the
+    /// pre-padded [`Irn::score_next`]: positions and every visible-key
+    /// bias entry coincide, and the only differing mask rows belong to
+    /// the objective query, whose output nothing reads at one layer.
+    /// With shorter contexts the absolute positions differ from the
+    /// right-aligned window, so the layout is a model configuration, not
+    /// a transparent optimisation of the pre-padded scores.
+    fn score_next_append(&self, user: UserId, context: &[ItemId], objective: ItemId) -> Vec<f32> {
+        let mut rows = self.append_window(context);
+        let c = rows.len();
+        let n = c + 1;
+        let d = self.config.dim;
+        rows.push(objective);
+        let mut h = self.emb.infer_lookup(&self.store, &rows);
+        for (i, row) in h.data_mut().chunks_mut(d).enumerate() {
+            let pos = if i == c { self.config.max_len - 1 } else { i };
+            self.pos.infer_add_row_in_place(&self.store, row, pos);
+        }
+        h.reshape_in_place(&[1, n, d]);
+        let bias = self.append_infer_bias(user, n);
+        let last = match self.blocks.split_last() {
+            Some((final_block, earlier)) => {
+                for block in earlier {
+                    h = block.infer(&self.store, &h, &bias);
+                }
+                final_block.infer_last_query(&self.store, &h, &bias, c - 1)
+            }
+            None => {
+                let off = (c - 1) * d;
+                Tensor::from_vec(h.data()[off..off + d].to_vec(), &[1, d])
+            }
+        };
+        let logits = self.out.infer(&self.store, &last);
+        logits.data()[..self.num_items].to_vec()
+    }
+
+    /// A fresh (unprimed) incremental per-session cache for this model.
+    /// Requires [`EncodingLayout::AppendOnly`] to be useful; the trait
+    /// route ([`InfluenceRecommender::new_context_cache`]) only hands
+    /// these out in that layout.
+    pub fn new_append_cache(&self) -> IrnCacheState {
+        IrnCacheState {
+            user: 0,
+            objective: 0,
+            wt: 0.0,
+            ru_scaled: None,
+            tokens: Vec::new(),
+            layers: (0..self.config.layers)
+                .map(|_| IrnLayerState {
+                    ctx: LayerKv::new(self.config.dim),
+                    obj_k: Vec::new(),
+                    obj_v: Vec::new(),
+                })
+                .collect(),
+            last_out: Vec::new(),
+            primed: false,
+        }
+    }
+
+    /// One embedded-and-positioned input row (`[D]`): the same embedding
+    /// row copy and positional add the cold path applies per row.
+    fn append_input_row(&self, token: ItemId, pos: usize) -> Vec<f32> {
+        let e = self.emb.infer_lookup(&self.store, &[token]);
+        let mut x = e.data().to_vec();
+        self.pos.infer_add_row_in_place(&self.store, &mut x, pos);
+        x
+    }
+
+    /// Rebuild `cache` for `(user, objective, w_t)`: drop the context
+    /// rows and run the objective ladder.  The objective row attends
+    /// only to itself under [`append_only_objective_mask`], so its
+    /// per-layer key/value rows are independent of the context and are
+    /// computed once here per session.
+    fn cache_prime(&self, cache: &mut IrnCacheState, user: UserId, objective: ItemId) {
+        cache.user = user;
+        cache.objective = objective;
+        cache.wt = self.config.wt;
+        cache.ru_scaled = match self.config.mask_type {
+            MaskType::Causal | MaskType::ObjectiveUniform => None,
+            // Same multiply order as `add_bias_in_place`: w_t · r_u.
+            MaskType::ObjectivePersonalized => Some(self.config.wt * self.cached_ru(user)),
+        };
+        cache.tokens.clear();
+        cache.last_out.clear();
+        let mut x = self.append_input_row(objective, self.config.max_len - 1);
+        for (block, layer) in self.blocks.iter().zip(&mut cache.layers) {
+            layer.ctx.clear();
+            // Empty context: the objective row's only visible key is its
+            // own, with the 0.0 self-bias the cold mask pins.
+            let r = block.infer_append_row(&self.store, &x, &layer.ctx, 0.0, cache.ru_scaled, None);
+            layer.obj_k = r.k;
+            layer.obj_v = r.v;
+            x = r.out.data().to_vec();
+        }
+        cache.primed = true;
+    }
+
+    /// Encode one more context token into `cache` (at position
+    /// `cache.tokens.len()`), appending its K/V rows at every layer.
+    fn cache_step_token(&self, cache: &mut IrnCacheState, token: ItemId) {
+        let obj_base = match self.config.mask_type {
+            MaskType::Causal => -1e9,
+            MaskType::ObjectiveUniform => self.config.wt,
+            MaskType::ObjectivePersonalized => 0.0,
+        };
+        let mut x = self.append_input_row(token, cache.tokens.len());
+        for (block, layer) in self.blocks.iter().zip(&mut cache.layers) {
+            let objective = AppendKey {
+                k: &layer.obj_k,
+                v: &layer.obj_v,
+                base: obj_base,
+                scaled: cache.ru_scaled,
+            };
+            let r = block.infer_append_row(&self.store, &x, &layer.ctx, 0.0, None, Some(objective));
+            layer.ctx.push(&r.k, &r.v);
+            x = r.out.data().to_vec();
+        }
+        cache.tokens.push(token);
+        cache.last_out = x;
+    }
+
+    /// Next-item logits through a per-session incremental cache
+    /// ([`EncodingLayout::AppendOnly`] only).  Returns the scores plus
+    /// whether the cached prefix was reused (`true`) or rebuilt.
+    ///
+    /// A hit requires the cache to be primed for the same
+    /// `(user, objective, w_t)` and the stored tokens to be a prefix of
+    /// the current window; then only the new suffix is encoded —
+    /// `O(context)` work per serve step instead of `O(context²)`.  Once
+    /// a session outgrows `max_len − 1` items the window slides and the
+    /// stored prefix stops matching, so steps degrade to a bounded full
+    /// replay of the window.
+    ///
+    /// Bitwise identical to the cold [`Irn::score_next`] in this layout:
+    /// every float accumulates in the same order over the same visible
+    /// keys (masked keys contribute an exact `0.0` in both paths) — see
+    /// `irs_nn::MultiHeadAttention::infer_append_row` and the
+    /// `incremental_cache` property tests.
+    pub fn score_next_cached(
+        &self,
+        user: UserId,
+        context: &[ItemId],
+        objective: ItemId,
+        cache: &mut IrnCacheState,
+    ) -> (Vec<f32>, bool) {
+        assert_eq!(
+            self.config.layout,
+            EncodingLayout::AppendOnly,
+            "incremental scoring requires the append-only layout"
+        );
+        let toks = self.append_window(context);
+        let hit = cache.primed
+            && cache.user == user
+            && cache.objective == objective
+            && cache.wt.to_bits() == self.config.wt.to_bits()
+            && toks.len() >= cache.tokens.len()
+            && toks[..cache.tokens.len()] == cache.tokens[..];
+        if !hit {
+            self.cache_prime(cache, user, objective);
+        }
+        let start = cache.tokens.len();
+        for &tok in &toks[start..] {
+            self.cache_step_token(cache, tok);
+        }
+        let last = Tensor::from_vec(cache.last_out.clone(), &[1, self.config.dim]);
+        let logits = self.out.infer(&self.store, &last);
+        (logits.data()[..self.num_items].to_vec(), hit)
+    }
+}
+
+/// Per-layer slice of [`IrnCacheState`]: the append-only context K/V
+/// rows plus the objective slot's fixed key/value rows for that layer.
+#[derive(Debug, Clone, Default)]
+struct IrnLayerState {
+    ctx: LayerKv,
+    obj_k: Vec<f32>,
+    obj_v: Vec<f32>,
+}
+
+/// Incremental per-session state of an [`EncodingLayout::AppendOnly`]
+/// IRN: one encoded context prefix (per-layer K/V rows plus the
+/// objective ladder) keyed by the `(user, objective, w_t)` it was built
+/// under.  Obtained from [`Irn::new_append_cache`] (or type-erased via
+/// [`InfluenceRecommender::new_context_cache`]) and advanced by
+/// [`Irn::score_next_cached`].
+pub struct IrnCacheState {
+    user: UserId,
+    objective: ItemId,
+    wt: f32,
+    ru_scaled: Option<f32>,
+    tokens: Vec<ItemId>,
+    layers: Vec<IrnLayerState>,
+    last_out: Vec<f32>,
+    primed: bool,
+}
+
+impl CacheState for IrnCacheState {
+    fn resident_bytes(&self) -> usize {
+        let f = std::mem::size_of::<f32>();
+        let mut total =
+            self.tokens.capacity() * std::mem::size_of::<ItemId>() + self.last_out.capacity() * f;
+        for layer in &self.layers {
+            total += layer.ctx.bytes() + (layer.obj_k.capacity() + layer.obj_v.capacity()) * f;
+        }
+        total
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 impl InfluenceRecommender for Irn {
@@ -555,24 +853,50 @@ impl InfluenceRecommender for Irn {
 
     /// All queries share one `[N, T]` forward through
     /// [`Irn::score_next_batch`] instead of `N` scalar passes.
-    fn next_items(&self, queries: &[NextQuery<'_>]) -> Vec<Option<ItemId>> {
+    fn next_items_into(&self, queries: &[NextQuery<'_>], out: &mut Vec<Option<ItemId>>) {
         if queries.is_empty() {
-            return Vec::new();
+            return;
         }
         let (contexts, users) = crate::batched_query_parts(queries);
         let ctx_refs: Vec<&[ItemId]> = contexts.iter().map(Vec::as_slice).collect();
         let objectives: Vec<ItemId> = queries.iter().map(|q| q.objective).collect();
         let scores = self.score_next_batch(&users, &ctx_refs, &objectives);
-        queries
-            .iter()
-            .zip(&scores)
-            .map(|(q, s)| {
-                crate::masked_argmax(
-                    s,
-                    q.history.iter().chain(q.path.iter()).copied().filter(|&i| i != q.objective),
-                )
-            })
-            .collect()
+        out.extend(queries.iter().zip(&scores).map(|(q, s)| {
+            crate::masked_argmax(
+                s,
+                q.history.iter().chain(q.path.iter()).copied().filter(|&i| i != q.objective),
+            )
+        }));
+    }
+
+    fn new_context_cache(&self) -> Option<Box<dyn CacheState>> {
+        match self.config.layout {
+            EncodingLayout::PrePadded => None,
+            EncodingLayout::AppendOnly => Some(Box::new(self.new_append_cache())),
+        }
+    }
+
+    fn next_item_cached(
+        &self,
+        query: &NextQuery<'_>,
+        cache: &mut dyn CacheState,
+    ) -> (Option<ItemId>, bool) {
+        let Some(state) = cache.as_any_mut().downcast_mut::<IrnCacheState>() else {
+            return (self.next_item(query.user, query.history, query.objective, query.path), false);
+        };
+        let mut context = query.history.to_vec();
+        context.extend_from_slice(query.path);
+        let (scores, hit) = self.score_next_cached(query.user, &context, query.objective, state);
+        let answer = crate::masked_argmax(
+            &scores,
+            query
+                .history
+                .iter()
+                .chain(query.path.iter())
+                .copied()
+                .filter(|&i| i != query.objective),
+        );
+        (answer, hit)
     }
 }
 
@@ -610,7 +934,17 @@ mod tests {
             wt: 1.0,
             mask_type: MaskType::ObjectivePersonalized,
             padding: PaddingScheme::Pre,
+            layout: EncodingLayout::PrePadded,
             train: NeuralTrainConfig { epochs: 6, lr: 3e-3, ..Default::default() },
+        }
+    }
+
+    /// A fast-to-train append-only model for the cache tests.
+    fn append_config() -> IrnConfig {
+        IrnConfig {
+            layout: EncodingLayout::AppendOnly,
+            train: NeuralTrainConfig { epochs: 2, lr: 3e-3, ..Default::default() },
+            ..quick_config()
         }
     }
 
@@ -783,6 +1117,86 @@ mod tests {
         model.save(&mut bytes).unwrap();
         let wrong = IrnConfig { dim: 8, ..cfg };
         assert!(Irn::load(&bytes[..], 10, 6, &wrong).is_err());
+    }
+
+    #[test]
+    fn append_layout_matches_pre_padded_at_full_window() {
+        // L = 1 and a full window: context positions and every
+        // visible-key bias entry coincide between the two layouts, so
+        // the scores must be bitwise equal.
+        let seqs = block_seqs(12);
+        let mut model = Irn::fit(&seqs, &[], 10, 6, &quick_config(), None);
+        assert!(model.new_context_cache().is_none(), "pre-padded layout has no cache");
+        let ctx: Vec<ItemId> = (0..9).map(|i| i % 10).collect(); // T − 1 = 9 items
+        let pre = model.score_next(1, &ctx, 7);
+        model.config.layout = EncodingLayout::AppendOnly;
+        assert!(model.new_context_cache().is_some(), "append-only layout has a cache");
+        let app = model.score_next(1, &ctx, 7);
+        for (a, b) in app.iter().zip(&pre) {
+            assert_eq!(a.to_bits(), b.to_bits(), "append {a} vs pre-padded {b}");
+        }
+    }
+
+    #[test]
+    fn cached_scores_match_cold_append_bitwise() {
+        let seqs = block_seqs(12);
+        let model = Irn::fit(&seqs, &[], 10, 6, &append_config(), None);
+        let mut cache = model.new_append_cache();
+        let session: Vec<ItemId> = vec![0, 3, 1, 4, 2, 5, 9, 6];
+        for step in 0..=session.len() {
+            let ctx = &session[..step];
+            let (scores, hit) = model.score_next_cached(2, ctx, 8, &mut cache);
+            // Step 0 primes an empty cache; step 1 replaces the PAD
+            // placeholder window; from step 2 on the prefix extends.
+            assert_eq!(hit, step >= 2, "unexpected hit flag at step {step}");
+            let cold = model.score_next(2, ctx, 8);
+            for (a, b) in scores.iter().zip(&cold) {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {step}: cached {a} vs cold {b}");
+            }
+        }
+        assert!(cache.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn cache_rebuilds_on_prefix_or_objective_change() {
+        let seqs = block_seqs(12);
+        let model = Irn::fit(&seqs, &[], 10, 6, &append_config(), None);
+        let mut cache = model.new_append_cache();
+        let (_, hit) = model.score_next_cached(2, &[0, 1, 2], 8, &mut cache);
+        assert!(!hit, "fresh cache cannot hit");
+        let (_, hit) = model.score_next_cached(2, &[0, 1, 2], 8, &mut cache);
+        assert!(hit, "identical re-query must hit");
+        // A mutated mid-prefix, a different user and a different
+        // objective must each rebuild — and still score exactly cold.
+        for (user, ctx, obj) in
+            [(2, vec![0, 7, 2], 8), (4, vec![0, 7, 2], 8), (4, vec![0, 7, 2], 9)]
+        {
+            let (scores, hit) = model.score_next_cached(user, &ctx, obj, &mut cache);
+            assert!(!hit, "changed query must rebuild");
+            let cold = model.score_next(user, &ctx, obj);
+            for (a, b) in scores.iter().zip(&cold) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cached {a} vs cold {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn next_item_cached_matches_next_item() {
+        let seqs = block_seqs(12);
+        let model = Irn::fit(&seqs, &[], 10, 6, &append_config(), None);
+        let mut cache = model.new_context_cache().expect("append layout has a cache");
+        let mut path: Vec<ItemId> = Vec::new();
+        for step in 0..4 {
+            let q = NextQuery { user: 1, history: &[0, 5], objective: 9, path: &path };
+            let (answer, hit) = model.next_item_cached(&q, cache.as_mut());
+            assert_eq!(answer, model.next_item(1, &[0, 5], 9, &path), "step {step}");
+            assert_eq!(hit, step > 0, "unexpected hit flag at step {step}");
+            match answer {
+                Some(item) => path.push(item),
+                None => break,
+            }
+        }
+        assert!(cache.resident_bytes() > 0);
     }
 
     #[test]

@@ -56,7 +56,11 @@ pub(crate) mod rec_utils {
     use irs_data::ItemId;
 
     /// Top-`k` scoring items that appear in neither `history` nor `path`.
-    /// Returned in descending score order.
+    /// Returned in descending score order; ties break toward the lower
+    /// item id (the sort is stable over the ascending candidate list), so
+    /// the top-1 is exactly "first index attaining the maximum" — the
+    /// contract the allocation-free argmax in [`crate::Vanilla`]'s
+    /// `next_items_into` relies on.
     pub fn top_k_unseen(
         scores: &[f32],
         k: usize,
@@ -65,7 +69,7 @@ pub(crate) mod rec_utils {
     ) -> Vec<ItemId> {
         let mut idx: Vec<ItemId> =
             (0..scores.len()).filter(|i| !history.contains(i) && !path.contains(i)).collect();
-        idx.sort_unstable_by(|&a, &b| {
+        idx.sort_by(|&a, &b| {
             scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal)
         });
         idx.truncate(k);
@@ -97,11 +101,14 @@ pub use interactive::run_interactive_sessions;
 pub use interactive::{
     run_interactive_session, InteractiveSession, SessionOutcome, ThresholdUser, UserModel,
 };
-pub use irn::{Irn, IrnConfig, MaskType};
+pub use irn::{Irn, IrnCacheState, IrnConfig, MaskType};
 // Part of `IrnConfig`'s public surface; re-exported so downstream crates
 // (e.g. the serving subsystem) can build configs without a direct
 // `irs_baselines` dependency.
 pub use irs_baselines::NeuralTrainConfig;
+// The incremental-cache surface (same rationale: `EncodingLayout` is part
+// of `IrnConfig`, `CacheState` of the recommender trait).
+pub use irs_nn::{CacheState, EncodingLayout};
 pub use kg::KgPf2Inf;
 pub use objective::{ObjectiveSet, SetObjectiveRecommender};
 pub use pf2inf::{PathAlgorithm, Pf2Inf};
@@ -158,23 +165,76 @@ pub trait InfluenceRecommender {
 
     /// Extend many paths in one call, one answer per query.
     ///
-    /// The provided implementation loops over
-    /// [`InfluenceRecommender::next_item`]; model-backed frameworks
-    /// override it to share a single batched forward pass across queries
-    /// ([`Irn`] via `score_next_batch`, [`Vanilla`]/[`Rec2Inf`] via their
-    /// scorer's `score_batch`).  Overrides must answer each query exactly
+    /// The provided implementation delegates to
+    /// [`InfluenceRecommender::next_items_into`] — the `_into` variant is
+    /// the one model-backed frameworks override ([`Irn`] via
+    /// `score_next_batch`, [`Vanilla`]/[`Rec2Inf`] via their scorer's
+    /// batch path), so batching is shared and the allocating wrapper is
+    /// just a `Vec` around it.  Overrides must answer each query exactly
     /// as `next_item` would.
     fn next_items(&self, queries: &[NextQuery<'_>]) -> Vec<Option<ItemId>> {
-        queries.iter().map(|q| self.next_item(q.user, q.history, q.objective, q.path)).collect()
+        let mut out = Vec::with_capacity(queries.len());
+        self.next_items_into(queries, &mut out);
+        out
     }
 
     /// Like [`InfluenceRecommender::next_items`], but appending the
     /// answers to a caller-owned buffer so a serving loop can reuse one
-    /// allocation across batches.  The provided implementation delegates
-    /// to `next_items` (keeping batched overrides batched); models that
-    /// can answer without allocating override this directly.
+    /// allocation across batches.  The provided implementation loops over
+    /// [`InfluenceRecommender::next_item`] (never through `next_items`,
+    /// so neither default recurses into the other); batched models
+    /// override this variant directly.
     fn next_items_into(&self, queries: &[NextQuery<'_>], out: &mut Vec<Option<ItemId>>) {
-        out.extend(self.next_items(queries));
+        for q in queries {
+            out.push(self.next_item(q.user, q.history, q.objective, q.path));
+        }
+    }
+
+    /// A fresh incremental per-session state for
+    /// [`InfluenceRecommender::next_item_cached`], or `None` when this
+    /// model has no incremental path (the default).  Models whose encoded
+    /// prefix is append-only ([`Irn`] with
+    /// [`EncodingLayout::AppendOnly`], the cached baseline families)
+    /// return their concrete [`CacheState`].
+    fn new_context_cache(&self) -> Option<Box<dyn CacheState>> {
+        None
+    }
+
+    /// Answer one query using (and updating) a per-session incremental
+    /// `cache` previously obtained from
+    /// [`InfluenceRecommender::new_context_cache`].  Returns the answer
+    /// plus whether the cache was *hit* — i.e. the stored prefix was
+    /// extended instead of rebuilt.  The answer must be exactly what
+    /// [`InfluenceRecommender::next_item`] would return (the incremental
+    /// paths are bitwise-pinned to the cold re-encode by property tests).
+    /// The default ignores the cache and answers cold.
+    fn next_item_cached(
+        &self,
+        query: &NextQuery<'_>,
+        cache: &mut dyn CacheState,
+    ) -> (Option<ItemId>, bool) {
+        let _ = cache;
+        (self.next_item(query.user, query.history, query.objective, query.path), false)
+    }
+}
+
+/// A per-session incremental model state tagged with the snapshot
+/// generation it was built against.  The serving layer stores these in
+/// its session store and hands them back to
+/// [`InfluenceRecommender::next_item_cached`]; a hot-swap bumps the
+/// registry generation, so stale caches are detected (and rebuilt)
+/// rather than replayed against the wrong weights.
+pub struct ContextCache {
+    /// The model-specific incremental state.
+    pub state: Box<dyn CacheState>,
+    /// Snapshot generation [`ContextCache::state`] was built against.
+    pub generation: u64,
+}
+
+impl ContextCache {
+    /// Resident heap bytes of the underlying state (for cache budgeting).
+    pub fn resident_bytes(&self) -> usize {
+        self.state.resident_bytes()
     }
 }
 

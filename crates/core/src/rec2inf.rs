@@ -84,15 +84,28 @@ impl<S: SequentialScorer, D: ItemDistance> InfluenceRecommender for Rec2Inf<S, D
 
     /// One `score_batch` call over all queries, then the greedy re-sort per
     /// query.
-    fn next_items(&self, queries: &[NextQuery<'_>]) -> Vec<Option<ItemId>> {
+    fn next_items_into(&self, queries: &[NextQuery<'_>], out: &mut Vec<Option<ItemId>>) {
         let (contexts, users) = crate::batched_query_parts(queries);
         let ctx_refs: Vec<&[ItemId]> = contexts.iter().map(Vec::as_slice).collect();
         let scores = self.scorer.score_batch(&users, &ctx_refs);
-        queries
-            .iter()
-            .zip(&scores)
-            .map(|(q, s)| self.pick(s, q.history, q.path, q.objective))
-            .collect()
+        out.extend(
+            queries.iter().zip(&scores).map(|(q, s)| self.pick(s, q.history, q.path, q.objective)),
+        );
+    }
+
+    fn new_context_cache(&self) -> Option<Box<dyn crate::CacheState>> {
+        self.scorer.new_incremental_state()
+    }
+
+    fn next_item_cached(
+        &self,
+        query: &NextQuery<'_>,
+        cache: &mut dyn crate::CacheState,
+    ) -> (Option<ItemId>, bool) {
+        let mut context = query.history.to_vec();
+        context.extend_from_slice(query.path);
+        let (scores, hit) = self.scorer.score_incremental(query.user, &context, cache);
+        (self.pick(&scores, query.history, query.path, query.objective), hit)
     }
 }
 

@@ -9,6 +9,7 @@
 
 use irs_tensor::{Tensor, Var};
 
+use crate::kvcache::LayerKv;
 use crate::linear::Linear;
 use crate::params::{FwdCtx, ParamStore};
 
@@ -313,6 +314,167 @@ impl MultiHeadAttention {
         }
         self.wo.infer(store, &Tensor::from_vec(out, &[b, d]))
     }
+
+    /// Incremental attention step against a per-session K/V cache: score
+    /// query row `x_row` (`[D]`, batch of one) against the cached context
+    /// keys (ascending), its own key, and an optional trailing objective
+    /// key, returning the projected attention output plus this row's own
+    /// `wk`/`wv` rows for the caller to append to the cache.
+    ///
+    /// This reproduces [`MultiHeadAttention::infer_single_query`] under an
+    /// append-only mask ([`append_only_objective_mask`]) exactly: scores
+    /// accumulate per head in the same key order with the same `p`-ascending
+    /// dot products, the bias is applied base-entries-first then
+    /// scaled-column (mirroring `add_bias_in_place`), masked keys are never
+    /// visited — their softmax weight is exactly `0.0` (the `exp` of a
+    /// `-1e9` bias underflows) and the contraction skips zero weights, so
+    /// omitting them leaves every float untouched.
+    pub fn infer_append_row(
+        &self,
+        store: &ParamStore,
+        x_row: &[f32],
+        cached: &LayerKv,
+        own_base: f32,
+        own_scaled: Option<f32>,
+        objective: Option<AppendKey<'_>>,
+    ) -> AppendRowOut {
+        let d = self.d;
+        assert_eq!(x_row.len(), d, "query row width mismatch");
+        let n = cached.len();
+        if n > 0 {
+            assert_eq!(cached.dim(), d, "cache width mismatch");
+        }
+        let heads = self.heads;
+        let dk = d / heads;
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let x_t = Tensor::from_vec(x_row.to_vec(), &[1, d]);
+        let q = self.wq.infer(store, &x_t);
+        let own_k = self.wk.infer(store, &x_t);
+        let own_v = self.wv.infer(store, &x_t);
+
+        // Key order: cached context ascending, own row, objective last —
+        // the column order of the append-only layout.
+        let total = n + 1 + usize::from(objective.is_some());
+        let mut scores = Tensor::zeros(&[heads, total]);
+        for h in 0..heads {
+            let q_row = &q.data()[h * dk..(h + 1) * dk];
+            let row = &mut scores.data_mut()[h * total..(h + 1) * total];
+            for (j, o) in row[..n].iter_mut().enumerate() {
+                let k_row = &cached.key_row(j)[h * dk..(h + 1) * dk];
+                let mut acc = 0.0f32;
+                for (p, &qv) in q_row.iter().enumerate() {
+                    acc += qv * k_row[p];
+                }
+                *o = acc * scale;
+            }
+            let mut acc = 0.0f32;
+            for (p, &qv) in q_row.iter().enumerate() {
+                acc += qv * own_k.data()[h * dk + p];
+            }
+            row[n] = acc * scale;
+            if let Some(obj) = &objective {
+                let mut acc = 0.0f32;
+                for (p, &qv) in q_row.iter().enumerate() {
+                    acc += qv * obj.k[h * dk + p];
+                }
+                row[n + 1] = acc * scale;
+            }
+        }
+
+        // Bias, mirroring `add_bias_in_place`: every base entry first
+        // (visible context/self keys carry a base of 0.0 in the
+        // append-only mask; in IEEE this is an exact no-op on the
+        // positive scores the softmax sees), then the scaled objective
+        // column as a separate add.
+        let ctx_base = 0.0f32;
+        for h in 0..heads {
+            let row = &mut scores.data_mut()[h * total..(h + 1) * total];
+            for o in row[..n].iter_mut() {
+                *o += ctx_base;
+            }
+            row[n] += own_base;
+            if let Some(obj) = &objective {
+                row[n + 1] += obj.base;
+            }
+        }
+        if let Some(s) = own_scaled {
+            for h in 0..heads {
+                scores.data_mut()[h * total + n] += s;
+            }
+        }
+        if let Some(obj) = &objective {
+            if let Some(s) = obj.scaled {
+                for h in 0..heads {
+                    scores.data_mut()[h * total + n + 1] += s;
+                }
+            }
+        }
+        scores.softmax_last_in_place();
+
+        // attn · V with the same skip-zero contraction as the batched path.
+        let mut out = vec![0.0f32; d];
+        for h in 0..heads {
+            let attn = &scores.data()[h * total..(h + 1) * total];
+            let dst = &mut out[h * dk..(h + 1) * dk];
+            for (j, &a) in attn[..n].iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let v_row = &cached.value_row(j)[h * dk..(h + 1) * dk];
+                for (o, &vv) in dst.iter_mut().zip(v_row) {
+                    *o += a * vv;
+                }
+            }
+            let a = attn[n];
+            if a != 0.0 {
+                for (o, &vv) in dst.iter_mut().zip(&own_v.data()[h * dk..(h + 1) * dk]) {
+                    *o += a * vv;
+                }
+            }
+            if let Some(obj) = &objective {
+                let a = attn[n + 1];
+                if a != 0.0 {
+                    for (o, &vv) in dst.iter_mut().zip(&obj.v[h * dk..(h + 1) * dk]) {
+                        *o += a * vv;
+                    }
+                }
+            }
+        }
+        AppendRowOut {
+            out: self.wo.infer(store, &Tensor::from_vec(out, &[1, d])),
+            k: own_k.data().to_vec(),
+            v: own_v.data().to_vec(),
+        }
+    }
+}
+
+/// The fixed objective key slot fed to
+/// [`MultiHeadAttention::infer_append_row`]: its cached `wk`/`wv` rows
+/// (un-split `[D]`) plus the attention-bias this query applies to the
+/// objective column (`base` mirrors the mask entry, `scaled` the
+/// personalized `w_t · r_u` column add).
+pub struct AppendKey<'a> {
+    /// Objective key row `[D]`.
+    pub k: &'a [f32],
+    /// Objective value row `[D]`.
+    pub v: &'a [f32],
+    /// Constant mask entry for the objective column (`w_t`, `0.0`, or
+    /// `-1e9` when the objective is hidden).
+    pub base: f32,
+    /// Personalized column add `w_t · r_u`, applied after `base`.
+    pub scaled: Option<f32>,
+}
+
+/// Result of one incremental attention (or block) step: the output row
+/// and the query's own projection rows for the K/V cache.
+pub struct AppendRowOut {
+    /// Attention (or block) output, `[1, D]`.
+    pub out: Tensor,
+    /// This position's key row `[D]` (un-split).
+    pub k: Vec<f32>,
+    /// This position's value row `[D]` (un-split).
+    pub v: Vec<f32>,
 }
 
 /// Build a causal (lower-triangular) `[t, t]` mask: `0` where key ≤ query,
@@ -336,6 +498,34 @@ pub fn causal_mask_with_objective(t: usize, col: usize, extra: f32) -> Tensor {
     for q in 0..t {
         *m.at_mut(&[q, col]) = extra;
     }
+    m
+}
+
+/// The append-only layout's mask: rows `0..t−1` are context positions
+/// (causal among themselves, objective column `t−1` revealed with
+/// `extra`, exactly as [`causal_mask_with_objective`]); row `t−1` is the
+/// appended objective query slot and attends **only to itself** — its
+/// context columns are re-masked with `-1e9`.
+///
+/// Self-only objective attention is what keeps deeper layers cacheable:
+/// the objective row's output is a per-session constant instead of a
+/// function of the growing context, so its K/V rows at every layer are
+/// computed once.  (At one transformer layer the objective row never
+/// feeds the logits and the two masks score identically; with more
+/// layers this is a deliberate modeling change of the append-only
+/// layout.)
+pub fn append_only_objective_mask(t: usize, extra: f32) -> Tensor {
+    assert!(t >= 1, "mask needs at least the objective row");
+    let mut m = causal_mask_with_objective(t, t - 1, extra);
+    for k in 0..t - 1 {
+        *m.at_mut(&[t - 1, k]) = -1e9;
+    }
+    // The objective row's self entry is pinned to 0.0 rather than `extra`:
+    // with `extra = -1e9` (objective hidden from context rows) an all
+    // -1e9 row would soften into *uniform* attention over every key —
+    // the opposite of self-only.  A finite self entry keeps the row's
+    // softmax at exactly 1.0 on itself whatever `extra` is.
+    *m.at_mut(&[t - 1, t - 1]) = 0.0;
     m
 }
 
@@ -407,6 +597,74 @@ mod tests {
             assert_eq!(m.at(&[q, 3]), 0.5, "objective column must be visible at row {q}");
         }
         assert_eq!(m.at(&[0, 1]), -1e9);
+    }
+
+    #[test]
+    fn append_only_mask_isolates_objective_row() {
+        let m = append_only_objective_mask(4, 0.5);
+        // Context rows: causal among themselves, objective column revealed.
+        assert_eq!(m.at(&[0, 1]), -1e9);
+        assert_eq!(m.at(&[2, 1]), 0.0);
+        for q in 0..3 {
+            assert_eq!(m.at(&[q, 3]), 0.5, "objective column visible at row {q}");
+        }
+        // Objective row: self-only, with a finite self entry even when the
+        // objective column bias would be -1e9.
+        for k in 0..3 {
+            assert_eq!(m.at(&[3, k]), -1e9, "objective row must not see context col {k}");
+        }
+        assert_eq!(m.at(&[3, 3]), 0.0);
+        assert_eq!(append_only_objective_mask(4, -1e9).at(&[3, 3]), 0.0);
+    }
+
+    #[test]
+    fn append_row_step_matches_single_query_infer() {
+        // Replaying a sequence through `infer_append_row` must reproduce
+        // each row of the batched infer under the append-only mask
+        // bitwise, including the objective column handled as a trailing
+        // `AppendKey`.
+        use crate::infer::InferBias;
+        use crate::kvcache::LayerKv;
+
+        let mut r = rng();
+        let mut store = ParamStore::new();
+        let (d, heads, t) = (8, 2, 5);
+        let mha = MultiHeadAttention::new(&mut store, "a", d, heads, 0.0, &mut r);
+        let x = Tensor::randn(&[1, t, d], 1.0, &mut r);
+        let (wt, ru) = (0.7f32, 0.3f32);
+
+        // Cold reference: full infer with the append-only mask plus the
+        // personalized scaled column.
+        let bias = InferBias {
+            base: append_only_objective_mask(t, 0.0),
+            scaled_column: Some((t - 1, vec![ru], wt)),
+        };
+        let cold = mha.infer(&store, &x, &bias);
+
+        // Incremental: objective row first (self-only, its own bias is the
+        // overwritten mask entry plus the scaled column), then each
+        // context row against the growing cache.
+        let obj_row = &x.data()[(t - 1) * d..t * d];
+        let empty = LayerKv::new(d);
+        let obj = mha.infer_append_row(&store, obj_row, &empty, 0.0, Some(wt * ru), None);
+        let mut kv = LayerKv::new(d);
+        for i in 0..t - 1 {
+            let row = &x.data()[i * d..(i + 1) * d];
+            let key = AppendKey { k: &obj.k, v: &obj.v, base: 0.0, scaled: Some(wt * ru) };
+            let step = mha.infer_append_row(&store, row, &kv, 0.0, None, Some(key));
+            for (p, (&want, &got)) in
+                cold.data()[i * d..(i + 1) * d].iter().zip(step.out.data()).enumerate()
+            {
+                assert_eq!(want.to_bits(), got.to_bits(), "row {i} dim {p}: {want} vs {got}");
+            }
+            kv.push(&step.k, &step.v);
+        }
+        // The objective row itself also matches the cold pass.
+        for (p, (&want, &got)) in
+            cold.data()[(t - 1) * d..t * d].iter().zip(obj.out.data()).enumerate()
+        {
+            assert_eq!(want.to_bits(), got.to_bits(), "objective dim {p}: {want} vs {got}");
+        }
     }
 
     #[test]

@@ -180,6 +180,19 @@ impl PositionalEncoding {
         })
     }
 
+    /// Tape-free add of position `pos`'s row to a single `[dim]` slice —
+    /// the per-row building block the incremental (append-only) encode
+    /// uses, elementwise-identical to what
+    /// [`PositionalEncoding::infer_add_in_place`] does to that row.
+    pub fn infer_add_row_in_place(&self, store: &ParamStore, x: &mut [f32], pos: usize) {
+        assert_eq!(x.len(), self.dim, "dim mismatch");
+        assert!(pos < self.max_len, "position {pos} exceeds max_len {}", self.max_len);
+        let table = store.value(self.table);
+        for (o, &p) in x.iter_mut().zip(&table.data()[pos * self.dim..(pos + 1) * self.dim]) {
+            *o += p;
+        }
+    }
+
     /// Tape-free in-place variant of [`PositionalEncoding::add_to`].
     pub fn infer_add_in_place(&self, store: &ParamStore, x: &mut Tensor) {
         let shape = x.shape().to_vec();

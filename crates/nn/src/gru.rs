@@ -298,6 +298,80 @@ impl Gru {
         }
         Tensor::from_vec(out, &[b, hd])
     }
+
+    /// A fresh per-session streaming state (zero hidden vector, packed
+    /// weights, reusable scratch) for [`Gru::stream_step`].
+    pub fn stream_state(&self, store: &ParamStore) -> GruStreamState {
+        GruStreamState {
+            iw: self.cell.infer_weights(store),
+            h: vec![0.0; self.cell.hidden_dim()],
+            scratch: self.cell.infer_scratch(1),
+            gx: vec![0.0; 3 * self.cell.hidden_dim()],
+        }
+    }
+
+    /// Advance the carried hidden state by one timestep (`x_row: [D]`,
+    /// batch of one).  Bitwise equal to the matching step of
+    /// [`Gru::infer_last`]: the fused `[T·B, D] @ [D, 3H]` matmul there
+    /// computes each row's gate pre-activations independently with the
+    /// same `k`-ascending accumulation as this single-row matmul, the
+    /// per-row bias add is the same loop, and the recurrence shares
+    /// [`GruCell::infer_step_in_place`].
+    pub fn stream_step(&self, store: &ParamStore, state: &mut GruStreamState, x_row: &[f32]) {
+        let d = self.cell.input_dim();
+        let hd = self.cell.hidden_dim();
+        assert_eq!(x_row.len(), d, "input row width mismatch");
+        state.gx.iter_mut().for_each(|v| *v = 0.0);
+        matmul_into(x_row, state.iw.w_all.data(), &mut state.gx, 1, d, 3 * hd);
+        for (o, &bb) in state.gx.iter_mut().zip(&state.iw.b_all) {
+            *o += bb;
+        }
+        self.cell.infer_step_in_place(
+            store,
+            &state.iw,
+            &state.gx,
+            &mut state.h,
+            &mut state.scratch,
+        );
+    }
+}
+
+/// Carried per-session GRU state for incremental serving: the hidden
+/// vector plus everything needed to step it without touching the
+/// allocator (packed gate weights, scratch, a one-row gate buffer).
+pub struct GruStreamState {
+    iw: GruInferWeights,
+    h: Vec<f32>,
+    scratch: GruInferScratch,
+    gx: Vec<f32>,
+}
+
+impl GruStreamState {
+    /// Reset the hidden state to zero (a fresh session) while keeping the
+    /// packed weights and scratch.
+    pub fn reset(&mut self) {
+        self.h.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// The carried hidden state `[H]`.
+    pub fn hidden(&self) -> &[f32] {
+        &self.h
+    }
+
+    /// Heap bytes held by this state, packed weights included (each
+    /// stream state owns its own copy of the fused gate weights).
+    pub fn resident_bytes(&self) -> usize {
+        (self.iw.w_all.data().len()
+            + self.iw.b_all.len()
+            + self.iw.u_zr.data().len()
+            + self.h.len()
+            + self.gx.len()
+            + self.scratch.gates_h.len()
+            + self.scratch.z.len()
+            + self.scratch.rh.len()
+            + self.scratch.uh_out.len())
+            * std::mem::size_of::<f32>()
+    }
 }
 
 #[cfg(test)]
@@ -353,6 +427,26 @@ mod tests {
                 assert_eq!(want.to_bits(), got.to_bits(), "row {r} dim {j}: {want} vs {got}");
             }
         }
+    }
+
+    #[test]
+    fn stream_step_is_bitwise_equal_to_infer_last() {
+        let mut r = rng();
+        let mut store = ParamStore::new();
+        let gru = Gru::new(&mut store, "g", 3, 5, &mut r);
+        let x = Tensor::randn(&[1, 6, 3], 1.0, &mut r);
+        let mut state = gru.stream_state(&store);
+        for t in 1..=6usize {
+            state.reset();
+            for ti in 0..t {
+                gru.stream_step(&store, &mut state, &x.data()[ti * 3..(ti + 1) * 3]);
+            }
+            let want = gru.infer_last(&store, &x, &[t]);
+            for (j, (&w, &g)) in want.data().iter().zip(state.hidden()).enumerate() {
+                assert_eq!(w.to_bits(), g.to_bits(), "t={t} dim {j}: {w} vs {g}");
+            }
+        }
+        assert!(state.resident_bytes() > 0);
     }
 
     #[test]

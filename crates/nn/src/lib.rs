@@ -41,6 +41,7 @@ mod attention;
 mod embedding;
 mod gru;
 mod infer;
+mod kvcache;
 mod linear;
 mod norm;
 mod optim;
@@ -49,12 +50,13 @@ mod serialize;
 mod transformer;
 
 pub use attention::{
-    broadcast_then_add, causal_mask, causal_mask_with_objective, combine_masks, key_padding_mask,
-    AttnBias, MultiHeadAttention,
+    append_only_objective_mask, broadcast_then_add, causal_mask, causal_mask_with_objective,
+    combine_masks, key_padding_mask, AppendKey, AppendRowOut, AttnBias, MultiHeadAttention,
 };
 pub use embedding::{Embedding, PositionalEncoding};
-pub use gru::{Gru, GruCell, GruInferScratch, GruInferWeights};
+pub use gru::{Gru, GruCell, GruInferScratch, GruInferWeights, GruStreamState};
 pub use infer::InferBias;
+pub use kvcache::{CacheState, EncodingLayout, LayerKv};
 pub use linear::{FeedForward, Linear};
 pub use norm::LayerNorm;
 pub use optim::{clip_grad_norm, Adam, Optimizer, ReduceLrOnPlateau, Sgd};

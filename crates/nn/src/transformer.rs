@@ -105,6 +105,35 @@ impl TransformerBlock {
         self.ln2.infer_in_place(store, &mut h);
         h
     }
+
+    /// Incremental single-row block step against a per-session K/V cache
+    /// (see [`MultiHeadAttention::infer_append_row`]): attention over the
+    /// cached keys plus this row and the optional objective slot, then the
+    /// residual/norm/feed-forward sublayers in the same order as
+    /// [`TransformerBlock::infer_last_query`].  `out` is this row's block
+    /// output `[1, D]`; `k`/`v` are its projection rows for the caller to
+    /// append to the cache.
+    pub fn infer_append_row(
+        &self,
+        store: &ParamStore,
+        x_row: &[f32],
+        cached: &crate::kvcache::LayerKv,
+        own_base: f32,
+        own_scaled: Option<f32>,
+        objective: Option<crate::attention::AppendKey<'_>>,
+    ) -> crate::attention::AppendRowOut {
+        let mut r =
+            self.attn.infer_append_row(store, x_row, cached, own_base, own_scaled, objective);
+        // h = a + x (residual), matching `infer_last_query`'s add order.
+        for (o, &xv) in r.out.data_mut().iter_mut().zip(x_row) {
+            *o += xv;
+        }
+        self.ln1.infer_in_place(store, &mut r.out);
+        let f = self.ff.infer(store, &r.out);
+        r.out.add_assign(&f);
+        self.ln2.infer_in_place(store, &mut r.out);
+        r
+    }
 }
 
 #[cfg(test)]

@@ -81,6 +81,12 @@ pub struct ServerConfig {
     /// Keep-alive connections idle past this are closed by the poller.
     /// `irs serve` exposes this as `--idle-timeout-s`.
     pub idle_timeout: Duration,
+    /// Byte budget (in MiB) for parked per-session context caches; 0
+    /// disables context caching entirely (every request takes the
+    /// batched cold path).  When the budget is exhausted the
+    /// least-recently-seen session's cache is evicted first.  `irs
+    /// serve` exposes this as `--context-cache-mb`.
+    pub context_cache_mb: usize,
 }
 
 impl Default for ServerConfig {
@@ -94,6 +100,7 @@ impl Default for ServerConfig {
             session_ttl: None,
             http_workers: 0,
             idle_timeout: Duration::from_secs(30),
+            context_cache_mb: 64,
         }
     }
 }
@@ -161,6 +168,16 @@ impl ServerHandle {
     pub fn http_workers(&self) -> usize {
         self.state.http_workers
     }
+
+    /// Bytes of per-session context caches currently parked.
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.state.sessions.cache_resident_bytes()
+    }
+
+    /// Context caches evicted to stay within the byte budget.
+    pub fn cache_evictions(&self) -> u64 {
+        self.state.sessions.cache_evictions()
+    }
 }
 
 impl HttpServer {
@@ -183,7 +200,10 @@ impl HttpServer {
         };
         let state = Arc::new(ServerState {
             engine,
-            sessions: SessionStore::new(config.session_shards),
+            sessions: SessionStore::with_cache_budget(
+                config.session_shards,
+                config.context_cache_mb.saturating_mul(1024 * 1024),
+            ),
             loader,
             config,
             shutdown: AtomicBool::new(false),
@@ -541,6 +561,16 @@ fn stats_payload(state: &Arc<ServerState>, b: &mut Vec<u8>) {
     write_json_num(b, stats.mean_batch());
     b.extend_from_slice(b",\"gave_up\":");
     write_json_num(b, stats.gave_up as f64);
+    b.extend_from_slice(b",\"cache_hits\":");
+    write_json_num(b, stats.cache_hits as f64);
+    b.extend_from_slice(b",\"cache_misses\":");
+    write_json_num(b, stats.cache_misses as f64);
+    b.extend_from_slice(b",\"cache_invalidations\":");
+    write_json_num(b, stats.cache_invalidations as f64);
+    b.extend_from_slice(b",\"cache_resident_bytes\":");
+    write_json_num(b, state.sessions.cache_resident_bytes() as f64);
+    b.extend_from_slice(b",\"cache_evictions\":");
+    write_json_num(b, state.sessions.cache_evictions() as f64);
     b.extend_from_slice(b",\"sessions\":");
     write_json_num(b, state.sessions.len() as f64);
     b.extend_from_slice(b",\"evicted_sessions\":");
@@ -678,7 +708,18 @@ fn next_item(
             b.extend_from_slice(b"{\"item\":null,\"done\":true}");
         }
         NextState::Ask { user, objective } => {
-            match state.engine.next_item_with(caller, user, objective) {
+            // Ride the session's context cache along with the request:
+            // the worker extends (or rebuilds) it and hands it back, and
+            // it is parked again below while the session is still pinned
+            // (so the slot cannot have been swept mid-flight).
+            if state.sessions.cache_enabled() {
+                caller.stage_cache(state.sessions.take_cache(id));
+            }
+            let answer = state.engine.next_item_with(caller, user, objective);
+            if let Some(cache) = caller.take_cache() {
+                state.sessions.put_cache(id, cache);
+            }
+            match answer {
                 Some(item) => {
                     b.extend_from_slice(b"{\"item\":");
                     write_json_num(b, item as f64);

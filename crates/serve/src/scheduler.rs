@@ -40,10 +40,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use irs_core::NextQuery;
+use irs_core::{ContextCache, NextQuery};
 use irs_data::{ItemId, UserId};
 
-use crate::snapshot::SnapshotRegistry;
+use crate::snapshot::{ModelSnapshot, SnapshotRegistry};
 
 /// Micro-batching knobs.
 #[derive(Debug, Clone)]
@@ -82,6 +82,9 @@ struct ReplyState {
     /// request on this slot reuses their capacity.
     history: Vec<ItemId>,
     path: Vec<ItemId>,
+    /// The session's context cache, updated by the worker and returned
+    /// for the caller to park back in its session store.
+    cache: Option<ContextCache>,
 }
 
 #[derive(Default)]
@@ -95,6 +98,7 @@ impl ReplySlot {
         let mut st = self.state.lock().expect("reply slot poisoned");
         st.done = false;
         st.answer = None;
+        st.cache = None;
     }
 }
 
@@ -112,12 +116,19 @@ impl Reply {
         Reply { slot, delivered: false }
     }
 
-    fn deliver(mut self, answer: Option<ItemId>, history: Vec<ItemId>, path: Vec<ItemId>) {
+    fn deliver(
+        mut self,
+        answer: Option<ItemId>,
+        history: Vec<ItemId>,
+        path: Vec<ItemId>,
+        cache: Option<ContextCache>,
+    ) {
         self.delivered = true;
         let mut st = self.slot.state.lock().unwrap_or_else(|e| e.into_inner());
         st.answer = answer;
         st.history = history;
         st.path = path;
+        st.cache = cache;
         st.done = true;
         drop(st);
         self.slot.ready.notify_one();
@@ -142,6 +153,12 @@ struct ScoreRequest {
     history: Vec<ItemId>,
     objective: ItemId,
     path: Vec<ItemId>,
+    /// The session's incremental state, travelling with the request (see
+    /// [`EngineCaller::stage_cache`]).
+    cache: Option<ContextCache>,
+    /// Whether this session participates in context caching at all; when
+    /// false the request always takes the batched path untouched.
+    want_cache: bool,
     reply: Reply,
 }
 
@@ -177,12 +194,36 @@ pub struct EngineCaller {
     slot: Arc<ReplySlot>,
     history: Vec<ItemId>,
     path: Vec<ItemId>,
+    cache: Option<ContextCache>,
+    want_cache: bool,
 }
 
 impl EngineCaller {
     /// Create an empty workspace (the one-time allocations happen here).
     pub fn new() -> Self {
-        EngineCaller { slot: Arc::new(ReplySlot::default()), history: Vec::new(), path: Vec::new() }
+        EngineCaller {
+            slot: Arc::new(ReplySlot::default()),
+            history: Vec::new(),
+            path: Vec::new(),
+            cache: None,
+            want_cache: false,
+        }
+    }
+
+    /// Stage the session's context cache (possibly `None` — a first
+    /// request, or one whose cache was evicted) for the next round-trip
+    /// and opt the request into cached serving.  The worker updates the
+    /// state and hands it back; collect it with
+    /// [`EngineCaller::take_cache`] after the round-trip and park it in
+    /// the session store.
+    pub fn stage_cache(&mut self, cache: Option<ContextCache>) {
+        self.cache = cache;
+        self.want_cache = true;
+    }
+
+    /// The context cache returned by the last round-trip, if any.
+    pub fn take_cache(&mut self) -> Option<ContextCache> {
+        self.cache.take()
     }
 
     /// The staging buffer for the query's viewing history.  Cleared by
@@ -210,6 +251,9 @@ struct Stats {
     requests: AtomicU64,
     batches: AtomicU64,
     gave_up: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_invalidations: AtomicU64,
 }
 
 /// A point-in-time copy of the engine counters.
@@ -221,6 +265,15 @@ pub struct StatsSnapshot {
     pub batches: u64,
     /// Requests the recommender could not extend a path for.
     pub gave_up: u64,
+    /// Cache-opted requests whose stored prefix was reused.
+    pub cache_hits: u64,
+    /// Cache-opted requests that had to (re)encode their context from
+    /// scratch (first request of a session, evicted cache, or a history
+    /// that stopped extending the stored prefix).
+    pub cache_misses: u64,
+    /// Caches discarded because a snapshot hot-swap outdated their
+    /// generation.
+    pub cache_invalidations: u64,
 }
 
 impl StatsSnapshot {
@@ -294,7 +347,7 @@ impl Engine {
         path: Vec<ItemId>,
     ) -> Option<ItemId> {
         let slot = Arc::new(ReplySlot::default());
-        self.submit_and_wait(&slot, user, history, objective, path).0
+        self.submit_and_wait(&slot, user, history, objective, path, None, false).0
     }
 
     /// The allocation-free round-trip: submit a request built from the
@@ -309,15 +362,20 @@ impl Engine {
     ) -> Option<ItemId> {
         let history = mem::take(&mut caller.history);
         let path = mem::take(&mut caller.path);
-        let (answer, mut history, mut path) =
-            self.submit_and_wait(&caller.slot, user, history, objective, path);
+        let cache = caller.cache.take();
+        let want_cache = caller.want_cache;
+        let (answer, mut history, mut path, cache) =
+            self.submit_and_wait(&caller.slot, user, history, objective, path, cache, want_cache);
         history.clear();
         path.clear();
         caller.history = history;
         caller.path = path;
+        caller.cache = cache;
+        caller.want_cache = false;
         answer
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn submit_and_wait(
         &self,
         slot: &Arc<ReplySlot>,
@@ -325,7 +383,9 @@ impl Engine {
         history: Vec<ItemId>,
         objective: ItemId,
         path: Vec<ItemId>,
-    ) -> (Option<ItemId>, Vec<ItemId>, Vec<ItemId>) {
+        cache: Option<ContextCache>,
+        want_cache: bool,
+    ) -> (Option<ItemId>, Vec<ItemId>, Vec<ItemId>, Option<ContextCache>) {
         slot.arm();
         {
             let mut inner = self.queue.inner.lock().expect("serve queue poisoned");
@@ -333,13 +393,15 @@ impl Engine {
                 inner = self.queue.not_full.wait(inner).expect("serve queue poisoned");
             }
             if inner.shutdown {
-                return (None, history, path);
+                return (None, history, path, cache);
             }
             inner.requests.push_back(ScoreRequest {
                 user,
                 history,
                 objective,
                 path,
+                cache,
+                want_cache,
                 reply: Reply::new(slot.clone()),
             });
         }
@@ -351,7 +413,8 @@ impl Engine {
         let answer = st.answer.take();
         let history = mem::take(&mut st.history);
         let path = mem::take(&mut st.path);
-        (answer, history, path)
+        let cache = st.cache.take();
+        (answer, history, path, cache)
     }
 
     /// One scheduling round-trip for a live session: clone its query
@@ -373,6 +436,9 @@ impl Engine {
             requests: self.stats.requests.load(Ordering::Relaxed),
             batches: self.stats.batches.load(Ordering::Relaxed),
             gave_up: self.stats.gave_up.load(Ordering::Relaxed),
+            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
+            cache_invalidations: self.stats.cache_invalidations.load(Ordering::Relaxed),
         }
     }
 
@@ -448,6 +514,12 @@ fn collect_batch(queue: &SharedQueue, policy: &BatchPolicy, batch: &mut Vec<Scor
 /// *batch*, not per request).
 const STACK_QUERIES: usize = 64;
 
+/// A context cache freshly minted against `snapshot`, or `None` when the
+/// model has no incremental path.
+fn fresh_cache(snapshot: &ModelSnapshot, version: u64) -> Option<ContextCache> {
+    snapshot.model.new_context_cache().map(|state| ContextCache { state, generation: version })
+}
+
 fn worker_loop(
     queue: &SharedQueue,
     registry: &SnapshotRegistry,
@@ -460,44 +532,95 @@ fn worker_loop(
     // allocates nothing per batch.
     let mut batch: Vec<ScoreRequest> = Vec::with_capacity(policy.max_batch);
     let mut answers: Vec<Option<ItemId>> = Vec::with_capacity(policy.max_batch);
+    let mut cold: Vec<usize> = Vec::with_capacity(policy.max_batch);
+    let mut cold_answers: Vec<Option<ItemId>> = Vec::with_capacity(policy.max_batch);
     while collect_batch(queue, policy, &mut batch) {
         // One snapshot per batch: every request in it is scored by the
-        // same model even if a hot-swap lands mid-flight.
-        let snapshot = registry.current();
+        // same model even if a hot-swap lands mid-flight.  The version is
+        // read consistently with the snapshot so generation checks below
+        // can't mix an old model with a new version.
+        let (snapshot, version) = registry.current_versioned();
         answers.clear();
+        answers.resize(batch.len(), None);
+        cold.clear();
+        cold_answers.clear();
         // Panic isolation: a model panic (bad input reaching an
         // embedding lookup, a future model bug) must not kill the worker
         // — one dead worker silently halves capacity and once all are
         // gone every submitter blocks forever.  The poisoned batch is
         // answered `None`; the worker lives on.
         let scored = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            if batch.len() <= STACK_QUERIES {
-                let mut qbuf = [EMPTY_QUERY; STACK_QUERIES];
-                for (slot, req) in qbuf.iter_mut().zip(batch.iter()) {
-                    *slot = req.query();
+            // A coalesced batch mixes cached and cold sessions: requests
+            // carrying per-session state take the incremental path one by
+            // one (their step is O(1) in the context length, so skipping
+            // the batched forward costs nothing), the rest coalesce into
+            // one batched forward as before.
+            for i in 0..batch.len() {
+                let req = &mut batch[i];
+                if !req.want_cache {
+                    cold.push(i);
+                    continue;
                 }
-                snapshot.model.next_items_into(&qbuf[..batch.len()], &mut answers);
-            } else {
-                let queries: Vec<NextQuery<'_>> = batch.iter().map(|r| r.query()).collect();
-                snapshot.model.next_items_into(&queries, &mut answers);
+                let cache = match req.cache.take() {
+                    Some(c) if c.generation == version => Some(c),
+                    Some(_stale) => {
+                        stats.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+                        fresh_cache(&snapshot, version)
+                    }
+                    None => fresh_cache(&snapshot, version),
+                };
+                let Some(mut cache) = cache else {
+                    // The model has no incremental path; serve batched.
+                    cold.push(i);
+                    continue;
+                };
+                let (answer, hit) =
+                    snapshot.model.next_item_cached(&req.query(), cache.state.as_mut());
+                let counter = if hit { &stats.cache_hits } else { &stats.cache_misses };
+                counter.fetch_add(1, Ordering::Relaxed);
+                answers[i] = answer;
+                req.cache = Some(cache);
             }
-        }))
-        .is_ok();
-        if !scored || answers.len() != batch.len() {
-            if scored {
-                eprintln!(
-                    "irs_serve: model answered {} of {} queries; answering None",
-                    answers.len(),
-                    batch.len()
-                );
+            if cold.is_empty() {
+                return true;
+            }
+            if cold.len() <= STACK_QUERIES {
+                let mut qbuf = [EMPTY_QUERY; STACK_QUERIES];
+                for (slot, &i) in qbuf.iter_mut().zip(cold.iter()) {
+                    *slot = batch[i].query();
+                }
+                snapshot.model.next_items_into(&qbuf[..cold.len()], &mut cold_answers);
             } else {
+                let queries: Vec<NextQuery<'_>> = cold.iter().map(|&i| batch[i].query()).collect();
+                snapshot.model.next_items_into(&queries, &mut cold_answers);
+            }
+            if cold_answers.len() != cold.len() {
+                return false;
+            }
+            for (&i, answer) in cold.iter().zip(cold_answers.drain(..)) {
+                answers[i] = answer;
+            }
+            true
+        }));
+        match scored {
+            Ok(true) => {}
+            Ok(false) => {
+                // Cached answers (if any) are sound; only the batched
+                // cold requests went unanswered and stay `None`.
+                eprintln!(
+                    "irs_serve: model answered {} of {} batched queries; answering None",
+                    cold_answers.len(),
+                    cold.len()
+                );
+            }
+            Err(_) => {
                 eprintln!(
                     "irs_serve: model panicked scoring a batch of {}; answering None",
                     batch.len()
                 );
+                answers.clear();
+                answers.resize(batch.len(), None);
             }
-            answers.clear();
-            answers.resize(batch.len(), None);
         }
         stats.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
         stats.batches.fetch_add(1, Ordering::Relaxed);
@@ -505,8 +628,8 @@ fn worker_loop(
             .gave_up
             .fetch_add(answers.iter().filter(|a| a.is_none()).count() as u64, Ordering::Relaxed);
         for (req, answer) in batch.drain(..).zip(answers.drain(..)) {
-            let ScoreRequest { history, path, reply, .. } = req;
-            reply.deliver(answer, history, path);
+            let ScoreRequest { history, path, reply, cache, .. } = req;
+            reply.deliver(answer, history, path, cache);
         }
     }
 }
@@ -664,9 +787,16 @@ mod tests {
 
     #[test]
     fn mean_batch_reflects_coalescing() {
-        let s = StatsSnapshot { requests: 12, batches: 3, gave_up: 0 };
+        let s = StatsSnapshot {
+            requests: 12,
+            batches: 3,
+            gave_up: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            cache_invalidations: 0,
+        };
         assert!((s.mean_batch() - 4.0).abs() < 1e-12);
-        let empty = StatsSnapshot { requests: 0, batches: 0, gave_up: 0 };
+        let empty = StatsSnapshot { requests: 0, batches: 0, gave_up: 0, ..s };
         assert_eq!(empty.mean_batch(), 0.0);
     }
 }

@@ -20,10 +20,10 @@
 //! pinned sessions no matter how stale their timestamp looks.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
-use irs_core::InteractiveSession;
+use irs_core::{ContextCache, InteractiveSession};
 use parking_lot::Mutex;
 
 /// Opaque session identifier handed to clients.
@@ -36,23 +36,121 @@ struct Slot {
     /// In-flight requests currently pinning this session (see
     /// [`SessionStore::pin`]); the sweeper never evicts a pinned slot.
     pins: u32,
+    /// The session's incremental model state between requests (see
+    /// [`SessionStore::take_cache`]); evicted with the session, or
+    /// individually when the store's cache budget runs out.
+    cache: Option<ContextCache>,
 }
 
 /// A sharded `SessionId → InteractiveSession` map with idle tracking.
 pub struct SessionStore {
     shards: Vec<Mutex<HashMap<SessionId, Slot>>>,
     next_id: AtomicU64,
+    /// Byte budget for stored [`ContextCache`]s; 0 disables cache
+    /// storage entirely.
+    cache_budget: usize,
+    /// Resident bytes of every cache currently parked in a slot.
+    cache_bytes: AtomicUsize,
+    /// Caches dropped to stay within the budget (LRU fallback — the
+    /// affected session silently re-encodes cold on its next request).
+    cache_evictions: AtomicU64,
 }
 
 impl SessionStore {
     /// Create a store with `num_shards` independent shards (rounded up to
-    /// at least 1).
+    /// at least 1) and no context-cache storage.
     pub fn new(num_shards: usize) -> Self {
+        Self::with_cache_budget(num_shards, 0)
+    }
+
+    /// Create a store whose slots may park up to `cache_budget_bytes` of
+    /// per-session incremental model state ([`ContextCache`]); 0 disables
+    /// cache storage.
+    pub fn with_cache_budget(num_shards: usize, cache_budget_bytes: usize) -> Self {
         let n = num_shards.max(1);
         SessionStore {
             shards: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
             next_id: AtomicU64::new(1),
+            cache_budget: cache_budget_bytes,
+            cache_bytes: AtomicUsize::new(0),
+            cache_evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Whether this store parks context caches at all.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_budget > 0
+    }
+
+    /// Resident bytes of every parked context cache.
+    pub fn cache_resident_bytes(&self) -> usize {
+        self.cache_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Caches dropped by the LRU budget fallback since startup.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Take the session's parked context cache for a request round-trip
+    /// (hand it back with [`SessionStore::put_cache`]).  `None` when the
+    /// session is unknown or has no cache parked.
+    pub fn take_cache(&self, id: SessionId) -> Option<ContextCache> {
+        let cache = self.shard(id).lock().get_mut(&id).and_then(|slot| slot.cache.take())?;
+        self.cache_bytes.fetch_sub(cache.resident_bytes(), Ordering::Relaxed);
+        Some(cache)
+    }
+
+    /// Park a context cache on the session, evicting least-recently-seen
+    /// caches from *other* sessions if the budget demands it.  The cache
+    /// (or, as a last resort, the incoming one) is dropped when the
+    /// budget still cannot accommodate it — the session then re-encodes
+    /// cold next time, which is always correct.
+    pub fn put_cache(&self, id: SessionId, cache: ContextCache) {
+        if self.cache_budget == 0 {
+            return;
+        }
+        let bytes = cache.resident_bytes();
+        while bytes > self.cache_budget.saturating_sub(self.cache_bytes.load(Ordering::Relaxed)) {
+            if !self.evict_lru_cache(id) {
+                // Nothing evictable is left (or the cache alone exceeds
+                // the budget): drop the incoming cache instead.
+                self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let mut shard = self.shard(id).lock();
+        let Some(slot) = shard.get_mut(&id) else { return }; // session evicted mid-flight
+        slot.cache = Some(cache);
+        self.cache_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Drop the least-recently-seen parked cache, skipping `keep` (the
+    /// session whose cache is being parked).  Returns whether anything
+    /// was evicted.
+    fn evict_lru_cache(&self, keep: SessionId) -> bool {
+        let mut victim: Option<(SessionId, Instant)> = None;
+        for shard in &self.shards {
+            for (&id, slot) in shard.lock().iter() {
+                if id != keep && slot.cache.is_some() {
+                    let older = victim.is_none_or(|(_, seen)| slot.last_seen < seen);
+                    if older {
+                        victim = Some((id, slot.last_seen));
+                    }
+                }
+            }
+        }
+        let Some((id, _)) = victim else { return false };
+        // Re-lock the victim's shard; the cache may have been taken by a
+        // concurrent request in the window — treat that as nothing to
+        // evict this round.
+        let Some(cache) = self.shard(id).lock().get_mut(&id).and_then(|slot| slot.cache.take())
+        else {
+            return false;
+        };
+        self.cache_bytes.fetch_sub(cache.resident_bytes(), Ordering::Relaxed);
+        self.cache_evictions.fetch_add(1, Ordering::Relaxed);
+        true
     }
 
     fn shard(&self, id: SessionId) -> &Mutex<HashMap<SessionId, Slot>> {
@@ -65,7 +163,9 @@ impl SessionStore {
     /// Insert a new session and return its id.
     pub fn insert(&self, session: InteractiveSession) -> SessionId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shard(id).lock().insert(id, Slot { session, last_seen: Instant::now(), pins: 0 });
+        self.shard(id)
+            .lock()
+            .insert(id, Slot { session, last_seen: Instant::now(), pins: 0, cache: None });
         id
     }
 
@@ -114,7 +214,11 @@ impl SessionStore {
 
     /// Remove a session, returning its final state.
     pub fn remove(&self, id: SessionId) -> Option<InteractiveSession> {
-        self.shard(id).lock().remove(&id).map(|slot| slot.session)
+        let slot = self.shard(id).lock().remove(&id)?;
+        if let Some(cache) = &slot.cache {
+            self.cache_bytes.fetch_sub(cache.resident_bytes(), Ordering::Relaxed);
+        }
+        Some(slot.session)
     }
 
     /// Evict every session idle for at least `ttl`, returning how many
@@ -130,7 +234,19 @@ impl SessionStore {
             .map(|s| {
                 let mut shard = s.lock();
                 let before = shard.len();
-                shard.retain(|_, slot| slot.pins > 0 || now.duration_since(slot.last_seen) < ttl);
+                let mut freed = 0usize;
+                shard.retain(|_, slot| {
+                    let keep = slot.pins > 0 || now.duration_since(slot.last_seen) < ttl;
+                    if !keep {
+                        if let Some(cache) = &slot.cache {
+                            freed += cache.resident_bytes();
+                        }
+                    }
+                    keep
+                });
+                if freed > 0 {
+                    self.cache_bytes.fetch_sub(freed, Ordering::Relaxed);
+                }
                 before - shard.len()
             })
             .sum()
@@ -242,6 +358,60 @@ mod tests {
         );
         drop(p2);
         assert!(store.pin_with(99, |_| ()).is_none(), "unknown ids cannot be pinned");
+    }
+
+    struct FakeState(usize);
+    impl irs_core::CacheState for FakeState {
+        fn resident_bytes(&self) -> usize {
+            self.0
+        }
+        fn as_any(&self) -> &dyn std::any::Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+            self
+        }
+    }
+
+    fn cache(bytes: usize) -> ContextCache {
+        ContextCache { state: Box::new(FakeState(bytes)), generation: 1 }
+    }
+
+    #[test]
+    fn cache_budget_parks_takes_and_evicts_lru() {
+        let store = SessionStore::with_cache_budget(2, 100);
+        assert!(store.cache_enabled());
+        let a = store.insert(session(0));
+        let b = store.insert(session(1));
+        store.put_cache(a, cache(60));
+        assert_eq!(store.cache_resident_bytes(), 60);
+        std::thread::sleep(Duration::from_millis(5));
+        store.with(b, |_| ()); // `b` is now the more recently seen session
+        store.put_cache(b, cache(60)); // over budget → `a`'s cache is the LRU victim
+        assert_eq!(store.cache_resident_bytes(), 60);
+        assert_eq!(store.cache_evictions(), 1);
+        assert!(store.take_cache(a).is_none(), "LRU cache must be gone");
+        assert!(store.take_cache(b).is_some(), "parked cache comes back");
+        assert_eq!(store.cache_resident_bytes(), 0);
+        // A cache bigger than the whole budget is dropped outright.
+        store.put_cache(b, cache(200));
+        assert!(store.take_cache(b).is_none());
+        assert_eq!(store.cache_evictions(), 2);
+        // Removing a session releases its cache bytes.
+        store.put_cache(b, cache(40));
+        assert_eq!(store.cache_resident_bytes(), 40);
+        store.remove(b);
+        assert_eq!(store.cache_resident_bytes(), 0);
+    }
+
+    #[test]
+    fn disabled_cache_budget_parks_nothing() {
+        let store = SessionStore::new(2);
+        assert!(!store.cache_enabled());
+        let a = store.insert(session(0));
+        store.put_cache(a, cache(10));
+        assert!(store.take_cache(a).is_none());
+        assert_eq!(store.cache_resident_bytes(), 0);
     }
 
     #[test]

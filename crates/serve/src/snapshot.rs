@@ -115,9 +115,22 @@ impl SnapshotRegistry {
         self.current.read().clone()
     }
 
-    /// Publish a new snapshot; returns the new version number.
+    /// The current snapshot together with its version, read consistently:
+    /// the read lock covers both, and [`SnapshotRegistry::swap`] bumps the
+    /// version while still holding the write guard, so the pair can never
+    /// mix an old snapshot with a new version.  Per-session context caches
+    /// are tagged with this version (their generation) so a hot-swap
+    /// invalidates them instead of replaying them against new weights.
+    pub fn current_versioned(&self) -> (Arc<ModelSnapshot>, u64) {
+        let guard = self.current.read();
+        (guard.clone(), self.version.load(Ordering::Relaxed))
+    }
+
+    /// Publish a new snapshot; returns the new version number.  The
+    /// version bump happens under the write guard, keeping
+    /// [`SnapshotRegistry::current_versioned`] consistent.
     pub fn swap(&self, snapshot: ModelSnapshot) -> u64 {
-        let mut slot = self.current.write();
+        let slot = &mut *self.current.write();
         *slot = Arc::new(snapshot);
         self.swaps.fetch_add(1, Ordering::Relaxed);
         self.version.fetch_add(1, Ordering::Relaxed) + 1

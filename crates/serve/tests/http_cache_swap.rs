@@ -1,0 +1,178 @@
+//! HTTP-level context-cache test: a session served through the full
+//! stack (frontend → session store → scheduler → cached model path)
+//! must hit its per-session cache on repeat steps, and a snapshot
+//! hot-swap mid-session must *invalidate* the cache — the next answer
+//! comes from the new weights, never from rows encoded under the old
+//! ones.  Expected answers are computed against the in-process models'
+//! cold scalar path, which the cached path is bitwise-pinned to.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use irs_core::{EncodingLayout, InfluenceRecommender, Irn, IrnConfig, NeuralTrainConfig};
+use irs_data::split::{split_dataset, SplitConfig};
+use irs_data::synth::{generate, SynthConfig};
+use irs_serve::{
+    BatchPolicy, Engine, HttpServer, IrnArchitecture, JsonValue, ServerConfig, SnapshotLoader,
+    SnapshotRegistry,
+};
+
+fn request(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, JsonValue) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status: u16 = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed response: {response:?}"));
+    let payload = response.split("\r\n\r\n").nth(1).unwrap_or("");
+    let json =
+        JsonValue::parse(payload).unwrap_or_else(|e| panic!("bad JSON body {payload:?}: {e}"));
+    (status, json)
+}
+
+fn stat(stats: &JsonValue, key: &str) -> usize {
+    stats.get(key).and_then(JsonValue::as_usize).unwrap_or_else(|| panic!("missing stat {key}"))
+}
+
+#[test]
+fn hot_swap_invalidates_session_caches() {
+    let dataset = generate(&SynthConfig::tiny(0x5a1)).dataset;
+    let split = split_dataset(&dataset, &SplitConfig::small());
+    let n = dataset.num_items;
+    let config = IrnConfig {
+        dim: 8,
+        user_dim: 4,
+        layers: 1,
+        heads: 2,
+        max_len: 10,
+        layout: EncodingLayout::AppendOnly,
+        train: NeuralTrainConfig { epochs: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let model_a = Irn::fit(&split.train, &[], n, dataset.num_users, &config, None);
+    // Same architecture, different training seed: genuinely different
+    // weights behind the same loader.
+    let config_b = IrnConfig {
+        train: NeuralTrainConfig { epochs: 1, seed: 0x5eed, ..Default::default() },
+        ..config.clone()
+    };
+    let model_b = Irn::fit(&split.train, &[], n, dataset.num_users, &config_b, None);
+
+    let dir = std::env::temp_dir().join("irs_serve_cache_swap_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path_a = dir.join("a.irsp");
+    let path_b = dir.join("b.irsp");
+    model_a.save(std::fs::File::create(&path_a).unwrap()).unwrap();
+    model_b.save(std::fs::File::create(&path_b).unwrap()).unwrap();
+
+    // Pick an objective whose first three proposals (two on A with a
+    // growing path, the third on B) stay distinct from the objective, so
+    // the session is still open when the post-swap step runs.
+    let user = 1usize;
+    let history = [0usize, 5];
+    let (objective, i1, i2, i3) = (0..n)
+        .filter(|obj| !history.contains(obj))
+        .find_map(|obj| {
+            let i1 = model_a.next_item(user, &history, obj, &[]).filter(|&i| i != obj)?;
+            let i2 = model_a.next_item(user, &history, obj, &[i1]).filter(|&i| i != obj)?;
+            let i3 = model_b.next_item(user, &history, obj, &[i1, i2]).filter(|&i| i != obj)?;
+            Some((obj, i1, i2, i3))
+        })
+        .expect("no objective keeps the session open for three steps");
+
+    let arch =
+        IrnArchitecture { num_items: n, num_users: dataset.num_users, config: config.clone() };
+    let initial = arch.load_snapshot(path_a.to_str().unwrap()).unwrap();
+    let registry = Arc::new(SnapshotRegistry::new(initial));
+    let engine = Arc::new(Engine::start(
+        registry,
+        BatchPolicy {
+            max_batch: 8,
+            max_wait: Duration::from_micros(200),
+            workers: 2,
+            queue_capacity: 64,
+        },
+    ));
+    let loader: SnapshotLoader = {
+        let arch = arch.clone();
+        Arc::new(move |path: &str| arch.load_snapshot(path))
+    };
+    let server = HttpServer::bind(
+        "127.0.0.1:0",
+        engine.clone(),
+        Some(loader),
+        ServerConfig { session_shards: 4, context_cache_mb: 8, ..Default::default() },
+    )
+    .expect("bind");
+    let addr = server.local_addr().unwrap();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let body = format!(
+        "{{\"user\": {user}, \"history\": [{}], \"objective\": {objective}}}",
+        history.map(|i| i.to_string()).join(",")
+    );
+    let (status, created) = request(addr, "POST", "/v1/session", &body);
+    assert_eq!(status, 200, "create failed: {created}");
+    let sid = created.get("session_id").and_then(JsonValue::as_usize).expect("session id");
+    let next_url = format!("/v1/session/{sid}/next");
+    let feedback_url = format!("/v1/session/{sid}/feedback");
+
+    // Step 1: a fresh cache is primed (miss) and parked.
+    let (status, next) = request(addr, "POST", &next_url, "");
+    assert_eq!(status, 200);
+    assert_eq!(next.get("item").and_then(JsonValue::as_usize), Some(i1), "step 1 diverged from A");
+    let (status, _) =
+        request(addr, "POST", &feedback_url, &format!("{{\"item\": {i1}, \"accepted\": true}}"));
+    assert_eq!(status, 200);
+
+    // Step 2: the parked cache's prefix extends — a hit.
+    let (status, next) = request(addr, "POST", &next_url, "");
+    assert_eq!(status, 200);
+    assert_eq!(next.get("item").and_then(JsonValue::as_usize), Some(i2), "step 2 diverged from A");
+    let (_, stats) = request(addr, "GET", "/v1/stats", "");
+    assert!(stat(&stats, "cache_hits") >= 1, "step 2 must hit the parked cache: {stats}");
+    assert!(stat(&stats, "cache_misses") >= 1, "step 1 must have primed cold: {stats}");
+    assert!(stat(&stats, "cache_resident_bytes") > 0, "a cache must be parked: {stats}");
+    assert_eq!(stat(&stats, "cache_invalidations"), 0, "no swap has happened yet: {stats}");
+    let (status, _) =
+        request(addr, "POST", &feedback_url, &format!("{{\"item\": {i2}, \"accepted\": true}}"));
+    assert_eq!(status, 200);
+
+    // Hot-swap to B mid-session.
+    let (status, swap) = request(
+        addr,
+        "POST",
+        "/v1/admin/swap",
+        &format!("{{\"path\": {}}}", JsonValue::from(path_b.to_str().unwrap())),
+    );
+    assert_eq!(status, 200, "swap failed: {swap}");
+    assert_eq!(swap.get("version").and_then(JsonValue::as_usize), Some(2));
+
+    // Step 3: the parked cache's generation is stale — it must be
+    // discarded and the answer must come from B's weights.
+    let (status, next) = request(addr, "POST", &next_url, "");
+    assert_eq!(status, 200);
+    assert_eq!(
+        next.get("item").and_then(JsonValue::as_usize),
+        Some(i3),
+        "post-swap step must answer from the new snapshot, not stale cached rows"
+    );
+    let (_, stats) = request(addr, "GET", "/v1/stats", "");
+    assert!(stat(&stats, "cache_invalidations") >= 1, "swap must invalidate the cache: {stats}");
+
+    let (status, _) = request(addr, "POST", "/v1/admin/shutdown", "");
+    assert_eq!(status, 200);
+    server_thread.join().expect("server thread").expect("server run");
+    engine.shutdown();
+}

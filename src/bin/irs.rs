@@ -7,6 +7,7 @@
 //! irs evaluate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
 //! irs serve     --model FILE [--port P] [--max-batch B] [--max-wait-us U] [--workers W]
 //!               [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S]
+//!               [--context-cache-mb MB]
 //! irs demo      [--dataset ...]
 //! ```
 //!
@@ -19,14 +20,15 @@
 //! architecture check.
 //!
 //! `serve` exposes the online serving subsystem (`irs_serve`): per-user
-//! sessions, dynamic micro-batching, and `POST /v1/admin/swap` hot-swaps
-//! of retrained snapshots.
+//! sessions, dynamic micro-batching, `POST /v1/admin/swap` hot-swaps of
+//! retrained snapshots, and incremental per-session context caches
+//! (budgeted by `--context-cache-mb`; hot-swaps invalidate them).
 
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
-use influential_rs::core::{generate_influence_path, Irn, IrnConfig};
+use influential_rs::core::{generate_influence_path, EncodingLayout, Irn, IrnConfig};
 use influential_rs::data::loaders::{load_dataset_from_files, RatingsFormat};
 use influential_rs::data::preprocess::PreprocessConfig;
 use influential_rs::data::stats::dataset_stats;
@@ -59,6 +61,12 @@ struct Opts {
     session_ttl_s: u64,
     http_workers: usize,
     idle_timeout_s: u64,
+    /// Byte budget (MiB) for per-session context caches (0 disables).
+    context_cache_mb: usize,
+    /// Inference-time sequence layout for the IRN scoring paths.
+    /// `append` keeps encoded prefixes stable so serve steps can use the
+    /// per-session context cache; `prepadded` is the paper's layout.
+    layout: EncodingLayout,
 }
 
 fn usage() -> ExitCode {
@@ -68,7 +76,8 @@ fn usage() -> ExitCode {
          [--users N] [--m M] [--model FILE] [--model-out FILE] \
          [--ratings FILE] [--movies FILE] \
          [--port P] [--max-batch B] [--max-wait-us U] [--workers W] [--patience P] \
-         [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S]"
+         [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S] \
+         [--context-cache-mb MB] [--layout prepadded|append]"
     );
     ExitCode::from(2)
 }
@@ -95,6 +104,8 @@ fn parse_args() -> Result<Opts, String> {
         session_ttl_s: 900,
         http_workers: 0,
         idle_timeout_s: 30,
+        context_cache_mb: 64,
+        layout: EncodingLayout::PrePadded,
     };
     let mut i = 1;
     let take = |args: &[String], i: &mut usize| -> Result<String, String> {
@@ -156,6 +167,17 @@ fn parse_args() -> Result<Opts, String> {
             "--idle-timeout-s" => {
                 opts.idle_timeout_s =
                     take(&args, &mut i)?.parse().map_err(|e| format!("--idle-timeout-s: {e}"))?
+            }
+            "--context-cache-mb" => {
+                opts.context_cache_mb =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--context-cache-mb: {e}"))?
+            }
+            "--layout" => {
+                opts.layout = match take(&args, &mut i)?.as_str() {
+                    "prepadded" | "pre" => EncodingLayout::PrePadded,
+                    "append" | "append-only" => EncodingLayout::AppendOnly,
+                    other => return Err(format!("unknown layout '{other}'")),
+                };
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -289,13 +311,10 @@ fn load_model(opts: &Opts, h: &Harness) -> Result<Irn, String> {
         return Err("this command requires --model FILE (create one with `irs train`)".into());
     };
     let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    Irn::load(
-        std::io::BufReader::new(file),
-        h.dataset.num_items,
-        h.dataset.num_users,
-        &irn_config(h),
-    )
-    .map_err(|e| format!("load failed: {e}"))
+    let mut config = irn_config(h);
+    config.layout = opts.layout;
+    Irn::load(std::io::BufReader::new(file), h.dataset.num_items, h.dataset.num_users, &config)
+        .map_err(|e| format!("load failed: {e}"))
 }
 
 fn paths_for(h: &Harness, irn: &Irn, m: usize) -> Vec<PathRecord> {
@@ -370,10 +389,15 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Layout is a scoring-path choice, not an architecture difference:
+    // the same IRSP weights load under either, so any trained snapshot
+    // can be served append-only (which is what enables caching).
+    let mut irn_cfg = cfg.irn_config();
+    irn_cfg.layout = opts.layout;
     let arch = IrnArchitecture {
         num_items: dataset.num_items,
         num_users: dataset.num_users,
-        config: cfg.irn_config(),
+        config: irn_cfg,
     };
     let initial = match arch.load_snapshot(model_path) {
         Ok(s) => s,
@@ -407,6 +431,7 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             session_ttl,
             http_workers: opts.http_workers,
             idle_timeout: Duration::from_secs(opts.idle_timeout_s.max(1)),
+            context_cache_mb: opts.context_cache_mb,
             ..Default::default()
         },
     ) {
@@ -429,6 +454,17 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
     match session_ttl {
         Some(ttl) => eprintln!("idle sessions evicted after {} s", ttl.as_secs()),
         None => eprintln!("session TTL disabled (--session-ttl-s 0)"),
+    }
+    if opts.context_cache_mb == 0 {
+        eprintln!("context caching disabled (--context-cache-mb 0)");
+    } else if opts.layout == EncodingLayout::PrePadded {
+        eprintln!(
+            "context cache budget {} MiB, but the prepadded layout cannot cache — \
+             serve with --layout append to enable incremental steps",
+            opts.context_cache_mb
+        );
+    } else {
+        eprintln!("context cache budget {} MiB (--context-cache-mb)", opts.context_cache_mb);
     }
     eprintln!("POST /v1/admin/shutdown to stop");
     let handle = match server.handle() {
@@ -453,6 +489,14 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
         stats.mean_batch(),
         handle.evicted_sessions(),
         handle.live_sessions()
+    );
+    eprintln!(
+        "context cache: {} hits, {} misses, {} invalidated on swap, {} evicted ({} bytes resident)",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.cache_invalidations,
+        handle.cache_evictions(),
+        handle.cache_resident_bytes()
     );
     ExitCode::SUCCESS
 }
@@ -499,6 +543,8 @@ fn parse_defaults(opts: &Opts) -> Opts {
         session_ttl_s: opts.session_ttl_s,
         http_workers: opts.http_workers,
         idle_timeout_s: opts.idle_timeout_s,
+        context_cache_mb: opts.context_cache_mb,
+        layout: opts.layout,
     }
 }
 
