@@ -21,7 +21,8 @@ use irs_data::split::{split_dataset, SplitConfig};
 use irs_data::synth::{generate, SynthConfig};
 use irs_data::ItemId;
 use irs_serve::{
-    BatchPolicy, Engine, HttpServer, JsonValue, ModelSnapshot, ServerConfig, SnapshotRegistry,
+    BatchPolicy, Engine, FeedbackEvent, HttpServer, IrnOnlineLearner, JsonValue, ModelSnapshot,
+    OnlineConfig, OnlineHandle, OnlineLearner, ServerConfig, SnapshotRegistry,
 };
 use std::hint::black_box;
 
@@ -387,5 +388,97 @@ fn bench_long_session(c: &mut Criterion) {
     }
 }
 
-criterion_group!(benches, bench_serving, bench_long_session);
+/// Cost model of the online-learning loop: how much trainer work one
+/// batch of feedback buys (`fold_64_events`), what a canary publish
+/// costs end to end — serialize the student to IRSP, reload it as a
+/// fresh serving snapshot (`publish_snapshot`) — and the full
+/// replay → fold → publish round-trip through the trainer thread's
+/// ticket protocol (`force_publish_e2e`).  All of it runs off the
+/// request path (the trainer owns a cloned student), so these numbers
+/// bound *publish cadence*, not serve latency.
+fn bench_online_loop(c: &mut Criterion) {
+    let dataset = generate(&SynthConfig::tiny(0x0011)).dataset;
+    let split = split_dataset(&dataset, &SplitConfig::small());
+    let n = dataset.num_items;
+    let config = IrnConfig {
+        dim: 16,
+        user_dim: 4,
+        layers: 1,
+        heads: 2,
+        max_len: 12,
+        train: NeuralTrainConfig { epochs: 1, ..Default::default() },
+        ..Default::default()
+    };
+    let irn = Irn::fit(&split.train, &[], n, dataset.num_users, &config, None);
+    // The trainer owns its own student copies (IRSP round-trip — the
+    // same path `irs serve --online-train` boots the student through).
+    let mut bytes = Vec::new();
+    irn.save(&mut bytes).expect("serialize student");
+    let reload = |bytes: &[u8]| Irn::load(bytes, n, dataset.num_users, &config).expect("reload");
+
+    // A replay batch of accepted feedback shaped like live traffic:
+    // short contexts, one accepted item each.
+    let events: Vec<FeedbackEvent> = (0..64)
+        .map(|i| {
+            let tc = &split.test[i % split.test.len()];
+            FeedbackEvent {
+                user: tc.user,
+                context: tc.history.clone(),
+                item: (tc.history.last().copied().unwrap_or(0) + 1) % n,
+                accepted: true,
+            }
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("online_loop");
+    group.sample_size(10);
+    let mut learner = IrnOnlineLearner::new(reload(&bytes));
+    group.bench_function("fold_64_events", |b| {
+        b.iter(|| black_box(learner.fold(black_box(&events))))
+    });
+    group.bench_function("publish_snapshot", |b| {
+        b.iter(|| black_box(learner.publish().expect("publish")))
+    });
+
+    // The full loop: push a replay batch, ring the trainer, wait for
+    // the canary snapshot to land on arm 1.
+    let student = reload(&bytes);
+    let registry = Arc::new(SnapshotRegistry::new(ModelSnapshot::in_memory_with_catalogue(
+        "bench",
+        Box::new(irn),
+        n,
+    )));
+    let handle = OnlineHandle::start(
+        registry,
+        OnlineConfig { publish_every: Duration::from_secs(3600), replay_cap: 1024 },
+        move || Box::new(IrnOnlineLearner::new(student)) as Box<dyn OnlineLearner>,
+    );
+    group.bench_function("force_publish_e2e", |b| {
+        b.iter(|| {
+            for e in &events {
+                handle.replay().push(e.clone());
+            }
+            black_box(handle.force_publish(Duration::from_secs(60)).expect("force publish"))
+        })
+    });
+    group.finish();
+    handle.stop();
+
+    let results = criterion::recorded_results();
+    let median = |name: &str| -> Option<f64> {
+        results.iter().find(|(n, _)| n.contains(name)).map(|(_, ns)| *ns)
+    };
+    if let (Some(fold), Some(publish), Some(e2e)) =
+        (median("fold_64_events"), median("publish_snapshot"), median("force_publish_e2e"))
+    {
+        println!(
+            "online loop: fold 64 events {:.0} µs, publish {:.0} µs, e2e round-trip {:.0} µs",
+            fold / 1e3,
+            publish / 1e3,
+            e2e / 1e3
+        );
+    }
+}
+
+criterion_group!(benches, bench_serving, bench_long_session, bench_online_loop);
 criterion_main!(benches);

@@ -261,6 +261,11 @@ impl Irn {
         self.num_items
     }
 
+    /// Number of users the model was trained for (at least 1).
+    pub fn num_users(&self) -> usize {
+        self.num_users
+    }
+
     /// Serialise the trained parameters (IRSP format, see
     /// `irs_nn::ParamStore::save_parameters`).
     pub fn save<W: std::io::Write>(&self, writer: W) -> std::io::Result<()> {
@@ -375,7 +380,13 @@ impl Irn {
         (users, inputs, targets, pad_lens)
     }
 
-    fn train_step(&mut self, g: &Graph, batch: &[&SubSeq], step: u64, opt: &mut Adam) -> f32 {
+    pub(crate) fn train_step(
+        &mut self,
+        g: &Graph,
+        batch: &[&SubSeq],
+        step: u64,
+        opt: &mut Adam,
+    ) -> f32 {
         let pad = pad_token(self.num_items);
         let (users, inputs, targets, pad_lens) = self.prepare_batch(batch);
         g.reset();

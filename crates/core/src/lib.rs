@@ -48,6 +48,7 @@ pub mod interactive;
 mod irn;
 pub mod kg;
 pub mod objective;
+pub mod online;
 mod pf2inf;
 mod rec2inf;
 mod vanilla;
@@ -111,6 +112,7 @@ pub use irs_baselines::NeuralTrainConfig;
 pub use irs_nn::{CacheState, EncodingLayout};
 pub use kg::KgPf2Inf;
 pub use objective::{ObjectiveSet, SetObjectiveRecommender};
+pub use online::IncrementalTrainer;
 pub use pf2inf::{PathAlgorithm, Pf2Inf};
 pub use rec2inf::Rec2Inf;
 pub use vanilla::Vanilla;

@@ -1,0 +1,167 @@
+//! Incremental (online) training entry point.
+//!
+//! [`Irn::fit`] owns the full offline loop: epochs, shuffling, the LR
+//! scheduler.  A *serving* process retraining from live feedback needs
+//! something narrower — fold a small batch of fresh subsequences into an
+//! already-trained model, cheaply and repeatedly, without restarting the
+//! optimiser or re-touching the dataset.  [`IncrementalTrainer`] is that
+//! entry point: it wraps a student [`Irn`] together with one persistent
+//! [`Graph`] tape (recycled via `Graph::reset()`, the training-engine-v2
+//! arena, so steady-state folds are allocation-free) and one [`Adam`]
+//! state that survives across folds — optimizer moments keep
+//! accumulating exactly as they would inside a longer `fit` run.
+//!
+//! The trainer is deliberately *not* the served model: callers train a
+//! private student and publish parameter snapshots (via
+//! [`IncrementalTrainer::snapshot_bytes`], the IRSP writer) to whatever
+//! serves traffic — training can never corrupt in-flight scoring.
+//!
+//! `Graph` is not `Send` (its tape records non-`Send` backward
+//! closures), so an `IncrementalTrainer` must be *constructed on* the
+//! thread that folds; the [`Irn`] itself moves across threads freely.
+
+use irs_data::split::SubSeq;
+use irs_nn::Adam;
+use irs_tensor::Graph;
+
+use crate::irn::Irn;
+
+/// Online fine-tuning state around a student [`Irn`] (see module docs).
+pub struct IncrementalTrainer {
+    model: Irn,
+    graph: Graph,
+    opt: Adam,
+    step: u64,
+    batch_size: usize,
+}
+
+impl IncrementalTrainer {
+    /// Wrap `model` for incremental updates.  Learning rate and batch
+    /// size come from the model's own `NeuralTrainConfig`; Adam moments
+    /// start fresh (the offline run's moments are not serialised in
+    /// IRSP).
+    pub fn new(model: Irn) -> Self {
+        let train = &model.config().train;
+        let lr = train.lr;
+        let batch_size = train.batch_size.max(1);
+        IncrementalTrainer { model, graph: Graph::new(), opt: Adam::new(lr), step: 0, batch_size }
+    }
+
+    /// The student model (read-only; publish it with
+    /// [`IncrementalTrainer::snapshot_bytes`]).
+    pub fn model(&self) -> &Irn {
+        &self.model
+    }
+
+    /// Optimiser steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Fold one pass over `seqs` into the student: minibatches of the
+    /// configured size, each a full forward/backward/clipped-update step
+    /// on the recycled tape.  Returns the mean minibatch loss (`NaN`
+    /// when `seqs` is empty).  Subsequences shorter than 2 items carry
+    /// no real shifted target and are skipped.
+    pub fn fold(&mut self, seqs: &[SubSeq]) -> f32 {
+        let usable: Vec<&SubSeq> = seqs.iter().filter(|s| s.items.len() >= 2).collect();
+        if usable.is_empty() {
+            return f32::NAN;
+        }
+        let mut total = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in usable.chunks(self.batch_size) {
+            total += self.model.train_step(&self.graph, chunk, self.step, &mut self.opt);
+            self.step += 1;
+            batches += 1;
+        }
+        total / batches as f32
+    }
+
+    /// Serialise the student's current parameters (IRSP bytes, ready for
+    /// `Irn::load` / a snapshot registry).
+    pub fn snapshot_bytes(&self) -> std::io::Result<Vec<u8>> {
+        let mut bytes = Vec::new();
+        self.model.save(&mut bytes)?;
+        Ok(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::irn::IrnConfig;
+    use irs_baselines::NeuralTrainConfig;
+
+    fn tiny_config() -> IrnConfig {
+        IrnConfig {
+            dim: 8,
+            user_dim: 4,
+            layers: 1,
+            heads: 2,
+            max_len: 8,
+            train: NeuralTrainConfig { epochs: 1, batch_size: 4, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    fn seqs(n: usize) -> Vec<SubSeq> {
+        (0..n)
+            .map(|s| SubSeq { user: s % 3, items: (0..5).map(|k| (s + k) % 8).collect() })
+            .collect()
+    }
+
+    #[test]
+    fn fold_trains_and_loss_falls_on_repeated_corpus() {
+        let model = Irn::fit(&seqs(8), &[], 8, 3, &tiny_config(), None);
+        let mut trainer = IncrementalTrainer::new(model);
+        let corpus = seqs(8);
+        let first = trainer.fold(&corpus);
+        assert!(first.is_finite());
+        let mut last = first;
+        for _ in 0..12 {
+            last = trainer.fold(&corpus);
+        }
+        assert!(last.is_finite());
+        assert!(last < first, "repeated folds must reduce loss ({first} -> {last})");
+        assert!(trainer.steps() >= 13 * 2, "4-sized minibatches over 8 seqs = 2 steps per fold");
+    }
+
+    #[test]
+    fn fold_skips_degenerate_and_empty_input() {
+        let model = Irn::fit(&seqs(8), &[], 8, 3, &tiny_config(), None);
+        let mut trainer = IncrementalTrainer::new(model);
+        assert!(trainer.fold(&[]).is_nan());
+        let short = vec![SubSeq { user: 0, items: vec![3] }];
+        assert!(trainer.fold(&short).is_nan(), "1-item seqs have no shifted target");
+        assert_eq!(trainer.steps(), 0);
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip_into_a_scoring_model() {
+        let cfg = tiny_config();
+        let model = Irn::fit(&seqs(8), &[], 8, 3, &cfg, None);
+        let mut trainer = IncrementalTrainer::new(model);
+        trainer.fold(&seqs(8));
+        let bytes = trainer.snapshot_bytes().unwrap();
+        let student = Irn::load(&bytes[..], 8, 3, &cfg).unwrap();
+        // The loaded copy scores exactly like the student it was
+        // serialised from.
+        assert_eq!(
+            student.score_next(0, &[1, 2], 5),
+            trainer.model().score_next(0, &[1, 2], 5),
+            "published snapshot must answer like the student"
+        );
+    }
+
+    #[test]
+    fn folding_changes_the_published_parameters() {
+        let cfg = tiny_config();
+        let model = Irn::fit(&seqs(8), &[], 8, 3, &cfg, None);
+        let mut trainer = IncrementalTrainer::new(model);
+        let before = trainer.snapshot_bytes().unwrap();
+        trainer.fold(&seqs(8));
+        let after = trainer.snapshot_bytes().unwrap();
+        assert_ne!(before, after, "a fold must move the parameters");
+    }
+}

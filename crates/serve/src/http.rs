@@ -17,8 +17,19 @@
 //! | `POST /v1/session/{id}/next`    | → `{item, done}` (blocks through the scheduler) |
 //! | `POST /v1/session/{id}/feedback`| `{item, accepted}` → `{done, reached_objective, …}` |
 //! | `DELETE /v1/session/{id}`       | → final outcome |
-//! | `POST /v1/admin/swap`           | `{path}` → `{version, label}` (hot-swap) |
+//! | `POST /v1/admin/swap`           | `{path}` → `{version, label}` (hot-swap, stable arm) |
+//! | `POST /v1/admin/split`          | `{weights}` → `{weights}` (traffic split across arms) |
+//! | `POST /v1/admin/promote`        | → `{version}` (canary becomes stable, 100% traffic) |
+//! | `POST /v1/admin/rollback`       | → `{version}` (canary reset to stable, 100% stable) |
+//! | `POST /v1/admin/publish`        | → `{version}` (force an online-trainer publish tick) |
 //! | `POST /v1/admin/shutdown`       | → `{ok}` and the accept loop exits |
+//!
+//! Sessions are sticky-assigned to a traffic arm at creation by the
+//! seeded weighted draw in [`crate::split`]; every request the session
+//! makes scores against that arm's snapshot, and `/v1/stats` reports
+//! per-arm request/acceptance/latency counters so a canary can be
+//! compared against stable on live traffic before `promote` flips it to
+//! 100%.
 //!
 //! Protocol behaviour: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
 //! close, and the `Connection` header overrides either way; every
@@ -44,13 +55,17 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use irs_core::InteractiveSession;
+use irs_nn::EncodingLayout;
+use parking_lot::RwLock;
 
 use crate::conn::{Conn, RequestSpans};
 use crate::json::{write_json_num, write_json_str, JsonRef};
+use crate::online::{FeedbackEvent, ForcePublishError, OnlineHandle};
 use crate::pool;
 use crate::scheduler::Engine;
 use crate::session::SessionStore;
-use crate::snapshot::SnapshotLoader;
+use crate::snapshot::{SnapshotLoader, CANARY_ARM, NUM_ARMS};
+use crate::split::TrafficSplit;
 use crate::workspace::RequestWorkspace;
 
 /// Frontend configuration.
@@ -87,6 +102,13 @@ pub struct ServerConfig {
     /// least-recently-seen session's cache is evicted first.  `irs
     /// serve` exposes this as `--context-cache-mb`.
     pub context_cache_mb: usize,
+    /// The encoding layout the served models score with, reported in the
+    /// startup log and `/v1/stats` (`None` when the frontend serves
+    /// non-IRN models and the layout doesn't apply).
+    pub layout: Option<EncodingLayout>,
+    /// Seed for the sticky session→arm traffic-split hash; a fixed seed
+    /// makes arm assignment reproducible across restarts.
+    pub split_seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -101,6 +123,8 @@ impl Default for ServerConfig {
             http_workers: 0,
             idle_timeout: Duration::from_secs(30),
             context_cache_mb: 64,
+            layout: None,
+            split_seed: 0x1e5_c0de,
         }
     }
 }
@@ -120,6 +144,12 @@ pub(crate) struct ServerState {
     /// Currently open client connections (incremented at accept,
     /// decremented when a [`Conn`] drops).
     open_conns: Arc<AtomicUsize>,
+    /// Sticky session→arm assignment plus per-arm serving metrics.
+    split: TrafficSplit,
+    /// The online trainer, when `--online-train` attached one.  Handlers
+    /// clone the `Arc` out of the read guard, so a slow forced publish
+    /// never holds this lock (stats stay responsive).
+    online: RwLock<Option<Arc<OnlineHandle>>>,
 }
 
 /// A bound (but not yet running) HTTP server.
@@ -205,14 +235,25 @@ impl HttpServer {
                 config.context_cache_mb.saturating_mul(1024 * 1024),
             ),
             loader,
+            split: TrafficSplit::new(config.split_seed),
             config,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             evicted: std::sync::atomic::AtomicU64::new(0),
             http_workers,
             open_conns: Arc::new(AtomicUsize::new(0)),
+            online: RwLock::new(None),
         });
         Ok(HttpServer { listener, state })
+    }
+
+    /// Attach a running online trainer: `POST
+    /// /v1/session/{id}/feedback` starts logging replay events,
+    /// `/v1/admin/publish` forces publish ticks, and `/v1/stats` gains
+    /// the `online_*` counters.  The trainer is stopped when
+    /// [`HttpServer::run`] returns.
+    pub fn set_online(&self, handle: OnlineHandle) {
+        *self.state.online.write() = Some(Arc::new(handle));
     }
 
     /// The bound address (use port 0 in `bind` for an ephemeral port).
@@ -296,6 +337,13 @@ impl HttpServer {
         let _ = poller.join();
         if let Some(sweeper) = sweeper {
             let _ = sweeper.join();
+        }
+        // Stop the online trainer last: every route that could log a
+        // feedback event or force a publish has already drained.  The
+        // stop is a bounded join — a stalled trainer is detached, never
+        // a shutdown hang.
+        if let Some(online) = self.state.online.read().clone() {
+            online.stop();
         }
         Ok(())
     }
@@ -479,6 +527,10 @@ fn route(
         (b"POST", [Some("v1"), Some("admin"), Some("swap"), None]) => {
             swap_snapshot(state, ws, body)
         }
+        (b"POST", [Some("v1"), Some("admin"), Some("split"), None]) => set_split(state, ws, body),
+        (b"POST", [Some("v1"), Some("admin"), Some("promote"), None]) => promote(state, ws),
+        (b"POST", [Some("v1"), Some("admin"), Some("rollback"), None]) => rollback(state, ws),
+        (b"POST", [Some("v1"), Some("admin"), Some("publish"), None]) => force_publish(state, ws),
         (b"POST", [Some("v1"), Some("admin"), Some("shutdown"), None]) => {
             state.shutdown.store(true, Ordering::SeqCst);
             // Unblock the accept loop from a detached thread so the
@@ -494,9 +546,10 @@ fn route(
         | (_, [Some("v1"), Some("session"), None, None])
         | (_, [Some("v1"), Some("session"), Some(_), None])
         | (_, [Some("v1"), Some("session"), Some(_), Some("next" | "feedback")])
-        | (_, [Some("v1"), Some("admin"), Some("swap" | "shutdown"), None]) => {
-            Err(HttpError::new(405, "method not allowed"))
-        }
+        | (
+            _,
+            [Some("v1"), Some("admin"), Some("swap" | "split" | "promote" | "rollback" | "publish" | "shutdown"), None],
+        ) => Err(HttpError::new(405, "method not allowed")),
         _ => Err(HttpError::not_found(format!("no route for {target}"))),
     }
 }
@@ -591,9 +644,81 @@ fn stats_payload(state: &Arc<ServerState>, b: &mut Vec<u8>) {
     write_json_num(b, state.http_workers as f64);
     b.extend_from_slice(b",\"open_connections\":");
     write_json_num(b, state.open_conns.load(Ordering::Relaxed) as f64);
+    // Serving configuration, reported exactly as the startup log prints
+    // it so operators can cross-check the two.
+    b.extend_from_slice(b",\"layout\":");
+    write_json_str(b, layout_name(state.config.layout));
+    b.extend_from_slice(b",\"context_cache_budget_mb\":");
+    write_json_num(b, state.config.context_cache_mb as f64);
+    // Per-arm traffic split: weights, census, served snapshot and the
+    // canary-comparison counters.  Flat keys (`arm0_*`/`arm1_*`) so
+    // shell pipelines can extract them with one sed each.
+    let weights = state.split.weights();
+    let census = state.sessions.arm_census();
+    for arm in 0..NUM_ARMS {
+        let metrics = state.split.metrics(arm);
+        let (snap, version) = state.engine.registry().arm_versioned(arm);
+        let _ = write!(b, ",\"arm{arm}_weight\":");
+        write_json_num(b, weights[arm]);
+        let _ = write!(b, ",\"arm{arm}_snapshot\":");
+        write_json_str(b, &snap.label);
+        let _ = write!(b, ",\"arm{arm}_version\":");
+        write_json_num(b, version as f64);
+        let _ = write!(b, ",\"arm{arm}_sessions\":");
+        write_json_num(b, census[arm] as f64);
+        let _ = write!(b, ",\"arm{arm}_requests\":");
+        write_json_num(b, metrics.requests() as f64);
+        let _ = write!(b, ",\"arm{arm}_accepted\":");
+        write_json_num(b, metrics.accepted() as f64);
+        let _ = write!(b, ",\"arm{arm}_rejected\":");
+        write_json_num(b, metrics.rejected() as f64);
+        let _ = write!(b, ",\"arm{arm}_acceptance_rate\":");
+        write_json_num(b, metrics.acceptance_rate());
+        let _ = write!(b, ",\"arm{arm}_p50_us\":");
+        write_json_num(b, metrics.latency_quantile_us(0.5));
+        let _ = write!(b, ",\"arm{arm}_p95_us\":");
+        write_json_num(b, metrics.latency_quantile_us(0.95));
+    }
+    // Online-learning counters (zeroes when --online-train is off, so
+    // dashboards can scrape one stable schema).
+    let online = state.online.read().clone();
+    b.extend_from_slice(b",\"online_enabled\":");
+    b.extend_from_slice(if online.is_some() { b"true" } else { b"false" });
+    let stats = online.as_ref().map(|h| h.stats());
+    b.extend_from_slice(b",\"online_events_logged\":");
+    write_json_num(b, stats.map_or(0, |s| s.events_logged) as f64);
+    b.extend_from_slice(b",\"online_events_dropped\":");
+    write_json_num(b, stats.map_or(0, |s| s.events_dropped) as f64);
+    b.extend_from_slice(b",\"online_replay_len\":");
+    write_json_num(b, stats.map_or(0, |s| s.replay_len as u64) as f64);
+    b.extend_from_slice(b",\"online_folds\":");
+    write_json_num(b, stats.map_or(0, |s| s.folds) as f64);
+    b.extend_from_slice(b",\"online_examples\":");
+    write_json_num(b, stats.map_or(0, |s| s.examples) as f64);
+    b.extend_from_slice(b",\"online_publishes\":");
+    write_json_num(b, stats.map_or(0, |s| s.publishes) as f64);
+    b.extend_from_slice(b",\"online_last_loss\":");
+    match stats.map(|s| s.last_loss) {
+        Some(loss) if loss.is_finite() => write_json_num(b, loss as f64),
+        _ => b.extend_from_slice(b"null"),
+    }
+    b.extend_from_slice(b",\"online_trainer_panics\":");
+    write_json_num(b, stats.map_or(0, |s| s.trainer_panics) as f64);
+    b.extend_from_slice(b",\"online_trainer_alive\":");
+    b.extend_from_slice(if stats.is_some_and(|s| s.trainer_alive) { b"true" } else { b"false" });
     b.extend_from_slice(b",\"uptime_ms\":");
     write_json_num(b, state.started.elapsed().as_millis() as f64);
     b.push(b'}');
+}
+
+/// The operator-facing name of an encoding layout (shared by the startup
+/// log and `/v1/stats`, so the two can never disagree).
+pub fn layout_name(layout: Option<EncodingLayout>) -> &'static str {
+    match layout {
+        Some(EncodingLayout::AppendOnly) => "append",
+        Some(EncodingLayout::PrePadded) => "prepadded",
+        None => "n/a",
+    }
 }
 
 fn create_session(
@@ -653,11 +778,18 @@ fn create_session(
         }
     }
 
-    let id =
-        state.sessions.insert(InteractiveSession::new(user, history, objective, max_len, patience));
+    // Sticky traffic-split assignment: one seeded weighted draw on the
+    // freshly allocated id decides which snapshot arm serves this
+    // session for its whole life.
+    let (id, arm) = state.sessions.insert_assigned(
+        InteractiveSession::new(user, history, objective, max_len, patience),
+        |id| state.split.assign(id),
+    );
     let b = &mut ws.body;
     b.extend_from_slice(b"{\"session_id\":");
     write_json_num(b, id as f64);
+    b.extend_from_slice(b",\"arm\":");
+    write_json_num(b, arm as f64);
     b.extend_from_slice(b",\"max_len\":");
     write_json_num(b, max_len as f64);
     b.extend_from_slice(b",\"patience\":");
@@ -669,7 +801,7 @@ fn create_session(
 /// What the pinned-session read found.
 enum NextState {
     AlreadyDone,
-    Ask { user: usize, objective: usize },
+    Ask { user: usize, objective: usize, arm: usize },
 }
 
 fn next_item(
@@ -686,14 +818,14 @@ fn next_item(
     let caller = &mut ws.caller;
     let (pin, staged) = state
         .sessions
-        .pin_with(id, |s| {
+        .pin_with(id, |s, arm| {
             if s.is_done() {
                 NextState::AlreadyDone
             } else {
                 let q = s.query();
                 caller.history_mut().extend_from_slice(q.history);
                 caller.path_mut().extend_from_slice(q.path);
-                NextState::Ask { user: q.user, objective: q.objective }
+                NextState::Ask { user: q.user, objective: q.objective, arm }
             }
         })
         .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?;
@@ -707,7 +839,7 @@ fn next_item(
             drop(pin);
             b.extend_from_slice(b"{\"item\":null,\"done\":true}");
         }
-        NextState::Ask { user, objective } => {
+        NextState::Ask { user, objective, arm } => {
             // Ride the session's context cache along with the request:
             // the worker extends (or rebuilds) it and hands it back, and
             // it is parked again below while the session is still pinned
@@ -715,7 +847,10 @@ fn next_item(
             if state.sessions.cache_enabled() {
                 caller.stage_cache(state.sessions.take_cache(id));
             }
+            caller.set_arm(arm);
+            let round_trip = Instant::now();
             let answer = state.engine.next_item_with(caller, user, objective);
+            state.split.metrics(arm).record_request(round_trip.elapsed());
             if let Some(cache) = caller.take_cache() {
                 state.sessions.put_cache(id, cache);
             }
@@ -765,18 +900,118 @@ fn feedback(
             )));
         }
     }
+    let online = state.online.read().clone();
     let b = &mut ws.body;
     state
         .sessions
-        .with(id, |s| {
+        .with_arm(id, |s, arm| {
             if s.is_done() {
                 return Err(HttpError::bad_request(format!("session {id} is already closed")));
             }
+            // Log the replay event *before* recording: the event's
+            // context is the user's state at proposal time, the item is
+            // what the arm proposed, and `accepted` is the ground-truth
+            // label the online trainer learns from.  (This allocates the
+            // context vector — the feedback route is off the
+            // allocation-free steady-state path, and only pays it when
+            // online training is on.)
+            if let Some(handle) = &online {
+                handle.replay().push(FeedbackEvent {
+                    user: s.user(),
+                    context: s.context(),
+                    item,
+                    accepted,
+                });
+            }
             s.record(item, accepted);
+            state.split.metrics(arm).record_feedback(accepted);
             write_session_payload(b, id, s);
             Ok(200)
         })
         .ok_or_else(|| HttpError::not_found(format!("unknown session {id}")))?
+}
+
+fn set_split(
+    state: &Arc<ServerState>,
+    ws: &mut RequestWorkspace,
+    body: &[u8],
+) -> Result<u16, HttpError> {
+    let parsed = parse_body(&mut ws.slab, body)?;
+    let weights_field = parsed
+        .get("weights")
+        .filter(|w| w.is_arr())
+        .ok_or_else(|| HttpError::bad_request("missing or invalid 'weights'"))?;
+    let mut weights = Vec::with_capacity(NUM_ARMS);
+    for w in weights_field.children() {
+        weights.push(w.as_f64().ok_or_else(|| HttpError::bad_request("invalid weight entry"))?);
+    }
+    let normalised = state.split.set_weights(&weights).map_err(HttpError::bad_request)?;
+    write_weights_payload(&mut ws.body, &normalised);
+    Ok(200)
+}
+
+fn write_weights_payload(b: &mut Vec<u8>, weights: &[f64; NUM_ARMS]) {
+    b.extend_from_slice(b"{\"weights\":[");
+    for (i, w) in weights.iter().enumerate() {
+        if i > 0 {
+            b.push(b',');
+        }
+        write_json_num(b, *w);
+    }
+    b.extend_from_slice(b"]}");
+}
+
+fn promote(state: &Arc<ServerState>, ws: &mut RequestWorkspace) -> Result<u16, HttpError> {
+    // The canary won: stable takes its (snapshot, version) pair and all
+    // traffic flows to the stable arm again.
+    let version = state.engine.registry().promote(CANARY_ARM);
+    let mut weights = [0.0; NUM_ARMS];
+    weights[0] = 1.0;
+    let _ = state.split.set_weights(&weights);
+    let b = &mut ws.body;
+    b.extend_from_slice(b"{\"version\":");
+    write_json_num(b, version as f64);
+    b.extend_from_slice(b",\"promoted\":true}");
+    Ok(200)
+}
+
+fn rollback(state: &Arc<ServerState>, ws: &mut RequestWorkspace) -> Result<u16, HttpError> {
+    // The canary lost: reset it to the stable snapshot and drain its
+    // traffic share.
+    let version = state.engine.registry().rollback();
+    let mut weights = [0.0; NUM_ARMS];
+    weights[0] = 1.0;
+    let _ = state.split.set_weights(&weights);
+    let b = &mut ws.body;
+    b.extend_from_slice(b"{\"version\":");
+    write_json_num(b, version as f64);
+    b.extend_from_slice(b",\"rolled_back\":true}");
+    Ok(200)
+}
+
+fn force_publish(state: &Arc<ServerState>, ws: &mut RequestWorkspace) -> Result<u16, HttpError> {
+    // Clone the handle out of the guard first: a slow publish tick must
+    // not hold the online lock (stats keep answering meanwhile).
+    let Some(handle) = state.online.read().clone() else {
+        return Err(HttpError::new(501, "online training not enabled on this server"));
+    };
+    match handle.force_publish(Duration::from_secs(30)) {
+        Ok(version) => {
+            let b = &mut ws.body;
+            b.extend_from_slice(b"{\"version\":");
+            write_json_num(b, version as f64);
+            b.extend_from_slice(b",\"arm\":");
+            write_json_num(b, CANARY_ARM as f64);
+            b.push(b'}');
+            Ok(200)
+        }
+        Err(ForcePublishError::Dead) => {
+            Err(HttpError::new(503, "online trainer has died; serving static snapshots"))
+        }
+        Err(ForcePublishError::Timeout) => {
+            Err(HttpError::new(503, "online trainer did not publish within the timeout"))
+        }
+    }
 }
 
 fn swap_snapshot(

@@ -41,17 +41,26 @@
 mod conn;
 mod http;
 mod json;
+mod online;
 mod pool;
 mod scheduler;
 mod session;
 mod snapshot;
+mod split;
 mod workspace;
 
-pub use http::{HttpServer, ServerConfig, ServerHandle};
+pub use http::{layout_name, HttpServer, ServerConfig, ServerHandle};
 pub use json::{
     write_json_num, write_json_str, JsonError, JsonRef, JsonSlab, JsonValue, MAX_DEPTH,
 };
+pub use online::{
+    FeedbackEvent, FoldOutcome, ForcePublishError, IrnOnlineLearner, OnlineConfig, OnlineHandle,
+    OnlineLearner, OnlineStatsView, ReplayBuffer,
+};
 pub use scheduler::{BatchPolicy, Engine, EngineCaller, StatsSnapshot};
 pub use session::{SessionId, SessionPin, SessionStore};
-pub use snapshot::{IrnArchitecture, ModelSnapshot, SnapshotLoader, SnapshotRegistry};
+pub use snapshot::{
+    IrnArchitecture, ModelSnapshot, SnapshotLoader, SnapshotRegistry, CANARY_ARM, NUM_ARMS,
+};
+pub use split::{ArmMetrics, LatencyHistogram, TrafficSplit};
 pub use workspace::RequestWorkspace;

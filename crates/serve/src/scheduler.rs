@@ -43,7 +43,7 @@ use std::time::{Duration, Instant};
 use irs_core::{ContextCache, NextQuery};
 use irs_data::{ItemId, UserId};
 
-use crate::snapshot::{ModelSnapshot, SnapshotRegistry};
+use crate::snapshot::{ModelSnapshot, SnapshotRegistry, NUM_ARMS};
 
 /// Micro-batching knobs.
 #[derive(Debug, Clone)]
@@ -159,6 +159,8 @@ struct ScoreRequest {
     /// Whether this session participates in context caching at all; when
     /// false the request always takes the batched path untouched.
     want_cache: bool,
+    /// The traffic arm (snapshot slot) this request scores against.
+    arm: usize,
     reply: Reply,
 }
 
@@ -196,6 +198,7 @@ pub struct EngineCaller {
     path: Vec<ItemId>,
     cache: Option<ContextCache>,
     want_cache: bool,
+    arm: usize,
 }
 
 impl EngineCaller {
@@ -207,7 +210,16 @@ impl EngineCaller {
             path: Vec::new(),
             cache: None,
             want_cache: false,
+            arm: 0,
         }
+    }
+
+    /// Score the next round-trip against `arm`'s snapshot (sticky
+    /// traffic-split assignment).  Like the staged cache, this is per
+    /// round-trip: [`Engine::next_item_with`] resets it to the stable
+    /// arm, so a forgotten restage can only ever fall back to stable.
+    pub fn set_arm(&mut self, arm: usize) {
+        self.arm = arm.min(NUM_ARMS - 1);
     }
 
     /// Stage the session's context cache (possibly `None` — a first
@@ -347,7 +359,7 @@ impl Engine {
         path: Vec<ItemId>,
     ) -> Option<ItemId> {
         let slot = Arc::new(ReplySlot::default());
-        self.submit_and_wait(&slot, user, history, objective, path, None, false).0
+        self.submit_and_wait(&slot, user, history, objective, path, None, false, 0).0
     }
 
     /// The allocation-free round-trip: submit a request built from the
@@ -364,14 +376,24 @@ impl Engine {
         let path = mem::take(&mut caller.path);
         let cache = caller.cache.take();
         let want_cache = caller.want_cache;
-        let (answer, mut history, mut path, cache) =
-            self.submit_and_wait(&caller.slot, user, history, objective, path, cache, want_cache);
+        let arm = caller.arm;
+        let (answer, mut history, mut path, cache) = self.submit_and_wait(
+            &caller.slot,
+            user,
+            history,
+            objective,
+            path,
+            cache,
+            want_cache,
+            arm,
+        );
         history.clear();
         path.clear();
         caller.history = history;
         caller.path = path;
         caller.cache = cache;
         caller.want_cache = false;
+        caller.arm = 0;
         answer
     }
 
@@ -385,6 +407,7 @@ impl Engine {
         path: Vec<ItemId>,
         cache: Option<ContextCache>,
         want_cache: bool,
+        arm: usize,
     ) -> (Option<ItemId>, Vec<ItemId>, Vec<ItemId>, Option<ContextCache>) {
         slot.arm();
         {
@@ -402,6 +425,7 @@ impl Engine {
                 path,
                 cache,
                 want_cache,
+                arm: arm.min(NUM_ARMS - 1),
                 reply: Reply::new(slot.clone()),
             });
         }
@@ -532,17 +556,23 @@ fn worker_loop(
     // allocates nothing per batch.
     let mut batch: Vec<ScoreRequest> = Vec::with_capacity(policy.max_batch);
     let mut answers: Vec<Option<ItemId>> = Vec::with_capacity(policy.max_batch);
-    let mut cold: Vec<usize> = Vec::with_capacity(policy.max_batch);
+    let mut cold: [Vec<usize>; NUM_ARMS] =
+        std::array::from_fn(|_| Vec::with_capacity(policy.max_batch));
     let mut cold_answers: Vec<Option<ItemId>> = Vec::with_capacity(policy.max_batch);
     while collect_batch(queue, policy, &mut batch) {
-        // One snapshot per batch: every request in it is scored by the
-        // same model even if a hot-swap lands mid-flight.  The version is
-        // read consistently with the snapshot so generation checks below
-        // can't mix an old model with a new version.
-        let (snapshot, version) = registry.current_versioned();
+        // One snapshot per (batch, arm): every request in the batch bound
+        // for a given arm is scored by the same model even if a publish
+        // lands mid-flight.  Arms are fetched lazily — the common
+        // all-stable batch never touches the canary slot's lock — and
+        // each version is read consistently with its snapshot so the
+        // generation checks below can't mix an old model with a new
+        // version.
+        let mut arms: [Option<(Arc<ModelSnapshot>, u64)>; NUM_ARMS] = std::array::from_fn(|_| None);
         answers.clear();
         answers.resize(batch.len(), None);
-        cold.clear();
+        for c in &mut cold {
+            c.clear();
+        }
         cold_answers.clear();
         // Panic isolation: a model panic (bad input reaching an
         // embedding lookup, a future model bug) must not kill the worker
@@ -554,13 +584,18 @@ fn worker_loop(
             // carrying per-session state take the incremental path one by
             // one (their step is O(1) in the context length, so skipping
             // the batched forward costs nothing), the rest coalesce into
-            // one batched forward as before.
+            // one batched forward *per arm*.
             for i in 0..batch.len() {
                 let req = &mut batch[i];
+                let a = req.arm.min(NUM_ARMS - 1);
                 if !req.want_cache {
-                    cold.push(i);
+                    cold[a].push(i);
                     continue;
                 }
+                let (snapshot, version) = {
+                    let slot = arms[a].get_or_insert_with(|| registry.arm_versioned(a));
+                    (slot.0.clone(), slot.1)
+                };
                 let cache = match req.cache.take() {
                     Some(c) if c.generation == version => Some(c),
                     Some(_stale) => {
@@ -571,7 +606,7 @@ fn worker_loop(
                 };
                 let Some(mut cache) = cache else {
                     // The model has no incremental path; serve batched.
-                    cold.push(i);
+                    cold[a].push(i);
                     continue;
                 };
                 let (answer, hit) =
@@ -581,36 +616,43 @@ fn worker_loop(
                 answers[i] = answer;
                 req.cache = Some(cache);
             }
-            if cold.is_empty() {
-                return true;
-            }
-            if cold.len() <= STACK_QUERIES {
-                let mut qbuf = [EMPTY_QUERY; STACK_QUERIES];
-                for (slot, &i) in qbuf.iter_mut().zip(cold.iter()) {
-                    *slot = batch[i].query();
+            for (a, cold) in cold.iter().enumerate() {
+                if cold.is_empty() {
+                    continue;
                 }
-                snapshot.model.next_items_into(&qbuf[..cold.len()], &mut cold_answers);
-            } else {
-                let queries: Vec<NextQuery<'_>> = cold.iter().map(|&i| batch[i].query()).collect();
-                snapshot.model.next_items_into(&queries, &mut cold_answers);
-            }
-            if cold_answers.len() != cold.len() {
-                return false;
-            }
-            for (&i, answer) in cold.iter().zip(cold_answers.drain(..)) {
-                answers[i] = answer;
+                let snapshot = {
+                    let slot = arms[a].get_or_insert_with(|| registry.arm_versioned(a));
+                    slot.0.clone()
+                };
+                cold_answers.clear();
+                if cold.len() <= STACK_QUERIES {
+                    let mut qbuf = [EMPTY_QUERY; STACK_QUERIES];
+                    for (slot, &i) in qbuf.iter_mut().zip(cold.iter()) {
+                        *slot = batch[i].query();
+                    }
+                    snapshot.model.next_items_into(&qbuf[..cold.len()], &mut cold_answers);
+                } else {
+                    let queries: Vec<NextQuery<'_>> =
+                        cold.iter().map(|&i| batch[i].query()).collect();
+                    snapshot.model.next_items_into(&queries, &mut cold_answers);
+                }
+                if cold_answers.len() != cold.len() {
+                    return false;
+                }
+                for (&i, answer) in cold.iter().zip(cold_answers.drain(..)) {
+                    answers[i] = answer;
+                }
             }
             true
         }));
         match scored {
             Ok(true) => {}
             Ok(false) => {
-                // Cached answers (if any) are sound; only the batched
-                // cold requests went unanswered and stay `None`.
+                // Cached answers and fully-scored arms are sound; only
+                // the short-answered arm's batched cold requests (and any
+                // arm after it) stay `None`.
                 eprintln!(
-                    "irs_serve: model answered {} of {} batched queries; answering None",
-                    cold_answers.len(),
-                    cold.len()
+                    "irs_serve: model under-answered a batched arm; answering None for the rest"
                 );
             }
             Err(_) => {
@@ -782,6 +824,26 @@ mod tests {
             assert_eq!(h.join().unwrap(), Some(10));
         }
         assert_eq!(eng.stats().requests, (STACK_QUERIES + 8) as u64);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn requests_route_to_their_assigned_arm() {
+        use crate::snapshot::CANARY_ARM;
+        let eng = engine(BatchPolicy::default());
+        // Publish a distinguishable model on the canary arm.
+        eng.registry()
+            .publish(CANARY_ARM, ModelSnapshot::in_memory("canary", Box::new(Walker { base: 50 })));
+        let mut caller = EngineCaller::new();
+        assert_eq!(eng.next_item_with(&mut caller, 0, 99), Some(10), "default is stable");
+        caller.set_arm(CANARY_ARM);
+        assert_eq!(eng.next_item_with(&mut caller, 0, 99), Some(50), "canary serves its model");
+        // The arm resets after each round-trip (sticky assignment is
+        // restaged per request by the frontend).
+        assert_eq!(eng.next_item_with(&mut caller, 0, 99), Some(10));
+        // Out-of-range arms clamp instead of panicking.
+        caller.set_arm(99);
+        assert_eq!(eng.next_item_with(&mut caller, 0, 99), Some(50));
         eng.shutdown();
     }
 

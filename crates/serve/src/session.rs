@@ -26,6 +26,8 @@ use std::time::{Duration, Instant};
 use irs_core::{ContextCache, InteractiveSession};
 use parking_lot::Mutex;
 
+use crate::snapshot::NUM_ARMS;
+
 /// Opaque session identifier handed to clients.
 pub type SessionId = u64;
 
@@ -40,6 +42,9 @@ struct Slot {
     /// [`SessionStore::take_cache`]); evicted with the session, or
     /// individually when the store's cache budget runs out.
     cache: Option<ContextCache>,
+    /// The traffic arm the session was sticky-assigned to at creation;
+    /// every request it makes scores against this arm's snapshot.
+    arm: usize,
 }
 
 /// A sharded `SessionId → InteractiveSession` map with idle tracking.
@@ -160,30 +165,43 @@ impl SessionStore {
         &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
-    /// Insert a new session and return its id.
+    /// Insert a new session on the stable arm and return its id.
     pub fn insert(&self, session: InteractiveSession) -> SessionId {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.shard(id)
-            .lock()
-            .insert(id, Slot { session, last_seen: Instant::now(), pins: 0, cache: None });
-        id
+        self.insert_assigned(session, |_| 0).0
     }
 
-    /// Pin the session against TTL eviction and run `f` on it under the
-    /// shard lock — one lock acquisition covers both, so there is no
-    /// window where the sweeper can evict between the read and the pin.
-    /// The pin lasts until the returned [`SessionPin`] is dropped.
-    /// `None` when the id is unknown.
+    /// Insert a new session, letting `assign` pick its sticky traffic arm
+    /// from the freshly allocated id (the id is the split hash's input,
+    /// so assignment has to happen after allocation).  Returns the id and
+    /// the assigned arm (clamped into range).
+    pub fn insert_assigned(
+        &self,
+        session: InteractiveSession,
+        assign: impl FnOnce(SessionId) -> usize,
+    ) -> (SessionId, usize) {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let arm = assign(id).min(NUM_ARMS - 1);
+        self.shard(id)
+            .lock()
+            .insert(id, Slot { session, last_seen: Instant::now(), pins: 0, cache: None, arm });
+        (id, arm)
+    }
+
+    /// Pin the session against TTL eviction and run `f` on it (and its
+    /// assigned arm) under the shard lock — one lock acquisition covers
+    /// both, so there is no window where the sweeper can evict between
+    /// the read and the pin.  The pin lasts until the returned
+    /// [`SessionPin`] is dropped.  `None` when the id is unknown.
     pub fn pin_with<T>(
         &self,
         id: SessionId,
-        f: impl FnOnce(&mut InteractiveSession) -> T,
+        f: impl FnOnce(&mut InteractiveSession, usize) -> T,
     ) -> Option<(SessionPin<'_>, T)> {
         let mut shard = self.shard(id).lock();
         let slot = shard.get_mut(&id)?;
         slot.last_seen = Instant::now();
         slot.pins += 1;
-        let value = f(&mut slot.session);
+        let value = f(&mut slot.session, slot.arm);
         drop(shard);
         Some((SessionPin { store: self, id }, value))
     }
@@ -206,10 +224,32 @@ impl SessionStore {
         id: SessionId,
         f: impl FnOnce(&mut InteractiveSession) -> T,
     ) -> Option<T> {
+        self.with_arm(id, |session, _| f(session))
+    }
+
+    /// Like [`SessionStore::with`], also handing `f` the session's sticky
+    /// traffic arm.
+    pub fn with_arm<T>(
+        &self,
+        id: SessionId,
+        f: impl FnOnce(&mut InteractiveSession, usize) -> T,
+    ) -> Option<T> {
         self.shard(id).lock().get_mut(&id).map(|slot| {
             slot.last_seen = Instant::now();
-            f(&mut slot.session)
+            f(&mut slot.session, slot.arm)
         })
+    }
+
+    /// Live sessions per traffic arm (one pass over every shard; a stats
+    /// endpoint cost, not a request-path one).
+    pub fn arm_census(&self) -> [usize; NUM_ARMS] {
+        let mut census = [0usize; NUM_ARMS];
+        for shard in &self.shards {
+            for slot in shard.lock().values() {
+                census[slot.arm.min(NUM_ARMS - 1)] += 1;
+            }
+        }
+        census
     }
 
     /// Remove a session, returning its final state.
@@ -325,7 +365,7 @@ mod tests {
         let store = SessionStore::new(2);
         let a = store.insert(session(0));
         let b = store.insert(session(1));
-        let (pin, user) = store.pin_with(a, |s| s.user()).unwrap();
+        let (pin, user) = store.pin_with(a, |s, _| s.user()).unwrap();
         assert_eq!(user, 0);
         std::thread::sleep(Duration::from_millis(25));
         // Both sessions look idle, but `a` has a request in flight.
@@ -347,8 +387,8 @@ mod tests {
     fn pin_is_reentrant_across_requests() {
         let store = SessionStore::new(2);
         let a = store.insert(session(0));
-        let (p1, ()) = store.pin_with(a, |_| ()).unwrap();
-        let (p2, ()) = store.pin_with(a, |_| ()).unwrap();
+        let (p1, ()) = store.pin_with(a, |_, _| ()).unwrap();
+        let (p2, ()) = store.pin_with(a, |_, _| ()).unwrap();
         drop(p1);
         std::thread::sleep(Duration::from_millis(20));
         assert_eq!(
@@ -357,7 +397,37 @@ mod tests {
             "second in-flight request must keep the session pinned"
         );
         drop(p2);
-        assert!(store.pin_with(99, |_| ()).is_none(), "unknown ids cannot be pinned");
+        assert!(store.pin_with(99, |_, _| ()).is_none(), "unknown ids cannot be pinned");
+    }
+
+    #[test]
+    fn arm_assignment_is_sticky_and_censused() {
+        let store = SessionStore::new(4);
+        // Odd ids to the canary, even ids stable.
+        let assign = |id: SessionId| (id % 2) as usize;
+        let mut canary = 0usize;
+        let mut ids = Vec::new();
+        for u in 0..10 {
+            let (id, arm) = store.insert_assigned(session(u), assign);
+            assert_eq!(arm, assign(id), "assignment sees the allocated id");
+            canary += arm;
+            ids.push((id, arm));
+        }
+        for &(id, arm) in &ids {
+            assert_eq!(store.with_arm(id, |_, a| a), Some(arm), "arm is sticky");
+            let (pin, pinned_arm) = store.pin_with(id, |_, a| a).unwrap();
+            assert_eq!(pinned_arm, arm);
+            drop(pin);
+        }
+        let census = store.arm_census();
+        assert_eq!(census[1], canary);
+        assert_eq!(census[0] + census[1], 10);
+        // Plain insert defaults to the stable arm; out-of-range
+        // assignments clamp.
+        let a = store.insert(session(0));
+        assert_eq!(store.with_arm(a, |_, arm| arm), Some(0));
+        let (_, clamped) = store.insert_assigned(session(1), |_| 99);
+        assert_eq!(clamped, NUM_ARMS - 1);
     }
 
     struct FakeState(usize);

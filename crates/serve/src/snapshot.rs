@@ -11,6 +11,21 @@
 //! scored by exactly one snapshot, and in-flight batches finish on the
 //! snapshot they started with (the `Arc` keeps it alive until the last
 //! batch drops it).
+//!
+//! ## Arms
+//!
+//! The registry holds [`NUM_ARMS`] independently swappable slots so a
+//! server can split traffic between a *stable* model (arm 0, what
+//! `current()`/`swap()` have always addressed) and a *canary* (arm
+//! [`CANARY_ARM`], where the online trainer publishes).  Versions are
+//! allocated from one shared counter, so a version number identifies a
+//! unique parameter set across arms — per-session context caches tag
+//! their generation with it and stay sound when a session's arm slot is
+//! republished or promoted.  [`SnapshotRegistry::promote`] copies the
+//! canary's `(snapshot, version)` pair into the stable slot (sharing the
+//! `Arc` and the version is exactly right: the weights are identical, so
+//! caches minted against the canary stay valid); `rollback` overwrites
+//! the canary with the stable slot the same way.
 
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,57 +107,135 @@ impl IrnArchitecture {
 /// is the standard implementation).
 pub type SnapshotLoader = Arc<dyn Fn(&str) -> io::Result<ModelSnapshot> + Send + Sync>;
 
-/// Atomically swappable registry of the currently served snapshot.
+/// Number of traffic arms a registry holds (stable + canary).
+pub const NUM_ARMS: usize = 2;
+
+/// The arm the online trainer publishes to.
+pub const CANARY_ARM: usize = 1;
+
+/// One arm's consistently-versioned snapshot slot.
+struct ArmSlot {
+    snapshot: Arc<ModelSnapshot>,
+    version: u64,
+}
+
+/// Atomically swappable registry of the currently served snapshots, one
+/// slot per traffic arm (see module docs).
 pub struct SnapshotRegistry {
-    current: RwLock<Arc<ModelSnapshot>>,
-    version: AtomicU64,
+    arms: [RwLock<ArmSlot>; NUM_ARMS],
+    /// Shared allocator: every publish to any arm draws a globally
+    /// unique version, so cache generations never collide across arms.
+    next_version: AtomicU64,
     swaps: AtomicU64,
 }
 
 impl SnapshotRegistry {
-    /// Create a registry serving `initial` as version 1.
+    /// Create a registry serving `initial` as version 1 on every arm
+    /// (all arms share the one `Arc` until something is published).
     pub fn new(initial: ModelSnapshot) -> Self {
+        let shared = Arc::new(initial);
         SnapshotRegistry {
-            current: RwLock::new(Arc::new(initial)),
-            version: AtomicU64::new(1),
+            arms: std::array::from_fn(|_| {
+                RwLock::new(ArmSlot { snapshot: shared.clone(), version: 1 })
+            }),
+            next_version: AtomicU64::new(2),
             swaps: AtomicU64::new(0),
         }
     }
 
-    /// The currently served snapshot (cheap `Arc` clone under a read
-    /// lock; the lock is never held across a forward pass).
+    /// The currently served stable snapshot (cheap `Arc` clone under a
+    /// read lock; the lock is never held across a forward pass).
     pub fn current(&self) -> Arc<ModelSnapshot> {
-        self.current.read().clone()
+        self.arm(0)
     }
 
-    /// The current snapshot together with its version, read consistently:
-    /// the read lock covers both, and [`SnapshotRegistry::swap`] bumps the
-    /// version while still holding the write guard, so the pair can never
-    /// mix an old snapshot with a new version.  Per-session context caches
-    /// are tagged with this version (their generation) so a hot-swap
-    /// invalidates them instead of replaying them against new weights.
+    /// The stable snapshot together with its version (see
+    /// [`SnapshotRegistry::arm_versioned`]).
     pub fn current_versioned(&self) -> (Arc<ModelSnapshot>, u64) {
-        let guard = self.current.read();
-        (guard.clone(), self.version.load(Ordering::Relaxed))
+        self.arm_versioned(0)
     }
 
-    /// Publish a new snapshot; returns the new version number.  The
-    /// version bump happens under the write guard, keeping
-    /// [`SnapshotRegistry::current_versioned`] consistent.
-    pub fn swap(&self, snapshot: ModelSnapshot) -> u64 {
-        let slot = &mut *self.current.write();
-        *slot = Arc::new(snapshot);
+    /// The snapshot served on `arm` (indices clamp into range so a
+    /// corrupt arm id degrades to the stable model, never a panic).
+    pub fn arm(&self, arm: usize) -> Arc<ModelSnapshot> {
+        self.arms[arm.min(NUM_ARMS - 1)].read().snapshot.clone()
+    }
+
+    /// The arm's snapshot together with its version, read consistently:
+    /// the read lock covers both, and every publish replaces them under
+    /// the write guard, so the pair can never mix an old snapshot with a
+    /// new version.  Per-session context caches are tagged with this
+    /// version (their generation) so a publish invalidates them instead
+    /// of replaying them against new weights.
+    pub fn arm_versioned(&self, arm: usize) -> (Arc<ModelSnapshot>, u64) {
+        let guard = self.arms[arm.min(NUM_ARMS - 1)].read();
+        (guard.snapshot.clone(), guard.version)
+    }
+
+    /// Version currently served on `arm`.
+    pub fn arm_version(&self, arm: usize) -> u64 {
+        self.arms[arm.min(NUM_ARMS - 1)].read().version
+    }
+
+    /// Publish a new snapshot to an arm; returns its new (globally
+    /// unique) version number.
+    pub fn publish(&self, arm: usize, snapshot: ModelSnapshot) -> u64 {
+        let slot = &mut *self.arms[arm.min(NUM_ARMS - 1)].write();
+        // Allocated under the write guard so versions are monotonic per
+        // arm even under concurrent publishes.
+        let version = self.next_version.fetch_add(1, Ordering::Relaxed);
+        slot.snapshot = Arc::new(snapshot);
+        slot.version = version;
         self.swaps.fetch_add(1, Ordering::Relaxed);
-        self.version.fetch_add(1, Ordering::Relaxed) + 1
+        version
     }
 
-    /// Version of the current snapshot (1 for the initial model, +1 per
-    /// swap).
+    /// Publish a new snapshot to the stable arm (the historical
+    /// single-arm entry point — `POST /v1/admin/swap`); returns the new
+    /// version number.
+    pub fn swap(&self, snapshot: ModelSnapshot) -> u64 {
+        self.publish(0, snapshot)
+    }
+
+    /// Promote `arm` to stable: the stable slot takes the winner's
+    /// `(snapshot, version)` pair.  Sharing the `Arc` and version is
+    /// sound — identical weights mean caches minted on either arm stay
+    /// valid.  Returns the promoted version.  A no-op returning the
+    /// current stable version when `arm` is already 0.
+    pub fn promote(&self, arm: usize) -> u64 {
+        let arm = arm.min(NUM_ARMS - 1);
+        if arm == 0 {
+            return self.arm_version(0);
+        }
+        // Lock order: stable (0) before canary — promote and rollback
+        // both take them in this order, so they cannot deadlock.
+        let mut stable = self.arms[0].write();
+        let winner = self.arms[arm].read();
+        stable.snapshot = winner.snapshot.clone();
+        stable.version = winner.version;
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        stable.version
+    }
+
+    /// Roll the canary back to the stable snapshot (same `(snapshot,
+    /// version)` sharing as promote, in the other direction).  Returns
+    /// the version now served on the canary.
+    pub fn rollback(&self) -> u64 {
+        let stable = self.arms[0].write();
+        let mut canary = self.arms[CANARY_ARM].write();
+        canary.snapshot = stable.snapshot.clone();
+        canary.version = stable.version;
+        self.swaps.fetch_add(1, Ordering::Relaxed);
+        canary.version
+    }
+
+    /// Version of the stable snapshot (1 for the initial model, bumped
+    /// by every publish anywhere).
     pub fn version(&self) -> u64 {
-        self.version.load(Ordering::Relaxed)
+        self.arm_version(0)
     }
 
-    /// Number of completed hot-swaps.
+    /// Number of completed publish/promote/rollback operations.
     pub fn swap_count(&self) -> u64 {
         self.swaps.load(Ordering::Relaxed)
     }
@@ -185,6 +278,48 @@ mod tests {
         assert_eq!(before.model.next_item(0, &[], 9, &[]), Some(1));
         assert_eq!(reg.current().model.next_item(0, &[], 9, &[]), Some(2));
         assert_eq!(reg.current().label, "v2");
+        // The stable swap left the canary untouched.
+        assert_eq!(reg.arm(CANARY_ARM).label, "v1");
+        assert_eq!(reg.arm_version(CANARY_ARM), 1);
+    }
+
+    #[test]
+    fn arms_publish_promote_and_roll_back_independently() {
+        let reg = SnapshotRegistry::new(ModelSnapshot::in_memory("base", Box::new(Fixed(1))));
+        // Both arms start on the shared initial snapshot, version 1.
+        assert_eq!(reg.arm_version(0), 1);
+        assert_eq!(reg.arm_version(CANARY_ARM), 1);
+
+        let v = reg.publish(CANARY_ARM, ModelSnapshot::in_memory("canary", Box::new(Fixed(7))));
+        assert_eq!(v, 2);
+        assert_eq!(reg.arm_version(CANARY_ARM), 2);
+        assert_eq!(reg.arm_version(0), 1, "stable arm unaffected by a canary publish");
+        assert_eq!(reg.arm(CANARY_ARM).model.next_item(0, &[], 9, &[]), Some(7));
+        assert_eq!(reg.current().model.next_item(0, &[], 9, &[]), Some(1));
+
+        // Promote: stable takes the canary's (snapshot, version) pair.
+        let promoted = reg.promote(CANARY_ARM);
+        assert_eq!(promoted, 2);
+        assert_eq!(reg.version(), 2);
+        assert_eq!(reg.current().label, "canary");
+        let (snap0, v0) = reg.arm_versioned(0);
+        let (snap1, v1) = reg.arm_versioned(CANARY_ARM);
+        assert_eq!(v0, v1, "promote shares the version (identical weights)");
+        assert!(Arc::ptr_eq(&snap0, &snap1), "promote shares the Arc");
+
+        // A later canary publish gets a fresh global version…
+        let v = reg.publish(CANARY_ARM, ModelSnapshot::in_memory("bad", Box::new(Fixed(9))));
+        assert_eq!(v, 3);
+        // …and rollback restores the stable pair on the canary.
+        let rolled = reg.rollback();
+        assert_eq!(rolled, 2);
+        assert_eq!(reg.arm(CANARY_ARM).label, "canary");
+        assert_eq!(reg.arm_version(CANARY_ARM), reg.arm_version(0));
+
+        // Promoting arm 0 onto itself is a no-op.
+        assert_eq!(reg.promote(0), reg.version());
+        // Out-of-range arm ids clamp to the last arm instead of panicking.
+        assert_eq!(reg.arm_version(99), reg.arm_version(NUM_ARMS - 1));
     }
 
     #[test]

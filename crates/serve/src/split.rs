@@ -1,0 +1,304 @@
+//! Weighted multi-snapshot traffic splitting.
+//!
+//! Sessions are **sticky-assigned** to an arm of the
+//! [`crate::snapshot::SnapshotRegistry`] when they are created: a seeded
+//! hash of the session id drives one weighted draw, and the session
+//! scores against that arm's snapshot for its whole life (re-splitting a
+//! live session would tear its context cache and mix models inside one
+//! persuasion path).  The draw is a pure function of `(seed, session
+//! id, weights)` — reproducible across restarts and property-testable —
+//! and honors the weights in expectation.
+//!
+//! Each arm keeps its own metric counters: requests served, feedback
+//! outcomes (for the acceptance rate) and a log-bucketed latency
+//! histogram (for p50/p95), all lock-free atomics on the hot path.
+//! `/v1/stats` surfaces them per arm so an operator — or the CI canary
+//! pipeline — can compare a candidate snapshot against production
+//! traffic before promoting it to 100%.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use crate::snapshot::NUM_ARMS;
+
+/// `splitmix64` — tiny, well-mixed, seedable; the standard choice for
+/// turning a counter-like id into uniform bits.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Log-bucketed latency histogram: bucket = bit width of the duration in
+/// microseconds, so 64 buckets cover nanoseconds to ages.  Recording is
+/// one atomic increment; quantiles are estimated at stats time as the
+/// geometric midpoint of the covering bucket (≤ √2 relative error —
+/// plenty for a p50/p95 canary comparison).
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; 64],
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
+    }
+}
+
+impl LatencyHistogram {
+    /// Record one observation (lock-free).
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let bucket = (64 - us.leading_zeros() as usize).min(63);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Estimated `q`-quantile in microseconds (0 when empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, counter) in self.buckets.iter().enumerate() {
+            seen += counter.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket b covers [2^(b-1), 2^b) µs (bucket 0 is "< 1 µs");
+                // report the geometric midpoint.
+                if bucket == 0 {
+                    return 0.5;
+                }
+                let lo = (1u64 << (bucket - 1)) as f64;
+                return lo * std::f64::consts::SQRT_2;
+            }
+        }
+        0.0
+    }
+}
+
+/// Per-arm monotonic serving counters.
+#[derive(Default)]
+pub struct ArmMetrics {
+    requests: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    latency: LatencyHistogram,
+}
+
+impl ArmMetrics {
+    /// Record one scheduler round-trip and its latency.
+    pub fn record_request(&self, latency: Duration) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.latency.record(latency);
+    }
+
+    /// Record one feedback outcome.
+    pub fn record_feedback(&self, accepted: bool) {
+        let counter = if accepted { &self.accepted } else { &self.rejected };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Proposals served through this arm.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Accepted feedback events.
+    pub fn accepted(&self) -> u64 {
+        self.accepted.load(Ordering::Relaxed)
+    }
+
+    /// Rejected feedback events.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// `accepted / (accepted + rejected)`, 0 before any feedback.
+    pub fn acceptance_rate(&self) -> f64 {
+        let a = self.accepted() as f64;
+        let r = self.rejected() as f64;
+        if a + r == 0.0 {
+            0.0
+        } else {
+            a / (a + r)
+        }
+    }
+
+    /// Estimated latency quantile in microseconds.
+    pub fn latency_quantile_us(&self, q: f64) -> f64 {
+        self.latency.quantile_us(q)
+    }
+}
+
+/// Sticky weighted session→arm assignment plus per-arm metrics.
+pub struct TrafficSplit {
+    /// Normalised weights (sum 1).  An `RwLock` rather than atomics so a
+    /// reader always sees one coherent weight vector; writes only happen
+    /// on admin routes.
+    weights: RwLock<[f64; NUM_ARMS]>,
+    seed: u64,
+    metrics: [ArmMetrics; NUM_ARMS],
+}
+
+impl TrafficSplit {
+    /// All traffic to arm 0 (the stable snapshot) until an admin sets
+    /// weights; `seed` fixes the assignment hash.
+    pub fn new(seed: u64) -> Self {
+        let mut weights = [0.0; NUM_ARMS];
+        weights[0] = 1.0;
+        TrafficSplit { weights: RwLock::new(weights), seed, metrics: Default::default() }
+    }
+
+    /// The arm a session id belongs to under the current weights: one
+    /// seeded uniform draw in `[0, 1)` walked through the cumulative
+    /// weights.  Deterministic per `(seed, id, weights)`.
+    pub fn assign(&self, session_id: u64) -> usize {
+        let bits = splitmix64(self.seed ^ session_id.wrapping_mul(0x2545_f491_4f6c_dd1d));
+        // 53 high bits → uniform f64 in [0, 1).
+        let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        let weights = self.weights.read();
+        let mut acc = 0.0;
+        for (arm, &w) in weights.iter().enumerate() {
+            acc += w;
+            if u < acc {
+                return arm;
+            }
+        }
+        // Floating-point shortfall (acc summed to < 1): last arm with
+        // any weight.
+        weights.iter().rposition(|&w| w > 0.0).unwrap_or(0)
+    }
+
+    /// Replace the weights.  Rejects negative/non-finite entries, a
+    /// zero-sum vector, or a wrong-length one; accepted weights are
+    /// normalised to sum 1 and returned.
+    pub fn set_weights(&self, weights: &[f64]) -> Result<[f64; NUM_ARMS], String> {
+        if weights.len() != NUM_ARMS {
+            return Err(format!("expected {NUM_ARMS} weights, got {}", weights.len()));
+        }
+        if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+            return Err("weights must be finite and non-negative".into());
+        }
+        let sum: f64 = weights.iter().sum();
+        if sum <= 0.0 {
+            return Err("weights must not all be zero".into());
+        }
+        let mut normalised = [0.0; NUM_ARMS];
+        for (slot, &w) in normalised.iter_mut().zip(weights) {
+            *slot = w / sum;
+        }
+        *self.weights.write() = normalised;
+        Ok(normalised)
+    }
+
+    /// Current normalised weights.
+    pub fn weights(&self) -> [f64; NUM_ARMS] {
+        *self.weights.read()
+    }
+
+    /// The metric counters for `arm` (clamped into range).
+    pub fn metrics(&self, arm: usize) -> &ArmMetrics {
+        &self.metrics[arm.min(NUM_ARMS - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignment_is_deterministic_and_sticky() {
+        let a = TrafficSplit::new(42);
+        let b = TrafficSplit::new(42);
+        a.set_weights(&[0.5, 0.5]).unwrap();
+        b.set_weights(&[0.5, 0.5]).unwrap();
+        for id in 0..1000u64 {
+            assert_eq!(a.assign(id), b.assign(id), "same seed must reproduce the draw");
+            assert_eq!(a.assign(id), a.assign(id), "the draw must be stable per id");
+        }
+        let c = TrafficSplit::new(43);
+        c.set_weights(&[0.5, 0.5]).unwrap();
+        let diverges = (0..1000u64).any(|id| a.assign(id) != c.assign(id));
+        assert!(diverges, "a different seed must shuffle assignments");
+    }
+
+    #[test]
+    fn weights_are_honored_within_tolerance() {
+        let split = TrafficSplit::new(7);
+        for &(w0, w1) in &[(0.5, 0.5), (0.9, 0.1), (0.25, 0.75)] {
+            split.set_weights(&[w0, w1]).unwrap();
+            let n = 20_000u64;
+            let to_canary = (0..n).filter(|&id| split.assign(id) == 1).count() as f64;
+            let frac = to_canary / n as f64;
+            assert!((frac - w1).abs() < 0.02, "weight {w1} drew fraction {frac} over {n} sessions");
+        }
+    }
+
+    #[test]
+    fn degenerate_weights_route_everything_one_way() {
+        let split = TrafficSplit::new(1);
+        assert!((0..500u64).all(|id| split.assign(id) == 0), "default is 100% stable");
+        split.set_weights(&[0.0, 1.0]).unwrap();
+        assert!((0..500u64).all(|id| split.assign(id) == 1));
+        split.set_weights(&[1.0, 0.0]).unwrap();
+        assert!((0..500u64).all(|id| split.assign(id) == 0));
+    }
+
+    #[test]
+    fn set_weights_validates_and_normalises() {
+        let split = TrafficSplit::new(0);
+        assert!(split.set_weights(&[1.0]).is_err(), "wrong length");
+        assert!(split.set_weights(&[-1.0, 2.0]).is_err(), "negative");
+        assert!(split.set_weights(&[f64::NAN, 1.0]).is_err(), "non-finite");
+        assert!(split.set_weights(&[0.0, 0.0]).is_err(), "zero sum");
+        let w = split.set_weights(&[1.0, 3.0]).unwrap();
+        assert!((w[0] - 0.25).abs() < 1e-12 && (w[1] - 0.75).abs() < 1e-12);
+        assert_eq!(split.weights(), w);
+    }
+
+    #[test]
+    fn metrics_accumulate_and_rate_is_defined() {
+        let split = TrafficSplit::new(0);
+        let m = split.metrics(1);
+        assert_eq!(m.acceptance_rate(), 0.0, "no feedback yet");
+        m.record_request(Duration::from_micros(100));
+        m.record_request(Duration::from_micros(200));
+        m.record_feedback(true);
+        m.record_feedback(true);
+        m.record_feedback(false);
+        assert_eq!(m.requests(), 2);
+        assert_eq!(m.accepted(), 2);
+        assert_eq!(m.rejected(), 1);
+        assert!((m.acceptance_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(split.metrics(0).requests(), 0, "arms are independent");
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_observations() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), 0.0, "empty histogram");
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(10_000));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.5);
+        let p95 = h.quantile_us(0.95);
+        // Log buckets: estimates land within a factor of √2 of the
+        // bucket boundaries around the true values.
+        assert!((50.0..200.0).contains(&p50), "p50 estimate {p50}");
+        assert!((5_000.0..20_000.0).contains(&p95), "p95 estimate {p95}");
+        assert!(p95 > p50);
+    }
+}

@@ -3,9 +3,29 @@
 //! non-poisoning API (`lock()` returns the guard directly). Slower than the
 //! real thing, behaviourally identical for this workspace's uses.
 
-pub type MutexGuard<'a, T> = std::sync::MutexGuard<'a, T>;
 pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
 pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// RAII mutex guard.  Wraps std's guard in an `Option` so [`Condvar`]
+/// waits can move the inner guard out by value (std's waits consume the
+/// guard; parking_lot's re-lock through `&mut`) without unsafe code.  The
+/// slot is only ever `None` transiently inside a wait, while the caller's
+/// `&mut` borrow is held by the condvar.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_deref().expect("guard present outside condvar waits")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard present outside condvar waits")
+    }
+}
 
 /// A mutex whose `lock()` never returns a poison error: a panic while the
 /// lock is held simply passes the data through to the next locker.
@@ -24,7 +44,7 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(|e| e.into_inner())
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
     pub fn get_mut(&mut self) -> &mut T {
@@ -60,6 +80,64 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Whether a [`Condvar`] wait ended because the timeout elapsed.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with parking_lot's `&mut guard` wait API (std's
+/// waits take the guard by value; parking_lot's re-lock in place).
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+
+    /// Block until notified.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present outside condvar waits");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or `timeout` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Instant,
+    ) -> WaitTimeoutResult {
+        let dur = timeout.saturating_duration_since(std::time::Instant::now());
+        self.wait_for(guard, dur)
+    }
+
+    /// Block until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present outside condvar waits");
+        let (inner, result) =
+            self.0.wait_timeout(inner, timeout).unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,5 +155,35 @@ mod tests {
         let l = RwLock::new(vec![1, 2]);
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn condvar_wakes_and_times_out() {
+        use std::sync::Arc;
+        use std::time::{Duration, Instant};
+
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let mut ready = pair.0.lock();
+        // Nothing signals: the wait must report a timeout.
+        let result = pair.1.wait_for(&mut ready, Duration::from_millis(10));
+        assert!(result.timed_out());
+        assert!(!*ready);
+        drop(ready);
+
+        let signaller = pair.clone();
+        let t = std::thread::spawn(move || {
+            *signaller.0.lock() = true;
+            signaller.1.notify_all();
+        });
+        let mut ready = pair.0.lock();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while !*ready {
+            assert!(
+                !pair.1.wait_until(&mut ready, deadline).timed_out(),
+                "signaller must wake the waiter well before the deadline"
+            );
+        }
+        drop(ready);
+        t.join().unwrap();
     }
 }

@@ -7,7 +7,8 @@
 //! irs evaluate  --model FILE [--dataset ...] [--scale S] [--users N] [--m M]
 //! irs serve     --model FILE [--port P] [--max-batch B] [--max-wait-us U] [--workers W]
 //!               [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S]
-//!               [--context-cache-mb MB]
+//!               [--context-cache-mb MB] [--online-train] [--publish-every-s S]
+//!               [--replay-cap N]
 //! irs demo      [--dataset ...]
 //! ```
 //!
@@ -23,6 +24,10 @@
 //! sessions, dynamic micro-batching, `POST /v1/admin/swap` hot-swaps of
 //! retrained snapshots, and incremental per-session context caches
 //! (budgeted by `--context-cache-mb`; hot-swaps invalidate them).
+//! With `--online-train` it also runs a background trainer that folds
+//! logged feedback into a student model and publishes canary snapshots
+//! to arm 1; `POST /v1/admin/split` steers weighted traffic between the
+//! stable and canary arms, and `promote`/`rollback` settle the winner.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -35,8 +40,8 @@ use influential_rs::data::stats::dataset_stats;
 use influential_rs::data::Dataset;
 use influential_rs::eval::{evaluate_paths, Evaluator, PathRecord};
 use influential_rs::serve::{
-    BatchPolicy, Engine, HttpServer, IrnArchitecture, ServerConfig, SnapshotLoader,
-    SnapshotRegistry,
+    layout_name, BatchPolicy, Engine, HttpServer, IrnArchitecture, IrnOnlineLearner, OnlineConfig,
+    OnlineHandle, OnlineLearner, ServerConfig, SnapshotLoader, SnapshotRegistry,
 };
 use irs_bench::harness::{DatasetKind, Harness, HarnessConfig};
 
@@ -67,6 +72,13 @@ struct Opts {
     /// `append` keeps encoded prefixes stable so serve steps can use the
     /// per-session context cache; `prepadded` is the paper's layout.
     layout: EncodingLayout,
+    /// Run the background online trainer: fold logged feedback into a
+    /// student model and publish canary snapshots to arm 1.
+    online_train: bool,
+    /// Seconds between timed canary publishes (only when dirty).
+    publish_every_s: u64,
+    /// Replay-buffer capacity in feedback events (oldest dropped first).
+    replay_cap: usize,
 }
 
 fn usage() -> ExitCode {
@@ -77,7 +89,8 @@ fn usage() -> ExitCode {
          [--ratings FILE] [--movies FILE] \
          [--port P] [--max-batch B] [--max-wait-us U] [--workers W] [--patience P] \
          [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S] \
-         [--context-cache-mb MB] [--layout prepadded|append]"
+         [--context-cache-mb MB] [--layout prepadded|append] \
+         [--online-train] [--publish-every-s S] [--replay-cap N]"
     );
     ExitCode::from(2)
 }
@@ -106,6 +119,9 @@ fn parse_args() -> Result<Opts, String> {
         idle_timeout_s: 30,
         context_cache_mb: 64,
         layout: EncodingLayout::PrePadded,
+        online_train: false,
+        publish_every_s: 60,
+        replay_cap: 4096,
     };
     let mut i = 1;
     let take = |args: &[String], i: &mut usize| -> Result<String, String> {
@@ -178,6 +194,15 @@ fn parse_args() -> Result<Opts, String> {
                     "append" | "append-only" => EncodingLayout::AppendOnly,
                     other => return Err(format!("unknown layout '{other}'")),
                 };
+            }
+            "--online-train" => opts.online_train = true,
+            "--publish-every-s" => {
+                opts.publish_every_s =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--publish-every-s: {e}"))?
+            }
+            "--replay-cap" => {
+                opts.replay_cap =
+                    take(&args, &mut i)?.parse().map_err(|e| format!("--replay-cap: {e}"))?
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -394,6 +419,9 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
     // can be served append-only (which is what enables caching).
     let mut irn_cfg = cfg.irn_config();
     irn_cfg.layout = opts.layout;
+    // The online trainer (if enabled) boots its student from the same
+    // IRSP file under the same config; clone before `arch` takes it.
+    let student_cfg = irn_cfg.clone();
     let arch = IrnArchitecture {
         num_items: dataset.num_items,
         num_users: dataset.num_users,
@@ -410,7 +438,7 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
     let label = initial.label.clone();
     let registry = Arc::new(SnapshotRegistry::new(initial));
     let engine = Arc::new(Engine::start(
-        registry,
+        registry.clone(),
         BatchPolicy {
             max_batch: opts.max_batch,
             max_wait: Duration::from_micros(opts.max_wait_us),
@@ -432,6 +460,7 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             http_workers: opts.http_workers,
             idle_timeout: Duration::from_secs(opts.idle_timeout_s.max(1)),
             context_cache_mb: opts.context_cache_mb,
+            layout: Some(opts.layout),
             ..Default::default()
         },
     ) {
@@ -455,16 +484,50 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
         Some(ttl) => eprintln!("idle sessions evicted after {} s", ttl.as_secs()),
         None => eprintln!("session TTL disabled (--session-ttl-s 0)"),
     }
+    // Same vocabulary `/v1/stats` uses (`layout`, `context_cache_budget_mb`)
+    // so logs and stats can be correlated line for line.
+    eprintln!(
+        "encoding layout {}; context cache budget {} MiB",
+        layout_name(Some(opts.layout)),
+        opts.context_cache_mb
+    );
     if opts.context_cache_mb == 0 {
         eprintln!("context caching disabled (--context-cache-mb 0)");
     } else if opts.layout == EncodingLayout::PrePadded {
         eprintln!(
-            "context cache budget {} MiB, but the prepadded layout cannot cache — \
-             serve with --layout append to enable incremental steps",
-            opts.context_cache_mb
+            "note: the prepadded layout cannot cache — serve with --layout append \
+             to enable incremental steps"
         );
-    } else {
-        eprintln!("context cache budget {} MiB (--context-cache-mb)", opts.context_cache_mb);
+    }
+    if opts.online_train {
+        let bytes = match std::fs::read(model_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot re-read {model_path} for the online trainer: {e}");
+                engine.shutdown();
+                return ExitCode::FAILURE;
+            }
+        };
+        let (num_items, num_users) = (dataset.num_items, dataset.num_users);
+        let online = OnlineHandle::start(
+            registry,
+            OnlineConfig {
+                publish_every: Duration::from_secs(opts.publish_every_s.max(1)),
+                replay_cap: opts.replay_cap.max(1),
+            },
+            move || {
+                let student = Irn::load(&bytes[..], num_items, num_users, &student_cfg)
+                    .expect("student model loads: the serving snapshot already did");
+                Box::new(IrnOnlineLearner::new(student)) as Box<dyn OnlineLearner>
+            },
+        );
+        server.set_online(online);
+        eprintln!(
+            "online trainer on: publish every {} s when dirty, replay cap {} events \
+             (canary lands on arm 1; POST /v1/admin/split to route traffic)",
+            opts.publish_every_s.max(1),
+            opts.replay_cap.max(1)
+        );
     }
     eprintln!("POST /v1/admin/shutdown to stop");
     let handle = match server.handle() {
@@ -545,6 +608,9 @@ fn parse_defaults(opts: &Opts) -> Opts {
         idle_timeout_s: opts.idle_timeout_s,
         context_cache_mb: opts.context_cache_mb,
         layout: opts.layout,
+        online_train: opts.online_train,
+        publish_every_s: opts.publish_every_s,
+        replay_cap: opts.replay_cap,
     }
 }
 
