@@ -1,0 +1,28 @@
+//! Process-wide observability primitives for the serving stack.
+//!
+//! Three pieces, all dependency-free and shim-style like the rest of
+//! the workspace:
+//!
+//! - [`Registry`]: a metrics registry of named counters, gauges, flags,
+//!   text annotations and 64-bucket log histograms.  Handles are
+//!   registered once at startup and cloned into the hot path, where
+//!   recording is a single lock-free atomic op — the zero-allocation
+//!   steady-state contract of the serving layer extends through every
+//!   handle here.  The registry renders itself two ways: Prometheus
+//!   text exposition (for `GET /metrics`) and a flat key/value visit
+//!   (for the JSON `/v1/stats` payload), so both endpoints share one
+//!   vocabulary by construction.
+//! - [`WindowedCounter`]: a sliding-window counter over a ring of
+//!   epoch-tagged buckets, time-advanced on read.  Windowed per-arm
+//!   rates make a young canary comparable to a long-lived stable arm,
+//!   which lifetime totals structurally cannot.
+//! - [`log`]: a leveled logger (`error`..`trace`, text or JSON lines on
+//!   stderr) behind `log_error!`..`log_trace!` macros, replacing the
+//!   scattered `eprintln!`s in the serving binaries.
+
+pub mod log;
+mod registry;
+mod window;
+
+pub use registry::{Counter, Flag, FlatValue, Gauge, Histogram, Registry, Text};
+pub use window::WindowedCounter;

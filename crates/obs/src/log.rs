@@ -1,0 +1,250 @@
+//! Leveled structured logger: text or JSON lines on stderr.
+//!
+//! One process-wide level and format (atomics, settable from CLI flags
+//! before threads start), `log_error!`..`log_trace!` macros that
+//! compile to a level check plus one locked stderr write.  Disabled
+//! levels cost one relaxed atomic load and never format their
+//! arguments.  This is deliberately not a `log`-crate workalike: the
+//! serving stack needs exactly leveled stderr lines with timestamps,
+//! nothing pluggable.
+
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, most severe first.  `Error` is always emitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable or correctness-threatening conditions.
+    Error = 1,
+    /// Degraded but serving (e.g. trainer detached).
+    Warn = 2,
+    /// Lifecycle: startup, shutdown, progress summaries.
+    Info = 3,
+    /// Per-operation detail.
+    Debug = 4,
+    /// Everything.
+    Trace = 5,
+}
+
+impl Level {
+    /// Parse a CLI spelling (case-insensitive; `warning` ≡ `warn`).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            "trace" => Some(Level::Trace),
+            _ => None,
+        }
+    }
+
+    /// Canonical upper-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+            Level::Trace => "TRACE",
+        }
+    }
+
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Error,
+            2 => Level::Warn,
+            4 => Level::Debug,
+            5 => Level::Trace,
+            _ => Level::Info,
+        }
+    }
+}
+
+/// Output shape for log lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `{unix_secs}.{ms} LEVEL target: message`
+    Text,
+    /// One JSON object per line: `{"ts":…,"level":…,"target":…,"msg":…}`
+    Json,
+}
+
+impl Format {
+    /// Parse a CLI spelling (case-insensitive).
+    pub fn parse(s: &str) -> Option<Format> {
+        match s.to_ascii_lowercase().as_str() {
+            "text" => Some(Format::Text),
+            "json" => Some(Format::Json),
+            _ => None,
+        }
+    }
+}
+
+static MAX_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static FORMAT: AtomicU8 = AtomicU8::new(0); // 0 = Text, 1 = Json
+
+/// Set the process-wide maximum level (default `Info`).
+pub fn set_level(level: Level) {
+    MAX_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current maximum level.
+pub fn level() -> Level {
+    Level::from_u8(MAX_LEVEL.load(Ordering::Relaxed))
+}
+
+/// Set the process-wide output format (default `Text`).
+pub fn set_format(format: Format) {
+    FORMAT.store(matches!(format, Format::Json) as u8, Ordering::Relaxed);
+}
+
+/// The current output format.
+pub fn format() -> Format {
+    if FORMAT.load(Ordering::Relaxed) == 0 {
+        Format::Text
+    } else {
+        Format::Json
+    }
+}
+
+/// Whether a record at `level` would be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
+}
+
+/// Emit one record.  Callers go through the `log_*!` macros, which
+/// defer argument formatting behind the level check.
+pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
+    if !enabled(level) {
+        return;
+    }
+    let now = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let stderr = std::io::stderr();
+    let mut out = stderr.lock();
+    let _ = match format() {
+        Format::Text => writeln!(
+            out,
+            "{}.{:03} {} {}: {}",
+            now.as_secs(),
+            now.subsec_millis(),
+            level.as_str(),
+            target,
+            args
+        ),
+        Format::Json => {
+            let msg = fmt::format(args);
+            let mut line = String::with_capacity(msg.len() + target.len() + 64);
+            line.push_str("{\"ts\":");
+            let _ =
+                fmt::write(&mut line, format_args!("{}.{:03}", now.as_secs(), now.subsec_millis()));
+            line.push_str(",\"level\":\"");
+            line.push_str(level.as_str());
+            line.push_str("\",\"target\":\"");
+            escape_json_into(&mut line, target);
+            line.push_str("\",\"msg\":\"");
+            escape_json_into(&mut line, &msg);
+            line.push_str("\"}");
+            writeln!(out, "{line}")
+        }
+    };
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::write(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Log at [`Level::Error`]: `log_error!("scheduler", "bad batch of {n}")`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Error, $target, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Warn`].
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Warn, $target, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Info`].
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Info, $target, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Debug`].
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Debug, $target, ::core::format_args!($($arg)*))
+    };
+}
+
+/// Log at [`Level::Trace`].
+#[macro_export]
+macro_rules! log_trace {
+    ($target:expr, $($arg:tt)*) => {
+        $crate::log::write($crate::log::Level::Trace, $target, ::core::format_args!($($arg)*))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_parse_and_order() {
+        assert_eq!(Level::parse("WARN"), Some(Level::Warn));
+        assert_eq!(Level::parse("warning"), Some(Level::Warn));
+        assert_eq!(Level::parse("trace"), Some(Level::Trace));
+        assert_eq!(Level::parse("loud"), None);
+        assert!(Level::Error < Level::Trace);
+        assert_eq!(Format::parse("JSON"), Some(Format::Json));
+        assert_eq!(Format::parse("yaml"), None);
+    }
+
+    #[test]
+    fn json_escaping_is_lossless_for_control_characters() {
+        let mut out = String::new();
+        escape_json_into(&mut out, "a\"b\\c\nd\te\u{1}");
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
+    }
+
+    // Level/format are process-global, so exercise them in one test to
+    // avoid ordering races with the parallel test harness.
+    #[test]
+    fn global_level_gates_emission() {
+        set_level(Level::Warn);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(!enabled(Level::Info));
+        set_level(Level::Info);
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_format(Format::Json);
+        assert_eq!(format(), Format::Json);
+        set_format(Format::Text);
+        assert_eq!(format(), Format::Text);
+    }
+}

@@ -1,0 +1,574 @@
+//! The metrics registry: typed handles registered once at startup,
+//! lock-free recording on the hot path, and two render targets
+//! (Prometheus text exposition and a flat key/value visit) fed from the
+//! same family list so no endpoint can drift from the other.
+//!
+//! Handles are thin `Arc`s around atomics; cloning one into a worker
+//! thread costs a refcount bump and recording never touches the
+//! registry lock.  Detached handles (`Counter::default()` etc.) work
+//! without a registry, which keeps unit tests of instrumented
+//! components free of registration boilerplate.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// All metric names are exported under this prefix so a scrape of a
+/// mixed fleet can be filtered to this process family.
+const PREFIX: &str = "irs_";
+
+/// Monotonic `u64` counter.  `store` exists for values sampled from an
+/// external monotonic source (e.g. another subsystem's own counter).
+#[derive(Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrite with a sampled value (must itself be monotonic).
+    pub fn store(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// `f64` gauge (bits in an `AtomicU64`).
+#[derive(Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Set the current value.
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Boolean flag, exported as a 0/1 gauge and a JSON boolean.
+#[derive(Clone, Default)]
+pub struct Flag {
+    value: Arc<AtomicBool>,
+}
+
+impl Flag {
+    /// Set the flag.
+    pub fn set(&self, v: bool) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> bool {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// String annotation (snapshot label, layout name).  Exported as a
+/// Prometheus info-style metric `irs_<name>_info{value="..."} 1` and a
+/// JSON string.  `set_if_changed` makes steady-state sampling
+/// allocation-free once the value has settled.
+#[derive(Clone, Default)]
+pub struct Text {
+    value: Arc<RwLock<String>>,
+}
+
+impl Text {
+    /// Replace the value, skipping the write (and its allocation) when
+    /// it already matches.
+    pub fn set_if_changed(&self, v: &str) {
+        if *self.value.read().expect("text poisoned") == *v {
+            return;
+        }
+        let mut slot = self.value.write().expect("text poisoned");
+        slot.clear();
+        slot.push_str(v);
+    }
+
+    /// Read the value through a borrow (no clone).
+    pub fn with<R>(&self, f: impl FnOnce(&str) -> R) -> R {
+        f(&self.value.read().expect("text poisoned"))
+    }
+}
+
+/// Log-bucketed latency histogram: bucket index = bit width of the
+/// duration in microseconds, so 64 buckets cover sub-microsecond to
+/// ages.  Recording is two atomic adds; quantiles are estimated as the
+/// geometric midpoint of the covering bucket (≤ √2 relative error).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramCore>,
+}
+
+struct HistogramCore {
+    buckets: [AtomicU64; 64],
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            inner: Arc::new(HistogramCore {
+                buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+                sum_us: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+impl Histogram {
+    /// Record one observation (lock-free).
+    pub fn record(&self, latency: Duration) {
+        self.record_us(latency.as_micros().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one observation given in microseconds.
+    pub fn record_us(&self, us: u64) {
+        let bucket = (64 - us.leading_zeros() as usize).min(63);
+        self.inner.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total observations recorded.
+    pub fn count(&self) -> u64 {
+        self.inner.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Sum of all recorded observations in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.inner.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Estimated `q`-quantile in microseconds (0 when empty).
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, counter) in self.inner.buckets.iter().enumerate() {
+            seen += counter.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket b covers [2^(b-1), 2^b) µs (bucket 0 is
+                // "< 1 µs"); report the geometric midpoint.
+                if bucket == 0 {
+                    return 0.5;
+                }
+                let lo = (1u64 << (bucket - 1)) as f64;
+                return lo * std::f64::consts::SQRT_2;
+            }
+        }
+        0.0
+    }
+}
+
+/// A value handed to [`Registry::visit_flat`] callbacks.
+#[derive(Debug, Clone, Copy)]
+pub enum FlatValue<'a> {
+    /// Counter value.
+    Int(u64),
+    /// Gauge value (may be non-finite; JSON writers map those to null).
+    Num(f64),
+    /// Flag value.
+    Bool(bool),
+    /// Text annotation.
+    Text(&'a str),
+}
+
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Flag(Flag),
+    Text(Text),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            // Flags and info-style text render as gauges in exposition.
+            Metric::Gauge(_) | Metric::Flag(_) | Metric::Text(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Series {
+    /// Pre-rendered label set, e.g. `stage="queue",arm="0"` — empty for
+    /// unlabeled series.  Built once at registration so exposition
+    /// never formats labels on the scrape path.
+    labels: String,
+    metric: Metric,
+}
+
+struct Family {
+    name: String,
+    help: String,
+    series: Vec<Series>,
+}
+
+/// Named metric families.  Registration takes the write lock once at
+/// startup; rendering takes the read lock; recording through a handle
+/// never touches the registry at all.
+#[derive(Default)]
+pub struct Registry {
+    families: RwLock<Vec<Family>>,
+}
+
+impl Registry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn register(&self, name: &str, help: &str, labels: String, metric: Metric) {
+        debug_assert!(
+            !name.is_empty()
+                && name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_')
+                && !name.as_bytes()[0].is_ascii_digit(),
+            "invalid metric name {name:?}"
+        );
+        let mut families = self.families.write().expect("registry poisoned");
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            assert_eq!(
+                family.series[0].metric.kind(),
+                metric.kind(),
+                "metric {name:?} registered with two kinds"
+            );
+            assert!(
+                family.series.iter().all(|s| s.labels != labels),
+                "metric {name:?} with labels {{{labels}}} registered twice"
+            );
+            family.series.push(Series { labels, metric });
+        } else {
+            families.push(Family {
+                name: name.to_string(),
+                help: help.to_string(),
+                series: vec![Series { labels, metric }],
+            });
+        }
+    }
+
+    /// Register a counter and return its handle.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        let handle = Counter::default();
+        self.register(name, help, String::new(), Metric::Counter(handle.clone()));
+        handle
+    }
+
+    /// Register a gauge and return its handle.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        let handle = Gauge::default();
+        self.register(name, help, String::new(), Metric::Gauge(handle.clone()));
+        handle
+    }
+
+    /// Register a boolean flag and return its handle.
+    pub fn flag(&self, name: &str, help: &str) -> Flag {
+        let handle = Flag::default();
+        self.register(name, help, String::new(), Metric::Flag(handle.clone()));
+        handle
+    }
+
+    /// Register a text annotation and return its handle.
+    pub fn text(&self, name: &str, help: &str) -> Text {
+        let handle = Text::default();
+        self.register(name, help, String::new(), Metric::Text(handle.clone()));
+        handle
+    }
+
+    /// Register an unlabeled histogram and return its handle.
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        let handle = Histogram::default();
+        self.register(name, help, String::new(), Metric::Histogram(handle.clone()));
+        handle
+    }
+
+    /// Register one labeled series of a histogram family (the family is
+    /// created on first call).  `labels` is the pre-rendered label set,
+    /// e.g. `stage="queue",arm="0",cached="hot"`.
+    pub fn histogram_with_labels(&self, name: &str, help: &str, labels: &str) -> Histogram {
+        let handle = Histogram::default();
+        self.register(name, help, labels.to_string(), Metric::Histogram(handle.clone()));
+        handle
+    }
+
+    /// Visit every unlabeled scalar series as a flat `(name, value)`
+    /// pair, in registration order.  Histograms and labeled series are
+    /// skipped — callers surface their quantiles through sampled
+    /// gauges if they want them flat.
+    pub fn visit_flat(&self, mut f: impl FnMut(&str, FlatValue<'_>)) {
+        let families = self.families.read().expect("registry poisoned");
+        for family in families.iter() {
+            for series in &family.series {
+                if !series.labels.is_empty() {
+                    continue;
+                }
+                match &series.metric {
+                    Metric::Counter(c) => f(&family.name, FlatValue::Int(c.get())),
+                    Metric::Gauge(g) => f(&family.name, FlatValue::Num(g.get())),
+                    Metric::Flag(b) => f(&family.name, FlatValue::Bool(b.get())),
+                    Metric::Text(t) => t.with(|s| f(&family.name, FlatValue::Text(s))),
+                    Metric::Histogram(_) => {}
+                }
+            }
+        }
+    }
+
+    /// Render the whole registry in Prometheus text exposition format
+    /// (version 0.0.4) into `out`.  Allocation-free once `out` has
+    /// grown to capacity: numbers are formatted straight into the
+    /// buffer and label sets were pre-rendered at registration.
+    pub fn render_prometheus(&self, out: &mut Vec<u8>) {
+        let families = self.families.read().expect("registry poisoned");
+        for family in families.iter() {
+            let name = &family.name;
+            let info = matches!(family.series[0].metric, Metric::Text(_));
+            let suffix = if info { "_info" } else { "" };
+            let _ = writeln!(BufWriter(out), "# HELP {PREFIX}{name}{suffix} {}", family.help);
+            let _ = writeln!(
+                BufWriter(out),
+                "# TYPE {PREFIX}{name}{suffix} {}",
+                family.series[0].metric.kind()
+            );
+            for series in &family.series {
+                render_series(out, name, &series.labels, &series.metric);
+            }
+        }
+    }
+}
+
+/// `fmt::Write` adapter over a byte buffer so `write!` formats numbers
+/// without intermediate `String`s.
+struct BufWriter<'a>(&'a mut Vec<u8>);
+
+impl std::fmt::Write for BufWriter<'_> {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        self.0.extend_from_slice(s.as_bytes());
+        Ok(())
+    }
+}
+
+fn render_series(out: &mut Vec<u8>, name: &str, labels: &str, metric: &Metric) {
+    match metric {
+        Metric::Counter(c) => render_sample(out, name, "", labels, Rendered::Int(c.get())),
+        Metric::Gauge(g) => render_sample(out, name, "", labels, Rendered::Num(g.get())),
+        Metric::Flag(b) => render_sample(out, name, "", labels, Rendered::Int(u64::from(b.get()))),
+        Metric::Text(t) => t.with(|s| {
+            out.extend_from_slice(PREFIX.as_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b"_info{value=\"");
+            for &byte in s.as_bytes() {
+                match byte {
+                    b'\\' => out.extend_from_slice(b"\\\\"),
+                    b'"' => out.extend_from_slice(b"\\\""),
+                    b'\n' => out.extend_from_slice(b"\\n"),
+                    _ => out.push(byte),
+                }
+            }
+            out.extend_from_slice(b"\"} 1\n");
+        }),
+        Metric::Histogram(h) => {
+            // One consistent load of the buckets drives `_bucket`,
+            // `_sum` and `_count` so the triple agrees with itself.
+            let counts: [u64; 64] =
+                std::array::from_fn(|b| h.inner.buckets[b].load(Ordering::Relaxed));
+            let mut cumulative = 0u64;
+            for (bucket, &n) in counts.iter().enumerate() {
+                cumulative += n;
+                // Bucket b holds durations whose bit width is b, i.e.
+                // us ∈ [2^(b-1), 2^b − 1]; the inclusive upper bound is
+                // the exact `le` value (bucket 0 is "0 µs").
+                let le = if bucket == 0 { 0 } else { (1u128 << bucket) as u64 - 1 };
+                render_bucket(out, name, labels, Le::Finite(le), cumulative);
+            }
+            render_bucket(out, name, labels, Le::Inf, cumulative);
+            render_sample(out, name, "_sum", labels, Rendered::Int(h.sum_us()));
+            render_sample(out, name, "_count", labels, Rendered::Int(cumulative));
+        }
+    }
+}
+
+enum Rendered {
+    Int(u64),
+    Num(f64),
+}
+
+enum Le {
+    Finite(u64),
+    Inf,
+}
+
+fn render_sample(out: &mut Vec<u8>, name: &str, suffix: &str, labels: &str, value: Rendered) {
+    out.extend_from_slice(PREFIX.as_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(suffix.as_bytes());
+    if !labels.is_empty() {
+        out.push(b'{');
+        out.extend_from_slice(labels.as_bytes());
+        out.push(b'}');
+    }
+    out.push(b' ');
+    let _ = match value {
+        Rendered::Int(v) => write!(BufWriter(out), "{v}"),
+        Rendered::Num(v) if v.is_nan() => write!(BufWriter(out), "NaN"),
+        Rendered::Num(v) => write!(BufWriter(out), "{v}"),
+    };
+    out.push(b'\n');
+}
+
+fn render_bucket(out: &mut Vec<u8>, name: &str, labels: &str, le: Le, cumulative: u64) {
+    out.extend_from_slice(PREFIX.as_bytes());
+    out.extend_from_slice(name.as_bytes());
+    out.extend_from_slice(b"_bucket{");
+    if !labels.is_empty() {
+        out.extend_from_slice(labels.as_bytes());
+        out.push(b',');
+    }
+    out.extend_from_slice(b"le=\"");
+    let _ = match le {
+        Le::Finite(v) => write!(BufWriter(out), "{v}"),
+        Le::Inf => write!(BufWriter(out), "+Inf"),
+    };
+    let _ = write!(BufWriter(out), "\"}} {cumulative}");
+    out.push(b'\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rendered(registry: &Registry) -> String {
+        let mut out = Vec::new();
+        registry.render_prometheus(&mut out);
+        String::from_utf8(out).unwrap()
+    }
+
+    #[test]
+    fn counters_gauges_flags_and_text_round_trip_both_renderings() {
+        let registry = Registry::new();
+        let c = registry.counter("requests", "Total requests");
+        let g = registry.gauge("mean_batch", "Mean batch size");
+        let b = registry.flag("online_enabled", "Online trainer attached");
+        let t = registry.text("snapshot", "Active snapshot label");
+        c.add(3);
+        g.set(2.5);
+        b.set(true);
+        t.set_if_changed("prod \"v2\"");
+
+        let text = rendered(&registry);
+        assert!(text.contains("# TYPE irs_requests counter\n"), "{text}");
+        assert!(text.contains("irs_requests 3\n"), "{text}");
+        assert!(text.contains("# TYPE irs_mean_batch gauge\n"), "{text}");
+        assert!(text.contains("irs_mean_batch 2.5\n"), "{text}");
+        assert!(text.contains("irs_online_enabled 1\n"), "{text}");
+        assert!(text.contains("irs_snapshot_info{value=\"prod \\\"v2\\\"\"} 1\n"), "{text}");
+
+        let mut flat = Vec::new();
+        registry.visit_flat(|name, value| flat.push((name.to_string(), format!("{value:?}"))));
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["requests", "mean_batch", "online_enabled", "snapshot"]);
+        assert_eq!(flat[0].1, "Int(3)");
+        assert_eq!(flat[2].1, "Bool(true)");
+    }
+
+    #[test]
+    fn histogram_exposition_is_cumulative_and_self_consistent() {
+        let registry = Registry::new();
+        let h = registry.histogram("latency_us", "Latency");
+        h.record_us(0); // bucket 0
+        h.record_us(1); // bucket 1
+        h.record_us(3); // bucket 2
+        h.record_us(1_000_000);
+        let text = rendered(&registry);
+        assert!(text.contains("# TYPE irs_latency_us histogram\n"), "{text}");
+        assert!(text.contains("irs_latency_us_bucket{le=\"0\"} 1\n"), "{text}");
+        assert!(text.contains("irs_latency_us_bucket{le=\"1\"} 2\n"), "{text}");
+        assert!(text.contains("irs_latency_us_bucket{le=\"3\"} 3\n"), "{text}");
+        assert!(text.contains("irs_latency_us_bucket{le=\"+Inf\"} 4\n"), "{text}");
+        assert!(text.contains("irs_latency_us_sum 1000004\n"), "{text}");
+        assert!(text.contains("irs_latency_us_count 4\n"), "{text}");
+        // A value exactly at a power of two lands strictly above the
+        // previous bound: 2 µs has bit width 2, so le="1" excludes it.
+        assert_eq!(h.count(), 4);
+    }
+
+    #[test]
+    fn labeled_histogram_series_share_one_family_header() {
+        let registry = Registry::new();
+        let hot = registry.histogram_with_labels("stage_us", "Stage latency", "cached=\"hot\"");
+        let cold = registry.histogram_with_labels("stage_us", "Stage latency", "cached=\"cold\"");
+        hot.record(Duration::from_micros(10));
+        cold.record(Duration::from_micros(100));
+        let text = rendered(&registry);
+        assert_eq!(text.matches("# TYPE irs_stage_us histogram").count(), 1, "{text}");
+        assert!(text.contains("irs_stage_us_count{cached=\"hot\"} 1\n"), "{text}");
+        assert!(text.contains("irs_stage_us_count{cached=\"cold\"} 1\n"), "{text}");
+        assert!(text.contains("cached=\"hot\",le=\"+Inf\"} 1\n"), "{text}");
+
+        // Labeled series stay out of the flat visit.
+        let mut flat = Vec::new();
+        registry.visit_flat(|name, _| flat.push(name.to_string()));
+        assert!(flat.is_empty(), "{flat:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_panics() {
+        let registry = Registry::new();
+        let _ = registry.counter("requests", "Total requests");
+        let _ = registry.counter("requests", "Total requests");
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_observations() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile_us(0.5), 0.0, "empty histogram");
+        for _ in 0..90 {
+            h.record(Duration::from_micros(100));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(10_000));
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.5);
+        let p95 = h.quantile_us(0.95);
+        // Log buckets: estimates land within a factor of √2 of the
+        // bucket boundaries around the true values.
+        assert!((50.0..200.0).contains(&p50), "p50 estimate {p50}");
+        assert!((5_000.0..20_000.0).contains(&p95), "p95 estimate {p95}");
+        assert!(p95 > p50);
+    }
+
+    #[test]
+    fn detached_handles_work_without_a_registry() {
+        let c = Counter::default();
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        let g = Gauge::default();
+        g.set(-1.5);
+        assert_eq!(g.get(), -1.5);
+    }
+}

@@ -1,0 +1,145 @@
+//! Sliding-window counter: a ring of epoch-tagged buckets,
+//! time-advanced on read.
+//!
+//! Lifetime totals make a young canary arm look idle next to a
+//! long-lived stable arm; a sliding window over the last N×width
+//! milliseconds makes their rates comparable.  Writes tag the current
+//! bucket with its epoch and reset it lazily when the ring wraps;
+//! reads sum only buckets whose tag falls inside the window, so no
+//! timer thread is needed and an idle counter decays to zero by
+//! itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Bucket {
+    /// Epoch tag + 1 (0 = never written), so a zeroed ring is empty.
+    tag: AtomicU64,
+    count: AtomicU64,
+}
+
+struct WindowInner {
+    bucket_ms: u64,
+    start: Instant,
+    buckets: Box<[Bucket]>,
+}
+
+/// A counter whose total covers only the last `len × width` of wall
+/// time.  Cloning shares the ring; recording and reading are lock-free
+/// atomics.  The `_at` variants take an explicit millisecond clock for
+/// deterministic tests; production callers use [`add`](Self::add) /
+/// [`total`](Self::total), which read a monotonic clock anchored at
+/// construction.
+#[derive(Clone)]
+pub struct WindowedCounter {
+    inner: Arc<WindowInner>,
+}
+
+impl WindowedCounter {
+    /// A window of `len` buckets, each `width` wide.  `len ≥ 2` (one
+    /// live bucket plus history) and `width ≥ 1 ms`.
+    pub fn new(len: usize, width: Duration) -> Self {
+        assert!(len >= 2, "window needs at least 2 buckets");
+        let bucket_ms = width.as_millis().max(1) as u64;
+        let buckets =
+            (0..len).map(|_| Bucket { tag: AtomicU64::new(0), count: AtomicU64::new(0) }).collect();
+        WindowedCounter {
+            inner: Arc::new(WindowInner { bucket_ms, start: Instant::now(), buckets }),
+        }
+    }
+
+    /// Width of the full window in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.inner.bucket_ms * self.inner.buckets.len() as u64
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.inner.start.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+
+    /// Add `n` at the current time.
+    pub fn add(&self, n: u64) {
+        self.add_at(n, self.now_ms());
+    }
+
+    /// Sliding-window total at the current time.
+    pub fn total(&self) -> u64 {
+        self.total_at(self.now_ms())
+    }
+
+    /// Add `n` at an explicit millisecond clock (for tests with a
+    /// simulated clock; `now_ms` must not move backwards).
+    pub fn add_at(&self, n: u64, now_ms: u64) {
+        let tag = now_ms / self.inner.bucket_ms + 1;
+        let slot = (tag % self.inner.buckets.len() as u64) as usize;
+        let bucket = &self.inner.buckets[slot];
+        if bucket.tag.load(Ordering::Relaxed) != tag {
+            // Lazy reset when the ring wraps onto a stale epoch.  Two
+            // racing writers can both reset; at worst a handful of
+            // counts from the first millisecond of a bucket are lost,
+            // which is acceptable for a rate metric.
+            bucket.count.store(0, Ordering::Relaxed);
+            bucket.tag.store(tag, Ordering::Relaxed);
+        }
+        bucket.count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sliding-window total at an explicit millisecond clock: the sum
+    /// of every bucket whose epoch is within the window ending at
+    /// `now_ms` (time advances on read — expired buckets are simply
+    /// skipped, no writer needed).
+    pub fn total_at(&self, now_ms: u64) -> u64 {
+        let current = now_ms / self.inner.bucket_ms + 1;
+        let len = self.inner.buckets.len() as u64;
+        let mut sum = 0u64;
+        for bucket in self.inner.buckets.iter() {
+            let tag = bucket.tag.load(Ordering::Relaxed);
+            if tag != 0 && tag <= current && current - tag < len {
+                sum += bucket.count.load(Ordering::Relaxed);
+            }
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate_within_a_bucket_and_across_the_window() {
+        let w = WindowedCounter::new(4, Duration::from_millis(100));
+        w.add_at(1, 0);
+        w.add_at(2, 50);
+        assert_eq!(w.total_at(60), 3, "same bucket accumulates");
+        w.add_at(5, 150);
+        assert_eq!(w.total_at(160), 8, "adjacent buckets both live");
+    }
+
+    #[test]
+    fn buckets_expire_as_the_read_clock_advances() {
+        let w = WindowedCounter::new(4, Duration::from_millis(100));
+        w.add_at(10, 0);
+        // Epoch 0 stays live while the current epoch is < 4.
+        assert_eq!(w.total_at(399), 10);
+        assert_eq!(w.total_at(400), 0, "expiry happens on read, no writer needed");
+    }
+
+    #[test]
+    fn ring_wrap_reclaims_stale_buckets() {
+        let w = WindowedCounter::new(3, Duration::from_millis(10));
+        w.add_at(7, 0); // epoch 0
+        w.add_at(1, 30); // epoch 3 — same slot as epoch 0, must reset
+        assert_eq!(w.total_at(30), 1);
+    }
+
+    #[test]
+    fn production_clock_path_counts_immediately() {
+        let w = WindowedCounter::new(12, Duration::from_secs(5));
+        w.add(3);
+        w.add(4);
+        assert_eq!(w.total(), 7);
+        assert_eq!(w.window_ms(), 60_000);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property pins for the sliding-window counters.
+//!
+//! The contract a windowed rate depends on: at any read instant the
+//! window total equals the sum of events that landed in the last
+//! `len` epoch buckets — no more (stale buckets are excluded the
+//! moment the clock passes them) and no less (a freshly started
+//! series is never penalised for not having existed earlier, which is
+//! what makes a young canary's windowed rate comparable to a
+//! long-lived stable arm's).
+
+use std::time::Duration;
+
+use irs_obs::WindowedCounter;
+use proptest::prelude::*;
+
+proptest! {
+    /// The window total equals the model: the sum of all events whose
+    /// epoch is still inside the last `len` buckets as seen from the
+    /// read clock.  Events are replayed in epoch order (the production
+    /// write pattern — a monotonic clock never goes backwards).
+    #[test]
+    fn window_total_matches_the_live_bucket_sum(
+        len in 2usize..16,
+        width_ms in 1u64..500,
+        mut ops in proptest::collection::vec((0u64..2_000, 1u64..100), 1..64),
+    ) {
+        ops.sort_by_key(|&(epoch, _)| epoch);
+        let w = WindowedCounter::new(len, Duration::from_millis(width_ms));
+        for &(epoch, n) in &ops {
+            w.add_at(n, epoch * width_ms);
+        }
+        let read_epoch = ops.last().unwrap().0;
+        let expected: u64 = ops
+            .iter()
+            .filter(|&&(epoch, _)| epoch + len as u64 > read_epoch)
+            .map(|&(_, n)| n)
+            .sum();
+        prop_assert_eq!(w.total_at(read_epoch * width_ms), expected);
+    }
+
+    /// Advancing the read clock alone expires buckets one by one until
+    /// the window drains to zero; the counter itself is never written
+    /// during the advance.
+    #[test]
+    fn buckets_expire_bucket_by_bucket_on_read(
+        len in 2usize..16,
+        width_ms in 1u64..500,
+        per_bucket in 1u64..100,
+    ) {
+        let w = WindowedCounter::new(len, Duration::from_millis(width_ms));
+        for epoch in 0..len as u64 {
+            w.add_at(per_bucket, epoch * width_ms);
+        }
+        // Full window visible from the last written epoch.
+        let last = (len as u64 - 1) * width_ms;
+        prop_assert_eq!(w.total_at(last), per_bucket * len as u64);
+        // Each whole bucket the clock advances drops exactly one bucket
+        // of events, oldest first.
+        for dropped in 1..=len as u64 {
+            let now = last + dropped * width_ms;
+            prop_assert_eq!(
+                w.total_at(now),
+                per_bucket * (len as u64 - dropped),
+                "after advancing {} buckets", dropped
+            );
+        }
+        // Far future: everything expired, nothing resurrects.
+        prop_assert_eq!(w.total_at(last + 100 * len as u64 * width_ms), 0);
+    }
+}
+
+/// The motivating scenario: a stable arm that has served traffic for a
+/// thousand epochs and a canary that came up ten epochs ago.  Lifetime
+/// totals differ by 100x, but the *windowed* totals — the apples-to-
+/// apples figure the canary pipeline compares — are within the ratio
+/// of their actual recent rates.
+#[test]
+fn young_canary_window_is_comparable_to_a_long_lived_stable_arm() {
+    let width = Duration::from_secs(1);
+    let (len, width_ms) = (12usize, 1_000u64);
+    let stable = WindowedCounter::new(len, width);
+    let canary = WindowedCounter::new(len, width);
+
+    let mut stable_lifetime = 0u64;
+    let mut canary_lifetime = 0u64;
+    for epoch in 0..1_000u64 {
+        stable.add_at(10, epoch * width_ms + 500);
+        stable_lifetime += 10;
+        if epoch >= 990 {
+            canary.add_at(10, epoch * width_ms + 500);
+            canary_lifetime += 10;
+        }
+    }
+
+    let now = 999 * width_ms + 500;
+    assert!(stable_lifetime >= 100 * canary_lifetime, "lifetime totals are incomparable");
+    let stable_window = stable.total_at(now);
+    let canary_window = canary.total_at(now);
+    // Stable has all 12 buckets live (120 events); the canary has the
+    // 10 buckets it existed for (100 events).  Same order of magnitude,
+    // unlike the lifetime totals.
+    assert_eq!(stable_window, 120);
+    assert_eq!(canary_window, 100);
+    let ratio = stable_window as f64 / canary_window as f64;
+    assert!(ratio < 1.5, "windowed rates must be comparable, got ratio {ratio}");
+}

@@ -20,7 +20,8 @@
 //!     [--sessions 32] [--rounds 3] [--steps 8] [--patience 3] \
 //!     [--max-batch 16] [--max-wait-us 500] [--workers 2] \
 //!     [--http-workers 0] [--scale 0.02] [--epochs 1] \
-//!     [--compare] [--keep-alive] [--verify]
+//!     [--compare] [--keep-alive] [--verify] \
+//!     [--log-level error|warn|info|debug|trace] [--log-format text|json]
 //! ```
 
 use std::io::{Read, Write};
@@ -33,6 +34,8 @@ use irs_core::{InteractiveSession, Irn, IrnConfig, NeuralTrainConfig};
 use irs_data::split::{sample_objectives, split_dataset, SplitConfig};
 use irs_data::synth::{generate, SynthConfig};
 use irs_data::ItemId;
+use irs_obs::log::{Format, Level};
+use irs_obs::{log_error, log_info};
 use irs_serve::{
     BatchPolicy, Engine, HttpServer, JsonValue, ModelSnapshot, ServerConfig, SnapshotRegistry,
 };
@@ -51,6 +54,8 @@ struct Opts {
     keep_alive: bool,
     http_workers: usize,
     verify: bool,
+    log_level: Level,
+    log_format: Format,
 }
 
 impl Default for Opts {
@@ -69,6 +74,8 @@ impl Default for Opts {
             keep_alive: false,
             http_workers: 0,
             verify: false,
+            log_level: Level::Info,
+            log_format: Format::Text,
         }
     }
 }
@@ -122,6 +129,16 @@ fn parse_args() -> Result<Opts, String> {
                     take(&args, &mut i)?.parse().map_err(|e| format!("--http-workers: {e}"))?
             }
             "--verify" => opts.verify = true,
+            "--log-level" => {
+                let v = take(&args, &mut i)?;
+                opts.log_level =
+                    Level::parse(&v).ok_or_else(|| format!("unknown log level '{v}'"))?;
+            }
+            "--log-format" => {
+                let v = take(&args, &mut i)?;
+                opts.log_format =
+                    Format::parse(&v).ok_or_else(|| format!("unknown log format '{v}'"))?;
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
         i += 1;
@@ -433,11 +450,14 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: serve_load [--sessions N] [--rounds R] [--steps S] [--patience P] \
                  [--max-batch B] [--max-wait-us U] [--workers W] [--http-workers N] \
-                 [--scale S] [--epochs E] [--compare] [--keep-alive] [--verify]"
+                 [--scale S] [--epochs E] [--compare] [--keep-alive] [--verify] \
+                 [--log-level L] [--log-format text|json]"
             );
             return ExitCode::from(2);
         }
     };
+    irs_obs::log::set_level(opts.log_level);
+    irs_obs::log::set_format(opts.log_format);
     // Same guard as `irs serve`: usage error, not an Engine::start panic.
     if opts.max_batch == 0 || opts.workers == 0 || opts.sessions == 0 {
         eprintln!("error: --max-batch, --workers and --sessions must be >= 1");
@@ -445,7 +465,7 @@ fn main() -> ExitCode {
     }
 
     // Tiny self-contained world: synthetic dataset, one-epoch IRN.
-    eprintln!("serve_load: building synthetic dataset (scale {})...", opts.scale);
+    log_info!("serve_load", "building synthetic dataset (scale {})...", opts.scale);
     let dataset = generate(&SynthConfig::movielens_like(opts.scale)).dataset;
     let split = split_dataset(&dataset, &SplitConfig::small());
     let objectives = sample_objectives(&dataset, &split.test, 5, 0x10ad);
@@ -459,8 +479,9 @@ fn main() -> ExitCode {
         train,
         ..Default::default()
     };
-    eprintln!(
-        "serve_load: training IRN ({} items, {} users, {} train subsequences)...",
+    log_info!(
+        "serve_load",
+        "training IRN ({} items, {} users, {} train subsequences)...",
         dataset.num_items,
         dataset.num_users,
         split.train.len()
@@ -529,14 +550,16 @@ fn main() -> ExitCode {
             let mut lats = Vec::new();
             drive_http_session(&mut client, &scripts[0], scripts[0].objectives[0], &mut lats);
         }
-        eprintln!(
-            "serve_load: HTTP close-per-request run ({} clients, fresh connection each request)...",
+        log_info!(
+            "serve_load",
+            "HTTP close-per-request run ({} clients, fresh connection each request)...",
             opts.sessions
         );
         let close = run_http_load(addr, &scripts, &opts, false);
         close.print("http-close");
-        eprintln!(
-            "serve_load: HTTP keep-alive run ({} clients, one reused connection each)...",
+        log_info!(
+            "serve_load",
+            "HTTP keep-alive run ({} clients, one reused connection each)...",
             opts.sessions
         );
         let keep = run_http_load(addr, &scripts, &opts, true);
@@ -555,14 +578,16 @@ fn main() -> ExitCode {
         //   engine1  — the scheduler with max_batch 1 (isolates the
         //              engine's tape-free batched infer path);
         //   batched  — the full micro-batching scheduler.
-        eprintln!(
-            "serve_load: batch-size-1 baseline ({} sessions, scalar next_item per request)...",
+        log_info!(
+            "serve_load",
+            "batch-size-1 baseline ({} sessions, scalar next_item per request)...",
             opts.sessions
         );
         let scalar = run_load(&registry, Mode::Scalar, &scripts, &opts);
         scalar.print("scalar  ");
-        eprintln!(
-            "serve_load: engine without coalescing (max_batch 1, {} workers)...",
+        log_info!(
+            "serve_load",
+            "engine without coalescing (max_batch 1, {} workers)...",
             opts.workers
         );
         let engine1 = run_load(
@@ -572,9 +597,11 @@ fn main() -> ExitCode {
             &opts,
         );
         engine1.print("engine1 ");
-        eprintln!(
-            "serve_load: micro-batched run (max_batch {}, wait {} µs)...",
-            opts.max_batch, opts.max_wait_us
+        log_info!(
+            "serve_load",
+            "micro-batched run (max_batch {}, wait {} µs)...",
+            opts.max_batch,
+            opts.max_wait_us
         );
         let batched = run_load(&registry, Mode::Engine(batched_policy.clone()), &scripts, &opts);
         batched.print("batched ");
@@ -606,17 +633,23 @@ fn main() -> ExitCode {
     if std::env::var("IRS_SERVE_ASSERT").as_deref() == Ok("1") {
         if let Some(r) = reuse_win {
             if r < 1.3 {
-                eprintln!("FAIL: keep-alive win {r:.2}x below the 1.3x acceptance threshold");
+                log_error!(
+                    "serve_load",
+                    "FAIL: keep-alive win {r:.2}x below the 1.3x acceptance threshold"
+                );
                 return ExitCode::FAILURE;
             }
             println!("ok: keep-alive win {r:.2}x ≥ 1.3x");
         } else {
             let Some(s) = speedup else {
-                eprintln!("IRS_SERVE_ASSERT requires --compare or --keep-alive");
+                log_error!("serve_load", "IRS_SERVE_ASSERT requires --compare or --keep-alive");
                 return ExitCode::FAILURE;
             };
             if s < 2.0 {
-                eprintln!("FAIL: micro-batching speedup {s:.2}x below the 2x acceptance threshold");
+                log_error!(
+                    "serve_load",
+                    "FAIL: micro-batching speedup {s:.2}x below the 2x acceptance threshold"
+                );
                 return ExitCode::FAILURE;
             }
             println!("ok: micro-batching speedup {s:.2}x ≥ 2x");

@@ -11,7 +11,8 @@
 //! | Route                           | Body → Reply |
 //! |---------------------------------|--------------|
 //! | `GET /healthz`                  | → `{ok, snapshot, version}` |
-//! | `GET /v1/stats`                 | → engine counters, session count, snapshot info |
+//! | `GET /v1/stats`                 | → flat JSON rendered from the metrics registry |
+//! | `GET /metrics`                  | → Prometheus text exposition from the same registry |
 //! | `POST /v1/session`              | `{user, history, objective, max_len?, patience?}` → `{session_id}` |
 //! | `GET /v1/session/{id}`          | → session state summary |
 //! | `POST /v1/session/{id}/next`    | → `{item, done}` (blocks through the scheduler) |
@@ -56,6 +57,7 @@ use std::time::{Duration, Instant};
 
 use irs_core::InteractiveSession;
 use irs_nn::EncodingLayout;
+use irs_obs::FlatValue;
 use parking_lot::RwLock;
 
 use crate::conn::{Conn, RequestSpans};
@@ -66,7 +68,10 @@ use crate::scheduler::Engine;
 use crate::session::SessionStore;
 use crate::snapshot::{SnapshotLoader, CANARY_ARM, NUM_ARMS};
 use crate::split::TrafficSplit;
-use crate::workspace::RequestWorkspace;
+use crate::workspace::{RequestWorkspace, CONTENT_TYPE_JSON};
+
+/// `Content-Type` of the Prometheus text exposition format.
+const CONTENT_TYPE_PROMETHEUS: &str = "text/plain; version=0.0.4; charset=utf-8";
 
 /// Frontend configuration.
 #[derive(Debug, Clone)]
@@ -228,6 +233,10 @@ impl HttpServer {
         } else {
             config.http_workers
         };
+        // The traffic split records into the engine's metric registry:
+        // the same per-arm counters the hot path bumps are the ones
+        // /metrics and /v1/stats render.
+        let split = TrafficSplit::with_metrics(config.split_seed, engine.metrics().arm_handles());
         let state = Arc::new(ServerState {
             engine,
             sessions: SessionStore::with_cache_budget(
@@ -235,7 +244,7 @@ impl HttpServer {
                 config.context_cache_mb.saturating_mul(1024 * 1024),
             ),
             loader,
-            split: TrafficSplit::new(config.split_seed),
+            split,
             config,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -376,10 +385,16 @@ fn reason(status: u16) -> &'static str {
 
 /// Append a response head.  Every response carries an explicit
 /// `Content-Length` (keep-alive framing depends on it).
-fn write_head(out: &mut Vec<u8>, status: u16, body_len: usize, keep_alive: bool) {
+fn write_head(
+    out: &mut Vec<u8>,
+    status: u16,
+    content_type: &str,
+    body_len: usize,
+    keep_alive: bool,
+) {
     let _ = write!(
         out,
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {body_len}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {body_len}\r\nConnection: {}\r\n\r\n",
         reason(status),
         if keep_alive { "keep-alive" } else { "close" },
     );
@@ -401,7 +416,7 @@ pub(crate) fn write_error_response(
 ) {
     scratch.clear();
     write_error_body(scratch, message);
-    write_head(out, status, scratch.len(), false);
+    write_head(out, status, CONTENT_TYPE_JSON, scratch.len(), false);
     out.extend_from_slice(scratch);
 }
 
@@ -453,15 +468,17 @@ pub(crate) fn handle_parsed(
     out: &mut Vec<u8>,
 ) {
     ws.body.clear();
+    ws.content_type = CONTENT_TYPE_JSON;
     let status = match route(state, addr, ws, buf, spans) {
         Ok(status) => status,
         Err(e) => {
             ws.body.clear();
+            ws.content_type = CONTENT_TYPE_JSON;
             write_error_body(&mut ws.body, &e.message);
             e.status
         }
     };
-    write_head(out, status, ws.body.len(), spans.keep_alive);
+    write_head(out, status, ws.content_type, ws.body.len(), spans.keep_alive);
     out.extend_from_slice(&ws.body);
 }
 
@@ -497,6 +514,11 @@ fn route(
         }
         (b"GET", [Some("v1"), Some("stats"), None, None]) => {
             stats_payload(state, &mut ws.body);
+            Ok(200)
+        }
+        (b"GET", [Some("metrics"), None, None, None]) => {
+            metrics_payload(state, &mut ws.body);
+            ws.content_type = CONTENT_TYPE_PROMETHEUS;
             Ok(200)
         }
         (b"POST", [Some("v1"), Some("session"), None, None]) => create_session(state, ws, body),
@@ -542,6 +564,7 @@ fn route(
         // Known paths reached with the wrong verb are 405; everything
         // else (typo'd routes included) is 404.
         (_, [Some("healthz"), None, None, None])
+        | (_, [Some("metrics"), None, None, None])
         | (_, [Some("v1"), Some("stats"), None, None])
         | (_, [Some("v1"), Some("session"), None, None])
         | (_, [Some("v1"), Some("session"), Some(_), None])
@@ -602,113 +625,98 @@ fn write_session_payload(b: &mut Vec<u8>, id: u64, session: &InteractiveSession)
     b.push(b'}');
 }
 
-fn stats_payload(state: &Arc<ServerState>, b: &mut Vec<u8>) {
+/// Copy every sampled (non-hot-path) value into its registry handle so
+/// a scrape sees a coherent point-in-time view.  Called by both
+/// exposition endpoints immediately before rendering.  Steady-state
+/// allocation-free: gauges are atomic stores, text handles skip the
+/// write when unchanged, and the snapshot reads are `Arc` clones.
+fn sample_metrics(state: &Arc<ServerState>) {
+    let m = state.engine.metrics();
     let stats = state.engine.stats();
-    let snap = state.engine.registry().current();
     let policy = state.engine.policy();
-    b.extend_from_slice(b"{\"requests\":");
-    write_json_num(b, stats.requests as f64);
-    b.extend_from_slice(b",\"batches\":");
-    write_json_num(b, stats.batches as f64);
-    b.extend_from_slice(b",\"mean_batch\":");
-    write_json_num(b, stats.mean_batch());
-    b.extend_from_slice(b",\"gave_up\":");
-    write_json_num(b, stats.gave_up as f64);
-    b.extend_from_slice(b",\"cache_hits\":");
-    write_json_num(b, stats.cache_hits as f64);
-    b.extend_from_slice(b",\"cache_misses\":");
-    write_json_num(b, stats.cache_misses as f64);
-    b.extend_from_slice(b",\"cache_invalidations\":");
-    write_json_num(b, stats.cache_invalidations as f64);
-    b.extend_from_slice(b",\"cache_resident_bytes\":");
-    write_json_num(b, state.sessions.cache_resident_bytes() as f64);
-    b.extend_from_slice(b",\"cache_evictions\":");
-    write_json_num(b, state.sessions.cache_evictions() as f64);
-    b.extend_from_slice(b",\"sessions\":");
-    write_json_num(b, state.sessions.len() as f64);
-    b.extend_from_slice(b",\"evicted_sessions\":");
-    write_json_num(b, state.evicted.load(Ordering::Relaxed) as f64);
-    b.extend_from_slice(b",\"snapshot\":");
-    write_json_str(b, &snap.label);
-    b.extend_from_slice(b",\"snapshot_version\":");
-    write_json_num(b, state.engine.registry().version() as f64);
-    b.extend_from_slice(b",\"snapshot_params\":");
-    write_json_num(b, snap.num_scalars() as f64);
-    b.extend_from_slice(b",\"max_batch\":");
-    write_json_num(b, policy.max_batch as f64);
-    b.extend_from_slice(b",\"max_wait_us\":");
-    write_json_num(b, policy.max_wait.as_micros() as f64);
-    b.extend_from_slice(b",\"workers\":");
-    write_json_num(b, policy.workers as f64);
-    b.extend_from_slice(b",\"http_workers\":");
-    write_json_num(b, state.http_workers as f64);
-    b.extend_from_slice(b",\"open_connections\":");
-    write_json_num(b, state.open_conns.load(Ordering::Relaxed) as f64);
-    // Serving configuration, reported exactly as the startup log prints
-    // it so operators can cross-check the two.
-    b.extend_from_slice(b",\"layout\":");
-    write_json_str(b, layout_name(state.config.layout));
-    b.extend_from_slice(b",\"context_cache_budget_mb\":");
-    write_json_num(b, state.config.context_cache_mb as f64);
-    // Per-arm traffic split: weights, census, served snapshot and the
-    // canary-comparison counters.  Flat keys (`arm0_*`/`arm1_*`) so
-    // shell pipelines can extract them with one sed each.
+    let snap = state.engine.registry().current();
+    m.mean_batch.set(stats.mean_batch());
+    m.cache_resident_bytes.set(state.sessions.cache_resident_bytes() as f64);
+    m.cache_evictions.store(state.sessions.cache_evictions());
+    m.sessions.set(state.sessions.len() as f64);
+    m.evicted_sessions.store(state.evicted.load(Ordering::Relaxed));
+    m.snapshot.set_if_changed(&snap.label);
+    m.snapshot_version.set(state.engine.registry().version() as f64);
+    m.snapshot_params.set(snap.num_scalars() as f64);
+    m.max_batch.set(policy.max_batch as f64);
+    m.max_wait_us.set(policy.max_wait.as_micros() as f64);
+    m.workers.set(policy.workers as f64);
+    m.http_workers.set(state.http_workers as f64);
+    m.open_connections.set(state.open_conns.load(Ordering::Relaxed) as f64);
+    m.layout.set_if_changed(layout_name(state.config.layout));
+    m.context_cache_budget_mb.set(state.config.context_cache_mb as f64);
     let weights = state.split.weights();
     let census = state.sessions.arm_census();
     for arm in 0..NUM_ARMS {
-        let metrics = state.split.metrics(arm);
+        let obs = &m.arms[arm];
+        let hot = state.split.metrics(arm);
         let (snap, version) = state.engine.registry().arm_versioned(arm);
-        let _ = write!(b, ",\"arm{arm}_weight\":");
-        write_json_num(b, weights[arm]);
-        let _ = write!(b, ",\"arm{arm}_snapshot\":");
-        write_json_str(b, &snap.label);
-        let _ = write!(b, ",\"arm{arm}_version\":");
-        write_json_num(b, version as f64);
-        let _ = write!(b, ",\"arm{arm}_sessions\":");
-        write_json_num(b, census[arm] as f64);
-        let _ = write!(b, ",\"arm{arm}_requests\":");
-        write_json_num(b, metrics.requests() as f64);
-        let _ = write!(b, ",\"arm{arm}_accepted\":");
-        write_json_num(b, metrics.accepted() as f64);
-        let _ = write!(b, ",\"arm{arm}_rejected\":");
-        write_json_num(b, metrics.rejected() as f64);
-        let _ = write!(b, ",\"arm{arm}_acceptance_rate\":");
-        write_json_num(b, metrics.acceptance_rate());
-        let _ = write!(b, ",\"arm{arm}_p50_us\":");
-        write_json_num(b, metrics.latency_quantile_us(0.5));
-        let _ = write!(b, ",\"arm{arm}_p95_us\":");
-        write_json_num(b, metrics.latency_quantile_us(0.95));
+        obs.weight.set(weights[arm]);
+        obs.snapshot.set_if_changed(&snap.label);
+        obs.version.set(version as f64);
+        obs.sessions.set(census[arm] as f64);
+        obs.acceptance_rate.set(hot.acceptance_rate());
+        obs.p50_us.set(hot.latency_quantile_us(0.5));
+        obs.p95_us.set(hot.latency_quantile_us(0.95));
+        obs.window_requests.set(hot.window_requests() as f64);
+        obs.window_accepted.set(hot.window_accepted() as f64);
+        obs.window_rejected.set(hot.window_rejected() as f64);
+        obs.window_acceptance_rate.set(hot.window_acceptance_rate());
+        obs.window_mean_us.set(hot.window_mean_latency_us());
     }
     // Online-learning counters (zeroes when --online-train is off, so
-    // dashboards can scrape one stable schema).
+    // dashboards scrape one stable schema).
     let online = state.online.read().clone();
-    b.extend_from_slice(b",\"online_enabled\":");
-    b.extend_from_slice(if online.is_some() { b"true" } else { b"false" });
     let stats = online.as_ref().map(|h| h.stats());
-    b.extend_from_slice(b",\"online_events_logged\":");
-    write_json_num(b, stats.map_or(0, |s| s.events_logged) as f64);
-    b.extend_from_slice(b",\"online_events_dropped\":");
-    write_json_num(b, stats.map_or(0, |s| s.events_dropped) as f64);
-    b.extend_from_slice(b",\"online_replay_len\":");
-    write_json_num(b, stats.map_or(0, |s| s.replay_len as u64) as f64);
-    b.extend_from_slice(b",\"online_folds\":");
-    write_json_num(b, stats.map_or(0, |s| s.folds) as f64);
-    b.extend_from_slice(b",\"online_examples\":");
-    write_json_num(b, stats.map_or(0, |s| s.examples) as f64);
-    b.extend_from_slice(b",\"online_publishes\":");
-    write_json_num(b, stats.map_or(0, |s| s.publishes) as f64);
-    b.extend_from_slice(b",\"online_last_loss\":");
-    match stats.map(|s| s.last_loss) {
-        Some(loss) if loss.is_finite() => write_json_num(b, loss as f64),
-        _ => b.extend_from_slice(b"null"),
-    }
-    b.extend_from_slice(b",\"online_trainer_panics\":");
-    write_json_num(b, stats.map_or(0, |s| s.trainer_panics) as f64);
-    b.extend_from_slice(b",\"online_trainer_alive\":");
-    b.extend_from_slice(if stats.is_some_and(|s| s.trainer_alive) { b"true" } else { b"false" });
-    b.extend_from_slice(b",\"uptime_ms\":");
-    write_json_num(b, state.started.elapsed().as_millis() as f64);
+    m.online.enabled.set(online.is_some());
+    m.online.events_logged.store(stats.map_or(0, |s| s.events_logged));
+    m.online.events_dropped.store(stats.map_or(0, |s| s.events_dropped));
+    m.online.replay_len.set(stats.map_or(0, |s| s.replay_len as u64) as f64);
+    m.online.folds.store(stats.map_or(0, |s| s.folds));
+    m.online.examples.store(stats.map_or(0, |s| s.examples));
+    m.online.publishes.store(stats.map_or(0, |s| s.publishes));
+    // Non-finite (no fold yet / trainer off) renders as JSON null and
+    // Prometheus NaN.
+    m.online.last_loss.set(stats.map_or(f64::NAN, |s| s.last_loss as f64));
+    m.online.trainer_panics.store(stats.map_or(0, |s| s.trainer_panics));
+    m.online.trainer_alive.set(stats.is_some_and(|s| s.trainer_alive));
+    m.uptime_ms.set(state.started.elapsed().as_millis() as f64);
+}
+
+/// `/v1/stats`: the registry's flat view as one JSON object.  Key order
+/// is registration order, which preserves the layout of the old
+/// hand-written serialiser.
+fn stats_payload(state: &Arc<ServerState>, b: &mut Vec<u8>) {
+    sample_metrics(state);
+    b.push(b'{');
+    let mut first = true;
+    state.engine.metrics().registry().visit_flat(|key, value| {
+        if !first {
+            b.push(b',');
+        }
+        first = false;
+        write_json_str(b, key);
+        b.push(b':');
+        match value {
+            FlatValue::Int(v) => write_json_num(b, v as f64),
+            FlatValue::Num(v) if v.is_finite() => write_json_num(b, v),
+            FlatValue::Num(_) => b.extend_from_slice(b"null"),
+            FlatValue::Bool(v) => b.extend_from_slice(if v { b"true" } else { b"false" }),
+            FlatValue::Text(s) => write_json_str(b, s),
+        }
+    });
     b.push(b'}');
+}
+
+/// `GET /metrics`: Prometheus text exposition of the same registry.
+fn metrics_payload(state: &Arc<ServerState>, b: &mut Vec<u8>) {
+    sample_metrics(state);
+    state.engine.metrics().registry().render_prometheus(b);
 }
 
 /// The operator-facing name of an encoding layout (shared by the startup
@@ -854,6 +862,8 @@ fn next_item(
             if let Some(cache) = caller.take_cache() {
                 state.sessions.put_cache(id, cache);
             }
+            let cached = usize::from(state.sessions.cache_enabled());
+            let encode_started = Instant::now();
             match answer {
                 Some(item) => {
                     b.extend_from_slice(b"{\"item\":");
@@ -871,6 +881,8 @@ fn next_item(
                     b.extend_from_slice(b"{\"item\":null,\"done\":true}");
                 }
             }
+            state.engine.metrics().stages.encode[arm.min(NUM_ARMS - 1)][cached]
+                .record(encode_started.elapsed());
             drop(pin);
         }
     }

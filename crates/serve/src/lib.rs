@@ -41,6 +41,7 @@
 mod conn;
 mod http;
 mod json;
+mod metrics;
 mod online;
 mod pool;
 mod scheduler;
@@ -53,6 +54,7 @@ pub use http::{layout_name, HttpServer, ServerConfig, ServerHandle};
 pub use json::{
     write_json_num, write_json_str, JsonError, JsonRef, JsonSlab, JsonValue, MAX_DEPTH,
 };
+pub use metrics::ServeMetrics;
 pub use online::{
     FeedbackEvent, FoldOutcome, ForcePublishError, IrnOnlineLearner, OnlineConfig, OnlineHandle,
     OnlineLearner, OnlineStatsView, ReplayBuffer,
@@ -62,5 +64,7 @@ pub use session::{SessionId, SessionPin, SessionStore};
 pub use snapshot::{
     IrnArchitecture, ModelSnapshot, SnapshotLoader, SnapshotRegistry, CANARY_ARM, NUM_ARMS,
 };
-pub use split::{ArmMetrics, LatencyHistogram, TrafficSplit};
+pub use split::{
+    ArmMetrics, LatencyHistogram, TrafficSplit, ARM_WINDOW_BUCKET, ARM_WINDOW_BUCKETS,
+};
 pub use workspace::RequestWorkspace;

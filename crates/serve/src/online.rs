@@ -40,6 +40,7 @@ use std::time::{Duration, Instant};
 
 use irs_core::{IncrementalTrainer, Irn};
 use irs_data::split::SubSeq;
+use irs_obs::{log_error, log_warn};
 use parking_lot::{Condvar, Mutex};
 
 use crate::snapshot::{ModelSnapshot, SnapshotRegistry, CANARY_ARM};
@@ -399,7 +400,7 @@ impl OnlineHandle {
         if thread.is_finished() {
             let _ = thread.join();
         } else {
-            eprintln!("irs_serve: online trainer stalled at shutdown; detaching it");
+            log_warn!("online", "trainer stalled at shutdown; detaching it");
             drop(thread); // detach
         }
     }
@@ -437,7 +438,7 @@ fn trainer_loop<F>(
     let mut learner = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(factory)) {
         Ok(l) => l,
         Err(_) => {
-            eprintln!("irs_serve: online learner construction panicked; serving statically");
+            log_error!("online", "learner construction panicked; serving statically");
             die(&counters.trainer_panics, true);
             return;
         }
@@ -484,7 +485,7 @@ fn trainer_loop<F>(
                         Some(version)
                     }
                     Err(e) => {
-                        eprintln!("irs_serve: online publish failed: {e}");
+                        log_error!("online", "publish failed: {e}");
                         None
                     }
                 }
@@ -503,7 +504,7 @@ fn trainer_loop<F>(
                 }
             }
             Err(_) => {
-                eprintln!("irs_serve: online trainer panicked; serving statically from here on");
+                log_error!("online", "trainer panicked; serving statically from here on");
                 die(&counters.trainer_panics, true);
                 return;
             }

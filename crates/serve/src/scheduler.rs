@@ -36,13 +36,14 @@
 
 use std::collections::VecDeque;
 use std::mem;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use irs_core::{ContextCache, NextQuery};
 use irs_data::{ItemId, UserId};
+use irs_obs::log_error;
 
+use crate::metrics::ServeMetrics;
 use crate::snapshot::{ModelSnapshot, SnapshotRegistry, NUM_ARMS};
 
 /// Micro-batching knobs.
@@ -161,6 +162,9 @@ struct ScoreRequest {
     want_cache: bool,
     /// The traffic arm (snapshot slot) this request scores against.
     arm: usize,
+    /// When the request entered the queue — the start of its
+    /// `queue`-stage span.
+    enqueued_at: Instant,
     reply: Reply,
 }
 
@@ -257,17 +261,6 @@ impl Default for EngineCaller {
     }
 }
 
-/// Aggregate serving counters (all monotonic).
-#[derive(Default)]
-struct Stats {
-    requests: AtomicU64,
-    batches: AtomicU64,
-    gave_up: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    cache_invalidations: AtomicU64,
-}
-
 /// A point-in-time copy of the engine counters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StatsSnapshot {
@@ -304,7 +297,7 @@ impl StatsSnapshot {
 pub struct Engine {
     queue: Arc<SharedQueue>,
     registry: Arc<SnapshotRegistry>,
-    stats: Arc<Stats>,
+    metrics: Arc<ServeMetrics>,
     policy: BatchPolicy,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
@@ -321,22 +314,28 @@ impl Engine {
             not_full: Condvar::new(),
             capacity: policy.queue_capacity,
         });
-        let stats = Arc::new(Stats::default());
+        let metrics = Arc::new(ServeMetrics::new());
         let workers = (0..policy.workers)
             .map(|_| {
                 let queue = queue.clone();
                 let registry = registry.clone();
-                let stats = stats.clone();
+                let metrics = metrics.clone();
                 let policy = policy.clone();
-                std::thread::spawn(move || worker_loop(&queue, &registry, &stats, &policy))
+                std::thread::spawn(move || worker_loop(&queue, &registry, &metrics, &policy))
             })
             .collect();
-        Engine { queue, registry, stats, policy, workers: Mutex::new(workers) }
+        Engine { queue, registry, metrics, policy, workers: Mutex::new(workers) }
     }
 
     /// The snapshot registry this engine scores against.
     pub fn registry(&self) -> &Arc<SnapshotRegistry> {
         &self.registry
+    }
+
+    /// The metrics registry this engine (and the frontend built on it)
+    /// records into.
+    pub fn metrics(&self) -> &Arc<ServeMetrics> {
+        &self.metrics
     }
 
     /// The batching policy the engine runs under.
@@ -426,6 +425,7 @@ impl Engine {
                 cache,
                 want_cache,
                 arm: arm.min(NUM_ARMS - 1),
+                enqueued_at: Instant::now(),
                 reply: Reply::new(slot.clone()),
             });
         }
@@ -457,12 +457,12 @@ impl Engine {
     /// Current counter values.
     pub fn stats(&self) -> StatsSnapshot {
         StatsSnapshot {
-            requests: self.stats.requests.load(Ordering::Relaxed),
-            batches: self.stats.batches.load(Ordering::Relaxed),
-            gave_up: self.stats.gave_up.load(Ordering::Relaxed),
-            cache_hits: self.stats.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.stats.cache_misses.load(Ordering::Relaxed),
-            cache_invalidations: self.stats.cache_invalidations.load(Ordering::Relaxed),
+            requests: self.metrics.requests.get(),
+            batches: self.metrics.batches.get(),
+            gave_up: self.metrics.gave_up.get(),
+            cache_hits: self.metrics.cache_hits.get(),
+            cache_misses: self.metrics.cache_misses.get(),
+            cache_invalidations: self.metrics.cache_invalidations.get(),
         }
     }
 
@@ -490,21 +490,39 @@ impl Drop for Engine {
     }
 }
 
+/// Record a popped request's `queue`-stage span (time spent waiting for
+/// a worker).  Queue/assemble spans are labelled by the request's cache
+/// *intent* (`want_cache`); the forward span relabels by the path
+/// actually taken.
+fn record_queue_wait(metrics: &ServeMetrics, req: &ScoreRequest, now: Instant) {
+    metrics.stages.queue[req.arm.min(NUM_ARMS - 1)][usize::from(req.want_cache)]
+        .record(now.saturating_duration_since(req.enqueued_at));
+}
+
 /// Collect one micro-batch into `batch` (cleared first): block for the
 /// first request, then keep taking until the batch is full or `max_wait`
-/// since the first pop has elapsed.  Returns `false` when the engine
-/// shut down and the queue is drained.
-fn collect_batch(queue: &SharedQueue, policy: &BatchPolicy, batch: &mut Vec<ScoreRequest>) -> bool {
+/// since the first pop has elapsed.  Returns the instant of the first
+/// pop (the start of the batch's `assemble` span), or `None` when the
+/// engine shut down and the queue is drained.
+fn collect_batch(
+    queue: &SharedQueue,
+    policy: &BatchPolicy,
+    batch: &mut Vec<ScoreRequest>,
+    metrics: &ServeMetrics,
+) -> Option<Instant> {
     batch.clear();
     let mut inner = queue.inner.lock().expect("serve queue poisoned");
     loop {
         if let Some(first) = inner.requests.pop_front() {
             queue.not_full.notify_one();
+            let first_pop = Instant::now();
+            record_queue_wait(metrics, &first, first_pop);
             batch.push(first);
-            let deadline = Instant::now() + policy.max_wait;
+            let deadline = first_pop + policy.max_wait;
             while batch.len() < policy.max_batch {
                 if let Some(req) = inner.requests.pop_front() {
                     queue.not_full.notify_one();
+                    record_queue_wait(metrics, &req, Instant::now());
                     batch.push(req);
                     continue;
                 }
@@ -524,10 +542,10 @@ fn collect_batch(queue: &SharedQueue, policy: &BatchPolicy, batch: &mut Vec<Scor
                     break;
                 }
             }
-            return true;
+            return Some(first_pop);
         }
         if inner.shutdown {
-            return false;
+            return None;
         }
         inner = queue.not_empty.wait(inner).expect("serve queue poisoned");
     }
@@ -547,7 +565,7 @@ fn fresh_cache(snapshot: &ModelSnapshot, version: u64) -> Option<ContextCache> {
 fn worker_loop(
     queue: &SharedQueue,
     registry: &SnapshotRegistry,
-    stats: &Stats,
+    metrics: &ServeMetrics,
     policy: &BatchPolicy,
 ) {
     const EMPTY_QUERY: NextQuery<'static> =
@@ -559,7 +577,14 @@ fn worker_loop(
     let mut cold: [Vec<usize>; NUM_ARMS] =
         std::array::from_fn(|_| Vec::with_capacity(policy.max_batch));
     let mut cold_answers: Vec<Option<ItemId>> = Vec::with_capacity(policy.max_batch);
-    while collect_batch(queue, policy, &mut batch) {
+    while let Some(first_pop) = collect_batch(queue, policy, &mut batch, metrics) {
+        // The assemble span — time spent coalescing after the first pop
+        // — is shared by every request in the batch.
+        let assembled = first_pop.elapsed();
+        for req in batch.iter() {
+            metrics.stages.assemble[req.arm.min(NUM_ARMS - 1)][usize::from(req.want_cache)]
+                .record(assembled);
+        }
         // One snapshot per (batch, arm): every request in the batch bound
         // for a given arm is scored by the same model even if a publish
         // lands mid-flight.  Arms are fetched lazily — the common
@@ -599,7 +624,7 @@ fn worker_loop(
                 let cache = match req.cache.take() {
                     Some(c) if c.generation == version => Some(c),
                     Some(_stale) => {
-                        stats.cache_invalidations.fetch_add(1, Ordering::Relaxed);
+                        metrics.cache_invalidations.inc();
                         fresh_cache(&snapshot, version)
                     }
                     None => fresh_cache(&snapshot, version),
@@ -609,10 +634,12 @@ fn worker_loop(
                     cold[a].push(i);
                     continue;
                 };
+                let forward_started = Instant::now();
                 let (answer, hit) =
                     snapshot.model.next_item_cached(&req.query(), cache.state.as_mut());
-                let counter = if hit { &stats.cache_hits } else { &stats.cache_misses };
-                counter.fetch_add(1, Ordering::Relaxed);
+                metrics.stages.forward[a][1].record(forward_started.elapsed());
+                let counter = if hit { &metrics.cache_hits } else { &metrics.cache_misses };
+                counter.inc();
                 answers[i] = answer;
                 req.cache = Some(cache);
             }
@@ -625,6 +652,7 @@ fn worker_loop(
                     slot.0.clone()
                 };
                 cold_answers.clear();
+                let forward_started = Instant::now();
                 if cold.len() <= STACK_QUERIES {
                     let mut qbuf = [EMPTY_QUERY; STACK_QUERIES];
                     for (slot, &i) in qbuf.iter_mut().zip(cold.iter()) {
@@ -635,6 +663,12 @@ fn worker_loop(
                     let queries: Vec<NextQuery<'_>> =
                         cold.iter().map(|&i| batch[i].query()).collect();
                     snapshot.model.next_items_into(&queries, &mut cold_answers);
+                }
+                // The shared batched forward is attributed to every
+                // request that rode it.
+                let forward = forward_started.elapsed();
+                for _ in cold.iter() {
+                    metrics.stages.forward[a][0].record(forward);
                 }
                 if cold_answers.len() != cold.len() {
                     return false;
@@ -651,24 +685,24 @@ fn worker_loop(
                 // Cached answers and fully-scored arms are sound; only
                 // the short-answered arm's batched cold requests (and any
                 // arm after it) stay `None`.
-                eprintln!(
-                    "irs_serve: model under-answered a batched arm; answering None for the rest"
+                log_error!(
+                    "scheduler",
+                    "model under-answered a batched arm; answering None for the rest"
                 );
             }
             Err(_) => {
-                eprintln!(
-                    "irs_serve: model panicked scoring a batch of {}; answering None",
+                log_error!(
+                    "scheduler",
+                    "model panicked scoring a batch of {}; answering None",
                     batch.len()
                 );
                 answers.clear();
                 answers.resize(batch.len(), None);
             }
         }
-        stats.requests.fetch_add(batch.len() as u64, Ordering::Relaxed);
-        stats.batches.fetch_add(1, Ordering::Relaxed);
-        stats
-            .gave_up
-            .fetch_add(answers.iter().filter(|a| a.is_none()).count() as u64, Ordering::Relaxed);
+        metrics.requests.add(batch.len() as u64);
+        metrics.batches.inc();
+        metrics.gave_up.add(answers.iter().filter(|a| a.is_none()).count() as u64);
         for (req, answer) in batch.drain(..).zip(answers.drain(..)) {
             let ScoreRequest { history, path, reply, cache, .. } = req;
             reply.deliver(answer, history, path, cache);

@@ -11,17 +11,32 @@
 //!
 //! Each arm keeps its own metric counters: requests served, feedback
 //! outcomes (for the acceptance rate) and a log-bucketed latency
-//! histogram (for p50/p95), all lock-free atomics on the hot path.
-//! `/v1/stats` surfaces them per arm so an operator — or the CI canary
-//! pipeline — can compare a candidate snapshot against production
-//! traffic before promoting it to 100%.
+//! histogram (for p50/p95), all lock-free on the hot path.  The handles
+//! are [`irs_obs`] registry handles, so the same counters the hot path
+//! bumps are the ones `/metrics` and `/v1/stats` render — no shadow
+//! copies.  Alongside the lifetime totals every arm keeps
+//! **sliding-window** variants ([`ARM_WINDOW_BUCKETS`] ring buckets of
+//! [`ARM_WINDOW_BUCKET`] each): a young canary's last-minute rate is
+//! comparable to a long-lived stable arm's, which lifetime totals
+//! structurally are not.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 use parking_lot::RwLock;
 
+use irs_obs::{Counter, Histogram, WindowedCounter};
+
 use crate::snapshot::NUM_ARMS;
+
+/// Log-bucketed latency histogram (re-exported from the observability
+/// crate; bucket = bit width of the duration in microseconds).
+pub use irs_obs::Histogram as LatencyHistogram;
+
+/// Ring length of the per-arm sliding windows.
+pub const ARM_WINDOW_BUCKETS: usize = 12;
+/// Width of one window bucket; the full window is
+/// `ARM_WINDOW_BUCKETS × ARM_WINDOW_BUCKET` = 60 s.
+pub const ARM_WINDOW_BUCKET: Duration = Duration::from_secs(5);
 
 /// `splitmix64` — tiny, well-mixed, seedable; the standard choice for
 /// turning a counter-like id into uniform bits.
@@ -33,93 +48,88 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Log-bucketed latency histogram: bucket = bit width of the duration in
-/// microseconds, so 64 buckets cover nanoseconds to ages.  Recording is
-/// one atomic increment; quantiles are estimated at stats time as the
-/// geometric midpoint of the covering bucket (≤ √2 relative error —
-/// plenty for a p50/p95 canary comparison).
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; 64],
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)) }
-    }
-}
-
-impl LatencyHistogram {
-    /// Record one observation (lock-free).
-    pub fn record(&self, latency: Duration) {
-        let us = latency.as_micros().min(u64::MAX as u128) as u64;
-        let bucket = (64 - us.leading_zeros() as usize).min(63);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations recorded.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Estimated `q`-quantile in microseconds (0 when empty).
-    pub fn quantile_us(&self, q: f64) -> f64 {
-        let total = self.count();
-        if total == 0 {
-            return 0.0;
-        }
-        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (bucket, counter) in self.buckets.iter().enumerate() {
-            seen += counter.load(Ordering::Relaxed);
-            if seen >= rank {
-                // Bucket b covers [2^(b-1), 2^b) µs (bucket 0 is "< 1 µs");
-                // report the geometric midpoint.
-                if bucket == 0 {
-                    return 0.5;
-                }
-                let lo = (1u64 << (bucket - 1)) as f64;
-                return lo * std::f64::consts::SQRT_2;
-            }
-        }
-        0.0
-    }
-}
-
-/// Per-arm monotonic serving counters.
-#[derive(Default)]
+/// Per-arm serving counters: lifetime totals plus sliding-window
+/// variants.  Cloning shares the underlying atomics, so a clone handed
+/// to the metrics registry observes the same traffic.
+#[derive(Clone)]
 pub struct ArmMetrics {
-    requests: AtomicU64,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    latency: LatencyHistogram,
+    requests: Counter,
+    accepted: Counter,
+    rejected: Counter,
+    latency: Histogram,
+    window_requests: WindowedCounter,
+    window_accepted: WindowedCounter,
+    window_rejected: WindowedCounter,
+    window_latency_us: WindowedCounter,
+}
+
+impl Default for ArmMetrics {
+    /// Detached handles (not registered anywhere) — for tests and
+    /// standalone [`TrafficSplit`]s.
+    fn default() -> Self {
+        ArmMetrics::with_handles(
+            Counter::default(),
+            Counter::default(),
+            Counter::default(),
+            Histogram::default(),
+        )
+    }
 }
 
 impl ArmMetrics {
+    /// Build around registry-owned lifetime handles; the sliding
+    /// windows are created fresh (they are this struct's own state).
+    pub fn with_handles(
+        requests: Counter,
+        accepted: Counter,
+        rejected: Counter,
+        latency: Histogram,
+    ) -> Self {
+        let window = || WindowedCounter::new(ARM_WINDOW_BUCKETS, ARM_WINDOW_BUCKET);
+        ArmMetrics {
+            requests,
+            accepted,
+            rejected,
+            latency,
+            window_requests: window(),
+            window_accepted: window(),
+            window_rejected: window(),
+            window_latency_us: window(),
+        }
+    }
+
     /// Record one scheduler round-trip and its latency.
     pub fn record_request(&self, latency: Duration) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.requests.inc();
         self.latency.record(latency);
+        self.window_requests.add(1);
+        self.window_latency_us.add(latency.as_micros().min(u64::MAX as u128) as u64);
     }
 
     /// Record one feedback outcome.
     pub fn record_feedback(&self, accepted: bool) {
-        let counter = if accepted { &self.accepted } else { &self.rejected };
-        counter.fetch_add(1, Ordering::Relaxed);
+        if accepted {
+            self.accepted.inc();
+            self.window_accepted.add(1);
+        } else {
+            self.rejected.inc();
+            self.window_rejected.add(1);
+        }
     }
 
-    /// Proposals served through this arm.
+    /// Proposals served through this arm (lifetime).
     pub fn requests(&self) -> u64 {
-        self.requests.load(Ordering::Relaxed)
+        self.requests.get()
     }
 
-    /// Accepted feedback events.
+    /// Accepted feedback events (lifetime).
     pub fn accepted(&self) -> u64 {
-        self.accepted.load(Ordering::Relaxed)
+        self.accepted.get()
     }
 
-    /// Rejected feedback events.
+    /// Rejected feedback events (lifetime).
     pub fn rejected(&self) -> u64 {
-        self.rejected.load(Ordering::Relaxed)
+        self.rejected.get()
     }
 
     /// `accepted / (accepted + rejected)`, 0 before any feedback.
@@ -133,9 +143,51 @@ impl ArmMetrics {
         }
     }
 
-    /// Estimated latency quantile in microseconds.
+    /// Estimated latency quantile in microseconds (lifetime).
     pub fn latency_quantile_us(&self, q: f64) -> f64 {
         self.latency.quantile_us(q)
+    }
+
+    /// Proposals served inside the sliding window.
+    pub fn window_requests(&self) -> u64 {
+        self.window_requests.total()
+    }
+
+    /// Feedback accepted inside the sliding window.
+    pub fn window_accepted(&self) -> u64 {
+        self.window_accepted.total()
+    }
+
+    /// Feedback rejected inside the sliding window.
+    pub fn window_rejected(&self) -> u64 {
+        self.window_rejected.total()
+    }
+
+    /// Acceptance rate over the sliding window, 0 when it is empty.
+    pub fn window_acceptance_rate(&self) -> f64 {
+        let a = self.window_accepted() as f64;
+        let r = self.window_rejected() as f64;
+        if a + r == 0.0 {
+            0.0
+        } else {
+            a / (a + r)
+        }
+    }
+
+    /// Mean round-trip latency in microseconds over the sliding window,
+    /// 0 when it is empty.
+    pub fn window_mean_latency_us(&self) -> f64 {
+        let n = self.window_requests();
+        if n == 0 {
+            0.0
+        } else {
+            self.window_latency_us.total() as f64 / n as f64
+        }
+    }
+
+    /// Width of the sliding window in milliseconds.
+    pub fn window_ms(&self) -> u64 {
+        self.window_requests.window_ms()
     }
 }
 
@@ -151,11 +203,19 @@ pub struct TrafficSplit {
 
 impl TrafficSplit {
     /// All traffic to arm 0 (the stable snapshot) until an admin sets
-    /// weights; `seed` fixes the assignment hash.
+    /// weights; `seed` fixes the assignment hash.  Metrics are detached
+    /// handles; servers that export them use
+    /// [`TrafficSplit::with_metrics`].
     pub fn new(seed: u64) -> Self {
+        TrafficSplit::with_metrics(seed, Default::default())
+    }
+
+    /// Like [`TrafficSplit::new`] but recording into caller-provided
+    /// (typically registry-backed) per-arm metrics.
+    pub fn with_metrics(seed: u64, metrics: [ArmMetrics; NUM_ARMS]) -> Self {
         let mut weights = [0.0; NUM_ARMS];
         weights[0] = 1.0;
-        TrafficSplit { weights: RwLock::new(weights), seed, metrics: Default::default() }
+        TrafficSplit { weights: RwLock::new(weights), seed, metrics }
     }
 
     /// The arm a session id belongs to under the current weights: one
@@ -283,22 +343,27 @@ mod tests {
     }
 
     #[test]
-    fn histogram_quantiles_bracket_the_observations() {
-        let h = LatencyHistogram::default();
-        assert_eq!(h.quantile_us(0.5), 0.0, "empty histogram");
-        for _ in 0..90 {
-            h.record(Duration::from_micros(100));
-        }
-        for _ in 0..10 {
-            h.record(Duration::from_micros(10_000));
-        }
-        assert_eq!(h.count(), 100);
-        let p50 = h.quantile_us(0.5);
-        let p95 = h.quantile_us(0.95);
-        // Log buckets: estimates land within a factor of √2 of the
-        // bucket boundaries around the true values.
-        assert!((50.0..200.0).contains(&p50), "p50 estimate {p50}");
-        assert!((5_000.0..20_000.0).contains(&p95), "p95 estimate {p95}");
-        assert!(p95 > p50);
+    fn windowed_counters_track_fresh_traffic() {
+        let m = ArmMetrics::default();
+        m.record_request(Duration::from_micros(100));
+        m.record_request(Duration::from_micros(300));
+        m.record_feedback(true);
+        m.record_feedback(false);
+        // Just recorded, so everything is inside the 60 s window.
+        assert_eq!(m.window_requests(), 2);
+        assert_eq!(m.window_accepted(), 1);
+        assert_eq!(m.window_rejected(), 1);
+        assert!((m.window_acceptance_rate() - 0.5).abs() < 1e-12);
+        assert!((m.window_mean_latency_us() - 200.0).abs() < 1e-12);
+        assert_eq!(m.window_ms(), 60_000);
+    }
+
+    #[test]
+    fn clones_share_the_underlying_counters() {
+        let m = ArmMetrics::default();
+        let clone = m.clone();
+        m.record_request(Duration::from_micros(50));
+        assert_eq!(clone.requests(), 1);
+        assert_eq!(clone.window_requests(), 1);
     }
 }

@@ -13,6 +13,11 @@
 use crate::json::JsonSlab;
 use crate::scheduler::EngineCaller;
 
+/// The default response content type; handlers that serve something
+/// else (the Prometheus exposition endpoint) override
+/// [`RequestWorkspace::content_type`] per request.
+pub(crate) const CONTENT_TYPE_JSON: &str = "application/json";
+
 /// Reusable per-worker scratch space (see module docs).
 pub struct RequestWorkspace {
     /// Arena the request body is parsed into (nodes + decoded text are
@@ -21,6 +26,9 @@ pub struct RequestWorkspace {
     /// Response body staging buffer; the response head is written once
     /// the body length is known.
     pub body: Vec<u8>,
+    /// `Content-Type` of the staged body (reset to JSON per request;
+    /// static so setting it never allocates).
+    pub(crate) content_type: &'static str,
     /// Scheduler round-trip workspace: reply slot + query staging
     /// buffers that travel to the batch worker and come back.
     pub caller: EngineCaller,
@@ -33,6 +41,7 @@ impl RequestWorkspace {
         RequestWorkspace {
             slab: JsonSlab::default(),
             body: Vec::new(),
+            content_type: CONTENT_TYPE_JSON,
             caller: EngineCaller::new(),
         }
     }

@@ -8,7 +8,7 @@
 //! irs serve     --model FILE [--port P] [--max-batch B] [--max-wait-us U] [--workers W]
 //!               [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S]
 //!               [--context-cache-mb MB] [--online-train] [--publish-every-s S]
-//!               [--replay-cap N]
+//!               [--replay-cap N] [--log-level L] [--log-format text|json]
 //! irs demo      [--dataset ...]
 //! ```
 //!
@@ -39,6 +39,8 @@ use influential_rs::data::preprocess::PreprocessConfig;
 use influential_rs::data::stats::dataset_stats;
 use influential_rs::data::Dataset;
 use influential_rs::eval::{evaluate_paths, Evaluator, PathRecord};
+use influential_rs::obs::log::{Format, Level};
+use influential_rs::obs::{log_error, log_info};
 use influential_rs::serve::{
     layout_name, BatchPolicy, Engine, HttpServer, IrnArchitecture, IrnOnlineLearner, OnlineConfig,
     OnlineHandle, OnlineLearner, ServerConfig, SnapshotLoader, SnapshotRegistry,
@@ -79,6 +81,10 @@ struct Opts {
     publish_every_s: u64,
     /// Replay-buffer capacity in feedback events (oldest dropped first).
     replay_cap: usize,
+    /// Minimum level for the structured logger (`error`..`trace`).
+    log_level: Level,
+    /// Log line format: human-readable text or one JSON object per line.
+    log_format: Format,
 }
 
 fn usage() -> ExitCode {
@@ -90,7 +96,8 @@ fn usage() -> ExitCode {
          [--port P] [--max-batch B] [--max-wait-us U] [--workers W] [--patience P] \
          [--session-ttl-s S] [--http-workers N] [--idle-timeout-s S] \
          [--context-cache-mb MB] [--layout prepadded|append] \
-         [--online-train] [--publish-every-s S] [--replay-cap N]"
+         [--online-train] [--publish-every-s S] [--replay-cap N] \
+         [--log-level error|warn|info|debug|trace] [--log-format text|json]"
     );
     ExitCode::from(2)
 }
@@ -122,6 +129,8 @@ fn parse_args() -> Result<Opts, String> {
         online_train: false,
         publish_every_s: 60,
         replay_cap: 4096,
+        log_level: Level::Info,
+        log_format: Format::Text,
     };
     let mut i = 1;
     let take = |args: &[String], i: &mut usize| -> Result<String, String> {
@@ -203,6 +212,16 @@ fn parse_args() -> Result<Opts, String> {
             "--replay-cap" => {
                 opts.replay_cap =
                     take(&args, &mut i)?.parse().map_err(|e| format!("--replay-cap: {e}"))?
+            }
+            "--log-level" => {
+                let v = take(&args, &mut i)?;
+                opts.log_level =
+                    Level::parse(&v).ok_or_else(|| format!("unknown log level '{v}'"))?;
+            }
+            "--log-format" => {
+                let v = take(&args, &mut i)?;
+                opts.log_format =
+                    Format::parse(&v).ok_or_else(|| format!("unknown log format '{v}'"))?;
             }
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -471,30 +490,33 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
         }
     };
     match server.local_addr() {
-        Ok(addr) => eprintln!(
+        Ok(addr) => log_info!(
+            "serve",
             "serving {label} on http://{addr} ({} items, {} users; max_batch {}, wait {} µs, {} workers)",
             dataset.num_items, dataset.num_users, opts.max_batch, opts.max_wait_us, opts.workers
         ),
         Err(e) => {
-            eprintln!("cannot resolve bound address: {e}");
+            log_error!("serve", "cannot resolve bound address: {e}");
             return ExitCode::FAILURE;
         }
     }
     match session_ttl {
-        Some(ttl) => eprintln!("idle sessions evicted after {} s", ttl.as_secs()),
-        None => eprintln!("session TTL disabled (--session-ttl-s 0)"),
+        Some(ttl) => log_info!("serve", "idle sessions evicted after {} s", ttl.as_secs()),
+        None => log_info!("serve", "session TTL disabled (--session-ttl-s 0)"),
     }
     // Same vocabulary `/v1/stats` uses (`layout`, `context_cache_budget_mb`)
     // so logs and stats can be correlated line for line.
-    eprintln!(
+    log_info!(
+        "serve",
         "encoding layout {}; context cache budget {} MiB",
         layout_name(Some(opts.layout)),
         opts.context_cache_mb
     );
     if opts.context_cache_mb == 0 {
-        eprintln!("context caching disabled (--context-cache-mb 0)");
+        log_info!("serve", "context caching disabled (--context-cache-mb 0)");
     } else if opts.layout == EncodingLayout::PrePadded {
-        eprintln!(
+        log_info!(
+            "serve",
             "note: the prepadded layout cannot cache — serve with --layout append \
              to enable incremental steps"
         );
@@ -522,14 +544,15 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
             },
         );
         server.set_online(online);
-        eprintln!(
+        log_info!(
+            "serve",
             "online trainer on: publish every {} s when dirty, replay cap {} events \
              (canary lands on arm 1; POST /v1/admin/split to route traffic)",
             opts.publish_every_s.max(1),
             opts.replay_cap.max(1)
         );
     }
-    eprintln!("POST /v1/admin/shutdown to stop");
+    log_info!("serve", "POST /v1/admin/shutdown to stop");
     let handle = match server.handle() {
         Ok(h) => h,
         Err(e) => {
@@ -539,13 +562,14 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
         }
     };
     if let Err(e) = server.run() {
-        eprintln!("server error: {e}");
+        log_error!("serve", "server error: {e}");
         engine.shutdown();
         return ExitCode::FAILURE;
     }
     let stats = engine.stats();
     engine.shutdown();
-    eprintln!(
+    log_info!(
+        "serve",
         "shutdown: {} requests in {} batches (mean batch {:.2}); {} idle sessions evicted, {} still live",
         stats.requests,
         stats.batches,
@@ -553,7 +577,8 @@ fn cmd_serve(opts: &Opts) -> ExitCode {
         handle.evicted_sessions(),
         handle.live_sessions()
     );
-    eprintln!(
+    log_info!(
+        "serve",
         "context cache: {} hits, {} misses, {} invalidated on swap, {} evicted ({} bytes resident)",
         stats.cache_hits,
         stats.cache_misses,
@@ -611,6 +636,8 @@ fn parse_defaults(opts: &Opts) -> Opts {
         online_train: opts.online_train,
         publish_every_s: opts.publish_every_s,
         replay_cap: opts.replay_cap,
+        log_level: opts.log_level,
+        log_format: opts.log_format,
     }
 }
 
@@ -622,6 +649,8 @@ fn main() -> ExitCode {
             return usage();
         }
     };
+    influential_rs::obs::log::set_level(opts.log_level);
+    influential_rs::obs::log::set_format(opts.log_format);
     match opts.command.as_str() {
         "stats" => cmd_stats(&opts),
         "train" => cmd_train(&opts),

@@ -18,6 +18,8 @@
 //! * [`serve`] — the online serving subsystem: session store,
 //!   micro-batching scheduler, hot-swappable snapshots, HTTP frontend
 //!   ([`irs_serve`]).
+//! * [`obs`] — the observability layer: metrics registry, Prometheus
+//!   exposition, windowed counters, leveled logger ([`irs_obs`]).
 //!
 //! See `examples/quickstart.rs` for an end-to-end walk-through: build a
 //! synthetic dataset, train IRN, generate an influence path and score it.
@@ -30,5 +32,6 @@ pub use irs_embed as embed;
 pub use irs_eval as eval;
 pub use irs_graph as graph;
 pub use irs_nn as nn;
+pub use irs_obs as obs;
 pub use irs_serve as serve;
 pub use irs_tensor as tensor;
