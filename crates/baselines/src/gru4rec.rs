@@ -171,7 +171,7 @@ impl SequentialScorer for Gru4Rec {
         if history.is_empty() {
             return vec![0.0; self.num_items];
         }
-        let start = history.len().saturating_sub(self.max_len);
+        let start = crate::hopping_window_start(history.len(), self.max_len);
         let recent: Vec<ItemId> = history[start..].to_vec();
         let g = Graph::new();
         let ctx = FwdCtx::new(&g, &self.store, false, 0);
@@ -200,7 +200,7 @@ impl SequentialScorer for Gru4Rec {
         let mut lens = Vec::with_capacity(live.len());
         for &i in &live {
             let h = histories[i];
-            let start = h.len().saturating_sub(self.max_len);
+            let start = crate::hopping_window_start(h.len(), self.max_len);
             rows.push(h[start..].to_vec());
             lens.push(h.len() - start);
         }
@@ -228,12 +228,13 @@ impl SequentialScorer for Gru4Rec {
     }
 
     /// Carry the GRU hidden state across serve steps: a hit feeds only the
-    /// new suffix tokens through [`Gru::stream_step`].  When the window
-    /// slides past `max_len` the consumed prefix changes (the front token
-    /// drops), the prefix check fails, and the bounded window is replayed
-    /// from a reset state.  Bitwise-identical to [`Gru4Rec::score`]: the
-    /// streaming step is pinned against [`Gru::infer_last`], which is
-    /// pinned against the scalar graph path.
+    /// new suffix tokens through [`Gru::stream_step`].  The context window
+    /// advances in hops ([`crate::hopping_window_start`]), so the consumed
+    /// prefix stays valid between hops even when the session outgrows
+    /// `max_len`; on a hop the prefix check fails and the bounded window
+    /// is replayed from a reset state.  Bitwise-identical to
+    /// [`Gru4Rec::score`]: the streaming step is pinned against
+    /// [`Gru::infer_last`], which is pinned against the scalar graph path.
     fn score_incremental(
         &self,
         user: UserId,
@@ -246,7 +247,7 @@ impl SequentialScorer for Gru4Rec {
         if history.is_empty() {
             return (vec![0.0; self.num_items], false);
         }
-        let start = history.len().saturating_sub(self.max_len);
+        let start = crate::hopping_window_start(history.len(), self.max_len);
         let recent = &history[start..];
         let hit = !cache.tokens.is_empty()
             && recent.len() >= cache.tokens.len()
@@ -328,15 +329,26 @@ mod tests {
         };
         let model = Gru4Rec::fit(&seqs, 8, &cfg);
         let mut state = model.new_incremental_state().expect("GRU always has a stream state");
-        let session = [0usize, 3, 1, 4, 2, 5, 7, 6, 1, 0];
+        let session = [0usize, 3, 1, 4, 2, 5, 7, 6, 1, 0, 4, 3, 6, 2];
+        let mut long_session_hits = 0;
         for step in 1..=session.len() {
             let history = &session[..step];
             let (scores, hit) = model.score_incremental(0, history, state.as_mut());
-            // Step 1 primes; once the window slides past max_len the
-            // consumed prefix changes and the bounded replay is a miss.
-            assert_eq!(hit, step > 1 && step <= cfg.max_len, "step {step}");
+            // Step 1 primes; afterwards the hopping window keeps the
+            // consumed prefix valid on every step that doesn't hop.
+            let expect = step > 1
+                && crate::hopping_window_start(step, cfg.max_len)
+                    == crate::hopping_window_start(step - 1, cfg.max_len);
+            assert_eq!(hit, expect, "step {step}");
+            if hit && step > cfg.max_len {
+                long_session_hits += 1;
+            }
             assert_eq!(scores, model.score(0, history), "step {step}");
         }
+        assert!(
+            long_session_hits > 0,
+            "sessions outgrowing max_len must keep cache hits between hops"
+        );
         assert!(state.resident_bytes() > 0);
         let mutated = [5usize, 2, 0];
         let (scores, hit) = model.score_incremental(0, &mutated, state.as_mut());

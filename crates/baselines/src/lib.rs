@@ -194,6 +194,37 @@ impl Default for NeuralTrainConfig {
     }
 }
 
+/// Start index of the hopping context window for a history of `len`
+/// interactions under a model window budget of `max_len`.
+///
+/// Incremental session caches (SASRec's per-layer K/V rows, GRU4Rec's
+/// carried hidden state) are prefix caches: a hit requires the previous
+/// window to be a prefix of the current one.  A window that slides by one
+/// every step (`len - max_len`) changes its first token on *every* step
+/// past `max_len`, so long sessions degrade to a full per-step rebuild.
+/// Instead the window start advances in hops of `H = max(1, max_len/2)`:
+///
+/// ```text
+/// start(len) = 0                              if len <= max_len
+///            = ceil((len - max_len) / H) * H  otherwise
+/// ```
+///
+/// Between hops the start is constant, so each new interaction is a cache
+/// hit that encodes exactly one suffix token; once per `H` steps the
+/// window hops forward and the bounded remainder (at most `max_len` rows,
+/// reusing the state's existing buffers) is re-encoded.  The window length
+/// stays within `(max_len - H, max_len]` — never longer than the position
+/// table — and both the cold scorers and the cached paths call this same
+/// policy, keeping them bitwise identical.
+pub fn hopping_window_start(len: usize, max_len: usize) -> usize {
+    let l = max_len.max(1);
+    if len <= l {
+        return 0;
+    }
+    let h = (l / 2).max(1);
+    (len - l).div_ceil(h) * h
+}
+
 /// Rank (1-based) of `item` under the given scores: `1 + |{j : s_j > s_item}|`.
 ///
 /// Shared by evaluation metrics (IoR, HR@K, MRR).
@@ -205,6 +236,41 @@ pub fn rank_of(scores: &[f32], item: ItemId) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn hopping_window_never_exceeds_budget_and_hops_in_steps() {
+        for max_len in [1usize, 2, 3, 6, 24] {
+            let h = (max_len / 2).max(1);
+            let mut prev_start = 0;
+            for len in 1..6 * max_len {
+                let start = hopping_window_start(len, max_len);
+                assert!(len - start <= max_len, "window too long at len={len} L={max_len}");
+                assert!(start <= len, "start past end at len={len}");
+                assert!(start >= prev_start, "start must be monotone at len={len}");
+                assert!(start.is_multiple_of(h), "start must sit on a hop boundary at len={len}");
+                if len <= max_len {
+                    assert_eq!(start, 0, "short sessions keep the full history");
+                } else {
+                    assert!(len - start > max_len - h, "window shorter than the hop floor");
+                }
+                prev_start = start;
+            }
+            // Between hops the start is constant — that is what converts
+            // sliding-window misses into cache hits.  (With a degenerate
+            // hop of 1, i.e. max_len <= 3, every long step hops: a
+            // one-or-two token window has no reusable prefix to keep.)
+            if h >= 2 {
+                let stable = (1..6 * max_len)
+                    .filter(|&n| {
+                        n > 1
+                            && hopping_window_start(n, max_len)
+                                == hopping_window_start(n - 1, max_len)
+                    })
+                    .count();
+                assert!(stable >= 6 * max_len / 2, "most steps must not hop (L={max_len})");
+            }
+        }
+    }
 
     #[test]
     fn rank_of_is_one_based_and_handles_ties() {

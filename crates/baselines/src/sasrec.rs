@@ -282,7 +282,7 @@ impl SequentialScorer for SasRec {
             return vec![0.0; self.num_items];
         }
         if self.layout == EncodingLayout::AppendOnly {
-            let start = history.len().saturating_sub(self.max_len);
+            let start = crate::hopping_window_start(history.len(), self.max_len);
             return self.append_logits(&history[start..]);
         }
         let pad = pad_token(self.num_items);
@@ -353,8 +353,10 @@ impl SequentialScorer for SasRec {
 
     /// Reuse the session's encoded prefix: a hit encodes only the new
     /// suffix tokens (one per-layer K/V append each); a prefix mismatch
-    /// — including the window sliding past `max_len` — clears the state
-    /// and replays the bounded window.  Scores are bitwise-identical to
+    /// clears the state and replays the bounded window.  The window
+    /// advances in hops ([`crate::hopping_window_start`]), so sessions
+    /// that outgrow `max_len` keep hitting between hops instead of
+    /// rebuilding every step.  Scores are bitwise-identical to
     /// [`SasRec::score`] in the append layout.
     fn score_incremental(
         &self,
@@ -371,7 +373,7 @@ impl SequentialScorer for SasRec {
         if history.is_empty() {
             return (vec![0.0; self.num_items], false);
         }
-        let start = history.len().saturating_sub(self.max_len);
+        let start = crate::hopping_window_start(history.len(), self.max_len);
         let toks = &history[start..];
         let hit = !cache.tokens.is_empty()
             && toks.len() >= cache.tokens.len()
@@ -482,15 +484,26 @@ mod tests {
         };
         let model = SasRec::fit(&seqs, 8, &cfg);
         let mut state = model.new_incremental_state().expect("append layout has a cache");
-        let session = [0usize, 3, 1, 4, 2, 5, 7, 6, 1, 0];
+        let session = [0usize, 3, 1, 4, 2, 5, 7, 6, 1, 0, 4, 3, 6, 2];
+        let mut long_session_hits = 0;
         for step in 1..=session.len() {
             let history = &session[..step];
             let (scores, hit) = model.score_incremental(0, history, state.as_mut());
-            // Step 1 primes; once the window slides past max_len the
-            // prefix no longer matches and the bounded replay is a miss.
-            assert_eq!(hit, step > 1 && step <= cfg.max_len, "step {step}");
+            // Step 1 primes; afterwards the hopping window keeps the
+            // cached prefix valid on every step that doesn't hop.
+            let expect = step > 1
+                && crate::hopping_window_start(step, cfg.max_len)
+                    == crate::hopping_window_start(step - 1, cfg.max_len);
+            assert_eq!(hit, expect, "step {step}");
+            if hit && step > cfg.max_len {
+                long_session_hits += 1;
+            }
             assert_eq!(scores, model.score(0, history), "step {step}");
         }
+        assert!(
+            long_session_hits > 0,
+            "sessions outgrowing max_len must keep cache hits between hops"
+        );
         assert!(state.resident_bytes() > 0);
         let mutated = [5usize, 2, 0];
         let (scores, hit) = model.score_incremental(0, &mutated, state.as_mut());

@@ -87,12 +87,106 @@ fn bench_attention_fwd_bwd(c: &mut Criterion) {
     });
 }
 
+/// Metadata-only views vs the materialising paths they replaced: layout
+/// changes (transpose / reshape / head split+merge) as pure
+/// `(shape, strides, offset)` rewrites against the same buffer, next to
+/// the explicit copies the pre-view engine paid for the same result.
+/// The `attn_bwd_nt_*` pair isolates the transpose-staging elimination:
+/// an attention-score NT matmul (forward + backward) over head-split
+/// *copies* (dense operands → the kernel stages a transpose into
+/// scratch) vs head-split *views* (strided layout consumed directly).
+fn bench_view_ops(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+    let mut group = c.benchmark_group("view_ops");
+
+    // Transpose: O(1) metadata rewrite vs O(mn) copy.
+    let a = Tensor::randn(&[256, 256], 1.0, &mut rng);
+    group.bench_function("transpose_view_256x256", |bch| {
+        bch.iter(|| black_box(a.transpose2d_view()));
+    });
+    group.bench_function("transpose_copy_256x256", |bch| {
+        bch.iter(|| black_box(a.transpose2d()));
+    });
+
+    // Reshape: zero-copy buffer share vs the old clone-into-new-shape.
+    let x = Tensor::randn(&[8, 64, 32], 1.0, &mut rng);
+    group.bench_function("reshape_view_8x64x32", |bch| {
+        bch.iter(|| black_box(x.reshaped(&[512, 32])));
+    });
+    group.bench_function("reshape_copy_8x64x32", |bch| {
+        bch.iter(|| black_box(Tensor::from_vec(x.data().to_vec(), &[512, 32])));
+    });
+
+    // Head split [B, T, D] -> [B*H, T, dk]: strided view vs materialised
+    // copy (`contiguous()` walks exactly the gather the old op ran).
+    let h = 4usize;
+    group.bench_function("split_heads_view_8x64x32h4", |bch| {
+        bch.iter(|| black_box(x.split_heads_view(h)));
+    });
+    group.bench_function("split_heads_copy_8x64x32h4", |bch| {
+        bch.iter(|| black_box(x.split_heads_view(h).contiguous()));
+    });
+
+    // Attention-score NT (fwd + bwd) with and without transpose staging.
+    // Both paths produce bitwise-identical values and gradients (the
+    // property suites pin this); only the layout plumbing differs.
+    let (b, t, d, heads) = (8usize, 20usize, 32usize, 2usize);
+    let input = Tensor::randn(&[b, t, d], 1.0, &mut rng);
+    let run_nt = |split_view: bool| {
+        let g = Graph::new();
+        let v = g.var(input.clone(), true);
+        let (q, k) = if split_view {
+            (v.split_heads_view(heads), v.split_heads_view(heads))
+        } else {
+            (v.split_heads(heads), v.split_heads(heads))
+        };
+        let loss = q.bmm_nt(k).sum_all();
+        g.backward(loss);
+        loss.item()
+    };
+    group.bench_function("attn_bwd_nt_staged_8x20x32h2", |bch| {
+        bch.iter(|| black_box(run_nt(false)));
+    });
+    group.bench_function("attn_bwd_nt_direct_8x20x32h2", |bch| {
+        bch.iter(|| black_box(run_nt(true)));
+    });
+
+    // Head merge after attention: fused view-consuming bmm+merge vs the
+    // copying bmm-then-merge_heads pipeline.
+    let run_merge = |fused: bool| {
+        let g = Graph::new();
+        let xv = g.var(input.clone(), true);
+        let attn = g.constant(Tensor::randn(
+            &[b * heads, t, t],
+            1.0,
+            &mut rand::rngs::StdRng::seed_from_u64(7),
+        ));
+        let out = if fused {
+            attn.attn_bmm_merge(xv.split_heads_view(heads), heads)
+        } else {
+            attn.bmm(xv.split_heads(heads)).merge_heads(heads)
+        };
+        let loss = out.sum_all();
+        g.backward(loss);
+        loss.item()
+    };
+    group.bench_function("head_merge_copy_8x20x32h2", |bch| {
+        bch.iter(|| black_box(run_merge(false)));
+    });
+    group.bench_function("head_merge_fused_8x20x32h2", |bch| {
+        bch.iter(|| black_box(run_merge(true)));
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_matmul,
     bench_matmul_packed,
     bench_bmm,
     bench_softmax,
-    bench_attention_fwd_bwd
+    bench_attention_fwd_bwd,
+    bench_view_ops
 );
 criterion_main!(benches);

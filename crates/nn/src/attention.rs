@@ -174,9 +174,14 @@ impl MultiHeadAttention {
         assert_eq!(d, self.d, "model dim mismatch");
         let dk = self.d / self.heads;
 
-        let q = self.wq.forward3d(ctx, x).split_heads(self.heads);
-        let k = self.wk.forward3d(ctx, x).split_heads(self.heads);
-        let v = self.wv.forward3d(ctx, x).split_heads(self.heads);
+        // Head splits are zero-copy strided views; the NT score kernel and
+        // the fused context op walk the view layouts directly and their
+        // backward passes scatter into the projection outputs' root
+        // gradient buffers — bitwise identical to the historical
+        // split-copy → bmm → merge-copy chain, without the copies.
+        let q = self.wq.forward3d(ctx, x).split_heads_view(self.heads);
+        let k = self.wk.forward3d(ctx, x).split_heads_view(self.heads);
+        let v = self.wv.forward3d(ctx, x).split_heads_view(self.heads);
 
         let mut scores = q.bmm_nt(k).mul_scalar(1.0 / (dk as f32).sqrt());
         scores = match bias {
@@ -189,7 +194,7 @@ impl MultiHeadAttention {
         };
         let attn = scores.softmax_last();
         let attn = ctx.dropout(attn, self.dropout);
-        let out = attn.bmm(v).merge_heads(self.heads);
+        let out = attn.attn_bmm_merge(v, self.heads);
         self.wo.forward3d(ctx, out)
     }
 

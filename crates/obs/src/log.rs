@@ -7,10 +7,17 @@
 //! arguments.  This is deliberately not a `log`-crate workalike: the
 //! serving stack needs exactly leveled stderr lines with timestamps,
 //! nothing pluggable.
+//!
+//! Repeated lines are rate-limited: an identical `(level, target,
+//! message)` within [`repeat_window_secs`] seconds of its first
+//! occurrence is swallowed, and the next different line is preceded by
+//! a single `last message repeated N times` summary — a tight error
+//! loop (e.g. a peer resetting every accept) costs one line per window
+//! instead of thousands.  Set the window to `0` to disable.
 
 use std::fmt;
-use std::io::Write as _;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::Mutex;
 use std::time::{SystemTime, UNIX_EPOCH};
 
 /// Log severity, most severe first.  `Error` is always emitted.
@@ -116,6 +123,110 @@ pub fn enabled(level: Level) -> bool {
     level as u8 <= MAX_LEVEL.load(Ordering::Relaxed)
 }
 
+/// Default repeat-suppression window (seconds).
+pub const DEFAULT_REPEAT_WINDOW_SECS: u64 = 5;
+
+static REPEAT_WINDOW_SECS: AtomicU64 = AtomicU64::new(DEFAULT_REPEAT_WINDOW_SECS);
+
+/// Set the repeat-suppression window in seconds (`0` disables — every
+/// line is written verbatim).
+pub fn set_repeat_window_secs(secs: u64) {
+    REPEAT_WINDOW_SECS.store(secs, Ordering::Relaxed);
+}
+
+/// The current repeat-suppression window in seconds.
+pub fn repeat_window_secs() -> u64 {
+    REPEAT_WINDOW_SECS.load(Ordering::Relaxed)
+}
+
+/// What [`RepeatGate::observe`] decided about one record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RepeatAction {
+    /// Write the record.
+    Emit,
+    /// Write a `last message repeated N times` summary for the previous
+    /// run of identical records (at that run's level and target), then
+    /// the record itself.
+    EmitAfterSummary {
+        /// How many identical records were swallowed.
+        count: u64,
+        /// Level of the suppressed run.
+        level: Level,
+        /// Target of the suppressed run.
+        target: String,
+    },
+    /// Swallow the record (identical to the previous one, inside the
+    /// window).
+    Suppress,
+}
+
+/// Pure repeat-suppression state machine: tracks the last emitted
+/// `(level, target, message)` and the count of identical records
+/// swallowed since.  Separated from the global logger so tests can
+/// drive it with synthetic clocks; `write` owns one behind a mutex.
+#[derive(Debug, Default)]
+pub struct RepeatGate {
+    level: u8,
+    target: String,
+    msg: String,
+    window_start_ms: u64,
+    suppressed: u64,
+}
+
+impl RepeatGate {
+    /// Decide what to do with a record observed at `now_ms` under a
+    /// suppression window of `window_ms` (`0` disables).  Identical
+    /// records are suppressed only within `window_ms` of the *first*
+    /// of the run, so a steady spam stream still surfaces one line (and
+    /// a summary) per window rather than going silent forever.
+    pub fn observe(
+        &mut self,
+        window_ms: u64,
+        level: Level,
+        target: &str,
+        msg: &str,
+        now_ms: u64,
+    ) -> RepeatAction {
+        let same = window_ms > 0
+            && self.level == level as u8
+            && self.target == target
+            && self.msg == msg
+            && now_ms.saturating_sub(self.window_start_ms) < window_ms;
+        if same {
+            self.suppressed += 1;
+            return RepeatAction::Suppress;
+        }
+        let pending = self.suppressed;
+        let prev_level = Level::from_u8(self.level);
+        let prev_target = if pending > 0 { self.target.clone() } else { String::new() };
+        self.suppressed = 0;
+        self.window_start_ms = now_ms;
+        if window_ms == 0 {
+            // Disabled: forget state so re-enabling starts clean.
+            self.level = 0;
+            self.target.clear();
+            self.msg.clear();
+        } else {
+            self.level = level as u8;
+            self.target.clear();
+            self.target.push_str(target);
+            self.msg.clear();
+            self.msg.push_str(msg);
+        }
+        if pending > 0 {
+            RepeatAction::EmitAfterSummary {
+                count: pending,
+                level: prev_level,
+                target: prev_target,
+            }
+        } else {
+            RepeatAction::Emit
+        }
+    }
+}
+
+static REPEAT_GATE: Mutex<Option<RepeatGate>> = Mutex::new(None);
+
 /// Emit one record.  Callers go through the `log_*!` macros, which
 /// defer argument formatting behind the level check.
 pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
@@ -123,9 +234,47 @@ pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
         return;
     }
     let now = SystemTime::now().duration_since(UNIX_EPOCH).unwrap_or_default();
+    let now_ms = now.as_secs().saturating_mul(1000) + u64::from(now.subsec_millis());
+    let window_ms = repeat_window_secs().saturating_mul(1000);
+
+    let msg = fmt::format(args);
+    let mut summary = None;
+    if window_ms > 0 {
+        let mut gate = REPEAT_GATE.lock().unwrap_or_else(|p| p.into_inner());
+        match gate
+            .get_or_insert_with(RepeatGate::default)
+            .observe(window_ms, level, target, &msg, now_ms)
+        {
+            RepeatAction::Suppress => return,
+            RepeatAction::EmitAfterSummary { count, level, target } => {
+                summary = Some((count, level, target));
+            }
+            RepeatAction::Emit => {}
+        }
+    }
+
     let stderr = std::io::stderr();
     let mut out = stderr.lock();
-    let _ = match format() {
+    if let Some((n, slevel, starget)) = summary {
+        let _ = write_line(
+            &mut out,
+            &now,
+            slevel,
+            &starget,
+            &format!("last message repeated {n} time{}", if n == 1 { "" } else { "s" }),
+        );
+    }
+    let _ = write_line(&mut out, &now, level, target, &msg);
+}
+
+fn write_line(
+    out: &mut impl std::io::Write,
+    now: &std::time::Duration,
+    level: Level,
+    target: &str,
+    msg: &str,
+) -> std::io::Result<()> {
+    match format() {
         Format::Text => writeln!(
             out,
             "{}.{:03} {} {}: {}",
@@ -133,10 +282,9 @@ pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
             now.subsec_millis(),
             level.as_str(),
             target,
-            args
+            msg
         ),
         Format::Json => {
-            let msg = fmt::format(args);
             let mut line = String::with_capacity(msg.len() + target.len() + 64);
             line.push_str("{\"ts\":");
             let _ =
@@ -146,11 +294,11 @@ pub fn write(level: Level, target: &str, args: fmt::Arguments<'_>) {
             line.push_str("\",\"target\":\"");
             escape_json_into(&mut line, target);
             line.push_str("\",\"msg\":\"");
-            escape_json_into(&mut line, &msg);
+            escape_json_into(&mut line, msg);
             line.push_str("\"}");
             writeln!(out, "{line}")
         }
-    };
+    }
 }
 
 fn escape_json_into(out: &mut String, s: &str) {
@@ -231,8 +379,8 @@ mod tests {
         assert_eq!(out, "a\\\"b\\\\c\\nd\\te\\u0001");
     }
 
-    // Level/format are process-global, so exercise them in one test to
-    // avoid ordering races with the parallel test harness.
+    // Level/format/repeat-window are process-global, so exercise them in
+    // one test to avoid ordering races with the parallel test harness.
     #[test]
     fn global_level_gates_emission() {
         set_level(Level::Warn);
@@ -246,5 +394,75 @@ mod tests {
         assert_eq!(format(), Format::Json);
         set_format(Format::Text);
         assert_eq!(format(), Format::Text);
+        assert_eq!(repeat_window_secs(), DEFAULT_REPEAT_WINDOW_SECS);
+        set_repeat_window_secs(0);
+        assert_eq!(repeat_window_secs(), 0);
+        set_repeat_window_secs(DEFAULT_REPEAT_WINDOW_SECS);
+    }
+
+    const W: u64 = 5_000; // 5 s window, in ms
+
+    #[test]
+    fn repeat_gate_suppresses_identical_lines_inside_window() {
+        let mut gate = RepeatGate::default();
+        assert_eq!(gate.observe(W, Level::Error, "net", "peer reset", 0), RepeatAction::Emit);
+        for t in [100, 2_000, 4_999] {
+            assert_eq!(
+                gate.observe(W, Level::Error, "net", "peer reset", t),
+                RepeatAction::Suppress,
+                "at t={t}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeat_gate_summarises_on_the_next_different_line() {
+        let mut gate = RepeatGate::default();
+        assert_eq!(gate.observe(W, Level::Error, "net", "peer reset", 0), RepeatAction::Emit);
+        assert_eq!(gate.observe(W, Level::Error, "net", "peer reset", 10), RepeatAction::Suppress);
+        assert_eq!(gate.observe(W, Level::Error, "net", "peer reset", 20), RepeatAction::Suppress);
+        // A different message flushes the count at the suppressed run's
+        // level/target even when its own target differs.
+        assert_eq!(
+            gate.observe(W, Level::Info, "serve", "listening", 30),
+            RepeatAction::EmitAfterSummary { count: 2, level: Level::Error, target: "net".into() }
+        );
+        // ...and the new line starts a fresh run.
+        assert_eq!(gate.observe(W, Level::Info, "serve", "listening", 40), RepeatAction::Suppress);
+    }
+
+    #[test]
+    fn repeat_gate_reemits_once_per_window_under_steady_spam() {
+        let mut gate = RepeatGate::default();
+        assert_eq!(gate.observe(W, Level::Warn, "t", "spam", 0), RepeatAction::Emit);
+        assert_eq!(gate.observe(W, Level::Warn, "t", "spam", 1_000), RepeatAction::Suppress);
+        assert_eq!(gate.observe(W, Level::Warn, "t", "spam", 4_999), RepeatAction::Suppress);
+        // The window is measured from the run's FIRST line, so spam keeps
+        // surfacing one summarised line per window rather than never.
+        assert_eq!(
+            gate.observe(W, Level::Warn, "t", "spam", 5_000),
+            RepeatAction::EmitAfterSummary { count: 2, level: Level::Warn, target: "t".into() }
+        );
+        assert_eq!(gate.observe(W, Level::Warn, "t", "spam", 5_001), RepeatAction::Suppress);
+    }
+
+    #[test]
+    fn repeat_gate_distinguishes_level_target_and_message() {
+        let mut gate = RepeatGate::default();
+        assert_eq!(gate.observe(W, Level::Warn, "a", "m", 0), RepeatAction::Emit);
+        assert_eq!(gate.observe(W, Level::Error, "a", "m", 1), RepeatAction::Emit);
+        assert_eq!(gate.observe(W, Level::Error, "b", "m", 2), RepeatAction::Emit);
+        assert_eq!(gate.observe(W, Level::Error, "b", "m2", 3), RepeatAction::Emit);
+    }
+
+    #[test]
+    fn repeat_gate_disabled_window_emits_everything() {
+        let mut gate = RepeatGate::default();
+        assert_eq!(gate.observe(0, Level::Warn, "t", "m", 0), RepeatAction::Emit);
+        assert_eq!(gate.observe(0, Level::Warn, "t", "m", 1), RepeatAction::Emit);
+        assert_eq!(gate.observe(0, Level::Warn, "t", "m", 2), RepeatAction::Emit);
+        // Re-enabling starts clean: the first line after is emitted.
+        assert_eq!(gate.observe(W, Level::Warn, "t", "m", 3), RepeatAction::Emit);
+        assert_eq!(gate.observe(W, Level::Warn, "t", "m", 4), RepeatAction::Suppress);
     }
 }

@@ -20,38 +20,73 @@
 //! pooled buffer or requests it zeroed, so results are bitwise identical
 //! to a freshly allocated graph.
 //!
+//! ## Record-once / replay-per-minibatch
+//!
+//! Training steps run the *same program* every minibatch, so boxing a
+//! fresh backward closure per op per step is pure overhead.  The tape is
+//! therefore **replayable**: [`Graph::reset`] keeps the op records and
+//! arms a replay cursor.  The next step's [`Graph::push_op`] calls are
+//! matched against the recorded prefix — same output id, same parent
+//! ids, same closure type (via `TypeId`), same operand shapes — and on a
+//! hit the freshly-built closure is dropped *unboxed* while the recorded
+//! one is reused; only data-dependent state (index lists, scalars)
+//! travels through explicit per-record payloads updated in place.  Any
+//! divergence truncates the stale suffix and falls back to recording, so
+//! shape changes (the ragged final minibatch of an epoch) stay correct
+//! at the cost of a one-step re-record.  Replay never changes values or
+//! gradients: closures read everything through [`BackwardCtx`], whose
+//! state is rebuilt from the current step's node values.
+//!
+//! ## Strided views on the tape
+//!
+//! [`Graph::view_node`] registers a zero-copy view (see
+//! [`Tensor::transpose2d_view`] and friends) of an existing node without
+//! an op record.  A view shares its **root**'s gradient slot: backward
+//! closures that consume views accumulate through stride-aware kernels
+//! directly into the root-shaped buffer, which keeps accumulation order
+//! — and therefore bits — identical to the old materialise-then-scatter
+//! path.
+//!
 //! Custom operations (e.g. the IRN Personalized Impressionability Mask in
 //! `irs_nn`) can be defined outside this crate via [`Graph::custom_op`].
 
+use std::any::TypeId;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::tensor::{numel, Tensor};
 
 /// Identifier of a node inside a [`Graph`].
 pub type VarId = usize;
 
-/// Retired buffers keyed by element count, ready for reuse by the next
-/// step's nodes of identical shape (shapes repeat across training steps;
-/// the ragged final minibatch of an epoch parks its odd sizes here until
-/// the next ragged batch, bounding the pool at one step's worth of
-/// buffers per distinct shape set).
+/// Retired storage buffers keyed by element count, ready for reuse by
+/// the next step's nodes of identical shape (shapes repeat across
+/// training steps; the ragged final minibatch of an epoch parks its odd
+/// sizes here until the next ragged batch, bounding the pool at one
+/// step's worth of buffers per distinct shape set).  Whole `Arc`s are
+/// pooled so the reference-count block is recycled along with the float
+/// storage — steady-state steps touch the allocator for neither.
 #[derive(Default)]
 struct Pool {
-    by_len: HashMap<usize, Vec<Vec<f32>>>,
+    by_len: HashMap<usize, Vec<Arc<Vec<f32>>>>,
 }
 
 impl Pool {
     fn put(&mut self, t: Tensor) {
-        let data = t.into_vec();
-        if data.capacity() > 0 {
-            self.by_len.entry(data.len()).or_default().push(data);
+        let arc = t.into_storage();
+        // A buffer shared with a live view (or clone) retires when its
+        // *last* holder is drained — reset drains nodes in id order, so
+        // a root's storage is skipped here and pooled once its final
+        // view node retires.
+        if Arc::strong_count(&arc) == 1 && arc.capacity() > 0 {
+            self.by_len.entry(arc.len()).or_default().push(arc);
         }
     }
 
     /// A buffer of exactly `len` elements with unspecified (stale)
     /// contents, or `None` when nothing of that size has retired.
-    fn take(&mut self, len: usize) -> Option<Vec<f32>> {
+    fn take(&mut self, len: usize) -> Option<Arc<Vec<f32>>> {
         self.by_len.get_mut(&len).and_then(Vec::pop)
     }
 }
@@ -67,17 +102,44 @@ pub struct BackwardCtx<'a> {
     parent_ids: &'a [VarId],
     values: &'a [Tensor],
     needs_grad: &'a [bool],
+    /// Gradient-slot owner per node id (`roots[id] == id` except for
+    /// view nodes, which share their root's slot).
+    roots: &'a [VarId],
     out_id: VarId,
     grad_out: &'a Tensor,
     /// Gradient slots for ids `0..out_id` (parents are always earlier).
     grads: &'a mut [Option<Tensor>],
     pool: &'a RefCell<Pool>,
+    payload_idx: &'a [usize],
+    payload_scalar: f32,
 }
 
 impl<'a> BackwardCtx<'a> {
     /// Value of the `i`-th parent.
     pub fn value(&self, i: usize) -> &'a Tensor {
         &self.values[self.parent_ids[i]]
+    }
+
+    /// The op's index payload (e.g. gather indices, CE targets), as
+    /// updated for the **current** step by the replay machinery.
+    /// Replay-safe closures read data-dependent indices from here, never
+    /// from their captures.
+    pub fn payload_idx(&self) -> &'a [usize] {
+        self.payload_idx
+    }
+
+    /// The op's scalar payload (e.g. the `mul_scalar` constant), as
+    /// updated for the current step by the replay machinery.
+    pub fn payload_scalar(&self) -> f32 {
+        self.payload_scalar
+    }
+
+    /// Value of the `i`-th parent's gradient-slot owner (the root of a
+    /// view chain; the parent itself for dense nodes).  Gradient buffers
+    /// produced by [`BackwardCtx::grad_mut`] / `accumulate_with` have
+    /// *this* tensor's shape.
+    pub fn root_value(&self, i: usize) -> &'a Tensor {
+        &self.values[self.roots[self.parent_ids[i]]]
     }
 
     /// Value of the op output.
@@ -102,17 +164,19 @@ impl<'a> BackwardCtx<'a> {
         self.needs_grad[self.parent_ids[i]]
     }
 
-    /// A zeroed gradient tensor for the parent's shape, drawn from the
-    /// graph's buffer pool.
-    fn zeroed_like(&self, pid: VarId) -> Tensor {
-        let shape = self.values[pid].shape();
+    /// A zeroed gradient tensor for the slot owner's shape, drawn from
+    /// the graph's buffer pool.
+    fn zeroed_like(&self, slot: VarId) -> Tensor {
+        let shape = self.values[slot].shape();
         zeroed_from_pool(self.pool, shape)
     }
 
-    /// Mutable gradient slot of the `i`-th parent, zero-initialised on first
-    /// access with the parent's shape.
+    /// Mutable gradient slot of the `i`-th parent, zero-initialised on
+    /// first access.  View parents resolve to their **root** slot, so
+    /// the buffer has the root's (dense) shape — stride-aware closures
+    /// scatter into it through the view's layout.
     pub fn grad_mut(&mut self, i: usize) -> &mut Tensor {
-        let pid = self.parent_ids[i];
+        let pid = self.roots[self.parent_ids[i]];
         if self.grads[pid].is_none() {
             self.grads[pid] = Some(self.zeroed_like(pid));
         }
@@ -162,7 +226,7 @@ impl<'a> BackwardCtx<'a> {
     /// produced, so kernels that add many products per element stay
     /// bitwise identical to the old two-pass code.
     pub fn accumulate_with(&mut self, i: usize, f: impl FnOnce(&mut [f32])) {
-        let pid = self.parent_ids[i];
+        let pid = self.roots[self.parent_ids[i]];
         let mut fresh = self.zeroed_like(pid);
         f(fresh.data_mut());
         match &mut self.grads[pid] {
@@ -177,10 +241,46 @@ impl<'a> BackwardCtx<'a> {
 
 type BackFn = Box<dyn Fn(&mut BackwardCtx<'_>)>;
 
+/// One recorded operation.  `tag` + `sig` + ids make the record safely
+/// reusable across [`Graph::reset`] cycles: a replayed step must present
+/// the same closure type (same callsite), the same node wiring and the
+/// same operand shapes, which covers every shape-derived capture inside
+/// `back`.  Data-dependent state lives in the payloads, refreshed each
+/// step.
 struct OpRecord {
     out: VarId,
     parents: Vec<VarId>,
+    /// `TypeId` of the (unboxed) backward closure — unique per callsite.
+    tag: TypeId,
+    /// Len-prefixed dims of the output then each parent at record time.
+    sig: Vec<usize>,
+    /// Per-step index payload (gather indices, CE targets, argmaxes…).
+    payload_idx: Vec<usize>,
+    /// Per-step scalar payload (e.g. `mul_scalar`'s constant).
+    payload_scalar: f32,
     back: BackFn,
+}
+
+/// Append `shape`, len-prefixed, to a signature vector.
+fn sig_push(sig: &mut Vec<usize>, shape: &[usize]) {
+    sig.push(shape.len());
+    sig.extend_from_slice(shape);
+}
+
+/// Consume one len-prefixed shape from the front of `s`; true iff it
+/// equals `shape`.  Allocation-free — replay hits must not touch the
+/// allocator.
+fn sig_eat(s: &mut &[usize], shape: &[usize]) -> bool {
+    let Some((&nd, rest)) = s.split_first() else { return false };
+    if nd != shape.len() || rest.len() < nd {
+        return false;
+    }
+    let (dims, tail) = rest.split_at(nd);
+    if dims != shape {
+        return false;
+    }
+    *s = tail;
+    true
 }
 
 #[derive(Default)]
@@ -188,7 +288,40 @@ struct GraphInner {
     values: Vec<Tensor>,
     grads: Vec<Option<Tensor>>,
     needs_grad: Vec<bool>,
+    /// Gradient-slot owner per node (`roots[id] == id` except views).
+    roots: Vec<VarId>,
     ops: Vec<OpRecord>,
+    /// Ops of `ops` validated (replayed or recorded) this step; the
+    /// replay cursor.  Only `ops[..ops_live]` may run in backward.
+    ops_live: usize,
+    /// Whether `push_op` is currently matching against retained records.
+    replaying: bool,
+}
+
+impl GraphInner {
+    /// Whether `ops[ops_live]` matches the op about to be pushed.
+    fn replay_matches<'p>(
+        &self,
+        out_id: VarId,
+        tag: TypeId,
+        parents: impl ExactSizeIterator<Item = &'p VarId>,
+        out_shape: &[usize],
+    ) -> bool {
+        let Some(rec) = self.ops.get(self.ops_live) else { return false };
+        if rec.out != out_id || rec.tag != tag || rec.parents.len() != parents.len() {
+            return false;
+        }
+        let mut sig = rec.sig.as_slice();
+        if !sig_eat(&mut sig, out_shape) {
+            return false;
+        }
+        for (&have, &want) in rec.parents.iter().zip(parents) {
+            if have != want || !sig_eat(&mut sig, self.values[have].shape()) {
+                return false;
+            }
+        }
+        sig.is_empty()
+    }
 }
 
 /// A computation tape.
@@ -208,9 +341,12 @@ pub struct Graph {
 fn zeroed_from_pool(pool: &RefCell<Pool>, shape: &[usize]) -> Tensor {
     let n = numel(shape);
     match pool.borrow_mut().take(n) {
-        Some(mut data) => {
-            data.iter_mut().for_each(|x| *x = 0.0);
-            Tensor::from_vec(data, shape)
+        Some(mut arc) => {
+            Arc::get_mut(&mut arc)
+                .expect("pooled buffers are uniquely owned")
+                .iter_mut()
+                .for_each(|x| *x = 0.0);
+            Tensor::from_shared(arc, shape)
         }
         None => Tensor::zeros(shape),
     }
@@ -223,11 +359,13 @@ impl Graph {
     }
 
     /// Retire every node value and gradient into the buffer pool and
-    /// clear the tape, keeping all allocations for the next step.
+    /// clear the node tape, keeping all allocations for the next step —
+    /// **including the op records**, which the next step replays instead
+    /// of re-recording (see the module docs).
     ///
     /// All `Var` handles created before the reset are invalidated (using
     /// one panics).  Call between training steps of identical shape; the
-    /// subsequent forward pass then runs allocation-free.
+    /// subsequent forward pass then runs allocation-free and box-free.
     pub fn reset(&self) {
         let mut inner = self.inner.borrow_mut();
         let mut pool = self.pool.borrow_mut();
@@ -238,7 +376,9 @@ impl Graph {
             pool.put(t);
         }
         inner.needs_grad.clear();
-        inner.ops.clear();
+        inner.roots.clear();
+        inner.ops_live = 0;
+        inner.replaying = !inner.ops.is_empty();
     }
 
     /// An output buffer for an op producing `shape`: recycled from the
@@ -247,7 +387,7 @@ impl Graph {
     /// element), freshly zero-allocated otherwise.
     pub fn alloc_out(&self, shape: &[usize]) -> Tensor {
         match self.pool.borrow_mut().take(numel(shape)) {
-            Some(data) => Tensor::from_vec(data, shape),
+            Some(data) => Tensor::from_shared(data, shape),
             None => Tensor::zeros(shape),
         }
     }
@@ -266,6 +406,31 @@ impl Graph {
         inner.values.push(value);
         inner.grads.push(None);
         inner.needs_grad.push(needs_grad);
+        inner.roots.push(id);
+        Var { graph: self, id }
+    }
+
+    /// Register a zero-copy view of `parent` as a new node **without an
+    /// op record**.  The view shares the parent's gradient slot (its
+    /// root's, for chained views): backward closures consuming this node
+    /// receive a root-shaped gradient buffer from
+    /// [`BackwardCtx::grad_mut`] / `accumulate_with` and scatter through
+    /// the view's layout, which preserves the accumulation order of the
+    /// old materialise-then-scatter path exactly.
+    ///
+    /// `value` must be a view (or zero-copy reshape) over the parent's
+    /// storage; this is the caller's contract, not checked here.
+    pub fn view_node(&self, parent: Var<'_>, value: Tensor) -> Var<'_> {
+        assert!(std::ptr::eq(parent.graph, self), "Var from a different Graph");
+        let mut inner = self.inner.borrow_mut();
+        assert!(parent.id < inner.values.len(), "unknown parent var id {}", parent.id);
+        let id = inner.values.len();
+        let root = inner.roots[parent.id];
+        let needs = inner.needs_grad[parent.id];
+        inner.values.push(value);
+        inner.grads.push(None);
+        inner.needs_grad.push(needs);
+        inner.roots.push(root);
         Var { graph: self, id }
     }
 
@@ -292,26 +457,109 @@ impl Graph {
     /// `back` receives a [`BackwardCtx`]; it must add this op's contribution
     /// to each parent gradient.  The op record is skipped entirely when no
     /// parent requires gradients.
+    ///
+    /// After a [`Graph::reset`], matching records are **replayed**: the
+    /// freshly-built `back` is dropped without boxing and the retained
+    /// record runs instead.  Closures whose captures are data-dependent
+    /// (not derivable from operand shapes) must pass that data through
+    /// [`Graph::push_op_indexed`] / [`Graph::push_op_scaled`] and read it
+    /// back via [`BackwardCtx::payload_idx`] / `payload_scalar`.
     pub fn push_op(
         &self,
         parents: &[Var<'_>],
         value: Tensor,
         back: impl Fn(&mut BackwardCtx<'_>) + 'static,
     ) -> Var<'_> {
-        let parent_ids: Vec<VarId> = parents.iter().map(|p| p.id).collect();
+        self.push_op_impl(parents, value, None, 0.0, back)
+    }
+
+    /// [`Graph::push_op`] with a per-step index payload (gather indices,
+    /// targets, argmaxes): on replay the payload is refreshed in place
+    /// while the boxed closure is reused.
+    pub fn push_op_indexed(
+        &self,
+        parents: &[Var<'_>],
+        value: Tensor,
+        payload_idx: &[usize],
+        back: impl Fn(&mut BackwardCtx<'_>) + 'static,
+    ) -> Var<'_> {
+        self.push_op_impl(parents, value, Some(payload_idx), 0.0, back)
+    }
+
+    /// [`Graph::push_op`] with a per-step scalar payload.
+    pub fn push_op_scaled(
+        &self,
+        parents: &[Var<'_>],
+        value: Tensor,
+        payload_scalar: f32,
+        back: impl Fn(&mut BackwardCtx<'_>) + 'static,
+    ) -> Var<'_> {
+        self.push_op_impl(parents, value, None, payload_scalar, back)
+    }
+
+    fn push_op_impl<F>(
+        &self,
+        parents: &[Var<'_>],
+        value: Tensor,
+        payload_idx: Option<&[usize]>,
+        payload_scalar: f32,
+        back: F,
+    ) -> Var<'_>
+    where
+        F: Fn(&mut BackwardCtx<'_>) + 'static,
+    {
         let mut inner = self.inner.borrow_mut();
-        for (p, v) in parents.iter().zip(&parent_ids) {
+        let inner = &mut *inner;
+        for p in parents {
             assert!(std::ptr::eq(p.graph, self), "Var from a different Graph");
-            assert!(*v < inner.values.len(), "unknown parent var id {v}");
+            assert!(p.id < inner.values.len(), "unknown parent var id {}", p.id);
         }
-        let needs = parent_ids.iter().any(|&p| inner.needs_grad[p]);
+        let needs = parents.iter().any(|p| inner.needs_grad[p.id]);
         let id = inner.values.len();
+        if needs {
+            let tag = TypeId::of::<F>();
+            let mut hit = false;
+            if inner.replaying {
+                if inner.replay_matches(id, tag, parents.iter().map(|p| &p.id), value.shape()) {
+                    let rec = &mut inner.ops[inner.ops_live];
+                    rec.payload_scalar = payload_scalar;
+                    rec.payload_idx.clear();
+                    if let Some(idx) = payload_idx {
+                        rec.payload_idx.extend_from_slice(idx);
+                    }
+                    inner.ops_live += 1;
+                    hit = true;
+                    // `back` drops here, unboxed — the whole point.
+                } else {
+                    // The program diverged from the recording (shape
+                    // change, different branch): drop the stale suffix
+                    // and record from here on.
+                    inner.ops.truncate(inner.ops_live);
+                    inner.replaying = false;
+                }
+            }
+            if !hit {
+                let mut sig = Vec::with_capacity((parents.len() + 1) * 4);
+                sig_push(&mut sig, value.shape());
+                for p in parents {
+                    sig_push(&mut sig, inner.values[p.id].shape());
+                }
+                inner.ops.push(OpRecord {
+                    out: id,
+                    parents: parents.iter().map(|p| p.id).collect(),
+                    tag,
+                    sig,
+                    payload_idx: payload_idx.map(<[usize]>::to_vec).unwrap_or_default(),
+                    payload_scalar,
+                    back: Box::new(back),
+                });
+                inner.ops_live += 1;
+            }
+        }
         inner.values.push(value);
         inner.grads.push(None);
         inner.needs_grad.push(needs);
-        if needs {
-            inner.ops.push(OpRecord { out: id, parents: parent_ids, back: Box::new(back) });
-        }
+        inner.roots.push(id);
         Var { graph: self, id }
     }
 
@@ -344,6 +592,12 @@ impl Graph {
         let mut seed = zeroed_from_pool(&self.pool, &[1]);
         seed.data_mut()[0] = 1.0;
         inner.grads[loss.id] = Some(seed);
+        // Only records validated this step may run.  When this step's
+        // program was a strict prefix of the recording, the stale tail
+        // references nodes that no longer exist — drop it (it re-records
+        // if a longer program returns).
+        let live = inner.ops_live;
+        inner.ops.truncate(live);
         for op in inner.ops.iter().rev() {
             // Split so the output gradient can be read while parent slots
             // are written; parents always precede their output on the tape.
@@ -356,24 +610,30 @@ impl Graph {
                 parent_ids: &op.parents,
                 values: &inner.values,
                 needs_grad: &inner.needs_grad,
+                roots: &inner.roots,
                 out_id: op.out,
                 grad_out,
                 grads: before,
                 pool: &self.pool,
+                payload_idx: &op.payload_idx,
+                payload_scalar: op.payload_scalar,
             };
             (op.back)(&mut ctx);
         }
     }
 
     /// Gradient accumulated at `var` (None if it never received one).
+    /// For a view node this is the gradient of its root (root-shaped).
     pub fn grad(&self, var: Var<'_>) -> Option<Tensor> {
-        self.inner.borrow().grads[var.id].clone()
+        let inner = self.inner.borrow();
+        inner.grads[inner.roots[var.id]].clone()
     }
 
     /// Run `f` with a borrow of the gradient at `var` (avoids a clone);
     /// `None` when no gradient was accumulated.
     pub fn with_grad<R>(&self, var: Var<'_>, f: impl FnOnce(&Tensor) -> R) -> Option<R> {
-        self.inner.borrow().grads[var.id].as_ref().map(f)
+        let inner = self.inner.borrow();
+        inner.grads[inner.roots[var.id]].as_ref().map(f)
     }
 
     /// Clone of the value stored at `var`.
@@ -547,6 +807,151 @@ mod tests {
     }
 
     #[test]
+    fn replay_reuses_recorded_closures_without_reboxing() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+        // The closure recorded on step 1 must be the one that runs on
+        // step 2: each step passes a closure capturing its own counter,
+        // and only the first step's counter may tick.
+        let g = Graph::new();
+        let calls_a = Rc::new(Cell::new(0));
+        let calls_b = Rc::new(Cell::new(0));
+        let step = |g: &Graph, calls: Rc<Cell<u32>>| {
+            let x = g.var(Tensor::from_vec(vec![1.0, 2.0], &[2]), true);
+            let y = g.push_op(&[x], g.value(x).scale(2.0), move |ctx| {
+                calls.set(calls.get() + 1);
+                ctx.accumulate_grad_out_scaled(0, 2.0);
+            });
+            g.backward(y.sum_all());
+            g.grad(x).unwrap()
+        };
+        let d1 = step(&g, calls_a.clone());
+        assert_eq!((calls_a.get(), calls_b.get()), (1, 0));
+        let ops_after_record = g.inner.borrow().ops.len();
+        g.reset();
+        let d2 = step(&g, calls_b.clone());
+        // Same callsite closure type, same wiring, same shapes: replayed.
+        assert_eq!((calls_a.get(), calls_b.get()), (2, 0));
+        assert_eq!(g.inner.borrow().ops.len(), ops_after_record);
+        assert_eq!(d1.data(), d2.data());
+    }
+
+    #[test]
+    fn replay_refreshes_index_and_scalar_payloads() {
+        // Payload-carrying ops must read the *current* step's data on
+        // replay, not their record-time captures.
+        let g = Graph::new();
+        let step = |g: &Graph, idx: &[usize], c: f32| {
+            let x = g.var(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]), true);
+            // out[j] = x[idx[j]]
+            let picked = Tensor::from_fn(&[2], |j| g.with_value(x, |t| t.data()[idx[j]]));
+            let y = g.push_op_indexed(&[x], picked, idx, |ctx| {
+                let go = ctx.grad_out().data().to_vec();
+                let idx = ctx.payload_idx().to_vec();
+                let gx = ctx.grad_mut(0);
+                for (j, &i) in idx.iter().enumerate() {
+                    gx.data_mut()[i] += go[j];
+                }
+            });
+            // Smuggle the scalar through a second payload op so both
+            // payload kinds are exercised.
+            let y = g.push_op_scaled(&[y], y.value().scale(c), c, |ctx| {
+                let c = ctx.payload_scalar();
+                ctx.accumulate_grad_out_scaled(0, c);
+            });
+            g.backward(y.sum_all());
+            g.grad(x).unwrap()
+        };
+        let d1 = step(&g, &[0, 1], 2.0);
+        assert_eq!(d1.data(), &[2.0, 2.0, 0.0]);
+        g.reset();
+        // Same shapes and callsites (replay hits), different payloads.
+        let d2 = step(&g, &[2, 2], 3.0);
+        assert_eq!(d2.data(), &[0.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn replay_falls_back_to_recording_on_shape_change() {
+        let g = Graph::new();
+        let step = |g: &Graph, n: usize| {
+            let x = g.var(Tensor::full(&[n], 2.0), true);
+            let y = x.mul(x).sum_all();
+            g.backward(y);
+            g.grad(x).unwrap()
+        };
+        let d2 = step(&g, 2);
+        g.reset();
+        let d3 = step(&g, 3); // shape diverges at the first op: re-record
+        assert_eq!(d2.data(), &[4.0, 4.0]);
+        assert_eq!(d3.data(), &[4.0, 4.0, 4.0]);
+        g.reset();
+        let d3b = step(&g, 3); // and the new recording replays
+        assert_eq!(d3b.data(), d3.data());
+    }
+
+    #[test]
+    fn replayed_steps_are_bitwise_identical_across_many_resets() {
+        let g = Graph::new();
+        let run = |g: &Graph| {
+            let x = g.var(Tensor::from_vec(vec![0.5, -1.5, 2.5, 3.5], &[2, 2]), true);
+            let w = g.var(Tensor::from_vec(vec![1.0, 2.0, -0.5, 0.25], &[2, 2]), true);
+            let y = x.matmul(w).relu().mul_scalar(0.5).sum_all();
+            g.backward(y);
+            (y.item(), g.grad(x).unwrap(), g.grad(w).unwrap())
+        };
+        let (l1, dx1, dw1) = run(&g);
+        for _ in 0..4 {
+            g.reset();
+            let (l, dx, dw) = run(&g);
+            assert_eq!(l1.to_bits(), l.to_bits());
+            assert_eq!(dx1.data(), dx.data());
+            assert_eq!(dw1.data(), dw.data());
+        }
+    }
+
+    #[test]
+    fn view_nodes_share_the_root_gradient_slot() {
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]), true);
+        let xt = g.view_node(x, g.value(x).transpose2d_view());
+        assert_eq!(xt.shape(), &[3, 2]);
+        // Consume the view: loss = Σ_ij t[i,j] * (i*2+j+1)
+        let w = Tensor::from_fn(&[3, 2], |i| (i + 1) as f32);
+        let y = g.push_op(&[xt], g.constant(w.clone()).value().scale(0.0), move |ctx| {
+            // d loss / d view[i,j] = w[i,j]; scatter through the view's
+            // transposed addressing into the root-shaped buffer.
+            let gx = ctx.grad_mut(0);
+            assert_eq!(gx.shape(), &[2, 3]); // root shape, not view shape
+            for i in 0..3 {
+                for j in 0..2 {
+                    gx.data_mut()[j * 3 + i] += (i * 2 + j + 1) as f32;
+                }
+            }
+        });
+        let w2 = g.constant(w);
+        let _ = w2; // w participates only through the closure above
+        g.backward(y.sum_all());
+        let dx = g.grad(x).unwrap();
+        // grad(view) resolves to the same root slot.
+        assert_eq!(g.grad(xt).unwrap().data(), dx.data());
+        assert_eq!(dx.data(), &[1.0, 3.0, 5.0, 2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn view_storage_is_pooled_once_after_reset() {
+        let g = Graph::new();
+        let x = g.var(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]), false);
+        let base_ptr = g.with_value(x, |t| t.storage().as_ptr());
+        let _view = g.view_node(x, g.value(x).transpose2d_view());
+        g.reset();
+        // Shared storage retires exactly once; the next 4-element node
+        // gets the recycled buffer, and the pool is then empty.
+        let t = g.alloc_out(&[4]);
+        assert_eq!(t.storage().as_ptr(), base_ptr);
+        assert!(g.pool.borrow_mut().take(4).is_none());
+    }
+
+    #[test]
     fn accumulate_with_matches_two_pass_accumulation() {
         // Fresh slot: contribution becomes the gradient. Live slot: the
         // contribution is computed apart and added whole, like the old
@@ -567,5 +972,39 @@ mod tests {
         });
         g.backward(y.sum_all());
         assert_eq!(g.grad(x).unwrap().data(), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn replayed_records_run_allocation_free_from_the_pool() {
+        // Steady-state contract: once the recording step's working set
+        // has retired into the pool, a replayed step — including
+        // payload-carrying records (gather, mul_scalar) and
+        // view-consuming kernels (split-head NT matmul) — must draw
+        // every value and gradient buffer from the pool.  The set of
+        // storage pointers cannot grow after step one.
+        let g = Graph::new();
+        let table = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]);
+        let step = |g: &Graph, idx: &[usize], c: f32| {
+            let x = g.var_from(&table, true);
+            let e = x.gather_rows(idx).mul_scalar(c);
+            let q = e.reshape(&[2, 2, 2]).split_heads_view(2);
+            let s = q.bmm_nt(q);
+            g.backward(s.sum_all());
+            let inner = g.inner.borrow();
+            let mut ptrs: Vec<usize> =
+                inner.values.iter().map(|t| t.storage().as_ptr() as usize).collect();
+            ptrs.extend(inner.grads.iter().flatten().map(|t| t.storage().as_ptr() as usize));
+            ptrs
+        };
+        let first = step(&g, &[0, 2, 1, 1], 2.0);
+        g.reset();
+        // Different payloads, same plan: a replay hit end to end.
+        let second = step(&g, &[2, 0, 0, 1], 3.0);
+        for p in &second {
+            assert!(
+                first.contains(p),
+                "replayed step allocated a fresh buffer instead of reusing the pool"
+            );
+        }
     }
 }

@@ -48,8 +48,9 @@ mod tensor;
 
 pub use graph::{BackwardCtx, Graph, Var, VarId};
 pub use tensor::{
-    bmm_into, bmm_nt_into, bmm_tn_into, matmul_into, matmul_into_packed, matmul_into_plain,
-    matmul_nt_into, matmul_tn_into, set_kernel_threads, Tensor, TensorError,
+    bmm_into, bmm_layout_into, bmm_nt_db_layout_into, bmm_nt_into, bmm_nt_layout_into, bmm_tn_into,
+    bmm_tn_layout_into, matmul_into, matmul_into_packed, matmul_into_plain, matmul_nt_into,
+    matmul_tn_into, set_kernel_threads, BatchLayout, Tensor, TensorError, ViewMeta,
 };
 
 /// Numerically stable log-sum-exp over a slice.

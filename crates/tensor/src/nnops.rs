@@ -209,8 +209,7 @@ impl<'g> Var<'g> {
         let v_dim = *shape.last().expect("cross_entropy on 0-d logits");
         let n: usize = shape[..shape.len() - 1].iter().product();
         assert_eq!(targets.len(), n, "targets length must equal logits rows");
-        let tg: Vec<usize> = targets.to_vec();
-        let count = tg.iter().filter(|&&t| t != ignore_index).count().max(1);
+        let count = targets.iter().filter(|&&t| t != ignore_index).count().max(1);
 
         // The softmax the backward needs is a byproduct of the forward's
         // log-sum-exp, so cache the per-row probabilities in a pooled
@@ -224,7 +223,7 @@ impl<'g> Var<'g> {
         let value = self.graph.with_value(self, |logits| {
             let mut loss = 0.0f64;
             for ((row, p_row), &t) in
-                logits.data().chunks(v_dim).zip(probs.data_mut().chunks_mut(v_dim)).zip(&tg)
+                logits.data().chunks(v_dim).zip(probs.data_mut().chunks_mut(v_dim)).zip(targets)
             {
                 if t == ignore_index {
                     continue;
@@ -253,14 +252,21 @@ impl<'g> Var<'g> {
         });
 
         // Like gelu's tanh cache: the probabilities ride the tape as a
-        // constant parent so the buffer recycles on graph reset.
+        // constant parent so the buffer recycles on graph reset.  The
+        // targets are fresh every minibatch, so they travel as an index
+        // payload (refreshed in place on replay) and the non-ignored count
+        // is recomputed from the payload; `ignore_index` is a call-site
+        // constant, safe to capture.
         let probs = self.graph.constant(probs);
-        self.graph.push_op(&[self, probs], value, move |ctx| {
+        self.graph.push_op_indexed(&[self, probs], value, targets, move |ctx| {
+            let v_dim = *ctx.value(0).shape().last().expect("cross_entropy grad on 0-d logits");
+            let tg = ctx.payload_idx();
+            let count = tg.iter().filter(|&&t| t != ignore_index).count().max(1);
             let g = ctx.grad_out().item() / count as f32;
             let probs = ctx.value(1);
             let dx = ctx.grad_mut(0);
             for ((dx_row, p_row), &t) in
-                dx.data_mut().chunks_mut(v_dim).zip(probs.data().chunks(v_dim)).zip(&tg)
+                dx.data_mut().chunks_mut(v_dim).zip(probs.data().chunks(v_dim)).zip(tg)
             {
                 if t == ignore_index {
                     continue;

@@ -12,8 +12,52 @@
 
 use crate::graph::Var;
 use crate::tensor::{
-    bmm_into, bmm_nt_into, bmm_tn_into, matmul_into, matmul_nt_into, matmul_tn_into,
+    bmm_into, bmm_layout_into, bmm_nt_db_layout_into, bmm_nt_into, bmm_nt_layout_into, bmm_tn_into,
+    bmm_tn_layout_into, matmul_into, matmul_nt_into, matmul_tn_into, BatchLayout, Tensor,
 };
+
+/// Resolve a batched operand for the stride-walking kernels: its raw
+/// storage plus a [`BatchLayout`].  Dense tensors and layout-compatible
+/// views are zero-copy; an incompatible view (non-contiguous rows, e.g. a
+/// transpose view) falls back to a materialised contiguous copy parked in
+/// `holder`.
+fn as_batched<'t>(t: &'t Tensor, holder: &'t mut Option<Tensor>) -> (&'t [f32], BatchLayout) {
+    match t.batch_layout() {
+        Some(l) => (t.storage(), l),
+        None => {
+            let c = holder.insert(t.contiguous());
+            let l = c.batch_layout().expect("contiguous 3-D tensor has a dense layout");
+            (c.storage(), l)
+        }
+    }
+}
+
+/// Layout for writing a parent's gradient: a view parent's gradient
+/// buffer is **root**-shaped and is addressed through the view's own
+/// layout; a dense parent's buffer is parent-shaped `[s, rows, rowlen]`.
+/// Gradients cannot be staged into a temporary like values can, so a
+/// view parent here must be layout-compatible.
+fn batched_grad_layout(t: &Tensor, s: usize, rows: usize, rowlen: usize) -> BatchLayout {
+    if t.is_view() {
+        t.batch_layout().expect("gradient of a strided view requires a row-contiguous layout")
+    } else {
+        BatchLayout::dense(s, rows, rowlen)
+    }
+}
+
+/// The split-heads addressing of a dense merged `[b, m, h·dk]` buffer:
+/// slice `s = b·h + h'` row `i` lives at the merged row's `h'`-th
+/// `dk`-chunk.
+fn merged_heads_layout(b: usize, heads: usize, m: usize, dk: usize) -> BatchLayout {
+    BatchLayout {
+        offset: 0,
+        outer: b,
+        inner: heads,
+        outer_stride: m * heads * dk,
+        inner_stride: dk,
+        row_stride: heads * dk,
+    }
+}
 
 #[allow(clippy::should_implement_trait)] // add/sub/mul/neg mirror tensor-library convention
 impl<'g> Var<'g> {
@@ -111,7 +155,10 @@ impl<'g> Var<'g> {
             }
             out
         });
-        self.graph.push_op(&[self], v, move |ctx| {
+        // `c` travels as a per-step scalar payload so a replayed record
+        // picks up the current step's constant, not the recorded one.
+        self.graph.push_op_scaled(&[self], v, c, |ctx| {
+            let c = ctx.payload_scalar();
             ctx.accumulate_grad_out_scaled(0, c);
         })
     }
@@ -255,6 +302,13 @@ impl<'g> Var<'g> {
     /// in kernel scratch; the backward needs no transposes at all —
     /// `dA += G @ B` is a plain bmm, and `dB` scatters the same products
     /// the transpose-node chain accumulated, in the same order).
+    ///
+    /// Both operands may be zero-copy strided views (head-split layouts):
+    /// the kernels then walk the view's [`BatchLayout`] directly instead
+    /// of materialising, and gradients of view operands scatter straight
+    /// into the root tensor's gradient buffer through the same layout —
+    /// bitwise identical to the historical split-copy path because the
+    /// per-element accumulation order never changes.
     pub fn bmm_nt(self, other: Var<'g>) -> Var<'g> {
         let v = self.graph.with_value(self, |a| {
             other.graph.with_value(other, |b| {
@@ -265,20 +319,39 @@ impl<'g> Var<'g> {
                 assert_eq!(bt, b2, "bmm_nt batch dims differ");
                 assert_eq!(d, d2, "bmm_nt inner dims differ: {:?} vs {:?}", a.shape(), b.shape());
                 let mut out = self.graph.alloc_zeroed(&[bt, m, n]);
-                bmm_nt_into(a.data(), b.data(), out.data_mut(), bt, m, d, n);
+                if a.is_view() || b.is_view() {
+                    let (mut ha, mut hb) = (None, None);
+                    let (asl, la) = as_batched(a, &mut ha);
+                    let (bsl, lb) = as_batched(b, &mut hb);
+                    let lo = BatchLayout::dense(bt, m, n);
+                    bmm_nt_layout_into(asl, &la, bsl, &lb, out.data_mut(), &lo, m, d, n);
+                } else {
+                    bmm_nt_into(a.data(), b.data(), out.data_mut(), bt, m, d, n);
+                }
                 out
             })
         });
         self.graph.push_op(&[self, other], v, |ctx| {
             let g = ctx.grad_out();
             let (bt, m, n) = (g.shape()[0], g.shape()[1], g.shape()[2]);
+            let view_operands = ctx.value(0).is_view() || ctx.value(1).is_view();
             if ctx.parent_needs_grad(0) {
                 // dA += G @ B : [b,m,n] @ [b,n,d] — contraction ascending
                 // over n with the skip-zero rule on G, exactly what the
                 // transpose-node chain's NT kernel produced.
                 let b = ctx.value(1);
                 let d = b.shape()[2];
-                ctx.accumulate_with(0, |out| bmm_into(g.data(), b.data(), out, bt, m, n, d));
+                if view_operands {
+                    let lg = BatchLayout::dense(bt, m, n);
+                    let mut hb = None;
+                    let (bsl, lb) = as_batched(b, &mut hb);
+                    let la = batched_grad_layout(ctx.value(0), bt, m, d);
+                    ctx.accumulate_with(0, |out| {
+                        bmm_layout_into(g.data(), &lg, bsl, &lb, out, &la, m, n, d)
+                    });
+                } else {
+                    ctx.accumulate_with(0, |out| bmm_into(g.data(), b.data(), out, bt, m, n, d));
+                }
             }
             if ctx.parent_needs_grad(1) {
                 // dB[j,p] += Σ_i a[i,p]·g[i,j] per slice (ascending i,
@@ -286,22 +359,90 @@ impl<'g> Var<'g> {
                 // its transpose-node pass-through, fused.
                 let a = ctx.value(0);
                 let d = a.shape()[2];
-                ctx.accumulate_with(1, |out| {
-                    for s in 0..bt {
-                        let a_s = &a.data()[s * m * d..(s + 1) * m * d];
-                        let g_s = &g.data()[s * m * n..(s + 1) * m * n];
-                        let o_s = &mut out[s * n * d..(s + 1) * n * d];
-                        for i in 0..m {
-                            for (p, &a_ip) in a_s[i * d..(i + 1) * d].iter().enumerate() {
-                                if a_ip == 0.0 {
-                                    continue;
-                                }
-                                for (j, &g_ij) in g_s[i * n..(i + 1) * n].iter().enumerate() {
-                                    o_s[j * d + p] += a_ip * g_ij;
+                if view_operands {
+                    let lg = BatchLayout::dense(bt, m, n);
+                    let mut ha = None;
+                    let (asl, la) = as_batched(a, &mut ha);
+                    let lb = batched_grad_layout(ctx.value(1), bt, n, d);
+                    ctx.accumulate_with(1, |out| {
+                        bmm_nt_db_layout_into(asl, &la, g.data(), &lg, out, &lb, m, d, n)
+                    });
+                } else {
+                    ctx.accumulate_with(1, |out| {
+                        for s in 0..bt {
+                            let a_s = &a.data()[s * m * d..(s + 1) * m * d];
+                            let g_s = &g.data()[s * m * n..(s + 1) * m * n];
+                            let o_s = &mut out[s * n * d..(s + 1) * n * d];
+                            for i in 0..m {
+                                for (p, &a_ip) in a_s[i * d..(i + 1) * d].iter().enumerate() {
+                                    if a_ip == 0.0 {
+                                        continue;
+                                    }
+                                    for (j, &g_ij) in g_s[i * n..(i + 1) * n].iter().enumerate() {
+                                        o_s[j * d + p] += a_ip * g_ij;
+                                    }
                                 }
                             }
                         }
-                    }
+                    });
+                }
+            }
+        })
+    }
+
+    /// Fused `attn @ v` + head merge: `[b·h, m, k] @ [b·h, k, dk] ->
+    /// [b, m, h·dk]`, writing each head's product rows directly at their
+    /// merged offsets — one tape node replacing `bmm` + `merge_heads`,
+    /// with `v` allowed to be a zero-copy head-split view.  Values and
+    /// gradients are bitwise identical to the historical chain: the
+    /// merged write only relocates rows, and the backward runs the same
+    /// NT/TN accumulations the `bmm` backward used, reading the merged
+    /// upstream gradient through the split layout instead of scattering
+    /// it into a copy first.
+    pub fn attn_bmm_merge(self, v: Var<'g>, heads: usize) -> Var<'g> {
+        let val = self.graph.with_value(self, |a| {
+            v.graph.with_value(v, |vv| {
+                assert_eq!(a.ndim(), 3, "attn_bmm_merge lhs must be 3-D, got {:?}", a.shape());
+                assert_eq!(vv.ndim(), 3, "attn_bmm_merge rhs must be 3-D, got {:?}", vv.shape());
+                let (bh, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+                let (b2, k2, dk) = (vv.shape()[0], vv.shape()[1], vv.shape()[2]);
+                assert_eq!(bh, b2, "attn_bmm_merge batch dims differ");
+                assert_eq!(k, k2, "attn_bmm_merge inner dims differ");
+                assert_eq!(bh % heads, 0, "batch {bh} not divisible into {heads} heads");
+                let b = bh / heads;
+                let mut out = self.graph.alloc_zeroed(&[b, m, heads * dk]);
+                let la = BatchLayout::dense(bh, m, k);
+                let mut hv = None;
+                let (vs, lv) = as_batched(vv, &mut hv);
+                let lo = merged_heads_layout(b, heads, m, dk);
+                bmm_layout_into(a.data(), &la, vs, &lv, out.data_mut(), &lo, m, k, dk);
+                out
+            })
+        });
+        self.graph.push_op(&[self, v], val, move |ctx| {
+            let g = ctx.grad_out(); // dense [b, m, h·dk]
+            let a = ctx.value(0);
+            let (bh, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+            let (b, dk) = (g.shape()[0], g.shape()[2] / heads);
+            // Read the merged upstream gradient through the split layout.
+            let lg = merged_heads_layout(b, heads, m, dk);
+            if ctx.parent_needs_grad(0) {
+                // dAttn += G_split @ Vᵀ
+                let vv = ctx.value(1);
+                let mut hv = None;
+                let (vs, lv) = as_batched(vv, &mut hv);
+                let lo = BatchLayout::dense(bh, m, k);
+                ctx.accumulate_with(0, |out| {
+                    bmm_nt_layout_into(g.data(), &lg, vs, &lv, out, &lo, m, dk, k)
+                });
+            }
+            if ctx.parent_needs_grad(1) {
+                // dV += Attnᵀ @ G_split, scattered through v's own layout
+                // into the root gradient when v is a view.
+                let la = BatchLayout::dense(bh, m, k);
+                let lo = batched_grad_layout(ctx.value(1), bh, k, dk);
+                ctx.accumulate_with(1, |out| {
+                    bmm_tn_layout_into(a.data(), &la, g.data(), &lg, out, &lo, m, k, dk)
                 });
             }
         })
@@ -748,5 +889,92 @@ mod tests {
         let (da2, db2) = run(&g);
         assert_eq!(da1.data(), da2.data());
         assert_eq!(db1.data(), db2.data());
+    }
+
+    #[test]
+    fn bmm_nt_on_split_head_views_matches_copying_path_bitwise() {
+        // Attention scores through zero-copy head-split views must equal the
+        // historical split-copy path exactly, values and input gradients.
+        let mut r = rng();
+        let (b, t, d, h) = (2usize, 3usize, 8usize, 4usize);
+        let q0 = Tensor::randn(&[b, t, d], 1.0, &mut r);
+        let k0 = Tensor::randn(&[b, t, d], 1.0, &mut r);
+        let run = |views: bool| {
+            let g = Graph::new();
+            let qv = g.var(q0.clone(), true);
+            let kv = g.var(k0.clone(), true);
+            let (q, k) = if views {
+                (qv.split_heads_view(h), kv.split_heads_view(h))
+            } else {
+                (qv.split_heads(h), kv.split_heads(h))
+            };
+            let s = q.bmm_nt(k);
+            let loss = s.mul(s).sum_all();
+            g.backward(loss);
+            (s.value(), g.grad(qv).unwrap(), g.grad(kv).unwrap())
+        };
+        let (sv, dqv, dkv) = run(true);
+        let (sc, dqc, dkc) = run(false);
+        assert_eq!(sv.shape(), &[b * h, t, t]);
+        assert_eq!(sv.data(), sc.data());
+        assert_eq!(dqv.data(), dqc.data());
+        assert_eq!(dkv.data(), dkc.data());
+    }
+
+    #[test]
+    fn attn_bmm_merge_matches_bmm_then_merge_heads_bitwise() {
+        // The fused context op (attn · V written straight into merged-head
+        // layout) must equal bmm → merge_heads exactly, with V arriving as a
+        // zero-copy view in the fused path.
+        let mut r = rng();
+        let (b, t, d, h) = (2usize, 4usize, 6usize, 3usize);
+        let attn0 = Tensor::randn(&[b * h, t, t], 1.0, &mut r);
+        let x0 = Tensor::randn(&[b, t, d], 1.0, &mut r);
+        let run = |fused: bool| {
+            let g = Graph::new();
+            let av = g.var(attn0.clone(), true);
+            let xv = g.var(x0.clone(), true);
+            let y = if fused {
+                av.attn_bmm_merge(xv.split_heads_view(h), h)
+            } else {
+                av.bmm(xv.split_heads(h)).merge_heads(h)
+            };
+            let loss = y.mul(y).sum_all();
+            g.backward(loss);
+            (y.value(), g.grad(av).unwrap(), g.grad(xv).unwrap())
+        };
+        let (yf, daf, dxf) = run(true);
+        let (yr, dar, dxr) = run(false);
+        assert_eq!(yf.shape(), &[b, t, d]);
+        assert_eq!(yf.data(), yr.data());
+        assert_eq!(daf.data(), dar.data());
+        assert_eq!(dxf.data(), dxr.data());
+    }
+
+    #[test]
+    fn view_attention_replays_bitwise_after_reset() {
+        // A full view-based attention core (split views → NT scores →
+        // softmax → fused context) replayed after reset must reuse the tape
+        // (no node growth) and reproduce identical bits.
+        let g = Graph::new();
+        let run = |g: &Graph| {
+            let (b, t, d, h) = (2usize, 3usize, 8usize, 2usize);
+            let x = g.var(Tensor::from_fn(&[b, t, d], |i| (i as f32 * 0.23).sin()), true);
+            let q = x.split_heads_view(h);
+            let k = x.split_heads_view(h);
+            let v = x.split_heads_view(h);
+            let s = q.bmm_nt(k).mul_scalar(0.5).softmax_last();
+            let y = s.attn_bmm_merge(v, h);
+            let loss = y.mul(y).sum_all();
+            g.backward(loss);
+            (loss.item(), g.grad(x).unwrap())
+        };
+        let (l1, dx1) = run(&g);
+        let nodes = g.num_nodes();
+        g.reset();
+        let (l2, dx2) = run(&g);
+        assert_eq!(l1.to_bits(), l2.to_bits());
+        assert_eq!(dx1.data(), dx2.data());
+        assert_eq!(g.num_nodes(), nodes, "replay must not grow the tape");
     }
 }

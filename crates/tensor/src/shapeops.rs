@@ -8,19 +8,23 @@
 use crate::graph::Var;
 
 impl<'g> Var<'g> {
-    /// Reshape (element count must be preserved; data is contiguous so this
-    /// is a metadata-only operation plus one copy for the new node).
+    /// Reshape (element count must be preserved).  The forward pass is
+    /// zero-copy: the output tensor shares the parent's storage via
+    /// [`crate::Tensor::reshaped`] (strided views materialise first).
+    ///
+    /// Unlike pure view nodes this keeps its op record so that graphs with
+    /// several consumers of the parent preserve the established gradient
+    /// accumulation order bit-for-bit.
     pub fn reshape(self, shape: &[usize]) -> Var<'g> {
         let v = self.graph.with_value(self, |a| {
-            let mut out = self.graph.alloc_out(shape);
+            let numel: usize = shape.iter().product();
             assert_eq!(
-                out.len(),
+                numel,
                 a.len(),
                 "reshape from {:?} to {shape:?} changes element count",
                 a.shape()
             );
-            out.data_mut().copy_from_slice(a.data());
-            out
+            a.reshaped(shape)
         });
         self.graph.push_op(&[self], v, |ctx| {
             ctx.accumulate_grad_out_flat(0);
@@ -31,19 +35,21 @@ impl<'g> Var<'g> {
     /// gathers `indices` into an `[indices.len(), d]` output.  The backward
     /// pass scatter-adds gradients into the gathered rows.
     pub fn gather_rows(self, indices: &[usize]) -> Var<'g> {
-        let idx: Vec<usize> = indices.to_vec();
         let v = self.graph.with_value(self, |a| {
             assert_eq!(a.ndim(), 2, "gather_rows needs 2-D, got {:?}", a.shape());
             let (rows, d) = (a.shape()[0], a.shape()[1]);
-            let mut out = self.graph.alloc_out(&[idx.len(), d]);
-            for (n, &i) in idx.iter().enumerate() {
+            let mut out = self.graph.alloc_out(&[indices.len(), d]);
+            for (n, &i) in indices.iter().enumerate() {
                 assert!(i < rows, "gather_rows index {i} out of bounds ({rows} rows)");
                 out.data_mut()[n * d..(n + 1) * d].copy_from_slice(&a.data()[i * d..(i + 1) * d]);
             }
             out
         });
-        self.graph.push_op(&[self], v, move |ctx| {
+        // The gathered rows change every minibatch, so they ride as an index
+        // payload (refreshed in place on replay) instead of a closure capture.
+        self.graph.push_op_indexed(&[self], v, indices, |ctx| {
             let d = ctx.value(0).shape()[1];
+            let idx = ctx.payload_idx();
             let go = ctx.grad_out();
             let dw = ctx.grad_mut(0);
             for (n, &row) in idx.iter().enumerate() {
@@ -229,7 +235,12 @@ impl<'g> Var<'g> {
             }
             out
         });
-        self.graph.push_op(&[self], v, move |ctx| {
+        // Argmax routing is data-dependent, so it travels as an index payload
+        // that replay refreshes each step.
+        self.graph.push_op_indexed(&[self], v, &argmax, |ctx| {
+            let shape = ctx.value(0).shape();
+            let (b, n, f) = (shape[0], shape[1], shape[2]);
+            let argmax = ctx.payload_idx();
             let go = ctx.grad_out();
             let dx = ctx.grad_mut(0);
             for bi in 0..b {
@@ -308,6 +319,19 @@ impl<'g> Var<'g> {
                 }
             }
         })
+    }
+
+    /// Metadata-only variant of [`Var::split_heads`]: the output is a
+    /// zero-copy strided view `[B, T, D] -> [B*H, T, D/H]` over the
+    /// parent's buffer, registered as a view node (no op record, no
+    /// backward closure).  Consumers must be view-aware kernels
+    /// ([`Var::bmm_nt`], [`Var::attn_bmm_merge`]); their backward passes
+    /// scatter gradients straight into the parent's root gradient buffer
+    /// through the view layout, reproducing the old
+    /// split-copy-then-accumulate path bit-for-bit.
+    pub fn split_heads_view(self, heads: usize) -> Var<'g> {
+        let v = self.graph.with_value(self, |x| x.split_heads_view(heads));
+        self.graph.view_node(self, v)
     }
 
     /// Inverse of [`Var::split_heads`]: `[B*H, T, Dk] -> [B, T, H*Dk]`.

@@ -1,6 +1,8 @@
-//! The dense tensor type and its non-differentiable kernels.
+//! The dense tensor type, its strided zero-copy views and its
+//! non-differentiable kernels.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// Error type for fallible tensor constructors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,25 +23,164 @@ impl fmt::Display for TensorError {
 
 impl std::error::Error for TensorError {}
 
-/// A contiguous, row-major `f32` tensor.
+/// Maximum number of `(len, stride)` iteration dims a view carries.  Four
+/// covers every layout the workspace produces (the head-split view factors
+/// its fused `B*H` axis into two dims); the array is fixed-size so view
+/// construction allocates nothing.
+pub const VIEW_MAX_DIMS: usize = 4;
+
+/// Strided-view metadata: the element at logical row-major position
+/// `(i_0, …, i_{n-1})` of the *iteration space* lives at storage index
+/// `offset + Σ i_k · stride_k`.
+///
+/// The iteration space is the logical shape with at most one axis
+/// *factored*: `split_heads` views a `[B, T, D]` buffer as logical
+/// `[B*H, T, D/H]`, whose leading axis is not expressible as one
+/// `(len, stride)` pair — it factors into `(B, T·D)` × `(H, D/H)`.
+/// Iterating the dims in order therefore always yields elements in the
+/// logical row-major order of the view's shape.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct ViewMeta {
+    /// Storage index of the first logical element.
+    pub offset: usize,
+    /// Number of live entries in `dims`.
+    pub ndims: u8,
+    /// `(len, stride)` per iteration dim, outermost first.
+    pub dims: [(usize, usize); VIEW_MAX_DIMS],
+}
+
+impl ViewMeta {
+    fn iter_dims(&self) -> &[(usize, usize)] {
+        &self.dims[..self.ndims as usize]
+    }
+
+    /// True when iterating the dims visits storage indices
+    /// `offset, offset+1, …` without gaps (a pure reshape).
+    pub fn is_contiguous(&self) -> bool {
+        let mut expected = 1usize;
+        for &(len, stride) in self.iter_dims().iter().rev() {
+            if len > 1 && stride != expected {
+                return false;
+            }
+            expected *= len;
+        }
+        true
+    }
+}
+
+/// A row-major `f32` tensor over shared storage, optionally viewed through
+/// strides.
+///
+/// Most tensors are *dense*: the storage is exactly the logical elements in
+/// row-major order.  A tensor carrying a [`ViewMeta`] is a zero-copy
+/// *view* — transpose / permute / head-split reinterpretations of another
+/// tensor's buffer.  Dense accessors ([`Tensor::data`],
+/// [`Tensor::data_mut`]) panic on views so layout-unaware code fails loudly
+/// instead of misreading storage order; view consumers go through
+/// [`Tensor::storage`] + [`Tensor::view_meta`] (stride-walking kernels) or
+/// [`Tensor::contiguous`] (explicit materialisation).
+///
+/// Storage is reference-counted, so `clone` is cheap and views alias their
+/// parent; [`Tensor::data_mut`] is copy-on-write (`Arc::make_mut`), which
+/// preserves value semantics exactly.
 ///
 /// All kernels assert shape compatibility with descriptive messages; the
 /// workspace treats shape errors as programming bugs (like `ndarray` and
 /// most ML runtimes do) rather than recoverable conditions.
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct Tensor {
     shape: Vec<usize>,
-    data: Vec<f32>,
+    data: Arc<Vec<f32>>,
+    view: Option<ViewMeta>,
+}
+
+impl PartialEq for Tensor {
+    /// Logical equality: same shape and the same elements in logical
+    /// row-major order (a view equals its materialised counterpart).
+    fn eq(&self, other: &Tensor) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        match (&self.view, &other.view) {
+            (None, None) => self.data == other.data,
+            _ => self.iter_logical().eq(other.iter_logical()),
+        }
+    }
 }
 
 impl fmt::Debug for Tensor {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "Tensor{:?}", self.shape)?;
-        if self.data.len() <= 16 {
-            write!(f, " {:?}", self.data)
-        } else {
-            write!(f, " [{} elements]", self.data.len())
+        if self.view.is_some() {
+            write!(f, " (view)")?;
         }
+        let n = numel(&self.shape);
+        if n <= 16 && self.view.is_none() {
+            write!(f, " {:?}", &self.data[..])
+        } else {
+            write!(f, " [{n} elements]")
+        }
+    }
+}
+
+/// Internal dense constructor (storage length must already match).
+fn dense(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+    debug_assert_eq!(numel(&shape), data.len());
+    Tensor { shape, data: Arc::new(data), view: None }
+}
+
+/// Iterator over a tensor's elements in logical row-major order, walking
+/// the view strides (odometer over the iteration dims).
+struct LogicalIter<'a> {
+    data: &'a [f32],
+    dims: [(usize, usize); VIEW_MAX_DIMS],
+    ndims: usize,
+    idx: [usize; VIEW_MAX_DIMS],
+    pos: usize,
+    remaining: usize,
+}
+
+impl<'a> LogicalIter<'a> {
+    fn new(t: &'a Tensor) -> Self {
+        let (dims, ndims, offset) = match &t.view {
+            Some(m) => (m.dims, m.ndims as usize, m.offset),
+            None => {
+                // Dense: one flat run.
+                let mut dims = [(0usize, 0usize); VIEW_MAX_DIMS];
+                dims[0] = (t.data.len(), 1);
+                (dims, 1, 0)
+            }
+        };
+        let remaining = numel(&t.shape);
+        LogicalIter { data: &t.data, dims, ndims, idx: [0; VIEW_MAX_DIMS], pos: offset, remaining }
+    }
+}
+
+impl Iterator for LogicalIter<'_> {
+    type Item = f32;
+
+    fn next(&mut self) -> Option<f32> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let v = self.data[self.pos];
+        self.remaining -= 1;
+        // Odometer increment, innermost dim first.
+        for d in (0..self.ndims).rev() {
+            let (len, stride) = self.dims[d];
+            self.idx[d] += 1;
+            self.pos += stride;
+            if self.idx[d] < len {
+                break;
+            }
+            self.idx[d] = 0;
+            self.pos -= len * stride;
+        }
+        Some(v)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -50,7 +191,7 @@ impl Tensor {
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: &[usize]) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![0.0; numel(shape)] }
+        dense(shape.to_vec(), vec![0.0; numel(shape)])
     }
 
     /// A tensor filled with ones.
@@ -60,12 +201,12 @@ impl Tensor {
 
     /// A tensor filled with `value`.
     pub fn full(shape: &[usize], value: f32) -> Self {
-        Tensor { shape: shape.to_vec(), data: vec![value; numel(shape)] }
+        dense(shape.to_vec(), vec![value; numel(shape)])
     }
 
     /// A scalar tensor (shape `[1]`).
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: vec![1], data: vec![value] }
+        dense(vec![1], vec![value])
     }
 
     /// Build from a data vector; panics if the length does not match.
@@ -79,13 +220,27 @@ impl Tensor {
         if data.len() != expected {
             return Err(TensorError::ShapeMismatch { expected, got: data.len() });
         }
-        Ok(Tensor { shape: shape.to_vec(), data })
+        Ok(dense(shape.to_vec(), data))
+    }
+
+    /// Build over an already-shared storage buffer (the graph buffer pool
+    /// recycles whole `Arc`s so steady-state steps allocate neither data
+    /// nor reference-count blocks).  Panics if the length does not match.
+    pub fn from_shared(data: Arc<Vec<f32>>, shape: &[usize]) -> Self {
+        assert_eq!(
+            data.len(),
+            numel(shape),
+            "shape {shape:?} requires {} elements but storage has {}",
+            numel(shape),
+            data.len()
+        );
+        Tensor { shape: shape.to_vec(), data, view: None }
     }
 
     /// Build by evaluating `f` at each flat index.
     pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
         let n = numel(shape);
-        Tensor { shape: shape.to_vec(), data: (0..n).map(&mut f).collect() }
+        dense(shape.to_vec(), (0..n).map(&mut f).collect())
     }
 
     /// I.i.d. normal entries `N(0, std²)`.
@@ -119,50 +274,145 @@ impl Tensor {
         self.shape.len()
     }
 
-    /// Total element count.
+    /// Total element count (logical — for a view this is the view's size,
+    /// not the storage size).
     #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        match &self.view {
+            None => self.data.len(),
+            Some(_) => numel(&self.shape),
+        }
     }
 
     /// True if the tensor has zero elements.
     #[inline]
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len() == 0
     }
 
-    /// Immutable view of the flat data.
+    /// True when this tensor is a strided view over another tensor's
+    /// storage (logical order ≠ storage order, or a sub-range).
     #[inline]
-    pub fn data(&self) -> &[f32] {
+    pub fn is_view(&self) -> bool {
+        self.view.is_some()
+    }
+
+    /// The view metadata, when this tensor is a view.
+    #[inline]
+    pub fn view_meta(&self) -> Option<&ViewMeta> {
+        self.view.as_ref()
+    }
+
+    /// The raw shared storage buffer (full buffer, storage order).  Pair
+    /// with [`Tensor::view_meta`] in stride-walking kernels.
+    #[inline]
+    pub fn storage(&self) -> &[f32] {
         &self.data
     }
 
-    /// Mutable view of the flat data.
+    /// Immutable flat data of a **dense** tensor.  Panics on views: code
+    /// that is not stride-aware must materialise via
+    /// [`Tensor::contiguous`] first instead of silently misreading
+    /// storage order.
     #[inline]
-    pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+    pub fn data(&self) -> &[f32] {
+        assert!(self.view.is_none(), "Tensor::data on a strided view (shape {:?})", self.shape);
+        &self.data
     }
 
-    /// Consume into the flat data vector.
+    /// Mutable flat data of a **dense** tensor (copy-on-write when the
+    /// storage is shared with views or clones).  Panics on views.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        assert!(self.view.is_none(), "Tensor::data_mut on a strided view (shape {:?})", self.shape);
+        let v: &mut Vec<f32> = Arc::make_mut(&mut self.data);
+        v
+    }
+
+    /// Consume into the flat data vector (logical order; copies only when
+    /// the storage is shared or viewed).
     pub fn into_vec(self) -> Vec<f32> {
+        match self.view {
+            Some(_) => self.contiguous().into_vec(),
+            None => Arc::try_unwrap(self.data).unwrap_or_else(|a| (*a).clone()),
+        }
+    }
+
+    /// Consume into the shared storage buffer (the graph pool recycles
+    /// these whole, keeping the reference-count block alive).
+    pub fn into_storage(self) -> Arc<Vec<f32>> {
         self.data
+    }
+
+    /// Iterate the elements in logical row-major order (works for dense
+    /// tensors and views alike).
+    pub fn iter_logical(&self) -> impl Iterator<Item = f32> + '_ {
+        LogicalIter::new(self)
+    }
+
+    /// A dense tensor with this tensor's logical contents.  For dense
+    /// tensors this is a cheap storage-sharing clone; for views it gathers
+    /// the strided elements into `out` order — the explicit fallback for
+    /// layouts no kernel can walk.
+    pub fn contiguous(&self) -> Tensor {
+        match &self.view {
+            None => self.clone(),
+            Some(_) => {
+                let data: Vec<f32> = self.iter_logical().collect();
+                dense(self.shape.clone(), data)
+            }
+        }
+    }
+
+    /// Like [`Tensor::contiguous`], but gathering into a caller-provided
+    /// dense buffer (the graph pool's allocation-free materialisation
+    /// path).  `out` must have the view's logical element count.
+    pub fn contiguous_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len(), "contiguous_into length mismatch");
+        match &self.view {
+            None => out.copy_from_slice(&self.data),
+            Some(_) => {
+                for (o, v) in out.iter_mut().zip(self.iter_logical()) {
+                    *o = v;
+                }
+            }
+        }
     }
 
     /// The single value of a scalar tensor.
     pub fn item(&self) -> f32 {
-        assert_eq!(self.data.len(), 1, "Tensor::item on non-scalar shape {:?}", self.shape);
-        self.data[0]
+        assert_eq!(self.len(), 1, "Tensor::item on non-scalar shape {:?}", self.shape);
+        match &self.view {
+            None => self.data[0],
+            Some(m) => self.data[m.offset],
+        }
     }
 
-    /// Element at a multi-dimensional index.
+    /// Element at a multi-dimensional index (view-aware).
     pub fn at(&self, idx: &[usize]) -> f32 {
-        self.data[self.flat_index(idx)]
+        let flat = self.flat_index(idx);
+        match &self.view {
+            None => self.data[flat],
+            Some(m) => {
+                // Decompose the logical flat index over the iteration dims
+                // (they enumerate logical row-major order by construction).
+                let mut rem = flat;
+                let mut pos = m.offset;
+                for d in (0..m.ndims as usize).rev() {
+                    let (len, stride) = m.dims[d];
+                    pos += (rem % len) * stride;
+                    rem /= len;
+                }
+                self.data[pos]
+            }
+        }
     }
 
-    /// Mutable element at a multi-dimensional index.
+    /// Mutable element at a multi-dimensional index (dense tensors only).
     pub fn at_mut(&mut self, idx: &[usize]) -> &mut f32 {
+        assert!(self.view.is_none(), "Tensor::at_mut on a strided view");
         let i = self.flat_index(idx);
-        &mut self.data[i]
+        &mut Arc::make_mut(&mut self.data)[i]
     }
 
     fn flat_index(&self, idx: &[usize]) -> usize {
@@ -175,20 +425,29 @@ impl Tensor {
         flat
     }
 
-    /// Reinterpret with a new shape of identical element count.
+    /// Reinterpret with a new shape of identical element count.  Dense
+    /// tensors share storage (zero-copy); views materialise first.
     pub fn reshaped(&self, shape: &[usize]) -> Tensor {
         assert_eq!(
             numel(shape),
-            self.data.len(),
+            self.len(),
             "reshape from {:?} to {:?} changes element count",
             self.shape,
             shape
         );
-        Tensor { shape: shape.to_vec(), data: self.data.clone() }
+        match &self.view {
+            None => Tensor { shape: shape.to_vec(), data: Arc::clone(&self.data), view: None },
+            Some(_) => {
+                let mut t = self.contiguous();
+                t.shape = shape.to_vec();
+                t
+            }
+        }
     }
 
-    /// In-place reshape (no data movement).
+    /// In-place reshape (no data movement; dense tensors only).
     pub fn reshape_in_place(&mut self, shape: &[usize]) {
+        assert!(self.view.is_none(), "reshape_in_place on a strided view");
         assert_eq!(
             numel(shape),
             self.data.len(),
@@ -200,21 +459,167 @@ impl Tensor {
     }
 
     // ------------------------------------------------------------------
+    // Zero-copy strided views
+    // ------------------------------------------------------------------
+
+    /// Zero-copy 2-D transpose view: `[m, n] -> [n, m]` over the same
+    /// storage.  No kernel walks this layout directly (the last axis is
+    /// strided); consumers call [`Tensor::contiguous`].
+    pub fn transpose2d_view(&self) -> Tensor {
+        assert_eq!(self.ndim(), 2, "transpose2d_view needs 2-D, got {:?}", self.shape);
+        assert!(self.view.is_none(), "transpose2d_view of a view: materialise first");
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut dims = [(0usize, 0usize); VIEW_MAX_DIMS];
+        dims[0] = (n, 1);
+        dims[1] = (m, n);
+        Tensor {
+            shape: vec![n, m],
+            data: Arc::clone(&self.data),
+            view: Some(ViewMeta { offset: 0, ndims: 2, dims }),
+        }
+    }
+
+    /// Zero-copy swap of the last two axes of a 3-D tensor:
+    /// `[b, m, n] -> [b, n, m]` over the same storage.
+    pub fn transpose_last2_view(&self) -> Tensor {
+        assert_eq!(self.ndim(), 3, "transpose_last2_view needs 3-D, got {:?}", self.shape);
+        assert!(self.view.is_none(), "transpose_last2_view of a view: materialise first");
+        let (b, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
+        let mut dims = [(0usize, 0usize); VIEW_MAX_DIMS];
+        dims[0] = (b, m * n);
+        dims[1] = (n, 1);
+        dims[2] = (m, n);
+        Tensor {
+            shape: vec![b, n, m],
+            data: Arc::clone(&self.data),
+            view: Some(ViewMeta { offset: 0, ndims: 3, dims }),
+        }
+    }
+
+    /// Zero-copy axis permutation of a dense tensor (generalises the
+    /// transpose views; up to `VIEW_MAX_DIMS` axes).
+    pub fn permute_view(&self, perm: &[usize]) -> Tensor {
+        assert!(self.view.is_none(), "permute_view of a view: materialise first");
+        let nd = self.ndim();
+        assert!(nd <= VIEW_MAX_DIMS, "permute_view supports up to {VIEW_MAX_DIMS} dims");
+        assert_eq!(perm.len(), nd, "permutation rank mismatch");
+        let mut seen = [false; VIEW_MAX_DIMS];
+        for &p in perm {
+            assert!(p < nd && !seen[p], "invalid permutation {perm:?}");
+            seen[p] = true;
+        }
+        // Row-major strides of the source shape.
+        let mut src_strides = [0usize; VIEW_MAX_DIMS];
+        let mut acc = 1;
+        for d in (0..nd).rev() {
+            src_strides[d] = acc;
+            acc *= self.shape[d];
+        }
+        let mut dims = [(0usize, 0usize); VIEW_MAX_DIMS];
+        let mut shape = Vec::with_capacity(nd);
+        for (d, &p) in perm.iter().enumerate() {
+            dims[d] = (self.shape[p], src_strides[p]);
+            shape.push(self.shape[p]);
+        }
+        Tensor {
+            shape,
+            data: Arc::clone(&self.data),
+            view: Some(ViewMeta { offset: 0, ndims: nd as u8, dims }),
+        }
+    }
+
+    /// Zero-copy attention head split: view a dense `[B, T, D]` tensor as
+    /// `[B*H, T, D/H]` with head-major batch layout — the same logical
+    /// contents `Var::split_heads` materialises, without the copy.  The
+    /// leading logical axis factors into `(B, T·D) × (H, D/H)` iteration
+    /// dims; rows of the view stay contiguous (`D/H` floats), which is
+    /// what lets the attention kernels walk it directly.
+    pub fn split_heads_view(&self, heads: usize) -> Tensor {
+        assert_eq!(self.ndim(), 3, "split_heads_view needs 3-D, got {:?}", self.shape);
+        assert!(self.view.is_none(), "split_heads_view of a view: materialise first");
+        let (b, t, d) = (self.shape[0], self.shape[1], self.shape[2]);
+        assert!(heads > 0 && d % heads == 0, "d={d} not divisible by heads={heads}");
+        let dk = d / heads;
+        let mut dims = [(0usize, 0usize); VIEW_MAX_DIMS];
+        dims[0] = (b, t * d);
+        dims[1] = (heads, dk);
+        dims[2] = (t, d);
+        dims[3] = (dk, 1);
+        Tensor {
+            shape: vec![b * heads, t, dk],
+            data: Arc::clone(&self.data),
+            view: Some(ViewMeta { offset: 0, ndims: 4, dims }),
+        }
+    }
+
+    /// The batched-row layout of this tensor when a stride-walking kernel
+    /// can consume it: a 3-D `[S, rows, rowlen]` iteration space whose
+    /// rows are contiguous runs.  `None` for layouts with a strided last
+    /// axis (transpose views) — callers fall back to
+    /// [`Tensor::contiguous`].
+    pub fn batch_layout(&self) -> Option<BatchLayout> {
+        if self.ndim() != 3 {
+            return None;
+        }
+        let (s, rows, rowlen) = (self.shape[0], self.shape[1], self.shape[2]);
+        match &self.view {
+            None => Some(BatchLayout {
+                offset: 0,
+                outer: s,
+                inner: 1,
+                outer_stride: rows * rowlen,
+                inner_stride: 0,
+                row_stride: rowlen,
+            }),
+            Some(m) => {
+                let d = m.iter_dims();
+                match d {
+                    // Head-split form: (B, os) (H, is) (rows, rs) (rowlen, 1).
+                    [(b, os), (h, is), (r, rs), (w, 1)]
+                        if *b * *h == s && *r == rows && *w == rowlen =>
+                    {
+                        Some(BatchLayout {
+                            offset: m.offset,
+                            outer: *b,
+                            inner: *h,
+                            outer_stride: *os,
+                            inner_stride: *is,
+                            row_stride: *rs,
+                        })
+                    }
+                    // Plain strided 3-D form with contiguous rows.
+                    [(b, os), (r, rs), (w, 1)] if *b == s && *r == rows && *w == rowlen => {
+                        Some(BatchLayout {
+                            offset: m.offset,
+                            outer: *b,
+                            inner: 1,
+                            outer_stride: *os,
+                            inner_stride: 0,
+                            row_stride: *rs,
+                        })
+                    }
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Elementwise kernels
     // ------------------------------------------------------------------
 
     /// Elementwise map into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        dense(self.shape.clone(), self.data().iter().map(|&x| f(x)).collect())
     }
 
     /// Elementwise combine with another tensor of identical shape.
     pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
         assert_eq!(self.shape, other.shape, "zip_map shape mismatch");
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
-        }
+        dense(
+            self.shape.clone(),
+            self.data().iter().zip(other.data()).map(|(&a, &b)| f(a, b)).collect(),
+        )
     }
 
     /// `self + other`.
@@ -240,7 +645,7 @@ impl Tensor {
     /// `self += other` in place.
     pub fn add_assign(&mut self, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
             *a += b;
         }
     }
@@ -248,8 +653,8 @@ impl Tensor {
     /// `self += other` elementwise, ignoring shape metadata (element
     /// counts must match) — the backward of reshape-like ops.
     pub fn add_assign_flat(&mut self, other: &Tensor) {
-        assert_eq!(self.data.len(), other.data.len(), "add_assign_flat length mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        assert_eq!(self.len(), other.len(), "add_assign_flat length mismatch");
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
             *a += b;
         }
     }
@@ -257,33 +662,33 @@ impl Tensor {
     /// `self += c * other` in place (axpy).
     pub fn axpy(&mut self, c: f32, other: &Tensor) {
         assert_eq!(self.shape, other.shape, "axpy shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+        for (a, &b) in self.data_mut().iter_mut().zip(other.data()) {
             *a += c * b;
         }
     }
 
     /// Fill with zeros in place.
     pub fn zero_(&mut self) {
-        self.data.iter_mut().for_each(|x| *x = 0.0);
+        self.data_mut().iter_mut().for_each(|x| *x = 0.0);
     }
 
     /// Sum of all entries.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        self.data().iter().sum()
     }
 
     /// Mean of all entries (0 for an empty tensor).
     pub fn mean(&self) -> f32 {
-        if self.data.is_empty() {
+        if self.is_empty() {
             0.0
         } else {
-            self.sum() / self.data.len() as f32
+            self.sum() / self.len() as f32
         }
     }
 
     /// Squared L2 norm.
     pub fn sq_norm(&self) -> f32 {
-        self.data.iter().map(|x| x * x).sum()
+        self.data().iter().map(|x| x * x).sum()
     }
 
     // ------------------------------------------------------------------
@@ -302,8 +707,8 @@ impl Tensor {
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims differ: {:?} vs {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; m * n];
-        matmul_into(&self.data, &other.data, &mut out, m, k, n);
-        Tensor { shape: vec![m, n], data: out }
+        matmul_into(self.data(), other.data(), &mut out, m, k, n);
+        dense(vec![m, n], out)
     }
 
     /// Batched 3-D matmul: `[b,m,k] @ [b,k,n] -> [b,m,n]`.
@@ -320,8 +725,8 @@ impl Tensor {
         assert_eq!(b, b2, "bmm batch dims differ");
         assert_eq!(k, k2, "bmm inner dims differ: {:?} vs {:?}", self.shape, other.shape);
         let mut out = vec![0.0f32; b * m * n];
-        bmm_into(&self.data, &other.data, &mut out, b, m, k, n);
-        Tensor { shape: vec![b, m, n], data: out }
+        bmm_into(self.data(), other.data(), &mut out, b, m, k, n);
+        dense(vec![b, m, n], out)
     }
 
     /// 2-D transpose.
@@ -329,12 +734,13 @@ impl Tensor {
         assert_eq!(self.ndim(), 2, "transpose2d needs 2-D, got {:?}", self.shape);
         let (m, n) = (self.shape[0], self.shape[1]);
         let mut out = vec![0.0f32; m * n];
+        let data = self.data();
         for i in 0..m {
             for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
+                out[j * m + i] = data[i * n + j];
             }
         }
-        Tensor { shape: vec![n, m], data: out }
+        dense(vec![n, m], out)
     }
 
     /// Swap the last two axes of a 3-D tensor: `[b,m,n] -> [b,n,m]`.
@@ -342,8 +748,9 @@ impl Tensor {
         assert_eq!(self.ndim(), 3, "transpose_last2 needs 3-D, got {:?}", self.shape);
         let (b, m, n) = (self.shape[0], self.shape[1], self.shape[2]);
         let mut out = vec![0.0f32; b * m * n];
+        let data = self.data();
         for i in 0..b {
-            let src = &self.data[i * m * n..(i + 1) * m * n];
+            let src = &data[i * m * n..(i + 1) * m * n];
             let dst = &mut out[i * m * n..(i + 1) * m * n];
             for r in 0..m {
                 for c in 0..n {
@@ -351,7 +758,7 @@ impl Tensor {
                 }
             }
         }
-        Tensor { shape: vec![b, n, m], data: out }
+        dense(vec![b, n, m], out)
     }
 
     // ------------------------------------------------------------------
@@ -372,7 +779,7 @@ impl Tensor {
     pub fn softmax_last_in_place(&mut self) {
         let d = *self.shape.last().expect("softmax on 0-d tensor");
         assert!(d > 0, "softmax over empty last axis");
-        for row in self.data.chunks_mut(d) {
+        for row in self.data_mut().chunks_mut(d) {
             softmax_in_place(row);
         }
     }
@@ -381,13 +788,13 @@ impl Tensor {
     pub fn log_softmax_last(&self) -> Tensor {
         let d = *self.shape.last().expect("log_softmax on 0-d tensor");
         assert!(d > 0, "log_softmax over empty last axis");
-        let mut out = self.data.clone();
+        let mut out = self.data().to_vec();
         for row in out.chunks_mut(d) {
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let lse = m + row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
             row.iter_mut().for_each(|x| *x -= lse);
         }
-        Tensor { shape: self.shape.clone(), data: out }
+        dense(self.shape.clone(), out)
     }
 
     /// Select timestep `t` from a `[B, T, D]` tensor -> `[B, D]` (the
@@ -396,23 +803,25 @@ impl Tensor {
         assert_eq!(self.ndim(), 3, "select_step needs 3-D, got {:?}", self.shape);
         let (b, tt, d) = (self.shape[0], self.shape[1], self.shape[2]);
         assert!(t < tt, "select_step index {t} out of bounds for T={tt}");
+        let data = self.data();
         let mut out = Vec::with_capacity(b * d);
         for bi in 0..b {
-            out.extend_from_slice(&self.data[bi * tt * d + t * d..bi * tt * d + (t + 1) * d]);
+            out.extend_from_slice(&data[bi * tt * d + t * d..bi * tt * d + (t + 1) * d]);
         }
-        Tensor { shape: vec![b, d], data: out }
+        dense(vec![b, d], out)
     }
 
     /// Gather rows of a 2-D tensor: `self[indices, :]`.
     pub fn gather_rows(&self, indices: &[usize]) -> Tensor {
         assert_eq!(self.ndim(), 2, "gather_rows needs 2-D, got {:?}", self.shape);
         let (rows, d) = (self.shape[0], self.shape[1]);
+        let data = self.data();
         let mut out = Vec::with_capacity(indices.len() * d);
         for &i in indices {
             assert!(i < rows, "gather_rows index {i} out of bounds ({rows} rows)");
-            out.extend_from_slice(&self.data[i * d..(i + 1) * d]);
+            out.extend_from_slice(&data[i * d..(i + 1) * d]);
         }
-        Tensor { shape: vec![indices.len(), d], data: out }
+        dense(vec![indices.len(), d], out)
     }
 
     /// Unfold sliding windows of width `w` along the time axis:
@@ -423,15 +832,16 @@ impl Tensor {
         let (b, t, d) = (self.shape[0], self.shape[1], self.shape[2]);
         assert!(w >= 1 && w <= t, "window width {w} out of range for T={t}");
         let windows = t - w + 1;
+        let data = self.data();
         let mut out = vec![0.0f32; b * windows * w * d];
         for bi in 0..b {
             for s in 0..windows {
                 let dst = bi * windows * w * d + s * w * d;
                 let src = bi * t * d + s * d;
-                out[dst..dst + w * d].copy_from_slice(&self.data[src..src + w * d]);
+                out[dst..dst + w * d].copy_from_slice(&data[src..src + w * d]);
             }
         }
-        Tensor { shape: vec![b, windows, w * d], data: out }
+        dense(vec![b, windows, w * d], out)
     }
 
     /// Concatenate along the last axis — the value-level mirror of
@@ -457,11 +867,11 @@ impl Tensor {
             let mut off = 0;
             for (p, &w) in parts.iter().zip(&widths) {
                 data[r * total_w + off..r * total_w + off + w]
-                    .copy_from_slice(&p.data[r * w..(r + 1) * w]);
+                    .copy_from_slice(&p.data()[r * w..(r + 1) * w]);
                 off += w;
             }
         }
-        Tensor { shape: out_shape, data }
+        dense(out_shape, data)
     }
 }
 
@@ -1025,6 +1435,325 @@ pub fn bmm_tn_into(a: &[f32], g: &[f32], out: &mut [f32], bt: usize, m: usize, k
     }
 }
 
+// ---------------------------------------------------------------------
+// Stride-walking batched kernels (zero-copy view consumers)
+// ---------------------------------------------------------------------
+//
+// The attention path views its `[B, T, D]` projections as `[B*H, T, D/H]`
+// without copying ([`Tensor::split_heads_view`]).  These kernels consume
+// that layout — and the dense layout, and the merged-output layout —
+// through a [`BatchLayout`] descriptor whose rows are contiguous runs.
+// Each kernel mirrors its dense counterpart loop for loop (`K_BLOCK`
+// tiling, ascending contraction index, skip-zero on the left operand
+// element), so results are **bitwise identical** to materialising the
+// view and calling the dense kernel.  Layouts only relocate rows; they
+// never reorder the per-element accumulation.
+
+/// Address map of a batched `[S, rows, rowlen]` operand whose rows are
+/// contiguous `rowlen`-float runs: row `i` of slice `s` starts at
+/// `offset + (s/inner)·outer_stride + (s%inner)·inner_stride + i·row_stride`.
+///
+/// * dense `[S, m, k]`: `inner = 1`, `outer_stride = m·k`, `row_stride = k`
+/// * head-split view of `[B, T, D]` as `[B·H, T, D/H]`: `outer = B`,
+///   `inner = H`, `outer_stride = T·D`, `inner_stride = D/H`,
+///   `row_stride = D` — slice `s = b·H + h`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatchLayout {
+    /// Storage offset of slice 0, row 0.
+    pub offset: usize,
+    /// Outer slice-group count (`B` for head-split views, `S` for dense).
+    pub outer: usize,
+    /// Slices per outer group (`H` for head-split views, 1 for dense).
+    pub inner: usize,
+    /// Stride between outer groups.
+    pub outer_stride: usize,
+    /// Stride between inner slices of one group.
+    pub inner_stride: usize,
+    /// Stride between consecutive rows of a slice.
+    pub row_stride: usize,
+}
+
+impl BatchLayout {
+    /// The layout of a dense `[s, rows, rowlen]` tensor.
+    pub fn dense(s: usize, rows: usize, rowlen: usize) -> BatchLayout {
+        BatchLayout {
+            offset: 0,
+            outer: s,
+            inner: 1,
+            outer_stride: rows * rowlen,
+            inner_stride: 0,
+            row_stride: rowlen,
+        }
+    }
+
+    /// Total slice count.
+    #[inline]
+    pub fn slices(&self) -> usize {
+        self.outer * self.inner
+    }
+
+    /// Storage offset of row 0 of slice `s`.
+    #[inline]
+    fn slice_base(&self, s: usize) -> usize {
+        self.offset + (s / self.inner) * self.outer_stride + (s % self.inner) * self.inner_stride
+    }
+
+    /// True when outer groups tile `len` storage exactly from offset 0 —
+    /// the precondition for fanning worker threads over disjoint
+    /// `chunks_mut(outer_stride)` groups.
+    fn tiles_exactly(&self, len: usize) -> bool {
+        self.offset == 0 && self.outer * self.outer_stride == len
+    }
+}
+
+/// Fan `work(s_global, out_chunk, o_base)` over the outer groups of `lo`,
+/// in parallel when the total multiply-accumulate count warrants it and
+/// the output layout tiles the buffer exactly; serial otherwise.  Slices
+/// are independent, so the fan never changes results.
+fn fan_slices(
+    out: &mut [f32],
+    lo: &BatchLayout,
+    work_per_slice: usize,
+    run: impl Fn(usize, &mut [f32], usize) + Sync,
+) {
+    let slices = lo.slices();
+    let threads = parallelism_for(work_per_slice * slices).min(lo.outer);
+    if threads > 1 && lo.tiles_exactly(out.len()) {
+        let groups_per = lo.outer.div_ceil(threads);
+        let run = &run;
+        std::thread::scope(|scope| {
+            for (ci, chunk) in out.chunks_mut(groups_per * lo.outer_stride).enumerate() {
+                let g0 = ci * groups_per;
+                let groups = chunk.len() / lo.outer_stride;
+                scope.spawn(move || {
+                    for sl in 0..groups * lo.inner {
+                        let s = g0 * lo.inner + sl;
+                        let base =
+                            (sl / lo.inner) * lo.outer_stride + (sl % lo.inner) * lo.inner_stride;
+                        run(s, chunk, base);
+                    }
+                });
+            }
+        });
+    } else {
+        for s in 0..slices {
+            let base = lo.slice_base(s);
+            run(s, out, base);
+        }
+    }
+}
+
+/// One slice of a layout-addressed `out += a @ b`: rows of every operand
+/// are contiguous runs located by `(base, row_stride)`.  Loop structure is
+/// [`matmul_block`] verbatim — `K_BLOCK` tiles visited in order, `k`
+/// ascending per output element, skip-zero on `a[i,p]`.
+#[allow(clippy::too_many_arguments)]
+fn matmul_block_l(
+    a: &[f32],
+    a0: usize,
+    ars: usize,
+    b: &[f32],
+    b0: usize,
+    brs: usize,
+    out: &mut [f32],
+    o0: usize,
+    ors: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let mut kb = 0;
+    while kb < k {
+        let kend = (kb + K_BLOCK).min(k);
+        for i in 0..m {
+            let a_row = &a[a0 + i * ars..a0 + i * ars + k];
+            let out_row = &mut out[o0 + i * ors..o0 + i * ors + n];
+            for p in kb..kend {
+                let a_ip = a_row[p];
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = &b[b0 + p * brs..b0 + p * brs + n];
+                for (o, &b_pj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_ip * b_pj;
+                }
+            }
+        }
+        kb = kend;
+    }
+}
+
+/// Layout-addressed batched `out += a @ b` over `[m,k] @ [k,n]` slices.
+/// The plain blocked kernel runs per slice (packed dispatch is bitwise
+/// identical by design, and view-fed shapes never reach the packed
+/// regime), so results match [`bmm_into`] exactly.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_layout_into(
+    a: &[f32],
+    la: &BatchLayout,
+    b: &[f32],
+    lb: &BatchLayout,
+    out: &mut [f32],
+    lo: &BatchLayout,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let bt = la.slices();
+    assert_eq!(lb.slices(), bt, "bmm_layout_into batch dims differ");
+    assert_eq!(lo.slices(), bt, "bmm_layout_into output batch differs");
+    fan_slices(out, lo, m * k * n, |s, o, o_base| {
+        matmul_block_l(
+            a,
+            la.slice_base(s),
+            la.row_stride,
+            b,
+            lb.slice_base(s),
+            lb.row_stride,
+            o,
+            o_base,
+            lo.row_stride,
+            m,
+            k,
+            n,
+        );
+    });
+}
+
+/// Layout-addressed batched `out += a @ bᵀ`: `a` slices are `[m, d]`, `b`
+/// slices `[n, d]`, `out` slices `[m, n]`.  Each slice's `bᵀ` is staged
+/// into the thread-local transpose scratch (reading rows through the
+/// layout) and the product runs through `matmul_block_l` — the same
+/// stage-then-multiply the dense [`bmm_nt_into`] performs, so per-element
+/// accumulation (ascending `d`, skip-zero on `a[i,p]`) is unchanged.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_nt_layout_into(
+    a: &[f32],
+    la: &BatchLayout,
+    b: &[f32],
+    lb: &BatchLayout,
+    out: &mut [f32],
+    lo: &BatchLayout,
+    m: usize,
+    d: usize,
+    n: usize,
+) {
+    let bt = la.slices();
+    assert_eq!(lb.slices(), bt, "bmm_nt_layout_into batch dims differ");
+    assert_eq!(lo.slices(), bt, "bmm_nt_layout_into output batch differs");
+    fan_slices(out, lo, m * d * n, |s, o, o_base| {
+        TRANSPOSE_SCRATCH.with(|cell| {
+            let mut buf = cell.borrow_mut();
+            let len = d * n;
+            if buf.len() < len {
+                buf.resize(len, 0.0);
+            }
+            let b0 = lb.slice_base(s);
+            for j in 0..n {
+                let b_row = &b[b0 + j * lb.row_stride..b0 + j * lb.row_stride + d];
+                for (p, &v) in b_row.iter().enumerate() {
+                    buf[p * n + j] = v;
+                }
+            }
+            matmul_block_l(
+                a,
+                la.slice_base(s),
+                la.row_stride,
+                &buf[..len],
+                0,
+                n,
+                o,
+                o_base,
+                lo.row_stride,
+                m,
+                d,
+                n,
+            );
+        });
+    });
+}
+
+/// Layout-addressed batched `out += aᵀ @ g`: `a` slices `[m, k]`, `g`
+/// slices `[m, n]`, `out` slices `[k, n]` — the direct TN kernel
+/// (`matmul_tn_direct`: `K_BLOCK`-tiled ascending `i`, skip-zero on
+/// `a[i,p]`), which is bitwise identical to the transposed dispatch.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_tn_layout_into(
+    a: &[f32],
+    la: &BatchLayout,
+    g: &[f32],
+    lg: &BatchLayout,
+    out: &mut [f32],
+    lo: &BatchLayout,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    let bt = la.slices();
+    assert_eq!(lg.slices(), bt, "bmm_tn_layout_into batch dims differ");
+    assert_eq!(lo.slices(), bt, "bmm_tn_layout_into output batch differs");
+    fan_slices(out, lo, m * k * n, |s, o, o_base| {
+        let a0 = la.slice_base(s);
+        let g0 = lg.slice_base(s);
+        let mut ib = 0;
+        while ib < m {
+            let iend = (ib + K_BLOCK).min(m);
+            for p in 0..k {
+                let out_row = &mut o[o_base + p * lo.row_stride..o_base + p * lo.row_stride + n];
+                for i in ib..iend {
+                    let a_ip = a[a0 + i * la.row_stride + p];
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    let g_row = &g[g0 + i * lg.row_stride..g0 + i * lg.row_stride + n];
+                    for (o, &gj) in out_row.iter_mut().zip(g_row) {
+                        *o += a_ip * gj;
+                    }
+                }
+            }
+            ib = iend;
+        }
+    });
+}
+
+/// Layout-addressed `dB` of a batched `a @ bᵀ` product:
+/// `out[s][j, p] += a[s][i, p] · g[s][i, j]` with `i` ascending per output
+/// element and skip-zero on `a[i, p]` — the scatter the fused `bmm_nt`
+/// backward performs, relocated through layouts.  `a` slices are `[m, d]`,
+/// `g` slices `[m, n]`, `out` slices `[n, d]`.
+#[allow(clippy::too_many_arguments)]
+pub fn bmm_nt_db_layout_into(
+    a: &[f32],
+    la: &BatchLayout,
+    g: &[f32],
+    lg: &BatchLayout,
+    out: &mut [f32],
+    lo: &BatchLayout,
+    m: usize,
+    d: usize,
+    n: usize,
+) {
+    let bt = la.slices();
+    assert_eq!(lg.slices(), bt, "bmm_nt_db_layout_into batch dims differ");
+    assert_eq!(lo.slices(), bt, "bmm_nt_db_layout_into output batch differs");
+    fan_slices(out, lo, m * d * n, |s, o, o_base| {
+        let a0 = la.slice_base(s);
+        let g0 = lg.slice_base(s);
+        for i in 0..m {
+            let a_row = &a[a0 + i * la.row_stride..a0 + i * la.row_stride + d];
+            let g_row = &g[g0 + i * lg.row_stride..g0 + i * lg.row_stride + n];
+            for (p, &a_ip) in a_row.iter().enumerate() {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                for (j, &g_ij) in g_row.iter().enumerate() {
+                    o[o_base + j * lo.row_stride + p] += a_ip * g_ij;
+                }
+            }
+        }
+    });
+}
+
 /// Product of a shape's dimensions.
 pub(crate) fn numel(shape: &[usize]) -> usize {
     shape.iter().product()
@@ -1426,5 +2155,243 @@ mod tests {
         let a = Tensor::randn(&[4, 4], 0.1, &mut r1);
         let b = Tensor::randn(&[4, 4], 0.1, &mut r2);
         assert_eq!(a, b);
+    }
+
+    // -- strided views ------------------------------------------------
+
+    #[test]
+    fn transpose_views_are_zero_copy_and_match_materialized() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let a = Tensor::randn(&[5, 7], 1.0, &mut rng);
+        let v = a.transpose2d_view();
+        assert!(v.is_view());
+        assert_eq!(v.storage().as_ptr(), a.storage().as_ptr());
+        assert_eq!(v.contiguous(), a.transpose2d());
+        assert_eq!(v, a.transpose2d());
+        let b = Tensor::randn(&[3, 4, 6], 1.0, &mut rng);
+        let bv = b.transpose_last2_view();
+        assert!(bv.is_view());
+        assert_eq!(bv.contiguous(), b.transpose_last2());
+    }
+
+    #[test]
+    fn permute_view_matches_index_shuffle() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), &[2, 3, 4]);
+        let p = t.permute_view(&[2, 0, 1]);
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        for i in 0..4 {
+            for j in 0..2 {
+                for k in 0..3 {
+                    assert_eq!(p.at(&[i, j, k]), t.at(&[j, k, i]));
+                }
+            }
+        }
+        let back = p.contiguous().permute_view(&[1, 2, 0]).contiguous();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn split_heads_view_matches_copying_split() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (b, t, d, h) = (2, 5, 8, 4);
+        let x = Tensor::randn(&[b, t, d], 1.0, &mut rng);
+        let v = x.split_heads_view(h);
+        assert_eq!(v.shape(), &[b * h, t, d / h]);
+        assert!(v.is_view());
+        // Reference: the copying split used by the graph op.
+        let dk = d / h;
+        let mut want = vec![0.0f32; b * t * d];
+        for bi in 0..b {
+            for hh in 0..h {
+                for ti in 0..t {
+                    for p in 0..dk {
+                        want[((bi * h + hh) * t + ti) * dk + p] =
+                            x.data()[bi * t * d + ti * d + hh * dk + p];
+                    }
+                }
+            }
+        }
+        assert_eq!(v.contiguous().data(), &want[..]);
+    }
+
+    #[test]
+    fn view_into_vec_and_reshape_materialize() {
+        let t = Tensor::from_vec((0..6).map(|x| x as f32).collect(), &[2, 3]);
+        let v = t.transpose2d_view();
+        assert_eq!(v.clone().into_vec(), vec![0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        let r = v.reshaped(&[3, 2]);
+        assert!(!r.is_view());
+        assert_eq!(r.data(), &[0.0, 3.0, 1.0, 4.0, 2.0, 5.0]);
+        // Dense reshape shares storage.
+        let r2 = t.reshaped(&[3, 2]);
+        assert_eq!(r2.storage().as_ptr(), t.storage().as_ptr());
+    }
+
+    #[test]
+    #[should_panic(expected = "Tensor::data on a strided view")]
+    fn data_on_view_panics() {
+        let t = Tensor::zeros(&[2, 3]);
+        let _ = t.transpose2d_view().data();
+    }
+
+    #[test]
+    fn data_mut_copy_on_write_leaves_clones_untouched() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let mut b = a.clone();
+        b.data_mut()[0] = 9.0;
+        assert_eq!(a.data(), &[1.0, 2.0]);
+        assert_eq!(b.data(), &[9.0, 2.0]);
+    }
+
+    #[test]
+    fn batch_layout_derivation_covers_the_kernel_feeding_forms() {
+        let x = Tensor::zeros(&[2, 6, 8]);
+        let dense = x.batch_layout().unwrap();
+        assert_eq!(dense, BatchLayout::dense(2, 6, 8));
+        let split = x.split_heads_view(4).batch_layout().unwrap();
+        assert_eq!(
+            split,
+            BatchLayout {
+                offset: 0,
+                outer: 2,
+                inner: 4,
+                outer_stride: 48,
+                inner_stride: 2,
+                row_stride: 8
+            }
+        );
+        // Transposed rows are not contiguous: no layout, contiguous() fallback.
+        assert!(x.transpose_last2_view().batch_layout().is_none());
+    }
+
+    // -- layout kernels ≡ dense kernels over materialized views -------
+
+    fn layout_fixture() -> (Tensor, Tensor, usize, usize, usize, usize) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let (b, h, t, d) = (2, 4, 5, 24);
+        let q = Tensor::randn(&[b, t, d], 1.0, &mut rng);
+        let k = Tensor::randn(&[b, t, d], 1.0, &mut rng);
+        (q, k, b, h, t, d / h)
+    }
+
+    #[test]
+    fn bmm_nt_layout_matches_dense_on_materialized_views() {
+        let (q, k, b, h, t, dk) = layout_fixture();
+        let qs = q.split_heads_view(h);
+        let ks = k.split_heads_view(h);
+        let (lq, lk) = (qs.batch_layout().unwrap(), ks.batch_layout().unwrap());
+        let lo = BatchLayout::dense(b * h, t, t);
+        let mut got = vec![0.0f32; b * h * t * t];
+        bmm_nt_layout_into(q.storage(), &lq, k.storage(), &lk, &mut got, &lo, t, dk, t);
+        let mut want = vec![0.0f32; b * h * t * t];
+        bmm_nt_into(qs.contiguous().data(), ks.contiguous().data(), &mut want, b * h, t, dk, t);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bmm_layout_matches_dense_when_writing_into_merged_rows() {
+        use rand::SeedableRng;
+        let (q, _k, b, h, t, dk) = layout_fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let attn = Tensor::randn(&[b * h, t, t], 1.0, &mut rng);
+        let vs = q.split_heads_view(h);
+        let la = BatchLayout::dense(b * h, t, t);
+        let lv = vs.batch_layout().unwrap();
+        // Write straight into merged [b, t, h*dk] row offsets.
+        let lo = BatchLayout {
+            offset: 0,
+            outer: b,
+            inner: h,
+            outer_stride: t * h * dk,
+            inner_stride: dk,
+            row_stride: h * dk,
+        };
+        let mut got = vec![0.0f32; b * t * h * dk];
+        bmm_layout_into(attn.data(), &la, q.storage(), &lv, &mut got, &lo, t, t, dk);
+        // Reference: dense bmm then copying merge.
+        let mut split_out = vec![0.0f32; b * h * t * dk];
+        bmm_into(attn.data(), vs.contiguous().data(), &mut split_out, b * h, t, t, dk);
+        let mut want = vec![0.0f32; b * t * h * dk];
+        for bi in 0..b {
+            for hh in 0..h {
+                for ti in 0..t {
+                    for p in 0..dk {
+                        want[bi * t * h * dk + ti * h * dk + hh * dk + p] =
+                            split_out[((bi * h + hh) * t + ti) * dk + p];
+                    }
+                }
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bmm_tn_layout_matches_dense_on_materialized_views() {
+        use rand::SeedableRng;
+        let (q, _k, b, h, t, dk) = layout_fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(37);
+        let attn = Tensor::randn(&[b * h, t, t], 1.0, &mut rng);
+        let gs = q.split_heads_view(h); // stand-in for the out-grad view
+        let la = BatchLayout::dense(b * h, t, t);
+        let lg = gs.batch_layout().unwrap();
+        let lo = BatchLayout::dense(b * h, t, dk);
+        let mut got = vec![0.0f32; b * h * t * dk];
+        bmm_tn_layout_into(attn.data(), &la, q.storage(), &lg, &mut got, &lo, t, t, dk);
+        let mut want = vec![0.0f32; b * h * t * dk];
+        bmm_tn_into(attn.data(), gs.contiguous().data(), &mut want, b * h, t, t, dk);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn bmm_nt_db_layout_matches_inline_scatter() {
+        use rand::SeedableRng;
+        let (q, _k, b, h, t, dk) = layout_fixture();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let g = Tensor::randn(&[b * h, t, t], 1.0, &mut rng);
+        let qs = q.split_heads_view(h);
+        let la = qs.batch_layout().unwrap();
+        let lg = BatchLayout::dense(b * h, t, t);
+        let lo = BatchLayout::dense(b * h, t, dk);
+        let mut got = vec![0.0f32; b * h * t * dk];
+        bmm_nt_db_layout_into(q.storage(), &la, g.data(), &lg, &mut got, &lo, t, dk, t);
+        // Reference: the fused bmm_nt backward's dB scatter on dense slices.
+        let a_dense = qs.contiguous();
+        let mut want = vec![0.0f32; b * h * t * dk];
+        for s in 0..b * h {
+            let a_s = &a_dense.data()[s * t * dk..(s + 1) * t * dk];
+            let g_s = &g.data()[s * t * t..(s + 1) * t * t];
+            let o_s = &mut want[s * t * dk..(s + 1) * t * dk];
+            for i in 0..t {
+                for p in 0..dk {
+                    let a_ip = a_s[i * dk + p];
+                    if a_ip == 0.0 {
+                        continue;
+                    }
+                    for j in 0..t {
+                        o_s[j * dk + p] += a_ip * g_s[i * t + j];
+                    }
+                }
+            }
+        }
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn layout_kernels_are_thread_count_invariant() {
+        let (q, k, b, h, t, dk) = layout_fixture();
+        let qs = q.split_heads_view(h);
+        let ks = k.split_heads_view(h);
+        let (lq, lk) = (qs.batch_layout().unwrap(), ks.batch_layout().unwrap());
+        let lo = BatchLayout::dense(b * h, t, t);
+        let mut serial = vec![0.0f32; b * h * t * t];
+        bmm_nt_layout_into(q.storage(), &lq, k.storage(), &lk, &mut serial, &lo, t, dk, t);
+        set_kernel_threads(Some(3));
+        let mut par = vec![0.0f32; b * h * t * t];
+        bmm_nt_layout_into(q.storage(), &lq, k.storage(), &lk, &mut par, &lo, t, dk, t);
+        set_kernel_threads(None);
+        assert_eq!(serial, par);
     }
 }

@@ -161,6 +161,123 @@ proptest! {
         }
     }
 
+    /// Metadata-only transpose views materialise to exactly the bits the
+    /// copying transpose produces, for arbitrary (including degenerate)
+    /// shapes.
+    #[test]
+    fn transpose_view_bitwise_equals_copy(m in 1usize..12, n in 1usize..12, seed in 0u32..1000) {
+        let val = |i: usize| ((i as f32 * 0.41 + seed as f32 * 0.13).sin()) * 2.0;
+        let x = Tensor::from_vec((0..m * n).map(val).collect(), &[m, n]);
+        let view = x.transpose2d_view().contiguous();
+        let copy = x.transpose2d();
+        prop_assert_eq!(view.shape(), copy.shape());
+        for (a, b) in view.data().iter().zip(copy.data()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Every rank-3 permutation view addresses exactly the element the
+    /// naive index shuffle produces — the stride arithmetic is the whole
+    /// claim, so the comparison is bitwise.
+    #[test]
+    fn permute_view_bitwise_equals_index_shuffle(
+        a in 1usize..5, b in 1usize..5, c in 1usize..5,
+        perm_idx in 0usize..6,
+        seed in 0u32..1000,
+    ) {
+        const PERMS: [[usize; 3]; 6] =
+            [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let perm = PERMS[perm_idx];
+        let val = |i: usize| ((i as f32 * 0.23 + seed as f32 * 0.17).sin()) * 2.0;
+        let x = Tensor::from_vec((0..a * b * c).map(val).collect(), &[a, b, c]);
+        let p = x.permute_view(&perm);
+        let shape = [a, b, c];
+        prop_assert_eq!(p.shape(), &[shape[perm[0]], shape[perm[1]], shape[perm[2]]]);
+        for i in 0..shape[perm[0]] {
+            for j in 0..shape[perm[1]] {
+                for k in 0..shape[perm[2]] {
+                    let mut src = [0usize; 3];
+                    src[perm[0]] = i;
+                    src[perm[1]] = j;
+                    src[perm[2]] = k;
+                    prop_assert_eq!(p.at(&[i, j, k]).to_bits(), x.at(&src).to_bits());
+                }
+            }
+        }
+        // Materialising the view round-trips the exact bits too.
+        let dense = p.contiguous();
+        for i in 0..shape[perm[0]] {
+            for j in 0..shape[perm[1]] {
+                for k in 0..shape[perm[2]] {
+                    prop_assert_eq!(dense.at(&[i, j, k]).to_bits(), p.at(&[i, j, k]).to_bits());
+                }
+            }
+        }
+    }
+
+    /// The head-split view materialises to exactly the `[B,T,D] ->
+    /// [B*H,T,D/H]` gather the copying op runs, over random widths and
+    /// head counts.
+    #[test]
+    fn split_heads_view_bitwise_equals_materialized(
+        b in 1usize..4, t in 1usize..5, heads in 1usize..4, dk in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let d = heads * dk;
+        let val = |i: usize| ((i as f32 * 0.31 + seed as f32 * 0.07).sin()) * 2.0;
+        let x = Tensor::from_vec((0..b * t * d).map(val).collect(), &[b, t, d]);
+        let view = x.split_heads_view(heads);
+        prop_assert_eq!(view.shape(), &[b * heads, t, dk]);
+        let dense = view.contiguous();
+        for bi in 0..b {
+            for h in 0..heads {
+                for ti in 0..t {
+                    for f in 0..dk {
+                        let expect = x.at(&[bi, ti, h * dk + f]);
+                        prop_assert_eq!(
+                            dense.at(&[bi * heads + h, ti, f]).to_bits(),
+                            expect.to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Attention-shaped NT matmul over head-split *views* is bitwise equal
+    /// to the same computation over head-split *copies* — values and input
+    /// gradients — across random shapes.  This is the invariant that lets
+    /// `MultiHeadAttention` swap copies for views without moving a bit.
+    #[test]
+    fn bmm_nt_view_path_bitwise_equals_copy_path(
+        b in 1usize..3, t in 1usize..5, heads in 1usize..3, dk in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let d = heads * dk;
+        let val = |i: usize| ((i as f32 * 0.19 + seed as f32 * 0.23).sin()) * 2.0;
+        let x = Tensor::from_vec((0..b * t * d).map(val).collect(), &[b, t, d]);
+        let run = |use_view: bool| -> (Vec<u32>, Vec<u32>) {
+            let g = Graph::new();
+            let v = g.var(x.clone(), true);
+            let (q, k) = if use_view {
+                (v.split_heads_view(heads), v.split_heads_view(heads))
+            } else {
+                (v.split_heads(heads), v.split_heads(heads))
+            };
+            let scores = q.bmm_nt(k);
+            let loss = scores.mul(scores).sum_all();
+            g.backward(loss);
+            let value: Vec<u32> = scores.value().data().iter().map(|f| f.to_bits()).collect();
+            let grad: Vec<u32> =
+                g.grad(v).unwrap().data().iter().map(|f| f.to_bits()).collect();
+            (value, grad)
+        };
+        let (val_view, grad_view) = run(true);
+        let (val_copy, grad_copy) = run(false);
+        prop_assert_eq!(val_view, val_copy);
+        prop_assert_eq!(grad_view, grad_copy);
+    }
+
     /// Layer-norm output is invariant to input shift and scale (with unit
     /// gamma, zero beta).
     #[test]
@@ -181,5 +298,73 @@ proptest! {
         for (a, b) in base.data().iter().zip(transformed.data()) {
             prop_assert!(close(*a, *b, 2e-2), "{a} vs {b}");
         }
+    }
+}
+
+proptest! {
+    // Heavier end-to-end cases: a full (gather -> view attention ->
+    // cross-entropy) training step per case, so fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A replayed step is bitwise equal to recording the same step on a
+    /// fresh graph, across random shapes, *changed per-step payloads*
+    /// (gather indices and cross-entropy targets differ between the
+    /// recorded step and the replayed one), and forced kernel thread
+    /// counts.  This is the record-once/replay-per-minibatch contract:
+    /// the tape caches the op plan, never the data.
+    #[test]
+    fn tape_replay_bitwise_equals_fresh_rerecord(
+        b in 1usize..3, t in 1usize..4, heads in 1usize..3, dk in 1usize..3,
+        threads in 1usize..4,
+        seed in 0u32..1000,
+    ) {
+        let d = heads * dk;
+        let vocab = 8usize;
+        let val = |i: usize| ((i as f32 * 0.29 + seed as f32 * 0.19).sin()) * 2.0;
+        let table = Tensor::from_vec((0..vocab * d).map(val).collect(), &[vocab, d]);
+        let pick = |step: usize, j: usize, m: usize| {
+            (seed as usize).wrapping_mul(31).wrapping_add(step * 17 + j * 7) % m
+        };
+        let idx = |step: usize| -> Vec<usize> {
+            (0..b * t).map(|j| pick(step, j, vocab)).collect()
+        };
+        let targets = |step: usize| -> Vec<usize> {
+            (0..b * t).map(|j| pick(step + 100, j, d)).collect()
+        };
+        // One full training step: embed -> view attention -> CE loss.
+        let step = |g: &Graph, indices: &[usize], tg: &[usize]| -> (u32, Vec<u32>) {
+            let w = g.var(table.clone(), true);
+            let x = w.gather_rows(indices).reshape(&[b, t, d]);
+            let q = x.split_heads_view(heads);
+            let k = x.split_heads_view(heads);
+            let v = x.split_heads_view(heads);
+            let scores = q.bmm_nt(k).mul_scalar(1.0 / (dk as f32).sqrt());
+            let attn = scores.softmax_last();
+            let out = attn.attn_bmm_merge(v, heads);
+            let loss = out.reshape(&[b * t, d]).cross_entropy(tg, usize::MAX);
+            g.backward(loss);
+            let dw: Vec<u32> = g.grad(w).unwrap().data().iter().map(|f| f.to_bits()).collect();
+            (loss.item().to_bits(), dw)
+        };
+        // Bits must be invariant under the kernel fan width — assert the
+        // whole contract under a forced thread count.  (The setting is
+        // process-global, but every test in this binary asserts results
+        // that are thread-count invariant, so concurrent mutation is
+        // benign.)
+        irs_tensor::set_kernel_threads(Some(threads));
+        // Graph A records step 0, resets, then *replays* step 1 with
+        // different gather indices and CE targets.
+        let ga = Graph::new();
+        let _ = step(&ga, &idx(0), &targets(0));
+        let nodes_recorded = ga.num_nodes();
+        ga.reset();
+        let (loss_replay, grad_replay) = step(&ga, &idx(1), &targets(1));
+        prop_assert_eq!(ga.num_nodes(), nodes_recorded, "replay must not grow the tape");
+        // Graph B records step 1 from scratch.
+        let gb = Graph::new();
+        let (loss_fresh, grad_fresh) = step(&gb, &idx(1), &targets(1));
+        irs_tensor::set_kernel_threads(None);
+        prop_assert_eq!(loss_replay, loss_fresh);
+        prop_assert_eq!(grad_replay, grad_fresh);
     }
 }
